@@ -1,0 +1,96 @@
+// Ablations of the design choices DESIGN.md §5 calls out, beyond the
+// paper's Fig. 4:
+//   1. DVP mask fraction ρ — how many features deserve the wide VB_H
+//      (the paper fixes the mechanism but not ρ; we use 0.5 by default),
+//      with the Eq. 5 memory consequence of each choice.
+//   2. Soft-voting width Θ — accuracy vs class-vector memory.
+//   3. BiConv kernel size D_K — accuracy vs the Eq. 6 resource term and
+//      the α-cycle BiConv latency.
+// Each sweep holds everything else at the benchmark's Table I values.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "univsa/hw/timing_model.h"
+#include "univsa/report/table.h"
+#include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/memory_model.h"
+
+namespace {
+
+using namespace univsa;
+
+double train_accuracy(const vsa::ModelConfig& config,
+                      const data::SyntheticResult& ds, bool fast,
+                      double mask_fraction = 0.5) {
+  train::TrainOptions opts;
+  opts.epochs = fast ? 5 : 12;
+  opts.seed = 7;
+  opts.mask_high_fraction = mask_fraction;
+  return train::train_univsa(config, ds.train, opts)
+      .model.accuracy(ds.test);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  // HAR-style task, reduced geometry so the sweeps stay cheap.
+  data::SyntheticSpec spec = data::find_benchmark("HAR").spec;
+  spec.windows = 8;
+  spec.length = 18;
+  spec.train_count = args.fast ? 150 : 300;
+  spec.test_count = args.fast ? 80 : 160;
+  const data::SyntheticResult ds = data::generate(spec);
+
+  vsa::ModelConfig base = data::find_benchmark("HAR").config;
+  base.W = spec.windows;
+  base.L = spec.length;
+
+  std::puts("== Ablation 1: DVP mask fraction ρ (share of VB_H features) ==");
+  report::TextTable rho_table({"ρ", "accuracy", "note"});
+  for (const double rho : {0.25, 0.5, 0.75, 1.0}) {
+    const double acc = train_accuracy(base, ds, args.fast, rho);
+    rho_table.add_row({report::fmt(rho, 2), report::fmt(acc),
+                       rho == 1.0 ? "all features wide (no DVP saving)"
+                                  : ""});
+  }
+  std::fputs(rho_table.to_string().c_str(), stdout);
+  std::puts("(V-table memory is fixed by Eq. 5's M·(D_H+D_L) term; ρ "
+            "trades which features get the wide projection.)");
+
+  std::puts("\n== Ablation 2: soft-voting width Θ ==");
+  report::TextTable theta_table(
+      {"Θ", "accuracy", "memory KB (Eq. 5)", "class-vector bits"});
+  for (const std::size_t theta : {1u, 3u, 5u, 7u}) {
+    vsa::ModelConfig c = base;
+    c.Theta = theta;
+    const double acc = train_accuracy(c, ds, args.fast);
+    theta_table.add_row(
+        {std::to_string(theta), report::fmt(acc),
+         report::fmt(vsa::memory_kb(c), 2),
+         std::to_string(vsa::memory_breakdown(c).class_vectors)});
+  }
+  std::fputs(theta_table.to_string().c_str(), stdout);
+
+  std::puts("\n== Ablation 3: BiConv kernel size D_K ==");
+  report::TextTable dk_table({"D_K", "accuracy", "Eq.6 resource units",
+                              "BiConv cycles", "α"});
+  for (const std::size_t dk : {1u, 3u, 5u}) {
+    vsa::ModelConfig c = base;
+    c.D_K = dk;
+    const double acc = train_accuracy(c, ds, args.fast);
+    dk_table.add_row({std::to_string(dk), report::fmt(acc),
+                      std::to_string(vsa::resource_units(c)),
+                      std::to_string(hw::stage_cycles(c).biconv),
+                      std::to_string(hw::conv_iteration_cycles(c))});
+  }
+  std::fputs(dk_table.to_string().c_str(), stdout);
+
+  std::puts(
+      "\nShape expectations: Θ shows diminishing returns (SV mainly "
+      "relieves underfitting); D_K=1 loses the feature-interaction gain "
+      "(it degenerates to per-position mixing); larger D_K pays linearly "
+      "in Eq. 6 resources and in BiConv cycles — the trade Eq. 7 prices.");
+  return 0;
+}

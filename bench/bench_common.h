@@ -1,0 +1,65 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench accepts:
+//   --fast          smaller datasets / fewer epochs (CI-scale smoke run)
+//   --task NAME     restrict to one Table I benchmark
+//   --csv PATH      also emit the table as CSV
+// and prints a paper-vs-measured table to stdout.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "univsa/data/benchmarks.h"
+
+namespace univsa::bench {
+
+struct Args {
+  bool fast = false;
+  std::string task;  // empty = all
+  std::string csv;   // empty = none
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      args.fast = true;
+    } else if (std::strcmp(argv[i], "--task") == 0 && i + 1 < argc) {
+      args.task = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      args.csv = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--fast] [--task NAME] [--csv PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline std::vector<data::Benchmark> selected_benchmarks(const Args& args) {
+  if (args.task.empty()) return data::table1_benchmarks();
+  return {data::find_benchmark(args.task)};
+}
+
+/// Scales a benchmark's sample counts for the run mode. Many-class tasks
+/// (ISOLET's 26) get proportionally more samples — the paper's real
+/// datasets provide hundreds per class.
+inline data::SyntheticSpec sized_spec(const data::Benchmark& b,
+                                      bool fast) {
+  data::SyntheticSpec spec = b.spec;
+  const std::size_t per_class_train = fast ? 40 : 80;
+  const std::size_t per_class_test = fast ? 20 : 40;
+  spec.train_count =
+      std::max<std::size_t>(fast ? 160 : 480,
+                            per_class_train * spec.classes);
+  spec.test_count = std::max<std::size_t>(fast ? 80 : 240,
+                                          per_class_test * spec.classes);
+  return spec;
+}
+
+}  // namespace univsa::bench

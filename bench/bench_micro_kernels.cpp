@@ -1,0 +1,169 @@
+// Microbenchmarks of the inference hot paths (google-benchmark):
+// XNOR-popcount dot products, bind-bundle encoding, packed BiConv,
+// end-to-end deployed inference, and the hardware functional simulator.
+#include <benchmark/benchmark.h>
+
+#include "univsa/common/bitvec.h"
+#include "univsa/common/rng.h"
+#include "univsa/data/benchmarks.h"
+#include "univsa/hw/functional_sim.h"
+#include "univsa/vsa/ldc_model.h"
+#include "univsa/vsa/model.h"
+
+namespace {
+
+using namespace univsa;
+
+void BM_BitVecDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const BitVec a = BitVec::random(n, rng);
+  const BitVec b = BitVec::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.dot(b));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n));
+}
+BENCHMARK(BM_BitVecDot)->Arg(128)->Arg(1024)->Arg(10000);
+
+void BM_BitVecMaskedDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const BitVec a = BitVec::random(n, rng);
+  const BitVec b = BitVec::random(n, rng);
+  const BitVec mask = BitVec::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.masked_dot(b, mask));
+  }
+}
+BENCHMARK(BM_BitVecMaskedDot)->Arg(1024);
+
+void BM_BindBundle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const BitVec f = BitVec::random(n, rng);
+  const BitVec v = BitVec::random(n, rng);
+  BipolarAccumulator acc(n);
+  for (auto _ : state) {
+    acc.add_bound(f, v);
+    benchmark::DoNotOptimize(acc.sums().data());
+  }
+}
+BENCHMARK(BM_BindBundle)->Arg(128)->Arg(1024);
+
+/// Full Eq. 1 bundling of `rows` bound pairs: integer accumulator vs the
+/// word-parallel bit-sliced counters used on the deployed hot path.
+void BM_EncodeIntegerAccumulator(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rows = static_cast<std::size_t>(state.range(1));
+  Rng rng(4);
+  std::vector<BitVec> fs;
+  std::vector<BitVec> vs;
+  for (std::size_t r = 0; r < rows; ++r) {
+    fs.push_back(BitVec::random(n, rng));
+    vs.push_back(BitVec::random(n, rng));
+  }
+  for (auto _ : state) {
+    BipolarAccumulator acc(n);
+    for (std::size_t r = 0; r < rows; ++r) acc.add_bound(fs[r], vs[r]);
+    benchmark::DoNotOptimize(acc.sign());
+  }
+}
+BENCHMARK(BM_EncodeIntegerAccumulator)
+    ->Args({1024, 95})
+    ->Args({640, 22});
+
+void BM_EncodeBitSliced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rows = static_cast<std::size_t>(state.range(1));
+  Rng rng(4);
+  std::vector<BitVec> fs;
+  std::vector<BitVec> vs;
+  for (std::size_t r = 0; r < rows; ++r) {
+    fs.push_back(BitVec::random(n, rng));
+    vs.push_back(BitVec::random(n, rng));
+  }
+  for (auto _ : state) {
+    BitSlicedAccumulator acc(n);
+    for (std::size_t r = 0; r < rows; ++r) acc.add_bound(fs[r], vs[r]);
+    benchmark::DoNotOptimize(acc.sign());
+  }
+}
+BENCHMARK(BM_EncodeBitSliced)->Args({1024, 95})->Args({640, 22});
+
+vsa::Model isolet_model() {
+  Rng rng(4);
+  return vsa::Model::random(data::find_benchmark("ISOLET").config, rng);
+}
+
+std::vector<std::uint16_t> isolet_sample() {
+  Rng rng(5);
+  const auto& c = data::find_benchmark("ISOLET").config;
+  std::vector<std::uint16_t> values(c.features());
+  for (auto& v : values) {
+    v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  }
+  return values;
+}
+
+void BM_DeployedProjectValues(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  const auto values = isolet_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.project_values(values));
+  }
+}
+BENCHMARK(BM_DeployedProjectValues);
+
+void BM_DeployedConvolve(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  const auto volume = m.project_values(isolet_sample());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.convolve(volume));
+  }
+}
+BENCHMARK(BM_DeployedConvolve);
+
+void BM_DeployedEncode(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  const auto conv = m.convolve(m.project_values(isolet_sample()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.encode_channels(conv));
+  }
+}
+BENCHMARK(BM_DeployedEncode);
+
+void BM_DeployedPredict(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  const auto values = isolet_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict(values));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeployedPredict);
+
+void BM_LdcPredict(benchmark::State& state) {
+  Rng rng(6);
+  const vsa::LdcModel m = vsa::LdcModel::random(16, 40, 256, 26, 128, rng);
+  const auto values = isolet_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict(values));
+  }
+}
+BENCHMARK(BM_LdcPredict);
+
+void BM_FunctionalSimRun(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  const hw::Accelerator accel(m);
+  const auto values = isolet_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.run(values));
+  }
+}
+BENCHMARK(BM_FunctionalSimRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Online adaptation under session drift — the BCI non-stationarity
+// scenario the paper's reference [22] motivates. Trains on session A,
+// evaluates the frozen model on progressively drifted sessions, then
+// adapts only the class vectors with the on-device HDC update and
+// re-evaluates. Also sweeps how many adaptation samples are needed.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "univsa/report/table.h"
+#include "univsa/train/online_retrainer.h"
+#include "univsa/train/univsa_trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace univsa;
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  const auto& benchmark = data::find_benchmark(
+      args.task.empty() ? "BCI-III-V" : args.task);
+  data::SyntheticSpec base = benchmark.spec;
+  base.train_count = args.fast ? 160 : 320;
+  base.test_count = args.fast ? 80 : 160;
+
+  std::printf("== Online adaptation under session drift (%s) ==\n",
+              benchmark.spec.name.c_str());
+  const data::SyntheticResult session_a = data::generate(base);
+  train::TrainOptions options;
+  options.epochs = args.fast ? 8 : 15;
+  options.seed = 7;
+  const auto trained =
+      train::train_univsa(benchmark.config, session_a.train, options);
+  std::printf("session-A model: accuracy %.4f on session A\n\n",
+              trained.model.accuracy(session_a.test));
+
+  report::TextTable table({"drift", "frozen acc", "adapted acc",
+                           "recovered", "flipped C lanes",
+                           "updates ep.1"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const double drift : {0.0, 0.25, 0.5, 0.75}) {
+    data::SyntheticSpec drifted = base;
+    drifted.drift = drift;
+    drifted.drift_seed = 11;
+    const data::SyntheticResult session_b = data::generate(drifted);
+    const double frozen = trained.model.accuracy(session_b.test);
+    const train::OnlineRetrainResult adapted =
+        train::adapt_class_vectors(trained.model, session_b.train);
+    const double recovered = adapted.model.accuracy(session_b.test);
+    table.add_row({report::fmt(drift, 2), report::fmt(frozen),
+                   report::fmt(recovered),
+                   report::fmt(recovered - frozen, 4),
+                   std::to_string(adapted.flipped_lanes),
+                   std::to_string(adapted.updates_per_epoch.front())});
+    csv_rows.push_back({report::fmt(drift, 2), report::fmt(frozen),
+                        report::fmt(recovered),
+                        report::fmt(recovered - frozen, 4)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Sample-efficiency sweep at a fixed drift.
+  data::SyntheticSpec drifted = base;
+  drifted.drift = 0.5;
+  drifted.drift_seed = 11;
+  const data::SyntheticResult session_b = data::generate(drifted);
+  const double frozen = trained.model.accuracy(session_b.test);
+  std::puts("\nAdaptation-sample efficiency at drift 0.50:");
+  report::TextTable sweep({"adaptation samples", "adapted acc",
+                           "gain over frozen"});
+  for (const std::size_t count : {16u, 64u, 160u}) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < std::min<std::size_t>(
+                                    count, session_b.train.size());
+         ++i) {
+      indices.push_back(i);
+    }
+    const data::Dataset subset = session_b.train.subset(indices);
+    const auto adapted =
+        train::adapt_class_vectors(trained.model, subset);
+    const double acc = adapted.model.accuracy(session_b.test);
+    sweep.add_row({std::to_string(indices.size()), report::fmt(acc),
+                   report::fmt(acc - frozen, 4)});
+  }
+  std::fputs(sweep.to_string().c_str(), stdout);
+  std::puts("\nShape check: the frozen model degrades with drift; the "
+            "class-vector-only update (the only piece an implant can "
+            "afford to touch) recovers a large share of the loss, with "
+            "usable gains from tens of samples.");
+
+  if (!args.csv.empty()) {
+    report::write_csv(args.csv,
+                      {"drift", "frozen", "adapted", "recovered"},
+                      csv_rows);
+  }
+  return 0;
+}

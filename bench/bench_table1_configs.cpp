@@ -1,0 +1,65 @@
+// Table I — benchmark configurations, plus the Eq. 5 memory cross-check
+// against Table II's UniVSA memory column (exact, the reproduction's
+// anchor).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "univsa/report/paper_constants.h"
+#include "univsa/report/table.h"
+#include "univsa/vsa/memory_model.h"
+
+int main(int argc, char** argv) {
+  using namespace univsa;
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  std::puts("== Table I: benchmark configurations (verbatim) ==");
+  report::TextTable table(
+      {"Benchmark", "Domain", "Classes", "Input (W,L)",
+       "(D_H,D_L,D_K,O,Θ)", "Eq.5 memory KB", "Table II KB", "match"});
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& b : bench::selected_benchmarks(args)) {
+    const auto& c = b.config;
+    double paper_kb = 0.0;
+    for (const auto& row : report::paper_table2()) {
+      if (row.task == b.spec.name) paper_kb = row.univsa_kb;
+    }
+    const double model_kb = vsa::memory_kb(c);
+    const bool match = std::abs(model_kb - paper_kb) < 0.005;
+    std::vector<std::string> cells = {
+        b.spec.name,
+        data::to_string(b.spec.domain),
+        std::to_string(c.C),
+        "(" + std::to_string(c.W) + "," + std::to_string(c.L) + ")",
+        "(" + std::to_string(c.D_H) + "," + std::to_string(c.D_L) + "," +
+            std::to_string(c.D_K) + "," + std::to_string(c.O) + "," +
+            std::to_string(c.Theta) + ")",
+        report::fmt(model_kb, 2),
+        report::fmt(paper_kb, 2),
+        match ? "exact" : "DIFFERS"};
+    table.add_row(cells);
+    csv_rows.push_back(std::move(cells));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nPer-component Eq. 5 breakdown (bits):");
+  report::TextTable parts({"Benchmark", "V", "K", "F", "C", "total"});
+  for (const auto& b : bench::selected_benchmarks(args)) {
+    const auto mb = vsa::memory_breakdown(b.config);
+    parts.add_row({b.spec.name, std::to_string(mb.value_vectors),
+                   std::to_string(mb.conv_kernels),
+                   std::to_string(mb.feature_vectors),
+                   std::to_string(mb.class_vectors),
+                   std::to_string(mb.total_bits())});
+  }
+  std::fputs(parts.to_string().c_str(), stdout);
+
+  if (!args.csv.empty()) {
+    report::write_csv(args.csv,
+                      {"benchmark", "domain", "classes", "input",
+                       "config", "model_kb", "paper_kb", "match"},
+                      csv_rows);
+  }
+  return 0;
+}

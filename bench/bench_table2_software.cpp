@@ -1,0 +1,178 @@
+// Table II — accuracy and memory of LDA / KNN / SVM / LeHDC / LDC /
+// UniVSA on the six benchmarks (synthetic stand-ins; see DESIGN.md §2).
+//
+// The paper's accuracy values come from the real public datasets, so the
+// absolute numbers are not expected to match; the *shape* claims are:
+//   - UniVSA beats LDC on every task,
+//   - binary VSA memory is kilobyte-scale vs SVM/LeHDC's MB-scale,
+//   - SVM is strong but enormous; LDA is small but weaker.
+// Memory for the comparison methods follows the paper's accounting
+// conventions (vsa::*_memory_kb).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "univsa/baselines/knn.h"
+#include "univsa/baselines/lda.h"
+#include "univsa/baselines/svm.h"
+#include "univsa/report/paper_constants.h"
+#include "univsa/report/table.h"
+#include "univsa/train/ldc_trainer.h"
+#include "univsa/train/lehdc_trainer.h"
+#include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/memory_model.h"
+
+namespace {
+
+using namespace univsa;
+
+struct MethodResult {
+  double accuracy = 0.0;
+  double memory_kb = 0.0;
+};
+
+struct TaskResults {
+  std::string task;
+  MethodResult lda, knn, svm, lehdc, ldc, univsa;
+};
+
+TaskResults run_task(const data::Benchmark& b, bool fast) {
+  std::printf("[%s] generating data...\n", b.spec.name.c_str());
+  const data::SyntheticResult ds =
+      data::generate(bench::sized_spec(b, fast));
+  const Tensor train_x = ds.train.to_float_matrix();
+  const Tensor test_x = ds.test.to_float_matrix();
+  const auto& train_y = ds.train.labels();
+  const auto& test_y = ds.test.labels();
+  const std::size_t n = ds.train.features();
+  const std::size_t classes = ds.train.classes();
+
+  TaskResults r;
+  r.task = b.spec.name;
+
+  std::printf("[%s] LDA...\n", b.spec.name.c_str());
+  baselines::LdaClassifier lda;
+  lda.fit(train_x, train_y, classes);
+  r.lda = {lda.accuracy(test_x, test_y), vsa::lda_memory_kb(n, classes)};
+
+  std::printf("[%s] KNN (K=5)...\n", b.spec.name.c_str());
+  baselines::KnnClassifier knn(5);
+  knn.fit(train_x, train_y, classes);
+  r.knn = {knn.accuracy(test_x, test_y),
+           static_cast<double>(knn.stored_bytes()) / 1000.0};
+
+  std::printf("[%s] SVM (RBF)...\n", b.spec.name.c_str());
+  baselines::SvmClassifier svm;
+  svm.fit(train_x, train_y, classes);
+  r.svm = {svm.accuracy(test_x, test_y),
+           vsa::svm_memory_kb(n, svm.support_vector_count(),
+                              svm.classifier_count())};
+
+  std::printf("[%s] LeHDC (D=10000)...\n", b.spec.name.c_str());
+  train::LehdcOptions lehdc_opts;
+  lehdc_opts.dim = fast ? 2000 : 10000;
+  lehdc_opts.epochs = fast ? 6 : 12;
+  lehdc_opts.seed = 7;
+  const auto lehdc = train::train_lehdc(ds.train, lehdc_opts);
+  r.lehdc = {lehdc.model.accuracy(ds.test),
+             vsa::lehdc_memory_kb(n, classes, b.config.M, 10000)};
+
+  std::printf("[%s] LDC (D=128)...\n", b.spec.name.c_str());
+  train::TrainOptions ldc_opts;
+  ldc_opts.epochs = fast ? 8 : 25;
+  ldc_opts.seed = 7;
+  const auto ldc = train::train_ldc(ds.train, 128, ldc_opts);
+  r.ldc = {ldc.model.accuracy(ds.test),
+           vsa::ldc_memory_kb(n, classes, 128)};
+
+  std::printf("[%s] UniVSA %s...\n", b.spec.name.c_str(),
+              b.config.to_string().c_str());
+  train::TrainOptions uni_opts;
+  uni_opts.epochs = fast ? 8 : 25;
+  uni_opts.seed = 7;
+  const auto uni = train::train_univsa(b.config, ds.train, uni_opts);
+  r.univsa = {uni.model.accuracy(ds.test), vsa::memory_kb(b.config)};
+  return r;
+}
+
+std::string cell(const MethodResult& m) {
+  return report::fmt(m.accuracy, 4) + " (" + report::fmt(m.memory_kb, 2) +
+         " KB)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  std::puts("== Table II: model comparison — accuracy (memory KB) ==");
+  std::puts("(synthetic stand-in datasets; paper values in brackets)\n");
+
+  std::vector<TaskResults> results;
+  for (const auto& b : bench::selected_benchmarks(args)) {
+    results.push_back(run_task(b, args.fast));
+  }
+
+  report::TextTable table(
+      {"Task", "LDA", "KNN", "SVM", "LeHDC", "LDC", "UniVSA"});
+  std::vector<std::vector<std::string>> csv_rows;
+  TaskResults avg;
+  for (const auto& r : results) {
+    table.add_row({r.task, cell(r.lda), cell(r.knn), cell(r.svm),
+                   cell(r.lehdc), cell(r.ldc), cell(r.univsa)});
+    csv_rows.push_back({r.task, report::fmt(r.lda.accuracy),
+                        report::fmt(r.knn.accuracy),
+                        report::fmt(r.svm.accuracy),
+                        report::fmt(r.lehdc.accuracy),
+                        report::fmt(r.ldc.accuracy),
+                        report::fmt(r.univsa.accuracy)});
+    avg.lda.accuracy += r.lda.accuracy / results.size();
+    avg.knn.accuracy += r.knn.accuracy / results.size();
+    avg.svm.accuracy += r.svm.accuracy / results.size();
+    avg.lehdc.accuracy += r.lehdc.accuracy / results.size();
+    avg.ldc.accuracy += r.ldc.accuracy / results.size();
+    avg.univsa.accuracy += r.univsa.accuracy / results.size();
+    avg.lda.memory_kb += r.lda.memory_kb / results.size();
+    avg.knn.memory_kb += r.knn.memory_kb / results.size();
+    avg.svm.memory_kb += r.svm.memory_kb / results.size();
+    avg.lehdc.memory_kb += r.lehdc.memory_kb / results.size();
+    avg.ldc.memory_kb += r.ldc.memory_kb / results.size();
+    avg.univsa.memory_kb += r.univsa.memory_kb / results.size();
+  }
+  table.add_rule();
+  table.add_row({"average", cell(avg.lda), cell(avg.knn), cell(avg.svm),
+                 cell(avg.lehdc), cell(avg.ldc), cell(avg.univsa)});
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nPaper Table II reference (real datasets):");
+  report::TextTable paper(
+      {"Task", "LDA", "KNN", "SVM", "LeHDC", "LDC", "UniVSA"});
+  for (const auto& row : report::paper_table2()) {
+    paper.add_row({row.task, report::fmt(row.lda_acc),
+                   report::fmt(row.knn_acc), report::fmt(row.svm_acc),
+                   report::fmt(row.lehdc_acc), report::fmt(row.ldc_acc),
+                   report::fmt(row.univsa_acc)});
+  }
+  std::fputs(paper.to_string().c_str(), stdout);
+
+  // Shape checks, mirrored from the paper's narrative.
+  std::puts("\nShape checks:");
+  std::size_t univsa_beats_ldc = 0;
+  for (const auto& r : results) {
+    if (r.univsa.accuracy >= r.ldc.accuracy) ++univsa_beats_ldc;
+  }
+  std::printf("  UniVSA >= LDC accuracy on %zu/%zu tasks\n",
+              univsa_beats_ldc, results.size());
+  std::printf("  UniVSA mean memory %.2f KB vs SVM %.2f KB (x%.0f)\n",
+              avg.univsa.memory_kb, avg.svm.memory_kb,
+              avg.svm.memory_kb / avg.univsa.memory_kb);
+  std::printf("  UniVSA mean accuracy %.4f vs LDC %.4f\n",
+              avg.univsa.accuracy, avg.ldc.accuracy);
+
+  if (!args.csv.empty()) {
+    report::write_csv(args.csv,
+                      {"task", "lda", "knn", "svm", "lehdc", "ldc",
+                       "univsa"},
+                      csv_rows);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table III — hardware comparison of UniVSA against SVM/KNN/BNN/QNN/
+// LookHD/LDC implementations.
+//
+// The non-UniVSA rows are other papers' silicon (cited constants, exactly
+// as the paper treats them); the UniVSA row is produced by this repo's
+// composed hardware models on the ISOLET configuration — the row the
+// paper also uses ("closest input size to other binary VSA models").
+#include <cstdio>
+
+#include "bench_common.h"
+#include "univsa/hw/accelerator.h"
+#include "univsa/report/paper_constants.h"
+#include "univsa/report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace univsa;
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  const auto& isolet = data::find_benchmark("ISOLET");
+  const hw::HardwareReport r = hw::report_for(isolet.config);
+
+  std::puts("== Table III: hardware comparison (UniVSA on ISOLET) ==");
+  report::TextTable table({"Model", "FPGA Arch.", "Input / Classes",
+                           "Freq (MHz)", "Memory (KB)", "Latency (ms)",
+                           "Power (W)", "LUTs (x10^3)", "BRAMs", "DSPs"});
+  for (const auto& row : report::paper_table3_citations()) {
+    table.add_row({row.name, row.fpga, row.input_classes, row.freq_mhz,
+                   row.memory_kb, row.latency_ms, row.power_w,
+                   row.kiloluts, row.brams, row.dsps});
+  }
+  table.add_rule();
+  table.add_row({"UniVSA (this sim)", "Zynq-ZU3EG (modelled)",
+                 "(16,40) / 26", report::fmt(r.clock_mhz, 0),
+                 report::fmt(r.memory_kb, 2), report::fmt(r.latency_ms, 3),
+                 report::fmt(r.power_w, 2), report::fmt(r.kiloluts, 2),
+                 std::to_string(r.brams), std::to_string(r.dsps)});
+  table.add_row({"UniVSA (paper)", "Zynq-ZU3EG", "(16,40) / 26", "250",
+                 "8.36", "0.044", "0.11", "7.92", "1", "0"});
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nShape checks (paper Sec. V-C ①/②):");
+  std::printf(
+      "  UniVSA LUTs %.2fk vs SVM 31.85k / KNN 135k / BNN 51.44k — "
+      "0.1~0.5x resource usage: %s\n",
+      r.kiloluts, r.kiloluts < 0.5 * 31.85 ? "yes" : "NO");
+  std::printf(
+      "  UniVSA power %.2f W under the 1.5 W BCI feasibility line "
+      "[15]: %s\n",
+      r.power_w, r.power_w < 1.5 ? "yes" : "NO");
+  std::printf(
+      "  UniVSA uses more resources than LDC (0.75k LUTs) but improves "
+      "accuracy/memory (Table II): %s\n",
+      r.kiloluts > 0.75 ? "yes (expected trade-off)" : "NO");
+
+  if (!args.csv.empty()) {
+    report::write_csv(
+        args.csv,
+        {"model", "memory_kb", "latency_ms", "power_w", "kiloluts",
+         "brams", "dsps"},
+        {{"univsa_sim", report::fmt(r.memory_kb, 2),
+          report::fmt(r.latency_ms, 3), report::fmt(r.power_w, 2),
+          report::fmt(r.kiloluts, 2), std::to_string(r.brams),
+          std::to_string(r.dsps)}});
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table IV — UniVSA hardware performance on every task (simulated),
+// printed next to the paper's measured values.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "univsa/hw/accelerator.h"
+#include "univsa/report/paper_constants.h"
+#include "univsa/report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace univsa;
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  std::puts("== Table IV: UniVSA hardware performance (simulated vs paper) ==");
+  report::TextTable table({"Benchmark", "Latency (ms)", "Power (W)",
+                           "LUTs (x10^3)", "BRAMs", "DSPs",
+                           "Throughput (x10^3)", "Energy (uJ/inf)"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (const auto& b : bench::selected_benchmarks(args)) {
+    const hw::HardwareReport r = hw::report_for(b.config);
+    const report::PaperTable4Row* paper = nullptr;
+    for (const auto& row : report::paper_table4()) {
+      if (row.task == b.spec.name) paper = &row;
+    }
+    table.add_row(
+        {b.spec.name,
+         report::fmt_vs_paper(r.latency_ms, paper->latency_ms, 3),
+         report::fmt_vs_paper(r.power_w, paper->power_w, 2),
+         report::fmt_vs_paper(r.kiloluts, paper->kiloluts, 2),
+         std::to_string(r.brams) + " (paper " +
+             std::to_string(paper->brams) + ")",
+         std::to_string(r.dsps) + " (paper " +
+             std::to_string(paper->dsps) + ")",
+         report::fmt_vs_paper(r.throughput_kilo, paper->throughput_kilo,
+                              2),
+         report::fmt(r.energy_per_inference_uj, 1)});
+    csv_rows.push_back({b.spec.name, report::fmt(r.latency_ms, 4),
+                        report::fmt(r.power_w, 3),
+                        report::fmt(r.kiloluts, 2),
+                        std::to_string(r.brams), std::to_string(r.dsps),
+                        report::fmt(r.throughput_kilo, 2)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nShape checks (paper Sec. V-C headlines):");
+  bool all_ok = true;
+  for (const auto& b : bench::selected_benchmarks(args)) {
+    const hw::HardwareReport r = hw::report_for(b.config);
+    const bool ok = r.power_w < 0.5 && r.latency_ms < 0.26 &&
+                    r.throughput_kilo > 4.0 && r.dsps == 0;
+    all_ok &= ok;
+    std::printf("  %-10s power<0.5W %s, latency %.3f ms, throughput %.1fk/s\n",
+                b.spec.name.c_str(), r.power_w < 0.5 ? "yes" : "NO",
+                r.latency_ms, r.throughput_kilo);
+  }
+  std::printf("  all tasks within headline envelope: %s\n",
+              all_ok ? "yes" : "NO");
+
+  if (!args.csv.empty()) {
+    report::write_csv(args.csv,
+                      {"benchmark", "latency_ms", "power_w", "kiloluts",
+                       "brams", "dsps", "throughput_kilo"},
+                      csv_rows);
+  }
+  return 0;
+}

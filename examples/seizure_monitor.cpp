@@ -1,0 +1,68 @@
+// Seizure monitor: the paper's motivating BCI scenario (Sec. I) —
+// an implanted device streaming EEG windows through the UniVSA
+// accelerator, flagging seizure windows in real time within the power
+// envelope of an implant.
+//
+// Trains on the CHB-B stand-in (balanced seizure detection), deploys on
+// the bit-true hardware functional simulator, streams the test set, and
+// reports detection quality + the hardware budget (latency, throughput,
+// power) of the monitoring loop.
+#include <cstdio>
+
+#include "univsa/data/benchmarks.h"
+#include "univsa/hw/accelerator.h"
+#include "univsa/hw/functional_sim.h"
+#include "univsa/hw/pipeline.h"
+#include "univsa/report/metrics.h"
+#include "univsa/train/univsa_trainer.h"
+
+int main() {
+  using namespace univsa;
+
+  data::SyntheticSpec spec = data::find_benchmark("CHB-B").spec;
+  spec.train_count = 300;
+  spec.test_count = 200;
+  const data::SyntheticResult ds = data::generate(spec);
+  const vsa::ModelConfig config = data::find_benchmark("CHB-B").config;
+
+  std::puts("== training seizure detector (CHB-B configuration) ==");
+  train::TrainOptions options;
+  options.epochs = 15;
+  const train::UniVsaTrainResult trained =
+      train::train_univsa(config, ds.train, options);
+
+  // Deploy on the cycle-counted functional simulator.
+  const hw::Accelerator accel(trained.model);
+  report::ConfusionMatrix cm(2);
+  for (std::size_t i = 0; i < ds.test.size(); ++i) {
+    const hw::RunTrace trace = accel.run(ds.test.values(i));
+    cm.add(ds.test.label(i), trace.prediction.label);
+  }
+  std::printf("streamed %zu EEG windows through the accelerator\n",
+              ds.test.size());
+  std::printf("  accuracy %.3f | seizure recall %.3f | seizure "
+              "precision %.3f | macro-F1 %.3f\n",
+              cm.accuracy(), cm.recall(1), cm.precision(1),
+              cm.macro_f1());
+  std::printf("  confusion matrix:\n%s", cm.to_string().c_str());
+
+  // Hardware budget of the monitoring loop.
+  const hw::HardwareReport hwr = hw::report_for(config);
+  std::puts("\n== implant budget (simulated ZU3EG-class fabric) ==");
+  std::printf("  model memory     %.2f KB\n", hwr.memory_kb);
+  std::printf("  window latency   %.3f ms\n", hwr.latency_ms);
+  std::printf("  throughput       %.1fk windows/s (streaming)\n",
+              hwr.throughput_kilo);
+  std::printf("  power            %.2f W (BCI feasibility line: 1.5 W)\n",
+              hwr.power_w);
+  std::printf("  logic            %.2fk LUTs, %zu BRAMs, %zu DSPs\n",
+              hwr.kiloluts, hwr.brams, hwr.dsps);
+
+  // A 23-window EEG buffer arrives every ~1 s in CHB-style monitoring;
+  // show the pipeline absorbing a burst of 4 buffered windows.
+  const hw::StreamSchedule schedule = hw::schedule_stream(
+      hwr.cycles, 4, hw::TimingParams{}.controller_overhead);
+  std::puts("\nburst of 4 windows through the pipeline:");
+  std::fputs(hw::render_gantt(schedule, 64).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "univsa/baselines/bnn.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/rng.h"
+#include "univsa/nn/activations.h"
+#include "univsa/nn/loss.h"
+#include "univsa/nn/optimizer.h"
+
+namespace univsa::baselines {
+
+BnnClassifier::BnnClassifier(BnnOptions options)
+    : options_(std::move(options)) {
+  UNIVSA_REQUIRE(options_.hidden >= 2, "hidden width too small");
+  UNIVSA_REQUIRE(options_.epochs > 0 && options_.batch_size > 0,
+                 "epochs/batch must be positive");
+}
+
+void BnnClassifier::fit(const Tensor& x, const std::vector<int>& labels,
+                        std::size_t classes) {
+  UNIVSA_REQUIRE(x.rank() == 2, "features must be (B, N)");
+  UNIVSA_REQUIRE(labels.size() == x.dim(0), "label count mismatch");
+  UNIVSA_REQUIRE(classes >= 2, "need at least two classes");
+  features_ = x.dim(1);
+  classes_ = classes;
+
+  Rng rng(options_.seed);
+  BinaryLinear fc1(features_, options_.hidden, rng);
+  SignSte act;
+  BinaryLinear fc2(options_.hidden, classes, rng);
+  // Learnable scales keep the logits in softmax range; |·| is applied in
+  // the forward pass so deployment (which bakes the magnitudes) agrees
+  // with training (see SoftVotingHead for the sign-flip failure mode).
+  Tensor s1 = Tensor::full({1}, 1.0f / std::sqrt(
+                                          static_cast<float>(features_)));
+  Tensor s1g({1});
+  Tensor s2 = Tensor::full(
+      {1}, 4.0f / static_cast<float>(options_.hidden));
+  Tensor s2g({1});
+
+  ParamList params = fc1.params();
+  append_params(params, fc2.params());
+  params.push_back({&s1, &s1g, false});
+  params.push_back({&s2, &s2g, false});
+  Adam optimizer(params, options_.lr);
+
+  std::vector<std::size_t> order(x.dim(0));
+  std::iota(order.begin(), order.end(), 0);
+  loss_history_.clear();
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + options_.batch_size);
+      const std::size_t bsize = end - start;
+      Tensor batch({bsize, features_});
+      std::vector<int> batch_labels(bsize);
+      for (std::size_t b = 0; b < bsize; ++b) {
+        const std::size_t idx = order[start + b];
+        batch_labels[b] = labels[idx];
+        for (std::size_t j = 0; j < features_; ++j) {
+          batch.at(b, j) = x.at(idx, j);
+        }
+      }
+
+      optimizer.zero_grad();
+      const float e1 = std::fabs(s1[0]);
+      const float e2 = std::fabs(s2[0]);
+      Tensor pre1 = fc1.forward(batch).mul(e1);
+      Tensor h = act.forward(pre1);
+      Tensor sims = fc2.forward(h);
+      Tensor logits = sims.mul(e2);
+      const LossResult loss = softmax_cross_entropy(logits, batch_labels);
+
+      // Backward: dγ2, then through fc2 / sign / γ1 / fc1.
+      float ds2 = 0.0f;
+      for (std::size_t i = 0; i < loss.grad_logits.size(); ++i) {
+        ds2 += loss.grad_logits.flat()[i] * sims.flat()[i];
+      }
+      s2g[0] += ds2 * (s2[0] >= 0.0f ? 1.0f : -1.0f);
+      Tensor gh = fc2.backward(loss.grad_logits.mul(e2));
+      Tensor gpre1 = act.backward(gh);
+      float ds1 = 0.0f;
+      // pre1 = fc1_out * e1: recover fc1_out gradient and dγ1.
+      for (std::size_t i = 0; i < gpre1.size(); ++i) {
+        ds1 += gpre1.flat()[i] * pre1.flat()[i];
+      }
+      // d e1 = Σ g ⊙ fc1_out = Σ g ⊙ (pre1 / e1).
+      s1g[0] += ds1 / std::max(e1, 1e-6f) *
+                (s1[0] >= 0.0f ? 1.0f : -1.0f);
+      fc1.backward(gpre1.mul(e1));
+      optimizer.step();
+
+      epoch_loss += loss.loss;
+      ++batches;
+    }
+    loss_history_.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+    if (options_.verbose) {
+      std::printf("  bnn epoch %2zu loss %.4f\n", epoch + 1,
+                  static_cast<double>(loss_history_.back()));
+    }
+  }
+
+  // Bake the deployed parameters.
+  w1_ = fc1.binary_weight();
+  w2_ = fc2.binary_weight();
+  scale1_ = std::fabs(s1[0]);
+  scale2_ = std::fabs(s2[0]);
+  fitted_ = true;
+}
+
+Tensor BnnClassifier::forward_logits(const Tensor& x) const {
+  Tensor pre1 = x.matmul_transposed(w1_).mul(scale1_);
+  Tensor h = sign_tensor(pre1);
+  return h.matmul_transposed(w2_).mul(scale2_);
+}
+
+int BnnClassifier::predict_one(std::span<const float> features) const {
+  UNIVSA_REQUIRE(fitted_, "predict before fit");
+  UNIVSA_REQUIRE(features.size() == features_, "feature count mismatch");
+  Tensor x({1, features_});
+  for (std::size_t j = 0; j < features_; ++j) x.at(0, j) = features[j];
+  const Tensor logits = forward_logits(x);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < classes_; ++c) {
+    if (logits.at(0, c) > logits.at(0, best)) best = c;
+  }
+  return static_cast<int>(best);
+}
+
+std::vector<int> BnnClassifier::predict(const Tensor& x) const {
+  UNIVSA_REQUIRE(fitted_, "predict before fit");
+  UNIVSA_REQUIRE(x.rank() == 2 && x.dim(1) == features_,
+                 "feature shape mismatch");
+  const Tensor logits = forward_logits(x);
+  std::vector<int> out(x.dim(0));
+  for (std::size_t b = 0; b < x.dim(0); ++b) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes_; ++c) {
+      if (logits.at(b, c) > logits.at(b, best)) best = c;
+    }
+    out[b] = static_cast<int>(best);
+  }
+  return out;
+}
+
+double BnnClassifier::accuracy(const Tensor& x,
+                               const std::vector<int>& labels) const {
+  const auto pred = predict(x);
+  UNIVSA_REQUIRE(pred.size() == labels.size(), "label count mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double BnnClassifier::memory_kb() const {
+  UNIVSA_REQUIRE(fitted_, "memory_kb before fit");
+  const std::size_t bits = w1_.size() + w2_.size();
+  return static_cast<double>(bits) / 8.0 / 1000.0 +
+         2.0 * sizeof(float) / 1000.0;
+}
+
+}  // namespace univsa::baselines

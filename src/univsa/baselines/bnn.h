@@ -1,0 +1,70 @@
+// Binarized-MLP baseline (BNN).
+//
+// The paper compares UniVSA's hardware against FPGA BNN/QNN accelerators
+// (Table III) and notes BNNs "possibly have better inference performance
+// ... especially on complex tasks" while blowing the BCI power budget.
+// This software BNN gives that comparison an accuracy column: a
+// two-layer MLP with binary weights (straight-through estimators, same
+// machinery as the VSA training stack), float inputs, and a per-layer
+// learnable scale. Memory accounting: binary weight bits plus the float
+// scales — still far above kilobyte-scale binary VSA once the hidden
+// layer is wide enough to compete.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "univsa/data/dataset.h"
+#include "univsa/nn/binary_linear.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa::baselines {
+
+struct BnnOptions {
+  std::size_t hidden = 128;
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  float lr = 0.01f;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+class BnnClassifier {
+ public:
+  explicit BnnClassifier(BnnOptions options = {});
+
+  /// x: (B, N) float features in [0, 1]; labels in [0, classes).
+  void fit(const Tensor& x, const std::vector<int>& labels,
+           std::size_t classes);
+
+  bool fitted() const { return fitted_; }
+  std::size_t hidden() const { return options_.hidden; }
+
+  int predict_one(std::span<const float> features) const;
+  std::vector<int> predict(const Tensor& x) const;
+  double accuracy(const Tensor& x, const std::vector<int>& labels) const;
+
+  /// Deployed size: binary weight bits / 8 / 1000 (decimal KB), plus the
+  /// two float scales.
+  double memory_kb() const;
+
+  /// Mean training loss per epoch (diagnostics).
+  const std::vector<float>& loss_history() const { return loss_history_; }
+
+ private:
+  Tensor forward_logits(const Tensor& x) const;
+
+  BnnOptions options_;
+  std::size_t features_ = 0;
+  std::size_t classes_ = 0;
+  // Deployed parameters: binarized weights and the scales.
+  Tensor w1_;  // (hidden, N) ±1
+  Tensor w2_;  // (C, hidden) ±1
+  float scale1_ = 1.0f;
+  float scale2_ = 1.0f;
+  std::vector<float> loss_history_;
+  bool fitted_ = false;
+};
+
+}  // namespace univsa::baselines

@@ -1,0 +1,86 @@
+#include "univsa/baselines/knn.h"
+
+#include <algorithm>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+
+namespace univsa::baselines {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+  UNIVSA_REQUIRE(k >= 1, "k must be positive");
+}
+
+void KnnClassifier::fit(const Tensor& x, const std::vector<int>& labels,
+                        std::size_t classes) {
+  UNIVSA_REQUIRE(x.rank() == 2, "features must be (B, N)");
+  UNIVSA_REQUIRE(labels.size() == x.dim(0), "label count mismatch");
+  UNIVSA_REQUIRE(classes >= 2, "need at least two classes");
+  for (const auto y : labels) {
+    UNIVSA_REQUIRE(y >= 0 && static_cast<std::size_t>(y) < classes,
+                   "label out of range");
+  }
+  train_x_ = x;
+  train_y_ = labels;
+  classes_ = classes;
+  fitted_ = true;
+}
+
+int KnnClassifier::predict_one(std::span<const float> features) const {
+  UNIVSA_REQUIRE(fitted_, "predict before fit");
+  const std::size_t n = train_x_.dim(1);
+  UNIVSA_REQUIRE(features.size() == n, "feature count mismatch");
+  const std::size_t count = train_x_.dim(0);
+  const std::size_t k = std::min(k_, count);
+
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<float, int>> dists(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* row = train_x_.data() + i * n;
+    float d = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float diff = row[j] - features[j];
+      d += diff * diff;
+    }
+    dists[i] = {d, train_y_[i]};
+  }
+  std::nth_element(dists.begin(),
+                   dists.begin() + static_cast<long>(k - 1), dists.end());
+
+  std::vector<std::size_t> votes(classes_, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<std::size_t>(dists[i].second)];
+  }
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::vector<int> KnnClassifier::predict(const Tensor& x) const {
+  UNIVSA_REQUIRE(x.rank() == 2, "features must be (B, N)");
+  std::vector<int> out(x.dim(0));
+  global_pool().parallel_for(x.dim(0), [&](std::size_t begin,
+                                           std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = predict_one({x.data() + i * x.dim(1), x.dim(1)});
+    }
+  });
+  return out;
+}
+
+double KnnClassifier::accuracy(const Tensor& x,
+                               const std::vector<int>& labels) const {
+  const auto pred = predict(x);
+  UNIVSA_REQUIRE(pred.size() == labels.size(), "label count mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+std::size_t KnnClassifier::stored_bytes() const {
+  UNIVSA_REQUIRE(fitted_, "stored_bytes before fit");
+  return train_x_.size() * sizeof(float) + train_y_.size() * sizeof(int);
+}
+
+}  // namespace univsa::baselines

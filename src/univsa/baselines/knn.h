@@ -1,0 +1,38 @@
+// K-nearest-neighbours baseline (Table II, K = 5).
+//
+// Brute-force Euclidean search over the stored training matrix. The paper
+// leaves KNN's memory blank in Table II (it stores the entire training
+// set); we report the stored-matrix size in the bench for context.
+#pragma once
+
+#include <vector>
+
+#include "univsa/tensor/tensor.h"
+
+namespace univsa::baselines {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5);
+
+  void fit(const Tensor& x, const std::vector<int>& labels,
+           std::size_t classes);
+
+  bool fitted() const { return fitted_; }
+
+  int predict_one(std::span<const float> features) const;
+  std::vector<int> predict(const Tensor& x) const;
+  double accuracy(const Tensor& x, const std::vector<int>& labels) const;
+
+  /// Bytes of the stored training data (float32 matrix + labels).
+  std::size_t stored_bytes() const;
+
+ private:
+  std::size_t k_;
+  std::size_t classes_ = 0;
+  Tensor train_x_;
+  std::vector<int> train_y_;
+  bool fitted_ = false;
+};
+
+}  // namespace univsa::baselines

@@ -1,0 +1,186 @@
+#include "univsa/baselines/lda.h"
+
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+
+namespace univsa::baselines {
+
+void cholesky_solve_inplace(std::vector<double>& a, std::size_t n,
+                            std::vector<double>& b, std::size_t nrhs) {
+  UNIVSA_REQUIRE(a.size() == n * n, "matrix size mismatch");
+  UNIVSA_REQUIRE(b.size() == n * nrhs, "rhs size mismatch");
+
+  // In-place lower Cholesky: A = L·Lᵀ.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    UNIVSA_REQUIRE(diag > 0.0, "matrix is not positive definite");
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    parallel_for(n - j - 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t r = begin; r < end; ++r) {
+        const std::size_t i = j + 1 + r;
+        double v = a[i * n + j];
+        const double* ai = a.data() + i * n;
+        const double* aj = a.data() + j * n;
+        for (std::size_t k = 0; k < j; ++k) v -= ai[k] * aj[k];
+        a[i * n + j] = v / ljj;
+      }
+    });
+  }
+
+  // Forward then backward substitution for each right-hand side.
+  for (std::size_t rhs = 0; rhs < nrhs; ++rhs) {
+    double* x = b.data() + rhs;
+    // L·y = b
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = x[i * nrhs];
+      const double* ai = a.data() + i * n;
+      for (std::size_t k = 0; k < i; ++k) v -= ai[k] * x[k * nrhs];
+      x[i * nrhs] = v / ai[i];
+    }
+    // Lᵀ·z = y
+    for (std::size_t ii = n; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      double v = x[i * nrhs];
+      for (std::size_t k = i + 1; k < n; ++k) {
+        v -= a[k * n + i] * x[k * nrhs];
+      }
+      x[i * nrhs] = v / a[i * n + i];
+    }
+  }
+}
+
+LdaClassifier::LdaClassifier(double reg) : reg_(reg) {
+  UNIVSA_REQUIRE(reg >= 0.0, "negative regularization");
+}
+
+void LdaClassifier::fit(const Tensor& x, const std::vector<int>& labels,
+                        std::size_t classes) {
+  UNIVSA_REQUIRE(x.rank() == 2, "features must be (B, N)");
+  const std::size_t count = x.dim(0);
+  const std::size_t n = x.dim(1);
+  UNIVSA_REQUIRE(labels.size() == count, "label count mismatch");
+  UNIVSA_REQUIRE(classes >= 2, "need at least two classes");
+  UNIVSA_REQUIRE(count > classes, "need more samples than classes");
+
+  // Class means and priors.
+  std::vector<double> means(classes * n, 0.0);
+  std::vector<std::size_t> counts(classes, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    UNIVSA_REQUIRE(y < classes, "label out of range");
+    ++counts[y];
+    const float* row = x.data() + i * n;
+    double* mean = means.data() + y * n;
+    for (std::size_t j = 0; j < n; ++j) mean[j] += row[j];
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    UNIVSA_REQUIRE(counts[c] > 0, "class with no training samples");
+    const double inv = 1.0 / static_cast<double>(counts[c]);
+    for (std::size_t j = 0; j < n; ++j) means[c * n + j] *= inv;
+  }
+
+  // Pooled within-class covariance (upper triangle, then mirrored).
+  std::vector<double> cov(n * n, 0.0);
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    const float* row = x.data() + i * n;
+    const double* mean = means.data() + y * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      centered[j] = static_cast<double>(row[j]) - mean[j];
+    }
+    parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t j = begin; j < end; ++j) {
+        const double cj = centered[j];
+        double* covj = cov.data() + j * n;
+        for (std::size_t k = j; k < n; ++k) covj[k] += cj * centered[k];
+      }
+    });
+  }
+  const double norm = 1.0 / static_cast<double>(count - classes);
+  double trace = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j; k < n; ++k) {
+      cov[j * n + k] *= norm;
+      cov[k * n + j] = cov[j * n + k];
+    }
+    trace += cov[j * n + j];
+  }
+  const double ridge = reg_ * (trace / static_cast<double>(n)) + 1e-12;
+  for (std::size_t j = 0; j < n; ++j) cov[j * n + j] += ridge;
+
+  // Solve Σ·W = Mᵀ for all classes at once.
+  std::vector<double> rhs(n * classes);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t c = 0; c < classes; ++c) {
+      rhs[j * classes + c] = means[c * n + j];
+    }
+  }
+  cholesky_solve_inplace(cov, n, rhs, classes);
+
+  weights_ = Tensor({classes, n});
+  bias_.assign(classes, 0.0f);
+  for (std::size_t c = 0; c < classes; ++c) {
+    double quad = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double w = rhs[j * classes + c];
+      weights_.at(c, j) = static_cast<float>(w);
+      quad += w * means[c * n + j];
+    }
+    const double prior =
+        static_cast<double>(counts[c]) / static_cast<double>(count);
+    bias_[c] = static_cast<float>(-0.5 * quad + std::log(prior));
+  }
+  fitted_ = true;
+}
+
+int LdaClassifier::predict_one(std::span<const float> features) const {
+  UNIVSA_REQUIRE(fitted_, "predict before fit");
+  UNIVSA_REQUIRE(features.size() == weights_.dim(1),
+                 "feature count mismatch");
+  std::size_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t c = 0; c < weights_.dim(0); ++c) {
+    double score = bias_[c];
+    const float* w = weights_.data() + c * weights_.dim(1);
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      score += static_cast<double>(w[j]) * features[j];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+std::vector<int> LdaClassifier::predict(const Tensor& x) const {
+  UNIVSA_REQUIRE(x.rank() == 2, "features must be (B, N)");
+  std::vector<int> out(x.dim(0));
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    out[i] = predict_one({x.data() + i * x.dim(1), x.dim(1)});
+  }
+  return out;
+}
+
+double LdaClassifier::accuracy(const Tensor& x,
+                               const std::vector<int>& labels) const {
+  const auto pred = predict(x);
+  UNIVSA_REQUIRE(pred.size() == labels.size(), "label count mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+std::size_t LdaClassifier::parameter_count() const {
+  UNIVSA_REQUIRE(fitted_, "parameter_count before fit");
+  return weights_.size();
+}
+
+}  // namespace univsa::baselines

@@ -1,0 +1,50 @@
+// Linear Discriminant Analysis baseline (Table II, 32-bit float).
+//
+// Gaussian classes with a shared covariance: fit class means and the
+// pooled within-class covariance (ridge-regularized), then score
+//   score_c(x) = wᵀ_c x − ½ μᵀ_c w_c + log π_c,  Σ w_c = μ_c,
+// solved with a Cholesky factorization of Σ. The deployed parameters are
+// the C projection rows over N features — Table II's 4·C·N-byte
+// accounting (vsa::lda_memory_kb).
+#pragma once
+
+#include <vector>
+
+#include "univsa/tensor/tensor.h"
+
+namespace univsa::baselines {
+
+class LdaClassifier {
+ public:
+  /// `reg` — ridge added to the covariance diagonal (relative to its
+  /// mean diagonal) for numerical stability on near-singular features.
+  explicit LdaClassifier(double reg = 1e-3);
+
+  /// x: (B, N) float features; labels in [0, C).
+  void fit(const Tensor& x, const std::vector<int>& labels,
+           std::size_t classes);
+
+  bool fitted() const { return fitted_; }
+  std::size_t classes() const { return weights_.empty() ? 0 : weights_.dim(0); }
+
+  int predict_one(std::span<const float> features) const;
+  std::vector<int> predict(const Tensor& x) const;
+  double accuracy(const Tensor& x, const std::vector<int>& labels) const;
+
+  /// Deployed parameter count: C·N weights (+C biases folded into the
+  /// score constants).
+  std::size_t parameter_count() const;
+
+ private:
+  double reg_;
+  bool fitted_ = false;
+  Tensor weights_;            // (C, N)
+  std::vector<float> bias_;   // (C)
+};
+
+/// Cholesky solve helper (SPD): solves A·x = b in place; A is (n, n)
+/// row-major and is overwritten by its factor. Exposed for testing.
+void cholesky_solve_inplace(std::vector<double>& a, std::size_t n,
+                            std::vector<double>& b, std::size_t nrhs);
+
+}  // namespace univsa::baselines

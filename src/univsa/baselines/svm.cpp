@@ -1,0 +1,299 @@
+#include "univsa/baselines/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+
+namespace univsa::baselines {
+
+namespace {
+
+/// Precomputed RBF kernel matrix over the training set.
+class KernelMatrix {
+ public:
+  KernelMatrix(const Tensor& x, double gamma) : count_(x.dim(0)) {
+    const std::size_t n = x.dim(1);
+    k_.resize(count_ * count_);
+    global_pool().parallel_for(count_, [&](std::size_t begin,
+                                           std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const float* xi = x.data() + i * n;
+        for (std::size_t j = 0; j <= i; ++j) {
+          const float* xj = x.data() + j * n;
+          double d2 = 0.0;
+          for (std::size_t f = 0; f < n; ++f) {
+            const double diff =
+                static_cast<double>(xi[f]) - static_cast<double>(xj[f]);
+            d2 += diff * diff;
+          }
+          k_[i * count_ + j] = std::exp(-gamma * d2);
+        }
+      }
+    });
+    // Mirror the lower triangle.
+    for (std::size_t i = 0; i < count_; ++i) {
+      for (std::size_t j = i + 1; j < count_; ++j) {
+        k_[i * count_ + j] = k_[j * count_ + i];
+      }
+    }
+  }
+
+  double at(std::size_t i, std::size_t j) const {
+    return k_[i * count_ + j];
+  }
+
+ private:
+  std::size_t count_;
+  std::vector<double> k_;
+};
+
+struct SmoResult {
+  std::vector<double> alpha;
+  double bias = 0.0;
+};
+
+/// Simplified SMO (Platt) for a binary problem with labels y ∈ {-1, +1}.
+/// The decision values f_i are kept in an error cache updated
+/// incrementally after every accepted pair, so a sweep is O(count) kernel
+/// lookups plus O(count) per accepted update.
+SmoResult train_binary(const KernelMatrix& kernel,
+                       const std::vector<double>& y,
+                       const SvmOptions& options, Rng& rng) {
+  const std::size_t count = y.size();
+  SmoResult r;
+  r.alpha.assign(count, 0.0);
+  const double c = options.c;
+  const double tol = options.tolerance;
+
+  // f_i = Σ_j α_j y_j K(j, i) + b; α = 0, b = 0 initially.
+  std::vector<double> f(count, 0.0);
+
+  std::size_t passes = 0;
+  std::size_t iterations = 0;
+  while (passes < options.max_passes &&
+         iterations < options.max_iterations) {
+    ++iterations;
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double e_i = f[i] - y[i];
+      const bool violates = (y[i] * e_i < -tol && r.alpha[i] < c) ||
+                            (y[i] * e_i > tol && r.alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = rng.uniform_index(count - 1);
+      if (j >= i) ++j;
+      const double e_j = f[j] - y[j];
+
+      const double ai_old = r.alpha[i];
+      const double aj_old = r.alpha[j];
+      double lo;
+      double hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+
+      const double eta =
+          2.0 * kernel.at(i, j) - kernel.at(i, i) - kernel.at(j, j);
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - y[j] * (e_i - e_j) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::fabs(aj - aj_old) < 1e-5) continue;
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+
+      r.alpha[i] = ai;
+      r.alpha[j] = aj;
+
+      const double b1 = r.bias - e_i - y[i] * (ai - ai_old) * kernel.at(i, i) -
+                        y[j] * (aj - aj_old) * kernel.at(i, j);
+      const double b2 = r.bias - e_j - y[i] * (ai - ai_old) * kernel.at(i, j) -
+                        y[j] * (aj - aj_old) * kernel.at(j, j);
+      double new_bias;
+      if (ai > 0.0 && ai < c) {
+        new_bias = b1;
+      } else if (aj > 0.0 && aj < c) {
+        new_bias = b2;
+      } else {
+        new_bias = 0.5 * (b1 + b2);
+      }
+
+      const double d_ai = (ai - ai_old) * y[i];
+      const double d_aj = (aj - aj_old) * y[j];
+      const double d_b = new_bias - r.bias;
+      for (std::size_t k = 0; k < count; ++k) {
+        f[k] += d_ai * kernel.at(i, k) + d_aj * kernel.at(j, k) + d_b;
+      }
+      r.bias = new_bias;
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+  return r;
+}
+
+}  // namespace
+
+SvmClassifier::SvmClassifier(SvmOptions options) : options_(options) {
+  UNIVSA_REQUIRE(options.c > 0.0, "box constraint must be positive");
+  UNIVSA_REQUIRE(options.gamma >= 0.0, "gamma must be non-negative");
+}
+
+void SvmClassifier::fit(const Tensor& x, const std::vector<int>& labels,
+                        std::size_t classes) {
+  UNIVSA_REQUIRE(x.rank() == 2, "features must be (B, N)");
+  const std::size_t count = x.dim(0);
+  const std::size_t n = x.dim(1);
+  UNIVSA_REQUIRE(labels.size() == count, "label count mismatch");
+  UNIVSA_REQUIRE(classes >= 2, "need at least two classes");
+
+  // "scale" gamma: 1 / (N · var(X)).
+  if (options_.gamma > 0.0) {
+    gamma_ = options_.gamma;
+  } else {
+    double mean = 0.0;
+    for (const auto v : x.flat()) mean += v;
+    mean /= static_cast<double>(x.size());
+    double var = 0.0;
+    for (const auto v : x.flat()) {
+      var += (static_cast<double>(v) - mean) *
+             (static_cast<double>(v) - mean);
+    }
+    var /= static_cast<double>(x.size());
+    gamma_ = 1.0 / (static_cast<double>(n) * std::max(var, 1e-9));
+  }
+
+  const KernelMatrix kernel(x, gamma_);
+  Rng rng(options_.seed);
+
+  // One machine for C = 2, one-vs-rest otherwise.
+  const std::size_t n_machines = classes == 2 ? 1 : classes;
+  std::vector<SmoResult> raw(n_machines);
+  std::vector<double> y(count);
+  for (std::size_t m = 0; m < n_machines; ++m) {
+    const int positive = static_cast<int>(m == 0 && classes == 2 ? 0 : m);
+    for (std::size_t i = 0; i < count; ++i) {
+      y[i] = labels[i] == positive ? 1.0 : -1.0;
+    }
+    raw[m] = train_binary(kernel, y, options_, rng);
+  }
+
+  // Collect the union of support vectors across machines.
+  std::vector<bool> is_sv(count, false);
+  for (const auto& m : raw) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (m.alpha[i] > 1e-8) is_sv[i] = true;
+    }
+  }
+  std::vector<std::size_t> sv_index(count, count);
+  std::size_t n_sv = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (is_sv[i]) sv_index[i] = n_sv++;
+  }
+  UNIVSA_ENSURE(n_sv > 0, "SMO produced no support vectors");
+
+  support_x_ = Tensor({n_sv, n});
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!is_sv[i]) continue;
+    for (std::size_t f = 0; f < n; ++f) {
+      support_x_.at(sv_index[i], f) = x.at(i, f);
+    }
+  }
+
+  machines_.clear();
+  machines_.resize(n_machines);
+  for (std::size_t m = 0; m < n_machines; ++m) {
+    const int positive = static_cast<int>(m == 0 && classes == 2 ? 0 : m);
+    machines_[m].bias = raw[m].bias;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (raw[m].alpha[i] <= 1e-8) continue;
+      const double yi = labels[i] == positive ? 1.0 : -1.0;
+      machines_[m].sv.push_back(sv_index[i]);
+      machines_[m].alpha_y.push_back(raw[m].alpha[i] * yi);
+    }
+  }
+  classes_ = classes;
+  fitted_ = true;
+}
+
+double SvmClassifier::kernel_stored(std::size_t i,
+                                    std::span<const float> features) const {
+  const std::size_t n = support_x_.dim(1);
+  const float* row = support_x_.data() + i * n;
+  double d2 = 0.0;
+  for (std::size_t f = 0; f < n; ++f) {
+    const double diff =
+        static_cast<double>(row[f]) - static_cast<double>(features[f]);
+    d2 += diff * diff;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+double SvmClassifier::decision(const BinaryMachine& m,
+                               std::span<const float> features) const {
+  double f = m.bias;
+  for (std::size_t i = 0; i < m.sv.size(); ++i) {
+    f += m.alpha_y[i] * kernel_stored(m.sv[i], features);
+  }
+  return f;
+}
+
+int SvmClassifier::predict_one(std::span<const float> features) const {
+  UNIVSA_REQUIRE(fitted_, "predict before fit");
+  UNIVSA_REQUIRE(features.size() == support_x_.dim(1),
+                 "feature count mismatch");
+  if (classes_ == 2) {
+    return decision(machines_[0], features) >= 0.0 ? 0 : 1;
+  }
+  std::size_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    const double score = decision(machines_[m], features);
+    if (score > best_score) {
+      best_score = score;
+      best = m;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+std::vector<int> SvmClassifier::predict(const Tensor& x) const {
+  UNIVSA_REQUIRE(x.rank() == 2, "features must be (B, N)");
+  std::vector<int> out(x.dim(0));
+  global_pool().parallel_for(x.dim(0), [&](std::size_t begin,
+                                           std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = predict_one({x.data() + i * x.dim(1), x.dim(1)});
+    }
+  });
+  return out;
+}
+
+double SvmClassifier::accuracy(const Tensor& x,
+                               const std::vector<int>& labels) const {
+  const auto pred = predict(x);
+  UNIVSA_REQUIRE(pred.size() == labels.size(), "label count mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+std::size_t SvmClassifier::support_vector_count() const {
+  UNIVSA_REQUIRE(fitted_, "support_vector_count before fit");
+  return support_x_.dim(0);
+}
+
+std::size_t SvmClassifier::classifier_count() const {
+  UNIVSA_REQUIRE(fitted_, "classifier_count before fit");
+  return machines_.size();
+}
+
+}  // namespace univsa::baselines

@@ -1,0 +1,67 @@
+// RBF-kernel SVM baseline (Table II: "16-bit float with RBF kernel").
+//
+// Binary sub-problems are trained with the simplified SMO algorithm
+// (Platt's heuristics without the full working-set machinery — ample at
+// the few-hundred-sample scale used here); multi-class uses one-vs-rest.
+// The deployed model stores the union of support vectors plus per-
+// classifier dual coefficients at 16-bit precision, which is the Table II
+// memory accounting (vsa::svm_memory_kb) — and why SVM's footprint is
+// orders of magnitude above the binary VSA models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa::baselines {
+
+struct SvmOptions {
+  double c = 1.0;          ///< box constraint
+  double gamma = 0.0;      ///< RBF width; 0 = "scale" (1 / (N·var(X)))
+  double tolerance = 1e-3;
+  std::size_t max_passes = 5;   ///< SMO passes without change before stop
+  std::size_t max_iterations = 2000;
+  std::uint64_t seed = 7;
+};
+
+class SvmClassifier {
+ public:
+  explicit SvmClassifier(SvmOptions options = {});
+
+  void fit(const Tensor& x, const std::vector<int>& labels,
+           std::size_t classes);
+
+  bool fitted() const { return fitted_; }
+
+  int predict_one(std::span<const float> features) const;
+  std::vector<int> predict(const Tensor& x) const;
+  double accuracy(const Tensor& x, const std::vector<int>& labels) const;
+
+  /// Number of unique training points kept as support vectors.
+  std::size_t support_vector_count() const;
+  /// Number of binary classifiers (1 for C=2, C for one-vs-rest).
+  std::size_t classifier_count() const;
+
+ private:
+  struct BinaryMachine {
+    std::vector<double> alpha_y;  ///< α_i·y_i for stored SVs (machine-local)
+    std::vector<std::size_t> sv;  ///< indices into support_x_
+    double bias = 0.0;
+  };
+
+  double kernel_stored(std::size_t i,
+                       std::span<const float> features) const;
+  double decision(const BinaryMachine& m,
+                  std::span<const float> features) const;
+
+  SvmOptions options_;
+  double gamma_ = 1.0;
+  std::size_t classes_ = 0;
+  Tensor support_x_;  ///< (S, N) unique support vectors
+  std::vector<BinaryMachine> machines_;
+  bool fitted_ = false;
+};
+
+}  // namespace univsa::baselines

@@ -1,0 +1,248 @@
+#include "univsa/common/bitvec.h"
+
+#include <bit>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t n) { return (n + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVec::BitVec(std::size_t n) : n_(n), words_(words_for(n), 0) {}
+
+BitVec BitVec::from_bipolar(std::span<const int> lanes) {
+  BitVec v(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    UNIVSA_REQUIRE(lanes[i] == 1 || lanes[i] == -1, "lane must be +1 or -1");
+    v.set(i, lanes[i]);
+  }
+  return v;
+}
+
+BitVec BitVec::from_signs(std::span<const float> values) {
+  BitVec v(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    v.set(i, values[i] >= 0.0f ? 1 : -1);
+  }
+  return v;
+}
+
+BitVec BitVec::random(std::size_t n, Rng& rng) {
+  BitVec v(n);
+  for (auto& w : v.words_) w = rng.next_u64();
+  v.clear_padding();
+  return v;
+}
+
+void BitVec::check_index(std::size_t i) const {
+  UNIVSA_REQUIRE(i < n_, "lane index out of range");
+}
+
+void BitVec::clear_padding() {
+  const std::size_t rem = n_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+int BitVec::get(std::size_t i) const {
+  check_index(i);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL ? 1 : -1;
+}
+
+void BitVec::set(std::size_t i, int bipolar_value) {
+  check_index(i);
+  UNIVSA_REQUIRE(bipolar_value == 1 || bipolar_value == -1,
+                 "lane must be +1 or -1");
+  const std::uint64_t bit = 1ULL << (i % kWordBits);
+  if (bipolar_value == 1) {
+    words_[i / kWordBits] |= bit;
+  } else {
+    words_[i / kWordBits] &= ~bit;
+  }
+}
+
+long long BitVec::dot(const BitVec& other) const {
+  UNIVSA_REQUIRE(n_ == other.n_, "dot of mismatched sizes");
+  std::size_t matches = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    matches += std::popcount(~(words_[w] ^ other.words_[w]));
+  }
+  // ~ also matches the zero padding lanes; remove them.
+  const std::size_t padding = words_.size() * kWordBits - n_;
+  matches -= padding;
+  return 2LL * static_cast<long long>(matches) - static_cast<long long>(n_);
+}
+
+long long BitVec::masked_dot(const BitVec& other, const BitVec& mask) const {
+  UNIVSA_REQUIRE(n_ == other.n_ && n_ == mask.n_,
+                 "masked_dot of mismatched sizes");
+  std::size_t matches = 0;
+  std::size_t valid = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t m = mask.words_[w];
+    matches += std::popcount(~(words_[w] ^ other.words_[w]) & m);
+    valid += std::popcount(m);
+  }
+  return 2LL * static_cast<long long>(matches) -
+         static_cast<long long>(valid);
+}
+
+std::size_t BitVec::hamming(const BitVec& other) const {
+  UNIVSA_REQUIRE(n_ == other.n_, "hamming of mismatched sizes");
+  std::size_t diff = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    diff += std::popcount(words_[w] ^ other.words_[w]);
+  }
+  return diff;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t c = 0;
+  for (const auto w : words_) c += std::popcount(w);
+  return c;
+}
+
+BitVec BitVec::bind(const BitVec& other) const {
+  UNIVSA_REQUIRE(n_ == other.n_, "bind of mismatched sizes");
+  BitVec r(n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    r.words_[w] = ~(words_[w] ^ other.words_[w]);
+  }
+  r.clear_padding();
+  return r;
+}
+
+BitVec BitVec::mask_and(const BitVec& other) const {
+  UNIVSA_REQUIRE(n_ == other.n_, "mask_and of mismatched sizes");
+  BitVec r(n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    r.words_[w] = words_[w] & other.words_[w];
+  }
+  return r;
+}
+
+BitVec BitVec::negate() const {
+  BitVec r(n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    r.words_[w] = ~words_[w];
+  }
+  r.clear_padding();
+  return r;
+}
+
+std::vector<int> BitVec::to_bipolar() const {
+  std::vector<int> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = get(i);
+  return out;
+}
+
+std::vector<float> BitVec::to_floats() const {
+  std::vector<float> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = get(i) == 1 ? 1.0f : -1.0f;
+  }
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return n_ == other.n_ && words_ == other.words_;
+}
+
+BitSlicedAccumulator::BitSlicedAccumulator(std::size_t n)
+    : n_(n), word_count_((n + 63) / 64) {
+  const std::size_t rem = n % 64;
+  tail_mask_ = (rem == 0) ? ~0ULL : ((1ULL << rem) - 1);
+  if (word_count_ == 0) tail_mask_ = 0;
+}
+
+void BitSlicedAccumulator::add_agreement_words(
+    const std::vector<std::uint64_t>& agree) {
+  ++rows_;
+  // Carry-save increment: ripple the 1-bit vote through the planes.
+  std::vector<std::uint64_t> carry = agree;
+  for (std::size_t k = 0; k < planes_.size(); ++k) {
+    bool any = false;
+    auto& plane = planes_[k];
+    for (std::size_t w = 0; w < word_count_; ++w) {
+      const std::uint64_t next = plane[w] & carry[w];
+      plane[w] ^= carry[w];
+      carry[w] = next;
+      any |= next != 0;
+    }
+    if (!any) return;
+  }
+  // Carry out of the top plane: grow the counter.
+  planes_.push_back(std::move(carry));
+}
+
+void BitSlicedAccumulator::add_bound(const BitVec& a, const BitVec& b) {
+  UNIVSA_REQUIRE(a.size() == n_ && b.size() == n_,
+                 "accumulator size mismatch");
+  std::vector<std::uint64_t> agree(word_count_);
+  const auto wa = a.words();
+  const auto wb = b.words();
+  for (std::size_t w = 0; w < word_count_; ++w) {
+    agree[w] = ~(wa[w] ^ wb[w]);
+  }
+  if (word_count_ > 0) agree[word_count_ - 1] &= tail_mask_;
+  add_agreement_words(agree);
+}
+
+void BitSlicedAccumulator::add(const BitVec& v) {
+  UNIVSA_REQUIRE(v.size() == n_, "accumulator size mismatch");
+  std::vector<std::uint64_t> agree(v.words().begin(), v.words().end());
+  add_agreement_words(agree);
+}
+
+BitVec BitSlicedAccumulator::sign() const {
+  BitVec out(n_);
+  // Lane sum = 2·count − rows; sgn(0) = +1  <=>  2·count >= rows.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t w = i / 64;
+    const std::size_t bit = i % 64;
+    std::size_t count = 0;
+    for (std::size_t k = 0; k < planes_.size(); ++k) {
+      count += static_cast<std::size_t>((planes_[k][w] >> bit) & 1ULL)
+               << k;
+    }
+    out.set(i, 2 * count >= rows_ ? 1 : -1);
+  }
+  return out;
+}
+
+void BipolarAccumulator::add(const BitVec& v) {
+  UNIVSA_REQUIRE(v.size() == sums_.size(), "accumulator size mismatch");
+  for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += v.get(i);
+}
+
+void BipolarAccumulator::add_masked(const BitVec& v, const BitVec& mask) {
+  UNIVSA_REQUIRE(v.size() == sums_.size() && mask.size() == sums_.size(),
+                 "accumulator size mismatch");
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    if (mask.get(i) == 1) sums_[i] += v.get(i);
+  }
+}
+
+void BipolarAccumulator::add_bound(const BitVec& a, const BitVec& b) {
+  UNIVSA_REQUIRE(a.size() == sums_.size() && b.size() == sums_.size(),
+                 "accumulator size mismatch");
+  // a_i * b_i is +1 exactly when the lanes agree (XNOR).
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    sums_[i] += (a.get(i) == b.get(i)) ? 1 : -1;
+  }
+}
+
+BitVec BipolarAccumulator::sign() const {
+  BitVec v(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    v.set(i, sums_[i] >= 0 ? 1 : -1);
+  }
+  return v;
+}
+
+}  // namespace univsa

@@ -1,0 +1,163 @@
+// Packed bipolar vectors.
+//
+// Binary VSA stores every vector set (values V, kernels K, feature vectors
+// F, class vectors C) as bipolar {-1,+1} vectors. We pack them 64 lanes per
+// word with the convention  bit 1 <-> +1,  bit 0 <-> -1, so that
+//
+//   bipolar dot(a, b)   = 2 * popcount(~(a ^ b) & lane_mask) - n
+//                       = matches - mismatches
+//
+// i.e. an XNOR followed by a popcount — exactly the primitive the UniVSA
+// hardware datapath builds in LUTs (Sec. IV-A). DVP zero-padding is
+// expressed through an explicit validity mask: lanes outside the mask
+// behave as algebraic 0 and contribute nothing to the accumulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "univsa/common/rng.h"
+
+namespace univsa {
+
+/// A fixed-length packed bipolar vector. Value semantics; cheap to copy at
+/// the D ~ 100 dimensions binary VSA uses, and word-wise ops for the long
+/// flattened vectors (W*L up to ~1500 in Table I).
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// All lanes set to -1 (bits clear).
+  explicit BitVec(std::size_t n);
+
+  /// From a list of bipolar lanes; every element must be +1 or -1.
+  static BitVec from_bipolar(std::span<const int> lanes);
+
+  /// From the signs of a float vector: lane = (x >= 0 ? +1 : -1).
+  /// sgn(0) = +1, the paper's tiebreak convention.
+  static BitVec from_signs(std::span<const float> values);
+
+  /// Uniformly random bipolar vector.
+  static BitVec random(std::size_t n, Rng& rng);
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Lane accessors in bipolar domain (+1 / -1).
+  int get(std::size_t i) const;
+  void set(std::size_t i, int bipolar_value);
+
+  /// Raw packed words (trailing bits beyond size() are zero).
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::size_t word_count() const { return words_.size(); }
+
+  /// Bipolar dot product: sum_i a_i * b_i. Sizes must match.
+  long long dot(const BitVec& other) const;
+
+  /// Masked bipolar dot: lanes where mask bit is 0 contribute 0.
+  /// This is the DVP padding semantics (Sec. III-A1).
+  long long masked_dot(const BitVec& other, const BitVec& mask) const;
+
+  /// Hamming distance (# of differing lanes).
+  std::size_t hamming(const BitVec& other) const;
+
+  /// Number of +1 lanes.
+  std::size_t popcount() const;
+
+  /// Elementwise bipolar product (XNOR in packed domain).
+  BitVec bind(const BitVec& other) const;
+
+  /// Lane-wise logical AND of the +1 indicator (used for masks).
+  BitVec mask_and(const BitVec& other) const;
+
+  /// Flip every lane.
+  BitVec negate() const;
+
+  /// Unpack to bipolar ints.
+  std::vector<int> to_bipolar() const;
+
+  /// Unpack to floats (+1.0f / -1.0f).
+  std::vector<float> to_floats() const;
+
+  bool operator==(const BitVec& other) const;
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+  /// Storage size in bits when serialized (lane count, excludes padding).
+  std::size_t bits() const { return n_; }
+
+ private:
+  void check_index(std::size_t i) const;
+  void clear_padding();
+
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Word-parallel accumulator for bind-then-bundle (Eq. 1).
+///
+/// Functionally identical to BipolarAccumulator::add_bound + sign(), but
+/// instead of per-lane integer sums it keeps bit-sliced carry-save
+/// counters: each add_bound() is one XNOR per 64-lane word plus a short
+/// ripple of AND/XOR over ⌈log2 rows⌉ counter planes. This is the
+/// encode-stage hot path of deployed inference (O(N_s·O) lane ops become
+/// O(N_s·O/64·log O) word ops) — and it is exactly the bit-serial
+/// counter structure a LUT implementation of the encoding adder tree
+/// reduces to. Equivalence with BipolarAccumulator is property-tested.
+class BitSlicedAccumulator {
+ public:
+  explicit BitSlicedAccumulator(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  /// Number of rows accumulated so far.
+  std::size_t rows() const { return rows_; }
+
+  /// Adds the bipolar product a ∘ b lane-wise (one ±1 vote per lane).
+  void add_bound(const BitVec& a, const BitVec& b);
+
+  /// Adds v itself lane-wise (vote = v's lane).
+  void add(const BitVec& v);
+
+  /// sgn of the lane-wise sum, sgn(0) = +1: lane is +1 iff
+  /// 2·(agreeing votes) >= rows.
+  BitVec sign() const;
+
+ private:
+  void add_agreement_words(const std::vector<std::uint64_t>& agree);
+
+  std::size_t n_;
+  std::size_t rows_ = 0;
+  std::size_t word_count_;
+  std::uint64_t tail_mask_;
+  /// planes_[k][w]: bit k of the per-lane agreement counter, word w.
+  std::vector<std::vector<std::uint64_t>> planes_;
+};
+
+/// Accumulator for bipolar bundling (Eq. 1): sums bipolar lanes in integer
+/// domain, then binarizes with sgn (sgn(0) = +1).
+class BipolarAccumulator {
+ public:
+  explicit BipolarAccumulator(std::size_t n) : sums_(n, 0) {}
+
+  std::size_t size() const { return sums_.size(); }
+
+  /// Add a packed bipolar vector lane-wise.
+  void add(const BitVec& v);
+
+  /// Add v with lanes outside `mask` treated as 0.
+  void add_masked(const BitVec& v, const BitVec& mask);
+
+  /// Add the bipolar product a*b lane-wise (bind-then-bundle, Eq. 1).
+  void add_bound(const BitVec& a, const BitVec& b);
+
+  /// Raw integer sums (useful for hardware cross-checks).
+  std::span<const long long> sums() const { return sums_; }
+
+  /// Binarize: sgn with sgn(0) = +1.
+  BitVec sign() const;
+
+ private:
+  std::vector<long long> sums_;
+};
+
+}  // namespace univsa

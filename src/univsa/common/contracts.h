@@ -1,0 +1,52 @@
+// Lightweight contract checking used across the library.
+//
+// UNIVSA_REQUIRE  — precondition on caller-supplied arguments; throws
+//                   std::invalid_argument so misuse is reported at the API
+//                   boundary instead of corrupting internal state.
+// UNIVSA_ENSURE   — internal invariant / postcondition; throws
+//                   std::logic_error because a failure indicates a bug in
+//                   this library, not in the caller.
+//
+// Both are always on: the checks guard kilobyte-scale models and are far
+// off every hot path (hot loops validate once, outside the loop).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace univsa {
+
+namespace detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_ensure(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+#define UNIVSA_REQUIRE(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::univsa::detail::throw_require(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define UNIVSA_ENSURE(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::univsa::detail::throw_ensure(#cond, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+}  // namespace univsa

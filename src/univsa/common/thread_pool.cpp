@@ -1,0 +1,117 @@
+#include "univsa/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t parts =
+      std::min<std::size_t>(n, workers_.size() + 1);
+  if (parts <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  } shared;
+  shared.remaining.store(parts - 1);
+
+  const std::size_t chunk = (n + parts - 1) / parts;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t p = 1; p < parts; ++p) {
+      const std::size_t begin = p * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      tasks_.push([&shared, &fn, begin, end] {
+        try {
+          if (begin < end) fn(begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(shared.error_mutex);
+          if (!shared.error) shared.error = std::current_exception();
+        }
+        if (shared.remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(shared.done_mutex);
+          shared.done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller runs the first chunk itself.
+  try {
+    fn(0, std::min(n, chunk));
+  } catch (...) {
+    std::lock_guard<std::mutex> elock(shared.error_mutex);
+    if (!shared.error) shared.error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(shared.done_mutex);
+  shared.done_cv.wait(lock,
+                      [&shared] { return shared.remaining.load() == 0; });
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Below this size the chunk hand-off costs more than the work saved.
+  constexpr std::size_t kSerialThreshold = 256;
+  if (n < kSerialThreshold) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  global_pool().parallel_for(n, fn);
+}
+
+}  // namespace univsa

@@ -1,0 +1,54 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Training the partial BNN (Sec. II-C / III) is GEMM-bound; parallel_for
+// splits the M dimension of the GEMM and the batch dimension of layer
+// forward/backward passes. The pool is created once (see global_pool())
+// so bench binaries don't pay thread start-up per layer call.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace univsa {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(begin, end) over a partition of [0, n) across the pool and
+  /// the calling thread; returns when every chunk is done. Exceptions in
+  /// chunks are rethrown (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool, lazily constructed.
+ThreadPool& global_pool();
+
+/// Convenience: parallel_for on the global pool. Runs serially when n is
+/// small enough that chunking would cost more than it saves.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace univsa

@@ -1,0 +1,28 @@
+// The six Table I benchmarks.
+//
+// Each entry couples the synthetic stand-in for the paper's dataset
+// (geometry, domain, calibrated difficulty — see synthetic.h) with the
+// Table I searched UniVSA configuration (D_H, D_L, D_K, O, Θ).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "univsa/data/synthetic.h"
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::data {
+
+struct Benchmark {
+  SyntheticSpec spec;
+  vsa::ModelConfig config;  ///< Table I searched configuration
+};
+
+/// All six benchmarks in Table I order:
+/// EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR.
+const std::vector<Benchmark>& table1_benchmarks();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const Benchmark& find_benchmark(const std::string& name);
+
+}  // namespace univsa::data

@@ -1,0 +1,203 @@
+#include "univsa/data/csv_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::data {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (const char ch : line) {
+    if (ch == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (ch != '\r') {
+      cell += ch;
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+bool parse_int(const std::string& s, long& out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  while (begin < end && *begin == ' ') ++begin;
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_float(const std::string& s, float& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stof(s, &used);
+    while (used < s.size() && s[used] == ' ') ++used;
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+RawTable load_raw_csv(const std::string& path) {
+  std::ifstream is(path);
+  UNIVSA_REQUIRE(is.is_open(), "cannot open CSV: " + path);
+
+  RawTable table;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    UNIVSA_REQUIRE(cells.size() >= 2,
+                   "CSV row needs a label and at least one feature "
+                   "(line " +
+                       std::to_string(line_no) + ")");
+    long label = 0;
+    if (!parse_int(cells[0], label)) {
+      // Non-integer label cell on the first line: header.
+      UNIVSA_REQUIRE(line_no == 1 && table.rows.empty(),
+                     "non-integer label at line " +
+                         std::to_string(line_no));
+      continue;
+    }
+    UNIVSA_REQUIRE(label >= 0, "negative label at line " +
+                                   std::to_string(line_no));
+
+    std::vector<float> row(cells.size() - 1);
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+      UNIVSA_REQUIRE(parse_float(cells[i], row[i - 1]),
+                     "non-numeric cell at line " +
+                         std::to_string(line_no) + ", column " +
+                         std::to_string(i));
+    }
+    if (table.rows.empty()) {
+      table.features = row.size();
+    } else {
+      UNIVSA_REQUIRE(row.size() == table.features,
+                     "ragged CSV row at line " + std::to_string(line_no));
+    }
+    table.rows.push_back(std::move(row));
+    table.labels.push_back(static_cast<int>(label));
+  }
+  UNIVSA_REQUIRE(!table.rows.empty(), "empty CSV: " + path);
+  return table;
+}
+
+void save_csv(const Dataset& dataset, const std::string& path) {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  std::ofstream os(path);
+  UNIVSA_REQUIRE(os.is_open(), "cannot open CSV for writing: " + path);
+  os << "label";
+  for (std::size_t j = 0; j < dataset.features(); ++j) {
+    os << ",f" << j;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    os << dataset.label(i);
+    for (const auto v : dataset.values(i)) {
+      os << ',' << v;
+    }
+    os << '\n';
+  }
+  UNIVSA_ENSURE(os.good(), "CSV write failed");
+}
+
+Dataset load_csv(const std::string& path, std::size_t windows,
+                 std::size_t length, std::size_t classes,
+                 std::size_t levels) {
+  const RawTable table = load_raw_csv(path);
+  UNIVSA_REQUIRE(table.features == windows * length,
+                 "CSV feature count does not match W*L");
+  Dataset out(windows, length, classes, levels);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    std::vector<std::uint16_t> values(table.features);
+    for (std::size_t j = 0; j < table.features; ++j) {
+      const float v = table.rows[i][j];
+      UNIVSA_REQUIRE(v >= 0.0f && v == static_cast<float>(
+                                           static_cast<long>(v)) &&
+                         static_cast<std::size_t>(v) < levels,
+                     "CSV cell is not a quantized level in [0, M)");
+      values[j] = static_cast<std::uint16_t>(v);
+    }
+    out.add(std::move(values), table.labels[i]);
+  }
+  return out;
+}
+
+CsvDatasetResult build_datasets(const RawTable& train_table,
+                                const RawTable& test_table,
+                                const CsvDatasetOptions& options) {
+  UNIVSA_REQUIRE(options.windows > 0 && options.length > 0,
+                 "geometry (W, L) is required");
+  UNIVSA_REQUIRE(train_table.size() > 0 && test_table.size() > 0,
+                 "empty tables");
+  UNIVSA_REQUIRE(test_table.features == train_table.features,
+                 "train/test feature mismatch");
+  const std::size_t target = options.windows * options.length;
+  if (options.pad_features) {
+    UNIVSA_REQUIRE(train_table.features <= target,
+                   "more features than W*L");
+  } else {
+    UNIVSA_REQUIRE(train_table.features == target,
+                   "feature count does not match W*L "
+                   "(set pad_features to pad)");
+  }
+
+  std::size_t classes = options.classes;
+  if (classes == 0) {
+    int max_label = 0;
+    for (const auto y : train_table.labels) {
+      max_label = std::max(max_label, y);
+    }
+    for (const auto y : test_table.labels) {
+      max_label = std::max(max_label, y);
+    }
+    classes = static_cast<std::size_t>(max_label) + 1;
+  }
+  UNIVSA_REQUIRE(classes >= 2, "need at least two classes");
+
+  CsvDatasetResult result;
+  result.discretizer = Discretizer(options.levels);
+  std::vector<float> train_values;
+  train_values.reserve(train_table.size() * train_table.features);
+  for (const auto& row : train_table.rows) {
+    train_values.insert(train_values.end(), row.begin(), row.end());
+  }
+  result.discretizer.fit(train_values);
+
+  const auto mid =
+      static_cast<std::uint16_t>(options.levels / 2);
+  const auto convert = [&](const RawTable& table, Dataset& out) {
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      std::vector<std::uint16_t> values(target, mid);
+      for (std::size_t j = 0; j < table.features; ++j) {
+        values[j] = result.discretizer.transform(table.rows[i][j]);
+      }
+      UNIVSA_REQUIRE(table.labels[i] >= 0 &&
+                         static_cast<std::size_t>(table.labels[i]) <
+                             classes,
+                     "label out of range");
+      out.add(std::move(values), table.labels[i]);
+    }
+  };
+
+  result.train = Dataset(options.windows, options.length, classes,
+                         options.levels);
+  result.test = Dataset(options.windows, options.length, classes,
+                        options.levels);
+  convert(train_table, result.train);
+  convert(test_table, result.test);
+  return result;
+}
+
+}  // namespace univsa::data

@@ -1,0 +1,64 @@
+// CSV dataset import/export.
+//
+// The paper's benchmarks come from public archives (PhysioNet, UCI);
+// this repo substitutes synthetic generators because the archives are
+// not reachable offline (DESIGN.md §2). This loader closes the loop for
+// users who *do* have the data: export any tabular dataset as
+// `label,f0,f1,...` rows and load it into the same (W, L, M) interface
+// contract the models consume — including the train-side-only
+// discretizer fit the synthetic path uses.
+#pragma once
+
+#include <string>
+
+#include "univsa/data/dataset.h"
+#include "univsa/data/discretizer.h"
+
+namespace univsa::data {
+
+/// Raw float samples as parsed from CSV (label + feature columns).
+struct RawTable {
+  std::size_t features = 0;
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+
+  std::size_t size() const { return rows.size(); }
+};
+
+/// Parses `label,f0,f1,...` lines. A first line whose label cell is not
+/// an integer is treated as a header and skipped. Throws on ragged rows,
+/// non-numeric cells, or an empty table.
+RawTable load_raw_csv(const std::string& path);
+
+/// Writes a discretized dataset as CSV (integer levels).
+void save_csv(const Dataset& dataset, const std::string& path);
+
+/// Loads a previously saved discretized dataset. Geometry must be
+/// supplied (CSV stores flat rows).
+Dataset load_csv(const std::string& path, std::size_t windows,
+                 std::size_t length, std::size_t classes,
+                 std::size_t levels);
+
+struct CsvDatasetOptions {
+  std::size_t windows = 0;   ///< required
+  std::size_t length = 0;    ///< required
+  std::size_t classes = 0;   ///< 0 = max(label)+1
+  std::size_t levels = 256;  ///< M
+  /// If the row has fewer than W·L features, pad with the mid level;
+  /// otherwise feature count must equal W·L.
+  bool pad_features = false;
+};
+
+struct CsvDatasetResult {
+  Dataset train;
+  Dataset test;
+  Discretizer discretizer;
+};
+
+/// Full pipeline from raw float CSVs: fit the discretizer on the train
+/// table only, then quantize both into (W, L) datasets.
+CsvDatasetResult build_datasets(const RawTable& train_table,
+                                const RawTable& test_table,
+                                const CsvDatasetOptions& options);
+
+}  // namespace univsa::data

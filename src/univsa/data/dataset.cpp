@@ -1,0 +1,107 @@
+#include "univsa/data/dataset.h"
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::data {
+
+std::string to_string(Domain d) {
+  return d == Domain::kTime ? "Time" : "Frequency";
+}
+
+Dataset::Dataset(std::size_t windows, std::size_t length,
+                 std::size_t classes, std::size_t levels)
+    : windows_(windows), length_(length), classes_(classes),
+      levels_(levels) {
+  UNIVSA_REQUIRE(windows > 0 && length > 0, "empty sample geometry");
+  UNIVSA_REQUIRE(classes >= 2, "need at least two classes");
+  UNIVSA_REQUIRE(levels >= 2, "need at least two levels");
+}
+
+void Dataset::add(std::vector<std::uint16_t> values, int label) {
+  UNIVSA_REQUIRE(values.size() == features(), "sample size mismatch");
+  UNIVSA_REQUIRE(label >= 0 && static_cast<std::size_t>(label) < classes_,
+                 "label out of range");
+  for (const auto v : values) {
+    UNIVSA_REQUIRE(v < levels_, "value exceeds quantization levels");
+  }
+  values_.push_back(std::move(values));
+  labels_.push_back(label);
+}
+
+const std::vector<std::uint16_t>& Dataset::values(std::size_t i) const {
+  UNIVSA_REQUIRE(i < values_.size(), "sample index out of range");
+  return values_[i];
+}
+
+int Dataset::label(std::size_t i) const {
+  UNIVSA_REQUIRE(i < labels_.size(), "sample index out of range");
+  return labels_[i];
+}
+
+Tensor Dataset::to_float_matrix() const {
+  UNIVSA_REQUIRE(!empty(), "empty dataset");
+  Tensor m({size(), features()});
+  const float scale = 1.0f / static_cast<float>(levels_ - 1);
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = 0; j < features(); ++j) {
+      m.at(i, j) = static_cast<float>(values_[i][j]) * scale;
+    }
+  }
+  return m;
+}
+
+void Dataset::shuffle(Rng& rng) {
+  const auto perm = rng.permutation(size());
+  std::vector<std::vector<std::uint16_t>> new_values(size());
+  std::vector<int> new_labels(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    new_values[i] = std::move(values_[perm[i]]);
+    new_labels[i] = labels_[perm[i]];
+  }
+  values_ = std::move(new_values);
+  labels_ = std::move(new_labels);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(windows_, length_, classes_, levels_);
+  for (const auto i : indices) {
+    out.add(values(i), label(i));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(classes_, 0);
+  for (const auto y : labels_) ++counts[static_cast<std::size_t>(y)];
+  return counts;
+}
+
+TrainTestSplit stratified_split(const Dataset& all, double test_fraction,
+                                Rng& rng) {
+  UNIVSA_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+                 "test fraction must be in (0, 1)");
+  std::vector<std::vector<std::size_t>> by_class(all.classes());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    by_class[static_cast<std::size_t>(all.label(i))].push_back(i);
+  }
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> test_idx;
+  for (auto& members : by_class) {
+    // Shuffle within class for an unbiased split.
+    for (std::size_t i = members.size(); i > 1; --i) {
+      std::swap(members[i - 1], members[rng.uniform_index(i)]);
+    }
+    const auto n_test = static_cast<std::size_t>(
+        static_cast<double>(members.size()) * test_fraction);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < n_test ? test_idx : train_idx).push_back(members[i]);
+    }
+  }
+  TrainTestSplit split;
+  split.train = all.subset(train_idx);
+  split.test = all.subset(test_idx);
+  split.train.shuffle(rng);
+  return split;
+}
+
+}  // namespace univsa::data

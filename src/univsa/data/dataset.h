@@ -1,0 +1,77 @@
+// Dataset representation.
+//
+// Every classifier in the repo consumes the same representation the paper
+// feeds UniVSA: each sample is a (W, L) grid of feature values discretized
+// to M levels (Sec. V-A: "inputs are discretized to 256 levels in advance
+// and shaped as 2-D of size (W, L)"). The classic-ML baselines view the
+// same grid as a flat normalized float vector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa::data {
+
+/// Signal domain of a benchmark (Table I column "Domain").
+enum class Domain { kTime, kFrequency };
+
+std::string to_string(Domain d);
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::size_t windows, std::size_t length, std::size_t classes,
+          std::size_t levels);
+
+  std::size_t windows() const { return windows_; }
+  std::size_t length() const { return length_; }
+  std::size_t classes() const { return classes_; }
+  std::size_t levels() const { return levels_; }
+  /// N = W · L.
+  std::size_t features() const { return windows_ * length_; }
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Appends a sample; `values` holds W·L entries in [0, levels).
+  void add(std::vector<std::uint16_t> values, int label);
+
+  const std::vector<std::uint16_t>& values(std::size_t i) const;
+  int label(std::size_t i) const;
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Flat float matrix (size, N) with values normalized to [0, 1] —
+  /// the view the LDA/KNN/SVM baselines train on.
+  Tensor to_float_matrix() const;
+
+  /// Deterministically shuffles sample order.
+  void shuffle(Rng& rng);
+
+  /// Subset by index list.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> class_counts() const;
+
+ private:
+  std::size_t windows_ = 0;
+  std::size_t length_ = 0;
+  std::size_t classes_ = 0;
+  std::size_t levels_ = 0;
+  std::vector<std::vector<std::uint16_t>> values_;
+  std::vector<int> labels_;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Stratified split: `test_fraction` of each class goes to test.
+TrainTestSplit stratified_split(const Dataset& all, double test_fraction,
+                                Rng& rng);
+
+}  // namespace univsa::data

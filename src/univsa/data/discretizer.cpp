@@ -1,0 +1,55 @@
+#include "univsa/data/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::data {
+
+Discretizer::Discretizer(std::size_t levels, double trim)
+    : levels_(levels), trim_(trim) {
+  UNIVSA_REQUIRE(levels >= 2, "need at least two levels");
+  UNIVSA_REQUIRE(trim >= 0.0 && trim < 0.5, "trim must be in [0, 0.5)");
+}
+
+void Discretizer::fit(std::span<const float> values) {
+  UNIVSA_REQUIRE(!values.empty(), "cannot fit on empty data");
+  std::vector<float> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto k = static_cast<std::size_t>(
+      trim_ * static_cast<double>(sorted.size()));
+  lo_ = sorted[k];
+  hi_ = sorted[sorted.size() - 1 - k];
+  if (hi_ <= lo_) hi_ = lo_ + 1.0f;  // degenerate signal: one bin wide
+  fitted_ = true;
+}
+
+std::uint16_t Discretizer::transform(float value) const {
+  UNIVSA_REQUIRE(fitted_, "transform before fit");
+  const float t = (value - lo_) / (hi_ - lo_);
+  const auto level = static_cast<long>(
+      std::floor(static_cast<double>(t) * static_cast<double>(levels_)));
+  const long clamped =
+      std::clamp<long>(level, 0, static_cast<long>(levels_) - 1);
+  return static_cast<std::uint16_t>(clamped);
+}
+
+std::vector<std::uint16_t> Discretizer::transform(
+    std::span<const float> values) const {
+  std::vector<std::uint16_t> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = transform(values[i]);
+  }
+  return out;
+}
+
+float Discretizer::inverse(std::uint16_t level) const {
+  UNIVSA_REQUIRE(fitted_, "inverse before fit");
+  UNIVSA_REQUIRE(level < levels_, "level out of range");
+  const double mid = (static_cast<double>(level) + 0.5) /
+                     static_cast<double>(levels_);
+  return lo_ + static_cast<float>(mid) * (hi_ - lo_);
+}
+
+}  // namespace univsa::data

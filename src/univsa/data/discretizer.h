@@ -1,0 +1,45 @@
+// Uniform value discretization (Sec. V-A: "inputs are discretized to 256
+// levels in advance").
+//
+// Fits a global [lo, hi] range on training signals (with a small quantile
+// trim so outliers don't crush the dynamic range), then maps floats to
+// integer levels in [0, M). The same fitted instance must transform train
+// and test data — fitting on test data would leak.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace univsa::data {
+
+class Discretizer {
+ public:
+  /// `levels` = M; `trim` = fraction trimmed from each tail when fitting.
+  explicit Discretizer(std::size_t levels = 256, double trim = 0.005);
+
+  /// Fit the range from raw signal values.
+  void fit(std::span<const float> values);
+
+  bool fitted() const { return fitted_; }
+  std::size_t levels() const { return levels_; }
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+
+  /// Map one value to its level (clamped to [0, M)).
+  std::uint16_t transform(float value) const;
+
+  std::vector<std::uint16_t> transform(std::span<const float> values) const;
+
+  /// Level midpoint back in signal units (for diagnostics).
+  float inverse(std::uint16_t level) const;
+
+ private:
+  std::size_t levels_;
+  double trim_;
+  float lo_ = 0.0f;
+  float hi_ = 1.0f;
+  bool fitted_ = false;
+};
+
+}  // namespace univsa::data

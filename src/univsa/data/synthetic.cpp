@@ -1,0 +1,273 @@
+#include "univsa/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::data {
+
+namespace {
+
+struct Tone {
+  double freq;   // cycles per sample index
+  double amp;
+  double phase;
+};
+
+struct SpectralBump {
+  double center;  // frequency-bin position in [0, L)
+  double width;
+  double amp;
+};
+
+/// Class prototype description drawn once per dataset.
+struct TimePrototypes {
+  std::vector<Tone> shared;
+  std::vector<std::vector<Tone>> per_class;
+  std::vector<double> window_gain;  // slow per-window modulation (shared)
+};
+
+struct FreqPrototypes {
+  std::vector<SpectralBump> shared;
+  std::vector<std::vector<SpectralBump>> per_class;
+};
+
+TimePrototypes draw_time_prototypes(const SyntheticSpec& spec, Rng& rng) {
+  TimePrototypes p;
+  constexpr std::size_t kSharedTones = 3;
+  constexpr std::size_t kClassTones = 3;
+  for (std::size_t k = 0; k < kSharedTones; ++k) {
+    p.shared.push_back({rng.uniform(0.02, 0.45), rng.uniform(0.5, 1.0),
+                        rng.uniform(0.0, 2.0 * std::numbers::pi)});
+  }
+  p.per_class.resize(spec.classes);
+  for (auto& tones : p.per_class) {
+    for (std::size_t k = 0; k < kClassTones; ++k) {
+      tones.push_back({rng.uniform(0.02, 0.45),
+                       spec.separation * rng.uniform(0.4, 1.0),
+                       rng.uniform(0.0, 2.0 * std::numbers::pi)});
+    }
+  }
+  p.window_gain.resize(spec.windows);
+  for (auto& g : p.window_gain) g = rng.uniform(0.7, 1.3);
+  return p;
+}
+
+FreqPrototypes draw_freq_prototypes(const SyntheticSpec& spec, Rng& rng) {
+  FreqPrototypes p;
+  constexpr std::size_t kSharedBumps = 2;
+  constexpr std::size_t kClassBumps = 3;
+  const auto len = static_cast<double>(spec.length);
+  for (std::size_t k = 0; k < kSharedBumps; ++k) {
+    p.shared.push_back({rng.uniform(0.0, len), rng.uniform(0.05, 0.2) * len,
+                        rng.uniform(0.5, 1.0)});
+  }
+  p.per_class.resize(spec.classes);
+  for (auto& bumps : p.per_class) {
+    for (std::size_t k = 0; k < kClassBumps; ++k) {
+      bumps.push_back({rng.uniform(0.0, len),
+                       rng.uniform(0.04, 0.15) * len,
+                       spec.separation * rng.uniform(0.4, 1.0)});
+    }
+  }
+  return p;
+}
+
+std::vector<float> draw_time_sample(const SyntheticSpec& spec,
+                                    const TimePrototypes& p, int label,
+                                    Rng& rng) {
+  // Sliding windows with 50% overlap over one continuous trace.
+  const std::size_t hop = std::max<std::size_t>(1, spec.length / 2);
+  std::vector<float> sample(spec.windows * spec.length);
+  const double amp_jitter = rng.uniform(0.8, 1.2);
+  const auto& class_tones = p.per_class[static_cast<std::size_t>(label)];
+
+  // Shared tones are pure nuisance: their phase is redrawn per sample, so
+  // they add structured (non-white) interference with no class signal.
+  std::vector<double> shared_phase(p.shared.size());
+  for (auto& ph : shared_phase) {
+    ph = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  // The first `phase_locked_tones` class tones are phase-locked (trials
+  // are onset-aligned, so their per-feature means carry the class — what
+  // a linear model can use); the rest are phase-free (only the local
+  // oscillation structure carries the class — what feature *interaction*
+  // models can exploit; this is the regime where BiConv pays off,
+  // Sec. III-A2).
+  std::vector<double> class_phase(class_tones.size());
+  for (std::size_t k = 0; k < class_tones.size(); ++k) {
+    class_phase[k] = k < spec.phase_locked_tones
+                         ? rng.normal(0.0, 0.4)
+                         : rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+
+  for (std::size_t w = 0; w < spec.windows; ++w) {
+    for (std::size_t l = 0; l < spec.length; ++l) {
+      const double t = static_cast<double>(w * hop + l);
+      double v = 0.0;
+      for (std::size_t k = 0; k < p.shared.size(); ++k) {
+        const auto& tone = p.shared[k];
+        v += tone.amp *
+             std::sin(2.0 * std::numbers::pi * tone.freq * t + tone.phase +
+                      shared_phase[k]);
+      }
+      for (std::size_t k = 0; k < class_tones.size(); ++k) {
+        const auto& tone = class_tones[k];
+        v += amp_jitter * tone.amp *
+             std::sin(2.0 * std::numbers::pi * tone.freq * t + tone.phase +
+                      class_phase[k]);
+      }
+      v *= p.window_gain[w];
+      v += spec.noise * rng.normal();
+      if (spec.artifact_rate > 0.0 && rng.bernoulli(spec.artifact_rate)) {
+        v += rng.sign() * rng.uniform(3.0, 8.0);
+      }
+      sample[w * spec.length + l] = static_cast<float>(v);
+    }
+  }
+  return sample;
+}
+
+std::vector<float> draw_freq_sample(const SyntheticSpec& spec,
+                                    const FreqPrototypes& p, int label,
+                                    Rng& rng) {
+  std::vector<float> sample(spec.windows * spec.length);
+  const double amp_jitter = rng.uniform(0.8, 1.2);
+  const auto& class_bumps = p.per_class[static_cast<std::size_t>(label)];
+
+  // Shared bumps are nuisance: their gain varies strongly per sample.
+  std::vector<double> shared_gain(p.shared.size());
+  for (auto& g : shared_gain) g = rng.uniform(0.4, 1.6);
+  // All but one class bump wander in frequency per sample (smearing the
+  // per-bin class means, so pointwise models only see a blurred cue while
+  // local-shape models can still lock onto the bump profile).
+  std::vector<double> center_jitter(class_bumps.size());
+  for (std::size_t k = 0; k < class_bumps.size(); ++k) {
+    center_jitter[k] =
+        k == 0
+            ? 0.0
+            : rng.normal(0.0, 0.04 * static_cast<double>(spec.length));
+  }
+
+  for (std::size_t w = 0; w < spec.windows; ++w) {
+    // Spectra evolve slowly across windows.
+    const double wgain =
+        1.0 + 0.2 * std::sin(0.5 * static_cast<double>(w) + amp_jitter);
+    for (std::size_t l = 0; l < spec.length; ++l) {
+      const auto bin = static_cast<double>(l);
+      double v = 0.0;
+      for (std::size_t k = 0; k < p.shared.size(); ++k) {
+        const auto& bump = p.shared[k];
+        const double d = (bin - bump.center) / bump.width;
+        v += shared_gain[k] * bump.amp * std::exp(-0.5 * d * d);
+      }
+      for (std::size_t k = 0; k < class_bumps.size(); ++k) {
+        const auto& bump = class_bumps[k];
+        const double d =
+            (bin - bump.center - center_jitter[k]) / bump.width;
+        v += amp_jitter * bump.amp * std::exp(-0.5 * d * d);
+      }
+      v *= wgain;
+      v += spec.noise * rng.normal();
+      if (spec.artifact_rate > 0.0 && rng.bernoulli(spec.artifact_rate)) {
+        v += rng.sign() * rng.uniform(3.0, 8.0);
+      }
+      sample[w * spec.length + l] = static_cast<float>(v);
+    }
+  }
+  return sample;
+}
+
+void apply_drift(const SyntheticSpec& spec, TimePrototypes& p) {
+  if (spec.drift <= 0.0) return;
+  Rng rng(spec.drift_seed * 0x9E3779B97F4A7C15ULL + 17);
+  for (auto& tones : p.per_class) {
+    for (auto& tone : tones) {
+      tone.amp *= 1.0 + spec.drift * rng.normal();
+      tone.freq = std::clamp(tone.freq * (1.0 + 0.5 * spec.drift *
+                                                    rng.normal()),
+                             0.01, 0.49);
+      tone.phase += spec.drift * rng.normal();
+    }
+  }
+  for (auto& g : p.window_gain) g *= 1.0 + spec.drift * rng.normal();
+}
+
+void apply_drift(const SyntheticSpec& spec, FreqPrototypes& p) {
+  if (spec.drift <= 0.0) return;
+  Rng rng(spec.drift_seed * 0x9E3779B97F4A7C15ULL + 17);
+  for (auto& bumps : p.per_class) {
+    for (auto& bump : bumps) {
+      bump.amp *= 1.0 + spec.drift * rng.normal();
+      bump.center += spec.drift * rng.normal() *
+                     0.1 * static_cast<double>(spec.length);
+      bump.width *= 1.0 + 0.5 * spec.drift * rng.normal();
+      if (bump.width < 0.5) bump.width = 0.5;
+    }
+  }
+}
+
+int draw_label(const SyntheticSpec& spec, Rng& rng) {
+  if (spec.imbalance > 0.0 && spec.classes == 2) {
+    const double p0 = 0.5 + spec.imbalance / 2.0;
+    return rng.bernoulli(p0) ? 0 : 1;
+  }
+  return static_cast<int>(rng.uniform_index(spec.classes));
+}
+
+}  // namespace
+
+SyntheticResult generate(const SyntheticSpec& spec) {
+  UNIVSA_REQUIRE(spec.classes >= 2, "need at least two classes");
+  UNIVSA_REQUIRE(spec.train_count > 0 && spec.test_count > 0,
+                 "need non-empty train/test");
+  UNIVSA_REQUIRE(spec.imbalance >= 0.0 && spec.imbalance < 1.0,
+                 "imbalance must be in [0, 1)");
+
+  Rng rng(spec.seed);
+  TimePrototypes time_protos;
+  FreqPrototypes freq_protos;
+  if (spec.domain == Domain::kTime) {
+    time_protos = draw_time_prototypes(spec, rng);
+    apply_drift(spec, time_protos);
+  } else {
+    freq_protos = draw_freq_prototypes(spec, rng);
+    apply_drift(spec, freq_protos);
+  }
+
+  const std::size_t total = spec.train_count + spec.test_count;
+  std::vector<std::vector<float>> raw(total);
+  std::vector<int> labels(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    labels[i] = draw_label(spec, rng);
+    raw[i] = spec.domain == Domain::kTime
+                 ? draw_time_sample(spec, time_protos, labels[i], rng)
+                 : draw_freq_sample(spec, freq_protos, labels[i], rng);
+  }
+
+  // Fit the discretizer on training signals only.
+  SyntheticResult result;
+  result.discretizer = Discretizer(spec.levels);
+  std::vector<float> train_values;
+  train_values.reserve(spec.train_count * raw[0].size());
+  for (std::size_t i = 0; i < spec.train_count; ++i) {
+    train_values.insert(train_values.end(), raw[i].begin(), raw[i].end());
+  }
+  result.discretizer.fit(train_values);
+
+  result.train =
+      Dataset(spec.windows, spec.length, spec.classes, spec.levels);
+  result.test =
+      Dataset(spec.windows, spec.length, spec.classes, spec.levels);
+  for (std::size_t i = 0; i < total; ++i) {
+    auto levels = result.discretizer.transform(raw[i]);
+    (i < spec.train_count ? result.train : result.test)
+        .add(std::move(levels), labels[i]);
+  }
+  return result;
+}
+
+}  // namespace univsa::data

@@ -1,0 +1,27 @@
+#include "univsa/hw/accelerator.h"
+
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::hw {
+
+HardwareReport report_for(const vsa::ModelConfig& config,
+                          const TimingParams& timing) {
+  config.validate();
+  HardwareReport r;
+  r.config = config;
+  r.clock_mhz = timing.clock_mhz;
+  r.memory_kb = vsa::memory_kb(config);
+  r.cycles = stage_cycles(config, timing);
+  r.latency_ms = latency_ms(config, timing);
+  r.throughput_kilo = throughput_per_s(config, timing) / 1000.0;
+  r.resources = estimate_resources(config);
+  r.kiloluts = r.resources.total_luts() / 1000.0;
+  r.brams = r.resources.brams;
+  r.dsps = r.resources.dsps;
+  r.power_w = estimate_power_w(r.resources, timing.clock_mhz);
+  r.energy_per_inference_uj =
+      r.power_w / (r.throughput_kilo * 1000.0) * 1e6;
+  return r;
+}
+
+}  // namespace univsa::hw

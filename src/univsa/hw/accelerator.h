@@ -1,0 +1,39 @@
+// Hardware report facade — the composed models behind Tables III/IV.
+//
+// For a configuration, combines Eq. 5 memory, the timing model (latency,
+// streaming throughput), the resource model (LUT/BRAM/DSP), and the power
+// model into the row format the paper's hardware tables use.
+#pragma once
+
+#include <string>
+
+#include "univsa/hw/power_model.h"
+#include "univsa/hw/resource_model.h"
+#include "univsa/hw/timing_model.h"
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::hw {
+
+struct HardwareReport {
+  vsa::ModelConfig config;
+  double clock_mhz = 250.0;
+  double memory_kb = 0.0;
+  double latency_ms = 0.0;
+  double power_w = 0.0;
+  double kiloluts = 0.0;
+  std::size_t brams = 0;
+  std::size_t dsps = 0;
+  /// Streaming inferences/s ÷ 1000 (Table IV's ×10³ column).
+  double throughput_kilo = 0.0;
+  /// Steady-state energy per inference in microjoules
+  /// (power / throughput) — the figure of merit for battery/implant
+  /// budgets.
+  double energy_per_inference_uj = 0.0;
+  StageCycles cycles;  ///< pre-overhead per-stage cycles
+  ResourceEstimate resources;
+};
+
+HardwareReport report_for(const vsa::ModelConfig& config,
+                          const TimingParams& timing = {});
+
+}  // namespace univsa::hw

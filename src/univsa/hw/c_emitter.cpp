@@ -1,0 +1,319 @@
+#include "univsa/hw/c_emitter.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::hw {
+
+namespace {
+
+/// Packs lanes produced by `bit_at` into uint32 words, emitted as a C
+/// initializer list (little-endian lanes: lane i -> word i/32, bit i%32).
+template <typename BitAt>
+std::string word_initializer(std::size_t bits, BitAt bit_at,
+                             const char* indent) {
+  const std::size_t words = (bits + 31) / 32;
+  std::ostringstream os;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint32_t value = 0;
+    for (std::size_t b = 0; b < 32; ++b) {
+      const std::size_t lane = w * 32 + b;
+      if (lane < bits && bit_at(lane)) value |= 1u << b;
+    }
+    if (w % 6 == 0) os << (w == 0 ? "" : "\n") << indent;
+    os << "0x" << std::hex << value << std::dec << "u, ";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+CEmitter::CEmitter(const vsa::Model& model, CEmitterOptions options)
+    : model_(model), options_(std::move(options)) {
+  model_.config().validate();
+  UNIVSA_REQUIRE(!options_.prefix.empty(), "empty prefix");
+}
+
+std::string CEmitter::header() const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::string& p = options_.prefix;
+  std::ostringstream os;
+  os << "/* Generated UniVSA inference header — do not edit. */\n"
+     << "#ifndef " << p << "_MODEL_H\n"
+     << "#define " << p << "_MODEL_H\n\n"
+     << "#include <stdint.h>\n\n"
+     << "#define " << p << "_N " << c.features()
+     << "  /* input features (W*L) */\n"
+     << "#define " << p << "_W " << c.W << "\n"
+     << "#define " << p << "_L " << c.L << "\n"
+     << "#define " << p << "_M " << c.M << "  /* quantization levels */\n"
+     << "#define " << p << "_CLASSES " << c.C << "\n\n"
+     << "#ifdef __cplusplus\nextern \"C\" {\n#endif\n\n"
+     << "/* values: " << p << "_N levels in [0, " << p << "_M). Returns\n"
+     << " * the predicted class in [0, " << p << "_CLASSES). */\n"
+     << "int " << p << "_predict(const uint16_t *values);\n\n"
+     << "/* Per-class similarity scores (Eq. 4 sums over the voters). */\n"
+     << "void " << p << "_scores(const uint16_t *values,\n"
+     << "                        long long *scores);\n\n"
+     << "#ifdef __cplusplus\n}\n#endif\n"
+     << "#endif /* " << p << "_MODEL_H */\n";
+  return os.str();
+}
+
+std::string CEmitter::source() const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::string& p = options_.prefix;
+  const std::size_t n = c.features();
+  const std::size_t ns = c.sample_dim();
+  const std::size_t nsw = (ns + 31) / 32;
+  const std::size_t kk = c.D_K * c.D_K;
+  const long pad = static_cast<long>(c.D_K / 2);
+  std::ostringstream os;
+
+  os << "/* Generated UniVSA inference — C99, no heap, no libm. */\n"
+     << "#include \"" << p << "_model.h\"\n\n";
+
+  // --- tables.
+  os << "/* importance mask, 1 bit per feature */\n"
+     << "static const uint32_t " << p << "_mask[" << (n + 31) / 32
+     << "] = {\n"
+     << word_initializer(n,
+                         [&](std::size_t i) {
+                           return model_.mask()[i] != 0;
+                         },
+                         "  ")
+     << "\n};\n\n";
+
+  os << "/* V_H: one " << c.D_H << "-lane word per level */\n"
+     << "static const uint32_t " << p << "_vh[" << c.M << "] = {\n";
+  for (std::size_t m = 0; m < c.M; ++m) {
+    os << "  0x" << std::hex
+       << static_cast<std::uint32_t>(
+              model_.value_table_high()[m].words()[0])
+       << std::dec << "u,";
+    if (m % 8 == 7) os << '\n';
+  }
+  os << "\n};\n\n";
+
+  const std::uint32_t low_mask = (1u << c.D_L) - 1;
+  os << "/* V_L: one " << c.D_L << "-lane word per level */\n"
+     << "static const uint32_t " << p << "_vl[" << c.M << "] = {\n";
+  for (std::size_t m = 0; m < c.M; ++m) {
+    os << "  0x" << std::hex
+       << (static_cast<std::uint32_t>(
+               model_.value_table_low()[m].words()[0]) &
+           low_mask)
+       << std::dec << "u,";
+    if (m % 8 == 7) os << '\n';
+  }
+  os << "\n};\n\n";
+
+  os << "/* kernels: [O][D_K*D_K] channel-lane words */\n"
+     << "static const uint32_t " << p << "_kern[" << c.O << "][" << kk
+     << "] = {\n";
+  for (std::size_t o = 0; o < c.O; ++o) {
+    os << "  {";
+    for (std::size_t k = 0; k < kk; ++k) {
+      os << "0x" << std::hex << model_.kernel_bits()[o][k] << std::dec
+         << "u, ";
+    }
+    os << "},\n";
+  }
+  os << "};\n\n";
+
+  os << "/* feature vectors F: [O][" << nsw << "] packed sample-dim "
+        "words */\n"
+     << "static const uint32_t " << p << "_f[" << c.O << "][" << nsw
+     << "] = {\n";
+  for (std::size_t o = 0; o < c.O; ++o) {
+    os << "  {"
+       << word_initializer(ns,
+                           [&](std::size_t j) {
+                             return model_.feature_vectors()[o].get(j) ==
+                                    1;
+                           },
+                           "   ")
+       << "},\n";
+  }
+  os << "};\n\n";
+
+  os << "/* class vectors C: [Theta*C][" << nsw << "] */\n"
+     << "static const uint32_t " << p << "_c[" << c.Theta * c.C << "]["
+     << nsw << "] = {\n";
+  for (std::size_t r = 0; r < c.Theta * c.C; ++r) {
+    os << "  {"
+       << word_initializer(ns,
+                           [&](std::size_t j) {
+                             return model_.class_vectors()[r].get(j) == 1;
+                           },
+                           "   ")
+       << "},\n";
+  }
+  os << "};\n\n";
+
+  // --- helpers.
+  os << "static int " << p << "_pop32(uint32_t x) {\n"
+     << "#if defined(__GNUC__) || defined(__clang__)\n"
+     << "  return __builtin_popcount(x);\n"
+     << "#else\n"
+     << "  int count = 0;\n"
+     << "  while (x) { x &= x - 1u; ++count; }\n"
+     << "  return count;\n"
+     << "#endif\n"
+     << "}\n\n";
+
+  // --- pipeline.
+  const std::uint32_t high_valid =
+      c.D_H == 32 ? 0xffffffffu : (1u << c.D_H) - 1;
+  os << "void " << p << "_scores(const uint16_t *values,\n"
+     << "                        long long *scores) {\n"
+     << "  uint32_t vol_bits[" << p << "_N];\n"
+     << "  uint32_t vol_valid[" << p << "_N];\n"
+     << "  uint32_t u[" << c.O << "][" << nsw << "] = {{0}};\n"
+     << "  uint32_t s[" << nsw << "] = {0};\n"
+     << "  int i, o, y, x, kh, kw, j, t, cls;\n"
+     << "\n"
+     << "  /* DVP: value-table lookup routed by the importance mask */\n"
+     << "  for (i = 0; i < " << p << "_N; ++i) {\n"
+     << "    if ((" << p << "_mask[i >> 5] >> (i & 31)) & 1u) {\n"
+     << "      vol_bits[i] = " << p << "_vh[values[i]];\n"
+     << "      vol_valid[i] = 0x" << std::hex << high_valid << std::dec
+     << "u;\n"
+     << "    } else {\n"
+     << "      vol_bits[i] = " << p << "_vl[values[i]];\n"
+     << "      vol_valid[i] = 0x" << std::hex << low_mask << std::dec
+     << "u;\n"
+     << "    }\n"
+     << "  }\n"
+     << "\n"
+     << "  /* BiConv: XNOR/popcount dot products, sgn(0) = +1 */\n"
+     << "  for (y = 0; y < " << c.W << "; ++y) {\n"
+     << "    for (x = 0; x < " << c.L << "; ++x) {\n"
+     << "      for (o = 0; o < " << c.O << "; ++o) {\n"
+     << "        long long acc = 0;\n"
+     << "        for (kh = 0; kh < " << c.D_K << "; ++kh) {\n"
+     << "          int sy = y + kh - " << pad << ";\n"
+     << "          if (sy < 0 || sy >= " << c.W << ") continue;\n"
+     << "          for (kw = 0; kw < " << c.D_K << "; ++kw) {\n"
+     << "            int sx = x + kw - " << pad << ";\n"
+     << "            uint32_t pv_bits, pv_valid, agree;\n"
+     << "            if (sx < 0 || sx >= " << c.L << ") continue;\n"
+     << "            pv_bits = vol_bits[sy * " << c.L << " + sx];\n"
+     << "            pv_valid = vol_valid[sy * " << c.L << " + sx];\n"
+     << "            agree = ~(pv_bits ^ " << p << "_kern[o][kh * "
+     << c.D_K << " + kw]) & pv_valid;\n"
+     << "            acc += 2ll * " << p << "_pop32(agree) - " << p
+     << "_pop32(pv_valid);\n"
+     << "          }\n"
+     << "        }\n"
+     << "        if (acc >= 0) {\n"
+     << "          j = y * " << c.L << " + x;\n"
+     << "          u[o][j >> 5] |= 1u << (j & 31);\n"
+     << "        }\n"
+     << "      }\n"
+     << "    }\n"
+     << "  }\n"
+     << "\n"
+     << "  /* Encoding (Eq. 1 over channels), sgn(0) = +1 */\n"
+     << "  for (j = 0; j < " << ns << "; ++j) {\n"
+     << "    int sum = 0;\n"
+     << "    for (o = 0; o < " << c.O << "; ++o) {\n"
+     << "      uint32_t fb = (" << p << "_f[o][j >> 5] >> (j & 31)) & "
+        "1u;\n"
+     << "      uint32_t ub = (u[o][j >> 5] >> (j & 31)) & 1u;\n"
+     << "      sum += (fb == ub) ? 1 : -1;\n"
+     << "    }\n"
+     << "    if (sum >= 0) s[j >> 5] |= 1u << (j & 31);\n"
+     << "  }\n"
+     << "\n"
+     << "  /* Similarity with soft voting (Eq. 4) */\n"
+     << "  for (cls = 0; cls < " << p << "_CLASSES; ++cls) {\n"
+     << "    long long score = 0;\n"
+     << "    for (t = 0; t < " << c.Theta << "; ++t) {\n"
+     << "      const uint32_t *cv = " << p << "_c[t * " << p
+     << "_CLASSES + cls];\n"
+     << "      int matches = 0;\n"
+     << "      for (j = 0; j < " << nsw << "; ++j) {\n"
+     << "        uint32_t word_mask;\n";
+  // Tail mask for the final word.
+  const std::size_t rem = ns % 32;
+  if (rem == 0) {
+    os << "        word_mask = 0xffffffffu;\n";
+  } else {
+    os << "        word_mask = (j == " << nsw - 1 << ") ? 0x" << std::hex
+       << ((1u << rem) - 1) << std::dec << "u : 0xffffffffu;\n";
+  }
+  os << "        matches += " << p << "_pop32(~(s[j] ^ cv[j]) & "
+        "word_mask);\n"
+     << "      }\n"
+     << "      score += 2ll * matches - " << ns << ";\n"
+     << "    }\n"
+     << "    scores[cls] = score;\n"
+     << "  }\n"
+     << "}\n\n"
+     << "int " << p << "_predict(const uint16_t *values) {\n"
+     << "  long long scores[" << p << "_CLASSES];\n"
+     << "  int cls, best = 0;\n"
+     << "  " << p << "_scores(values, scores);\n"
+     << "  for (cls = 1; cls < " << p << "_CLASSES; ++cls) {\n"
+     << "    if (scores[cls] > scores[best]) best = cls;\n"
+     << "  }\n"
+     << "  return best;\n"
+     << "}\n";
+  return os.str();
+}
+
+std::string CEmitter::demo_main() const {
+  const std::string& p = options_.prefix;
+  std::ostringstream os;
+  os << "/* Generated demo driver: levels on argv -> label + scores. */\n"
+     << "#include <stdio.h>\n"
+     << "#include <stdlib.h>\n"
+     << "#include \"" << p << "_model.h\"\n\n"
+     << "int main(int argc, char **argv) {\n"
+     << "  uint16_t values[" << p << "_N];\n"
+     << "  long long scores[" << p << "_CLASSES];\n"
+     << "  int i;\n"
+     << "  if (argc != 1 + " << p << "_N) {\n"
+     << "    fprintf(stderr, \"expected %d values\\n\", " << p
+     << "_N);\n"
+     << "    return 2;\n"
+     << "  }\n"
+     << "  for (i = 0; i < " << p << "_N; ++i) {\n"
+     << "    long v = strtol(argv[1 + i], 0, 10);\n"
+     << "    if (v < 0 || v >= " << p << "_M) {\n"
+     << "      fprintf(stderr, \"value out of range\\n\");\n"
+     << "      return 2;\n"
+     << "    }\n"
+     << "    values[i] = (uint16_t)v;\n"
+     << "  }\n"
+     << "  " << p << "_scores(values, scores);\n"
+     << "  printf(\"label %d\\n\", " << p << "_predict(values));\n"
+     << "  for (i = 0; i < " << p << "_CLASSES; ++i) {\n"
+     << "    printf(\"score[%d] %lld\\n\", i, scores[i]);\n"
+     << "  }\n"
+     << "  return 0;\n"
+     << "}\n";
+  return os.str();
+}
+
+void CEmitter::write_files(const std::string& directory,
+                           bool with_main) const {
+  const auto write = [&](const std::string& name,
+                         const std::string& content) {
+    const std::string path = directory + "/" + name;
+    std::ofstream os(path);
+    UNIVSA_REQUIRE(os.is_open(), "cannot open " + path);
+    os << content;
+    UNIVSA_ENSURE(os.good(), "write failed: " + path);
+  };
+  write(options_.prefix + "_model.h", header());
+  write(options_.prefix + "_model.c", source());
+  if (with_main) {
+    write(options_.prefix + "_main.c", demo_main());
+  }
+}
+
+}  // namespace univsa::hw

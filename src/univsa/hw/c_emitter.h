@@ -1,0 +1,53 @@
+// Standalone-C inference emitter.
+//
+// The other deployment target for kilobyte-scale models is plain MCU
+// firmware: a single dependency-free C99 translation unit with the
+// binary vector sets baked in as const arrays and the Eq. 1–4 pipeline
+// as integer/bit operations. This emitter produces exactly that:
+//
+//   int  <prefix>_predict(const uint16_t values[<prefix>_N]);
+//   void <prefix>_scores(const uint16_t values[], long long scores[]);
+//
+// No heap, no libc beyond <stdint.h>, flash footprint = Eq. 5 payload
+// packed into uint32 words. tests/hw/c_emitter_test.cpp compiles the
+// emitted source with the host compiler and runs it against the
+// vsa::Model on random inputs — a fully executable cross-check of the
+// deployment artifact (the Verilog path can only be checked
+// structurally in this environment).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "univsa/vsa/model.h"
+
+namespace univsa::hw {
+
+struct CEmitterOptions {
+  std::string prefix = "univsa";
+};
+
+class CEmitter {
+ public:
+  explicit CEmitter(const vsa::Model& model, CEmitterOptions options = {});
+
+  /// The header (API + geometry #defines).
+  std::string header() const;
+  /// The implementation (tables + pipeline).
+  std::string source() const;
+  /// A main() that reads W·L levels from argv and prints the label and
+  /// per-class scores — what the executable test drives.
+  std::string demo_main() const;
+
+  /// Writes <prefix>_model.h / <prefix>_model.c (+ <prefix>_main.c when
+  /// `with_main`).
+  void write_files(const std::string& directory,
+                   bool with_main = false) const;
+
+ private:
+  const vsa::Model& model_;
+  CEmitterOptions options_;
+};
+
+}  // namespace univsa::hw

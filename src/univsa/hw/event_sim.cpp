@@ -1,0 +1,110 @@
+#include "univsa/hw/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::hw {
+
+double EventSimResult::achieved_throughput(double clock_mhz) const {
+  UNIVSA_REQUIRE(accepted > 0 && makespan > 0, "empty simulation");
+  return static_cast<double>(accepted) * clock_mhz * 1e6 /
+         static_cast<double>(makespan);
+}
+
+EventSimResult simulate_stream(
+    const EventSimConfig& config,
+    const std::vector<std::size_t>& arrival_cycles) {
+  UNIVSA_REQUIRE(!arrival_cycles.empty(), "no arrivals");
+  UNIVSA_REQUIRE(config.overhead >= 1.0, "overhead must be >= 1");
+  for (std::size_t i = 1; i < arrival_cycles.size(); ++i) {
+    UNIVSA_REQUIRE(arrival_cycles[i] >= arrival_cycles[i - 1],
+                   "arrivals must be non-decreasing");
+  }
+
+  const auto scaled = [&config](std::size_t c) {
+    return static_cast<std::size_t>(
+        std::llround(config.overhead * static_cast<double>(c)));
+  };
+  const std::array<std::size_t, kStageCount> durations = {
+      scaled(config.cycles.dvp), scaled(config.cycles.biconv),
+      scaled(config.cycles.encoding), scaled(config.cycles.similarity)};
+
+  EventSimResult result;
+  result.samples.resize(arrival_cycles.size());
+
+  // For the in-order single-occupancy pipeline with blocking handoff the
+  // schedule follows a recurrence. free_at[s] = cycle at which stage s
+  // can accept a new sample (it released its previous one downstream).
+  std::array<std::size_t, kStageCount> free_at{};
+  // dvp_start_times of accepted samples — used to replay FIFO occupancy.
+  std::vector<std::size_t> admit_time;
+  std::vector<std::size_t> dvp_start;
+
+  double latency_sum = 0.0;
+  for (std::size_t k = 0; k < arrival_cycles.size(); ++k) {
+    SampleTiming& t = result.samples[k];
+    t.arrival = arrival_cycles[k];
+
+    // FIFO admission check: occupancy = accepted samples that have
+    // arrived but whose DVP hasn't started by this arrival cycle.
+    std::size_t occupancy = 0;
+    for (std::size_t j = 0; j < admit_time.size(); ++j) {
+      if (admit_time[j] <= t.arrival && dvp_start[j] > t.arrival) {
+        ++occupancy;
+      }
+    }
+    result.max_fifo_occupancy =
+        std::max(result.max_fifo_occupancy, occupancy);
+    if (occupancy >= config.input_fifo_depth) {
+      t.dropped = true;
+      ++result.dropped;
+      continue;
+    }
+
+    // Schedule through the four stages with blocking handoff:
+    //   start(s) = max(prev stage completion, stage free time)
+    //   a stage frees when the *next* stage starts (it must hold its
+    //   output), except the last stage which frees at its own end.
+    std::size_t ready = t.arrival;
+    std::array<std::size_t, kStageCount> start{};
+    std::array<std::size_t, kStageCount> finish{};
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      start[s] = std::max(ready, free_at[s]);
+      finish[s] = start[s] + durations[s];
+      ready = finish[s];
+    }
+    // Propagate blocking: stage s cannot start handoff until stage s+1
+    // actually accepted; recompute frees back-to-front.
+    for (std::size_t s = 0; s + 1 < kStageCount; ++s) {
+      free_at[s] = std::max(finish[s], start[s + 1]);
+    }
+    free_at[kStageCount - 1] = finish[kStageCount - 1];
+
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      t.stages[s] = {start[s], finish[s]};
+    }
+    admit_time.push_back(t.arrival);
+    dvp_start.push_back(start[0]);
+    ++result.accepted;
+    latency_sum += static_cast<double>(t.latency());
+    result.makespan = std::max(result.makespan, t.completion());
+  }
+
+  UNIVSA_REQUIRE(result.accepted > 0, "every sample was dropped");
+  result.mean_latency_cycles =
+      latency_sum / static_cast<double>(result.accepted);
+  return result;
+}
+
+EventSimResult simulate_periodic(const EventSimConfig& config,
+                                 std::size_t count, std::size_t period) {
+  UNIVSA_REQUIRE(count > 0, "need at least one sample");
+  std::vector<std::size_t> arrivals(count);
+  for (std::size_t i = 0; i < count; ++i) arrivals[i] = i * period;
+  return simulate_stream(config, arrivals);
+}
+
+}  // namespace univsa::hw

@@ -1,0 +1,216 @@
+#include "univsa/hw/functional_sim.h"
+
+#include <bit>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::hw {
+
+std::uint16_t InputFifo::pop() {
+  UNIVSA_REQUIRE(!q_.empty(), "FIFO underflow");
+  const std::uint16_t v = q_.front();
+  q_.pop_front();
+  return v;
+}
+
+DvpUnit::DvpUnit(const vsa::Model& model, const TimingParams& params)
+    : model_(model), pipeline_depth_(params.dvp_pipeline_depth) {}
+
+DvpResult DvpUnit::process(InputFifo& fifo) const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::size_t n = c.features();
+  UNIVSA_REQUIRE(fifo.size() == n, "FIFO must hold one full sample");
+
+  DvpResult r;
+  r.volume.resize(n);
+  const std::uint32_t high_valid =
+      c.D_H == 32 ? ~0u : (1u << c.D_H) - 1;
+  const std::uint32_t low_valid = (1u << c.D_L) - 1;
+
+  // One feature leaves the FIFO per cycle; the table lookup pipeline adds
+  // a constant fill latency.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint16_t level = fifo.pop();
+    UNIVSA_REQUIRE(level < c.M, "value exceeds M levels");
+    vsa::PackedValue& pv = r.volume[i];
+    if (model_.mask()[i]) {
+      pv.valid = high_valid;
+      pv.bits = static_cast<std::uint32_t>(
+          model_.value_table_high()[level].words()[0]);
+    } else {
+      pv.valid = low_valid;
+      pv.bits = static_cast<std::uint32_t>(
+                    model_.value_table_low()[level].words()[0]) &
+                low_valid;
+    }
+    ++r.cycles;
+  }
+  r.cycles += pipeline_depth_;
+  return r;
+}
+
+BiConvUnit::BiConvUnit(const vsa::Model& model) : model_(model) {}
+
+BiConvResult BiConvUnit::process(
+    const std::vector<vsa::PackedValue>& volume) const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::size_t h = c.W;
+  const std::size_t w = c.L;
+  UNIVSA_REQUIRE(volume.size() == h * w, "volume size mismatch");
+  const std::size_t k = c.D_K;
+  const long pad = static_cast<long>(k / 2);
+  const std::size_t alpha = conv_iteration_cycles(c);
+
+  BiConvResult r;
+  r.channels.assign(c.O, BitVec(h * w));
+  std::vector<long long> acc(c.O);
+
+  // Double buffering: while slab (output row y) computes, the next slab
+  // preloads — so slab swaps cost no cycles, only a counter tick.
+  for (std::size_t y = 0; y < h; ++y) {
+    ++r.buffer_swaps;
+    for (std::size_t x = 0; x < w; ++x) {
+      std::fill(acc.begin(), acc.end(), 0);
+      // D_K kernel-column iterations, each α cycles; all O dot-product
+      // units run in lockstep on the shared patch column.
+      for (std::size_t kw = 0; kw < k; ++kw) {
+        const long sx = static_cast<long>(x) + static_cast<long>(kw) - pad;
+        if (sx >= 0 && sx < static_cast<long>(w)) {
+          for (std::size_t kh = 0; kh < k; ++kh) {
+            const long sy =
+                static_cast<long>(y) + static_cast<long>(kh) - pad;
+            if (sy < 0 || sy >= static_cast<long>(h)) continue;
+            const vsa::PackedValue& pv =
+                volume[static_cast<std::size_t>(sy) * w +
+                       static_cast<std::size_t>(sx)];
+            const auto valid_pop =
+                static_cast<long long>(std::popcount(pv.valid));
+            for (std::size_t o = 0; o < c.O; ++o) {
+              const std::uint32_t kbits =
+                  model_.kernel_bits()[o][kh * k + kw];
+              const std::uint32_t agree = ~(pv.bits ^ kbits) & pv.valid;
+              acc[o] += 2LL * std::popcount(agree) - valid_pop;
+            }
+          }
+        }
+        r.cycles += alpha;
+      }
+      for (std::size_t o = 0; o < c.O; ++o) {
+        r.channels[o].set(y * w + x, acc[o] >= 0 ? 1 : -1);
+      }
+    }
+  }
+  return r;
+}
+
+EncodingUnit::EncodingUnit(const vsa::Model& model) : model_(model) {}
+
+EncodingResult EncodingUnit::process(
+    const std::vector<BitVec>& channels) const {
+  const vsa::ModelConfig& c = model_.config();
+  UNIVSA_REQUIRE(channels.size() == c.O, "channel count mismatch");
+  const std::size_t ns = c.sample_dim();
+
+  EncodingResult r;
+  r.sample_vector = BitVec(ns);
+  // One output position per cycle: O-wide XNOR row feeding an adder tree.
+  for (std::size_t j = 0; j < ns; ++j) {
+    long long sum = 0;
+    for (std::size_t o = 0; o < c.O; ++o) {
+      sum += (model_.feature_vectors()[o].get(j) == channels[o].get(j))
+                 ? 1
+                 : -1;
+    }
+    r.sample_vector.set(j, sum >= 0 ? 1 : -1);
+    ++r.cycles;
+  }
+  // Adder-tree + sign pipeline drain.
+  std::size_t tree = 0;
+  for (std::size_t v = 1; v < c.O; v <<= 1) ++tree;
+  r.cycles += tree + 2;
+  return r;
+}
+
+SimilarityUnit::SimilarityUnit(const vsa::Model& model,
+                               const TimingParams& params)
+    : model_(model), popcount_width_(params.popcount_width) {}
+
+SimilarityResult SimilarityUnit::process(const BitVec& sample_vector) const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::size_t ns = c.sample_dim();
+  UNIVSA_REQUIRE(sample_vector.size() == ns, "sample vector mismatch");
+
+  SimilarityResult r;
+  r.prediction.scores.assign(c.C, 0);
+  const std::size_t words =
+      (ns + popcount_width_ - 1) / popcount_width_;
+
+  // Per class: `words` cycles, the Θ voter banks operating in parallel.
+  for (std::size_t cls = 0; cls < c.C; ++cls) {
+    long long score = 0;
+    for (std::size_t wd = 0; wd < words; ++wd) {
+      for (std::size_t theta = 0; theta < c.Theta; ++theta) {
+        const BitVec& cv = model_.class_vectors()[theta * c.C + cls];
+        const std::size_t begin = wd * popcount_width_;
+        const std::size_t end = std::min(ns, begin + popcount_width_);
+        for (std::size_t j = begin; j < end; ++j) {
+          score += (sample_vector.get(j) == cv.get(j)) ? 1 : -1;
+        }
+      }
+      ++r.cycles;
+    }
+    r.prediction.scores[cls] = score;
+  }
+  // Final accumulate/compare tree drain.
+  std::size_t tree = 0;
+  for (std::size_t v = 1; v < ns; v <<= 1) ++tree;
+  r.cycles += tree;
+
+  std::size_t best = 0;
+  for (std::size_t cls = 1; cls < c.C; ++cls) {
+    if (r.prediction.scores[cls] > r.prediction.scores[best]) best = cls;
+  }
+  r.prediction.label = static_cast<int>(best);
+  return r;
+}
+
+Accelerator::Accelerator(const vsa::Model& model, TimingParams params)
+    : model_(model),
+      params_(params),
+      dvp_(model_, params_),
+      conv_(model_),
+      encode_(model_),
+      similarity_(model_, params_) {}
+
+RunTrace Accelerator::run(const std::vector<std::uint16_t>& values) const {
+  InputFifo fifo;
+  for (const auto v : values) fifo.push(v);
+
+  const DvpResult dvp = dvp_.process(fifo);
+  const BiConvResult conv = conv_.process(dvp.volume);
+  const EncodingResult enc = encode_.process(conv.channels);
+  const SimilarityResult sim = similarity_.process(enc.sample_vector);
+
+  RunTrace trace;
+  trace.prediction = sim.prediction;
+  trace.sample_vector = enc.sample_vector;
+  trace.cycles.dvp = dvp.cycles;
+  trace.cycles.biconv = conv.cycles;
+  trace.cycles.encoding = enc.cycles;
+  trace.cycles.similarity = sim.cycles;
+  trace.buffer_swaps = conv.buffer_swaps;
+  return trace;
+}
+
+double Accelerator::accuracy(const data::Dataset& dataset) const {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (run(dataset.values(i)).prediction.label == dataset.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace univsa::hw

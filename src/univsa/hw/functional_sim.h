@@ -1,0 +1,134 @@
+// Bit-true functional simulation of the UniVSA accelerator (Sec. IV-A).
+//
+// Each hardware module is modelled as a unit that transforms its input
+// exactly as the RTL datapath would (XNOR lanes, popcount adder trees,
+// sign units, comparators) while counting the cycles its schedule takes.
+// The units mirror Fig. 5:
+//   InputFifo + DvpUnit — sequential value projection, one feature/cycle,
+//   BiConvUnit          — double-buffered row slabs, O-way kernel
+//                         parallelism, α cycles per kernel-column
+//                         iteration,
+//   EncodingUnit        — O-wide XNOR row + adder tree + sign, one output
+//                         position per cycle,
+//   SimilarityUnit      — Θ-parallel 64-lane XNOR/popcount, per-class
+//                         accumulate and argmax compare.
+//
+// Two invariants are enforced by tests:
+//   (1) every intermediate equals the software model's (vsa::Model)
+//       stage outputs bit-for-bit, and
+//   (2) the counted cycles equal the closed-form timing model
+//       (hw::stage_cycles) — so the analytic Table IV numbers are backed
+//       by an executable machine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "univsa/common/bitvec.h"
+#include "univsa/hw/timing_model.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::hw {
+
+/// Input FIFO feeding the DVP stage (Fig. 5 "data FIFO").
+class InputFifo {
+ public:
+  void push(std::uint16_t value) { q_.push_back(value); }
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  std::uint16_t pop();
+
+ private:
+  std::deque<std::uint16_t> q_;
+};
+
+struct DvpResult {
+  std::vector<vsa::PackedValue> volume;
+  std::size_t cycles = 0;
+};
+
+struct BiConvResult {
+  std::vector<BitVec> channels;  ///< O × N_s binarized feature maps
+  std::size_t cycles = 0;
+  std::size_t buffer_swaps = 0;  ///< double-buffer slab reloads
+};
+
+struct EncodingResult {
+  BitVec sample_vector;
+  std::size_t cycles = 0;
+};
+
+struct SimilarityResult {
+  vsa::Prediction prediction;
+  std::size_t cycles = 0;
+};
+
+class DvpUnit {
+ public:
+  explicit DvpUnit(const vsa::Model& model, const TimingParams& params);
+  DvpResult process(InputFifo& fifo) const;
+
+ private:
+  const vsa::Model& model_;
+  std::size_t pipeline_depth_;
+};
+
+class BiConvUnit {
+ public:
+  explicit BiConvUnit(const vsa::Model& model);
+  BiConvResult process(const std::vector<vsa::PackedValue>& volume) const;
+
+ private:
+  const vsa::Model& model_;
+};
+
+class EncodingUnit {
+ public:
+  explicit EncodingUnit(const vsa::Model& model);
+  EncodingResult process(const std::vector<BitVec>& channels) const;
+
+ private:
+  const vsa::Model& model_;
+};
+
+class SimilarityUnit {
+ public:
+  SimilarityUnit(const vsa::Model& model, const TimingParams& params);
+  SimilarityResult process(const BitVec& sample_vector) const;
+
+ private:
+  const vsa::Model& model_;
+  std::size_t popcount_width_;
+};
+
+struct RunTrace {
+  vsa::Prediction prediction;
+  BitVec sample_vector;
+  StageCycles cycles;        ///< counted, pre-overhead
+  std::size_t buffer_swaps = 0;
+};
+
+/// The composed accelerator (central controller's single-input schedule).
+class Accelerator {
+ public:
+  explicit Accelerator(const vsa::Model& model, TimingParams params = {});
+
+  RunTrace run(const std::vector<std::uint16_t>& values) const;
+
+  /// Accuracy over a dataset through the functional datapath.
+  double accuracy(const data::Dataset& dataset) const;
+
+  const vsa::Model& model() const { return model_; }
+  const TimingParams& timing() const { return params_; }
+
+ private:
+  const vsa::Model& model_;
+  TimingParams params_;
+  DvpUnit dvp_;
+  BiConvUnit conv_;
+  EncodingUnit encode_;
+  SimilarityUnit similarity_;
+};
+
+}  // namespace univsa::hw

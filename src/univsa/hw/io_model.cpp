@@ -1,0 +1,45 @@
+#include "univsa/hw/io_model.h"
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::hw {
+
+TransferEstimate estimate_transfer(std::size_t bytes,
+                                   const AxiParams& params) {
+  UNIVSA_REQUIRE(params.bus_mhz > 0.0, "bus clock must be positive");
+  UNIVSA_REQUIRE(params.data_width_bits >= 8 &&
+                     params.data_width_bits % 8 == 0,
+                 "bus width must be a whole number of bytes");
+  UNIVSA_REQUIRE(params.max_burst_beats >= 1, "burst length must be >=1");
+
+  TransferEstimate t;
+  t.bytes = bytes;
+  const std::size_t bytes_per_beat = params.data_width_bits / 8;
+  t.beats = (bytes + bytes_per_beat - 1) / bytes_per_beat;
+  t.bursts =
+      (t.beats + params.max_burst_beats - 1) / params.max_burst_beats;
+  t.cycles = t.beats + t.bursts * params.setup_cycles_per_burst;
+  t.microseconds = static_cast<double>(t.cycles) / params.bus_mhz;
+  return t;
+}
+
+IoReport io_report_for(const vsa::ModelConfig& config,
+                       const TimingParams& timing, const AxiParams& axi) {
+  config.validate();
+  UNIVSA_REQUIRE(config.M <= 256,
+                 "one-byte-per-level packing assumes M <= 256");
+  IoReport r;
+  // Input: one level byte per feature.
+  r.input = estimate_transfer(config.features(), axi);
+  // Output: per-class 64-bit scores plus the label byte.
+  r.output = estimate_transfer(config.C * 8 + 1, axi);
+  r.io_us = r.input.microseconds + r.output.microseconds;
+  const double interval_cycles =
+      timing.controller_overhead *
+      static_cast<double>(stage_cycles(config, timing).interval());
+  r.compute_interval_us = interval_cycles / timing.clock_mhz;
+  r.io_fraction = r.io_us / r.compute_interval_us;
+  return r;
+}
+
+}  // namespace univsa::hw

@@ -1,0 +1,55 @@
+// Host-device I/O cost model (AXI).
+//
+// The paper's system moves control, input data, and results between the
+// CPU and the FPGA over AXI_HPM_LPD (Sec. V-A). For streaming inference
+// the question is whether the link ever becomes the bottleneck: per
+// inference the input is W·L quantized levels (one byte each at M ≤ 256)
+// and the output is a label (plus optionally C scores). This model
+// estimates transfer cycles from bus width / burst structure and
+// compares them with the compute interval — on every Table I
+// configuration the datapath, not the link, binds (property-tested),
+// which is what lets the paper treat I/O as covered by the pipeline.
+#pragma once
+
+#include <cstddef>
+
+#include "univsa/hw/timing_model.h"
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::hw {
+
+struct AxiParams {
+  double bus_mhz = 250.0;
+  std::size_t data_width_bits = 32;
+  std::size_t max_burst_beats = 16;
+  /// Address/handshake overhead cycles per burst.
+  std::size_t setup_cycles_per_burst = 4;
+};
+
+struct TransferEstimate {
+  std::size_t bytes = 0;
+  std::size_t beats = 0;
+  std::size_t bursts = 0;
+  std::size_t cycles = 0;
+  double microseconds = 0.0;
+};
+
+/// Cycles/time to move `bytes` over the link.
+TransferEstimate estimate_transfer(std::size_t bytes,
+                                   const AxiParams& params = {});
+
+struct IoReport {
+  TransferEstimate input;    ///< W·L level bytes per inference
+  TransferEstimate output;   ///< C scores (8 bytes each) + label
+  double io_us = 0.0;        ///< input + output per inference
+  double compute_interval_us = 0.0;  ///< streaming interval (BiConv)
+  /// io_us / compute_interval_us — < 1 means the link is covered by the
+  /// pipeline, as the paper assumes.
+  double io_fraction = 0.0;
+};
+
+IoReport io_report_for(const vsa::ModelConfig& config,
+                       const TimingParams& timing = {},
+                       const AxiParams& axi = {});
+
+}  // namespace univsa::hw

@@ -1,0 +1,85 @@
+#include "univsa/hw/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::hw {
+
+std::size_t StreamSchedule::steady_interval() const {
+  UNIVSA_REQUIRE(samples.size() >= 2,
+                 "steady interval needs at least two samples");
+  const auto& last = samples.back().stages.back();
+  const auto& prev = samples[samples.size() - 2].stages.back();
+  return last.end - prev.end;
+}
+
+double StreamSchedule::achieved_throughput(double clock_mhz) const {
+  UNIVSA_REQUIRE(!samples.empty() && makespan > 0, "empty schedule");
+  return static_cast<double>(samples.size()) * clock_mhz * 1e6 /
+         static_cast<double>(makespan);
+}
+
+StreamSchedule schedule_stream(const StageCycles& cycles, std::size_t count,
+                               double overhead) {
+  UNIVSA_REQUIRE(count > 0, "need at least one sample");
+  UNIVSA_REQUIRE(overhead >= 1.0, "overhead factor must be >= 1");
+
+  const auto scaled = [overhead](std::size_t c) {
+    return static_cast<std::size_t>(
+        std::llround(overhead * static_cast<double>(c)));
+  };
+  const std::array<std::size_t, kStageCount> durations = {
+      scaled(cycles.dvp), scaled(cycles.biconv), scaled(cycles.encoding),
+      scaled(cycles.similarity)};
+
+  StreamSchedule schedule;
+  schedule.samples.resize(count);
+  std::array<std::size_t, kStageCount> stage_free{};  // end of last use
+
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t ready = 0;  // end of previous stage for this sample
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const std::size_t start = std::max(ready, stage_free[s]);
+      const std::size_t end = start + durations[s];
+      schedule.samples[k].stages[s] = {start, end};
+      stage_free[s] = end;
+      ready = end;
+    }
+    schedule.makespan =
+        std::max(schedule.makespan, schedule.samples[k].stages.back().end);
+  }
+  return schedule;
+}
+
+std::string render_gantt(const StreamSchedule& schedule, std::size_t width) {
+  UNIVSA_REQUIRE(width >= 16, "gantt width too small");
+  UNIVSA_REQUIRE(!schedule.samples.empty(), "empty schedule");
+  const double scale = static_cast<double>(width) /
+                       static_cast<double>(schedule.makespan);
+
+  std::ostringstream os;
+  os << "cycles 0 .. " << schedule.makespan << "  (one column ≈ "
+     << static_cast<std::size_t>(1.0 / scale + 0.5) << " cycles)\n";
+  for (std::size_t k = 0; k < schedule.samples.size(); ++k) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const auto& iv = schedule.samples[k].stages[s];
+      auto c0 = static_cast<std::size_t>(iv.start * scale);
+      auto c1 = static_cast<std::size_t>(iv.end * scale);
+      c1 = std::max(c1, c0 + 1);  // always visible
+      c1 = std::min(c1, width);
+      std::string row(width, '.');
+      for (std::size_t c = c0; c < c1; ++c) row[c] = '0' + (k % 10);
+      os << "x" << k << " " << kStageNames[s];
+      for (std::size_t p = std::string(kStageNames[s]).size(); p < 8; ++p) {
+        os << ' ';
+      }
+      os << '|' << row << "|\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace univsa::hw

@@ -1,0 +1,57 @@
+// Streaming pipeline scheduler (Fig. 5 bottom-right).
+//
+// Under streaming inputs the central controller overlaps the four stages
+// across consecutive samples; double buffering lets a stage accept sample
+// k+1 as soon as it finished sample k. The schedule therefore follows the
+// classic pipeline recurrence
+//   start(k, s) = max( end(k, s-1), end(k-1, s) )
+// and the steady-state initiation interval is the slowest stage — BiConv
+// for every Table I configuration. render_gantt() draws the schedule the
+// way the paper's figure does.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "univsa/hw/timing_model.h"
+
+namespace univsa::hw {
+
+inline constexpr std::size_t kStageCount = 4;
+inline constexpr std::array<const char*, kStageCount> kStageNames = {
+    "DVP", "BiConv", "Encode", "Similar"};
+
+struct StageInterval {
+  std::size_t start = 0;
+  std::size_t end = 0;  ///< exclusive
+};
+
+struct SampleSchedule {
+  std::array<StageInterval, kStageCount> stages;
+};
+
+struct StreamSchedule {
+  std::vector<SampleSchedule> samples;
+  std::size_t makespan = 0;  ///< cycles until the last result
+
+  /// Steady-state initiation interval in cycles (difference between the
+  /// last two completions; equals the slowest stage once the pipe fills).
+  std::size_t steady_interval() const;
+
+  /// Achieved inferences/s for the whole stream.
+  double achieved_throughput(double clock_mhz) const;
+};
+
+/// Schedules `count` back-to-back samples. `overhead` scales every stage
+/// duration (the controller factor of TimingParams).
+StreamSchedule schedule_stream(const StageCycles& cycles, std::size_t count,
+                               double overhead = 1.0);
+
+/// ASCII Gantt chart, one row per (sample, stage), `width` characters of
+/// timeline.
+std::string render_gantt(const StreamSchedule& schedule,
+                         std::size_t width = 72);
+
+}  // namespace univsa::hw

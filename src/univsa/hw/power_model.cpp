@@ -1,0 +1,21 @@
+#include "univsa/hw/power_model.h"
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::hw {
+
+double estimate_power_w(const ResourceEstimate& resources, double clock_mhz,
+                        const PowerParams& params) {
+  UNIVSA_REQUIRE(clock_mhz > 0.0, "clock must be positive");
+  const double dynamic = params.w_per_kilolut *
+                         (resources.total_luts() / 1000.0) *
+                         (clock_mhz / params.reference_clock_mhz);
+  return params.static_w + dynamic;
+}
+
+double estimate_power_w(const vsa::ModelConfig& config, double clock_mhz,
+                        const PowerParams& params) {
+  return estimate_power_w(estimate_resources(config), clock_mhz, params);
+}
+
+}  // namespace univsa::hw

@@ -1,0 +1,73 @@
+#include "univsa/hw/resource_model.h"
+
+#include "univsa/common/contracts.h"
+#include "univsa/data/benchmarks.h"
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::hw {
+
+namespace {
+
+ResourceEstimate estimate_raw(const vsa::ModelConfig& config,
+                              const ResourceParams& params) {
+  config.validate();
+  ResourceEstimate e;
+  const auto o = static_cast<double>(config.O);
+  const auto dh = static_cast<double>(config.D_H);
+  const auto dk = static_cast<double>(config.D_K);
+  const auto theta = static_cast<double>(config.Theta);
+  const auto classes = static_cast<double>(config.C);
+  const auto length = static_cast<double>(config.L);
+
+  e.dvp_luts = params.dvp_base + params.dvp_per_lane * dh;
+  // Eq. 6 structure: β · D_K · O · D_H, plus a per-channel accumulator.
+  e.biconv_luts =
+      params.beta_conv * dk * o * dh + params.conv_accumulator * o;
+  e.encoding_luts = params.encoding_per_channel * o + params.encoding_base;
+  e.similarity_luts = params.similarity_per_voter * theta +
+                      params.similarity_per_class * classes;
+  // Double-buffered D_K-row slab of the (D_H, W, L) value volume.
+  e.buffer_luts =
+      2.0 * dh * length * dk / params.buffer_bits_per_lut;
+  e.control_luts = params.control_base;
+
+  const std::size_t model_bits = vsa::memory_bits(config);
+  e.brams = std::max<std::size_t>(
+      1, (model_bits + params.bram_bits - 1) / params.bram_bits);
+  e.dsps = 0;  // XNOR/popcount datapath only
+  return e;
+}
+
+}  // namespace
+
+ResourceEstimate estimate_resources(const vsa::ModelConfig& config,
+                                    const ResourceParams& params) {
+  ResourceEstimate e = estimate_raw(config, params);
+  e.dvp_luts *= params.global_scale;
+  e.biconv_luts *= params.global_scale;
+  e.encoding_luts *= params.global_scale;
+  e.similarity_luts *= params.global_scale;
+  e.buffer_luts *= params.global_scale;
+  e.control_luts *= params.global_scale;
+  return e;
+}
+
+const ResourceParams& calibrated_params() {
+  static const ResourceParams calibrated = [] {
+    ResourceParams p;
+    // Calibrate the global scale so the ISOLET configuration (the row the
+    // paper uses for its Table III comparison) lands on 7.92 kLUTs.
+    const vsa::ModelConfig isolet =
+        data::find_benchmark("ISOLET").config;
+    const double raw = estimate_raw(isolet, p).total_luts();
+    p.global_scale = 7920.0 / raw;
+    return p;
+  }();
+  return calibrated;
+}
+
+ResourceEstimate estimate_resources(const vsa::ModelConfig& config) {
+  return estimate_resources(config, calibrated_params());
+}
+
+}  // namespace univsa::hw

@@ -1,0 +1,69 @@
+#include "univsa/hw/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::hw {
+
+namespace {
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t bits = 0;
+  std::size_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+std::size_t StageCycles::interval() const {
+  return std::max({dvp, biconv, encoding, similarity});
+}
+
+std::size_t conv_iteration_cycles(const vsa::ModelConfig& config) {
+  config.validate();
+  return std::max(config.D_K, ceil_log2(config.D_H));
+}
+
+StageCycles stage_cycles(const vsa::ModelConfig& config,
+                         const TimingParams& params) {
+  config.validate();
+  StageCycles s;
+  const std::size_t n = config.features();
+  const std::size_t ns = config.sample_dim();
+
+  s.dvp = n + params.dvp_pipeline_depth;
+  s.biconv = ns * config.D_K * conv_iteration_cycles(config);
+  s.encoding = ns + ceil_log2(config.O) + 2;
+  const std::size_t words =
+      (ns + params.popcount_width - 1) / params.popcount_width;
+  s.similarity = config.C * words + ceil_log2(ns);
+  return s;
+}
+
+std::size_t latency_cycles(const vsa::ModelConfig& config,
+                           const TimingParams& params) {
+  const StageCycles s = stage_cycles(config, params);
+  return static_cast<std::size_t>(
+      std::llround(params.controller_overhead *
+                   static_cast<double>(s.total())));
+}
+
+double latency_ms(const vsa::ModelConfig& config,
+                  const TimingParams& params) {
+  return static_cast<double>(latency_cycles(config, params)) /
+         (params.clock_mhz * 1e3);
+}
+
+double throughput_per_s(const vsa::ModelConfig& config,
+                        const TimingParams& params) {
+  const StageCycles s = stage_cycles(config, params);
+  const double interval_cycles =
+      params.controller_overhead * static_cast<double>(s.interval());
+  return params.clock_mhz * 1e6 / interval_cycles;
+}
+
+}  // namespace univsa::hw

@@ -1,0 +1,694 @@
+#include "univsa/hw/verilog_gen.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::hw {
+
+namespace {
+
+std::size_t clog2(std::size_t n) {
+  std::size_t bits = 1;
+  while ((1ULL << bits) < n) ++bits;
+  return bits;
+}
+
+/// Hex literal "W'hXYZ" for the low `width` bits collected via `bit_at`.
+template <typename BitAt>
+std::string hex_literal(std::size_t width, BitAt bit_at) {
+  UNIVSA_REQUIRE(width >= 1, "empty literal");
+  const std::size_t nibbles = (width + 3) / 4;
+  std::vector<unsigned> nibble(nibbles, 0);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (bit_at(i)) nibble[i / 4] |= 1u << (i % 4);
+  }
+  std::ostringstream os;
+  os << width << "'h";
+  for (std::size_t k = nibbles; k > 0; --k) {
+    os << "0123456789abcdef"[nibble[k - 1]];
+  }
+  return os.str();
+}
+
+/// Emit a synthesizable popcount function of the given input width.
+std::string popcount_function(const std::string& name, std::size_t width,
+                              std::size_t out_width) {
+  std::ostringstream os;
+  os << "  function [" << out_width - 1 << ":0] " << name << ";\n"
+     << "    input [" << width - 1 << ":0] x;\n"
+     << "    integer i;\n"
+     << "    begin\n"
+     << "      " << name << " = " << out_width << "'d0;\n"
+     << "      for (i = 0; i < " << width << "; i = i + 1)\n"
+     << "        " << name << " = " << name << " + x[i];\n"
+     << "    end\n"
+     << "  endfunction\n";
+  return os.str();
+}
+
+}  // namespace
+
+VerilogGenerator::VerilogGenerator(const vsa::Model& model,
+                                   VerilogOptions options)
+    : model_(model), options_(std::move(options)) {
+  model_.config().validate();
+  UNIVSA_REQUIRE(!options_.prefix.empty(), "empty module prefix");
+  UNIVSA_REQUIRE(options_.acc_width >= 8 && options_.acc_width <= 32,
+                 "accumulator width out of range");
+}
+
+std::string VerilogGenerator::value_rom() const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::size_t level_w = clog2(c.M);
+  const std::size_t addr_w = clog2(c.features());
+  std::ostringstream os;
+
+  os << "// DVP value projection: V_H / V_L tables + importance mask\n"
+     << "// (Sec. IV-A \"Discriminated Value Projection\"; sequential,\n"
+     << "// one feature per cycle).\n"
+     << "module " << options_.prefix << "_value_rom (\n"
+     << "  input  wire                 clk,\n"
+     << "  input  wire [" << level_w - 1 << ":0] level,\n"
+     << "  input  wire [" << addr_w - 1 << ":0] feature_idx,\n"
+     << "  output reg  [" << c.D_H - 1 << ":0] vec_bits,\n"
+     << "  output reg  [" << c.D_H - 1 << ":0] vec_valid\n"
+     << ");\n";
+
+  // V_H table.
+  os << "  function [" << c.D_H - 1 << ":0] vh_lookup;\n"
+     << "    input [" << level_w - 1 << ":0] m;\n"
+     << "    begin\n      case (m)\n";
+  for (std::size_t m = 0; m < c.M; ++m) {
+    const BitVec& row = model_.value_table_high()[m];
+    os << "        " << level_w << "'d" << m << ": vh_lookup = "
+       << hex_literal(c.D_H,
+                      [&](std::size_t d) { return row.get(d) == 1; })
+       << ";\n";
+  }
+  os << "        default: vh_lookup = " << c.D_H << "'d0;\n"
+     << "      endcase\n    end\n  endfunction\n";
+
+  // V_L table.
+  os << "  function [" << c.D_L - 1 << ":0] vl_lookup;\n"
+     << "    input [" << level_w - 1 << ":0] m;\n"
+     << "    begin\n      case (m)\n";
+  for (std::size_t m = 0; m < c.M; ++m) {
+    const BitVec& row = model_.value_table_low()[m];
+    os << "        " << level_w << "'d" << m << ": vl_lookup = "
+       << hex_literal(c.D_L,
+                      [&](std::size_t d) { return row.get(d) == 1; })
+       << ";\n";
+  }
+  os << "        default: vl_lookup = " << c.D_L << "'d0;\n"
+     << "      endcase\n    end\n  endfunction\n";
+
+  // Importance mask.
+  os << "  function mask_lookup;\n"
+     << "    input [" << addr_w - 1 << ":0] i;\n"
+     << "    begin\n      case (i)\n";
+  for (std::size_t i = 0; i < c.features(); ++i) {
+    if (model_.mask()[i]) {
+      os << "        " << addr_w << "'d" << i
+         << ": mask_lookup = 1'b1;\n";
+    }
+  }
+  os << "        default: mask_lookup = 1'b0;\n"
+     << "      endcase\n    end\n  endfunction\n";
+
+  os << "  always @(posedge clk) begin\n"
+     << "    if (mask_lookup(feature_idx)) begin\n"
+     << "      vec_bits  <= vh_lookup(level);\n"
+     << "      vec_valid <= {" << c.D_H << "{1'b1}};\n"
+     << "    end else begin\n"
+     << "      vec_bits  <= {" << c.D_H << "'d0} | vl_lookup(level);\n"
+     << "      vec_valid <= {" << c.D_H << "'d0} | {" << c.D_L
+     << "{1'b1}};\n"
+     << "    end\n"
+     << "  end\nendmodule\n";
+  return os.str();
+}
+
+std::string VerilogGenerator::biconv() const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::size_t patch = c.D_H * c.D_K * c.D_K;
+  const std::size_t aw = options_.acc_width;
+  std::ostringstream os;
+
+  os << "// BiConv: " << c.O << " parallel XNOR/popcount dot-product\n"
+     << "// units, kernels K baked as localparams (Sec. IV-A, Eq. 6\n"
+     << "// structure beta*D_K*O*D_H).\n"
+     << "module " << options_.prefix << "_biconv (\n"
+     << "  input  wire                 clk,\n"
+     << "  input  wire                 in_valid,\n"
+     << "  input  wire [" << patch - 1 << ":0] patch_bits,\n"
+     << "  input  wire [" << patch - 1 << ":0] patch_valid,\n"
+     << "  output reg  [" << c.O - 1 << ":0] out_bits,\n"
+     << "  output reg                  out_valid\n"
+     << ");\n";
+
+  // Kernel constants: bit index = (kh*D_K + kw)*D_H + d.
+  for (std::size_t o = 0; o < c.O; ++o) {
+    os << "  localparam [" << patch - 1 << ":0] KERNEL_" << o << " = "
+       << hex_literal(patch,
+                      [&](std::size_t bit) {
+                        const std::size_t k = bit / c.D_H;
+                        const std::size_t d = bit % c.D_H;
+                        return ((model_.kernel_bits()[o][k] >> d) & 1u) !=
+                               0;
+                      })
+       << ";\n";
+  }
+  os << popcount_function("pc", patch, aw);
+  os << "  wire [" << aw - 1 << ":0] valid_count = pc(patch_valid);\n";
+  for (std::size_t o = 0; o < c.O; ++o) {
+    os << "  wire [" << patch - 1 << ":0] agree_" << o
+       << " = ~(patch_bits ^ KERNEL_" << o << ") & patch_valid;\n";
+  }
+  os << "  always @(posedge clk) begin\n"
+     << "    out_valid <= in_valid;\n";
+  for (std::size_t o = 0; o < c.O; ++o) {
+    // sgn(2*agree - valid) with sgn(0) = +1.
+    os << "    out_bits[" << o << "] <= ((pc(agree_" << o
+       << ") << 1) >= valid_count);\n";
+  }
+  os << "  end\nendmodule\n";
+  return os.str();
+}
+
+std::string VerilogGenerator::encode() const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::size_t ns = c.sample_dim();
+  const std::size_t pos_w = clog2(ns);
+  const std::size_t aw = options_.acc_width;
+  std::ostringstream os;
+
+  os << "// Encoding (Eq. 1 over conv channels): O-wide XNOR row against\n"
+     << "// the feature vectors F, adder tree, sign — one position per\n"
+     << "// cycle (Sec. IV-A).\n"
+     << "module " << options_.prefix << "_encode (\n"
+     << "  input  wire                 clk,\n"
+     << "  input  wire                 in_valid,\n"
+     << "  input  wire [" << c.O - 1 << ":0] u_bits,\n"
+     << "  input  wire [" << pos_w - 1 << ":0] pos,\n"
+     << "  output reg                  s_bit,\n"
+     << "  output reg                  out_valid\n"
+     << ");\n";
+
+  // F columns: for position j, the O lanes F[:, j].
+  os << "  function [" << c.O - 1 << ":0] f_lookup;\n"
+     << "    input [" << pos_w - 1 << ":0] j;\n"
+     << "    begin\n      case (j)\n";
+  for (std::size_t j = 0; j < ns; ++j) {
+    os << "        " << pos_w << "'d" << j << ": f_lookup = "
+       << hex_literal(c.O,
+                      [&](std::size_t o) {
+                        return model_.feature_vectors()[o].get(j) == 1;
+                      })
+       << ";\n";
+  }
+  os << "        default: f_lookup = " << c.O << "'d0;\n"
+     << "      endcase\n    end\n  endfunction\n";
+  os << popcount_function("pc", c.O, aw);
+  os << "  wire [" << c.O - 1 << ":0] agree = ~(u_bits ^ f_lookup(pos));\n"
+     << "  always @(posedge clk) begin\n"
+     << "    out_valid <= in_valid;\n"
+     << "    s_bit <= ((pc(agree) << 1) >= " << aw << "'d" << c.O
+     << ");\n"
+     << "  end\nendmodule\n";
+  return os.str();
+}
+
+std::string VerilogGenerator::similarity() const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::size_t ns = c.sample_dim();
+  const std::size_t pos_w = clog2(ns);
+  const std::size_t cnt_w = clog2(ns + 1) + 1;
+  const std::size_t sum_w = cnt_w + clog2(c.Theta) + 1;
+  const std::size_t label_w = clog2(c.C);
+  std::ostringstream os;
+
+  os << "// Similarity with soft voting (Eq. 4): Θ·C = " << c.Theta << "*"
+     << c.C << " class-vector banks accumulate agreements as the sample\n"
+     << "// vector streams by; argmax on `last` (Sec. IV-A).\n"
+     << "module " << options_.prefix << "_similarity (\n"
+     << "  input  wire                 clk,\n"
+     << "  input  wire                 rst,\n"
+     << "  input  wire                 in_valid,\n"
+     << "  input  wire                 s_bit,\n"
+     << "  input  wire [" << pos_w - 1 << ":0] pos,\n"
+     << "  input  wire                 last,\n"
+     << "  output reg  [" << label_w - 1 << ":0] label,\n"
+     << "  output reg                  done\n"
+     << ");\n";
+
+  // One class-vector bit lookup per (theta, class).
+  for (std::size_t t = 0; t < c.Theta; ++t) {
+    for (std::size_t cls = 0; cls < c.C; ++cls) {
+      const BitVec& cv = model_.class_vectors()[t * c.C + cls];
+      os << "  function cls_lookup_" << t << "_" << cls << ";\n"
+         << "    input [" << pos_w - 1 << ":0] j;\n"
+         << "    begin\n      case (j)\n";
+      for (std::size_t j = 0; j < ns; ++j) {
+        if (cv.get(j) == 1) {
+          os << "        " << pos_w << "'d" << j << ": cls_lookup_" << t
+             << "_" << cls << " = 1'b1;\n";
+        }
+      }
+      os << "        default: cls_lookup_" << t << "_" << cls
+         << " = 1'b0;\n"
+         << "      endcase\n    end\n  endfunction\n";
+    }
+  }
+
+  // Agreement counters.
+  for (std::size_t t = 0; t < c.Theta; ++t) {
+    for (std::size_t cls = 0; cls < c.C; ++cls) {
+      os << "  reg [" << cnt_w - 1 << ":0] cnt_" << t << "_" << cls
+         << ";\n";
+    }
+  }
+  for (std::size_t cls = 0; cls < c.C; ++cls) {
+    os << "  wire [" << sum_w - 1 << ":0] sum_" << cls << " = ";
+    for (std::size_t t = 0; t < c.Theta; ++t) {
+      if (t) os << " + ";
+      os << "cnt_" << t << "_" << cls;
+    }
+    os << ";\n";
+  }
+
+  os << "  always @(posedge clk) begin\n"
+     << "    if (rst) begin\n"
+     << "      done <= 1'b0;\n"
+     << "      label <= " << label_w << "'d0;\n";
+  for (std::size_t t = 0; t < c.Theta; ++t) {
+    for (std::size_t cls = 0; cls < c.C; ++cls) {
+      os << "      cnt_" << t << "_" << cls << " <= " << cnt_w
+         << "'d0;\n";
+    }
+  }
+  os << "    end else begin\n"
+     << "      if (in_valid) begin\n";
+  for (std::size_t t = 0; t < c.Theta; ++t) {
+    for (std::size_t cls = 0; cls < c.C; ++cls) {
+      os << "        cnt_" << t << "_" << cls << " <= cnt_" << t << "_"
+         << cls << " + (s_bit == cls_lookup_" << t << "_" << cls
+         << "(pos));\n";
+    }
+  }
+  // Argmax with lowest-index tiebreak, evaluated on the cycle after the
+  // last position was accumulated.
+  os << "      end\n"
+     << "      if (in_valid && last) begin\n"
+     << "        done <= 1'b1;\n";
+  // Argmax with lowest-index tiebreak. The counters only absorb the
+  // final streamed bit on this same edge, so the combinational sums are
+  // corrected with every voter's agreement at the last position.
+  os << "        label <= argmax(";
+  for (std::size_t cls = 0; cls < c.C; ++cls) {
+    if (cls) os << ", ";
+    os << "sum_" << cls;
+    for (std::size_t t = 0; t < c.Theta; ++t) {
+      os << " + (s_bit == cls_lookup_" << t << "_" << cls << "(pos))";
+    }
+  }
+  os << ");\n"
+     << "      end\n"
+     << "    end\n"
+     << "  end\n";
+
+  // argmax function over C flattened sums.
+  os << "  function [" << label_w - 1 << ":0] argmax;\n";
+  for (std::size_t cls = 0; cls < c.C; ++cls) {
+    os << "    input [" << sum_w - 1 << ":0] v" << cls << ";\n";
+  }
+  os << "    reg [" << sum_w - 1 << ":0] best;\n"
+     << "    begin\n"
+     << "      best = v0;\n"
+     << "      argmax = " << label_w << "'d0;\n";
+  for (std::size_t cls = 1; cls < c.C; ++cls) {
+    os << "      if (v" << cls << " > best) begin best = v" << cls
+       << "; argmax = " << label_w << "'d" << cls << "; end\n";
+  }
+  os << "    end\n  endfunction\nendmodule\n";
+  return os.str();
+}
+
+std::string VerilogGenerator::top() const {
+  const vsa::ModelConfig& c = model_.config();
+  const std::size_t n = c.features();
+  const std::size_t ns = c.sample_dim();
+  const std::size_t level_w = clog2(c.M);
+  const std::size_t addr_w = clog2(n);
+  const std::size_t pos_w = clog2(ns);
+  const std::size_t patch = c.D_H * c.D_K * c.D_K;
+  const std::size_t label_w = clog2(c.C);
+  const long pad = static_cast<long>(c.D_K / 2);
+  std::ostringstream os;
+  const std::string& p = options_.prefix;
+
+  os << "// Top: central controller sequencing DVP -> volume RAM ->\n"
+     << "// BiConv -> Encoding -> Similarity (Fig. 5). One sample at a\n"
+     << "// time (the streaming double-buffer overlap is modelled in the\n"
+     << "// C++ pipeline scheduler; this RTL keeps the datapath).\n"
+     << "module " << p << "_top (\n"
+     << "  input  wire                 clk,\n"
+     << "  input  wire                 rst,\n"
+     << "  input  wire                 start,\n"
+     << "  input  wire [" << level_w - 1 << ":0] in_level,\n"
+     << "  output reg  [" << addr_w - 1 << ":0] in_addr,\n"
+     << "  output reg                  in_req,\n"
+     << "  output wire [" << label_w - 1 << ":0] label,\n"
+     << "  output wire                 done\n"
+     << ");\n"
+     << "  localparam integer N  = " << n << ";\n"
+     << "  localparam integer NS = " << ns << ";\n"
+     << "  localparam integer W  = " << c.W << ";\n"
+     << "  localparam integer L  = " << c.L << ";\n"
+     << "  localparam integer DK = " << c.D_K << ";\n"
+     << "  localparam integer DH = " << c.D_H << ";\n"
+     << "\n"
+     << "  // Value volume RAM (bits + valid), filled by the DVP stage.\n"
+     << "  reg [" << c.D_H - 1 << ":0] vol_bits  [0:N-1];\n"
+     << "  reg [" << c.D_H - 1 << ":0] vol_valid [0:N-1];\n"
+     << "  // Conv output plane, one " << c.O << "-bit word per position.\n"
+     << "  reg [" << c.O - 1 << ":0] u_plane [0:NS-1];\n"
+     << "\n"
+     << "  // --- module instances\n"
+     << "  reg  [" << level_w - 1 << ":0] rom_level;\n"
+     << "  reg  [" << addr_w - 1 << ":0] rom_idx;\n"
+     << "  wire [" << c.D_H - 1 << ":0] rom_bits, rom_valid;\n"
+     << "  " << p << "_value_rom u_rom (.clk(clk), .level(rom_level),\n"
+     << "    .feature_idx(rom_idx), .vec_bits(rom_bits),\n"
+     << "    .vec_valid(rom_valid));\n"
+     << "\n"
+     << "  reg  conv_in_valid;\n"
+     << "  reg  [" << patch - 1 << ":0] patch_bits, patch_valid;\n"
+     << "  wire [" << c.O - 1 << ":0] conv_bits;\n"
+     << "  wire conv_valid;\n"
+     << "  " << p << "_biconv u_conv (.clk(clk), .in_valid(conv_in_valid),\n"
+     << "    .patch_bits(patch_bits), .patch_valid(patch_valid),\n"
+     << "    .out_bits(conv_bits), .out_valid(conv_valid));\n"
+     << "\n"
+     << "  reg  enc_in_valid;\n"
+     << "  reg  [" << c.O - 1 << ":0] enc_u;\n"
+     << "  reg  [" << pos_w - 1 << ":0] enc_pos;\n"
+     << "  wire enc_s;\n"
+     << "  wire enc_valid;\n"
+     << "  " << p << "_encode u_enc (.clk(clk), .in_valid(enc_in_valid),\n"
+     << "    .u_bits(enc_u), .pos(enc_pos), .s_bit(enc_s),\n"
+     << "    .out_valid(enc_valid));\n"
+     << "\n"
+     << "  reg  sim_in_valid, sim_last;\n"
+     << "  reg  sim_s;\n"
+     << "  reg  [" << pos_w - 1 << ":0] sim_pos;\n"
+     << "  " << p << "_similarity u_sim (.clk(clk), .rst(rst | start),\n"
+     << "    .in_valid(sim_in_valid), .s_bit(sim_s), .pos(sim_pos),\n"
+     << "    .last(sim_last), .label(label), .done(done));\n"
+     << "\n"
+     << "  // --- controller FSM\n"
+     << "  localparam ST_IDLE = 3'd0, ST_LOAD = 3'd1, ST_CONV = 3'd2,\n"
+     << "             ST_ENC = 3'd3, ST_SIM = 3'd4, ST_DONE = 3'd5;\n"
+     << "  reg [2:0] state;\n"
+     << "  reg [" << addr_w << ":0] idx;\n"
+     << "  reg [1:0] phase;\n"
+     << "  reg s_store [0:NS-1];\n"
+     << "\n"
+     << "  // patch assembly (combinational helper)\n"
+     << "  task assemble_patch;\n"
+     << "    input integer y;\n"
+     << "    input integer x;\n"
+     << "    integer kh, kw, d, sy, sx, b;\n"
+     << "    begin\n"
+     << "      patch_bits = " << patch << "'d0;\n"
+     << "      patch_valid = " << patch << "'d0;\n"
+     << "      for (kh = 0; kh < DK; kh = kh + 1)\n"
+     << "        for (kw = 0; kw < DK; kw = kw + 1) begin\n"
+     << "          sy = y + kh - " << pad << ";\n"
+     << "          sx = x + kw - " << pad << ";\n"
+     << "          if (sy >= 0 && sy < W && sx >= 0 && sx < L)\n"
+     << "            for (d = 0; d < DH; d = d + 1) begin\n"
+     << "              b = (kh * DK + kw) * DH + d;\n"
+     << "              patch_bits[b]  = vol_bits[sy * L + sx][d];\n"
+     << "              patch_valid[b] = vol_valid[sy * L + sx][d];\n"
+     << "            end\n"
+     << "        end\n"
+     << "    end\n"
+     << "  endtask\n"
+     << "\n"
+     << "  always @(posedge clk) begin\n"
+     << "    if (rst) begin\n"
+     << "      state <= ST_IDLE;\n"
+     << "      in_req <= 1'b0;\n"
+     << "      conv_in_valid <= 1'b0;\n"
+     << "      enc_in_valid <= 1'b0;\n"
+     << "      sim_in_valid <= 1'b0;\n"
+     << "      sim_last <= 1'b0;\n"
+     << "    end else begin\n"
+     << "      conv_in_valid <= 1'b0;\n"
+     << "      enc_in_valid <= 1'b0;\n"
+     << "      sim_in_valid <= 1'b0;\n"
+     << "      sim_last <= 1'b0;\n"
+     << "      case (state)\n"
+     << "        ST_IDLE: if (start) begin\n"
+     << "          state <= ST_LOAD;\n"
+     << "          idx <= 0;\n"
+     << "          phase <= 0;\n"
+     << "          in_req <= 1'b1;\n"
+     << "          in_addr <= 0;\n"
+     << "        end\n"
+     << "        ST_LOAD: begin\n"
+     << "          // phase 0: present level to ROM; phase 1: latch.\n"
+     << "          if (phase == 0) begin\n"
+     << "            rom_level <= in_level;\n"
+     << "            rom_idx <= in_addr;\n"
+     << "            phase <= 1;\n"
+     << "          end else begin\n"
+     << "            vol_bits[idx]  <= rom_bits;\n"
+     << "            vol_valid[idx] <= rom_valid;\n"
+     << "            phase <= 0;\n"
+     << "            if (idx == N - 1) begin\n"
+     << "              state <= ST_CONV;\n"
+     << "              in_req <= 1'b0;\n"
+     << "              idx <= 0;\n"
+     << "            end else begin\n"
+     << "              idx <= idx + 1;\n"
+     << "              in_addr <= in_addr + 1;\n"
+     << "            end\n"
+     << "          end\n"
+     << "        end\n"
+     << "        ST_CONV: begin\n"
+     << "          if (phase == 0) begin\n"
+     << "            assemble_patch(idx / L, idx % L);\n"
+     << "            conv_in_valid <= 1'b1;\n"
+     << "            phase <= 1;\n"
+     << "          end else begin\n"
+     << "            u_plane[idx] <= conv_bits;\n"
+     << "            phase <= 0;\n"
+     << "            if (idx == NS - 1) begin\n"
+     << "              state <= ST_ENC;\n"
+     << "              idx <= 0;\n"
+     << "            end else idx <= idx + 1;\n"
+     << "          end\n"
+     << "        end\n"
+     << "        ST_ENC: begin\n"
+     << "          if (phase == 0) begin\n"
+     << "            enc_u <= u_plane[idx];\n"
+     << "            enc_pos <= idx[" << pos_w - 1 << ":0];\n"
+     << "            enc_in_valid <= 1'b1;\n"
+     << "            phase <= 1;\n"
+     << "          end else begin\n"
+     << "            s_store[idx] <= enc_s;\n"
+     << "            phase <= 0;\n"
+     << "            if (idx == NS - 1) begin\n"
+     << "              state <= ST_SIM;\n"
+     << "              idx <= 0;\n"
+     << "            end else idx <= idx + 1;\n"
+     << "          end\n"
+     << "        end\n"
+     << "        ST_SIM: begin\n"
+     << "          sim_s <= s_store[idx];\n"
+     << "          sim_pos <= idx[" << pos_w - 1 << ":0];\n"
+     << "          sim_in_valid <= 1'b1;\n"
+     << "          if (idx == NS - 1) begin\n"
+     << "            sim_last <= 1'b1;\n"
+     << "            state <= ST_DONE;\n"
+     << "          end else idx <= idx + 1;\n"
+     << "        end\n"
+     << "        ST_DONE: begin\n"
+     << "          if (done) state <= ST_IDLE;\n"
+     << "        end\n"
+     << "        default: state <= ST_IDLE;\n"
+     << "      endcase\n"
+     << "    end\n"
+     << "  end\n"
+     << "endmodule\n";
+  return os.str();
+}
+
+std::string VerilogGenerator::testbench(
+    const std::vector<std::uint16_t>& sample) const {
+  const vsa::ModelConfig& c = model_.config();
+  UNIVSA_REQUIRE(sample.size() == c.features(), "sample size mismatch");
+  const vsa::Prediction expected = model_.predict(sample);
+  const std::size_t level_w = clog2(c.M);
+  const std::size_t addr_w = clog2(c.features());
+  std::ostringstream os;
+  const std::string& p = options_.prefix;
+
+  os << "// Self-checking testbench: streams one sample through " << p
+     << "_top\n// and compares against the C++ functional simulator's "
+        "label ("
+     << expected.label << ").\n"
+     << "`timescale 1ns/1ps\n"
+     << "module " << p << "_tb;\n"
+     << "  reg clk = 0, rst = 1, start = 0;\n"
+     << "  reg [" << level_w - 1 << ":0] in_level;\n"
+     << "  wire [" << addr_w - 1 << ":0] in_addr;\n"
+     << "  wire in_req;\n"
+     << "  wire [" << clog2(c.C) - 1 << ":0] label;\n"
+     << "  wire done;\n"
+     << "  reg [" << level_w - 1 << ":0] sample_mem [0:"
+     << c.features() - 1 << "];\n"
+     << "  " << p << "_top dut (.clk(clk), .rst(rst), .start(start),\n"
+     << "    .in_level(in_level), .in_addr(in_addr), .in_req(in_req),\n"
+     << "    .label(label), .done(done));\n"
+     << "  always #5 clk = ~clk;\n"
+     << "  always @(*) in_level = sample_mem[in_addr];\n"
+     << "  integer i;\n"
+     << "  initial begin\n";
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    os << "    sample_mem[" << i << "] = " << level_w << "'d" << sample[i]
+       << ";\n";
+  }
+  os << "    repeat (4) @(posedge clk);\n"
+     << "    rst = 0;\n"
+     << "    @(posedge clk);\n"
+     << "    start = 1;\n"
+     << "    @(posedge clk);\n"
+     << "    start = 0;\n"
+     << "    wait (done);\n"
+     << "    @(posedge clk);\n"
+     << "    if (label == " << clog2(c.C) << "'d" << expected.label
+     << ") $display(\"PASS label=%0d\", label);\n"
+     << "    else $display(\"FAIL label=%0d expected=" << expected.label
+     << "\", label);\n"
+     << "    $finish;\n"
+     << "  end\n"
+     << "endmodule\n";
+  return os.str();
+}
+
+std::string VerilogGenerator::emit_all() const {
+  std::ostringstream os;
+  os << value_rom() << '\n'
+     << biconv() << '\n'
+     << encode() << '\n'
+     << similarity() << '\n'
+     << top() << '\n';
+  return os.str();
+}
+
+void VerilogGenerator::write_files(
+    const std::string& directory,
+    const std::vector<std::uint16_t>& sample) const {
+  const std::string rtl_path =
+      directory + "/" + options_.prefix + "_rtl.v";
+  std::ofstream rtl(rtl_path);
+  UNIVSA_REQUIRE(rtl.is_open(), "cannot open " + rtl_path);
+  rtl << emit_all();
+  UNIVSA_ENSURE(rtl.good(), "RTL write failed");
+
+  const std::string tb_path = directory + "/" + options_.prefix + "_tb.v";
+  std::ofstream tb(tb_path);
+  UNIVSA_REQUIRE(tb.is_open(), "cannot open " + tb_path);
+  tb << testbench(sample);
+  UNIVSA_ENSURE(tb.good(), "testbench write failed");
+}
+
+std::vector<std::string> verilog_structural_problems(
+    const std::string& source) {
+  std::vector<std::string> problems;
+  // Token-level balance of paired constructs. Comments stripped first.
+  std::string text;
+  text.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '/' && i + 1 < source.size() &&
+        source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      text += '\n';
+    } else {
+      text += source[i];
+    }
+  }
+
+  const auto count_word = [&text](const std::string& word) {
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+      const bool left_ok =
+          pos == 0 || (!std::isalnum(static_cast<unsigned char>(
+                           text[pos - 1])) &&
+                       text[pos - 1] != '_' && text[pos - 1] != '$');
+      const std::size_t end = pos + word.size();
+      const bool right_ok =
+          end >= text.size() ||
+          (!std::isalnum(static_cast<unsigned char>(text[end])) &&
+           text[end] != '_');
+      if (left_ok && right_ok) ++count;
+      pos = end;
+    }
+    return count;
+  };
+
+  // Paired constructs must balance. count_word only matches standalone
+  // tokens, so e.g. the "module" inside "endmodule" is not counted.
+  const std::pair<const char*, const char*> pairs[] = {
+      {"module", "endmodule"},
+      {"function", "endfunction"},
+      {"task", "endtask"},
+      {"case", "endcase"},
+      {"begin", "end"},
+  };
+  for (const auto& [open, close] : pairs) {
+    const std::size_t opens = count_word(open);
+    const std::size_t closes = count_word(close);
+    if (opens != closes) {
+      problems.push_back(std::string(open) + "/" + close +
+                         " imbalance: " + std::to_string(opens) + " vs " +
+                         std::to_string(closes));
+    }
+  }
+  if (count_word("endmodule") == 0) {
+    problems.push_back("no modules found");
+  }
+  return problems;
+}
+
+std::vector<std::string> verilog_module_names(const std::string& source) {
+  std::vector<std::string> names;
+  std::istringstream is(source);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t pos = line.find("module ");
+    if (pos == std::string::npos) continue;
+    if (line.find("endmodule") != std::string::npos) continue;
+    // Must be at start of statement (allow leading spaces only).
+    if (line.find_first_not_of(' ') != pos) continue;
+    std::string rest = line.substr(pos + 7);
+    std::string name;
+    for (const char ch : rest) {
+      if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_') {
+        name += ch;
+      } else {
+        break;
+      }
+    }
+    if (!name.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace univsa::hw

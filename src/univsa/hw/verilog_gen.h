@@ -1,0 +1,78 @@
+// Verilog RTL generation for a trained UniVSA model (Sec. IV: the paper
+// implements UniVSA in Verilog on a ZU3EG; this emitter produces the
+// equivalent structure with the model's binary vector sets baked in).
+//
+// Emitted modules mirror the functional simulator one-for-one:
+//   <prefix>_value_rom    — V_H / V_L tables + the importance mask
+//                           (DVP, one feature per cycle),
+//   <prefix>_biconv       — O parallel XNOR/popcount dot-product units
+//                           with the kernel set K as localparams,
+//   <prefix>_encode       — O-wide XNOR row against F + adder tree +
+//                           sign, one output position per cycle,
+//   <prefix>_similarity   — Θ·C class-vector XNOR/popcount banks and the
+//                           argmax comparator,
+//   <prefix>_top          — wiring + a small control FSM,
+// plus a self-checking testbench that feeds one sample and compares the
+// predicted label against the C++ functional simulator's result.
+//
+// The output is plain Verilog-2001 (no SystemVerilog), one clock, fully
+// synchronous, constants as localparams — the style Vivado infers ROMs
+// and LUT logic from. No Verilog simulator is available in this
+// environment, so tests validate the emitted text structurally (module
+// balance, ROM contents decode back to the model bits, port-width
+// arithmetic, testbench expectations match the functional sim); see
+// tests/hw/verilog_gen_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "univsa/vsa/model.h"
+
+namespace univsa::hw {
+
+struct VerilogOptions {
+  std::string prefix = "univsa";
+  /// Accumulator width for the conv / encode adders (bits, signed).
+  std::size_t acc_width = 16;
+};
+
+class VerilogGenerator {
+ public:
+  explicit VerilogGenerator(const vsa::Model& model,
+                            VerilogOptions options = {});
+
+  std::string value_rom() const;
+  std::string biconv() const;
+  std::string encode() const;
+  std::string similarity() const;
+  std::string top() const;
+
+  /// Self-checking testbench for `sample` (expected outputs computed via
+  /// the model itself).
+  std::string testbench(const std::vector<std::uint16_t>& sample) const;
+
+  /// All modules concatenated (top last).
+  std::string emit_all() const;
+
+  /// Writes <prefix>_rtl.v and <prefix>_tb.v into `directory`.
+  void write_files(const std::string& directory,
+                   const std::vector<std::uint16_t>& sample) const;
+
+ private:
+  const vsa::Model& model_;
+  VerilogOptions options_;
+};
+
+/// Minimal structural checks over emitted Verilog (used by tests and as a
+/// generator self-check): balanced module/endmodule, begin/end,
+/// case/endcase, function/endfunction; returns a list of human-readable
+/// problems (empty = structurally sound).
+std::vector<std::string> verilog_structural_problems(
+    const std::string& source);
+
+/// Names of the modules declared in `source`, in order.
+std::vector<std::string> verilog_module_names(const std::string& source);
+
+}  // namespace univsa::hw

@@ -1,0 +1,82 @@
+#include "univsa/nn/activations.h"
+
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+Tensor SignSte::forward(const Tensor& x) {
+  cached_input_ = x;
+  has_cache_ = true;
+  return sign_tensor(x);
+}
+
+Tensor SignSte::backward(const Tensor& grad_out) {
+  UNIVSA_ENSURE(has_cache_, "SignSte::backward before forward");
+  UNIVSA_REQUIRE(grad_out.shape() == cached_input_.shape(),
+                 "grad shape mismatch");
+  has_cache_ = false;
+  Tensor grad_in(grad_out.shape());
+  const auto in = cached_input_.flat();
+  const auto go = grad_out.flat();
+  auto gi = grad_in.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    gi[i] = std::fabs(in[i]) <= 1.0f ? go[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor Relu::forward(const Tensor& x) {
+  cached_input_ = x;
+  has_cache_ = true;
+  Tensor out(x.shape());
+  const auto in = x.flat();
+  auto o = out.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    o[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+  UNIVSA_ENSURE(has_cache_, "Relu::backward before forward");
+  UNIVSA_REQUIRE(grad_out.shape() == cached_input_.shape(),
+                 "grad shape mismatch");
+  has_cache_ = false;
+  Tensor grad_in(grad_out.shape());
+  const auto in = cached_input_.flat();
+  const auto go = grad_out.flat();
+  auto gi = grad_in.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    gi[i] = in[i] > 0.0f ? go[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor out(x.shape());
+  const auto in = x.flat();
+  auto o = out.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) o[i] = std::tanh(in[i]);
+  cached_output_ = out;
+  has_cache_ = true;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  UNIVSA_ENSURE(has_cache_, "Tanh::backward before forward");
+  UNIVSA_REQUIRE(grad_out.shape() == cached_output_.shape(),
+                 "grad shape mismatch");
+  has_cache_ = false;
+  Tensor grad_in(grad_out.shape());
+  const auto y = cached_output_.flat();
+  const auto go = grad_out.flat();
+  auto gi = grad_in.flat();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    gi[i] = go[i] * (1.0f - y[i] * y[i]);
+  }
+  return grad_in;
+}
+
+}  // namespace univsa

@@ -1,0 +1,46 @@
+// Activation modules with cached-input backward passes.
+//
+// SignSte implements the straight-through estimator used throughout LDC
+// training (Sec. II-C): forward is sgn(x) with sgn(0)=+1 (the paper's
+// tiebreak), backward passes the gradient where |x| <= 1 and zeroes it
+// elsewhere (the "clipped identity" surrogate).
+//
+// Each module instance caches its last forward input; call forward then
+// backward in strict alternation (enforced).
+#pragma once
+
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+class SignSte {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+ private:
+  Tensor cached_input_;
+  bool has_cache_ = false;
+};
+
+class Relu {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+ private:
+  Tensor cached_input_;
+  bool has_cache_ = false;
+};
+
+class Tanh {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+ private:
+  Tensor cached_output_;
+  bool has_cache_ = false;
+};
+
+}  // namespace univsa

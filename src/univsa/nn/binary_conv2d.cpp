@@ -1,0 +1,109 @@
+#include "univsa/nn/binary_conv2d.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "univsa/common/contracts.h"
+#include "univsa/tensor/gemm.h"
+#include "univsa/tensor/im2col.h"
+
+namespace univsa {
+
+BinaryConv2d::BinaryConv2d(std::size_t in_channels, std::size_t out_channels,
+                           std::size_t kernel, Rng& rng, bool binarize)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      weight_(Tensor::randn({out_channels, in_channels * kernel * kernel},
+                            rng, 0.25f)),
+      weight_grad_({out_channels, in_channels * kernel * kernel}),
+      binarize_(binarize) {
+  UNIVSA_REQUIRE(kernel % 2 == 1, "kernel size must be odd");
+}
+
+Tensor BinaryConv2d::effective_weight() const {
+  return binarize_ ? sign_tensor(weight_) : weight_;
+}
+
+Tensor BinaryConv2d::binary_weight() const { return sign_tensor(weight_); }
+
+Tensor BinaryConv2d::forward(const Tensor& x) {
+  UNIVSA_REQUIRE(x.rank() == 4 && x.dim(1) == in_channels_,
+                 "BinaryConv2d input shape mismatch");
+  const std::size_t batch = x.dim(0);
+  const std::size_t height = x.dim(2);
+  const std::size_t width = x.dim(3);
+  const std::size_t plane = height * width;
+  const std::size_t ckk = in_channels_ * kernel_ * kernel_;
+
+  cached_cols_.assign(batch, Tensor());
+  cached_height_ = height;
+  cached_width_ = width;
+  has_cache_ = true;
+
+  const Tensor w = effective_weight();  // (O, CKK)
+  Tensor out({batch, out_channels_, height, width});
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    Tensor sample({in_channels_, height, width});
+    std::memcpy(sample.data(), x.data() + b * in_channels_ * plane,
+                in_channels_ * plane * sizeof(float));
+    cached_cols_[b] = im2col(sample, kernel_);  // (CKK, HW)
+    // (O, CKK) x (CKK, HW) -> (O, HW)
+    gemm(GemmLayout::kNN, out_channels_, plane, ckk, w.data(),
+         cached_cols_[b].data(), out.data() + b * out_channels_ * plane);
+  }
+  return out;
+}
+
+Tensor BinaryConv2d::backward(const Tensor& grad_out) {
+  UNIVSA_ENSURE(has_cache_, "BinaryConv2d::backward before forward");
+  const std::size_t batch = cached_cols_.size();
+  const std::size_t plane = cached_height_ * cached_width_;
+  UNIVSA_REQUIRE(grad_out.rank() == 4 && grad_out.dim(0) == batch &&
+                     grad_out.dim(1) == out_channels_ &&
+                     grad_out.dim(2) == cached_height_ &&
+                     grad_out.dim(3) == cached_width_,
+                 "BinaryConv2d grad shape mismatch");
+  has_cache_ = false;
+
+  const std::size_t ckk = in_channels_ * kernel_ * kernel_;
+  const Tensor w = effective_weight();
+  Tensor dw({out_channels_, ckk});
+  Tensor grad_in({batch, in_channels_, cached_height_, cached_width_});
+  Tensor dw_sample({out_channels_, ckk});
+  Tensor dcols({ckk, plane});
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* go = grad_out.data() + b * out_channels_ * plane;
+    // dW += grad_out_b (O, HW) · cols_bᵀ (HW, CKK)
+    gemm(GemmLayout::kNT, out_channels_, ckk, plane, go,
+         cached_cols_[b].data(), dw_sample.data());
+    dw.add_(dw_sample);
+    // dcols = wᵀ (CKK, O) · grad_out_b (O, HW)
+    gemm(GemmLayout::kTN, ckk, plane, out_channels_, w.data(), go,
+         dcols.data());
+    Tensor gi = col2im(dcols, in_channels_, cached_height_, cached_width_,
+                       kernel_);
+    std::memcpy(grad_in.data() + b * in_channels_ * plane, gi.data(),
+                in_channels_ * plane * sizeof(float));
+  }
+
+  if (binarize_) {
+    const auto wl = weight_.flat();
+    auto g = dw.flat();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (std::fabs(wl[i]) > 1.0f) g[i] = 0.0f;
+    }
+  }
+  weight_grad_.add_(dw);
+  return grad_in;
+}
+
+ParamList BinaryConv2d::params() {
+  return {{&weight_, &weight_grad_, binarize_}};
+}
+
+void BinaryConv2d::zero_grad() { weight_grad_.fill(0.0f); }
+
+}  // namespace univsa

@@ -1,0 +1,56 @@
+// Binary 2-D convolution (BiConv, Sec. III-A2).
+//
+// Weights (O, C, K, K) are latent floats binarized with sgn() in the
+// forward pass (STE backward); the deployed model stores the binarized
+// kernel set K. Stride 1, "same" zero padding — Eq. 5's W×L×O memory term
+// for F implies the spatial size is preserved, and a zero input is neutral
+// under bipolar accumulation, which is exactly the DVP padding semantics.
+//
+// Lowered to GEMM via im2col per sample; the im2col columns are cached for
+// the backward pass.
+#pragma once
+
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/nn/param.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+class BinaryConv2d {
+ public:
+  BinaryConv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, Rng& rng, bool binarize = true);
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+
+  /// x: (B, C, H, W) -> (B, O, H, W).
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  ParamList params();
+  void zero_grad();
+
+  /// Binarized kernels, flattened (O, C*K*K).
+  Tensor binary_weight() const;
+  const Tensor& latent_weight() const { return weight_; }
+
+ private:
+  Tensor effective_weight() const;
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  Tensor weight_;  // (O, C*K*K) latent
+  Tensor weight_grad_;
+  std::vector<Tensor> cached_cols_;  // one (C*K*K, H*W) per sample
+  std::size_t cached_height_ = 0;
+  std::size_t cached_width_ = 0;
+  bool has_cache_ = false;
+  bool binarize_;
+};
+
+}  // namespace univsa

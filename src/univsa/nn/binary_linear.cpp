@@ -1,0 +1,57 @@
+#include "univsa/nn/binary_linear.h"
+
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+BinaryLinear::BinaryLinear(std::size_t in_features, std::size_t out_features,
+                           Rng& rng, bool binarize)
+    // Latent weights start uniform-ish inside the STE window.
+    : weight_(Tensor::randn({out_features, in_features}, rng, 0.25f)),
+      weight_grad_({out_features, in_features}),
+      binarize_(binarize) {}
+
+Tensor BinaryLinear::effective_weight() const {
+  return binarize_ ? sign_tensor(weight_) : weight_;
+}
+
+Tensor BinaryLinear::binary_weight() const { return sign_tensor(weight_); }
+
+Tensor BinaryLinear::forward(const Tensor& x) {
+  UNIVSA_REQUIRE(x.rank() == 2 && x.dim(1) == in_features(),
+                 "BinaryLinear input shape mismatch");
+  cached_input_ = x;
+  has_cache_ = true;
+  return x.matmul_transposed(effective_weight());
+}
+
+Tensor BinaryLinear::backward(const Tensor& grad_out) {
+  UNIVSA_ENSURE(has_cache_, "BinaryLinear::backward before forward");
+  UNIVSA_REQUIRE(grad_out.rank() == 2 &&
+                     grad_out.dim(0) == cached_input_.dim(0) &&
+                     grad_out.dim(1) == out_features(),
+                 "BinaryLinear grad shape mismatch");
+  has_cache_ = false;
+
+  Tensor dw = grad_out.transposed_matmul(cached_input_);  // (out, in)
+  if (binarize_) {
+    // STE: pass gradient only inside the clip window.
+    const auto w = weight_.flat();
+    auto g = dw.flat();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (std::fabs(w[i]) > 1.0f) g[i] = 0.0f;
+    }
+  }
+  weight_grad_.add_(dw);
+  return grad_out.matmul(effective_weight());
+}
+
+ParamList BinaryLinear::params() {
+  return {{&weight_, &weight_grad_, binarize_}};
+}
+
+void BinaryLinear::zero_grad() { weight_grad_.fill(0.0f); }
+
+}  // namespace univsa

@@ -1,0 +1,48 @@
+// Binary dense layer: y = x · sgn(W)ᵀ (no bias).
+//
+// This is the LDC "similarity measurement" layer (Sec. II-C): its binarized
+// rows are the class vectors C extracted after training. The latent float
+// weights are trained with the straight-through estimator — gradients reach
+// W only where |W| <= 1 — and are clipped to [-1, 1] by the optimizer.
+//
+// `binarize` can be disabled to obtain a plain bias-free dense layer; this
+// exists so the numerical grad-check can validate the data-flow exactly
+// (the STE path is by construction not the true gradient).
+#pragma once
+
+#include "univsa/common/rng.h"
+#include "univsa/nn/param.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+class BinaryLinear {
+ public:
+  BinaryLinear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               bool binarize = true);
+
+  std::size_t in_features() const { return weight_.dim(1); }
+  std::size_t out_features() const { return weight_.dim(0); }
+
+  /// x: (B, in) -> (B, out).
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  ParamList params();
+  void zero_grad();
+
+  /// Binarized weights sgn(W) — what the deployed model stores.
+  Tensor binary_weight() const;
+  const Tensor& latent_weight() const { return weight_; }
+
+ private:
+  Tensor effective_weight() const;
+
+  Tensor weight_;  // (out, in) latent
+  Tensor weight_grad_;
+  Tensor cached_input_;
+  bool has_cache_ = false;
+  bool binarize_;
+};
+
+}  // namespace univsa

@@ -1,0 +1,100 @@
+#include "univsa/nn/encoding_layer.h"
+
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+
+namespace univsa {
+
+EncodingLayer::EncodingLayer(std::size_t groups, std::size_t dim, Rng& rng,
+                             bool binarize)
+    : groups_(groups),
+      dim_(dim),
+      weight_(Tensor::randn({groups, dim}, rng, 0.25f)),
+      weight_grad_({groups, dim}),
+      binarize_(binarize) {}
+
+Tensor EncodingLayer::effective_weight() const {
+  return binarize_ ? sign_tensor(weight_) : weight_;
+}
+
+Tensor EncodingLayer::binary_weight() const { return sign_tensor(weight_); }
+
+Tensor EncodingLayer::forward(const Tensor& u) {
+  UNIVSA_REQUIRE(u.rank() == 3 && u.dim(1) == groups_ && u.dim(2) == dim_,
+                 "EncodingLayer input shape mismatch");
+  cached_input_ = u;
+  has_cache_ = true;
+
+  const std::size_t batch = u.dim(0);
+  const Tensor w = effective_weight();
+  Tensor z({batch, dim_});
+  const float* wd = w.data();
+  const float* ud = u.data();
+  float* zd = z.data();
+
+  parallel_for(batch, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t b = begin; b < end; ++b) {
+      float* zb = zd + b * dim_;
+      for (std::size_t j = 0; j < dim_; ++j) zb[j] = 0.0f;
+      for (std::size_t g = 0; g < groups_; ++g) {
+        const float* ug = ud + (b * groups_ + g) * dim_;
+        const float* wg = wd + g * dim_;
+        for (std::size_t j = 0; j < dim_; ++j) zb[j] += wg[j] * ug[j];
+      }
+    }
+  });
+  return z;
+}
+
+Tensor EncodingLayer::backward(const Tensor& grad_out) {
+  UNIVSA_ENSURE(has_cache_, "EncodingLayer::backward before forward");
+  const std::size_t batch = cached_input_.dim(0);
+  UNIVSA_REQUIRE(grad_out.rank() == 2 && grad_out.dim(0) == batch &&
+                     grad_out.dim(1) == dim_,
+                 "EncodingLayer grad shape mismatch");
+  has_cache_ = false;
+
+  const Tensor w = effective_weight();
+  Tensor grad_in({batch, groups_, dim_});
+  Tensor dw({groups_, dim_});
+  const float* wd = w.data();
+  const float* ud = cached_input_.data();
+  const float* god = grad_out.data();
+  float* gid = grad_in.data();
+  float* dwd = dw.data();
+
+  // du[b,g,j] = dz[b,j] * w[g,j];  dw[g,j] = Σ_b dz[b,j] * u[b,g,j].
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* gz = god + b * dim_;
+    for (std::size_t g = 0; g < groups_; ++g) {
+      const float* ug = ud + (b * groups_ + g) * dim_;
+      const float* wg = wd + g * dim_;
+      float* gig = gid + (b * groups_ + g) * dim_;
+      float* dwg = dwd + g * dim_;
+      for (std::size_t j = 0; j < dim_; ++j) {
+        gig[j] = gz[j] * wg[j];
+        dwg[j] += gz[j] * ug[j];
+      }
+    }
+  }
+
+  if (binarize_) {
+    const auto wl = weight_.flat();
+    auto g = dw.flat();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (std::fabs(wl[i]) > 1.0f) g[i] = 0.0f;
+    }
+  }
+  weight_grad_.add_(dw);
+  return grad_in;
+}
+
+ParamList EncodingLayer::params() {
+  return {{&weight_, &weight_grad_, binarize_}};
+}
+
+void EncodingLayer::zero_grad() { weight_grad_.fill(0.0f); }
+
+}  // namespace univsa

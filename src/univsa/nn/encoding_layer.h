@@ -1,0 +1,56 @@
+// Vector encoding layer (Eq. 1 as a structured binary layer, Sec. II-C /
+// III-A3).
+//
+// Computes z[b, j] = Σ_g sgn(F)[g, j] * u[b, g, j] — a bind-then-bundle
+// along the "group" axis g. In plain LDC, g indexes input features
+// (F = feature vectors, one per feature position, vector dim D). In
+// UniVSA, g indexes BiConv output channels and the vector dimension is the
+// flattened spatial size W*L (Sec. III-A3). Both cases are the same
+// contraction, so this single module serves plain LDC, the ablations, and
+// the full UniVSA network.
+//
+// The output is pre-binarization; the network applies SignSte to get the
+// sample vector s. The binarized weights are the deployed feature vector
+// set F.
+#pragma once
+
+#include "univsa/common/rng.h"
+#include "univsa/nn/param.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+class EncodingLayer {
+ public:
+  /// groups = G (features or conv channels), dim = per-group vector length.
+  EncodingLayer(std::size_t groups, std::size_t dim, Rng& rng,
+                bool binarize = true);
+
+  std::size_t groups() const { return groups_; }
+  std::size_t dim() const { return dim_; }
+
+  /// u: (B, G, D) -> z: (B, D).
+  Tensor forward(const Tensor& u);
+  /// grad_out: (B, D) -> grad wrt u (B, G, D).
+  Tensor backward(const Tensor& grad_out);
+
+  ParamList params();
+  void zero_grad();
+
+  /// Binarized feature vectors sgn(F), shape (G, D).
+  Tensor binary_weight() const;
+  const Tensor& latent_weight() const { return weight_; }
+
+ private:
+  Tensor effective_weight() const;
+
+  std::size_t groups_;
+  std::size_t dim_;
+  Tensor weight_;  // (G, D) latent
+  Tensor weight_grad_;
+  Tensor cached_input_;
+  bool has_cache_ = false;
+  bool binarize_;
+};
+
+}  // namespace univsa

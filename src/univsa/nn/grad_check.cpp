@@ -1,0 +1,56 @@
+#include "univsa/nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+namespace {
+
+GradCheckResult check_tensor(const std::function<float()>& loss_fn,
+                             Tensor& tensor, const Tensor& analytic_grad,
+                             float epsilon, float tol) {
+  UNIVSA_REQUIRE(tensor.shape() == analytic_grad.shape(),
+                 "grad-check shape mismatch");
+  GradCheckResult result;
+  auto values = tensor.flat();
+  const auto grads = analytic_grad.flat();
+
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float saved = values[i];
+    values[i] = saved + epsilon;
+    const float plus = loss_fn();
+    values[i] = saved - epsilon;
+    const float minus = loss_fn();
+    values[i] = saved;
+
+    const float numeric = (plus - minus) / (2.0f * epsilon);
+    const float abs_err = std::fabs(numeric - grads[i]);
+    const float denom = std::max({std::fabs(numeric), std::fabs(grads[i]),
+                                  1e-4f});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  }
+  result.passed = result.max_rel_error <= tol;
+  return result;
+}
+
+}  // namespace
+
+GradCheckResult check_param_gradient(const std::function<float()>& loss_fn,
+                                     Tensor& param,
+                                     const Tensor& analytic_grad,
+                                     float epsilon, float tol) {
+  return check_tensor(loss_fn, param, analytic_grad, epsilon, tol);
+}
+
+GradCheckResult check_input_gradient(const std::function<float()>& loss_fn,
+                                     Tensor& input,
+                                     const Tensor& analytic_grad,
+                                     float epsilon, float tol) {
+  return check_tensor(loss_fn, input, analytic_grad, epsilon, tol);
+}
+
+}  // namespace univsa

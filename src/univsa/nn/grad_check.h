@@ -1,0 +1,37 @@
+// Numerical gradient checking harness.
+//
+// Validates a layer's analytic backward pass against central differences
+// of a scalar loss. Only meaningful on the *non*-binarized code paths
+// (binarize = false): sgn() has zero gradient almost everywhere, so the
+// STE layers are intentionally not the true gradient. Checking the float
+// paths still exercises all of the data-flow (GEMMs, im2col/col2im,
+// gather/scatter), which is where bugs live.
+#pragma once
+
+#include <functional>
+
+#include "univsa/nn/param.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+struct GradCheckResult {
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  bool passed = false;
+};
+
+/// `loss_fn` recomputes the scalar loss from scratch (it will be called
+/// many times with perturbed parameters). `analytic_grad` is the layer's
+/// accumulated gradient for `param` after one forward+backward at the
+/// current parameters.
+GradCheckResult check_param_gradient(
+    const std::function<float()>& loss_fn, Tensor& param,
+    const Tensor& analytic_grad, float epsilon = 1e-3f, float tol = 2e-2f);
+
+/// Same, but for an input tensor's gradient.
+GradCheckResult check_input_gradient(
+    const std::function<float()>& loss_fn, Tensor& input,
+    const Tensor& analytic_grad, float epsilon = 1e-3f, float tol = 2e-2f);
+
+}  // namespace univsa

@@ -1,0 +1,58 @@
+#include "univsa/nn/linear.h"
+
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : weight_(Tensor::randn({out_features, in_features}, rng,
+                            1.0f / std::sqrt(static_cast<float>(
+                                       in_features)))),
+      bias_({out_features}),
+      weight_grad_({out_features, in_features}),
+      bias_grad_({out_features}) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  UNIVSA_REQUIRE(x.rank() == 2 && x.dim(1) == in_features(),
+                 "Linear input shape mismatch");
+  cached_input_ = x;
+  has_cache_ = true;
+  Tensor out = x.matmul_transposed(weight_);  // (B, out)
+  for (std::size_t b = 0; b < out.dim(0); ++b) {
+    for (std::size_t o = 0; o < out.dim(1); ++o) {
+      out.at(b, o) += bias_[o];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  UNIVSA_ENSURE(has_cache_, "Linear::backward before forward");
+  UNIVSA_REQUIRE(grad_out.rank() == 2 &&
+                     grad_out.dim(0) == cached_input_.dim(0) &&
+                     grad_out.dim(1) == out_features(),
+                 "Linear grad shape mismatch");
+  has_cache_ = false;
+  // dW = grad_outᵀ (B,out)ᵀ · x (B,in) -> (out, in)
+  weight_grad_.add_(grad_out.transposed_matmul(cached_input_));
+  for (std::size_t b = 0; b < grad_out.dim(0); ++b) {
+    for (std::size_t o = 0; o < grad_out.dim(1); ++o) {
+      bias_grad_[o] += grad_out.at(b, o);
+    }
+  }
+  // dx = grad_out (B,out) · W (out,in)
+  return grad_out.matmul(weight_);
+}
+
+ParamList Linear::params() {
+  return {{&weight_, &weight_grad_, false}, {&bias_, &bias_grad_, false}};
+}
+
+void Linear::zero_grad() {
+  weight_grad_.fill(0.0f);
+  bias_grad_.fill(0.0f);
+}
+
+}  // namespace univsa

@@ -1,0 +1,42 @@
+// Dense float layer: y = x · Wᵀ + b.
+//
+// Used inside the ValueBox MLP (Sec. II-C "Value Projection"), which stays
+// in float during training; only its sign() outputs are tabulated into the
+// deployed value vector set V.
+#pragma once
+
+#include "univsa/common/rng.h"
+#include "univsa/nn/param.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+class Linear {
+ public:
+  /// Kaiming-uniform-style init scaled by 1/sqrt(in_features).
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  std::size_t in_features() const { return weight_.dim(1); }
+  std::size_t out_features() const { return weight_.dim(0); }
+
+  /// x: (B, in) -> (B, out).
+  Tensor forward(const Tensor& x);
+  /// grad_out: (B, out) -> grad wrt x (B, in); accumulates weight grads.
+  Tensor backward(const Tensor& grad_out);
+
+  ParamList params();
+  void zero_grad();
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;  // (out, in)
+  Tensor bias_;    // (out)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;
+  bool has_cache_ = false;
+};
+
+}  // namespace univsa

@@ -1,0 +1,59 @@
+#include "univsa/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  UNIVSA_REQUIRE(logits.rank() == 2, "logits must be (B, C)");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  UNIVSA_REQUIRE(labels.size() == batch, "label count mismatch");
+
+  LossResult result;
+  result.grad_logits = Tensor({batch, classes});
+  double total = 0.0;
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const int label = labels[b];
+    UNIVSA_REQUIRE(label >= 0 && static_cast<std::size_t>(label) < classes,
+                   "label out of range");
+    // Numerically stable log-softmax.
+    float max_logit = logits.at(b, 0);
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (logits.at(b, c) > max_logit) {
+        max_logit = logits.at(b, c);
+        argmax = c;
+      }
+    }
+    if (argmax == static_cast<std::size_t>(label)) ++result.correct;
+
+    double sum_exp = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      sum_exp += std::exp(static_cast<double>(logits.at(b, c) - max_logit));
+    }
+    const double log_sum = std::log(sum_exp);
+    total += log_sum - (logits.at(b, label) - max_logit);
+
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(logits.at(b, c) - max_logit)) /
+          sum_exp;
+      result.grad_logits.at(b, c) =
+          (static_cast<float>(p) -
+           (c == static_cast<std::size_t>(label) ? 1.0f : 0.0f)) *
+          inv_batch;
+    }
+  }
+
+  result.loss = static_cast<float>(total / static_cast<double>(batch));
+  return result;
+}
+
+}  // namespace univsa

@@ -1,0 +1,21 @@
+// Softmax cross-entropy (mean over the batch) — the training objective of
+// the partial BNN (Sec. II-C).
+#pragma once
+
+#include <vector>
+
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+struct LossResult {
+  float loss = 0.0f;       ///< mean cross-entropy
+  Tensor grad_logits;      ///< (B, C) gradient wrt logits
+  std::size_t correct = 0; ///< # of argmax hits (training accuracy)
+};
+
+/// logits: (B, C); labels in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+}  // namespace univsa

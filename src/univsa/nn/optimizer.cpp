@@ -1,0 +1,90 @@
+#include "univsa/nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+namespace {
+void clip_latent(Param& p) {
+  if (!p.clip_latent) return;
+  for (auto& w : p.value->flat()) w = std::clamp(w, -1.0f, 1.0f);
+}
+}  // namespace
+
+Adam::Adam(ParamList params, float lr, float beta1, float beta2, float eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    UNIVSA_REQUIRE(p.value != nullptr && p.grad != nullptr,
+                   "null param in optimizer");
+    UNIVSA_REQUIRE(p.value->shape() == p.grad->shape(),
+                   "param/grad shape mismatch");
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto w = p.value->flat();
+    const auto g = p.grad->flat();
+    auto m = m_[i].flat();
+    auto v = v_[i].flat();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    clip_latent(p);
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.grad->fill(0.0f);
+}
+
+Sgd::Sgd(ParamList params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    UNIVSA_REQUIRE(p.value != nullptr && p.grad != nullptr,
+                   "null param in optimizer");
+    velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto w = p.value->flat();
+    const auto g = p.grad->flat();
+    auto v = velocity_[i].flat();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      v[j] = momentum_ * v[j] - lr_ * g[j];
+      w[j] += v[j];
+    }
+    clip_latent(p);
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p.grad->fill(0.0f);
+}
+
+}  // namespace univsa

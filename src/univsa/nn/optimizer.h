@@ -1,0 +1,51 @@
+// Optimizers over Param lists.
+//
+// Adam is the workhorse for the partial-BNN training (binary layers train
+// poorly with plain SGD at these tiny scales). After each step, latent
+// binary weights (Param::clip_latent) are clipped to [-1, 1] so the STE
+// window keeps covering them.
+#pragma once
+
+#include <vector>
+
+#include "univsa/nn/param.h"
+
+namespace univsa {
+
+class Adam {
+ public:
+  explicit Adam(ParamList params, float lr = 0.01f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  ParamList params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  long step_count_ = 0;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(ParamList params, float lr = 0.1f, float momentum = 0.9f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  ParamList params_;
+  std::vector<Tensor> velocity_;
+  float lr_;
+  float momentum_;
+};
+
+}  // namespace univsa

@@ -1,0 +1,29 @@
+// Trainable parameter handle.
+//
+// Layers own their weight and gradient tensors; the optimizer works on a
+// flat list of these views. `clip_latent` marks latent weights behind a
+// sign() binarization (BNN convention): after each optimizer step they are
+// clipped to [-1, 1] so the straight-through estimator's gradient window
+// stays meaningful.
+#pragma once
+
+#include <vector>
+
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  bool clip_latent = false;
+};
+
+using ParamList = std::vector<Param>;
+
+/// Appends `extra` to `list` (layers compose their children's params).
+inline void append_params(ParamList& list, const ParamList& extra) {
+  list.insert(list.end(), extra.begin(), extra.end());
+}
+
+}  // namespace univsa

@@ -1,0 +1,83 @@
+#include "univsa/nn/soft_voting_head.h"
+
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+SoftVotingHead::SoftVotingHead(std::size_t in_features, std::size_t classes,
+                               std::size_t voters, Rng& rng, bool binarize)
+    : classes_(classes), scale_({1}), scale_grad_({1}) {
+  UNIVSA_REQUIRE(voters >= 1, "need at least one voter");
+  voters_.reserve(voters);
+  for (std::size_t t = 0; t < voters; ++t) {
+    voters_.push_back(
+        std::make_unique<BinaryLinear>(in_features, classes, rng, binarize));
+  }
+  // Binary similarities live in [-D, D]; start logits around ±4.
+  scale_[0] = 4.0f / static_cast<float>(in_features);
+}
+
+Tensor SoftVotingHead::forward(const Tensor& s) {
+  Tensor mean_sim;
+  for (std::size_t t = 0; t < voters_.size(); ++t) {
+    Tensor sim = voters_[t]->forward(s);
+    if (t == 0) {
+      mean_sim = std::move(sim);
+    } else {
+      mean_sim.add_(sim);
+    }
+  }
+  mean_sim.mul_(1.0f / static_cast<float>(voters_.size()));
+  cached_mean_sim_ = mean_sim;
+  has_cache_ = true;
+  return mean_sim.mul(std::fabs(scale_[0]));
+}
+
+Tensor SoftVotingHead::backward(const Tensor& grad_out) {
+  UNIVSA_ENSURE(has_cache_, "SoftVotingHead::backward before forward");
+  UNIVSA_REQUIRE(grad_out.shape() == cached_mean_sim_.shape(),
+                 "SoftVotingHead grad shape mismatch");
+  has_cache_ = false;
+
+  // d|γ| = Σ grad_out ⊙ mean_sim; chain through |·| via sign(γ).
+  const float scale_sign = scale_[0] >= 0.0f ? 1.0f : -1.0f;
+  float dscale = 0.0f;
+  const auto go = grad_out.flat();
+  const auto ms = cached_mean_sim_.flat();
+  for (std::size_t i = 0; i < go.size(); ++i) dscale += go[i] * ms[i];
+  scale_grad_[0] += dscale * scale_sign;
+
+  Tensor voter_grad = grad_out.mul(std::fabs(scale_[0]) /
+                                   static_cast<float>(voters_.size()));
+  Tensor grad_in;
+  for (std::size_t t = 0; t < voters_.size(); ++t) {
+    Tensor g = voters_[t]->backward(voter_grad);
+    if (t == 0) {
+      grad_in = std::move(g);
+    } else {
+      grad_in.add_(g);
+    }
+  }
+  return grad_in;
+}
+
+ParamList SoftVotingHead::params() {
+  ParamList list;
+  for (auto& v : voters_) append_params(list, v->params());
+  list.push_back({&scale_, &scale_grad_, false});
+  return list;
+}
+
+void SoftVotingHead::zero_grad() {
+  for (auto& v : voters_) v->zero_grad();
+  scale_grad_.fill(0.0f);
+}
+
+Tensor SoftVotingHead::binary_class_vectors(std::size_t theta) const {
+  UNIVSA_REQUIRE(theta < voters_.size(), "voter index out of range");
+  return voters_[theta]->binary_weight();
+}
+
+}  // namespace univsa

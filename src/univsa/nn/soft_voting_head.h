@@ -1,0 +1,51 @@
+// Soft-voting similarity head (Sec. III-A4, Eq. 4).
+//
+// Θ parallel binary dense layers share the input sample vector s; their
+// similarity outputs are averaged:
+//   logits[b, c] = |γ| · (1/Θ) Σ_θ Σ_j sgn(Cθ)[c, j] · s[b, j]
+// γ is a learnable temperature that scales the bounded binary
+// similarities into a useful softmax range during training. The forward
+// pass uses |γ| — the deployed model (Eq. 4) computes raw integer
+// popcount sums with no scale, so a sign flip of γ during training would
+// silently invert every deployed prediction (observed in bring-up on the
+// EEGMMI configuration). With the magnitude form, neither γ nor the 1/Θ
+// average changes the argmax — verified by property test.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/nn/binary_linear.h"
+#include "univsa/nn/param.h"
+
+namespace univsa {
+
+class SoftVotingHead {
+ public:
+  SoftVotingHead(std::size_t in_features, std::size_t classes,
+                 std::size_t voters, Rng& rng, bool binarize = true);
+
+  std::size_t voters() const { return voters_.size(); }
+  std::size_t classes() const { return classes_; }
+
+  /// s: (B, D) -> logits (B, C).
+  Tensor forward(const Tensor& s);
+  Tensor backward(const Tensor& grad_out);
+
+  ParamList params();
+  void zero_grad();
+
+  /// Binarized class vectors of voter θ, shape (C, D).
+  Tensor binary_class_vectors(std::size_t theta) const;
+
+ private:
+  std::size_t classes_;
+  std::vector<std::unique_ptr<BinaryLinear>> voters_;
+  Tensor scale_;  // γ, learnable scalar
+  Tensor scale_grad_;
+  Tensor cached_mean_sim_;  // (B, C) pre-scale, for dγ
+  bool has_cache_ = false;
+};
+
+}  // namespace univsa

@@ -1,0 +1,49 @@
+#include "univsa/nn/value_box.h"
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+ValueBox::ValueBox(std::size_t levels, std::size_t dim, Rng& rng,
+                   std::size_t hidden)
+    : levels_(levels),
+      dim_(dim),
+      fc1_(1, hidden, rng),
+      fc2_(hidden, dim, rng) {
+  UNIVSA_REQUIRE(levels >= 2, "ValueBox needs at least 2 levels");
+  UNIVSA_REQUIRE(dim >= 1, "ValueBox dim must be positive");
+}
+
+Tensor ValueBox::forward_table() {
+  // Level m normalized to [-1, 1] — the MLP input grid.
+  Tensor levels({levels_, 1});
+  for (std::size_t m = 0; m < levels_; ++m) {
+    levels.at(m, 0) =
+        2.0f * static_cast<float>(m) / static_cast<float>(levels_ - 1) - 1.0f;
+  }
+  Tensor h = act_.forward(fc1_.forward(levels));
+  return sign_.forward(fc2_.forward(h));
+}
+
+void ValueBox::backward_table(const Tensor& grad_table) {
+  UNIVSA_REQUIRE(grad_table.rank() == 2 && grad_table.dim(0) == levels_ &&
+                     grad_table.dim(1) == dim_,
+                 "ValueBox grad table shape mismatch");
+  Tensor g = sign_.backward(grad_table);
+  g = fc2_.backward(g);
+  g = act_.backward(g);
+  fc1_.backward(g);
+}
+
+ParamList ValueBox::params() {
+  ParamList list = fc1_.params();
+  append_params(list, fc2_.params());
+  return list;
+}
+
+void ValueBox::zero_grad() {
+  fc1_.zero_grad();
+  fc2_.zero_grad();
+}
+
+}  // namespace univsa

@@ -1,0 +1,49 @@
+// ValueBox (Sec. II-C "Value Projection").
+//
+// A small float MLP mapping a scalar feature value to a D-dimensional
+// bipolar vector:  v = sgn(MLP(x)).  Values are discrete (M quantization
+// levels), so both training and deployment only ever evaluate the M level
+// points: forward_table() produces the (M, D) table in one pass and the
+// network gathers rows from it — the gradient scatters back through
+// backward_table(). After training, the table's signs ARE the deployed
+// value vector set V.
+//
+// DVP (Sec. III-A1) instantiates two of these: VB_H with dimension D_H and
+// VB_L with the smaller D_L.
+#pragma once
+
+#include "univsa/common/rng.h"
+#include "univsa/nn/activations.h"
+#include "univsa/nn/linear.h"
+#include "univsa/nn/param.h"
+
+namespace univsa {
+
+class ValueBox {
+ public:
+  /// `levels` = M quantization levels; `dim` = output vector dimension.
+  ValueBox(std::size_t levels, std::size_t dim, Rng& rng,
+           std::size_t hidden = 16);
+
+  std::size_t levels() const { return levels_; }
+  std::size_t dim() const { return dim_; }
+
+  /// Bipolar table (M, D): row m = sgn(MLP(norm(m))). Caches activations.
+  Tensor forward_table();
+
+  /// Accumulates parameter grads from the table gradient (M, D).
+  void backward_table(const Tensor& grad_table);
+
+  ParamList params();
+  void zero_grad();
+
+ private:
+  std::size_t levels_;
+  std::size_t dim_;
+  Linear fc1_;
+  Tanh act_;
+  Linear fc2_;
+  SignSte sign_;
+};
+
+}  // namespace univsa

@@ -1,0 +1,83 @@
+#include "univsa/report/metrics.h"
+
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::report {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), counts_(classes * classes, 0) {
+  UNIVSA_REQUIRE(classes >= 2, "need at least two classes");
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label) {
+  UNIVSA_REQUIRE(true_label >= 0 &&
+                     static_cast<std::size_t>(true_label) < classes_,
+                 "true label out of range");
+  UNIVSA_REQUIRE(predicted_label >= 0 &&
+                     static_cast<std::size_t>(predicted_label) < classes_,
+                 "predicted label out of range");
+  ++counts_[static_cast<std::size_t>(true_label) * classes_ +
+            static_cast<std::size_t>(predicted_label)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::at(std::size_t true_label,
+                                std::size_t predicted) const {
+  UNIVSA_REQUIRE(true_label < classes_ && predicted < classes_,
+                 "index out of range");
+  return counts_[true_label * classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  UNIVSA_REQUIRE(total_ > 0, "empty confusion matrix");
+  std::size_t hit = 0;
+  for (std::size_t c = 0; c < classes_; ++c) hit += at(c, c);
+  return static_cast<double>(hit) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  UNIVSA_REQUIRE(cls < classes_, "class out of range");
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < classes_; ++t) predicted += at(t, cls);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(at(cls, cls)) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  UNIVSA_REQUIRE(cls < classes_, "class out of range");
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < classes_; ++p) actual += at(cls, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(at(cls, cls)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < classes_; ++c) sum += f1(c);
+  return sum / static_cast<double>(classes_);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "true\\pred";
+  for (std::size_t p = 0; p < classes_; ++p) os << '\t' << p;
+  os << '\n';
+  for (std::size_t t = 0; t < classes_; ++t) {
+    os << t;
+    for (std::size_t p = 0; p < classes_; ++p) os << '\t' << at(t, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace univsa::report

@@ -1,0 +1,43 @@
+// Classification quality metrics.
+//
+// Accuracy alone hides failure modes on imbalanced tasks (CHB-IB is 70/30
+// by construction, mirroring the paper's imbalanced seizure benchmark);
+// the seizure example and the ablation benches report per-class
+// precision/recall/F1 from this confusion matrix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace univsa::report {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  std::size_t classes() const { return classes_; }
+  std::size_t total() const { return total_; }
+
+  void add(int true_label, int predicted_label);
+
+  /// counts()[t * classes + p].
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t at(std::size_t true_label, std::size_t predicted) const;
+
+  double accuracy() const;
+  /// Per-class one-vs-rest metrics; 0 when the denominator is empty.
+  double precision(std::size_t cls) const;
+  double recall(std::size_t cls) const;
+  double f1(std::size_t cls) const;
+  double macro_f1() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace univsa::report

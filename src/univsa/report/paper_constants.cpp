@@ -1,0 +1,50 @@
+#include "univsa/report/paper_constants.h"
+
+namespace univsa::report {
+
+const std::vector<PaperTable2Row>& paper_table2() {
+  static const std::vector<PaperTable2Row> rows = {
+      //  task       LDA acc/KB      KNN acc  SVM acc/KB        LeHDC acc/KB     LDC acc/KB      UniVSA acc/KB
+      {"EEGMMI",    0.7004, 8.19,   0.8262,  0.8766, 11223.04, 0.7980, 1602.50, 0.8279, 16.54, 0.8971, 13.59},
+      {"BCI-III-V", 0.8599, 1.15,   0.9888,  0.8971, 510.22,   0.8235, 443.75,  0.9370, 1.71,  0.9545, 3.57},
+      {"CHB-B",     0.9067, 11.78,  0.9744,  0.9819, 1990.14,  0.8992, 2162.50, 0.9669, 23.71, 0.9774, 4.51},
+      {"CHB-IB",    0.9142, 11.78,  0.9488,  0.9729, 3612.29,  0.8675, 2162.50, 0.9639, 23.71, 0.9684, 3.67},
+      {"ISOLET",    0.9410, 66.56,  0.9140,  0.9602, 5048.32,  0.9489, 1152.50, 0.9133, 10.78, 0.9282, 8.36},
+      {"HAR",       0.7625, 13.82,  0.5582,  0.7852, 6743.81,  0.9523, 1047.50, 0.9256, 9.44,  0.9338, 3.14},
+  };
+  return rows;
+}
+
+const std::vector<PaperTable4Row>& paper_table4() {
+  static const std::vector<PaperTable4Row> rows = {
+      {"EEGMMI", 0.070, 0.45, 33.62, 3, 0, 17.34},
+      {"BCI-III-V", 0.007, 0.18, 10.10, 1, 0, 184.84},
+      {"CHB-B", 0.100, 0.34, 13.92, 1, 0, 12.06},
+      {"CHB-IB", 0.206, 0.21, 16.46, 1, 0, 5.30},
+      {"ISOLET", 0.044, 0.11, 7.92, 1, 0, 27.78},
+      {"HAR", 0.039, 0.10, 6.78, 1, 0, 30.85},
+  };
+  return rows;
+}
+
+const std::vector<PaperTable3Row>& paper_table3_citations() {
+  static const std::vector<PaperTable3Row> rows = {
+      {"SVM [31]", "Virtex-5", "(20,20) / -*", "84", "(406)", "14.29",
+       "3.2", "31.85", "131", "59"},
+      {"KNN [16]", "Stratix IV", "64 / 2", "131.42", "—", "69.12", "24",
+       "135", "—", "80"},
+      {"BNN [14]", "Zynq-ZU3EG", "(3,32,32) / 10", "250", "—", "(0.36)",
+       "4.1", "51.44", "212", "126"},
+      {"QNN [13]", "Zynq-ZU3EG", "(3,224,224) / 1000", "250", "(1450)",
+       "(24.33)", "5.5", "51.78", "159", "360"},
+      {"LookHD [9]", "Kintex-7", "617 / 26", "200", "(165)", "—", "(9.52)",
+       "165", "175", "807"},
+      {"LDC [11]", "Zynq-ZU3EG", "784 / 10", "200", "6.48", "0.004",
+       "(0.016)", "0.75", "5", "1"},
+  };
+  return rows;
+}
+
+PaperFig4Overheads paper_fig4_overheads() { return {}; }
+
+}  // namespace univsa::report

@@ -1,0 +1,65 @@
+// Reference values transcribed from the paper's tables, printed next to
+// our measured/simulated values in the bench binaries and EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace univsa::report {
+
+/// Table II — accuracy (and memory KB where given) per method per task.
+struct PaperTable2Row {
+  std::string task;
+  double lda_acc, lda_kb;
+  double knn_acc;  // memory not reported ("—")
+  double svm_acc, svm_kb;
+  double lehdc_acc, lehdc_kb;
+  double ldc_acc, ldc_kb;
+  double univsa_acc, univsa_kb;
+};
+
+const std::vector<PaperTable2Row>& paper_table2();
+
+/// Table IV — UniVSA hardware performance per task.
+struct PaperTable4Row {
+  std::string task;
+  double latency_ms;
+  double power_w;
+  double kiloluts;
+  std::size_t brams;
+  std::size_t dsps;
+  double throughput_kilo;
+};
+
+const std::vector<PaperTable4Row>& paper_table4();
+
+/// Table III — hardware comparison rows. Non-UniVSA rows are other
+/// papers' silicon and are cited, not reproduced; strings carry the
+/// paper's "(estimated)" parentheses and "—" blanks verbatim.
+struct PaperTable3Row {
+  std::string name;
+  std::string fpga;
+  std::string input_classes;
+  std::string freq_mhz;
+  std::string memory_kb;
+  std::string latency_ms;
+  std::string power_w;
+  std::string kiloluts;
+  std::string brams;
+  std::string dsps;
+};
+
+const std::vector<PaperTable3Row>& paper_table3_citations();
+
+/// Fig. 4 reference points: memory overhead of each extension relative
+/// to the plain binary VSA baseline (Sec. III-B).
+struct PaperFig4Overheads {
+  double dvp_percent = 0.59;
+  double biconv_percent = 5.64;
+  double sv_percent = 0.39;
+};
+
+PaperFig4Overheads paper_fig4_overheads();
+
+}  // namespace univsa::report

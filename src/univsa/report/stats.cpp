@@ -1,0 +1,50 @@
+#include "univsa/report/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+#include "univsa/report/table.h"
+
+namespace univsa::report {
+
+Summary summarize(std::span<const double> values) {
+  UNIVSA_REQUIRE(!values.empty(), "cannot summarize an empty set");
+  Summary s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  RunningStats rs;
+  for (const double v : values) {
+    rs.add(v);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  return s;
+}
+
+std::string fmt_mean_std(const Summary& s, int precision) {
+  return fmt(s.mean, precision) + " ± " + fmt(s.stddev, precision);
+}
+
+void RunningStats::add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const {
+  UNIVSA_REQUIRE(count_ > 0, "empty running stats");
+  return mean_;
+}
+
+double RunningStats::stddev() const {
+  UNIVSA_REQUIRE(count_ > 0, "empty running stats");
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+}  // namespace univsa::report

@@ -1,0 +1,38 @@
+// Small statistics helpers for multi-seed experiment reporting (the
+// paper's Fig. 4 shows accuracy deviations across runs; the ablation
+// benches reproduce that with mean ± std over seeds).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace univsa::report {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// "0.8917 ± 0.0123" formatting.
+std::string fmt_mean_std(const Summary& s, int precision = 4);
+
+/// Running Welford accumulator for streaming use.
+class RunningStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace univsa::report

@@ -1,0 +1,106 @@
+#include "univsa/report/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  UNIVSA_REQUIRE(!headers_.empty(), "table needs headers");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  UNIVSA_REQUIRE(cells.size() == headers_.size(),
+                 "cell count does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (const auto w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto emit_row = [&](std::ostringstream& os,
+                            const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << s << std::string(widths[c] - s.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  emit_row(os, headers_);
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule(os);
+    } else {
+      emit_row(os, row);
+    }
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_vs_paper(double measured, double paper, int precision) {
+  return fmt(measured, precision) + " (paper " + fmt(paper, precision) +
+         ")";
+}
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream os(path);
+  UNIVSA_REQUIRE(os.is_open(), "cannot open CSV for writing: " + path);
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const bool quote =
+          cells[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        os << '"';
+        for (const char ch : cells[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(headers);
+  for (const auto& row : rows) emit(row);
+  UNIVSA_ENSURE(os.good(), "CSV write failed");
+}
+
+}  // namespace univsa::report

@@ -1,0 +1,38 @@
+// Aligned text tables and CSV emission for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace univsa::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal separator row.
+  void add_rule();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+/// Fixed-precision double formatting ("0.8971", "13.59").
+std::string fmt(double value, int precision = 4);
+
+/// "value (paper ref)" pairing used across the experiment tables.
+std::string fmt_vs_paper(double measured, double paper, int precision = 4);
+
+/// Writes a CSV file; throws on I/O failure.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace univsa::report

@@ -1,0 +1,158 @@
+#include "univsa/search/evolutionary.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "univsa/common/contracts.h"
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::search {
+
+namespace {
+
+using Key = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                       std::size_t>;
+
+Key key_of(const vsa::ModelConfig& c) {
+  return {c.D_H, c.D_L, c.D_K, c.O, c.Theta};
+}
+
+std::size_t pick(const std::vector<std::size_t>& values, Rng& rng) {
+  return values[rng.uniform_index(values.size())];
+}
+
+void repair(vsa::ModelConfig& c, const SearchSpace& space) {
+  c.O = std::clamp(c.O, space.o_min, space.o_max);
+  if (c.D_L > c.D_H) c.D_L = c.D_H;
+}
+
+vsa::ModelConfig random_genome(const vsa::ModelConfig& task,
+                               const SearchSpace& space, Rng& rng) {
+  vsa::ModelConfig c = task;
+  c.D_H = pick(space.d_h, rng);
+  c.D_L = pick(space.d_l, rng);
+  c.D_K = pick(space.d_k, rng);
+  c.O = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(space.o_min),
+                      static_cast<std::int64_t>(space.o_max)));
+  c.Theta = pick(space.theta, rng);
+  repair(c, space);
+  return c;
+}
+
+vsa::ModelConfig crossover(const vsa::ModelConfig& a,
+                           const vsa::ModelConfig& b,
+                           const SearchSpace& space, Rng& rng) {
+  vsa::ModelConfig c = a;
+  if (rng.bernoulli(0.5)) c.D_H = b.D_H;
+  if (rng.bernoulli(0.5)) c.D_L = b.D_L;
+  if (rng.bernoulli(0.5)) c.D_K = b.D_K;
+  if (rng.bernoulli(0.5)) c.O = b.O;
+  if (rng.bernoulli(0.5)) c.Theta = b.Theta;
+  repair(c, space);
+  return c;
+}
+
+void mutate(vsa::ModelConfig& c, const SearchSpace& space, double rate,
+            Rng& rng) {
+  if (rng.bernoulli(rate)) c.D_H = pick(space.d_h, rng);
+  if (rng.bernoulli(rate)) c.D_L = pick(space.d_l, rng);
+  if (rng.bernoulli(rate)) c.D_K = pick(space.d_k, rng);
+  if (rng.bernoulli(rate)) {
+    // Local O perturbation keeps the search from jumping wildly.
+    const std::int64_t delta = rng.uniform_int(-16, 16);
+    const auto o = static_cast<std::int64_t>(c.O) + delta;
+    c.O = static_cast<std::size_t>(
+        std::clamp<std::int64_t>(o, static_cast<std::int64_t>(space.o_min),
+                                 static_cast<std::int64_t>(space.o_max)));
+  }
+  if (rng.bernoulli(rate)) c.Theta = pick(space.theta, rng);
+  repair(c, space);
+}
+
+}  // namespace
+
+SearchResult evolutionary_search(const vsa::ModelConfig& task,
+                                 const SearchSpace& space,
+                                 const AccuracyFn& accuracy,
+                                 const SearchOptions& options) {
+  UNIVSA_REQUIRE(options.population >= 2, "population too small");
+  UNIVSA_REQUIRE(options.elite >= 1 && options.elite < options.population,
+                 "elite count must be in [1, population)");
+  UNIVSA_REQUIRE(static_cast<bool>(accuracy), "null accuracy oracle");
+  UNIVSA_REQUIRE(!space.d_h.empty() && !space.d_l.empty() &&
+                     !space.d_k.empty() && !space.theta.empty() &&
+                     space.o_min >= 1 && space.o_min <= space.o_max,
+                 "empty search space");
+
+  Rng rng(options.seed);
+  SearchResult result;
+  std::map<Key, std::pair<double, double>> cache;  // key -> (acc, obj)
+
+  struct Scored {
+    vsa::ModelConfig config;
+    double accuracy = 0.0;
+    double objective = 0.0;
+  };
+
+  const auto evaluate = [&](const vsa::ModelConfig& c) -> Scored {
+    const Key k = key_of(c);
+    const auto it = cache.find(k);
+    if (it != cache.end()) {
+      return {c, it->second.first, it->second.second};
+    }
+    const double acc = accuracy(c);
+    const double obj =
+        acc - vsa::hardware_penalty(c, options.lambda1, options.lambda2);
+    cache.emplace(k, std::make_pair(acc, obj));
+    ++result.evaluations;
+    return {c, acc, obj};
+  };
+
+  std::vector<Scored> population;
+  population.reserve(options.population);
+  for (std::size_t i = 0; i < options.population; ++i) {
+    population.push_back(evaluate(random_genome(task, space, rng)));
+  }
+
+  const auto by_objective = [](const Scored& a, const Scored& b) {
+    return a.objective > b.objective;
+  };
+  const auto tournament = [&]() -> const Scored& {
+    const auto& a = population[rng.uniform_index(population.size())];
+    const auto& b = population[rng.uniform_index(population.size())];
+    return a.objective >= b.objective ? a : b;
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::sort(population.begin(), population.end(), by_objective);
+
+    GenerationStats stats;
+    stats.best_objective = population.front().objective;
+    double sum = 0.0;
+    for (const auto& s : population) sum += s.objective;
+    stats.mean_objective = sum / static_cast<double>(population.size());
+    result.history.push_back(stats);
+
+    // Elitist preservation: the top `elite` genomes carry over unchanged.
+    std::vector<Scored> next(population.begin(),
+                             population.begin() +
+                                 static_cast<long>(options.elite));
+    while (next.size() < options.population) {
+      vsa::ModelConfig child =
+          crossover(tournament().config, tournament().config, space, rng);
+      mutate(child, space, options.mutation_rate, rng);
+      next.push_back(evaluate(child));
+    }
+    population = std::move(next);
+  }
+
+  std::sort(population.begin(), population.end(), by_objective);
+  result.best_config = population.front().config;
+  result.best_objective = population.front().objective;
+  result.best_accuracy = population.front().accuracy;
+  return result;
+}
+
+}  // namespace univsa::search

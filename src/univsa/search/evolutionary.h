@@ -1,0 +1,63 @@
+// Evolutionary configuration search with elitist preservation (Sec. V-A,
+// refs [27], [28]).
+//
+// Searches (D_H, D_L, D_K, O, Θ) for a fixed task geometry, maximizing
+//   obj = Acc(config) − L_HW(config)            (Eq. 7 penalty,
+//                                                λ1 = λ2 = 0.005)
+// The accuracy oracle is injected so callers choose the fidelity:
+// the Table I bench trains a small model per candidate, tests use an
+// analytic surrogate. Evaluations are memoized per configuration — the
+// GA revisits genomes often and training is the expensive part.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::search {
+
+struct SearchSpace {
+  std::vector<std::size_t> d_h = {2, 4, 8, 16};
+  std::vector<std::size_t> d_l = {1, 2, 4};
+  std::vector<std::size_t> d_k = {3, 5};
+  std::size_t o_min = 8;
+  std::size_t o_max = 160;
+  std::vector<std::size_t> theta = {1, 3, 5};
+};
+
+struct SearchOptions {
+  std::size_t population = 16;
+  std::size_t generations = 10;
+  std::size_t elite = 4;       ///< elitist preservation count
+  double mutation_rate = 0.3;  ///< per-gene mutation probability
+  double lambda1 = 0.005;      ///< Eq. 7 memory weight
+  double lambda2 = 0.005;      ///< Eq. 7 resource weight
+  std::uint64_t seed = 7;
+};
+
+/// Returns the (validation) accuracy of a candidate configuration.
+using AccuracyFn = std::function<double(const vsa::ModelConfig&)>;
+
+struct GenerationStats {
+  double best_objective = 0.0;
+  double mean_objective = 0.0;
+};
+
+struct SearchResult {
+  vsa::ModelConfig best_config;
+  double best_objective = 0.0;
+  double best_accuracy = 0.0;
+  std::vector<GenerationStats> history;
+  std::size_t evaluations = 0;  ///< oracle calls (after memoization)
+};
+
+/// `task` supplies W, L, C, M; its hyperparameter fields are ignored.
+SearchResult evolutionary_search(const vsa::ModelConfig& task,
+                                 const SearchSpace& space,
+                                 const AccuracyFn& accuracy,
+                                 const SearchOptions& options);
+
+}  // namespace univsa::search

@@ -1,0 +1,258 @@
+#include "univsa/search/pareto.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <tuple>
+
+#include "univsa/common/contracts.h"
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::search {
+
+namespace {
+
+using Key = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                       std::size_t>;
+
+Key key_of(const vsa::ModelConfig& c) {
+  return {c.D_H, c.D_L, c.D_K, c.O, c.Theta};
+}
+
+std::size_t pick(const std::vector<std::size_t>& values, Rng& rng) {
+  return values[rng.uniform_index(values.size())];
+}
+
+void repair(vsa::ModelConfig& c, const SearchSpace& space) {
+  c.O = std::clamp(c.O, space.o_min, space.o_max);
+  if (c.D_L > c.D_H) c.D_L = c.D_H;
+}
+
+vsa::ModelConfig random_genome(const vsa::ModelConfig& task,
+                               const SearchSpace& space, Rng& rng) {
+  vsa::ModelConfig c = task;
+  c.D_H = pick(space.d_h, rng);
+  c.D_L = pick(space.d_l, rng);
+  c.D_K = pick(space.d_k, rng);
+  c.O = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(space.o_min),
+                      static_cast<std::int64_t>(space.o_max)));
+  c.Theta = pick(space.theta, rng);
+  repair(c, space);
+  return c;
+}
+
+vsa::ModelConfig vary(const vsa::ModelConfig& a, const vsa::ModelConfig& b,
+                      const SearchSpace& space, double mutation_rate,
+                      Rng& rng) {
+  vsa::ModelConfig c = a;
+  if (rng.bernoulli(0.5)) c.D_H = b.D_H;
+  if (rng.bernoulli(0.5)) c.D_L = b.D_L;
+  if (rng.bernoulli(0.5)) c.D_K = b.D_K;
+  if (rng.bernoulli(0.5)) c.O = b.O;
+  if (rng.bernoulli(0.5)) c.Theta = b.Theta;
+  if (rng.bernoulli(mutation_rate)) c.D_H = pick(space.d_h, rng);
+  if (rng.bernoulli(mutation_rate)) c.D_L = pick(space.d_l, rng);
+  if (rng.bernoulli(mutation_rate)) c.D_K = pick(space.d_k, rng);
+  if (rng.bernoulli(mutation_rate)) {
+    const std::int64_t delta = rng.uniform_int(-16, 16);
+    c.O = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(c.O) + delta,
+        static_cast<std::int64_t>(space.o_min),
+        static_cast<std::int64_t>(space.o_max)));
+  }
+  if (rng.bernoulli(mutation_rate)) c.Theta = pick(space.theta, rng);
+  repair(c, space);
+  return c;
+}
+
+/// Fast non-dominated sort (returns front index per point, 0 = best).
+std::vector<std::size_t> front_ranks(const std::vector<ParetoPoint>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<std::size_t> rank(n, 0);
+  std::vector<std::size_t> dominated_count(n, 0);
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dominates(pts[i], pts[j])) {
+        dominated_by[i].push_back(j);
+      } else if (dominates(pts[j], pts[i])) {
+        ++dominated_count[i];
+      }
+    }
+    if (dominated_count[i] == 0) current.push_back(i);
+  }
+  std::size_t level = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (const auto i : current) {
+      rank[i] = level;
+      for (const auto j : dominated_by[i]) {
+        if (--dominated_count[j] == 0) next.push_back(j);
+      }
+    }
+    current = std::move(next);
+    ++level;
+  }
+  return rank;
+}
+
+/// Crowding distance within one front (larger = more isolated).
+std::vector<double> crowding(const std::vector<ParetoPoint>& pts,
+                             const std::vector<std::size_t>& members) {
+  std::vector<double> distance(pts.size(), 0.0);
+  const auto by_key = [&](auto key) {
+    std::vector<std::size_t> order = members;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return key(pts[a]) < key(pts[b]);
+              });
+    if (order.size() < 3) {
+      for (const auto i : order) {
+        distance[i] = std::numeric_limits<double>::infinity();
+      }
+      return;
+    }
+    const double span = key(pts[order.back()]) - key(pts[order.front()]);
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    if (span <= 0.0) return;
+    for (std::size_t k = 1; k + 1 < order.size(); ++k) {
+      distance[order[k]] +=
+          (key(pts[order[k + 1]]) - key(pts[order[k - 1]])) / span;
+    }
+  };
+  by_key([](const ParetoPoint& p) { return p.accuracy; });
+  by_key([](const ParetoPoint& p) { return p.memory_kb; });
+  by_key([](const ParetoPoint& p) { return p.resource_units; });
+  return distance;
+}
+
+}  // namespace
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse = a.accuracy >= b.accuracy &&
+                        a.memory_kb <= b.memory_kb &&
+                        a.resource_units <= b.resource_units;
+  const bool better = a.accuracy > b.accuracy ||
+                      a.memory_kb < b.memory_kb ||
+                      a.resource_units < b.resource_units;
+  return no_worse && better;
+}
+
+std::vector<ParetoPoint> non_dominated(
+    const std::vector<ParetoPoint>& points) {
+  std::vector<ParetoPoint> front;
+  for (const auto& p : points) {
+    bool is_dominated = false;
+    for (const auto& q : points) {
+      if (dominates(q, p)) {
+        is_dominated = true;
+        break;
+      }
+    }
+    if (!is_dominated) front.push_back(p);
+  }
+  // Deduplicate identical configurations.
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return key_of(a.config) < key_of(b.config);
+            });
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const ParetoPoint& a, const ParetoPoint& b) {
+                            return key_of(a.config) == key_of(b.config);
+                          }),
+              front.end());
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.memory_kb < b.memory_kb;
+            });
+  return front;
+}
+
+ParetoResult pareto_search(const vsa::ModelConfig& task,
+                           const SearchSpace& space,
+                           const AccuracyFn& accuracy,
+                           const ParetoOptions& options) {
+  UNIVSA_REQUIRE(options.population >= 4, "population too small");
+  UNIVSA_REQUIRE(static_cast<bool>(accuracy), "null accuracy oracle");
+
+  Rng rng(options.seed);
+  ParetoResult result;
+  std::map<Key, double> cache;
+
+  const auto evaluate = [&](const vsa::ModelConfig& c) -> ParetoPoint {
+    ParetoPoint p;
+    p.config = c;
+    const Key k = key_of(c);
+    const auto it = cache.find(k);
+    if (it != cache.end()) {
+      p.accuracy = it->second;
+    } else {
+      p.accuracy = accuracy(c);
+      cache.emplace(k, p.accuracy);
+      ++result.evaluations;
+    }
+    p.memory_kb = vsa::memory_kb(c);
+    p.resource_units = static_cast<double>(vsa::resource_units(c));
+    return p;
+  };
+
+  std::vector<ParetoPoint> population;
+  population.reserve(options.population);
+  for (std::size_t i = 0; i < options.population; ++i) {
+    population.push_back(evaluate(random_genome(task, space, rng)));
+  }
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    // Offspring via binary tournaments on (rank, crowding).
+    const auto ranks = front_ranks(population);
+    std::vector<std::size_t> all(population.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    const auto dist = crowding(population, all);
+    const auto tournament = [&]() -> const ParetoPoint& {
+      const std::size_t a = rng.uniform_index(population.size());
+      const std::size_t b = rng.uniform_index(population.size());
+      if (ranks[a] != ranks[b]) {
+        return population[ranks[a] < ranks[b] ? a : b];
+      }
+      return population[dist[a] >= dist[b] ? a : b];
+    };
+
+    std::vector<ParetoPoint> combined = population;
+    for (std::size_t i = 0; i < options.population; ++i) {
+      const vsa::ModelConfig child =
+          vary(tournament().config, tournament().config, space,
+               options.mutation_rate, rng);
+      combined.push_back(evaluate(child));
+    }
+
+    // Environmental selection: best fronts first, crowding inside the
+    // last partially-admitted front.
+    const auto comb_ranks = front_ranks(combined);
+    std::vector<std::size_t> order(combined.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::vector<std::size_t> everyone = order;
+    const auto comb_dist = crowding(combined, everyone);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (comb_ranks[a] != comb_ranks[b]) {
+                  return comb_ranks[a] < comb_ranks[b];
+                }
+                return comb_dist[a] > comb_dist[b];
+              });
+    std::vector<ParetoPoint> next;
+    next.reserve(options.population);
+    for (std::size_t i = 0; i < options.population; ++i) {
+      next.push_back(combined[order[i]]);
+    }
+    population = std::move(next);
+  }
+
+  result.front = non_dominated(population);
+  return result;
+}
+
+}  // namespace univsa::search

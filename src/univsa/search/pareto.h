@@ -1,0 +1,52 @@
+// Multi-objective configuration search (Pareto front).
+//
+// Eq. 7 collapses memory and resources into one scalar penalty; that
+// bakes the accuracy/hardware exchange rate into λ1/λ2 before the search
+// runs. The multi-objective variant instead evolves the whole trade-off
+// surface — maximize accuracy, minimize Eq. 5 memory, minimize Eq. 6
+// resources — with NSGA-II-style non-dominated sorting and crowding
+// selection, and hands the designer the Pareto-optimal configurations to
+// pick from. (An extension beyond the paper's single-objective search;
+// the single-objective optimum is always on this front, which is
+// property-tested.)
+#pragma once
+
+#include <vector>
+
+#include "univsa/search/evolutionary.h"
+
+namespace univsa::search {
+
+struct ParetoPoint {
+  vsa::ModelConfig config;
+  double accuracy = 0.0;
+  double memory_kb = 0.0;
+  double resource_units = 0.0;
+};
+
+/// a dominates b: no objective worse, at least one strictly better.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+struct ParetoOptions {
+  std::size_t population = 24;
+  std::size_t generations = 12;
+  double mutation_rate = 0.3;
+  std::uint64_t seed = 7;
+};
+
+struct ParetoResult {
+  /// Non-dominated set, sorted by ascending memory.
+  std::vector<ParetoPoint> front;
+  std::size_t evaluations = 0;
+};
+
+ParetoResult pareto_search(const vsa::ModelConfig& task,
+                           const SearchSpace& space,
+                           const AccuracyFn& accuracy,
+                           const ParetoOptions& options);
+
+/// Non-dominated filter over arbitrary points (exposed for tests).
+std::vector<ParetoPoint> non_dominated(
+    const std::vector<ParetoPoint>& points);
+
+}  // namespace univsa::search

@@ -1,0 +1,98 @@
+#include "univsa/tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+
+namespace univsa {
+
+namespace {
+
+// Rows of C are independent, so we parallelize over m and keep the inner
+// loops in forms the compiler auto-vectorizes (unit-stride over n or k).
+
+void gemm_nn_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
+                  std::size_t k, const float* a, const float* b, float* c) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* ci = c + i * n;
+    std::memset(ci, 0, n * sizeof(float));
+    const float* ai = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_nt_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
+                  std::size_t k, const float* a, const float* b, float* c) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+}
+
+void gemm_tn_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
+                  std::size_t k, std::size_t m, const float* a,
+                  const float* b, float* c) {
+  // A is (k, m): column i of A is strided; accumulate row-by-row of A/B so
+  // the inner loop stays unit-stride over n.
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* ci = c + i * n;
+    std::memset(ci, 0, n * sizeof(float));
+    for (std::size_t p = 0; p < k; ++p) {
+      const float api = a[p * m + i];
+      if (api == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(GemmLayout layout, std::size_t m, std::size_t n, std::size_t k,
+          const float* a, const float* b, float* c) {
+  UNIVSA_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+                 "gemm null operand");
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::memset(c, 0, m * n * sizeof(float));
+    return;
+  }
+
+  const auto run = [&](std::size_t begin, std::size_t end) {
+    switch (layout) {
+      case GemmLayout::kNN:
+        gemm_nn_rows(begin, end, n, k, a, b, c);
+        break;
+      case GemmLayout::kNT:
+        gemm_nt_rows(begin, end, n, k, a, b, c);
+        break;
+      case GemmLayout::kTN:
+        gemm_tn_rows(begin, end, n, k, m, a, b, c);
+        break;
+    }
+  };
+
+  // Only thread when there is enough work to amortize the dispatch.
+  const std::size_t flops = m * n * k;
+  if (flops < 1u << 16) {
+    run(0, m);
+  } else {
+    global_pool().parallel_for(m, run);
+  }
+}
+
+}  // namespace univsa

@@ -1,0 +1,23 @@
+// Blocked, threaded single-precision GEMM.
+//
+// All three layouts the backprop passes need are provided explicitly
+// (C = A·B, C = A·Bᵀ, C = Aᵀ·B) instead of a general stride interface —
+// the training stack only ever calls these three, and the explicit forms
+// keep the inner loops contiguous.
+#pragma once
+
+#include <cstddef>
+
+namespace univsa {
+
+enum class GemmLayout {
+  kNN,  ///< C(m,n) = A(m,k) · B(k,n)
+  kNT,  ///< C(m,n) = A(m,k) · B(n,k)ᵀ
+  kTN,  ///< C(m,n) = A(k,m)ᵀ · B(k,n)
+};
+
+/// C must not alias A or B. C is overwritten.
+void gemm(GemmLayout layout, std::size_t m, std::size_t n, std::size_t k,
+          const float* a, const float* b, float* c);
+
+}  // namespace univsa

@@ -1,0 +1,81 @@
+#include "univsa/tensor/im2col.h"
+
+#include "univsa/common/contracts.h"
+
+namespace univsa {
+
+Tensor im2col(const Tensor& input, std::size_t kernel) {
+  UNIVSA_REQUIRE(input.rank() == 3, "im2col expects (C, H, W)");
+  UNIVSA_REQUIRE(kernel % 2 == 1, "kernel size must be odd for same padding");
+  const std::size_t channels = input.dim(0);
+  const std::size_t height = input.dim(1);
+  const std::size_t width = input.dim(2);
+  const std::size_t pad = kernel / 2;
+
+  Tensor cols({channels * kernel * kernel, height * width});
+  const float* in = input.data();
+  float* out = cols.data();
+  const std::size_t plane = height * width;
+
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t kh = 0; kh < kernel; ++kh) {
+      for (std::size_t kw = 0; kw < kernel; ++kw, ++row) {
+        float* dst = out + row * plane;
+        const long dh = static_cast<long>(kh) - static_cast<long>(pad);
+        const long dw = static_cast<long>(kw) - static_cast<long>(pad);
+        for (std::size_t h = 0; h < height; ++h) {
+          const long sh = static_cast<long>(h) + dh;
+          if (sh < 0 || sh >= static_cast<long>(height)) {
+            for (std::size_t w = 0; w < width; ++w) dst[h * width + w] = 0.0f;
+            continue;
+          }
+          const float* src = in + c * plane + sh * width;
+          for (std::size_t w = 0; w < width; ++w) {
+            const long sw = static_cast<long>(w) + dw;
+            dst[h * width + w] =
+                (sw < 0 || sw >= static_cast<long>(width)) ? 0.0f : src[sw];
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& columns, std::size_t channels, std::size_t height,
+              std::size_t width, std::size_t kernel) {
+  UNIVSA_REQUIRE(columns.rank() == 2, "col2im expects (C*K*K, H*W)");
+  UNIVSA_REQUIRE(columns.dim(0) == channels * kernel * kernel &&
+                     columns.dim(1) == height * width,
+                 "col2im shape mismatch");
+  const std::size_t pad = kernel / 2;
+  Tensor grad({channels, height, width});
+  float* out = grad.data();
+  const float* in = columns.data();
+  const std::size_t plane = height * width;
+
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t kh = 0; kh < kernel; ++kh) {
+      for (std::size_t kw = 0; kw < kernel; ++kw, ++row) {
+        const float* src = in + row * plane;
+        const long dh = static_cast<long>(kh) - static_cast<long>(pad);
+        const long dw = static_cast<long>(kw) - static_cast<long>(pad);
+        for (std::size_t h = 0; h < height; ++h) {
+          const long sh = static_cast<long>(h) + dh;
+          if (sh < 0 || sh >= static_cast<long>(height)) continue;
+          float* dst = out + c * plane + sh * width;
+          for (std::size_t w = 0; w < width; ++w) {
+            const long sw = static_cast<long>(w) + dw;
+            if (sw < 0 || sw >= static_cast<long>(width)) continue;
+            dst[sw] += src[h * width + w];
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace univsa

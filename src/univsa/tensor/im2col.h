@@ -1,0 +1,23 @@
+// im2col / col2im for 2-D convolution with "same" zero padding.
+//
+// The BiConv layer (Sec. III-A2) lowers convolution to GEMM:
+//   patches (C_in*K*K, H*W) from im2col, kernels (O, C_in*K*K),
+//   output = kernels · patches  ->  (O, H*W).
+// Zero padding is the DVP-compatible choice: a 0 is neutral under
+// bipolar accumulation (see DESIGN.md §5).
+#pragma once
+
+#include <cstddef>
+
+#include "univsa/tensor/tensor.h"
+
+namespace univsa {
+
+/// input  (C, H, W) -> columns (C*K*K, H*W); stride 1, pad K/2 (K odd).
+Tensor im2col(const Tensor& input, std::size_t kernel);
+
+/// Adjoint of im2col: columns (C*K*K, H*W) -> grad input (C, H, W).
+Tensor col2im(const Tensor& columns, std::size_t channels, std::size_t height,
+              std::size_t width, std::size_t kernel);
+
+}  // namespace univsa

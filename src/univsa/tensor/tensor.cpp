@@ -1,0 +1,239 @@
+#include "univsa/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+#include "univsa/tensor/gemm.h"
+
+namespace univsa {
+
+namespace {
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (const auto d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {
+  UNIVSA_REQUIRE(!shape_.empty() && shape_.size() <= 4,
+                 "tensor rank must be 1..4");
+  for (const auto d : shape_) UNIVSA_REQUIRE(d > 0, "zero tensor dimension");
+}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) {
+    x = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_sign(std::vector<std::size_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.sign());
+  return t;
+}
+
+Tensor Tensor::from_data(std::vector<std::size_t> shape,
+                         std::vector<float> data) {
+  Tensor t(std::move(shape));
+  UNIVSA_REQUIRE(data.size() == t.size(), "data size does not match shape");
+  t.data_ = std::move(data);
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  UNIVSA_REQUIRE(axis < shape_.size(), "axis out of range");
+  return shape_[axis];
+}
+
+float& Tensor::operator[](std::size_t i) {
+  UNIVSA_REQUIRE(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+float Tensor::operator[](std::size_t i) const {
+  UNIVSA_REQUIRE(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+void Tensor::require_rank(std::size_t r) const {
+  UNIVSA_REQUIRE(shape_.size() == r, "tensor rank mismatch");
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  require_rank(2);
+  UNIVSA_REQUIRE(i < shape_[0] && j < shape_[1], "index out of range");
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  require_rank(3);
+  UNIVSA_REQUIRE(i < shape_[0] && j < shape_[1] && k < shape_[2],
+                 "index out of range");
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k,
+                  std::size_t l) {
+  require_rank(4);
+  UNIVSA_REQUIRE(
+      i < shape_[0] && j < shape_[1] && k < shape_[2] && l < shape_[3],
+      "index out of range");
+  return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k,
+                 std::size_t l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  Tensor t(std::move(shape));
+  UNIVSA_REQUIRE(t.size() == size(), "reshape changes element count");
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  UNIVSA_REQUIRE(other.size() == size(), "elementwise size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  UNIVSA_REQUIRE(other.size() == size(), "elementwise size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  UNIVSA_REQUIRE(other.size() == size(), "elementwise size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor Tensor::add(const Tensor& other) const {
+  Tensor r = *this;
+  return r.add_(other);
+}
+
+Tensor Tensor::sub(const Tensor& other) const {
+  Tensor r = *this;
+  return r.sub_(other);
+}
+
+Tensor Tensor::mul(float scalar) const {
+  Tensor r = *this;
+  return r.mul_(scalar);
+}
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const auto x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Tensor Tensor::matmul(const Tensor& other) const {
+  require_rank(2);
+  other.require_rank(2);
+  UNIVSA_REQUIRE(shape_[1] == other.shape_[0], "matmul inner dim mismatch");
+  Tensor out({shape_[0], other.shape_[1]});
+  gemm(GemmLayout::kNN, shape_[0], other.shape_[1], shape_[1], data(),
+       other.data(), out.data());
+  return out;
+}
+
+Tensor Tensor::matmul_transposed(const Tensor& other) const {
+  require_rank(2);
+  other.require_rank(2);
+  UNIVSA_REQUIRE(shape_[1] == other.shape_[1],
+                 "matmul_transposed inner dim mismatch");
+  Tensor out({shape_[0], other.shape_[0]});
+  gemm(GemmLayout::kNT, shape_[0], other.shape_[0], shape_[1], data(),
+       other.data(), out.data());
+  return out;
+}
+
+Tensor Tensor::transposed_matmul(const Tensor& other) const {
+  require_rank(2);
+  other.require_rank(2);
+  UNIVSA_REQUIRE(shape_[0] == other.shape_[0],
+                 "transposed_matmul inner dim mismatch");
+  Tensor out({shape_[1], other.shape_[1]});
+  gemm(GemmLayout::kTN, shape_[1], other.shape_[1], shape_[0], data(),
+       other.data(), out.data());
+  return out;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+Tensor sign_tensor(const Tensor& x) {
+  Tensor out(x.shape());
+  const auto in = x.flat();
+  auto o = out.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    o[i] = in[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float tol) {
+  if (a.shape() != b.shape()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    if (std::fabs(fa[i] - fb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace univsa

@@ -1,0 +1,101 @@
+// Minimal dense float tensor.
+//
+// The training stack (Sec. II-C's partial BNN, extended by Sec. III) only
+// needs: row-major float storage, a handful of elementwise ops, GEMM, and
+// im2col. This type is deliberately small — a value type with explicit
+// shape checks — rather than a general autograd tensor; layers implement
+// their own backward passes (see univsa/nn).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "univsa/common/rng.h"
+
+namespace univsa {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape. Rank 1..4 supported.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  static Tensor zeros(std::vector<std::size_t> shape);
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  /// N(0, stddev) entries.
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng,
+                      float stddev = 1.0f);
+  /// Uniform {-1, +1} entries.
+  static Tensor rand_sign(std::vector<std::size_t> shape, Rng& rng);
+  static Tensor from_data(std::vector<std::size_t> shape,
+                          std::vector<float> data);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t axis) const;
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& operator[](std::size_t i);
+  float operator[](std::size_t i) const;
+
+  /// Multi-index accessors (rank-checked).
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k);
+  float at(std::size_t i, std::size_t j, std::size_t k) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+  float at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+
+  /// Same data, new shape; total size must match.
+  Tensor reshaped(std::vector<std::size_t> shape) const;
+
+  void fill(float value);
+
+  /// In-place elementwise updates (shapes must match where applicable).
+  Tensor& add_(const Tensor& other);
+  Tensor& sub_(const Tensor& other);
+  Tensor& mul_(float scalar);
+  Tensor& mul_(const Tensor& other);
+
+  /// Out-of-place helpers.
+  Tensor add(const Tensor& other) const;
+  Tensor sub(const Tensor& other) const;
+  Tensor mul(float scalar) const;
+
+  float sum() const;
+  float abs_max() const;
+
+  /// 2-D matrix product: (m,k) x (k,n) -> (m,n). Threaded.
+  Tensor matmul(const Tensor& other) const;
+  /// (m,k) x (n,k)^T -> (m,n).
+  Tensor matmul_transposed(const Tensor& other) const;
+  /// (k,m)^T x (k,n) -> (m,n).
+  Tensor transposed_matmul(const Tensor& other) const;
+
+  std::string shape_string() const;
+
+ private:
+  void require_rank(std::size_t r) const;
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Elementwise sign with the paper's tiebreak: sgn(0) = +1.
+Tensor sign_tensor(const Tensor& x);
+
+/// True when every element differs by at most tol.
+bool allclose(const Tensor& a, const Tensor& b, float tol = 1e-5f);
+
+}  // namespace univsa

@@ -1,0 +1,59 @@
+#include "univsa/train/cross_validation.h"
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/rng.h"
+
+namespace univsa::train {
+
+std::vector<std::size_t> stratified_folds(const data::Dataset& dataset,
+                                          std::size_t folds,
+                                          std::uint64_t seed) {
+  UNIVSA_REQUIRE(folds >= 2, "need at least two folds");
+  UNIVSA_REQUIRE(dataset.size() >= folds, "fewer samples than folds");
+  Rng rng(seed);
+  std::vector<std::size_t> assignment(dataset.size());
+  // Per class: shuffle members, deal them round-robin across folds.
+  std::vector<std::vector<std::size_t>> by_class(dataset.classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[static_cast<std::size_t>(dataset.label(i))].push_back(i);
+  }
+  std::size_t next_fold = 0;
+  for (auto& members : by_class) {
+    for (std::size_t i = members.size(); i > 1; --i) {
+      std::swap(members[i - 1], members[rng.uniform_index(i)]);
+    }
+    for (const auto idx : members) {
+      assignment[idx] = next_fold;
+      next_fold = (next_fold + 1) % folds;
+    }
+  }
+  return assignment;
+}
+
+CrossValidationResult cross_validate_univsa(
+    const vsa::ModelConfig& config, const data::Dataset& dataset,
+    const CrossValidationOptions& options) {
+  const auto assignment =
+      stratified_folds(dataset, options.folds, options.fold_seed);
+
+  CrossValidationResult result;
+  for (std::size_t fold = 0; fold < options.folds; ++fold) {
+    std::vector<std::size_t> train_idx;
+    std::vector<std::size_t> test_idx;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      (assignment[i] == fold ? test_idx : train_idx).push_back(i);
+    }
+    UNIVSA_REQUIRE(!test_idx.empty() && !train_idx.empty(),
+                   "degenerate fold");
+    const data::Dataset train_set = dataset.subset(train_idx);
+    const data::Dataset test_set = dataset.subset(test_idx);
+    const auto trained =
+        train_univsa(config, train_set, options.train);
+    result.fold_accuracies.push_back(
+        trained.model.accuracy(test_set));
+  }
+  result.summary = report::summarize(result.fold_accuracies);
+  return result;
+}
+
+}  // namespace univsa::train

@@ -1,0 +1,40 @@
+// Stratified k-fold cross-validation for UniVSA configurations.
+//
+// The paper reports single-split accuracies; the synthetic stand-ins
+// make variance visible, so the repo's accuracy tooling also offers
+// k-fold CV with mean ± std (used with report::Summary). Folds are
+// stratified per class and deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "univsa/data/dataset.h"
+#include "univsa/report/stats.h"
+#include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::train {
+
+struct CrossValidationOptions {
+  std::size_t folds = 5;
+  TrainOptions train;
+  std::uint64_t fold_seed = 17;
+};
+
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  report::Summary summary;
+};
+
+/// Stratified fold assignment: returns fold index per sample, each class
+/// spread as evenly as possible (exposed for tests).
+std::vector<std::size_t> stratified_folds(const data::Dataset& dataset,
+                                          std::size_t folds,
+                                          std::uint64_t seed);
+
+CrossValidationResult cross_validate_univsa(
+    const vsa::ModelConfig& config, const data::Dataset& dataset,
+    const CrossValidationOptions& options = {});
+
+}  // namespace univsa::train

@@ -1,0 +1,29 @@
+#include "univsa/train/ldc_trainer.h"
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::train {
+
+LdcTrainResult train_ldc(const data::Dataset& train_set, std::size_t dim,
+                         const TrainOptions& options) {
+  UNIVSA_REQUIRE(dim >= 1, "LDC dimension must be positive");
+  vsa::ModelConfig config;
+  config.W = train_set.windows();
+  config.L = train_set.length();
+  config.C = train_set.classes();
+  config.M = train_set.levels();
+  config.D_H = dim;
+  config.D_L = 1;   // unused without DVP
+  config.D_K = 1;   // unused without conv
+  config.O = 1;     // unused without conv
+  config.Theta = 1;
+
+  NetworkOptions net_options;
+  net_options.use_dvp = false;
+  net_options.use_conv = false;
+  TrainedNetwork trained =
+      train_network(config, net_options, train_set, options);
+  return {trained.network->extract_ldc_model(), std::move(trained.history)};
+}
+
+}  // namespace univsa::train

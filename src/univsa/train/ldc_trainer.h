@@ -1,0 +1,25 @@
+// Plain-LDC training [11] — the state-of-the-art low-dimensional binary
+// VSA baseline UniVSA is compared against in Table II (D = 128) and
+// Fig. 4.
+//
+// Same partial-BNN recipe, but: one ValueBox (no DVP), no convolution,
+// one similarity layer. The deployed model is the classic Eq. 1/Eq. 2
+// pipeline at vector dimension D.
+#pragma once
+
+#include "univsa/data/dataset.h"
+#include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/ldc_model.h"
+
+namespace univsa::train {
+
+struct LdcTrainResult {
+  vsa::LdcModel model;
+  std::vector<EpochStats> history;
+};
+
+/// `dim` = D, the binary VSA vector dimension (128 in Table II).
+LdcTrainResult train_ldc(const data::Dataset& train_set, std::size_t dim,
+                         const TrainOptions& options);
+
+}  // namespace univsa::train

@@ -1,0 +1,164 @@
+#include "univsa/train/lehdc_trainer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+#include "univsa/nn/binary_linear.h"
+#include "univsa/nn/loss.h"
+#include "univsa/nn/optimizer.h"
+
+namespace univsa::train {
+
+namespace {
+
+/// Encodes every sample of the dataset into a ±1 float matrix (B, D)
+/// using the random V/F lanes (Eq. 1 at dimension D).
+Tensor encode_all(const data::Dataset& dataset,
+                  const std::vector<std::int8_t>& v,
+                  const std::vector<std::int8_t>& f, std::size_t dim) {
+  const std::size_t n = dataset.features();
+  Tensor s({dataset.size(), dim});
+  float* sd = s.data();
+
+  global_pool().parallel_for(
+      dataset.size(), [&](std::size_t begin, std::size_t end) {
+        std::vector<std::int32_t> sums(dim);
+        for (std::size_t b = begin; b < end; ++b) {
+          std::fill(sums.begin(), sums.end(), 0);
+          const auto& x = dataset.values(b);
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::int8_t* fi = f.data() + i * dim;
+            const std::int8_t* vx =
+                v.data() + static_cast<std::size_t>(x[i]) * dim;
+            for (std::size_t j = 0; j < dim; ++j) {
+              sums[j] += static_cast<std::int32_t>(fi[j]) * vx[j];
+            }
+          }
+          float* row = sd + b * dim;
+          for (std::size_t j = 0; j < dim; ++j) {
+            row[j] = sums[j] >= 0 ? 1.0f : -1.0f;
+          }
+        }
+      });
+  return s;
+}
+
+}  // namespace
+
+LehdcTrainResult train_lehdc(const data::Dataset& train_set,
+                             const LehdcOptions& options) {
+  UNIVSA_REQUIRE(!train_set.empty(), "empty training set");
+  UNIVSA_REQUIRE(options.dim >= 2, "dimension too small");
+
+  Rng rng(options.seed);
+  const std::size_t dim = options.dim;
+  auto v = vsa::LehdcModel::level_encoded_values(train_set.levels(), dim,
+                                                rng);
+  auto f = vsa::LehdcModel::random_bipolar(train_set.features() * dim, rng);
+
+  const Tensor encodings = encode_all(train_set, v, f, dim);
+
+  // Learn the class vectors: a binary dense layer over fixed encodings
+  // with a learnable temperature (as in the SoftVotingHead, Θ = 1).
+  // LeHDC retrains *from the classic-HDC baseline*: the latent weights
+  // start at the per-class mean encoding (the bundled centroid), which
+  // already classifies decently; gradient descent then sharpens it.
+  // Random init instead finds memorizing minima whose binarized vectors
+  // generalize poorly (observed on the imbalanced CHB-IB task).
+  BinaryLinear classifier(dim, train_set.classes(), rng);
+  {
+    Tensor& w = *classifier.params()[0].value;
+    std::vector<std::size_t> counts(train_set.classes(), 0);
+    w.fill(0.0f);
+    for (std::size_t i = 0; i < train_set.size(); ++i) {
+      const auto y = static_cast<std::size_t>(train_set.label(i));
+      ++counts[y];
+      for (std::size_t j = 0; j < dim; ++j) {
+        w.at(y, j) += encodings.at(i, j);
+      }
+    }
+    for (std::size_t c = 0; c < train_set.classes(); ++c) {
+      const float inv =
+          0.9f / static_cast<float>(std::max<std::size_t>(1, counts[c]));
+      for (std::size_t j = 0; j < dim; ++j) w.at(c, j) *= inv;
+    }
+  }
+  Tensor scale({1});
+  Tensor scale_grad({1});
+  scale[0] = 4.0f / static_cast<float>(dim);
+  ParamList params = classifier.params();
+  params.push_back({&scale, &scale_grad, false});
+  Adam optimizer(params, options.lr);
+
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  LehdcTrainResult result;
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t correct = 0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + options.batch_size);
+      const std::size_t bsize = end - start;
+      Tensor batch({bsize, dim});
+      std::vector<int> labels(bsize);
+      for (std::size_t b = 0; b < bsize; ++b) {
+        const std::size_t idx = order[start + b];
+        labels[b] = train_set.label(idx);
+        for (std::size_t j = 0; j < dim; ++j) {
+          batch.at(b, j) = encodings.at(idx, j);
+        }
+      }
+
+      optimizer.zero_grad();
+      Tensor sims = classifier.forward(batch);
+      // |γ| keeps the deployed (unscaled) argmax aligned with training;
+      // see SoftVotingHead for the sign-flip failure mode.
+      const float eff_scale = std::fabs(scale[0]);
+      const float scale_sign = scale[0] >= 0.0f ? 1.0f : -1.0f;
+      Tensor logits = sims.mul(eff_scale);
+      const LossResult loss = softmax_cross_entropy(logits, labels);
+      // dγ then voter gradient (mirrors SoftVotingHead::backward).
+      float dscale = 0.0f;
+      const auto go = loss.grad_logits.flat();
+      const auto sv = sims.flat();
+      for (std::size_t i = 0; i < go.size(); ++i) dscale += go[i] * sv[i];
+      scale_grad[0] += dscale * scale_sign;
+      classifier.backward(loss.grad_logits.mul(eff_scale));
+      optimizer.step();
+
+      epoch_loss += loss.loss;
+      correct += loss.correct;
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.loss = static_cast<float>(epoch_loss /
+                                    static_cast<double>(batches));
+    stats.train_accuracy = static_cast<double>(correct) /
+                           static_cast<double>(train_set.size());
+    result.history.push_back(stats);
+    if (options.verbose) {
+      std::printf("  lehdc epoch %2zu  loss %.4f  train acc %.4f\n",
+                  epoch + 1, static_cast<double>(stats.loss),
+                  stats.train_accuracy);
+    }
+  }
+
+  result.model = vsa::LehdcModel(
+      train_set.windows(), train_set.length(), train_set.levels(), dim,
+      std::move(v), std::move(f), classifier.binary_weight());
+  return result;
+}
+
+}  // namespace univsa::train

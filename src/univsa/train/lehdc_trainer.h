@@ -1,0 +1,31 @@
+// LeHDC-style trainer [12]: random high-dimensional V/F encodings, then
+// learning-based class vectors (binary dense layer trained with CE over
+// the fixed encodings). Table II evaluates this at D = 10,000.
+#pragma once
+
+#include <cstdint>
+
+#include "univsa/data/dataset.h"
+#include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/lehdc_model.h"
+
+namespace univsa::train {
+
+struct LehdcOptions {
+  std::size_t dim = 10000;
+  std::size_t epochs = 15;
+  std::size_t batch_size = 64;
+  float lr = 0.01f;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct LehdcTrainResult {
+  vsa::LehdcModel model;
+  std::vector<EpochStats> history;
+};
+
+LehdcTrainResult train_lehdc(const data::Dataset& train_set,
+                             const LehdcOptions& options);
+
+}  // namespace univsa::train

@@ -1,0 +1,94 @@
+#include "univsa/train/mask_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::train {
+
+std::vector<double> feature_f_scores(const data::Dataset& dataset) {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  const std::size_t n = dataset.features();
+  const std::size_t classes = dataset.classes();
+  const std::size_t count = dataset.size();
+
+  // Per-class mean and count, then global mean, per feature.
+  std::vector<double> class_sum(classes * n, 0.0);
+  std::vector<std::size_t> class_count(classes, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto y = static_cast<std::size_t>(dataset.label(i));
+    ++class_count[y];
+    const auto& x = dataset.values(i);
+    double* row = class_sum.data() + y * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += x[j];
+  }
+
+  std::vector<double> global_mean(n, 0.0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t j = 0; j < n; ++j) global_mean[j] += class_sum[c * n + j];
+  }
+  for (auto& m : global_mean) m /= static_cast<double>(count);
+
+  std::vector<double> class_mean(classes * n, 0.0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double denom = std::max<std::size_t>(1, class_count[c]);
+    for (std::size_t j = 0; j < n; ++j) {
+      class_mean[c * n + j] = class_sum[c * n + j] / denom;
+    }
+  }
+
+  // Between-class and within-class sums of squares.
+  std::vector<double> ss_between(n, 0.0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const auto nc = static_cast<double>(class_count[c]);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = class_mean[c * n + j] - global_mean[j];
+      ss_between[j] += nc * d * d;
+    }
+  }
+  std::vector<double> ss_within(n, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto y = static_cast<std::size_t>(dataset.label(i));
+    const auto& x = dataset.values(i);
+    const double* mean = class_mean.data() + y * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = static_cast<double>(x[j]) - mean[j];
+      ss_within[j] += d * d;
+    }
+  }
+
+  const double df_between = std::max<double>(1.0, classes - 1);
+  const double df_within =
+      std::max<double>(1.0, static_cast<double>(count - classes));
+  std::vector<double> scores(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double msb = ss_between[j] / df_between;
+    const double msw = ss_within[j] / df_within;
+    scores[j] = msb / (msw + 1e-12);
+  }
+  return scores;
+}
+
+std::vector<std::uint8_t> select_importance_mask(
+    const data::Dataset& dataset, double high_fraction) {
+  UNIVSA_REQUIRE(high_fraction > 0.0 && high_fraction <= 1.0,
+                 "high_fraction must be in (0, 1]");
+  const auto scores = feature_f_scores(dataset);
+  const std::size_t n = scores.size();
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(high_fraction * static_cast<double>(n) +
+                                  0.5));
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  std::vector<std::uint8_t> mask(n, 0);
+  for (std::size_t i = 0; i < std::min(k, n); ++i) mask[order[i]] = 1;
+  return mask;
+}
+
+}  // namespace univsa::train

@@ -1,0 +1,29 @@
+// Feature-importance mask for Discriminated Value Projection (Sec.
+// III-A1).
+//
+// The paper uses a feature-subset-selection strategy [18] to mark each
+// input feature as high (1) or low (0) importance. Wrapper selection
+// needs repeated model training, so we use the standard filter
+// equivalent: the one-way ANOVA F-score of each feature across classes
+// (between-class variance over within-class variance); the top
+// `high_fraction` of features by F-score become high-importance. This
+// keeps the property DVP relies on — features that barely move the class
+// decision get the cheap D_L projection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "univsa/data/dataset.h"
+
+namespace univsa::train {
+
+/// Per-feature ANOVA F-scores, length N = W·L.
+std::vector<double> feature_f_scores(const data::Dataset& dataset);
+
+/// 0/1 mask with exactly round(high_fraction·N) ones (at least 1), the
+/// highest-scoring features. high_fraction in (0, 1].
+std::vector<std::uint8_t> select_importance_mask(
+    const data::Dataset& dataset, double high_fraction);
+
+}  // namespace univsa::train

@@ -1,0 +1,106 @@
+#include "univsa/train/online_retrainer.h"
+
+#include <numeric>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/rng.h"
+
+namespace univsa::train {
+
+OnlineRetrainResult adapt_class_vectors(
+    const vsa::Model& model, const data::Dataset& samples,
+    const OnlineRetrainOptions& options) {
+  const vsa::ModelConfig& c = model.config();
+  UNIVSA_REQUIRE(!samples.empty(), "no adaptation samples");
+  UNIVSA_REQUIRE(samples.windows() == c.W && samples.length() == c.L,
+                 "dataset geometry mismatch");
+  UNIVSA_REQUIRE(samples.classes() == c.C, "class count mismatch");
+  UNIVSA_REQUIRE(options.epochs >= 1, "need at least one epoch");
+  UNIVSA_REQUIRE(options.inertia >= 1, "inertia must be positive");
+
+  const std::size_t ns = c.sample_dim();
+  // Integer counters seeded from the deployed class vectors.
+  std::vector<std::vector<long long>> counters(
+      c.Theta * c.C, std::vector<long long>(ns));
+  for (std::size_t r = 0; r < counters.size(); ++r) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      counters[r][j] =
+          options.inertia * model.class_vectors()[r].get(j);
+    }
+  }
+
+  // Encodings are fixed (V/K/F/mask frozen) — compute once.
+  std::vector<BitVec> encodings;
+  encodings.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    encodings.push_back(model.encode(samples.values(i)));
+  }
+
+  const auto predict_from_counters = [&](const BitVec& s) {
+    std::size_t best = 0;
+    long long best_score = 0;
+    for (std::size_t cls = 0; cls < c.C; ++cls) {
+      long long score = 0;
+      for (std::size_t t = 0; t < c.Theta; ++t) {
+        const auto& cnt = counters[t * c.C + cls];
+        for (std::size_t j = 0; j < ns; ++j) {
+          // sign(counter) with the sgn(0)=+1 tiebreak.
+          score += (cnt[j] >= 0 ? 1 : -1) * s.get(j);
+        }
+      }
+      if (cls == 0 || score > best_score) {
+        best_score = score;
+        best = cls;
+      }
+    }
+    return best;
+  };
+
+  OnlineRetrainResult result;
+  Rng rng(options.seed);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::size_t mistakes = 0;
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    std::size_t updates = 0;
+    for (const auto idx : order) {
+      const BitVec& s = encodings[idx];
+      const auto truth = static_cast<std::size_t>(samples.label(idx));
+      const std::size_t predicted = predict_from_counters(s);
+      if (predicted == truth) continue;
+      // Round-robin voter selection keeps the ensemble diverse.
+      const std::size_t voter = mistakes % c.Theta;
+      auto& cnt_true = counters[voter * c.C + truth];
+      auto& cnt_pred = counters[voter * c.C + predicted];
+      for (std::size_t j = 0; j < ns; ++j) {
+        const int lane = s.get(j);
+        cnt_true[j] += lane;
+        cnt_pred[j] -= lane;
+      }
+      ++mistakes;
+      ++updates;
+    }
+    result.updates_per_epoch.push_back(updates);
+    if (updates == 0) break;  // converged on the adaptation set
+  }
+
+  // Re-binarize into a deployed model.
+  Tensor class_vectors({c.Theta * c.C, ns});
+  for (std::size_t r = 0; r < counters.size(); ++r) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      const float lane = counters[r][j] >= 0 ? 1.0f : -1.0f;
+      class_vectors.at(r, j) = lane;
+      if (static_cast<int>(lane) != model.class_vectors()[r].get(j)) {
+        ++result.flipped_lanes;
+      }
+    }
+  }
+  result.model = model.with_class_vectors(class_vectors);
+  return result;
+}
+
+}  // namespace univsa::train

@@ -1,0 +1,59 @@
+// On-device class-vector retraining.
+//
+// BCI signals drift between sessions; the paper's own reference [22]
+// argues BCIs need on-line learning. Full LDC retraining needs the float
+// partial BNN — far beyond an implant's budget — but the classic HDC
+// update is nearly free and touches only the class vectors:
+//
+//   on a misclassified sample with encoding s:
+//     counters[true class]      += s   (bundle in)
+//     counters[predicted class] -= s   (bundle out)
+//
+// in integer domain, then re-binarize. Everything upstream of the
+// similarity stage (V, K, F, mask) is frozen, so encode() — the
+// expensive part — is exactly the deployed datapath, and the adapted
+// model drops back out as a plain vsa::Model.
+//
+// With soft voting, updates go to one voter per mistake (round-robin) so
+// the ensemble keeps its diversity instead of collapsing to Θ copies of
+// the same correction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "univsa/data/dataset.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::train {
+
+struct OnlineRetrainOptions {
+  /// Passes over the adaptation samples.
+  std::size_t epochs = 3;
+  /// Initial counter magnitude backing each existing class-vector lane;
+  /// a lane flips only after `inertia` net votes against it. Small =
+  /// plastic (fast adaptation, can unlearn the base session), large =
+  /// stable. The default balances drift recovery against same-session
+  /// regression (both property-tested).
+  long long inertia = 5;
+  /// Shuffle seed for sample order.
+  std::uint64_t seed = 7;
+};
+
+struct OnlineRetrainResult {
+  vsa::Model model;
+  /// Misclassified-sample updates applied per epoch (monotone decrease
+  /// indicates convergence on the adaptation set).
+  std::vector<std::size_t> updates_per_epoch;
+  /// Class-vector lanes that changed sign vs the original model.
+  std::size_t flipped_lanes = 0;
+};
+
+/// Adapts `model`'s class vectors to `samples`; the input model is not
+/// modified.
+OnlineRetrainResult adapt_class_vectors(const vsa::Model& model,
+                                        const data::Dataset& samples,
+                                        const OnlineRetrainOptions&
+                                            options = {});
+
+}  // namespace univsa::train

@@ -1,0 +1,266 @@
+#include "univsa/train/univsa_network.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "univsa/common/contracts.h"
+#include "univsa/nn/loss.h"
+
+namespace univsa::train {
+
+namespace {
+const vsa::ModelConfig& validated(const vsa::ModelConfig& config) {
+  config.validate();
+  return config;
+}
+}  // namespace
+
+UniVsaNetwork::UniVsaNetwork(const vsa::ModelConfig& config,
+                             NetworkOptions options,
+                             std::vector<std::uint8_t> mask, Rng& rng)
+    : config_(validated(config)),
+      options_(options),
+      mask_(std::move(mask)),
+      vb_high_(config.M, config.D_H, rng, options.value_box_hidden),
+      encoder_(options.use_conv ? config.O : config.W * config.L,
+               options.use_conv ? config.W * config.L : config.D_H, rng),
+      head_(options.use_conv ? config.W * config.L : config.D_H, config.C,
+            config.Theta, rng) {
+  if (options_.use_dvp) {
+    UNIVSA_REQUIRE(mask_.size() == config_.features(),
+                   "mask size must be W·L");
+    vb_low_.emplace(config_.M, config_.D_L, rng,
+                    options_.value_box_hidden);
+  } else {
+    mask_.assign(config_.features(), 1);
+  }
+  if (options_.use_conv) {
+    // The deployed PackedValue datapath carries up to 32 channel lanes.
+    UNIVSA_REQUIRE(config_.D_H <= 32,
+                   "D_H must fit PackedValue lanes on the conv path");
+    conv_.emplace(config_.D_H, config_.O, config_.D_K, rng);
+  }
+}
+
+std::size_t UniVsaNetwork::encode_groups() const {
+  return options_.use_conv ? config_.O : config_.features();
+}
+
+std::size_t UniVsaNetwork::encode_dim() const {
+  return options_.use_conv ? config_.sample_dim() : config_.D_H;
+}
+
+Tensor UniVsaNetwork::build_volume(const data::Dataset& dataset,
+                                   const std::vector<std::size_t>& indices,
+                                   const Tensor& table_high,
+                                   const Tensor& table_low) {
+  const std::size_t batch = indices.size();
+  const std::size_t n = config_.features();
+  const std::size_t dh = config_.D_H;
+  const std::size_t dl = config_.D_L;
+
+  cached_values_.resize(batch * n);
+  cached_batch_ = batch;
+
+  // Conv layout: (B, D_H, W, L) — channel-major for im2col.
+  // No-conv layout: (B, N, D_H) — feature-major for the encoder.
+  Tensor volume = options_.use_conv
+                      ? Tensor({batch, dh, config_.W, config_.L})
+                      : Tensor({batch, n, dh});
+  float* vd = volume.data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto& x = dataset.values(indices[b]);
+    UNIVSA_REQUIRE(x.size() == n, "sample size mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint16_t level = x[i];
+      UNIVSA_REQUIRE(level < config_.M, "value exceeds M levels");
+      cached_values_[b * n + i] = level;
+      const bool high = mask_[i] != 0;
+      const std::size_t lanes = high ? dh : dl;
+      const Tensor& table = high ? table_high : table_low;
+      for (std::size_t d = 0; d < lanes; ++d) {
+        const float v = table.at(level, d);
+        if (options_.use_conv) {
+          vd[((b * dh + d) * n) + i] = v;
+        } else {
+          vd[(b * n + i) * dh + d] = v;
+        }
+      }
+      // Lanes [lanes, dh) stay 0 — the DVP padding.
+    }
+  }
+  return volume;
+}
+
+Tensor UniVsaNetwork::forward(const data::Dataset& dataset,
+                              const std::vector<std::size_t>& indices) {
+  UNIVSA_REQUIRE(!indices.empty(), "empty batch");
+  UNIVSA_REQUIRE(dataset.windows() == config_.W &&
+                     dataset.length() == config_.L,
+                 "dataset geometry mismatch");
+  const Tensor table_high = vb_high_.forward_table();
+  const Tensor table_low =
+      options_.use_dvp ? vb_low_->forward_table() : Tensor({1, 1});
+
+  Tensor volume = build_volume(dataset, indices, table_high, table_low);
+  has_cache_ = true;
+
+  Tensor u;
+  if (options_.use_conv) {
+    Tensor pre = conv_->forward(volume);
+    Tensor binarized = conv_sign_.forward(pre);
+    u = binarized.reshaped(
+        {indices.size(), config_.O, config_.sample_dim()});
+  } else {
+    u = std::move(volume);  // (B, N, D_H), already bipolar/0
+  }
+  Tensor z = encoder_.forward(u);
+  Tensor s = encode_sign_.forward(z);
+  return head_.forward(s);
+}
+
+void UniVsaNetwork::backward(const Tensor& grad_logits) {
+  UNIVSA_ENSURE(has_cache_, "backward before forward");
+  has_cache_ = false;
+
+  Tensor ds = head_.backward(grad_logits);
+  Tensor dz = encode_sign_.backward(ds);
+  Tensor du = encoder_.backward(dz);  // (B, G, Dv)
+
+  Tensor dvolume;
+  if (options_.use_conv) {
+    Tensor du4 = du.reshaped(
+        {cached_batch_, config_.O, config_.W, config_.L});
+    Tensor dpre = conv_sign_.backward(du4);
+    dvolume = conv_->backward(dpre);  // (B, D_H, W, L)
+  } else {
+    dvolume = std::move(du);  // (B, N, D_H)
+  }
+
+  Tensor grad_high({config_.M, config_.D_H});
+  Tensor grad_low({config_.M, config_.D_L});
+  scatter_volume_grad(dvolume, grad_high, grad_low);
+  vb_high_.backward_table(grad_high);
+  if (options_.use_dvp) vb_low_->backward_table(grad_low);
+}
+
+void UniVsaNetwork::scatter_volume_grad(const Tensor& grad_volume,
+                                        Tensor& grad_high,
+                                        Tensor& grad_low) const {
+  const std::size_t n = config_.features();
+  const std::size_t dh = config_.D_H;
+  const std::size_t dl = config_.D_L;
+  const float* gd = grad_volume.data();
+
+  for (std::size_t b = 0; b < cached_batch_; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint16_t level = cached_values_[b * n + i];
+      const bool high = mask_[i] != 0;
+      const std::size_t lanes = high ? dh : dl;
+      Tensor& table = high ? grad_high : grad_low;
+      for (std::size_t d = 0; d < lanes; ++d) {
+        const float g = options_.use_conv
+                            ? gd[((b * dh + d) * n) + i]
+                            : gd[(b * n + i) * dh + d];
+        table.at(level, d) += g;
+      }
+      // Gradients on padded lanes correspond to constant-0 inputs; dropped.
+    }
+  }
+}
+
+ParamList UniVsaNetwork::params() {
+  ParamList list = vb_high_.params();
+  if (vb_low_) append_params(list, vb_low_->params());
+  if (conv_) append_params(list, conv_->params());
+  append_params(list, encoder_.params());
+  append_params(list, head_.params());
+  return list;
+}
+
+void UniVsaNetwork::zero_grad() {
+  vb_high_.zero_grad();
+  if (vb_low_) vb_low_->zero_grad();
+  if (conv_) conv_->zero_grad();
+  encoder_.zero_grad();
+  head_.zero_grad();
+}
+
+std::vector<int> UniVsaNetwork::predict(
+    const data::Dataset& dataset, const std::vector<std::size_t>& indices) {
+  const Tensor logits = forward(dataset, indices);
+  has_cache_ = false;  // no backward follows
+  std::vector<int> labels(indices.size());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < config_.C; ++c) {
+      if (logits.at(b, c) > logits.at(b, best)) best = c;
+    }
+    labels[b] = static_cast<int>(best);
+  }
+  return labels;
+}
+
+double UniVsaNetwork::evaluate(const data::Dataset& dataset,
+                               std::size_t batch_size) {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < dataset.size();
+       start += batch_size) {
+    const std::size_t end = std::min(dataset.size(), start + batch_size);
+    indices.resize(end - start);
+    std::iota(indices.begin(), indices.end(), start);
+    const auto labels = predict(dataset, indices);
+    for (std::size_t b = 0; b < labels.size(); ++b) {
+      if (labels[b] == dataset.label(start + b)) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+vsa::Model UniVsaNetwork::extract_model() {
+  UNIVSA_REQUIRE(options_.use_conv,
+                 "deployed UniVSA model requires the BiConv path");
+  const Tensor table_high = sign_tensor(vb_high_.forward_table());
+  Tensor table_low;
+  if (options_.use_dvp) {
+    table_low = sign_tensor(vb_low_->forward_table());
+  } else {
+    // Mask is all-high; V_L is never consulted. Store truncated V_H lanes.
+    table_low = Tensor({config_.M, config_.D_L});
+    for (std::size_t m = 0; m < config_.M; ++m) {
+      for (std::size_t d = 0; d < config_.D_L; ++d) {
+        table_low.at(m, d) = table_high.at(m, d);
+      }
+    }
+  }
+
+  // Stack the Θ voter class-vector sets voter-major.
+  Tensor class_vectors({config_.Theta * config_.C, config_.sample_dim()});
+  for (std::size_t theta = 0; theta < config_.Theta; ++theta) {
+    const Tensor cv = head_.binary_class_vectors(theta);
+    for (std::size_t c = 0; c < config_.C; ++c) {
+      for (std::size_t j = 0; j < config_.sample_dim(); ++j) {
+        class_vectors.at(theta * config_.C + c, j) = cv.at(c, j);
+      }
+    }
+  }
+
+  return vsa::Model(config_, mask_, table_high, table_low,
+                    conv_->binary_weight(), encoder_.binary_weight(),
+                    class_vectors);
+}
+
+vsa::LdcModel UniVsaNetwork::extract_ldc_model() {
+  UNIVSA_REQUIRE(!options_.use_conv && !options_.use_dvp,
+                 "plain-LDC extraction requires the no-conv/no-DVP network");
+  UNIVSA_REQUIRE(config_.Theta == 1, "plain LDC has a single class set");
+  const Tensor values = sign_tensor(vb_high_.forward_table());
+  return vsa::LdcModel(config_.W, config_.L, values,
+                       encoder_.binary_weight(),
+                       head_.binary_class_vectors(0));
+}
+
+}  // namespace univsa::train

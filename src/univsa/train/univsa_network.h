@@ -1,0 +1,120 @@
+// The trainable partial BNN of Sec. II-C, extended with the UniVSA
+// modules of Sec. III.
+//
+// Architecture (full UniVSA, ablation toggles in NetworkOptions):
+//
+//   values (B, W, L) ──DVP lookup──> volume (B, D_H, W, L)   [VB_H / VB_L]
+//          └ mask routes each feature to VB_H (D_H lanes) or VB_L
+//            (D_L lanes, upper lanes zero-padded)
+//   volume ──BiConv──> (B, O, W, L) ──sgn──> u (B, O, N_s)
+//   u ──Encoding (F)──> z (B, N_s) ──sgn──> s
+//   s ──SoftVotingHead (Θ class-vector sets, Eq. 4)──> logits (B, C)
+//
+// With use_conv = false the network degrades to plain LDC: per-feature
+// value vectors of dimension D_H feed the encoding layer directly
+// (groups = N features, vector dim = D_H). With use_dvp = false a single
+// ValueBox serves every feature. voters = Θ controls soft voting. These
+// four settings generate every bar of the Fig. 4 ablation.
+//
+// Training stays in float with straight-through estimators; forward
+// passes are already fully binarized, so network accuracy equals deployed
+// accuracy (extract() + property test assert bit-equality for the full
+// configuration).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/data/dataset.h"
+#include "univsa/nn/activations.h"
+#include "univsa/nn/binary_conv2d.h"
+#include "univsa/nn/encoding_layer.h"
+#include "univsa/nn/param.h"
+#include "univsa/nn/soft_voting_head.h"
+#include "univsa/nn/value_box.h"
+#include "univsa/vsa/model.h"
+#include "univsa/vsa/ldc_model.h"
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::train {
+
+struct NetworkOptions {
+  bool use_dvp = true;
+  bool use_conv = true;
+  /// Θ is taken from ModelConfig::Theta; set to 1 there to disable SV.
+  std::size_t value_box_hidden = 16;
+};
+
+class UniVsaNetwork {
+ public:
+  /// `mask` must have W·L entries; ignored (all-high) when !use_dvp.
+  UniVsaNetwork(const vsa::ModelConfig& config, NetworkOptions options,
+                std::vector<std::uint8_t> mask, Rng& rng);
+
+  const vsa::ModelConfig& config() const { return config_; }
+  const NetworkOptions& options() const { return options_; }
+
+  /// Forward over dataset samples `indices`; returns logits (B, C).
+  Tensor forward(const data::Dataset& dataset,
+                 const std::vector<std::size_t>& indices);
+
+  /// Backward from the loss gradient; accumulates parameter grads.
+  void backward(const Tensor& grad_logits);
+
+  ParamList params();
+  void zero_grad();
+
+  /// Argmax predictions for arbitrary samples (binarized forward).
+  std::vector<int> predict(const data::Dataset& dataset,
+                           const std::vector<std::size_t>& indices);
+
+  /// Accuracy over a whole dataset, batched internally.
+  double evaluate(const data::Dataset& dataset, std::size_t batch_size = 64);
+
+  /// Extracts the deployed binary model. Requires use_conv (the vsa::Model
+  /// datapath is the UniVSA pipeline). With !use_dvp the mask is all-ones
+  /// and V_L is a truncated copy of V_H (never selected). Non-const: the
+  /// ValueBox tables are re-evaluated through the network.
+  vsa::Model extract_model();
+
+  /// Extracts a plain-LDC deployed model. Requires !use_conv && !use_dvp
+  /// and Θ = 1.
+  vsa::LdcModel extract_ldc_model();
+
+ private:
+  /// Value vector dimension entering the encoder path
+  /// (D_H both with and without conv).
+  std::size_t value_dim() const { return config_.D_H; }
+  /// Encoding group count: O channels (conv) or N features (no conv).
+  std::size_t encode_groups() const;
+  /// Encoded vector dimension: N_s (conv) or D_H (no conv).
+  std::size_t encode_dim() const;
+
+  Tensor build_volume(const data::Dataset& dataset,
+                      const std::vector<std::size_t>& indices,
+                      const Tensor& table_high, const Tensor& table_low);
+  void scatter_volume_grad(const Tensor& grad_volume, Tensor& grad_high,
+                           Tensor& grad_low) const;
+
+  vsa::ModelConfig config_;
+  NetworkOptions options_;
+  std::vector<std::uint8_t> mask_;
+
+  ValueBox vb_high_;
+  std::optional<ValueBox> vb_low_;
+  std::optional<BinaryConv2d> conv_;
+  SignSte conv_sign_;
+  EncodingLayer encoder_;
+  SignSte encode_sign_;
+  SoftVotingHead head_;
+
+  // Cached per-forward state for the backward scatter.
+  std::vector<std::uint16_t> cached_values_;  // B·N level indices
+  std::size_t cached_batch_ = 0;
+  bool has_cache_ = false;
+};
+
+}  // namespace univsa::train

@@ -1,0 +1,96 @@
+#include "univsa/train/univsa_trainer.h"
+
+#include <cstdio>
+#include <numeric>
+
+#include "univsa/common/contracts.h"
+#include "univsa/nn/loss.h"
+#include "univsa/nn/optimizer.h"
+#include "univsa/train/mask_selection.h"
+
+namespace univsa::train {
+
+TrainedNetwork train_network(const vsa::ModelConfig& config,
+                             NetworkOptions net_options,
+                             const data::Dataset& train_set,
+                             const TrainOptions& options) {
+  UNIVSA_REQUIRE(!train_set.empty(), "empty training set");
+  UNIVSA_REQUIRE(options.epochs > 0 && options.batch_size > 0,
+                 "epochs and batch size must be positive");
+
+  Rng rng(options.seed);
+  TrainedNetwork result;
+  result.mask = net_options.use_dvp
+                    ? select_importance_mask(train_set,
+                                             options.mask_high_fraction)
+                    : std::vector<std::uint8_t>(config.features(), 1);
+  result.network = std::make_unique<UniVsaNetwork>(config, net_options,
+                                                   result.mask, rng);
+  Adam optimizer(result.network->params(), options.lr);
+
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::size_t> batch_indices;
+  std::vector<int> batch_labels;
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fresh shuffle per epoch.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t correct = 0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + options.batch_size);
+      batch_indices.assign(order.begin() + static_cast<long>(start),
+                           order.begin() + static_cast<long>(end));
+      batch_labels.resize(batch_indices.size());
+      for (std::size_t b = 0; b < batch_indices.size(); ++b) {
+        batch_labels[b] = train_set.label(batch_indices[b]);
+      }
+
+      optimizer.zero_grad();
+      const Tensor logits =
+          result.network->forward(train_set, batch_indices);
+      const LossResult loss = softmax_cross_entropy(logits, batch_labels);
+      result.network->backward(loss.grad_logits);
+      optimizer.step();
+
+      epoch_loss += loss.loss;
+      correct += loss.correct;
+      ++batches;
+    }
+    optimizer.set_lr(optimizer.lr() * options.lr_decay);
+
+    EpochStats stats;
+    stats.loss = static_cast<float>(epoch_loss /
+                                    static_cast<double>(batches));
+    stats.train_accuracy = static_cast<double>(correct) /
+                           static_cast<double>(train_set.size());
+    result.history.push_back(stats);
+    if (options.verbose) {
+      std::printf("  epoch %2zu  loss %.4f  train acc %.4f\n", epoch + 1,
+                  static_cast<double>(stats.loss), stats.train_accuracy);
+    }
+  }
+  return result;
+}
+
+UniVsaTrainResult train_univsa(const vsa::ModelConfig& config,
+                               const data::Dataset& train_set,
+                               const TrainOptions& options) {
+  NetworkOptions net_options;
+  net_options.use_dvp = true;
+  net_options.use_conv = true;
+  TrainedNetwork trained =
+      train_network(config, net_options, train_set, options);
+  UniVsaTrainResult result{trained.network->extract_model(),
+                           std::move(trained.history)};
+  return result;
+}
+
+}  // namespace univsa::train

@@ -1,0 +1,60 @@
+// Training driver for the partial BNN (Sec. II-C recipe with the Sec. III
+// extensions).
+//
+// Minibatch Adam over softmax cross-entropy; latent binary weights are
+// clipped after every step. The driver serves the full UniVSA model and
+// every Fig. 4 ablation variant via NetworkOptions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "univsa/data/dataset.h"
+#include "univsa/train/univsa_network.h"
+#include "univsa/vsa/model.h"
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::train {
+
+struct TrainOptions {
+  std::size_t epochs = 25;
+  std::size_t batch_size = 32;
+  float lr = 0.01f;
+  /// Multiplicative learning-rate decay per epoch.
+  float lr_decay = 0.95f;
+  /// Fraction of features routed to VB_H under DVP.
+  double mask_high_fraction = 0.5;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  float loss = 0.0f;
+  double train_accuracy = 0.0;
+};
+
+struct TrainedNetwork {
+  std::unique_ptr<UniVsaNetwork> network;
+  std::vector<EpochStats> history;
+  std::vector<std::uint8_t> mask;
+};
+
+/// Trains a network with the given architecture toggles.
+TrainedNetwork train_network(const vsa::ModelConfig& config,
+                             NetworkOptions net_options,
+                             const data::Dataset& train_set,
+                             const TrainOptions& options);
+
+struct UniVsaTrainResult {
+  vsa::Model model;
+  std::vector<EpochStats> history;
+};
+
+/// Full UniVSA (DVP + BiConv + SV from config.Theta) and extraction of the
+/// deployed binary model.
+UniVsaTrainResult train_univsa(const vsa::ModelConfig& config,
+                               const data::Dataset& train_set,
+                               const TrainOptions& options);
+
+}  // namespace univsa::train

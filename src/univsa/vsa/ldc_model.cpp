@@ -1,0 +1,79 @@
+#include "univsa/vsa/ldc_model.h"
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::vsa {
+
+namespace {
+std::vector<BitVec> pack_rows(const Tensor& t) {
+  UNIVSA_REQUIRE(t.rank() == 2, "expected a matrix of bipolar rows");
+  std::vector<BitVec> rows;
+  rows.reserve(t.dim(0));
+  for (std::size_t r = 0; r < t.dim(0); ++r) {
+    BitVec v(t.dim(1));
+    for (std::size_t j = 0; j < t.dim(1); ++j) {
+      const float x = t.at(r, j);
+      UNIVSA_REQUIRE(x == 1.0f || x == -1.0f, "expected bipolar tensor");
+      v.set(j, x > 0.0f ? 1 : -1);
+    }
+    rows.push_back(std::move(v));
+  }
+  return rows;
+}
+}  // namespace
+
+LdcModel::LdcModel(std::size_t windows, std::size_t length,
+                   const Tensor& values, const Tensor& features,
+                   const Tensor& classes)
+    : windows_(windows), length_(length), dim_(values.dim(1)) {
+  UNIVSA_REQUIRE(features.dim(1) == dim_ && classes.dim(1) == dim_,
+                 "vector dimension mismatch");
+  UNIVSA_REQUIRE(features.dim(0) == windows * length,
+                 "feature vector count must be W·L");
+  v_ = pack_rows(values);
+  f_ = pack_rows(features);
+  c_ = pack_rows(classes);
+}
+
+LdcModel LdcModel::random(std::size_t windows, std::size_t length,
+                          std::size_t levels, std::size_t classes,
+                          std::size_t dim, Rng& rng) {
+  return LdcModel(windows, length, Tensor::rand_sign({levels, dim}, rng),
+                  Tensor::rand_sign({windows * length, dim}, rng),
+                  Tensor::rand_sign({classes, dim}, rng));
+}
+
+BitVec LdcModel::encode(const std::vector<std::uint16_t>& values) const {
+  UNIVSA_REQUIRE(values.size() == f_.size(), "feature count mismatch");
+  BitSlicedAccumulator acc(dim_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    UNIVSA_REQUIRE(values[i] < v_.size(), "value exceeds M levels");
+    acc.add_bound(f_[i], v_[values[i]]);
+  }
+  return acc.sign();
+}
+
+int LdcModel::predict(const std::vector<std::uint16_t>& values) const {
+  const BitVec s = encode(values);
+  std::size_t best = 0;
+  long long best_score = s.dot(c_[0]);
+  for (std::size_t c = 1; c < c_.size(); ++c) {
+    const long long score = s.dot(c_[c]);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+double LdcModel::accuracy(const data::Dataset& dataset) const {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (predict(dataset.values(i)) == dataset.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace univsa::vsa

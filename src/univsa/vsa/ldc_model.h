@@ -1,0 +1,54 @@
+// Deployed plain-LDC binary VSA model [11] — the baseline UniVSA improves
+// on (Sec. II).
+//
+// Classic per-feature encoding (Eq. 1): one value table V (M, D), one
+// feature vector per input position F (N, D), one class vector set
+// C (C, D). No DVP, no convolution, single similarity layer. Memory
+// accounting for Table II uses vsa::ldc_memory_kb().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "univsa/common/bitvec.h"
+#include "univsa/common/rng.h"
+#include "univsa/data/dataset.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa::vsa {
+
+class LdcModel {
+ public:
+  LdcModel() = default;
+
+  /// Bipolar tensors: values (M, D), features (N, D), classes (C, D).
+  LdcModel(std::size_t windows, std::size_t length, const Tensor& values,
+           const Tensor& features, const Tensor& classes);
+
+  static LdcModel random(std::size_t windows, std::size_t length,
+                         std::size_t levels, std::size_t classes,
+                         std::size_t dim, Rng& rng);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t features() const { return f_.size(); }
+  std::size_t levels() const { return v_.size(); }
+  std::size_t classes() const { return c_.size(); }
+
+  /// Eq. 1: s = sgn(Σ_i f_i ∘ v_{x_i}).
+  BitVec encode(const std::vector<std::uint16_t>& values) const;
+
+  /// Eq. 2 with dot-product similarity.
+  int predict(const std::vector<std::uint16_t>& values) const;
+
+  double accuracy(const data::Dataset& dataset) const;
+
+ private:
+  std::size_t windows_ = 0;
+  std::size_t length_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<BitVec> v_;  // M × D
+  std::vector<BitVec> f_;  // N × D
+  std::vector<BitVec> c_;  // C × D
+};
+
+}  // namespace univsa::vsa

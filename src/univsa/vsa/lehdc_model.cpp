@@ -1,0 +1,126 @@
+#include "univsa/vsa/lehdc_model.h"
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+
+namespace univsa::vsa {
+
+LehdcModel::LehdcModel(std::size_t windows, std::size_t length,
+                       std::size_t levels, std::size_t dim,
+                       std::vector<std::int8_t> values,
+                       std::vector<std::int8_t> features,
+                       const Tensor& classes)
+    : windows_(windows),
+      length_(length),
+      levels_(levels),
+      dim_(dim),
+      v_(std::move(values)),
+      f_(std::move(features)) {
+  UNIVSA_REQUIRE(v_.size() == levels * dim, "value lane count mismatch");
+  UNIVSA_REQUIRE(f_.size() == windows * length * dim,
+                 "feature lane count mismatch");
+  UNIVSA_REQUIRE(classes.rank() == 2 && classes.dim(1) == dim,
+                 "class vector shape mismatch");
+  for (const auto x : v_) {
+    UNIVSA_REQUIRE(x == 1 || x == -1, "value lanes must be bipolar");
+  }
+  for (const auto x : f_) {
+    UNIVSA_REQUIRE(x == 1 || x == -1, "feature lanes must be bipolar");
+  }
+  c_.reserve(classes.dim(0));
+  for (std::size_t r = 0; r < classes.dim(0); ++r) {
+    BitVec cv(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      const float x = classes.at(r, j);
+      UNIVSA_REQUIRE(x == 1.0f || x == -1.0f, "expected bipolar classes");
+      cv.set(j, x > 0.0f ? 1 : -1);
+    }
+    c_.push_back(std::move(cv));
+  }
+}
+
+std::vector<std::int8_t> LehdcModel::random_bipolar(std::size_t count,
+                                                    Rng& rng) {
+  std::vector<std::int8_t> lanes(count);
+  for (auto& x : lanes) x = static_cast<std::int8_t>(rng.sign());
+  return lanes;
+}
+
+std::vector<std::int8_t> LehdcModel::level_encoded_values(
+    std::size_t levels, std::size_t dim, Rng& rng) {
+  UNIVSA_REQUIRE(levels >= 2 && dim >= 1, "degenerate level encoding");
+  std::vector<std::int8_t> lanes(levels * dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    lanes[j] = static_cast<std::int8_t>(rng.sign());
+  }
+  // Walk a random permutation, flipping dim/2 total lanes across the
+  // M-1 steps so the first and last level are orthogonal in expectation.
+  const auto perm = rng.permutation(dim);
+  const double flips_per_step =
+      static_cast<double>(dim) / 2.0 / static_cast<double>(levels - 1);
+  double cursor = 0.0;
+  for (std::size_t m = 1; m < levels; ++m) {
+    std::copy(lanes.begin() + static_cast<long>((m - 1) * dim),
+              lanes.begin() + static_cast<long>(m * dim),
+              lanes.begin() + static_cast<long>(m * dim));
+    const auto begin = static_cast<std::size_t>(cursor);
+    cursor += flips_per_step;
+    const auto end =
+        std::min<std::size_t>(dim, static_cast<std::size_t>(cursor));
+    for (std::size_t p = begin; p < end; ++p) {
+      std::int8_t& lane = lanes[m * dim + perm[p]];
+      lane = static_cast<std::int8_t>(-lane);
+    }
+  }
+  return lanes;
+}
+
+BitVec LehdcModel::encode(const std::vector<std::uint16_t>& values) const {
+  const std::size_t n = windows_ * length_;
+  UNIVSA_REQUIRE(values.size() == n, "feature count mismatch");
+  std::vector<std::int32_t> sums(dim_, 0);
+
+  // Parallelize over the D lanes; each chunk scans all N features.
+  parallel_for(dim_, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = 0; i < n; ++i) {
+      UNIVSA_REQUIRE(values[i] < levels_, "value exceeds M levels");
+      const std::int8_t* vf = f_.data() + i * dim_;
+      const std::int8_t* vv =
+          v_.data() + static_cast<std::size_t>(values[i]) * dim_;
+      for (std::size_t j = begin; j < end; ++j) {
+        sums[j] += static_cast<std::int32_t>(vf[j]) * vv[j];
+      }
+    }
+  });
+
+  BitVec s(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    s.set(j, sums[j] >= 0 ? 1 : -1);
+  }
+  return s;
+}
+
+int LehdcModel::predict(const std::vector<std::uint16_t>& values) const {
+  const BitVec s = encode(values);
+  std::size_t best = 0;
+  long long best_score = s.dot(c_[0]);
+  for (std::size_t c = 1; c < c_.size(); ++c) {
+    const long long score = s.dot(c_[c]);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+double LehdcModel::accuracy(const data::Dataset& dataset) const {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (predict(dataset.values(i)) == dataset.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace univsa::vsa

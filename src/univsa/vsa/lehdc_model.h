@@ -1,0 +1,70 @@
+// LeHDC-style high-dimensional binary VSA model [12] — the D = 10,000
+// comparison row of Table II.
+//
+// Classic HDC encoding with *random* (not learned) value and feature
+// vectors at high dimension; only the class vectors are learned
+// (BNN-style retraining over the fixed encodings). Value/feature vectors
+// are stored as ±1 int8 rather than packed bits: at D = 10,000 the
+// per-lane accumulation of Eq. 1 is the hot loop and the int8 layout
+// vectorizes, while memory accounting for Table II uses the bit-packed
+// formula (vsa::lehdc_memory_kb) — the deployed format would pack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "univsa/common/bitvec.h"
+#include "univsa/common/rng.h"
+#include "univsa/data/dataset.h"
+#include "univsa/tensor/tensor.h"
+
+namespace univsa::vsa {
+
+class LehdcModel {
+ public:
+  LehdcModel() = default;
+
+  /// values: M·D int8 (±1), features: N·D int8 (±1), classes (C, D)
+  /// bipolar tensor.
+  LehdcModel(std::size_t windows, std::size_t length, std::size_t levels,
+             std::size_t dim, std::vector<std::int8_t> values,
+             std::vector<std::int8_t> features, const Tensor& classes);
+
+  /// Draws the random V/F sets the encoder uses; class vectors must be
+  /// learned afterwards (see train_lehdc).
+  static std::vector<std::int8_t> random_bipolar(std::size_t count,
+                                                 Rng& rng);
+
+  /// Level-encoded value vectors (M·D lanes): v_0 is random and each
+  /// subsequent level flips a fresh slice of a random permutation, so
+  /// corr(v_i, v_j) falls off linearly with |i − j| and v_0 ⊥ v_{M-1}.
+  /// This is the standard HDC continuous-value encoding — without it a
+  /// quantized value and its neighbour would get unrelated symbols and
+  /// the classifier would memorize instead of generalize.
+  static std::vector<std::int8_t> level_encoded_values(std::size_t levels,
+                                                       std::size_t dim,
+                                                       Rng& rng);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t classes() const { return c_.size(); }
+
+  /// Eq. 1 at dimension D (threaded per-lane accumulation).
+  BitVec encode(const std::vector<std::uint16_t>& values) const;
+
+  int predict(const std::vector<std::uint16_t>& values) const;
+  double accuracy(const data::Dataset& dataset) const;
+
+  const std::vector<std::int8_t>& value_lanes() const { return v_; }
+  const std::vector<std::int8_t>& feature_lanes() const { return f_; }
+
+ private:
+  std::size_t windows_ = 0;
+  std::size_t length_ = 0;
+  std::size_t levels_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<std::int8_t> v_;  // M·D
+  std::vector<std::int8_t> f_;  // N·D
+  std::vector<BitVec> c_;       // C × D packed
+};
+
+}  // namespace univsa::vsa

@@ -1,0 +1,67 @@
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::vsa {
+
+MemoryBreakdown memory_breakdown(const ModelConfig& config) {
+  config.validate();
+  MemoryBreakdown b;
+  b.value_vectors = config.M * (config.D_H + config.D_L);
+  b.conv_kernels = config.O * config.D_H * config.D_K * config.D_K;
+  b.feature_vectors = config.W * config.L * config.O;
+  b.class_vectors = config.W * config.L * config.Theta * config.C;
+  return b;
+}
+
+std::size_t memory_bits(const ModelConfig& config) {
+  return memory_breakdown(config).total_bits();
+}
+
+double memory_kb(const ModelConfig& config) {
+  return static_cast<double>(memory_bits(config)) / 8.0 / 1000.0;
+}
+
+std::size_t resource_units(const ModelConfig& config) {
+  config.validate();
+  return config.D_K * config.O * config.D_H;
+}
+
+double hardware_penalty(const ModelConfig& config, double lambda1,
+                        double lambda2) {
+  const ModelConfig basis = hardware_basis(config);
+  const double m0 = static_cast<double>(memory_bits(basis));
+  const double r0 = static_cast<double>(resource_units(basis));
+  const double m = static_cast<double>(memory_bits(config));
+  const double r = static_cast<double>(resource_units(config));
+  return lambda1 * m / m0 + lambda2 * r / r0;
+}
+
+double ldc_memory_kb(std::size_t features, std::size_t classes,
+                     std::size_t dim) {
+  // F (N·D) + C (C·D) binary, plus the LDC ValueBox MLP. The 1040-bit VB
+  // constant is reverse-engineered from Table II (every LDC row matches
+  // (N+C)·D/8000 + 0.13 KB).
+  const std::size_t bits = (features + classes) * dim + 1040;
+  return static_cast<double>(bits) / 8.0 / 1000.0;
+}
+
+double lehdc_memory_kb(std::size_t features, std::size_t classes,
+                       std::size_t levels, std::size_t dim) {
+  const std::size_t bits = (features + levels + classes) * dim;
+  return static_cast<double>(bits) / 8.0 / 1000.0;
+}
+
+double lda_memory_kb(std::size_t features, std::size_t classes) {
+  return static_cast<double>(32 * features * classes) / 8.0 / 1000.0;
+}
+
+double svm_memory_kb(std::size_t features, std::size_t support_vectors,
+                     std::size_t classifiers) {
+  // 16-bit floats: each stored SV row (N features) + its dual coefficient
+  // per classifier + one bias per classifier.
+  const std::size_t halves =
+      support_vectors * features + support_vectors * classifiers +
+      classifiers;
+  return static_cast<double>(16 * halves) / 8.0 / 1000.0;
+}
+
+}  // namespace univsa::vsa

@@ -1,0 +1,62 @@
+// Closed-form memory (Eq. 5) and resource (Eq. 6) models, and the
+// hardware penalty L_HW (Eq. 7) used by the configuration search.
+//
+// Eq. 5 reproduces every UniVSA memory figure of Table II bit-for-bit
+// (verified in tests/vsa/memory_model_test.cpp). KB here means decimal
+// kilobytes (1000 B), the convention the paper's tables use.
+//
+// The same header also provides the memory accounting conventions the
+// paper applies to the comparison methods in Table II:
+//   LDC   — (N + C)·D bits plus a 1040-bit ValueBox MLP
+//            (reproduces the LDC column of Table II to ±0.01 KB),
+//   LeHDC — (N + M + C)·D bits (reproduces the LeHDC column exactly),
+//   LDA   — 32-bit float projection, 32·C·N bits (reproduces the LDA
+//            column exactly).
+#pragma once
+
+#include <cstddef>
+
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::vsa {
+
+/// Per-component memory breakdown in bits (Eq. 5 terms).
+struct MemoryBreakdown {
+  std::size_t value_vectors = 0;    ///< V:  M · (D_H + D_L)
+  std::size_t conv_kernels = 0;     ///< K:  O · D_H · D_K²
+  std::size_t feature_vectors = 0;  ///< F:  W · L · O
+  std::size_t class_vectors = 0;    ///< C:  W · L · Θ · C
+
+  std::size_t total_bits() const {
+    return value_vectors + conv_kernels + feature_vectors + class_vectors;
+  }
+};
+
+MemoryBreakdown memory_breakdown(const ModelConfig& config);
+
+/// Eq. 5 total in bits.
+std::size_t memory_bits(const ModelConfig& config);
+
+/// Eq. 5 total in decimal kilobytes (bits / 8 / 1000).
+double memory_kb(const ModelConfig& config);
+
+/// Eq. 6: Resource ≈ β · D_K · O · D_H, returned with β = 1 (the β cancels
+/// in the normalized penalty of Eq. 7).
+std::size_t resource_units(const ModelConfig& config);
+
+/// Eq. 7 hardware penalty with λ1 = λ2 = 0.005 (Sec. V-A) against the
+/// (4, 2, 3, 64, 1, 256) basis sharing the task geometry.
+double hardware_penalty(const ModelConfig& config, double lambda1 = 0.005,
+                        double lambda2 = 0.005);
+
+/// Table II accounting for the comparison methods (see header comment).
+double ldc_memory_kb(std::size_t features, std::size_t classes,
+                     std::size_t dim);
+double lehdc_memory_kb(std::size_t features, std::size_t classes,
+                       std::size_t levels, std::size_t dim);
+double lda_memory_kb(std::size_t features, std::size_t classes);
+/// SVM at 16-bit floats: support vectors + coefficients + bias per class.
+double svm_memory_kb(std::size_t features, std::size_t support_vectors,
+                     std::size_t classifiers);
+
+}  // namespace univsa::vsa

@@ -1,0 +1,289 @@
+#include "univsa/vsa/model.h"
+
+#include <atomic>
+#include <bit>
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+
+namespace univsa::vsa {
+
+namespace {
+
+BitVec pack_long_row(const Tensor& t, std::size_t row) {
+  const std::size_t n = t.dim(1);
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = t.at(row, i);
+    UNIVSA_REQUIRE(x == 1.0f || x == -1.0f, "expected bipolar tensor");
+    v.set(i, x > 0.0f ? 1 : -1);
+  }
+  return v;
+}
+
+}  // namespace
+
+Model::Model(ModelConfig config, std::vector<std::uint8_t> mask,
+             const Tensor& v_high, const Tensor& v_low,
+             const Tensor& kernels, const Tensor& features,
+             const Tensor& class_vectors)
+    : config_(config), mask_(std::move(mask)) {
+  config_.validate();
+  UNIVSA_REQUIRE(config_.D_H <= 32, "PackedValue supports up to 32 lanes");
+  const std::size_t n = config_.features();
+  const std::size_t ns = config_.sample_dim();
+  UNIVSA_REQUIRE(mask_.size() == n, "mask size mismatch");
+  UNIVSA_REQUIRE(v_high.rank() == 2 && v_high.dim(0) == config_.M &&
+                     v_high.dim(1) == config_.D_H,
+                 "v_high shape mismatch");
+  UNIVSA_REQUIRE(v_low.rank() == 2 && v_low.dim(0) == config_.M &&
+                     v_low.dim(1) == config_.D_L,
+                 "v_low shape mismatch");
+  const std::size_t kk = config_.D_K * config_.D_K;
+  UNIVSA_REQUIRE(kernels.rank() == 2 && kernels.dim(0) == config_.O &&
+                     kernels.dim(1) == config_.D_H * kk,
+                 "kernels shape mismatch");
+  UNIVSA_REQUIRE(features.rank() == 2 && features.dim(0) == config_.O &&
+                     features.dim(1) == ns,
+                 "feature vectors shape mismatch");
+  UNIVSA_REQUIRE(class_vectors.rank() == 2 &&
+                     class_vectors.dim(0) == config_.Theta * config_.C &&
+                     class_vectors.dim(1) == ns,
+                 "class vectors shape mismatch");
+
+  v_high_.reserve(config_.M);
+  v_low_.reserve(config_.M);
+  for (std::size_t m = 0; m < config_.M; ++m) {
+    BitVec h(config_.D_H);
+    for (std::size_t d = 0; d < config_.D_H; ++d) {
+      const float v = v_high.at(m, d);
+      UNIVSA_REQUIRE(v == 1.0f || v == -1.0f, "expected bipolar values");
+      h.set(d, v > 0.0f ? 1 : -1);
+    }
+    v_high_.push_back(std::move(h));
+    BitVec l(config_.D_L);
+    for (std::size_t d = 0; d < config_.D_L; ++d) {
+      const float v = v_low.at(m, d);
+      UNIVSA_REQUIRE(v == 1.0f || v == -1.0f, "expected bipolar values");
+      l.set(d, v > 0.0f ? 1 : -1);
+    }
+    v_low_.push_back(std::move(l));
+  }
+
+  // Kernel tensor rows are (channel, kh, kw)-ordered like im2col; regroup
+  // into per-(kh, kw) channel lane masks for the packed datapath.
+  kernel_bits_.assign(config_.O, std::vector<std::uint32_t>(kk, 0));
+  for (std::size_t o = 0; o < config_.O; ++o) {
+    for (std::size_t ch = 0; ch < config_.D_H; ++ch) {
+      for (std::size_t k = 0; k < kk; ++k) {
+        const float w = kernels.at(o, ch * kk + k);
+        UNIVSA_REQUIRE(w == 1.0f || w == -1.0f, "expected bipolar kernels");
+        if (w > 0.0f) kernel_bits_[o][k] |= 1u << ch;
+      }
+    }
+  }
+
+  f_.reserve(config_.O);
+  for (std::size_t o = 0; o < config_.O; ++o) {
+    f_.push_back(pack_long_row(features, o));
+  }
+  c_.reserve(config_.Theta * config_.C);
+  for (std::size_t r = 0; r < config_.Theta * config_.C; ++r) {
+    c_.push_back(pack_long_row(class_vectors, r));
+  }
+}
+
+Model Model::random(ModelConfig config, Rng& rng, double high_fraction) {
+  config.validate();
+  const std::size_t n = config.features();
+  std::vector<std::uint8_t> mask(n);
+  for (auto& m : mask) m = rng.bernoulli(high_fraction) ? 1 : 0;
+  const std::size_t kk = config.D_K * config.D_K;
+  return Model(config, std::move(mask),
+               Tensor::rand_sign({config.M, config.D_H}, rng),
+               Tensor::rand_sign({config.M, config.D_L}, rng),
+               Tensor::rand_sign({config.O, config.D_H * kk}, rng),
+               Tensor::rand_sign({config.O, config.sample_dim()}, rng),
+               Tensor::rand_sign({config.Theta * config.C,
+                                  config.sample_dim()}, rng));
+}
+
+std::vector<PackedValue> Model::project_values(
+    const std::vector<std::uint16_t>& values) const {
+  const std::size_t n = config_.features();
+  UNIVSA_REQUIRE(values.size() == n, "feature count mismatch");
+  std::vector<PackedValue> volume(n);
+  const std::uint32_t high_valid =
+      config_.D_H == 32 ? ~0u : (1u << config_.D_H) - 1;
+  const std::uint32_t low_valid = (1u << config_.D_L) - 1;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    UNIVSA_REQUIRE(values[i] < config_.M, "value exceeds M levels");
+    PackedValue& pv = volume[i];
+    if (mask_[i]) {
+      const BitVec& v = v_high_[values[i]];
+      pv.valid = high_valid;
+      pv.bits = static_cast<std::uint32_t>(v.words()[0]);
+    } else {
+      const BitVec& v = v_low_[values[i]];
+      pv.valid = low_valid;
+      pv.bits = static_cast<std::uint32_t>(v.words()[0]) & low_valid;
+    }
+  }
+  return volume;
+}
+
+std::vector<std::vector<long long>> Model::convolve_raw(
+    const std::vector<PackedValue>& volume) const {
+  const std::size_t h = config_.W;
+  const std::size_t w = config_.L;
+  UNIVSA_REQUIRE(volume.size() == h * w, "volume size mismatch");
+  const std::size_t k = config_.D_K;
+  const long pad = static_cast<long>(k / 2);
+
+  std::vector<std::vector<long long>> raw(
+      config_.O, std::vector<long long>(h * w, 0));
+
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      // Gather the patch once; all O kernels reuse it.
+      for (std::size_t o = 0; o < config_.O; ++o) {
+        long long acc = 0;
+        const auto& kb = kernel_bits_[o];
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          const long sy = static_cast<long>(y) + static_cast<long>(kh) - pad;
+          if (sy < 0 || sy >= static_cast<long>(h)) continue;
+          for (std::size_t kw = 0; kw < k; ++kw) {
+            const long sx =
+                static_cast<long>(x) + static_cast<long>(kw) - pad;
+            if (sx < 0 || sx >= static_cast<long>(w)) continue;
+            const PackedValue& pv =
+                volume[static_cast<std::size_t>(sy) * w +
+                       static_cast<std::size_t>(sx)];
+            const std::uint32_t kbits = kb[kh * k + kw];
+            const std::uint32_t agree = ~(pv.bits ^ kbits) & pv.valid;
+            acc += 2LL * std::popcount(agree) -
+                   static_cast<long long>(std::popcount(pv.valid));
+          }
+        }
+        raw[o][y * w + x] = acc;
+      }
+    }
+  }
+  return raw;
+}
+
+std::vector<BitVec> Model::convolve(
+    const std::vector<PackedValue>& volume) const {
+  const auto raw = convolve_raw(volume);
+  std::vector<BitVec> out;
+  out.reserve(config_.O);
+  for (const auto& channel : raw) {
+    BitVec u(channel.size());
+    for (std::size_t j = 0; j < channel.size(); ++j) {
+      u.set(j, channel[j] >= 0 ? 1 : -1);
+    }
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+BitVec Model::encode_channels(const std::vector<BitVec>& conv_out) const {
+  UNIVSA_REQUIRE(conv_out.size() == config_.O, "channel count mismatch");
+  const std::size_t ns = config_.sample_dim();
+  // Word-parallel bit-sliced bundling (equivalent to per-lane integer
+  // accumulation; property-tested against BipolarAccumulator).
+  BitSlicedAccumulator acc(ns);
+  for (std::size_t o = 0; o < config_.O; ++o) {
+    UNIVSA_REQUIRE(conv_out[o].size() == ns, "channel length mismatch");
+    acc.add_bound(f_[o], conv_out[o]);
+  }
+  return acc.sign();
+}
+
+Prediction Model::similarity(const BitVec& sample_vector) const {
+  UNIVSA_REQUIRE(sample_vector.size() == config_.sample_dim(),
+                 "sample vector length mismatch");
+  Prediction pred;
+  pred.scores.assign(config_.C, 0);
+  for (std::size_t theta = 0; theta < config_.Theta; ++theta) {
+    for (std::size_t c = 0; c < config_.C; ++c) {
+      pred.scores[c] += sample_vector.dot(c_[theta * config_.C + c]);
+    }
+  }
+  // argmax with lowest-index tiebreak.
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < config_.C; ++c) {
+    if (pred.scores[c] > pred.scores[best]) best = c;
+  }
+  pred.label = static_cast<int>(best);
+  return pred;
+}
+
+Prediction Model::similarity_hamming(const BitVec& sample_vector) const {
+  UNIVSA_REQUIRE(sample_vector.size() == config_.sample_dim(),
+                 "sample vector length mismatch");
+  Prediction pred;
+  pred.scores.assign(config_.C, 0);
+  for (std::size_t theta = 0; theta < config_.Theta; ++theta) {
+    for (std::size_t c = 0; c < config_.C; ++c) {
+      pred.scores[c] += static_cast<long long>(
+          sample_vector.hamming(c_[theta * config_.C + c]));
+    }
+  }
+  // argmin with lowest-index tiebreak.
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < config_.C; ++c) {
+    if (pred.scores[c] < pred.scores[best]) best = c;
+  }
+  pred.label = static_cast<int>(best);
+  return pred;
+}
+
+BitVec Model::encode(const std::vector<std::uint16_t>& values) const {
+  return encode_channels(convolve(project_values(values)));
+}
+
+Prediction Model::predict(const std::vector<std::uint16_t>& values) const {
+  return similarity(encode(values));
+}
+
+double Model::accuracy(const data::Dataset& dataset) const {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  UNIVSA_REQUIRE(dataset.windows() == config_.W &&
+                     dataset.length() == config_.L,
+                 "dataset geometry mismatch");
+  std::atomic<std::size_t> correct{0};
+  parallel_for(dataset.size(), [&](std::size_t begin, std::size_t end) {
+    std::size_t local = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (predict(dataset.values(i)).label == dataset.label(i)) ++local;
+    }
+    correct.fetch_add(local);
+  });
+  return static_cast<double>(correct.load()) /
+         static_cast<double>(dataset.size());
+}
+
+Model Model::with_class_vectors(const Tensor& class_vectors) const {
+  UNIVSA_REQUIRE(class_vectors.rank() == 2 &&
+                     class_vectors.dim(0) == config_.Theta * config_.C &&
+                     class_vectors.dim(1) == config_.sample_dim(),
+                 "class vectors shape mismatch");
+  Model copy = *this;
+  copy.c_.clear();
+  copy.c_.reserve(config_.Theta * config_.C);
+  for (std::size_t r = 0; r < config_.Theta * config_.C; ++r) {
+    copy.c_.push_back(pack_long_row(class_vectors, r));
+  }
+  return copy;
+}
+
+bool Model::operator==(const Model& other) const {
+  return config_ == other.config_ && mask_ == other.mask_ &&
+         v_high_ == other.v_high_ && v_low_ == other.v_low_ &&
+         kernel_bits_ == other.kernel_bits_ && f_ == other.f_ &&
+         c_ == other.c_;
+}
+
+}  // namespace univsa::vsa

@@ -1,0 +1,132 @@
+// Deployed UniVSA model — pure binary inference (Eq. 1–4).
+//
+// After LDC-style training, only the binary vector sets survive:
+//   V  — value vectors (two tables under DVP: V_H at D_H, V_L at D_L),
+//   K  — BiConv kernels,
+//   F  — feature/channel vectors,
+//   C  — Θ sets of class vectors,
+// plus the feature-importance mask. Inference is logic only: XNOR,
+// popcount, integer compare — the exact datapath the hardware module
+// implements (Sec. IV-A). The hardware functional simulator reuses this
+// object's storage and must produce bit-identical intermediates
+// (verified by property test).
+//
+// DVP padding semantics: for a low-importance feature, only lanes
+// [0, D_L) of its value vector are valid; lanes [D_L, D_H) behave as
+// algebraic 0 in the convolution (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "univsa/common/bitvec.h"
+#include "univsa/common/rng.h"
+#include "univsa/data/dataset.h"
+#include "univsa/tensor/tensor.h"
+#include "univsa/vsa/model_config.h"
+
+namespace univsa::vsa {
+
+/// One spatial position of the value volume: up to 32 channel lanes.
+/// `bits` holds the bipolar lanes (1 <-> +1), `valid` marks live lanes.
+struct PackedValue {
+  std::uint32_t bits = 0;
+  std::uint32_t valid = 0;
+};
+
+struct Prediction {
+  int label = 0;
+  /// Per-class similarity summed over the Θ voters (Eq. 4 numerator).
+  std::vector<long long> scores;
+};
+
+class Model {
+ public:
+  Model() = default;
+
+  /// Assembles a deployed model from trainer outputs. Bipolar tensors
+  /// hold ±1 floats; `mask` has one entry per feature (1 = high
+  /// importance). Shapes:
+  ///   v_high (M, D_H), v_low (M, D_L), kernels (O, D_H·D_K·D_K) in
+  ///   (channel, kh, kw) order, features (O, W·L),
+  ///   class_vectors (Θ·C, W·L) with voter-major rows.
+  Model(ModelConfig config, std::vector<std::uint8_t> mask,
+        const Tensor& v_high, const Tensor& v_low, const Tensor& kernels,
+        const Tensor& features, const Tensor& class_vectors);
+
+  /// A random model (for property tests and microbenchmarks).
+  static Model random(ModelConfig config, Rng& rng,
+                      double high_fraction = 0.5);
+
+  const ModelConfig& config() const { return config_; }
+
+  // --- Inference pipeline (each stage exposed for hardware cross-checks).
+
+  /// Stage 1 — DVP: per-feature value-vector lookup. `values` holds W·L
+  /// levels in [0, M). Output indexed [w*L + l].
+  std::vector<PackedValue> project_values(
+      const std::vector<std::uint16_t>& values) const;
+
+  /// Stage 2 — BiConv: binarized convolution output, one BitVec of W·L
+  /// lanes per output channel.
+  std::vector<BitVec> convolve(const std::vector<PackedValue>& volume) const;
+
+  /// Stage 2 raw accumulations (pre-sign), for hardware adder checks.
+  std::vector<std::vector<long long>> convolve_raw(
+      const std::vector<PackedValue>& volume) const;
+
+  /// Stage 3 — Encoding (Eq. 1 over conv channels): sample vector s.
+  BitVec encode_channels(const std::vector<BitVec>& conv_out) const;
+
+  /// Stage 4 — Similarity with soft voting (Eq. 4, dot-product metric).
+  Prediction similarity(const BitVec& sample_vector) const;
+
+  /// Eq. 2 with the Hamming metric instead (scores are summed Hamming
+  /// distances, label is the argmin). Equivalent ranking to the
+  /// dot-product metric — dot = D − 2·hamming (Sec. II-C) — verified by
+  /// property test.
+  Prediction similarity_hamming(const BitVec& sample_vector) const;
+
+  /// Full pipeline: values -> label.
+  Prediction predict(const std::vector<std::uint16_t>& values) const;
+
+  /// End-to-end sample vector (stages 1–3).
+  BitVec encode(const std::vector<std::uint16_t>& values) const;
+
+  /// Fraction of correct predictions on a dataset.
+  double accuracy(const data::Dataset& dataset) const;
+
+  // --- Stored vector sets (read access for hardware sim / serialization).
+  const std::vector<std::uint8_t>& mask() const { return mask_; }
+  const std::vector<BitVec>& value_table_high() const { return v_high_; }
+  const std::vector<BitVec>& value_table_low() const { return v_low_; }
+  /// Kernel lane-masks: kernel_bits(o)[kh*D_K + kw] packs the D_H channel
+  /// lanes of kernel position (kh, kw).
+  const std::vector<std::vector<std::uint32_t>>& kernel_bits() const {
+    return kernel_bits_;
+  }
+  const std::vector<BitVec>& feature_vectors() const { return f_; }
+  /// class_vectors()[theta * C + c].
+  const std::vector<BitVec>& class_vectors() const { return c_; }
+
+  /// Copy of this model with the class vectors replaced (shape
+  /// (Θ·C, W·L), voter-major, bipolar ±1). V/K/F/mask are shared
+  /// unchanged — this is the on-device class-vector retraining path
+  /// (see train::OnlineRetrainer).
+  Model with_class_vectors(const Tensor& class_vectors) const;
+
+  bool operator==(const Model& other) const;
+
+ private:
+  friend class ModelIo;
+
+  ModelConfig config_;
+  std::vector<std::uint8_t> mask_;
+  std::vector<BitVec> v_high_;  // M entries, D_H lanes
+  std::vector<BitVec> v_low_;   // M entries, D_L lanes
+  std::vector<std::vector<std::uint32_t>> kernel_bits_;  // O × (D_K²)
+  std::vector<BitVec> f_;  // O entries, W·L lanes
+  std::vector<BitVec> c_;  // Θ·C entries, W·L lanes
+};
+
+}  // namespace univsa::vsa

@@ -1,0 +1,39 @@
+#include "univsa/vsa/model_config.h"
+
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::vsa {
+
+void ModelConfig::validate() const {
+  UNIVSA_REQUIRE(W > 0 && L > 0, "input size (W, L) must be positive");
+  UNIVSA_REQUIRE(C >= 2, "need at least two classes");
+  UNIVSA_REQUIRE(M >= 2, "need at least two quantization levels");
+  UNIVSA_REQUIRE(D_H >= 1, "D_H must be positive");
+  UNIVSA_REQUIRE(D_L >= 1 && D_L <= D_H, "require 1 <= D_L <= D_H");
+  UNIVSA_REQUIRE(D_K % 2 == 1 && D_K >= 1, "D_K must be odd and positive");
+  UNIVSA_REQUIRE(O >= 1, "O must be positive");
+  UNIVSA_REQUIRE(Theta >= 1, "Theta must be positive");
+}
+
+std::string ModelConfig::to_string() const {
+  std::ostringstream os;
+  os << "(W,L)=(" << W << ',' << L << ") C=" << C << " M=" << M
+     << " (D_H,D_L,D_K,O,Θ)=(" << D_H << ',' << D_L << ',' << D_K << ',' << O
+     << ',' << Theta << ')';
+  return os.str();
+}
+
+ModelConfig hardware_basis(const ModelConfig& task) {
+  ModelConfig basis = task;
+  basis.D_H = 4;
+  basis.D_L = 2;
+  basis.D_K = 3;
+  basis.O = 64;
+  basis.Theta = 1;
+  basis.M = 256;
+  return basis;
+}
+
+}  // namespace univsa::vsa

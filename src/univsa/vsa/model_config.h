@@ -1,0 +1,46 @@
+// UniVSA model configuration (Table I columns).
+//
+// A configuration fixes both the task geometry (W, L, C, M) and the
+// searched hyperparameters (D_H, D_L, D_K, O, Θ). Eq. 5 (memory) and
+// Eq. 6 (resource) are pure functions of this struct — see
+// univsa/vsa/memory_model.h — which is what lets the evolutionary search
+// (Sec. V-A) price hardware without synthesizing anything.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace univsa::vsa {
+
+struct ModelConfig {
+  // Task geometry.
+  std::size_t W = 0;  ///< number of sliding windows
+  std::size_t L = 0;  ///< snippet length per window
+  std::size_t C = 0;  ///< number of classes
+  std::size_t M = 256;  ///< quantization levels for feature values
+
+  // Searched hyperparameters (Sec. III).
+  std::size_t D_H = 8;   ///< high-importance value vector dimension
+  std::size_t D_L = 2;   ///< low-importance value vector dimension
+  std::size_t D_K = 3;   ///< BiConv kernel size (odd)
+  std::size_t O = 64;    ///< BiConv output channels
+  std::size_t Theta = 1; ///< soft-voting similarity layers
+
+  /// N — total input features.
+  std::size_t features() const { return W * L; }
+  /// N_s — sample vector dimension after encoding (= W'·L' = W·L).
+  std::size_t sample_dim() const { return W * L; }
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+
+  std::string to_string() const;
+
+  bool operator==(const ModelConfig&) const = default;
+};
+
+/// The normalization basis of Eq. 7: (D_H, D_L, D_K, O, Θ, M) =
+/// (4, 2, 3, 64, 1, 256), with the task geometry of `task`.
+ModelConfig hardware_basis(const ModelConfig& task);
+
+}  // namespace univsa::vsa

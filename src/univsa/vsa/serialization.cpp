@@ -1,0 +1,205 @@
+#include "univsa/vsa/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::vsa {
+
+namespace {
+
+constexpr char kMagic[8] = {'U', 'V', 'S', 'A', '0', '0', '1', '\n'};
+
+class Writer {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+  void bitvec(const BitVec& v) {
+    u64(v.size());
+    raw(v.words().data(), v.words().size() * sizeof(std::uint64_t));
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint64_t u64() {
+    UNIVSA_REQUIRE(pos_ + 8 <= bytes_.size(), "truncated .uvsa data");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  void raw(void* out, std::size_t n) {
+    UNIVSA_REQUIRE(pos_ + n <= bytes_.size(), "truncated .uvsa data");
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+  BitVec bitvec(std::size_t expected_size) {
+    const std::uint64_t n = u64();
+    UNIVSA_REQUIRE(n == expected_size, "unexpected vector length in .uvsa");
+    BitVec v(n);
+    std::vector<std::uint64_t> words((n + 63) / 64);
+    raw(words.data(), words.size() * sizeof(std::uint64_t));
+    for (std::size_t i = 0; i < n; ++i) {
+      v.set(i, (words[i / 64] >> (i % 64)) & 1ULL ? 1 : -1);
+    }
+    return v;
+  }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> ModelIo::to_bytes(const Model& model) {
+  const ModelConfig& c = model.config();
+  Writer w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.u64(c.W);
+  w.u64(c.L);
+  w.u64(c.C);
+  w.u64(c.M);
+  w.u64(c.D_H);
+  w.u64(c.D_L);
+  w.u64(c.D_K);
+  w.u64(c.O);
+  w.u64(c.Theta);
+
+  w.raw(model.mask().data(), model.mask().size());
+  for (const auto& v : model.value_table_high()) w.bitvec(v);
+  for (const auto& v : model.value_table_low()) w.bitvec(v);
+  for (const auto& kb : model.kernel_bits()) {
+    for (const auto lanes : kb) w.u64(lanes);
+  }
+  for (const auto& v : model.feature_vectors()) w.bitvec(v);
+  for (const auto& v : model.class_vectors()) w.bitvec(v);
+  return w.take();
+}
+
+Model ModelIo::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  UNIVSA_REQUIRE(bytes.size() >= sizeof(kMagic) &&
+                     std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
+                 "not a .uvsa model (bad magic)");
+  Reader r(bytes);
+  char magic[sizeof(kMagic)];
+  r.raw(magic, sizeof(kMagic));
+
+  ModelConfig c;
+  c.W = r.u64();
+  c.L = r.u64();
+  c.C = r.u64();
+  c.M = r.u64();
+  c.D_H = r.u64();
+  c.D_L = r.u64();
+  c.D_K = r.u64();
+  c.O = r.u64();
+  c.Theta = r.u64();
+  c.validate();
+  UNIVSA_REQUIRE(c.D_H <= 32, "unsupported D_H in .uvsa");
+  // Plausibility caps so a corrupted header can't drive huge allocations
+  // before the per-section truncation checks kick in.
+  UNIVSA_REQUIRE(c.W <= (1u << 16) && c.L <= (1u << 16) &&
+                     c.features() <= (1u << 22) && c.C <= (1u << 16) &&
+                     c.M <= (1u << 16) && c.D_K <= 63 &&
+                     c.O <= (1u << 16) && c.Theta <= (1u << 10) &&
+                     c.Theta * c.C <= (1u << 20),
+                 "implausible .uvsa dimensions");
+
+  Model model;
+  model.config_ = c;
+  model.mask_.resize(c.features());
+  r.raw(model.mask_.data(), model.mask_.size());
+  for (const auto m : model.mask_) {
+    UNIVSA_REQUIRE(m == 0 || m == 1, "mask entries must be 0/1");
+  }
+  model.v_high_.reserve(c.M);
+  for (std::size_t m = 0; m < c.M; ++m) {
+    model.v_high_.push_back(r.bitvec(c.D_H));
+  }
+  model.v_low_.reserve(c.M);
+  for (std::size_t m = 0; m < c.M; ++m) {
+    model.v_low_.push_back(r.bitvec(c.D_L));
+  }
+  const std::size_t kk = c.D_K * c.D_K;
+  const std::uint32_t lane_mask =
+      c.D_H == 32 ? ~0u : (1u << c.D_H) - 1;
+  model.kernel_bits_.assign(c.O, std::vector<std::uint32_t>(kk, 0));
+  for (auto& kb : model.kernel_bits_) {
+    for (auto& lanes : kb) {
+      const std::uint64_t v = r.u64();
+      UNIVSA_REQUIRE((v & ~static_cast<std::uint64_t>(lane_mask)) == 0,
+                     "kernel lanes exceed D_H");
+      lanes = static_cast<std::uint32_t>(v);
+    }
+  }
+  model.f_.reserve(c.O);
+  for (std::size_t o = 0; o < c.O; ++o) {
+    model.f_.push_back(r.bitvec(c.sample_dim()));
+  }
+  model.c_.reserve(c.Theta * c.C);
+  for (std::size_t i = 0; i < c.Theta * c.C; ++i) {
+    model.c_.push_back(r.bitvec(c.sample_dim()));
+  }
+  UNIVSA_REQUIRE(r.exhausted(), "trailing bytes in .uvsa data");
+  return model;
+}
+
+void ModelIo::save(const Model& model, std::ostream& os) {
+  const auto bytes = to_bytes(model);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  UNIVSA_ENSURE(os.good(), "stream write failed");
+}
+
+void ModelIo::save_file(const Model& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  UNIVSA_REQUIRE(os.is_open(), "cannot open file for writing: " + path);
+  save(model, os);
+}
+
+Model ModelIo::load(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string s = buffer.str();
+  return from_bytes(std::vector<std::uint8_t>(s.begin(), s.end()));
+}
+
+Model ModelIo::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  UNIVSA_REQUIRE(is.is_open(), "cannot open file for reading: " + path);
+  return load(is);
+}
+
+std::size_t ModelIo::payload_bytes(const Model& model) {
+  const ModelConfig& c = model.config();
+  const auto bits_to_bytes = [](std::size_t bits) {
+    return (bits + 7) / 8;
+  };
+  std::size_t total = bits_to_bytes(c.M * c.D_H) + bits_to_bytes(c.M * c.D_L);
+  total += bits_to_bytes(c.O * c.D_H * c.D_K * c.D_K);
+  total += bits_to_bytes(c.W * c.L * c.O);
+  total += bits_to_bytes(c.W * c.L * c.Theta * c.C);
+  return total;
+}
+
+}  // namespace univsa::vsa

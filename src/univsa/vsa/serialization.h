@@ -1,0 +1,34 @@
+// .uvsa model serialization.
+//
+// A deployed model is a few kilobytes of packed bits (Eq. 5); the format
+// is a fixed little-endian header followed by the raw packed words of
+// each vector set. payload_bytes() counts only the Eq. 5 bits — what the
+// target device must hold — while the file adds a 96-byte header.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "univsa/vsa/model.h"
+
+namespace univsa::vsa {
+
+class ModelIo {
+ public:
+  /// Serializes to an in-memory buffer / stream / file.
+  static std::vector<std::uint8_t> to_bytes(const Model& model);
+  static void save(const Model& model, std::ostream& os);
+  static void save_file(const Model& model, const std::string& path);
+
+  /// Deserializes; throws std::invalid_argument on malformed input.
+  static Model from_bytes(const std::vector<std::uint8_t>& bytes);
+  static Model load(std::istream& is);
+  static Model load_file(const std::string& path);
+
+  /// Eq. 5 payload rounded up to whole bytes per vector set.
+  static std::size_t payload_bytes(const Model& model);
+};
+
+}  // namespace univsa::vsa

@@ -1,0 +1,125 @@
+#include "univsa/baselines/bnn.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/common/rng.h"
+
+namespace univsa::baselines {
+namespace {
+
+void make_blobs(std::size_t per_class, std::size_t n, double separation,
+                Tensor& x, std::vector<int>& y, Rng& rng,
+                std::size_t classes = 2) {
+  x = Tensor({per_class * classes, n});
+  y.resize(per_class * classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      y[row] = static_cast<int>(c);
+      for (std::size_t j = 0; j < n; ++j) {
+        x.at(row, j) = static_cast<float>(
+            rng.normal(j % classes == c ? separation : 0.0, 1.0));
+      }
+    }
+  }
+}
+
+TEST(BnnTest, SeparatesBlobs) {
+  Rng rng(1);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(80, 8, 2.5, x, y, rng);
+  BnnOptions options;
+  options.hidden = 32;
+  options.epochs = 25;
+  BnnClassifier bnn(options);
+  bnn.fit(x, y, 2);
+  Tensor xt;
+  std::vector<int> yt;
+  make_blobs(40, 8, 2.5, xt, yt, rng);
+  EXPECT_GT(bnn.accuracy(xt, yt), 0.9);
+}
+
+TEST(BnnTest, MultiClass) {
+  Rng rng(2);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(60, 9, 3.0, x, y, rng, 3);
+  BnnOptions options;
+  options.hidden = 48;
+  options.epochs = 25;
+  BnnClassifier bnn(options);
+  bnn.fit(x, y, 3);
+  EXPECT_GT(bnn.accuracy(x, y), 0.85);
+}
+
+TEST(BnnTest, LossDecreases) {
+  Rng rng(3);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(50, 6, 2.0, x, y, rng);
+  BnnClassifier bnn;
+  bnn.fit(x, y, 2);
+  ASSERT_GE(bnn.loss_history().size(), 2u);
+  EXPECT_LT(bnn.loss_history().back(), bnn.loss_history().front());
+}
+
+TEST(BnnTest, MemoryAccountsBinaryWeights) {
+  Rng rng(4);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(20, 10, 2.0, x, y, rng);
+  BnnOptions options;
+  options.hidden = 16;
+  options.epochs = 2;
+  BnnClassifier bnn(options);
+  bnn.fit(x, y, 2);
+  // (16·10 + 2·16) bits = 192 bits = 24 bytes (+ scales).
+  EXPECT_NEAR(bnn.memory_kb(), 192.0 / 8.0 / 1000.0 + 0.008, 1e-6);
+}
+
+TEST(BnnTest, PredictOneMatchesBatch) {
+  Rng rng(5);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(30, 5, 2.0, x, y, rng);
+  BnnOptions options;
+  options.epochs = 5;
+  BnnClassifier bnn(options);
+  bnn.fit(x, y, 2);
+  const auto batch = bnn.predict(x);
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::vector<float> row(5);
+    for (std::size_t j = 0; j < 5; ++j) row[j] = x.at(i, j);
+    EXPECT_EQ(bnn.predict_one(row), batch[i]);
+  }
+}
+
+TEST(BnnTest, ValidatesInputs) {
+  BnnClassifier bnn;
+  EXPECT_THROW(bnn.predict_one(std::vector<float>{1.0f}),
+               std::invalid_argument);
+  BnnOptions bad;
+  bad.hidden = 1;
+  EXPECT_THROW(BnnClassifier{bad}, std::invalid_argument);
+  Rng rng(6);
+  Tensor x({4, 2});
+  EXPECT_THROW(bnn.fit(x, {0, 1, 0}, 2), std::invalid_argument);
+}
+
+TEST(BnnTest, DeterministicForSeed) {
+  Rng rng(7);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(30, 4, 2.0, x, y, rng);
+  BnnOptions options;
+  options.epochs = 4;
+  BnnClassifier a(options);
+  a.fit(x, y, 2);
+  BnnClassifier b(options);
+  b.fit(x, y, 2);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+}  // namespace
+}  // namespace univsa::baselines

@@ -1,0 +1,102 @@
+#include "univsa/baselines/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/common/rng.h"
+
+namespace univsa::baselines {
+namespace {
+
+void make_blobs(std::size_t per_class, std::size_t n, double separation,
+                Tensor& x, std::vector<int>& y, Rng& rng,
+                std::size_t classes = 2) {
+  x = Tensor({per_class * classes, n});
+  y.resize(per_class * classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      y[row] = static_cast<int>(c);
+      for (std::size_t j = 0; j < n; ++j) {
+        x.at(row, j) = static_cast<float>(
+            rng.normal(j % classes == c ? separation : 0.0, 1.0));
+      }
+    }
+  }
+}
+
+TEST(KnnTest, OneNearestNeighbourMemorizesTrainingSet) {
+  Rng rng(1);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(40, 4, 2.0, x, y, rng);
+  KnnClassifier knn(1);
+  knn.fit(x, y, 2);
+  EXPECT_EQ(knn.accuracy(x, y), 1.0);
+}
+
+TEST(KnnTest, SeparatesBlobs) {
+  Rng rng(2);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(100, 6, 3.0, x, y, rng);
+  KnnClassifier knn(5);
+  knn.fit(x, y, 2);
+  Tensor xt;
+  std::vector<int> yt;
+  make_blobs(40, 6, 3.0, xt, yt, rng);
+  EXPECT_GT(knn.accuracy(xt, yt), 0.95);
+}
+
+TEST(KnnTest, MultiClassVoting) {
+  Rng rng(3);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(60, 6, 3.0, x, y, rng, 3);
+  KnnClassifier knn(5);
+  knn.fit(x, y, 3);
+  EXPECT_GT(knn.accuracy(x, y), 0.9);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetClamps) {
+  Tensor x({3, 2});
+  x.at(0, 0) = 0.0f;
+  x.at(1, 0) = 1.0f;
+  x.at(2, 0) = 2.0f;
+  const std::vector<int> y = {0, 0, 1};
+  KnnClassifier knn(100);
+  knn.fit(x, y, 2);
+  // Uses all 3 neighbours: majority class 0.
+  EXPECT_EQ(knn.predict_one(std::vector<float>{0.5f, 0.0f}), 0);
+}
+
+TEST(KnnTest, StoredBytesCountsTrainingSet) {
+  Tensor x({10, 4});
+  const std::vector<int> y(10, 0);
+  KnnClassifier knn(1);
+  // Needs both classes for fit validation; rebuild labels.
+  std::vector<int> labels = y;
+  labels[5] = 1;
+  knn.fit(x, labels, 2);
+  EXPECT_EQ(knn.stored_bytes(), 10u * 4u * 4u + 10u * 4u);
+}
+
+TEST(KnnTest, ValidatesInputs) {
+  KnnClassifier knn(5);
+  EXPECT_THROW(knn.predict_one(std::vector<float>{1.0f}),
+               std::invalid_argument);  // not fitted
+  EXPECT_THROW(KnnClassifier(0), std::invalid_argument);
+  Tensor x({4, 2});
+  EXPECT_THROW(knn.fit(x, {0, 1, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(knn.fit(x, {0, 1, 0, 5}, 2), std::invalid_argument);
+}
+
+TEST(KnnTest, FeatureCountValidatedAtPredict) {
+  Tensor x({4, 3});
+  KnnClassifier knn(1);
+  knn.fit(x, {0, 1, 0, 1}, 2);
+  EXPECT_THROW(knn.predict_one(std::vector<float>{1.0f, 2.0f}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::baselines

@@ -1,0 +1,151 @@
+#include "univsa/baselines/lda.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/common/rng.h"
+
+namespace univsa::baselines {
+namespace {
+
+/// Two well-separated Gaussian blobs in N dimensions.
+void make_blobs(std::size_t per_class, std::size_t n, double separation,
+                Tensor& x, std::vector<int>& y, Rng& rng,
+                std::size_t classes = 2) {
+  x = Tensor({per_class * classes, n});
+  y.resize(per_class * classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      y[row] = static_cast<int>(c);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double mean =
+            (j % classes == c) ? separation : 0.0;
+        x.at(row, j) = static_cast<float>(rng.normal(mean, 1.0));
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // A = [[4, 2], [2, 3]], b = [8, 7] -> x = [1.3..., 1.4...]? Solve:
+  // 4x + 2y = 8; 2x + 3y = 7 -> x = 1.25, y = 1.5.
+  std::vector<double> a = {4, 2, 2, 3};
+  std::vector<double> b = {8, 7};
+  cholesky_solve_inplace(a, 2, b, 1);
+  EXPECT_NEAR(b[0], 1.25, 1e-9);
+  EXPECT_NEAR(b[1], 1.5, 1e-9);
+}
+
+TEST(CholeskyTest, MultipleRightHandSides) {
+  std::vector<double> a = {2, 0, 0, 5};
+  std::vector<double> b = {2, 4, 10, 20};  // rhs columns interleaved
+  cholesky_solve_inplace(a, 2, b, 2);
+  EXPECT_NEAR(b[0], 1.0, 1e-9);   // 2x=2
+  EXPECT_NEAR(b[1], 2.0, 1e-9);   // 2x=4
+  EXPECT_NEAR(b[2], 2.0, 1e-9);   // 5y=10
+  EXPECT_NEAR(b[3], 4.0, 1e-9);   // 5y=20
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  std::vector<double> b = {1, 1};
+  EXPECT_THROW(cholesky_solve_inplace(a, 2, b, 1), std::invalid_argument);
+}
+
+TEST(LdaTest, SeparatesGaussianBlobs) {
+  Rng rng(1);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(100, 8, 3.0, x, y, rng);
+  LdaClassifier lda;
+  lda.fit(x, y, 2);
+
+  Tensor xt;
+  std::vector<int> yt;
+  make_blobs(50, 8, 3.0, xt, yt, rng);
+  EXPECT_GT(lda.accuracy(xt, yt), 0.97);
+}
+
+TEST(LdaTest, MultiClass) {
+  Rng rng(2);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(80, 9, 3.0, x, y, rng, 3);
+  LdaClassifier lda;
+  lda.fit(x, y, 3);
+  EXPECT_GT(lda.accuracy(x, y), 0.95);
+  EXPECT_EQ(lda.classes(), 3u);
+}
+
+TEST(LdaTest, PriorsBreakTiesTowardFrequentClass) {
+  // Identical class distributions: prediction must favour the class with
+  // the larger prior.
+  Rng rng(3);
+  Tensor x({100, 2});
+  std::vector<int> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.normal());
+    x.at(i, 1) = static_cast<float>(rng.normal());
+    y[i] = i < 90 ? 0 : 1;
+  }
+  LdaClassifier lda;
+  lda.fit(x, y, 2);
+  std::size_t zeros = 0;
+  for (const auto p : lda.predict(x)) {
+    if (p == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 75u);
+}
+
+TEST(LdaTest, ParameterCountIsClassesTimesFeatures) {
+  Rng rng(4);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(30, 5, 2.0, x, y, rng);
+  LdaClassifier lda;
+  lda.fit(x, y, 2);
+  EXPECT_EQ(lda.parameter_count(), 10u);
+}
+
+TEST(LdaTest, ValidatesInputs) {
+  LdaClassifier lda;
+  EXPECT_THROW(lda.predict_one(std::vector<float>{1.0f}),
+               std::invalid_argument);  // not fitted
+  Rng rng(5);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(10, 3, 1.0, x, y, rng);
+  EXPECT_THROW(lda.fit(x, y, 1), std::invalid_argument);
+  y[0] = 7;
+  EXPECT_THROW(lda.fit(x, y, 2), std::invalid_argument);
+}
+
+TEST(LdaTest, MissingClassRejected) {
+  Rng rng(6);
+  Tensor x({10, 2});
+  std::vector<int> y(10, 0);  // class 1 absent
+  EXPECT_THROW(LdaClassifier().fit(x, y, 2), std::invalid_argument);
+}
+
+TEST(LdaTest, HandlesCorrelatedFeaturesViaRegularization) {
+  // Duplicate feature columns make the covariance singular; the ridge
+  // must keep the solve stable.
+  Rng rng(7);
+  Tensor x({60, 4});
+  std::vector<int> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const int label = i < 30 ? 0 : 1;
+    y[i] = label;
+    const float base = static_cast<float>(rng.normal(label * 3.0, 1.0));
+    x.at(i, 0) = base;
+    x.at(i, 1) = base;  // exact duplicate
+    x.at(i, 2) = static_cast<float>(rng.normal());
+    x.at(i, 3) = static_cast<float>(rng.normal());
+  }
+  LdaClassifier lda(1e-2);
+  EXPECT_NO_THROW(lda.fit(x, y, 2));
+  EXPECT_GT(lda.accuracy(x, y), 0.9);
+}
+
+}  // namespace
+}  // namespace univsa::baselines

@@ -1,0 +1,138 @@
+#include "univsa/baselines/svm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "univsa/common/rng.h"
+
+namespace univsa::baselines {
+namespace {
+
+void make_blobs(std::size_t per_class, std::size_t n, double separation,
+                Tensor& x, std::vector<int>& y, Rng& rng,
+                std::size_t classes = 2) {
+  x = Tensor({per_class * classes, n});
+  y.resize(per_class * classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      y[row] = static_cast<int>(c);
+      for (std::size_t j = 0; j < n; ++j) {
+        x.at(row, j) = static_cast<float>(
+            rng.normal(j % classes == c ? separation : 0.0, 1.0));
+      }
+    }
+  }
+}
+
+TEST(SvmTest, SeparatesLinearBlobs) {
+  Rng rng(1);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(60, 4, 3.0, x, y, rng);
+  SvmClassifier svm;
+  svm.fit(x, y, 2);
+  Tensor xt;
+  std::vector<int> yt;
+  make_blobs(30, 4, 3.0, xt, yt, rng);
+  EXPECT_GT(svm.accuracy(xt, yt), 0.95);
+}
+
+TEST(SvmTest, RbfKernelSolvesXor) {
+  // XOR is not linearly separable — the RBF kernel must handle it.
+  Rng rng(2);
+  const std::size_t per_cell = 40;
+  Tensor x({4 * per_cell, 2});
+  std::vector<int> y(4 * per_cell);
+  const double centers[4][2] = {{0, 0}, {3, 3}, {0, 3}, {3, 0}};
+  for (std::size_t cell = 0; cell < 4; ++cell) {
+    for (std::size_t i = 0; i < per_cell; ++i) {
+      const std::size_t row = cell * per_cell + i;
+      x.at(row, 0) = static_cast<float>(rng.normal(centers[cell][0], 0.4));
+      x.at(row, 1) = static_cast<float>(rng.normal(centers[cell][1], 0.4));
+      y[row] = cell < 2 ? 0 : 1;
+    }
+  }
+  SvmOptions options;
+  options.c = 10.0;
+  options.gamma = 1.0;
+  SvmClassifier svm(options);
+  svm.fit(x, y, 2);
+  EXPECT_GT(svm.accuracy(x, y), 0.95);
+}
+
+TEST(SvmTest, MultiClassOneVsRest) {
+  Rng rng(3);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(50, 6, 3.0, x, y, rng, 3);
+  SvmClassifier svm;
+  svm.fit(x, y, 3);
+  EXPECT_EQ(svm.classifier_count(), 3u);
+  EXPECT_GT(svm.accuracy(x, y), 0.9);
+}
+
+TEST(SvmTest, BinaryUsesSingleMachine) {
+  Rng rng(4);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(30, 4, 3.0, x, y, rng);
+  SvmClassifier svm;
+  svm.fit(x, y, 2);
+  EXPECT_EQ(svm.classifier_count(), 1u);
+  EXPECT_GT(svm.support_vector_count(), 0u);
+  EXPECT_LE(svm.support_vector_count(), 60u);
+}
+
+TEST(SvmTest, FewerSupportVectorsThanSamplesOnEasyData) {
+  Rng rng(5);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(100, 4, 5.0, x, y, rng);
+  SvmClassifier svm;
+  svm.fit(x, y, 2);
+  // Easy margins: most points are not support vectors.
+  EXPECT_LT(svm.support_vector_count(), 150u);
+}
+
+TEST(SvmTest, ScaleGammaIsComputedFromData) {
+  Rng rng(6);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(30, 4, 2.0, x, y, rng);
+  SvmOptions options;
+  options.gamma = 0.0;  // "scale"
+  SvmClassifier svm(options);
+  EXPECT_NO_THROW(svm.fit(x, y, 2));
+  EXPECT_GT(svm.accuracy(x, y), 0.8);
+}
+
+TEST(SvmTest, ValidatesInputs) {
+  SvmOptions bad;
+  bad.c = 0.0;
+  EXPECT_THROW(SvmClassifier{bad}, std::invalid_argument);
+  SvmClassifier svm;
+  EXPECT_THROW(svm.predict_one(std::vector<float>{1.0f}),
+               std::invalid_argument);
+  Tensor x({4, 2});
+  EXPECT_THROW(svm.fit(x, {0, 1, 0}, 2), std::invalid_argument);
+}
+
+TEST(SvmTest, DeterministicForFixedSeed) {
+  Rng rng(7);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(40, 4, 2.0, x, y, rng);
+  SvmClassifier a;
+  a.fit(x, y, 2);
+  SvmClassifier b;
+  b.fit(x, y, 2);
+  EXPECT_EQ(a.support_vector_count(), b.support_vector_count());
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    EXPECT_EQ(a.predict(x)[i], b.predict(x)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace univsa::baselines

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "univsa/common/bitvec.h"
+
+namespace univsa {
+namespace {
+
+TEST(BitSlicedAccumulatorTest, MatchesIntegerAccumulatorOnKnownInput) {
+  BitSlicedAccumulator sliced(3);
+  BipolarAccumulator integer(3);
+  const BitVec a = BitVec::from_bipolar(std::vector<int>{1, -1, 1});
+  const BitVec b = BitVec::from_bipolar(std::vector<int>{1, 1, -1});
+  sliced.add_bound(a, b);
+  integer.add_bound(a, b);
+  EXPECT_EQ(sliced.sign(), integer.sign());
+}
+
+TEST(BitSlicedAccumulatorTest, TieBreaksToPlusOne) {
+  BitSlicedAccumulator acc(2);
+  acc.add(BitVec::from_bipolar(std::vector<int>{1, -1}));
+  acc.add(BitVec::from_bipolar(std::vector<int>{-1, 1}));
+  const BitVec s = acc.sign();
+  EXPECT_EQ(s.get(0), 1);
+  EXPECT_EQ(s.get(1), 1);
+}
+
+TEST(BitSlicedAccumulatorTest, EmptyAccumulatorSignsAllPlusOne) {
+  BitSlicedAccumulator acc(5);
+  EXPECT_EQ(acc.rows(), 0u);
+  const BitVec s = acc.sign();  // 2·0 >= 0 everywhere
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(s.get(i), 1);
+}
+
+TEST(BitSlicedAccumulatorTest, SizeMismatchThrows) {
+  BitSlicedAccumulator acc(4);
+  EXPECT_THROW(acc.add(BitVec(5)), std::invalid_argument);
+  EXPECT_THROW(acc.add_bound(BitVec(4), BitVec(5)),
+               std::invalid_argument);
+}
+
+struct SlicedCase {
+  std::size_t lanes;
+  std::size_t rows;
+};
+
+class BitSlicedPropertyTest
+    : public ::testing::TestWithParam<SlicedCase> {};
+
+TEST_P(BitSlicedPropertyTest, EquivalentToIntegerAccumulatorBound) {
+  const auto [lanes, rows] = GetParam();
+  Rng rng(lanes * 1000 + rows);
+  BitSlicedAccumulator sliced(lanes);
+  BipolarAccumulator integer(lanes);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const BitVec a = BitVec::random(lanes, rng);
+    const BitVec b = BitVec::random(lanes, rng);
+    sliced.add_bound(a, b);
+    integer.add_bound(a, b);
+  }
+  EXPECT_EQ(sliced.rows(), rows);
+  EXPECT_EQ(sliced.sign(), integer.sign());
+}
+
+TEST_P(BitSlicedPropertyTest, EquivalentToIntegerAccumulatorPlain) {
+  const auto [lanes, rows] = GetParam();
+  Rng rng(lanes * 2000 + rows);
+  BitSlicedAccumulator sliced(lanes);
+  BipolarAccumulator integer(lanes);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const BitVec v = BitVec::random(lanes, rng);
+    sliced.add(v);
+    integer.add(v);
+  }
+  EXPECT_EQ(sliced.sign(), integer.sign());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BitSlicedPropertyTest,
+    ::testing::Values(SlicedCase{1, 1}, SlicedCase{1, 7},
+                      SlicedCase{63, 3}, SlicedCase{64, 5},
+                      SlicedCase{65, 9}, SlicedCase{128, 2},
+                      SlicedCase{100, 95},     // EEGMMI-like O
+                      SlicedCase{1024, 95},    // full encode shape
+                      SlicedCase{1472, 16},    // CHB shape
+                      SlicedCase{640, 151}));  // worst-case rows
+
+TEST(BitSlicedAccumulatorTest, CounterGrowsPastPowerOfTwoRows) {
+  // 2^k row counts force carry-outs into fresh planes.
+  Rng rng(9);
+  BitSlicedAccumulator sliced(10);
+  BipolarAccumulator integer(10);
+  const BitVec ones =
+      BitVec::from_bipolar(std::vector<int>(10, 1));
+  for (std::size_t r = 0; r < 17; ++r) {  // crosses 1, 2, 4, 8, 16
+    sliced.add(ones);
+    integer.add(ones);
+    EXPECT_EQ(sliced.sign(), integer.sign()) << "after row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace univsa

@@ -1,0 +1,235 @@
+#include "univsa/common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace univsa {
+namespace {
+
+long long naive_dot(const std::vector<int>& a, const std::vector<int>& b) {
+  long long s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+TEST(BitVecTest, DefaultIsAllMinusOne) {
+  BitVec v(10);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(v.get(i), -1);
+}
+
+TEST(BitVecTest, SetGetRoundtrip) {
+  BitVec v(130);  // spans three words
+  v.set(0, 1);
+  v.set(64, 1);
+  v.set(129, 1);
+  EXPECT_EQ(v.get(0), 1);
+  EXPECT_EQ(v.get(1), -1);
+  EXPECT_EQ(v.get(64), 1);
+  EXPECT_EQ(v.get(129), 1);
+  v.set(64, -1);
+  EXPECT_EQ(v.get(64), -1);
+}
+
+TEST(BitVecTest, FromBipolarRoundtrip) {
+  const std::vector<int> lanes = {1, -1, -1, 1, 1, -1, 1};
+  const BitVec v = BitVec::from_bipolar(lanes);
+  EXPECT_EQ(v.to_bipolar(), lanes);
+}
+
+TEST(BitVecTest, FromBipolarRejectsNonBipolar) {
+  const std::vector<int> lanes = {1, 0, -1};
+  EXPECT_THROW(BitVec::from_bipolar(lanes), std::invalid_argument);
+}
+
+TEST(BitVecTest, FromSignsUsesPaperTiebreak) {
+  const std::vector<float> values = {0.0f, -0.0f, 1.5f, -2.0f};
+  const BitVec v = BitVec::from_signs(values);
+  EXPECT_EQ(v.get(0), 1);  // sgn(0) = +1
+  EXPECT_EQ(v.get(1), 1);  // -0.0f >= 0
+  EXPECT_EQ(v.get(2), 1);
+  EXPECT_EQ(v.get(3), -1);
+}
+
+TEST(BitVecTest, IndexOutOfRangeThrows) {
+  BitVec v(5);
+  EXPECT_THROW(v.get(5), std::invalid_argument);
+  EXPECT_THROW(v.set(5, 1), std::invalid_argument);
+}
+
+TEST(BitVecTest, DotMatchesNaiveOnKnownVectors) {
+  const std::vector<int> a = {1, 1, -1, -1, 1};
+  const std::vector<int> b = {1, -1, -1, 1, 1};
+  const BitVec va = BitVec::from_bipolar(a);
+  const BitVec vb = BitVec::from_bipolar(b);
+  EXPECT_EQ(va.dot(vb), naive_dot(a, b));
+  EXPECT_EQ(va.dot(va), 5);
+}
+
+TEST(BitVecTest, DotSizeMismatchThrows) {
+  BitVec a(4);
+  BitVec b(5);
+  EXPECT_THROW(a.dot(b), std::invalid_argument);
+}
+
+TEST(BitVecTest, HammingAndDotAreEquivalent) {
+  // Eq. 2 discussion: dot = n - 2·hamming.
+  Rng rng(5);
+  const BitVec a = BitVec::random(257, rng);
+  const BitVec b = BitVec::random(257, rng);
+  EXPECT_EQ(a.dot(b),
+            257 - 2 * static_cast<long long>(a.hamming(b)));
+}
+
+TEST(BitVecTest, MaskedDotIgnoresMaskedLanes) {
+  const BitVec a = BitVec::from_bipolar(std::vector<int>{1, 1, -1, -1});
+  const BitVec b = BitVec::from_bipolar(std::vector<int>{1, -1, -1, -1});
+  // Mask keeps lanes 0 and 2 only: contributions +1 (match) +1 (match).
+  BitVec mask(4);
+  mask.set(0, 1);
+  mask.set(2, 1);
+  EXPECT_EQ(a.masked_dot(b, mask), 2);
+  // Full mask equals plain dot.
+  BitVec full(4);
+  for (std::size_t i = 0; i < 4; ++i) full.set(i, 1);
+  EXPECT_EQ(a.masked_dot(b, full), a.dot(b));
+  // Empty mask contributes nothing.
+  EXPECT_EQ(a.masked_dot(b, BitVec(4)), 0);
+}
+
+TEST(BitVecTest, BindIsElementwiseProduct) {
+  Rng rng(6);
+  const BitVec a = BitVec::random(100, rng);
+  const BitVec b = BitVec::random(100, rng);
+  const BitVec c = a.bind(b);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.get(i), a.get(i) * b.get(i));
+  }
+}
+
+TEST(BitVecTest, BindWithSelfIsIdentityVector) {
+  Rng rng(8);
+  const BitVec a = BitVec::random(70, rng);
+  const BitVec c = a.bind(a);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_EQ(c.get(i), 1);
+}
+
+TEST(BitVecTest, NegateFlipsEveryLane) {
+  Rng rng(9);
+  const BitVec a = BitVec::random(65, rng);
+  const BitVec n = a.negate();
+  for (std::size_t i = 0; i < 65; ++i) EXPECT_EQ(n.get(i), -a.get(i));
+  EXPECT_EQ(a.dot(n), -65);
+}
+
+TEST(BitVecTest, PopcountCountsPositiveLanes) {
+  BitVec v(130);
+  v.set(0, 1);
+  v.set(100, 1);
+  v.set(129, 1);
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVecTest, EqualityAndInequality) {
+  Rng rng(10);
+  const BitVec a = BitVec::random(90, rng);
+  BitVec b = a;
+  EXPECT_EQ(a, b);
+  b.set(45, -b.get(45));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, BitVec(91));
+}
+
+class BitVecPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecPropertyTest, DotMatchesNaiveOnRandomVectors) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  for (int iter = 0; iter < 10; ++iter) {
+    const BitVec a = BitVec::random(n, rng);
+    const BitVec b = BitVec::random(n, rng);
+    EXPECT_EQ(a.dot(b), naive_dot(a.to_bipolar(), b.to_bipolar()));
+  }
+}
+
+TEST_P(BitVecPropertyTest, MaskedDotMatchesNaive) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 37 + 2);
+  for (int iter = 0; iter < 10; ++iter) {
+    const BitVec a = BitVec::random(n, rng);
+    const BitVec b = BitVec::random(n, rng);
+    const BitVec mask = BitVec::random(n, rng);
+    long long expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask.get(i) == 1) expected += a.get(i) * b.get(i);
+    }
+    EXPECT_EQ(a.masked_dot(b, mask), expected);
+  }
+}
+
+TEST_P(BitVecPropertyTest, HammingMatchesNaive) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 41 + 3);
+  const BitVec a = BitVec::random(n, rng);
+  const BitVec b = BitVec::random(n, rng);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.get(i) != b.get(i)) ++expected;
+  }
+  EXPECT_EQ(a.hamming(b), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVecPropertyTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           1000, 1472));
+
+TEST(BipolarAccumulatorTest, AddAndSign) {
+  BipolarAccumulator acc(3);
+  acc.add(BitVec::from_bipolar(std::vector<int>{1, -1, 1}));
+  acc.add(BitVec::from_bipolar(std::vector<int>{1, -1, -1}));
+  acc.add(BitVec::from_bipolar(std::vector<int>{-1, -1, 1}));
+  const BitVec s = acc.sign();
+  EXPECT_EQ(s.get(0), 1);
+  EXPECT_EQ(s.get(1), -1);
+  EXPECT_EQ(s.get(2), 1);
+}
+
+TEST(BipolarAccumulatorTest, SignOfZeroIsPlusOne) {
+  BipolarAccumulator acc(2);
+  acc.add(BitVec::from_bipolar(std::vector<int>{1, -1}));
+  acc.add(BitVec::from_bipolar(std::vector<int>{-1, 1}));
+  const BitVec s = acc.sign();
+  EXPECT_EQ(s.get(0), 1);  // sum 0 -> +1 (paper tiebreak)
+  EXPECT_EQ(s.get(1), 1);
+}
+
+TEST(BipolarAccumulatorTest, AddBoundEqualsBindThenAdd) {
+  Rng rng(12);
+  const std::size_t n = 200;
+  const BitVec a = BitVec::random(n, rng);
+  const BitVec b = BitVec::random(n, rng);
+  BipolarAccumulator acc1(n);
+  acc1.add_bound(a, b);
+  BipolarAccumulator acc2(n);
+  acc2.add(a.bind(b));
+  EXPECT_EQ(std::vector<long long>(acc1.sums().begin(), acc1.sums().end()),
+            std::vector<long long>(acc2.sums().begin(), acc2.sums().end()));
+}
+
+TEST(BipolarAccumulatorTest, AddMaskedSkipsLanes) {
+  BipolarAccumulator acc(3);
+  BitVec mask(3);
+  mask.set(1, 1);
+  acc.add_masked(BitVec::from_bipolar(std::vector<int>{1, 1, 1}), mask);
+  EXPECT_EQ(acc.sums()[0], 0);
+  EXPECT_EQ(acc.sums()[1], 1);
+  EXPECT_EQ(acc.sums()[2], 0);
+}
+
+TEST(BipolarAccumulatorTest, SizeMismatchThrows) {
+  BipolarAccumulator acc(3);
+  EXPECT_THROW(acc.add(BitVec(4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa

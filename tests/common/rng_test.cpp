@@ -1,0 +1,187 @@
+#include "univsa/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace univsa {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedProducesNonDegenerateState) {
+  Rng r(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.insert(r.next_u64());
+  EXPECT_GT(values.size(), 30u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRejectsInverted) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform(5.0, -3.0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng r(3);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    ++counts[r.uniform_index(7)];
+  }
+  for (const auto c : counts) {
+    EXPECT_GT(c, 700);  // roughly uniform: expectation 1000
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, UniformIndexRejectsZero) {
+  Rng r(3);
+  EXPECT_THROW(r.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng r(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalScaled) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0, 0.1);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(RngTest, NormalRejectsNegativeStddev) {
+  Rng r(13);
+  EXPECT_THROW(r.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RngTest, SignIsBalanced) {
+  Rng r(17);
+  int pos = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const int s = r.sign();
+    ASSERT_TRUE(s == 1 || s == -1);
+    if (s == 1) ++pos;
+  }
+  EXPECT_GT(pos, 4700);
+  EXPECT_LT(pos, 5300);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng r(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.bernoulli(0.2)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.2, 0.02);
+}
+
+TEST(RngTest, BernoulliRejectsBadProbability) {
+  Rng r(19);
+  EXPECT_THROW(r.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(r.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(23);
+  Rng b(23);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  }
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng r(29);
+  const auto p = r.permutation(100);
+  ASSERT_EQ(p.size(), 100u);
+  std::vector<std::size_t> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng r(31);
+  EXPECT_TRUE(r.permutation(0).empty());
+  const auto p = r.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng r(37);
+  const auto p = r.permutation(64);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 12u);  // expected ~1 fixed point
+}
+
+}  // namespace
+}  // namespace univsa

@@ -1,0 +1,162 @@
+#include "univsa/data/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "univsa/data/synthetic.h"
+
+namespace univsa::data {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  ASSERT_TRUE(os.is_open());
+  os << content;
+}
+
+TEST(CsvIoTest, DatasetRoundtrip) {
+  SyntheticSpec spec;
+  spec.name = "csv";
+  spec.domain = Domain::kFrequency;
+  spec.windows = 3;
+  spec.length = 5;
+  spec.classes = 2;
+  spec.levels = 16;
+  spec.train_count = 40;
+  spec.test_count = 10;
+  spec.seed = 5;
+  const SyntheticResult r = generate(spec);
+
+  const std::string path = temp_path("roundtrip.csv");
+  save_csv(r.train, path);
+  const Dataset loaded = load_csv(path, 3, 5, 2, 16);
+  ASSERT_EQ(loaded.size(), r.train.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.values(i), r.train.values(i));
+    EXPECT_EQ(loaded.label(i), r.train.label(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, HeaderLineIsSkipped) {
+  const std::string path = temp_path("header.csv");
+  write_file(path, "label,f0,f1\n0,1.5,2.5\n1,3.0,4.0\n");
+  const RawTable t = load_raw_csv(path);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.features, 2u);
+  EXPECT_EQ(t.labels[1], 1);
+  EXPECT_FLOAT_EQ(t.rows[0][1], 2.5f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, NoHeaderWorksToo) {
+  const std::string path = temp_path("noheader.csv");
+  write_file(path, "0,1.0\n1,2.0\n");
+  const RawTable t = load_raw_csv(path);
+  EXPECT_EQ(t.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, RaggedRowRejected) {
+  const std::string path = temp_path("ragged.csv");
+  write_file(path, "0,1.0,2.0\n1,3.0\n");
+  EXPECT_THROW(load_raw_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, NonNumericCellRejected) {
+  const std::string path = temp_path("nonnum.csv");
+  write_file(path, "0,1.0\n1,abc\n");
+  EXPECT_THROW(load_raw_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, HeaderAfterFirstLineRejected) {
+  const std::string path = temp_path("badheader.csv");
+  write_file(path, "0,1.0\nlabel,f0\n");
+  EXPECT_THROW(load_raw_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingFileRejected) {
+  EXPECT_THROW(load_raw_csv("/nonexistent/x.csv"),
+               std::invalid_argument);
+}
+
+TEST(CsvIoTest, BuildDatasetsFitsDiscretizerOnTrainOnly) {
+  RawTable train;
+  train.features = 4;
+  // Training values span [0, 10].
+  for (int i = 0; i < 20; ++i) {
+    train.rows.push_back({0.0f, 2.5f, 5.0f, 10.0f});
+    train.labels.push_back(i % 2);
+  }
+  RawTable test = train;
+  // Test outlier far outside the training range must clamp, not crash.
+  test.rows[0][3] = 500.0f;
+
+  CsvDatasetOptions options;
+  options.windows = 2;
+  options.length = 2;
+  options.levels = 8;
+  const CsvDatasetResult r = build_datasets(train, test, options);
+  EXPECT_EQ(r.train.classes(), 2u);
+  EXPECT_EQ(r.test.values(0)[3], 7);  // clamped to top level
+}
+
+TEST(CsvIoTest, BuildDatasetsPadsFeatures) {
+  RawTable train;
+  train.features = 3;
+  train.rows = {{0.0f, 1.0f, 2.0f}, {2.0f, 1.0f, 0.0f}};
+  train.labels = {0, 1};
+  RawTable test = train;
+
+  CsvDatasetOptions options;
+  options.windows = 2;
+  options.length = 3;  // target 6 > 3 -> pad
+  options.levels = 4;
+  options.pad_features = true;
+  const CsvDatasetResult r = build_datasets(train, test, options);
+  EXPECT_EQ(r.train.features(), 6u);
+  EXPECT_EQ(r.train.values(0)[4], 2);  // mid level of 4
+}
+
+TEST(CsvIoTest, BuildDatasetsInfersClassCount) {
+  RawTable train;
+  train.features = 1;
+  train.rows = {{0.0f}, {1.0f}, {2.0f}};
+  train.labels = {0, 1, 4};
+  RawTable test = train;
+  CsvDatasetOptions options;
+  options.windows = 1;
+  options.length = 1;
+  const CsvDatasetResult r = build_datasets(train, test, options);
+  EXPECT_EQ(r.train.classes(), 5u);
+}
+
+TEST(CsvIoTest, BuildDatasetsValidatesGeometry) {
+  RawTable t;
+  t.features = 3;
+  t.rows = {{0.0f, 1.0f, 2.0f}};
+  t.labels = {0};
+  CsvDatasetOptions options;
+  options.windows = 2;
+  options.length = 2;  // 4 != 3, no padding
+  EXPECT_THROW(build_datasets(t, t, options), std::invalid_argument);
+}
+
+TEST(CsvIoTest, LoadCsvValidatesLevels) {
+  const std::string path = temp_path("levels.csv");
+  write_file(path, "label,f0,f1\n0,3,17\n");
+  EXPECT_THROW(load_csv(path, 1, 2, 2, 16), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace univsa::data

@@ -1,0 +1,111 @@
+#include "univsa/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace univsa::data {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset d(2, 3, 2, 4);
+  d.add({0, 1, 2, 3, 0, 1}, 0);
+  d.add({3, 2, 1, 0, 3, 2}, 1);
+  d.add({1, 1, 1, 1, 1, 1}, 0);
+  d.add({2, 2, 2, 2, 2, 2}, 1);
+  return d;
+}
+
+TEST(DatasetTest, GeometryAndCounts) {
+  const Dataset d = tiny_dataset();
+  EXPECT_EQ(d.windows(), 2u);
+  EXPECT_EQ(d.length(), 3u);
+  EXPECT_EQ(d.features(), 6u);
+  EXPECT_EQ(d.classes(), 2u);
+  EXPECT_EQ(d.levels(), 4u);
+  EXPECT_EQ(d.size(), 4u);
+  const auto counts = d.class_counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(DatasetTest, AddValidatesSampleSizeLabelsAndLevels) {
+  Dataset d(2, 3, 2, 4);
+  EXPECT_THROW(d.add({0, 1, 2}, 0), std::invalid_argument);
+  EXPECT_THROW(d.add({0, 1, 2, 3, 0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(d.add({0, 1, 2, 3, 0, 4}, 0), std::invalid_argument);
+}
+
+TEST(DatasetTest, FloatMatrixNormalizesToUnitInterval) {
+  const Dataset d = tiny_dataset();
+  const Tensor m = d.to_float_matrix();
+  ASSERT_EQ(m.dim(0), 4u);
+  ASSERT_EQ(m.dim(1), 6u);
+  EXPECT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_EQ(m.at(0, 3), 1.0f);   // level 3 of 4 -> 1.0
+  EXPECT_NEAR(m.at(2, 0), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(DatasetTest, SubsetPreservesSamples) {
+  const Dataset d = tiny_dataset();
+  const Dataset s = d.subset({2, 0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.label(0), 0);
+  EXPECT_EQ(s.values(1), d.values(0));
+}
+
+TEST(DatasetTest, ShuffleKeepsPairsTogether) {
+  Dataset d(1, 1, 2, 10);
+  // value i paired with label i % 2
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    d.add({i}, static_cast<int>(i % 2));
+  }
+  Rng rng(1);
+  d.shuffle(rng);
+  EXPECT_EQ(d.size(), 10u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.label(i), static_cast<int>(d.values(i)[0] % 2));
+  }
+}
+
+TEST(DatasetTest, ShuffleIsDeterministic) {
+  Dataset a = tiny_dataset();
+  Dataset b = tiny_dataset();
+  Rng ra(5);
+  Rng rb(5);
+  a.shuffle(ra);
+  b.shuffle(rb);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.values(i), b.values(i));
+    EXPECT_EQ(a.label(i), b.label(i));
+  }
+}
+
+TEST(StratifiedSplitTest, PreservesClassProportions) {
+  Dataset d(1, 1, 2, 256);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    d.add({static_cast<std::uint16_t>(i % 256)}, 0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    d.add({static_cast<std::uint16_t>(i % 256)}, 1);
+  }
+  const TrainTestSplit split = stratified_split(d, 0.2, rng);
+  const auto test_counts = split.test.class_counts();
+  EXPECT_EQ(test_counts[0], 20u);
+  EXPECT_EQ(test_counts[1], 10u);
+  EXPECT_EQ(split.train.size() + split.test.size(), 150u);
+}
+
+TEST(StratifiedSplitTest, RejectsDegenerateFraction) {
+  const Dataset d = tiny_dataset();
+  Rng rng(1);
+  EXPECT_THROW(stratified_split(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(d, 1.0, rng), std::invalid_argument);
+}
+
+TEST(DomainTest, ToString) {
+  EXPECT_EQ(to_string(Domain::kTime), "Time");
+  EXPECT_EQ(to_string(Domain::kFrequency), "Frequency");
+}
+
+}  // namespace
+}  // namespace univsa::data

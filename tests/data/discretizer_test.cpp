@@ -1,0 +1,111 @@
+#include "univsa/data/discretizer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace univsa::data {
+namespace {
+
+TEST(DiscretizerTest, MapsRangeToAllLevels) {
+  Discretizer d(4, 0.0);
+  const std::vector<float> values = {0.0f, 1.0f, 2.0f, 3.0f, 4.0f};
+  d.fit(values);
+  EXPECT_EQ(d.transform(0.0f), 0);
+  EXPECT_EQ(d.transform(3.99f), 3);
+  EXPECT_EQ(d.transform(4.0f), 3);  // top edge clamps into last bin
+}
+
+TEST(DiscretizerTest, ClampsOutOfRange) {
+  Discretizer d(256, 0.0);
+  const std::vector<float> values = {-1.0f, 1.0f};
+  d.fit(values);
+  EXPECT_EQ(d.transform(-100.0f), 0);
+  EXPECT_EQ(d.transform(100.0f), 255);
+}
+
+TEST(DiscretizerTest, MonotonicInValue) {
+  Discretizer d(256);
+  std::vector<float> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<float>(i) * 0.01f);
+  }
+  d.fit(values);
+  std::uint16_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto level = d.transform(static_cast<float>(i) * 0.01f);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+TEST(DiscretizerTest, TrimIgnoresOutliers) {
+  Discretizer d(256, 0.01);
+  std::vector<float> values(1000, 0.0f);
+  for (int i = 0; i < 1000; ++i) {
+    values[i] = static_cast<float>(i % 100);
+  }
+  values[0] = 1e9f;  // single wild outlier
+  d.fit(values);
+  EXPECT_LT(d.hi(), 1000.0f);
+}
+
+TEST(DiscretizerTest, DegenerateConstantSignal) {
+  Discretizer d(16, 0.0);
+  const std::vector<float> values(10, 3.0f);
+  d.fit(values);
+  EXPECT_EQ(d.transform(3.0f), 0);  // lo == value -> first bin
+  EXPECT_NO_THROW(d.transform(100.0f));
+}
+
+TEST(DiscretizerTest, TransformBeforeFitThrows) {
+  Discretizer d;
+  EXPECT_THROW(d.transform(1.0f), std::invalid_argument);
+  EXPECT_THROW(d.inverse(0), std::invalid_argument);
+}
+
+TEST(DiscretizerTest, FitOnEmptyThrows) {
+  Discretizer d;
+  EXPECT_THROW(d.fit(std::vector<float>{}), std::invalid_argument);
+}
+
+TEST(DiscretizerTest, InverseReturnsBinMidpoint) {
+  Discretizer d(4, 0.0);
+  const std::vector<float> values = {0.0f, 4.0f};
+  d.fit(values);
+  EXPECT_NEAR(d.inverse(0), 0.5f, 1e-5f);
+  EXPECT_NEAR(d.inverse(3), 3.5f, 1e-5f);
+  EXPECT_THROW(d.inverse(4), std::invalid_argument);
+}
+
+TEST(DiscretizerTest, InverseThenTransformIsIdentityOnLevels) {
+  Discretizer d(256, 0.0);
+  std::vector<float> values;
+  for (int i = 0; i <= 1000; ++i) {
+    values.push_back(static_cast<float>(i) / 1000.0f);
+  }
+  d.fit(values);
+  for (std::uint16_t level = 0; level < 256; ++level) {
+    EXPECT_EQ(d.transform(d.inverse(level)), level);
+  }
+}
+
+TEST(DiscretizerTest, BatchTransformMatchesScalar) {
+  Discretizer d(8, 0.0);
+  const std::vector<float> fit_values = {0.0f, 8.0f};
+  d.fit(fit_values);
+  const std::vector<float> inputs = {0.5f, 3.3f, 7.9f};
+  const auto levels = d.transform(inputs);
+  ASSERT_EQ(levels.size(), 3u);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(levels[i], d.transform(inputs[i]));
+  }
+}
+
+TEST(DiscretizerTest, RejectsBadConstruction) {
+  EXPECT_THROW(Discretizer(1), std::invalid_argument);
+  EXPECT_THROW(Discretizer(256, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::data

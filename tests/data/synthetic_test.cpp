@@ -1,0 +1,158 @@
+#include "univsa/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/baselines/lda.h"
+#include "univsa/data/benchmarks.h"
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::data {
+namespace {
+
+SyntheticSpec small_spec(Domain domain) {
+  SyntheticSpec spec;
+  spec.name = "test";
+  spec.domain = domain;
+  spec.windows = 4;
+  spec.length = 8;
+  spec.classes = 3;
+  spec.train_count = 120;
+  spec.test_count = 60;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(SyntheticTest, ShapesAndCounts) {
+  const SyntheticResult r = generate(small_spec(Domain::kTime));
+  EXPECT_EQ(r.train.size(), 120u);
+  EXPECT_EQ(r.test.size(), 60u);
+  EXPECT_EQ(r.train.windows(), 4u);
+  EXPECT_EQ(r.train.length(), 8u);
+  EXPECT_EQ(r.train.classes(), 3u);
+  EXPECT_EQ(r.train.levels(), 256u);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const SyntheticResult a = generate(small_spec(Domain::kFrequency));
+  const SyntheticResult b = generate(small_spec(Domain::kFrequency));
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.values(i), b.train.values(i));
+    EXPECT_EQ(a.train.label(i), b.train.label(i));
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticSpec spec = small_spec(Domain::kTime);
+  const SyntheticResult a = generate(spec);
+  spec.seed = 100;
+  const SyntheticResult b = generate(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.train.size() && !any_diff; ++i) {
+    any_diff = a.train.values(i) != b.train.values(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, AllClassesPresent) {
+  const SyntheticResult r = generate(small_spec(Domain::kTime));
+  const auto counts = r.train.class_counts();
+  for (const auto c : counts) EXPECT_GT(c, 20u);
+}
+
+TEST(SyntheticTest, ImbalanceSkewsClassZero) {
+  SyntheticSpec spec = small_spec(Domain::kFrequency);
+  spec.classes = 2;
+  spec.imbalance = 0.5;
+  spec.train_count = 400;
+  const SyntheticResult r = generate(spec);
+  const auto counts = r.train.class_counts();
+  // p(class 0) = 0.75.
+  EXPECT_GT(counts[0], 260u);
+  EXPECT_LT(counts[1], 140u);
+}
+
+TEST(SyntheticTest, ValuesUseWideLevelRange) {
+  const SyntheticResult r = generate(small_spec(Domain::kTime));
+  std::uint16_t lo = 255;
+  std::uint16_t hi = 0;
+  for (std::size_t i = 0; i < r.train.size(); ++i) {
+    for (const auto v : r.train.values(i)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  EXPECT_LT(lo, 30);
+  EXPECT_GT(hi, 225);
+}
+
+TEST(SyntheticTest, ClassesAreLearnable) {
+  // A linear classifier must beat chance comfortably on both domains —
+  // the datasets are synthetic, not noise.
+  for (const Domain domain : {Domain::kTime, Domain::kFrequency}) {
+    SyntheticSpec spec = small_spec(domain);
+    spec.train_count = 300;
+    spec.noise = 0.6;
+    const SyntheticResult r = generate(spec);
+    baselines::LdaClassifier lda;
+    lda.fit(r.train.to_float_matrix(), r.train.labels(),
+            r.train.classes());
+    const double acc =
+        lda.accuracy(r.test.to_float_matrix(), r.test.labels());
+    EXPECT_GT(acc, 0.55) << "domain " << to_string(domain);
+  }
+}
+
+TEST(SyntheticTest, RejectsInvalidSpecs) {
+  SyntheticSpec spec = small_spec(Domain::kTime);
+  spec.classes = 1;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = small_spec(Domain::kTime);
+  spec.train_count = 0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = small_spec(Domain::kTime);
+  spec.imbalance = 1.0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+TEST(BenchmarksTest, TableOneGeometryIsVerbatim) {
+  const auto& all = table1_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+
+  const auto& eegmmi = find_benchmark("EEGMMI");
+  EXPECT_EQ(eegmmi.config.W, 16u);
+  EXPECT_EQ(eegmmi.config.L, 64u);
+  EXPECT_EQ(eegmmi.config.C, 2u);
+  EXPECT_EQ(eegmmi.config.D_H, 8u);
+  EXPECT_EQ(eegmmi.config.D_L, 2u);
+  EXPECT_EQ(eegmmi.config.D_K, 3u);
+  EXPECT_EQ(eegmmi.config.O, 95u);
+  EXPECT_EQ(eegmmi.config.Theta, 1u);
+  EXPECT_EQ(eegmmi.spec.domain, Domain::kTime);
+
+  const auto& isolet = find_benchmark("ISOLET");
+  EXPECT_EQ(isolet.config.C, 26u);
+  EXPECT_EQ(isolet.config.O, 22u);
+  EXPECT_EQ(isolet.config.Theta, 3u);
+
+  const auto& chb_ib = find_benchmark("CHB-IB");
+  EXPECT_EQ(chb_ib.config.D_K, 5u);
+  EXPECT_GT(chb_ib.spec.imbalance, 0.0);
+}
+
+TEST(BenchmarksTest, SpecAndConfigGeometriesAgree) {
+  for (const auto& b : table1_benchmarks()) {
+    EXPECT_EQ(b.spec.windows, b.config.W) << b.spec.name;
+    EXPECT_EQ(b.spec.length, b.config.L) << b.spec.name;
+    EXPECT_EQ(b.spec.classes, b.config.C) << b.spec.name;
+    EXPECT_EQ(b.spec.levels, b.config.M) << b.spec.name;
+    EXPECT_NO_THROW(b.config.validate());
+  }
+}
+
+TEST(BenchmarksTest, UnknownNameThrows) {
+  EXPECT_THROW(find_benchmark("MNIST"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::data

@@ -1,0 +1,157 @@
+// Tests for the C firmware emitter — including a fully executable
+// cross-check: the emitted C is compiled with the host compiler and its
+// predictions compared bit-exactly against the vsa::Model.
+#include "univsa/hw/c_emitter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace univsa::hw {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 5;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 6;
+  c.Theta = 2;
+  return c;
+}
+
+vsa::Model small_model(std::uint64_t seed = 13) {
+  Rng rng(seed);
+  return vsa::Model::random(small_config(), rng);
+}
+
+TEST(CEmitterTest, HeaderDeclaresApiAndGeometry) {
+  const vsa::Model m = small_model();
+  const CEmitter emitter(m);
+  const std::string h = emitter.header();
+  EXPECT_NE(h.find("#define univsa_N 20"), std::string::npos);
+  EXPECT_NE(h.find("#define univsa_CLASSES 3"), std::string::npos);
+  EXPECT_NE(h.find("int univsa_predict(const uint16_t *values);"),
+            std::string::npos);
+}
+
+TEST(CEmitterTest, SourceContainsAllTables) {
+  const vsa::Model m = small_model();
+  const CEmitter emitter(m);
+  const std::string src = emitter.source();
+  for (const char* table :
+       {"univsa_mask", "univsa_vh", "univsa_vl", "univsa_kern",
+        "univsa_f", "univsa_c"}) {
+    EXPECT_NE(src.find(table), std::string::npos) << table;
+  }
+}
+
+TEST(CEmitterTest, PrefixIsConfigurable) {
+  const vsa::Model m = small_model();
+  CEmitterOptions opts;
+  opts.prefix = "chb_detector";
+  const CEmitter emitter(m, opts);
+  EXPECT_NE(emitter.header().find("int chb_detector_predict"),
+            std::string::npos);
+  EXPECT_EQ(emitter.source().find("univsa_"), std::string::npos);
+}
+
+class CEmitterExecutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CEmitterExecutionTest, CompiledCMatchesModelBitExactly) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const vsa::Model m = vsa::Model::random(small_config(), rng);
+  // Per-seed prefix: the parameterized instances run concurrently under
+  // ctest and must not share generated file names.
+  const std::string tag = "cemit" + std::to_string(seed);
+  CEmitterOptions opts;
+  opts.prefix = tag;
+  const CEmitter emitter(m, opts);
+
+  const std::string dir = ::testing::TempDir();
+  emitter.write_files(dir, /*with_main=*/true);
+
+  // Compile the emitted translation units.
+  const std::string exe = dir + "/" + tag + "_demo";
+  const std::string cmd = "cc -std=c99 -O1 -I" + dir + " " + dir + "/" +
+                          tag + "_model.c " + dir + "/" + tag +
+                          "_main.c -o " + exe + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string compiler_output;
+  char buf[256];
+  while (fgets(buf, sizeof buf, pipe)) compiler_output += buf;
+  const int rc = pclose(pipe);
+  ASSERT_EQ(rc, 0) << "compiler said:\n" << compiler_output;
+
+  // Drive it with random samples and compare labels AND scores.
+  const vsa::ModelConfig& c = m.config();
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<std::uint16_t> values(c.features());
+    std::ostringstream run;
+    run << exe;
+    for (auto& v : values) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+      run << ' ' << v;
+    }
+    FILE* out = popen(run.str().c_str(), "r");
+    ASSERT_NE(out, nullptr);
+    std::string output;
+    while (fgets(buf, sizeof buf, out)) output += buf;
+    ASSERT_EQ(pclose(out), 0);
+
+    const vsa::Prediction expected = m.predict(values);
+    std::istringstream is(output);
+    std::string word;
+    int label = -1;
+    is >> word >> label;
+    ASSERT_EQ(word, "label");
+    EXPECT_EQ(label, expected.label) << output;
+    for (std::size_t cls = 0; cls < c.C; ++cls) {
+      std::string score_tag;
+      long long score = 0;
+      is >> score_tag >> score;
+      EXPECT_EQ(score, expected.scores[cls])
+          << "class " << cls << " trial " << trial;
+    }
+  }
+  std::remove((dir + "/" + tag + "_model.h").c_str());
+  std::remove((dir + "/" + tag + "_model.c").c_str());
+  std::remove((dir + "/" + tag + "_main.c").c_str());
+  std::remove(exe.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CEmitterExecutionTest,
+                         ::testing::Values(21, 22, 23));
+
+TEST(CEmitterTest, WriteFilesWithoutMain) {
+  const vsa::Model m = small_model();
+  const CEmitter emitter(m);
+  const std::string dir = ::testing::TempDir();
+  emitter.write_files(dir, false);
+  std::ifstream h(dir + "/univsa_model.h");
+  std::ifstream c(dir + "/univsa_model.c");
+  std::ifstream main_c(dir + "/univsa_main.c");
+  EXPECT_TRUE(h.is_open());
+  EXPECT_TRUE(c.is_open());
+  std::remove((dir + "/univsa_model.h").c_str());
+  std::remove((dir + "/univsa_model.c").c_str());
+}
+
+TEST(CEmitterTest, RejectsEmptyPrefix) {
+  const vsa::Model m = small_model();
+  CEmitterOptions opts;
+  opts.prefix = "";
+  EXPECT_THROW(CEmitter(m, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::hw

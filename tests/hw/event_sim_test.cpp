@@ -1,0 +1,130 @@
+#include "univsa/hw/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/benchmarks.h"
+
+namespace univsa::hw {
+namespace {
+
+EventSimConfig isolet_config(std::size_t fifo_depth = 8) {
+  EventSimConfig c;
+  c.cycles = stage_cycles(data::find_benchmark("ISOLET").config);
+  c.overhead = 1.0;
+  c.input_fifo_depth = fifo_depth;
+  return c;
+}
+
+TEST(EventSimTest, SparseArrivalsSeeFullPipelineLatency) {
+  const EventSimConfig c = isolet_config();
+  const std::size_t total = c.cycles.total();
+  // Arrivals far apart: every sample runs through an empty pipeline.
+  const EventSimResult r = simulate_periodic(c, 5, total * 3);
+  EXPECT_EQ(r.dropped, 0u);
+  for (const auto& s : r.samples) {
+    EXPECT_EQ(s.latency(), total);
+  }
+  EXPECT_DOUBLE_EQ(r.mean_latency_cycles, static_cast<double>(total));
+}
+
+TEST(EventSimTest, BackToBackMatchesAnalyticScheduler) {
+  const EventSimConfig c = isolet_config(64);
+  const std::size_t count = 8;
+  const EventSimResult ev = simulate_periodic(c, count, 0);
+  const StreamSchedule an = schedule_stream(c.cycles, count);
+  ASSERT_EQ(ev.dropped, 0u);
+  for (std::size_t k = 0; k < count; ++k) {
+    EXPECT_EQ(ev.samples[k].completion(),
+              an.samples[k].stages.back().end)
+        << "sample " << k;
+  }
+  EXPECT_EQ(ev.makespan, an.makespan);
+}
+
+TEST(EventSimTest, SteadyStateIntervalIsBottleneckStage) {
+  const EventSimConfig c = isolet_config(64);
+  const EventSimResult r = simulate_periodic(c, 10, 0);
+  const auto& s8 = r.samples[9];
+  const auto& s7 = r.samples[8];
+  EXPECT_EQ(s8.completion() - s7.completion(), c.cycles.interval());
+}
+
+TEST(EventSimTest, ArrivalsAtServiceRateAreAllAccepted) {
+  const EventSimConfig c = isolet_config(2);
+  const EventSimResult r =
+      simulate_periodic(c, 20, c.cycles.interval() + 1);
+  EXPECT_EQ(r.dropped, 0u);
+  // Latency stays bounded (no queue growth).
+  EXPECT_LT(r.mean_latency_cycles,
+            static_cast<double>(c.cycles.total() +
+                                3 * c.cycles.interval()));
+}
+
+TEST(EventSimTest, OverdrivenInputDropsAtSmallFifo) {
+  const EventSimConfig c = isolet_config(1);
+  // Arrivals 4x faster than the pipeline can serve.
+  const EventSimResult r =
+      simulate_periodic(c, 40, c.cycles.interval() / 4);
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_EQ(r.accepted + r.dropped, 40u);
+  // Accepted goodput cannot exceed the BiConv bound (with slack for the
+  // pipe fill at the start of the window).
+  const double bound =
+      static_cast<double>(r.makespan) /
+      static_cast<double>(c.cycles.interval());
+  EXPECT_LE(static_cast<double>(r.accepted), bound + 2.0);
+}
+
+TEST(EventSimTest, DeeperFifoAbsorbsBurstsWithoutDrops) {
+  // A burst of 6 simultaneous arrivals: FIFO of 2 drops some, FIFO of 8
+  // takes them all (one enters DVP immediately, five wait).
+  const std::vector<std::size_t> burst = {0, 0, 0, 0, 0, 0};
+  EventSimConfig small = isolet_config(2);
+  EventSimConfig big = isolet_config(8);
+  const EventSimResult rs = simulate_stream(small, burst);
+  const EventSimResult rb = simulate_stream(big, burst);
+  EXPECT_GT(rs.dropped, 0u);
+  EXPECT_EQ(rb.dropped, 0u);
+  EXPECT_LE(rb.max_fifo_occupancy, 8u);
+}
+
+TEST(EventSimTest, FifoOccupancyNeverExceedsDepth) {
+  const EventSimConfig c = isolet_config(3);
+  const EventSimResult r = simulate_periodic(c, 30, 100);
+  EXPECT_LE(r.max_fifo_occupancy, 3u);
+}
+
+TEST(EventSimTest, StageOrderIsPreservedPerSample) {
+  const EventSimConfig c = isolet_config();
+  const EventSimResult r = simulate_periodic(c, 6, 2000);
+  for (const auto& s : r.samples) {
+    if (s.dropped) continue;
+    for (std::size_t st = 1; st < kStageCount; ++st) {
+      EXPECT_GE(s.stages[st].start, s.stages[st - 1].end);
+    }
+    EXPECT_GE(s.stages[0].start, s.arrival);
+  }
+}
+
+TEST(EventSimTest, ValidatesInputs) {
+  const EventSimConfig c = isolet_config();
+  EXPECT_THROW(simulate_stream(c, {}), std::invalid_argument);
+  EXPECT_THROW(simulate_stream(c, {10, 5}), std::invalid_argument);
+  EventSimConfig bad = c;
+  bad.overhead = 0.5;
+  EXPECT_THROW(simulate_periodic(bad, 2, 10), std::invalid_argument);
+  EXPECT_THROW(simulate_periodic(c, 0, 10), std::invalid_argument);
+}
+
+TEST(EventSimTest, ThroughputHelperUsesAcceptedSamples) {
+  const EventSimConfig c = isolet_config(64);
+  const EventSimResult r = simulate_periodic(c, 10, 0);
+  const double tput = r.achieved_throughput(250.0);
+  EXPECT_GT(tput, 0.0);
+  // Bounded by the analytic streaming throughput (plus fill slack).
+  const double bound = 250.0e6 / static_cast<double>(c.cycles.interval());
+  EXPECT_LT(tput, bound * 1.01);
+}
+
+}  // namespace
+}  // namespace univsa::hw

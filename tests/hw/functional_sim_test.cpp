@@ -1,0 +1,149 @@
+#include "univsa/hw/functional_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/benchmarks.h"
+
+namespace univsa::hw {
+namespace {
+
+vsa::ModelConfig small_config(std::size_t d_k = 3) {
+  vsa::ModelConfig c;
+  c.W = 5;
+  c.L = 7;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = d_k;
+  c.O = 6;
+  c.Theta = 2;
+  return c;
+}
+
+std::vector<std::uint16_t> random_sample(const vsa::ModelConfig& c,
+                                         Rng& rng) {
+  std::vector<std::uint16_t> values(c.features());
+  for (auto& v : values) {
+    v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  }
+  return values;
+}
+
+TEST(InputFifoTest, FifoOrderAndUnderflow) {
+  InputFifo fifo;
+  fifo.push(3);
+  fifo.push(1);
+  EXPECT_EQ(fifo.size(), 2u);
+  EXPECT_EQ(fifo.pop(), 3);
+  EXPECT_EQ(fifo.pop(), 1);
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_THROW(fifo.pop(), std::invalid_argument);
+}
+
+class FunctionalEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FunctionalEquivalenceTest, DatapathMatchesSoftwareModelBitExactly) {
+  // Invariant (1): every accelerator stage equals the vsa::Model stage.
+  Rng rng(GetParam());
+  const vsa::ModelConfig c = small_config(GetParam() % 2 ? 3 : 5);
+  const vsa::Model model = vsa::Model::random(c, rng);
+  const Accelerator accel(model);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto values = random_sample(c, rng);
+    const RunTrace trace = accel.run(values);
+    const vsa::Prediction sw = model.predict(values);
+    EXPECT_EQ(trace.prediction.label, sw.label);
+    EXPECT_EQ(trace.prediction.scores, sw.scores);
+    EXPECT_EQ(trace.sample_vector, model.encode(values));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FunctionalEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FunctionalSimTest, CountedCyclesEqualClosedFormTimingModel) {
+  // Invariant (2): the executable machine and the analytic model agree.
+  Rng rng(42);
+  for (const std::size_t d_k : {3u, 5u}) {
+    const vsa::ModelConfig c = small_config(d_k);
+    const vsa::Model model = vsa::Model::random(c, rng);
+    const Accelerator accel(model);
+    const RunTrace trace = accel.run(random_sample(c, rng));
+    const StageCycles expected = stage_cycles(c);
+    EXPECT_EQ(trace.cycles.dvp, expected.dvp);
+    EXPECT_EQ(trace.cycles.biconv, expected.biconv);
+    EXPECT_EQ(trace.cycles.encoding, expected.encoding);
+    EXPECT_EQ(trace.cycles.similarity, expected.similarity);
+  }
+}
+
+TEST(FunctionalSimTest, TableOneConfigCyclesMatchFormulas) {
+  // Run the real ISOLET-scale geometry once through the machine.
+  Rng rng(7);
+  const vsa::ModelConfig c = data::find_benchmark("ISOLET").config;
+  const vsa::Model model = vsa::Model::random(c, rng);
+  const Accelerator accel(model);
+  const RunTrace trace = accel.run(random_sample(c, rng));
+  EXPECT_EQ(trace.cycles.biconv, 640u * 3u * 3u);
+  const StageCycles expected = stage_cycles(c);
+  EXPECT_EQ(trace.cycles.dvp, expected.dvp);
+  EXPECT_EQ(trace.cycles.encoding, expected.encoding);
+  EXPECT_EQ(trace.cycles.similarity, expected.similarity);
+}
+
+TEST(FunctionalSimTest, DoubleBufferSwapsOncePerOutputRow) {
+  Rng rng(9);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model model = vsa::Model::random(c, rng);
+  const Accelerator accel(model);
+  const RunTrace trace = accel.run(random_sample(c, rng));
+  EXPECT_EQ(trace.buffer_swaps, c.W);
+}
+
+TEST(FunctionalSimTest, AccuracyMatchesSoftwareModel) {
+  Rng rng(10);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model model = vsa::Model::random(c, rng);
+  const Accelerator accel(model);
+
+  data::Dataset d(c.W, c.L, c.C, c.M);
+  for (int i = 0; i < 30; ++i) {
+    d.add(random_sample(c, rng), static_cast<int>(rng.uniform_index(c.C)));
+  }
+  EXPECT_EQ(accel.accuracy(d), model.accuracy(d));
+}
+
+TEST(FunctionalSimTest, RejectsShortSample) {
+  Rng rng(11);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model model = vsa::Model::random(c, rng);
+  const Accelerator accel(model);
+  EXPECT_THROW(accel.run(std::vector<std::uint16_t>(3, 0)),
+               std::invalid_argument);
+}
+
+TEST(DvpUnitTest, SequentialOneFeaturePerCycle) {
+  Rng rng(12);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model model = vsa::Model::random(c, rng);
+  TimingParams params;
+  const DvpUnit unit(model, params);
+  InputFifo fifo;
+  const auto values = random_sample(c, rng);
+  for (const auto v : values) fifo.push(v);
+  const DvpResult r = unit.process(fifo);
+  EXPECT_EQ(r.cycles, c.features() + params.dvp_pipeline_depth);
+  EXPECT_TRUE(fifo.empty());
+  // Output equals the software projection.
+  const auto sw = model.project_values(values);
+  for (std::size_t i = 0; i < sw.size(); ++i) {
+    EXPECT_EQ(r.volume[i].bits, sw[i].bits);
+    EXPECT_EQ(r.volume[i].valid, sw[i].valid);
+  }
+}
+
+}  // namespace
+}  // namespace univsa::hw

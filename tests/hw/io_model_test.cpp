@@ -1,0 +1,84 @@
+#include "univsa/hw/io_model.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/benchmarks.h"
+
+namespace univsa::hw {
+namespace {
+
+TEST(AxiTransferTest, BeatAndBurstArithmetic) {
+  AxiParams p;
+  p.data_width_bits = 32;  // 4 bytes/beat
+  p.max_burst_beats = 16;
+  p.setup_cycles_per_burst = 4;
+  const TransferEstimate t = estimate_transfer(100, p);
+  EXPECT_EQ(t.beats, 25u);          // ceil(100/4)
+  EXPECT_EQ(t.bursts, 2u);          // ceil(25/16)
+  EXPECT_EQ(t.cycles, 25u + 8u);
+}
+
+TEST(AxiTransferTest, SingleByteStillCostsABurst) {
+  const TransferEstimate t = estimate_transfer(1);
+  EXPECT_EQ(t.beats, 1u);
+  EXPECT_EQ(t.bursts, 1u);
+  EXPECT_GT(t.cycles, 1u);
+}
+
+TEST(AxiTransferTest, WiderBusFewerCycles) {
+  AxiParams narrow;
+  narrow.data_width_bits = 32;
+  AxiParams wide;
+  wide.data_width_bits = 128;
+  EXPECT_LT(estimate_transfer(4096, wide).cycles,
+            estimate_transfer(4096, narrow).cycles);
+}
+
+TEST(AxiTransferTest, MicrosecondsScaleWithClock) {
+  AxiParams slow;
+  slow.bus_mhz = 100.0;
+  AxiParams fast;
+  fast.bus_mhz = 200.0;
+  EXPECT_NEAR(estimate_transfer(1000, slow).microseconds,
+              2.0 * estimate_transfer(1000, fast).microseconds, 1e-9);
+}
+
+TEST(AxiTransferTest, ValidatesParams) {
+  AxiParams bad;
+  bad.data_width_bits = 12;
+  EXPECT_THROW(estimate_transfer(10, bad), std::invalid_argument);
+  bad = AxiParams{};
+  bad.bus_mhz = 0.0;
+  EXPECT_THROW(estimate_transfer(10, bad), std::invalid_argument);
+}
+
+TEST(IoReportTest, LinkIsCoveredByComputeOnEveryBenchmark) {
+  // The paper's implicit assumption: AXI input/output transfers hide
+  // under the BiConv-bound streaming interval.
+  for (const auto& b : data::table1_benchmarks()) {
+    const IoReport r = io_report_for(b.config);
+    EXPECT_GT(r.io_us, 0.0) << b.spec.name;
+    EXPECT_LT(r.io_fraction, 1.0) << b.spec.name << " io " << r.io_us
+                                  << "us vs compute "
+                                  << r.compute_interval_us << "us";
+  }
+}
+
+TEST(IoReportTest, InputDominatesOutput) {
+  // W·L bytes in vs C scores out: input is the bigger transfer on all
+  // Table I tasks except none.
+  for (const auto& b : data::table1_benchmarks()) {
+    const IoReport r = io_report_for(b.config);
+    EXPECT_GE(r.input.bytes, r.output.bytes) << b.spec.name;
+  }
+}
+
+TEST(IoReportTest, InputBytesAreWTimesL) {
+  const auto config = data::find_benchmark("EEGMMI").config;
+  const IoReport r = io_report_for(config);
+  EXPECT_EQ(r.input.bytes, 1024u);
+  EXPECT_EQ(r.output.bytes, 2u * 8u + 1u);
+}
+
+}  // namespace
+}  // namespace univsa::hw

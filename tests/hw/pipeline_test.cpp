@@ -1,0 +1,97 @@
+#include "univsa/hw/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/benchmarks.h"
+
+namespace univsa::hw {
+namespace {
+
+StageCycles isolet_cycles() {
+  return stage_cycles(data::find_benchmark("ISOLET").config);
+}
+
+TEST(PipelineTest, StagesOfOneSampleAreSequential) {
+  const StreamSchedule s = schedule_stream(isolet_cycles(), 3);
+  for (const auto& sample : s.samples) {
+    for (std::size_t st = 1; st < kStageCount; ++st) {
+      EXPECT_GE(sample.stages[st].start, sample.stages[st - 1].end);
+    }
+  }
+}
+
+TEST(PipelineTest, NoStageProcessesTwoSamplesAtOnce) {
+  const StreamSchedule s = schedule_stream(isolet_cycles(), 5);
+  for (std::size_t st = 0; st < kStageCount; ++st) {
+    for (std::size_t k = 1; k < s.samples.size(); ++k) {
+      EXPECT_GE(s.samples[k].stages[st].start,
+                s.samples[k - 1].stages[st].end)
+          << "stage " << st << " sample " << k;
+    }
+  }
+}
+
+TEST(PipelineTest, SteadyIntervalEqualsSlowestStage) {
+  const StageCycles c = isolet_cycles();
+  const StreamSchedule s = schedule_stream(c, 6);
+  EXPECT_EQ(s.steady_interval(), c.interval());
+}
+
+TEST(PipelineTest, OverheadScalesDurations) {
+  const StageCycles c = isolet_cycles();
+  const StreamSchedule plain = schedule_stream(c, 4);
+  const StreamSchedule scaled = schedule_stream(c, 4, 1.5625);
+  EXPECT_GT(scaled.makespan, plain.makespan);
+  EXPECT_NEAR(static_cast<double>(scaled.steady_interval()),
+              1.5625 * static_cast<double>(plain.steady_interval()), 2.0);
+}
+
+TEST(PipelineTest, PipeliningBeatsSequentialExecution) {
+  // Fig. 5 bottom-right: with streaming inputs the makespan approaches
+  // count × BiConv, far below count × total.
+  const StageCycles c = isolet_cycles();
+  const std::size_t count = 10;
+  const StreamSchedule s = schedule_stream(c, count);
+  EXPECT_LT(s.makespan, count * c.total());
+  EXPECT_LE(s.makespan, c.total() + (count - 1) * c.interval());
+}
+
+TEST(PipelineTest, SingleSampleMakespanIsStageSum) {
+  const StageCycles c = isolet_cycles();
+  const StreamSchedule s = schedule_stream(c, 1);
+  EXPECT_EQ(s.makespan, c.total());
+}
+
+TEST(PipelineTest, AchievedThroughputApproachesSteadyState) {
+  const StageCycles c = isolet_cycles();
+  const StreamSchedule s = schedule_stream(c, 100, 1.5625);
+  const double achieved = s.achieved_throughput(250.0);
+  const double steady =
+      250.0e6 / (1.5625 * static_cast<double>(c.interval()));
+  EXPECT_GT(achieved, 0.9 * steady);
+  EXPECT_LE(achieved, steady * 1.001);
+}
+
+TEST(PipelineTest, GanttRendersAllRows) {
+  const StreamSchedule s = schedule_stream(isolet_cycles(), 3);
+  const std::string g = render_gantt(s, 60);
+  // One row per (sample, stage) plus the header line.
+  std::size_t lines = 0;
+  for (const char ch : g) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1u + 3u * kStageCount);
+  EXPECT_NE(g.find("BiConv"), std::string::npos);
+}
+
+TEST(PipelineTest, ValidatesArguments) {
+  const StageCycles c = isolet_cycles();
+  EXPECT_THROW(schedule_stream(c, 0), std::invalid_argument);
+  EXPECT_THROW(schedule_stream(c, 2, 0.5), std::invalid_argument);
+  const StreamSchedule one = schedule_stream(c, 1);
+  EXPECT_THROW(one.steady_interval(), std::invalid_argument);
+  EXPECT_THROW(render_gantt(one, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::hw

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "univsa/data/benchmarks.h"
+#include "univsa/hw/accelerator.h"
+#include "univsa/hw/power_model.h"
+#include "univsa/hw/resource_model.h"
+#include "univsa/report/paper_constants.h"
+
+namespace univsa::hw {
+namespace {
+
+TEST(ResourceModelTest, CalibrationAnchorsIsoletRow) {
+  // Table III compares on the ISOLET configuration at 7.92 kLUTs; the
+  // global scale is calibrated to that row.
+  const auto config = data::find_benchmark("ISOLET").config;
+  const ResourceEstimate e = estimate_resources(config);
+  EXPECT_NEAR(e.total_luts(), 7920.0, 1.0);
+}
+
+TEST(ResourceModelTest, NoDspsAnywhere) {
+  // The datapath is XNOR/popcount — Table IV reports 0 DSPs on all tasks.
+  for (const auto& b : data::table1_benchmarks()) {
+    EXPECT_EQ(estimate_resources(b.config).dsps, 0u) << b.spec.name;
+  }
+}
+
+TEST(ResourceModelTest, BramsMatchTableFourOnMostTasks) {
+  // Eq. 5 bits in 36-kbit blocks reproduces Table IV's BRAM column for
+  // 5 of 6 tasks (ISOLET rounds to 2 where the paper reports 1 —
+  // presumably LUTRAM placement; see EXPERIMENTS.md).
+  for (const auto& paper : report::paper_table4()) {
+    const auto config = data::find_benchmark(paper.task).config;
+    const std::size_t model = estimate_resources(config).brams;
+    if (paper.task == "ISOLET") {
+      EXPECT_LE(model, paper.brams + 1) << paper.task;
+    } else {
+      EXPECT_EQ(model, paper.brams) << paper.task;
+    }
+  }
+}
+
+TEST(ResourceModelTest, BiConvDominatesLuts) {
+  // Fig. 6's headline: BiConv consumes the most resources of any stage.
+  for (const auto& b : data::table1_benchmarks()) {
+    const ResourceEstimate e = estimate_resources(b.config);
+    EXPECT_GT(e.biconv_luts, e.dvp_luts) << b.spec.name;
+    EXPECT_GT(e.biconv_luts, e.encoding_luts) << b.spec.name;
+    EXPECT_GT(e.biconv_luts, e.similarity_luts) << b.spec.name;
+  }
+}
+
+TEST(ResourceModelTest, LutsGrowWithEqSixTerm) {
+  vsa::ModelConfig c = data::find_benchmark("HAR").config;
+  const double base = estimate_resources(c).total_luts();
+  c.O *= 2;
+  const double doubled_o = estimate_resources(c).total_luts();
+  EXPECT_GT(doubled_o, base);
+  c = data::find_benchmark("HAR").config;
+  c.D_K = 5;
+  EXPECT_GT(estimate_resources(c).total_luts(), base);
+}
+
+TEST(ResourceModelTest, StageBreakdownSumsToTotal) {
+  const auto config = data::find_benchmark("EEGMMI").config;
+  const ResourceEstimate e = estimate_resources(config);
+  const double sum = e.dvp_luts + e.biconv_luts + e.encoding_luts +
+                     e.similarity_luts + e.buffer_luts + e.control_luts;
+  EXPECT_DOUBLE_EQ(sum, e.total_luts());
+}
+
+TEST(PowerModelTest, AllTasksUnderHalfWatt) {
+  // Sec. V-C headline: every task under 0.5 W — the BCI feasibility line
+  // is 1.5 W (SVM survey [15]).
+  for (const auto& b : data::table1_benchmarks()) {
+    const double p = estimate_power_w(b.config);
+    EXPECT_GT(p, 0.0) << b.spec.name;
+    EXPECT_LT(p, 0.5) << b.spec.name;
+  }
+}
+
+TEST(PowerModelTest, ScalesWithClock) {
+  const auto config = data::find_benchmark("HAR").config;
+  const ResourceEstimate e = estimate_resources(config);
+  const double full = estimate_power_w(e, 250.0);
+  const double half = estimate_power_w(e, 125.0);
+  PowerParams params;
+  EXPECT_NEAR(full - params.static_w, 2.0 * (half - params.static_w),
+              1e-9);
+}
+
+TEST(PowerModelTest, MoreLutsMorePower) {
+  ResourceEstimate small;
+  small.biconv_luts = 1000.0;
+  ResourceEstimate large;
+  large.biconv_luts = 30000.0;
+  EXPECT_GT(estimate_power_w(large), estimate_power_w(small));
+}
+
+TEST(HardwareReportTest, ComposesAllModels) {
+  const auto config = data::find_benchmark("ISOLET").config;
+  const HardwareReport r = report_for(config);
+  EXPECT_NEAR(r.memory_kb, 8.36, 0.005);        // Table II column
+  EXPECT_NEAR(r.kiloluts, 7.92, 0.01);          // Table III row
+  EXPECT_NEAR(r.throughput_kilo, 27.78, 0.5);   // Table IV row
+  EXPECT_NEAR(r.latency_ms, 0.044, 0.004);      // Table IV row
+  EXPECT_EQ(r.dsps, 0u);
+  EXPECT_GT(r.power_w, 0.0);
+  EXPECT_LT(r.power_w, 0.5);
+}
+
+TEST(HardwareReportTest, LowerClockLowersThroughput) {
+  const auto config = data::find_benchmark("HAR").config;
+  TimingParams slow;
+  slow.clock_mhz = 100.0;
+  const HardwareReport fast = report_for(config);
+  const HardwareReport slower = report_for(config, slow);
+  EXPECT_GT(fast.throughput_kilo, slower.throughput_kilo);
+  EXPECT_LT(fast.latency_ms, slower.latency_ms);
+}
+
+TEST(ResourceModelTest, UniVsaWellBelowTableThreeCompetitors) {
+  // Sec. V-C ①: compared with SVM/KNN/BNN/QNN implementations (31.85k,
+  // 135k, 51.44k, 51.78k LUTs), UniVSA uses a fraction of the logic.
+  const auto config = data::find_benchmark("ISOLET").config;
+  const double luts = estimate_resources(config).total_luts();
+  EXPECT_LT(luts, 0.5 * 31850.0);
+}
+
+}  // namespace
+}  // namespace univsa::hw

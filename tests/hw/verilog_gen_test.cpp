@@ -1,0 +1,245 @@
+#include "univsa/hw/verilog_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace univsa::hw {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig c;
+  c.W = 3;
+  c.L = 4;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 4;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+vsa::Model small_model(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return vsa::Model::random(small_config(), rng);
+}
+
+std::vector<std::uint16_t> probe_sample(const vsa::ModelConfig& c,
+                                        std::uint64_t seed = 9) {
+  Rng rng(seed);
+  std::vector<std::uint16_t> values(c.features());
+  for (auto& v : values) {
+    v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  }
+  return values;
+}
+
+TEST(VerilogGenTest, EmitsAllFiveModules) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  const auto names = verilog_module_names(gen.emit_all());
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "univsa_value_rom");
+  EXPECT_EQ(names[1], "univsa_biconv");
+  EXPECT_EQ(names[2], "univsa_encode");
+  EXPECT_EQ(names[3], "univsa_similarity");
+  EXPECT_EQ(names[4], "univsa_top");
+}
+
+TEST(VerilogGenTest, PrefixIsConfigurable) {
+  const vsa::Model m = small_model();
+  VerilogOptions opts;
+  opts.prefix = "bci_core";
+  const VerilogGenerator gen(m, opts);
+  const auto names = verilog_module_names(gen.emit_all());
+  for (const auto& n : names) {
+    EXPECT_EQ(n.rfind("bci_core_", 0), 0u) << n;
+  }
+}
+
+TEST(VerilogGenTest, EveryEmittedUnitIsStructurallyBalanced) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  for (const std::string& src :
+       {gen.value_rom(), gen.biconv(), gen.encode(), gen.similarity(),
+        gen.top(), gen.emit_all(),
+        gen.testbench(probe_sample(m.config()))}) {
+    const auto problems = verilog_structural_problems(src);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(VerilogGenTest, CheckerDetectsImbalance) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  std::string broken = gen.value_rom();
+  const std::size_t pos = broken.rfind("endmodule");
+  ASSERT_NE(pos, std::string::npos);
+  broken.erase(pos, 9);
+  EXPECT_FALSE(verilog_structural_problems(broken).empty());
+  EXPECT_FALSE(
+      verilog_structural_problems("wire x; // no module").empty());
+}
+
+TEST(VerilogGenTest, ValueRomEncodesTheTables) {
+  // Build a model whose V_H row 0 is a known pattern and check the
+  // emitted case entry bit-for-bit.
+  const vsa::ModelConfig c = small_config();
+  Rng rng(1);
+  Tensor v_high = Tensor::rand_sign({c.M, c.D_H}, rng);
+  // Row 0 = (+1, -1, +1, +1) -> bits 1101 (lane 0 = LSB) = 4'hd.
+  v_high.at(0, 0) = 1.0f;
+  v_high.at(0, 1) = -1.0f;
+  v_high.at(0, 2) = 1.0f;
+  v_high.at(0, 3) = 1.0f;
+  const std::size_t kk = c.D_K * c.D_K;
+  const vsa::Model m(
+      c, std::vector<std::uint8_t>(c.features(), 1), v_high,
+      Tensor::rand_sign({c.M, c.D_L}, rng),
+      Tensor::rand_sign({c.O, c.D_H * kk}, rng),
+      Tensor::rand_sign({c.O, c.sample_dim()}, rng),
+      Tensor::rand_sign({c.Theta * c.C, c.sample_dim()}, rng));
+  const VerilogGenerator gen(m);
+  const std::string rom = gen.value_rom();
+  EXPECT_NE(rom.find("4'd0: vh_lookup = 4'hd;"), std::string::npos)
+      << rom.substr(0, 800);
+}
+
+TEST(VerilogGenTest, MaskRomListsOnlyHighFeatures) {
+  const vsa::ModelConfig c = small_config();
+  Rng rng(2);
+  std::vector<std::uint8_t> mask(c.features(), 0);
+  mask[3] = 1;
+  mask[7] = 1;
+  const std::size_t kk = c.D_K * c.D_K;
+  const vsa::Model m(c, mask, Tensor::rand_sign({c.M, c.D_H}, rng),
+                     Tensor::rand_sign({c.M, c.D_L}, rng),
+                     Tensor::rand_sign({c.O, c.D_H * kk}, rng),
+                     Tensor::rand_sign({c.O, c.sample_dim()}, rng),
+                     Tensor::rand_sign({c.Theta * c.C, c.sample_dim()},
+                                       rng));
+  const VerilogGenerator gen(m);
+  const std::string rom = gen.value_rom();
+  EXPECT_NE(rom.find("4'd3: mask_lookup = 1'b1;"), std::string::npos);
+  EXPECT_NE(rom.find("4'd7: mask_lookup = 1'b1;"), std::string::npos);
+  EXPECT_EQ(rom.find("4'd2: mask_lookup = 1'b1;"), std::string::npos);
+}
+
+TEST(VerilogGenTest, BiconvBakesOneKernelPerChannel) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  const std::string conv = gen.biconv();
+  for (std::size_t o = 0; o < m.config().O; ++o) {
+    EXPECT_NE(conv.find("KERNEL_" + std::to_string(o) + " = "),
+              std::string::npos);
+  }
+  // Patch width D_H*D_K*D_K = 36 bits.
+  EXPECT_NE(conv.find("[35:0] patch_bits"), std::string::npos);
+}
+
+TEST(VerilogGenTest, SimilarityHasOneBankPerVoterAndClass) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  const std::string sim = gen.similarity();
+  for (std::size_t t = 0; t < m.config().Theta; ++t) {
+    for (std::size_t cls = 0; cls < m.config().C; ++cls) {
+      const std::string fn = "cls_lookup_" + std::to_string(t) + "_" +
+                             std::to_string(cls);
+      EXPECT_NE(sim.find("function " + fn), std::string::npos) << fn;
+      EXPECT_NE(sim.find("cnt_" + std::to_string(t) + "_" +
+                         std::to_string(cls)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(VerilogGenTest, TestbenchEmbedsExpectedLabelFromFunctionalModel) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  const auto sample = probe_sample(m.config());
+  const int expected = m.predict(sample).label;
+  const std::string tb = gen.testbench(sample);
+  EXPECT_NE(tb.find("expected=" + std::to_string(expected)),
+            std::string::npos);
+  // Every sample value appears in the memory init.
+  EXPECT_NE(tb.find("sample_mem[0] = 4'd" + std::to_string(sample[0])),
+            std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+}
+
+TEST(VerilogGenTest, TestbenchValidatesSampleSize) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  EXPECT_THROW(gen.testbench(std::vector<std::uint16_t>(3, 0)),
+               std::invalid_argument);
+}
+
+TEST(VerilogGenTest, WriteFilesProducesRtlAndTestbench) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  const std::string dir = ::testing::TempDir();
+  gen.write_files(dir, probe_sample(m.config()));
+
+  std::ifstream rtl(dir + "/univsa_rtl.v");
+  ASSERT_TRUE(rtl.is_open());
+  std::string rtl_text((std::istreambuf_iterator<char>(rtl)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_TRUE(verilog_structural_problems(rtl_text).empty());
+  EXPECT_EQ(verilog_module_names(rtl_text).size(), 5u);
+
+  std::ifstream tb(dir + "/univsa_tb.v");
+  ASSERT_TRUE(tb.is_open());
+  std::string tb_text((std::istreambuf_iterator<char>(tb)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(verilog_module_names(tb_text).size(), 1u);
+  std::remove((dir + "/univsa_rtl.v").c_str());
+  std::remove((dir + "/univsa_tb.v").c_str());
+}
+
+TEST(VerilogGenTest, TopWiresEveryUnit) {
+  const vsa::Model m = small_model();
+  const VerilogGenerator gen(m);
+  const std::string top = gen.top();
+  EXPECT_NE(top.find("univsa_value_rom u_rom"), std::string::npos);
+  EXPECT_NE(top.find("univsa_biconv u_conv"), std::string::npos);
+  EXPECT_NE(top.find("univsa_encode u_enc"), std::string::npos);
+  EXPECT_NE(top.find("univsa_similarity u_sim"), std::string::npos);
+}
+
+TEST(VerilogGenTest, TableOneScaleModelEmits) {
+  // The full ISOLET-scale model must emit without issue (the ROM cases
+  // are thousands of lines; this guards size-dependent arithmetic).
+  Rng rng(3);
+  vsa::ModelConfig c;
+  c.W = 16;
+  c.L = 40;
+  c.C = 26;
+  c.M = 256;
+  c.D_H = 4;
+  c.D_L = 4;
+  c.D_K = 3;
+  c.O = 22;
+  c.Theta = 3;
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const VerilogGenerator gen(m);
+  const std::string all = gen.emit_all();
+  EXPECT_TRUE(verilog_structural_problems(all).empty());
+  EXPECT_GT(all.size(), 100000u);  // the baked model is the majority
+}
+
+TEST(VerilogGenTest, RejectsBadOptions) {
+  const vsa::Model m = small_model();
+  VerilogOptions opts;
+  opts.prefix = "";
+  EXPECT_THROW(VerilogGenerator(m, opts), std::invalid_argument);
+  opts.prefix = "x";
+  opts.acc_width = 4;
+  EXPECT_THROW(VerilogGenerator(m, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::hw

@@ -1,0 +1,137 @@
+// End-to-end pipeline test: synthesize data -> select mask -> train the
+// partial BNN -> extract the deployed binary model -> serialize ->
+// reload -> run on the hardware functional simulator. Every hand-off in
+// that chain must preserve predictions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "univsa/data/synthetic.h"
+#include "univsa/hw/accelerator.h"
+#include "univsa/hw/functional_sim.h"
+#include "univsa/hw/pipeline.h"
+#include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/memory_model.h"
+#include "univsa/vsa/serialization.h"
+
+namespace univsa {
+namespace {
+
+struct Pipeline {
+  data::SyntheticResult data;
+  vsa::ModelConfig config;
+  train::UniVsaTrainResult trained;
+};
+
+Pipeline run_pipeline() {
+  data::SyntheticSpec spec;
+  spec.name = "e2e";
+  spec.domain = data::Domain::kFrequency;
+  spec.windows = 6;
+  spec.length = 10;
+  spec.classes = 3;
+  spec.levels = 64;
+  spec.train_count = 200;
+  spec.test_count = 100;
+  spec.noise = 0.6;
+  spec.seed = 77;
+
+  vsa::ModelConfig config;
+  config.W = 6;
+  config.L = 10;
+  config.C = 3;
+  config.M = 64;
+  config.D_H = 8;
+  config.D_L = 2;
+  config.D_K = 3;
+  config.O = 8;
+  config.Theta = 3;
+
+  train::TrainOptions options;
+  options.epochs = 12;
+  options.seed = 5;
+
+  Pipeline p{data::generate(spec), config, {}};
+  p.trained = train::train_univsa(config, p.data.train, options);
+  return p;
+}
+
+const Pipeline& pipeline() {
+  static const Pipeline p = run_pipeline();
+  return p;
+}
+
+TEST(EndToEndTest, TrainedModelBeatsChance) {
+  const auto& p = pipeline();
+  const double acc = p.trained.model.accuracy(p.data.test);
+  EXPECT_GT(acc, 0.6) << "3-class chance is 0.33";
+}
+
+TEST(EndToEndTest, SerializationPreservesEveryPrediction) {
+  const auto& p = pipeline();
+  const std::string path = ::testing::TempDir() + "/e2e.uvsa";
+  vsa::ModelIo::save_file(p.trained.model, path);
+  const vsa::Model reloaded = vsa::ModelIo::load_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(reloaded, p.trained.model);
+  for (std::size_t i = 0; i < p.data.test.size(); ++i) {
+    EXPECT_EQ(reloaded.predict(p.data.test.values(i)).label,
+              p.trained.model.predict(p.data.test.values(i)).label);
+  }
+}
+
+TEST(EndToEndTest, HardwareSimulatorMatchesDeployedModel) {
+  const auto& p = pipeline();
+  const hw::Accelerator accel(p.trained.model);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto& values = p.data.test.values(i);
+    const hw::RunTrace trace = accel.run(values);
+    const vsa::Prediction sw = p.trained.model.predict(values);
+    ASSERT_EQ(trace.prediction.label, sw.label) << "sample " << i;
+    ASSERT_EQ(trace.prediction.scores, sw.scores) << "sample " << i;
+  }
+}
+
+TEST(EndToEndTest, HardwareCyclesMatchTimingModel) {
+  const auto& p = pipeline();
+  const hw::Accelerator accel(p.trained.model);
+  const hw::RunTrace trace = accel.run(p.data.test.values(0));
+  const hw::StageCycles expected = hw::stage_cycles(p.config);
+  EXPECT_EQ(trace.cycles.dvp, expected.dvp);
+  EXPECT_EQ(trace.cycles.biconv, expected.biconv);
+  EXPECT_EQ(trace.cycles.encoding, expected.encoding);
+  EXPECT_EQ(trace.cycles.similarity, expected.similarity);
+}
+
+TEST(EndToEndTest, ModelPayloadTracksEquationFive) {
+  const auto& p = pipeline();
+  const double kb =
+      static_cast<double>(vsa::ModelIo::payload_bytes(p.trained.model)) /
+      1000.0;
+  EXPECT_NEAR(kb, vsa::memory_kb(p.config), 0.01);
+}
+
+TEST(EndToEndTest, StreamingScheduleSustainsThroughput) {
+  const auto& p = pipeline();
+  const hw::StageCycles cycles = hw::stage_cycles(p.config);
+  const hw::StreamSchedule schedule =
+      hw::schedule_stream(cycles, 20, hw::TimingParams{}.controller_overhead);
+  EXPECT_EQ(schedule.samples.size(), 20u);
+  // Sustained rate within 20% of the closed-form throughput.
+  const double achieved = schedule.achieved_throughput(250.0);
+  const double model = hw::throughput_per_s(p.config);
+  EXPECT_GT(achieved, 0.8 * model);
+}
+
+TEST(EndToEndTest, HardwareReportIsSelfConsistent) {
+  const auto& p = pipeline();
+  const hw::HardwareReport r = hw::report_for(p.config);
+  EXPECT_NEAR(r.memory_kb, vsa::memory_kb(p.config), 1e-9);
+  EXPECT_EQ(r.cycles.interval(), r.cycles.biconv);
+  EXPECT_GT(r.power_w, 0.0);
+  EXPECT_EQ(r.dsps, 0u);
+}
+
+}  // namespace
+}  // namespace univsa

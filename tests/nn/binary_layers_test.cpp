@@ -1,0 +1,100 @@
+#include "univsa/nn/binary_linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "univsa/nn/grad_check.h"
+#include "univsa/nn/loss.h"
+
+namespace univsa {
+namespace {
+
+TEST(BinaryLinearTest, ForwardUsesSignOfWeights) {
+  Rng rng(1);
+  BinaryLinear layer(3, 1, rng);
+  Tensor& w = *layer.params()[0].value;
+  w.at(0, 0) = 0.7f;
+  w.at(0, 1) = -0.2f;
+  w.at(0, 2) = 0.0f;  // sgn(0) = +1
+  const Tensor x = Tensor::from_data({1, 3}, {1.0f, 1.0f, 1.0f});
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(y.at(0, 0), 1.0f - 1.0f + 1.0f);
+}
+
+TEST(BinaryLinearTest, BinaryWeightIsBipolar) {
+  Rng rng(2);
+  BinaryLinear layer(5, 4, rng);
+  const Tensor bw = layer.binary_weight();
+  for (const auto v : bw.flat()) {
+    EXPECT_TRUE(v == 1.0f || v == -1.0f);
+  }
+}
+
+TEST(BinaryLinearTest, SteMasksGradientOutsideClipWindow) {
+  Rng rng(3);
+  BinaryLinear layer(2, 1, rng);
+  Tensor& w = *layer.params()[0].value;
+  w.at(0, 0) = 2.0f;   // outside |w| <= 1: gradient must be blocked
+  w.at(0, 1) = 0.5f;   // inside: gradient flows
+  layer.zero_grad();
+  const Tensor x = Tensor::from_data({1, 2}, {1.0f, 1.0f});
+  layer.forward(x);
+  layer.backward(Tensor::from_data({1, 1}, {1.0f}));
+  const Tensor& g = *layer.params()[0].grad;
+  EXPECT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_NE(g.at(0, 1), 0.0f);
+}
+
+TEST(BinaryLinearTest, InputGradientUsesBinarizedWeights) {
+  Rng rng(4);
+  BinaryLinear layer(2, 1, rng);
+  Tensor& w = *layer.params()[0].value;
+  w.at(0, 0) = 0.3f;   // sgn -> +1
+  w.at(0, 1) = -0.8f;  // sgn -> -1
+  layer.forward(Tensor::from_data({1, 2}, {1.0f, 1.0f}));
+  const Tensor gx = layer.backward(Tensor::from_data({1, 1}, {2.0f}));
+  EXPECT_EQ(gx.at(0, 0), 2.0f);
+  EXPECT_EQ(gx.at(0, 1), -2.0f);
+}
+
+TEST(BinaryLinearTest, NonBinarizedModePassesGradCheck) {
+  Rng rng(5);
+  BinaryLinear layer(3, 2, rng, /*binarize=*/false);
+  Tensor x = Tensor::randn({4, 3}, rng);
+  const std::vector<int> labels = {1, 0, 1, 0};
+
+  const auto loss_fn = [&]() {
+    BinaryLinear copy = layer;
+    return softmax_cross_entropy(copy.forward(x), labels).loss;
+  };
+
+  layer.zero_grad();
+  const LossResult loss =
+      softmax_cross_entropy(layer.forward(x), labels);
+  const Tensor gx = layer.backward(loss.grad_logits);
+
+  const auto wres = check_param_gradient(loss_fn, *layer.params()[0].value,
+                                         *layer.params()[0].grad);
+  EXPECT_TRUE(wres.passed) << wres.max_rel_error;
+  const auto xres = check_input_gradient(loss_fn, x, gx);
+  EXPECT_TRUE(xres.passed) << xres.max_rel_error;
+}
+
+TEST(BinaryLinearTest, ParamsMarkLatentClip) {
+  Rng rng(6);
+  BinaryLinear binarized(2, 2, rng, true);
+  BinaryLinear plain(2, 2, rng, false);
+  EXPECT_TRUE(binarized.params()[0].clip_latent);
+  EXPECT_FALSE(plain.params()[0].clip_latent);
+}
+
+TEST(BinaryLinearTest, ShapeValidation) {
+  Rng rng(7);
+  BinaryLinear layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({1, 4})), std::invalid_argument);
+  EXPECT_THROW(layer.backward(Tensor({1, 2})), std::logic_error);
+}
+
+}  // namespace
+}  // namespace univsa

@@ -1,0 +1,138 @@
+#include "univsa/nn/binary_conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/nn/grad_check.h"
+#include "univsa/nn/loss.h"
+#include "univsa/tensor/im2col.h"
+
+namespace univsa {
+namespace {
+
+TEST(BinaryConv2dTest, OutputShape) {
+  Rng rng(1);
+  BinaryConv2d conv(4, 6, 3, rng);
+  const Tensor x = Tensor::randn({2, 4, 5, 7}, rng);
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.rank(), 4u);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 6u);
+  EXPECT_EQ(y.dim(2), 5u);
+  EXPECT_EQ(y.dim(3), 7u);
+}
+
+TEST(BinaryConv2dTest, ForwardMatchesIm2colLowering) {
+  Rng rng(2);
+  BinaryConv2d conv(3, 4, 3, rng);
+  const Tensor x = Tensor::randn({1, 3, 5, 5}, rng);
+  const Tensor y = conv.forward(x);
+
+  Tensor sample({3, 5, 5});
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    sample.flat()[i] = x.flat()[i];
+  }
+  const Tensor expected = conv.binary_weight().matmul(im2col(sample, 3));
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(y.flat()[i], expected.flat()[i], 1e-4f);
+  }
+}
+
+TEST(BinaryConv2dTest, BinaryWeightIsBipolar) {
+  Rng rng(3);
+  BinaryConv2d conv(2, 3, 5, rng);
+  const Tensor bw = conv.binary_weight();
+  for (const auto v : bw.flat()) {
+    EXPECT_TRUE(v == 1.0f || v == -1.0f);
+  }
+}
+
+TEST(BinaryConv2dTest, RejectsEvenKernel) {
+  Rng rng(4);
+  EXPECT_THROW(BinaryConv2d(2, 3, 4, rng), std::invalid_argument);
+}
+
+TEST(BinaryConv2dTest, ShapeValidation) {
+  Rng rng(5);
+  BinaryConv2d conv(2, 3, 3, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 3, 4, 4})), std::invalid_argument);
+  conv.forward(Tensor({1, 2, 4, 4}));
+  EXPECT_THROW(conv.backward(Tensor({1, 2, 4, 4})), std::invalid_argument);
+}
+
+TEST(BinaryConv2dTest, BackwardWithoutForwardThrows) {
+  Rng rng(5);
+  BinaryConv2d conv(2, 3, 3, rng);
+  EXPECT_THROW(conv.backward(Tensor({1, 3, 4, 4})), std::logic_error);
+}
+
+TEST(BinaryConv2dTest, NonBinarizedModePassesGradCheck) {
+  Rng rng(6);
+  BinaryConv2d conv(2, 2, 3, rng, /*binarize=*/false);
+  Tensor x = Tensor::randn({2, 2, 3, 4}, rng);
+  const std::vector<int> labels = {1, 0};
+
+  const auto flatten_logits = [](const Tensor& y) {
+    // Collapse (B, O, H, W) to (B, O) by summing the spatial plane so the
+    // CE loss can drive the check.
+    const std::size_t batch = y.dim(0);
+    const std::size_t o = y.dim(1);
+    const std::size_t plane = y.dim(2) * y.dim(3);
+    Tensor logits({batch, o});
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t c = 0; c < o; ++c) {
+        float s = 0.0f;
+        for (std::size_t p = 0; p < plane; ++p) {
+          s += y.flat()[(b * o + c) * plane + p];
+        }
+        logits.at(b, c) = s;
+      }
+    }
+    return logits;
+  };
+
+  const auto loss_fn = [&]() {
+    BinaryConv2d copy = conv;
+    return softmax_cross_entropy(flatten_logits(copy.forward(x)), labels)
+        .loss;
+  };
+
+  conv.zero_grad();
+  const Tensor y = conv.forward(x);
+  const LossResult loss =
+      softmax_cross_entropy(flatten_logits(y), labels);
+  // Expand (B, O) gradient back over the plane.
+  Tensor gy(y.shape());
+  const std::size_t plane = y.dim(2) * y.dim(3);
+  for (std::size_t b = 0; b < y.dim(0); ++b) {
+    for (std::size_t c = 0; c < y.dim(1); ++c) {
+      for (std::size_t p = 0; p < plane; ++p) {
+        gy.flat()[(b * y.dim(1) + c) * plane + p] =
+            loss.grad_logits.at(b, c);
+      }
+    }
+  }
+  const Tensor gx = conv.backward(gy);
+
+  const auto wres = check_param_gradient(loss_fn, *conv.params()[0].value,
+                                         *conv.params()[0].grad);
+  EXPECT_TRUE(wres.passed) << "weight max rel err " << wres.max_rel_error;
+  const auto xres = check_input_gradient(loss_fn, x, gx);
+  EXPECT_TRUE(xres.passed) << "input max rel err " << xres.max_rel_error;
+}
+
+TEST(BinaryConv2dTest, SteMasksOutOfWindowWeights) {
+  Rng rng(7);
+  BinaryConv2d conv(1, 1, 3, rng);
+  Tensor& w = *conv.params()[0].value;
+  w.fill(0.5f);
+  w.at(0, 0) = 3.0f;  // blocked by the STE window
+  conv.zero_grad();
+  conv.forward(Tensor::full({1, 1, 4, 4}, 1.0f));
+  conv.backward(Tensor::full({1, 1, 4, 4}, 1.0f));
+  const Tensor& g = *conv.params()[0].grad;
+  EXPECT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_NE(g.at(0, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace univsa

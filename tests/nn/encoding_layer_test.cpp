@@ -1,0 +1,104 @@
+#include "univsa/nn/encoding_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/nn/grad_check.h"
+#include "univsa/nn/loss.h"
+
+namespace univsa {
+namespace {
+
+TEST(EncodingLayerTest, ForwardMatchesNaiveContraction) {
+  Rng rng(1);
+  EncodingLayer layer(3, 4, rng);
+  const Tensor u = Tensor::rand_sign({2, 3, 4}, rng);
+  const Tensor z = layer.forward(u);
+  const Tensor f = layer.binary_weight();
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      float expected = 0.0f;
+      for (std::size_t g = 0; g < 3; ++g) {
+        expected += f.at(g, j) * u.at(b, g, j);
+      }
+      EXPECT_NEAR(z.at(b, j), expected, 1e-5f);
+    }
+  }
+}
+
+TEST(EncodingLayerTest, SingleGroupWithPositiveWeightsIsIdentity) {
+  Rng rng(2);
+  EncodingLayer layer(1, 5, rng);
+  layer.latent_weight();
+  Tensor& w = *layer.params()[0].value;
+  w.fill(0.5f);  // sgn -> +1 everywhere
+  const Tensor u = Tensor::rand_sign({3, 1, 5}, rng);
+  const Tensor z = layer.forward(u);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(z.at(b, j), u.at(b, 0, j));
+    }
+  }
+}
+
+TEST(EncodingLayerTest, ShapeValidation) {
+  Rng rng(3);
+  EncodingLayer layer(3, 4, rng);
+  EXPECT_THROW(layer.forward(Tensor({2, 4, 4})), std::invalid_argument);
+  EXPECT_THROW(layer.forward(Tensor({2, 3})), std::invalid_argument);
+  layer.forward(Tensor({2, 3, 4}));
+  EXPECT_THROW(layer.backward(Tensor({2, 3})), std::invalid_argument);
+}
+
+TEST(EncodingLayerTest, NonBinarizedModePassesGradCheck) {
+  Rng rng(4);
+  EncodingLayer layer(3, 2, rng, /*binarize=*/false);
+  Tensor u = Tensor::randn({4, 3, 2}, rng);
+  const std::vector<int> labels = {0, 1, 1, 0};
+
+  const auto loss_fn = [&]() {
+    EncodingLayer copy = layer;
+    return softmax_cross_entropy(copy.forward(u), labels).loss;
+  };
+
+  layer.zero_grad();
+  const LossResult loss =
+      softmax_cross_entropy(layer.forward(u), labels);
+  const Tensor gu = layer.backward(loss.grad_logits);
+
+  const auto wres = check_param_gradient(loss_fn, *layer.params()[0].value,
+                                         *layer.params()[0].grad);
+  EXPECT_TRUE(wres.passed) << wres.max_rel_error;
+  const auto ures = check_input_gradient(loss_fn, u, gu);
+  EXPECT_TRUE(ures.passed) << ures.max_rel_error;
+}
+
+TEST(EncodingLayerTest, SteMasksOutOfWindowWeights) {
+  Rng rng(5);
+  EncodingLayer layer(2, 2, rng);
+  Tensor& w = *layer.params()[0].value;
+  w.fill(0.1f);
+  w.at(0, 0) = -5.0f;
+  layer.zero_grad();
+  layer.forward(Tensor::full({1, 2, 2}, 1.0f));
+  layer.backward(Tensor::full({1, 2}, 1.0f));
+  const Tensor& g = *layer.params()[0].grad;
+  EXPECT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_NE(g.at(0, 1), 0.0f);
+}
+
+TEST(EncodingLayerTest, ZeroInputLanesContributeNothing) {
+  // DVP padding: a zero lane must not move the accumulation.
+  Rng rng(6);
+  EncodingLayer layer(2, 3, rng);
+  Tensor u = Tensor::rand_sign({1, 2, 3}, rng);
+  const Tensor z_full = layer.forward(u);
+  Tensor u_padded = u;
+  u_padded.at(0, 1, 2) = 0.0f;
+  const Tensor z_pad = layer.forward(u_padded);
+  const Tensor f = layer.binary_weight();
+  EXPECT_NEAR(z_pad.at(0, 2), z_full.at(0, 2) - f.at(1, 2) * u.at(0, 1, 2),
+              1e-5f);
+}
+
+}  // namespace
+}  // namespace univsa

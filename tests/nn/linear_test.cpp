@@ -1,0 +1,100 @@
+#include "univsa/nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/nn/grad_check.h"
+#include "univsa/nn/loss.h"
+
+namespace univsa {
+namespace {
+
+TEST(LinearTest, ForwardMatchesHandComputed) {
+  Rng rng(1);
+  Linear layer(2, 2, rng);
+  // Overwrite weights with known values via params().
+  auto params = layer.params();
+  Tensor& w = *params[0].value;
+  Tensor& b = *params[1].value;
+  w.at(0, 0) = 1.0f;
+  w.at(0, 1) = 2.0f;
+  w.at(1, 0) = -1.0f;
+  w.at(1, 1) = 0.5f;
+  b[0] = 0.1f;
+  b[1] = -0.2f;
+
+  const Tensor x = Tensor::from_data({1, 2}, {3.0f, 4.0f});
+  const Tensor y = layer.forward(x);
+  EXPECT_NEAR(y.at(0, 0), 3.0f + 8.0f + 0.1f, 1e-5f);
+  EXPECT_NEAR(y.at(0, 1), -3.0f + 2.0f - 0.2f, 1e-5f);
+}
+
+TEST(LinearTest, ShapeValidation) {
+  Rng rng(2);
+  Linear layer(3, 4, rng);
+  EXPECT_THROW(layer.forward(Tensor({2, 2})), std::invalid_argument);
+  layer.forward(Tensor({2, 3}));
+  EXPECT_THROW(layer.backward(Tensor({2, 3})), std::invalid_argument);
+}
+
+TEST(LinearTest, BackwardBeforeForwardThrows) {
+  Rng rng(3);
+  Linear layer(3, 4, rng);
+  EXPECT_THROW(layer.backward(Tensor({2, 4})), std::logic_error);
+}
+
+TEST(LinearTest, GradCheckWeightsBiasAndInput) {
+  Rng rng(4);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::randn({4, 3}, rng);
+  const std::vector<int> labels = {0, 1, 0, 1};
+
+  const auto loss_fn = [&]() {
+    Linear copy = layer;  // value-semantics copy keeps caches isolated
+    return softmax_cross_entropy(copy.forward(x), labels).loss;
+  };
+
+  layer.zero_grad();
+  const Tensor logits = layer.forward(x);
+  const LossResult loss = softmax_cross_entropy(logits, labels);
+  const Tensor grad_x = layer.backward(loss.grad_logits);
+
+  auto params = layer.params();
+  const auto wres = check_param_gradient(loss_fn, *params[0].value,
+                                         *params[0].grad);
+  EXPECT_TRUE(wres.passed) << "weight max rel err " << wres.max_rel_error;
+  const auto bres = check_param_gradient(loss_fn, *params[1].value,
+                                         *params[1].grad);
+  EXPECT_TRUE(bres.passed) << "bias max rel err " << bres.max_rel_error;
+  const auto xres = check_input_gradient(loss_fn, x, grad_x);
+  EXPECT_TRUE(xres.passed) << "input max rel err " << xres.max_rel_error;
+}
+
+TEST(LinearTest, GradAccumulatesAcrossBackwardCalls) {
+  Rng rng(5);
+  Linear layer(2, 2, rng);
+  const Tensor x = Tensor::randn({3, 2}, rng);
+  const Tensor g = Tensor::randn({3, 2}, rng);
+
+  layer.zero_grad();
+  layer.forward(x);
+  layer.backward(g);
+  const Tensor once = *layer.params()[0].grad;
+  layer.forward(x);
+  layer.backward(g);
+  const Tensor twice = *layer.params()[0].grad;
+  EXPECT_TRUE(allclose(twice, once.mul(2.0f), 1e-4f));
+}
+
+TEST(LinearTest, ZeroGradClears) {
+  Rng rng(6);
+  Linear layer(2, 2, rng);
+  layer.forward(Tensor::randn({1, 2}, rng));
+  layer.backward(Tensor::randn({1, 2}, rng));
+  layer.zero_grad();
+  for (const auto& p : layer.params()) {
+    for (const auto v : p.grad->flat()) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace univsa

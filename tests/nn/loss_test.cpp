@@ -1,0 +1,94 @@
+#include "univsa/nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "univsa/common/rng.h"
+
+namespace univsa {
+namespace {
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+  const Tensor logits = Tensor::zeros({2, 4});
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(LossTest, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 10.0f;
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(r.loss, 1e-3f);
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(LossTest, ConfidentWrongPredictionHasHighLoss) {
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 10.0f;
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_GT(r.loss, 5.0f);
+  EXPECT_EQ(r.correct, 0u);
+}
+
+TEST(LossTest, GradientRowsSumToZero) {
+  Rng rng(1);
+  const Tensor logits = Tensor::randn({4, 5}, rng);
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  for (std::size_t b = 0; b < 4; ++b) {
+    float s = 0.0f;
+    for (std::size_t c = 0; c < 5; ++c) s += r.grad_logits.at(b, c);
+    EXPECT_NEAR(s, 0.0f, 1e-5f);
+  }
+}
+
+TEST(LossTest, GradientMatchesCentralDifference) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn({3, 4}, rng);
+  const std::vector<int> labels = {1, 0, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits.flat()[i];
+    logits.flat()[i] = saved + eps;
+    const float plus = softmax_cross_entropy(logits, labels).loss;
+    logits.flat()[i] = saved - eps;
+    const float minus = softmax_cross_entropy(logits, labels).loss;
+    logits.flat()[i] = saved;
+    const float numeric = (plus - minus) / (2.0f * eps);
+    EXPECT_NEAR(numeric, r.grad_logits.flat()[i], 2e-3f);
+  }
+}
+
+TEST(LossTest, NumericallyStableAtExtremeLogits) {
+  Tensor logits({1, 2});
+  logits.at(0, 0) = 1000.0f;
+  logits.at(0, 1) = -1000.0f;
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_NEAR(r.loss, 0.0f, 1e-4f);
+}
+
+TEST(LossTest, ValidatesInputs) {
+  EXPECT_THROW(softmax_cross_entropy(Tensor({2, 3}), {0}),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(Tensor({1, 3}), {3}),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(Tensor({1, 3}), {-1}),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(Tensor({6}), {0}),
+               std::invalid_argument);
+}
+
+TEST(LossTest, CorrectCountsArgmaxHits) {
+  Tensor logits({3, 2});
+  logits.at(0, 0) = 1.0f;  // pred 0, label 0 -> hit
+  logits.at(1, 1) = 1.0f;  // pred 1, label 0 -> miss
+  logits.at(2, 1) = 1.0f;  // pred 1, label 1 -> hit
+  const LossResult r = softmax_cross_entropy(logits, {0, 0, 1});
+  EXPECT_EQ(r.correct, 2u);
+}
+
+}  // namespace
+}  // namespace univsa

@@ -1,0 +1,108 @@
+#include "univsa/nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "univsa/common/rng.h"
+
+namespace univsa {
+namespace {
+
+/// Minimizes f(w) = Σ (w_i - target_i)² with an optimizer.
+template <typename Opt>
+float minimize_quadratic(Opt& opt, Tensor& w, Tensor& g,
+                         const Tensor& target, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      g.flat()[i] = 2.0f * (w.flat()[i] - target.flat()[i]);
+    }
+    opt.step();
+    opt.zero_grad();
+  }
+  float err = 0.0f;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    err += std::fabs(w.flat()[i] - target.flat()[i]);
+  }
+  return err;
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Rng rng(1);
+  Tensor w = Tensor::randn({8}, rng);
+  Tensor g({8});
+  const Tensor target = Tensor::randn({8}, rng, 0.5f);
+  Adam opt({{&w, &g, false}}, 0.05f);
+  const float err = minimize_quadratic(opt, w, g, target, 500);
+  EXPECT_LT(err, 0.05f);
+}
+
+TEST(AdamTest, ClipsLatentBinaryWeights) {
+  Tensor w = Tensor::from_data({2}, {0.99f, -0.99f});
+  Tensor g = Tensor::from_data({2}, {-10.0f, 10.0f});
+  Adam opt({{&w, &g, true}}, 0.5f);
+  opt.step();
+  EXPECT_LE(w[0], 1.0f);
+  EXPECT_GE(w[1], -1.0f);
+}
+
+TEST(AdamTest, DoesNotClipFloatWeights) {
+  Tensor w = Tensor::from_data({1}, {0.99f});
+  Tensor g = Tensor::from_data({1}, {-10.0f});
+  Adam opt({{&w, &g, false}}, 0.5f);
+  opt.step();
+  EXPECT_GT(w[0], 1.0f);
+}
+
+TEST(AdamTest, ZeroGradClearsAllParams) {
+  Tensor w1({2});
+  Tensor g1 = Tensor::full({2}, 3.0f);
+  Tensor w2({3});
+  Tensor g2 = Tensor::full({3}, -1.0f);
+  Adam opt({{&w1, &g1, false}, {&w2, &g2, false}});
+  opt.zero_grad();
+  for (const auto v : g1.flat()) EXPECT_EQ(v, 0.0f);
+  for (const auto v : g2.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(AdamTest, RejectsMismatchedShapes) {
+  Tensor w({2});
+  Tensor g({3});
+  EXPECT_THROW(Adam({{&w, &g, false}}), std::invalid_argument);
+}
+
+TEST(AdamTest, RejectsNullParams) {
+  Tensor w({2});
+  EXPECT_THROW(Adam({{&w, nullptr, false}}), std::invalid_argument);
+}
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // Adam's bias correction makes the first step ≈ lr · sign(grad).
+  Tensor w = Tensor::from_data({2}, {0.0f, 0.0f});
+  Tensor g = Tensor::from_data({2}, {1.0f, -3.0f});
+  Adam opt({{&w, &g, false}}, 0.1f);
+  opt.step();
+  EXPECT_NEAR(w[0], -0.1f, 1e-4f);
+  EXPECT_NEAR(w[1], 0.1f, 1e-4f);
+}
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Rng rng(2);
+  Tensor w = Tensor::randn({8}, rng);
+  Tensor g({8});
+  const Tensor target = Tensor::randn({8}, rng, 0.5f);
+  Sgd opt({{&w, &g, false}}, 0.05f, 0.9f);
+  const float err = minimize_quadratic(opt, w, g, target, 500);
+  EXPECT_LT(err, 0.05f);
+}
+
+TEST(SgdTest, ClipsLatentBinaryWeights) {
+  Tensor w = Tensor::from_data({1}, {0.9f});
+  Tensor g = Tensor::from_data({1}, {-100.0f});
+  Sgd opt({{&w, &g, true}}, 0.1f, 0.0f);
+  opt.step();
+  EXPECT_EQ(w[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace univsa

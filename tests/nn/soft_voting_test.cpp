@@ -1,0 +1,112 @@
+#include "univsa/nn/soft_voting_head.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/nn/loss.h"
+
+namespace univsa {
+namespace {
+
+TEST(SoftVotingTest, SingleVoterMatchesScaledBinaryLinear) {
+  Rng rng(1);
+  SoftVotingHead head(6, 3, 1, rng);
+  Rng rng2(1);
+  BinaryLinear ref(6, 3, rng2);
+
+  const Tensor s = Tensor::rand_sign({2, 6}, rng);
+  const Tensor logits = head.forward(s);
+  const Tensor sims = ref.forward(s);
+  // The head applies its learnable scale γ on top of the voter output.
+  const float gamma = 4.0f / 6.0f;
+  EXPECT_TRUE(allclose(logits, sims.mul(gamma), 1e-4f));
+}
+
+TEST(SoftVotingTest, LogitsAreVoterAverages) {
+  Rng rng(2);
+  const std::size_t voters = 3;
+  SoftVotingHead head(8, 2, voters, rng);
+  const Tensor s = Tensor::rand_sign({1, 8}, rng);
+  const Tensor logits = head.forward(s);
+
+  // Reconstruct from each voter's class vectors (Eq. 4).
+  const float gamma = 4.0f / 8.0f;
+  for (std::size_t c = 0; c < 2; ++c) {
+    float sum = 0.0f;
+    for (std::size_t t = 0; t < voters; ++t) {
+      const Tensor cv = head.binary_class_vectors(t);
+      for (std::size_t j = 0; j < 8; ++j) {
+        sum += cv.at(c, j) * s.at(0, j);
+      }
+    }
+    EXPECT_NEAR(logits.at(0, c), gamma * sum / voters, 1e-4f);
+  }
+}
+
+TEST(SoftVotingTest, ScaleDoesNotChangeArgmax) {
+  Rng rng(3);
+  SoftVotingHead head(16, 4, 3, rng);
+  const Tensor s = Tensor::rand_sign({5, 16}, rng);
+  const Tensor logits = head.forward(s);
+  // γ > 0 rescales logits; the argmax must equal the argmax of the raw
+  // voter-sum — which is what the deployed model computes (Eq. 4).
+  for (std::size_t b = 0; b < 5; ++b) {
+    long long best_sum = -1LL << 60;
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      long long sum = 0;
+      for (std::size_t t = 0; t < 3; ++t) {
+        const Tensor cv = head.binary_class_vectors(t);
+        for (std::size_t j = 0; j < 16; ++j) {
+          sum += static_cast<long long>(cv.at(c, j) * s.at(b, j));
+        }
+      }
+      if (sum > best_sum) {
+        best_sum = sum;
+        best = c;
+      }
+    }
+    std::size_t logit_best = 0;
+    for (std::size_t c = 1; c < 4; ++c) {
+      if (logits.at(b, c) > logits.at(b, logit_best)) logit_best = c;
+    }
+    EXPECT_EQ(logit_best, best);
+  }
+}
+
+TEST(SoftVotingTest, BackwardSplitsGradientAcrossVoters) {
+  Rng rng(4);
+  SoftVotingHead head(4, 2, 2, rng);
+  const Tensor s = Tensor::rand_sign({1, 4}, rng);
+  head.zero_grad();
+  head.forward(s);
+  const Tensor gs = head.backward(Tensor::full({1, 2}, 1.0f));
+  EXPECT_EQ(gs.dim(0), 1u);
+  EXPECT_EQ(gs.dim(1), 4u);
+  // Scale gradient accumulated.
+  const auto params = head.params();
+  const Param& scale = params.back();
+  EXPECT_EQ(scale.value->size(), 1u);
+  EXPECT_NE((*scale.grad)[0], 0.0f);
+}
+
+TEST(SoftVotingTest, ParamCountIsVotersPlusScale) {
+  Rng rng(5);
+  SoftVotingHead head(4, 2, 3, rng);
+  EXPECT_EQ(head.params().size(), 4u);
+  EXPECT_EQ(head.voters(), 3u);
+  EXPECT_EQ(head.classes(), 2u);
+}
+
+TEST(SoftVotingTest, RejectsZeroVoters) {
+  Rng rng(6);
+  EXPECT_THROW(SoftVotingHead(4, 2, 0, rng), std::invalid_argument);
+}
+
+TEST(SoftVotingTest, VoterIndexValidated) {
+  Rng rng(7);
+  SoftVotingHead head(4, 2, 2, rng);
+  EXPECT_THROW(head.binary_class_vectors(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa

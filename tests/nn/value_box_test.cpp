@@ -1,0 +1,89 @@
+#include "univsa/nn/value_box.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace univsa {
+namespace {
+
+TEST(ValueBoxTest, TableShapeAndBipolarOutputs) {
+  Rng rng(1);
+  ValueBox vb(256, 8, rng);
+  const Tensor table = vb.forward_table();
+  ASSERT_EQ(table.rank(), 2u);
+  EXPECT_EQ(table.dim(0), 256u);
+  EXPECT_EQ(table.dim(1), 8u);
+  for (const auto v : table.flat()) {
+    EXPECT_TRUE(v == 1.0f || v == -1.0f);
+  }
+}
+
+TEST(ValueBoxTest, DeterministicAcrossCalls) {
+  Rng rng(2);
+  ValueBox vb(64, 4, rng);
+  const Tensor a = vb.forward_table();
+  const Tensor b = vb.forward_table();
+  EXPECT_TRUE(allclose(a, b));
+}
+
+TEST(ValueBoxTest, BackwardAccumulatesIntoMlpParams) {
+  Rng rng(3);
+  ValueBox vb(16, 4, rng);
+  vb.zero_grad();
+  vb.forward_table();
+  Tensor grad({16, 4});
+  grad.fill(1.0f);
+  vb.backward_table(grad);
+  // At least one MLP parameter gradient must be non-zero (the sign STE
+  // window keeps pre-activations near zero at init).
+  float total = 0.0f;
+  for (const auto& p : vb.params()) {
+    for (const auto g : p.grad->flat()) total += std::abs(g);
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(ValueBoxTest, BackwardShapeValidated) {
+  Rng rng(4);
+  ValueBox vb(16, 4, rng);
+  vb.forward_table();
+  EXPECT_THROW(vb.backward_table(Tensor({16, 5})), std::invalid_argument);
+}
+
+TEST(ValueBoxTest, ParamCountIsTwoLinears) {
+  Rng rng(5);
+  ValueBox vb(16, 4, rng, /*hidden=*/8);
+  const auto params = vb.params();
+  ASSERT_EQ(params.size(), 4u);  // two weight/bias pairs
+  EXPECT_EQ(params[0].value->size(), 8u);       // fc1 weight (8, 1)
+  EXPECT_EQ(params[2].value->size(), 8u * 4u);  // fc2 weight (4, 8)
+  for (const auto& p : params) EXPECT_FALSE(p.clip_latent);
+}
+
+TEST(ValueBoxTest, RejectsDegenerateConfig) {
+  Rng rng(6);
+  EXPECT_THROW(ValueBox(1, 4, rng), std::invalid_argument);
+  EXPECT_THROW(ValueBox(16, 0, rng), std::invalid_argument);
+}
+
+TEST(ValueBoxTest, NearbyLevelsOftenShareLanes) {
+  // The MLP is a smooth map: adjacent quantization levels should agree on
+  // most output lanes — the property that makes VB a useful value encoder
+  // (similar values -> similar vectors).
+  Rng rng(7);
+  ValueBox vb(256, 16, rng);
+  const Tensor table = vb.forward_table();
+  std::size_t agreements = 0;
+  for (std::size_t m = 0; m + 1 < 256; ++m) {
+    for (std::size_t d = 0; d < 16; ++d) {
+      if (table.at(m, d) == table.at(m + 1, d)) ++agreements;
+    }
+  }
+  const double rate =
+      static_cast<double>(agreements) / (255.0 * 16.0);
+  EXPECT_GT(rate, 0.9);
+}
+
+}  // namespace
+}  // namespace univsa

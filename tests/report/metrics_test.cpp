@@ -1,0 +1,72 @@
+#include "univsa/report/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace univsa::report {
+namespace {
+
+ConfusionMatrix worked_example() {
+  // 2-class:  TP=40 FN=10 / FP=5 TN=45 (class 0 = positive).
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 40; ++i) cm.add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.add(0, 1);
+  for (int i = 0; i < 5; ++i) cm.add(1, 0);
+  for (int i = 0; i < 45; ++i) cm.add(1, 1);
+  return cm;
+}
+
+TEST(ConfusionMatrixTest, AccuracyFromDiagonal) {
+  const ConfusionMatrix cm = worked_example();
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.85);
+  EXPECT_EQ(cm.total(), 100u);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallF1) {
+  const ConfusionMatrix cm = worked_example();
+  EXPECT_NEAR(cm.precision(0), 40.0 / 45.0, 1e-12);
+  EXPECT_NEAR(cm.recall(0), 40.0 / 50.0, 1e-12);
+  const double p = 40.0 / 45.0;
+  const double r = 0.8;
+  EXPECT_NEAR(cm.f1(0), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, MacroF1AveragesClasses) {
+  const ConfusionMatrix cm = worked_example();
+  EXPECT_NEAR(cm.macro_f1(), (cm.f1(0) + cm.f1(1)) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, EmptyClassMetricsAreZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  EXPECT_EQ(cm.precision(2), 0.0);
+  EXPECT_EQ(cm.recall(2), 0.0);
+  EXPECT_EQ(cm.f1(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectClassifier) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) cm.add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, ValidatesInputs) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(-1, 0), std::invalid_argument);
+  EXPECT_THROW(cm.add(0, 2), std::invalid_argument);
+  EXPECT_THROW(cm.accuracy(), std::invalid_argument);  // empty
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  const ConfusionMatrix cm = worked_example();
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("40"), std::string::npos);
+  EXPECT_NE(s.find("45"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace univsa::report

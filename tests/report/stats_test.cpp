@@ -1,0 +1,64 @@
+#include "univsa/report/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace univsa::report {
+namespace {
+
+TEST(StatsTest, SummaryOfKnownValues) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                      9.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(StatsTest, SingleValueHasZeroStddev) {
+  const std::vector<double> values = {3.5};
+  const Summary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, EmptyRejected) {
+  EXPECT_THROW(summarize(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(StatsTest, RunningMatchesBatch) {
+  const std::vector<double> values = {0.1, -2.0, 3.7, 8.4, -1.1, 0.0};
+  RunningStats rs;
+  for (const double v : values) rs.add(v);
+  const Summary s = summarize(values);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+}
+
+TEST(StatsTest, RunningRejectsEmptyQueries) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), std::invalid_argument);
+  EXPECT_THROW(rs.stddev(), std::invalid_argument);
+}
+
+TEST(StatsTest, FormatMeanStd) {
+  Summary s;
+  s.mean = 0.89174;
+  s.stddev = 0.01231;
+  EXPECT_EQ(fmt_mean_std(s, 4), "0.8917 ± 0.0123");
+}
+
+TEST(StatsTest, WelfordIsStableForLargeOffsets) {
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    rs.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_NEAR(rs.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(rs.stddev(), 1.0005, 1e-3);
+}
+
+}  // namespace
+}  // namespace univsa::report

@@ -1,0 +1,163 @@
+#include "univsa/search/evolutionary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::search {
+namespace {
+
+vsa::ModelConfig task_geometry() {
+  vsa::ModelConfig t;
+  t.W = 8;
+  t.L = 8;
+  t.C = 4;
+  t.M = 256;
+  return t;
+}
+
+/// Analytic oracle with a known sweet spot: accuracy saturates in O with
+/// diminishing returns, mimicking Fig. 4's capacity curve.
+double surrogate_accuracy(const vsa::ModelConfig& c) {
+  const double capacity =
+      static_cast<double>(c.O) * c.D_H * (c.Theta > 1 ? 1.1 : 1.0) *
+      (c.D_K == 3 ? 1.0 : 1.05);
+  return 1.0 - std::exp(-capacity / 150.0);
+}
+
+TEST(EvolutionarySearchTest, FindsHighObjectiveConfiguration) {
+  SearchOptions options;
+  options.population = 20;
+  options.generations = 15;
+  options.seed = 1;
+  const SearchResult r = evolutionary_search(
+      task_geometry(), SearchSpace{}, surrogate_accuracy, options);
+
+  // Exhaustive sweep over the discrete space for the true optimum.
+  double best = -1e9;
+  const SearchSpace space;
+  for (const auto dh : space.d_h) {
+    for (const auto dl : space.d_l) {
+      for (const auto dk : space.d_k) {
+        for (std::size_t o = space.o_min; o <= space.o_max; ++o) {
+          for (const auto theta : space.theta) {
+            vsa::ModelConfig c = task_geometry();
+            c.D_H = dh;
+            c.D_L = std::min(dl, dh);
+            c.D_K = dk;
+            c.O = o;
+            c.Theta = theta;
+            const double obj =
+                surrogate_accuracy(c) - vsa::hardware_penalty(c);
+            best = std::max(best, obj);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(r.best_objective, best - 0.02)
+      << "GA " << r.best_objective << " vs optimum " << best;
+}
+
+TEST(EvolutionarySearchTest, ElitismMakesBestMonotonic) {
+  SearchOptions options;
+  options.population = 12;
+  options.generations = 10;
+  options.seed = 2;
+  const SearchResult r = evolutionary_search(
+      task_geometry(), SearchSpace{}, surrogate_accuracy, options);
+  for (std::size_t g = 1; g < r.history.size(); ++g) {
+    EXPECT_GE(r.history[g].best_objective + 1e-12,
+              r.history[g - 1].best_objective);
+  }
+}
+
+TEST(EvolutionarySearchTest, DeterministicForSeed) {
+  SearchOptions options;
+  options.population = 10;
+  options.generations = 5;
+  options.seed = 3;
+  const SearchResult a = evolutionary_search(
+      task_geometry(), SearchSpace{}, surrogate_accuracy, options);
+  const SearchResult b = evolutionary_search(
+      task_geometry(), SearchSpace{}, surrogate_accuracy, options);
+  EXPECT_EQ(a.best_config, b.best_config);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(EvolutionarySearchTest, MemoizationBoundsOracleCalls) {
+  std::size_t calls = 0;
+  const auto counting = [&calls](const vsa::ModelConfig& c) {
+    ++calls;
+    return surrogate_accuracy(c);
+  };
+  SearchOptions options;
+  options.population = 10;
+  options.generations = 10;
+  options.seed = 4;
+  const SearchResult r = evolutionary_search(task_geometry(), SearchSpace{},
+                                             counting, options);
+  EXPECT_EQ(calls, r.evaluations);
+  // Without memoization this would be population·(generations+1) minus
+  // elites; with it, repeats are free.
+  EXPECT_LE(r.evaluations,
+            options.population * (options.generations + 1));
+}
+
+TEST(EvolutionarySearchTest, ResultRespectsSpaceBounds) {
+  SearchSpace space;
+  space.o_min = 10;
+  space.o_max = 20;
+  space.d_h = {4};
+  space.d_l = {2};
+  SearchOptions options;
+  options.population = 8;
+  options.generations = 6;
+  options.seed = 5;
+  const SearchResult r = evolutionary_search(task_geometry(), space,
+                                             surrogate_accuracy, options);
+  EXPECT_GE(r.best_config.O, 10u);
+  EXPECT_LE(r.best_config.O, 20u);
+  EXPECT_EQ(r.best_config.D_H, 4u);
+  EXPECT_LE(r.best_config.D_L, r.best_config.D_H);
+  EXPECT_NO_THROW(r.best_config.validate());
+}
+
+TEST(EvolutionarySearchTest, PenaltyDiscouragesOversizedConfigs) {
+  // With a flat accuracy oracle, the search must prefer small hardware.
+  const auto flat = [](const vsa::ModelConfig&) { return 0.9; };
+  SearchOptions options;
+  options.population = 16;
+  options.generations = 12;
+  options.seed = 6;
+  options.lambda1 = 0.05;
+  options.lambda2 = 0.05;
+  const SearchResult r =
+      evolutionary_search(task_geometry(), SearchSpace{}, flat, options);
+  // The minimum of the space is (D_H=2, D_K=3, O=8, Θ=1).
+  EXPECT_LE(r.best_config.O, 16u);
+  EXPECT_LE(r.best_config.D_H, 4u);
+}
+
+TEST(EvolutionarySearchTest, ValidatesOptions) {
+  SearchOptions options;
+  options.population = 1;
+  EXPECT_THROW(evolutionary_search(task_geometry(), SearchSpace{},
+                                   surrogate_accuracy, options),
+               std::invalid_argument);
+  options.population = 8;
+  options.elite = 8;
+  EXPECT_THROW(evolutionary_search(task_geometry(), SearchSpace{},
+                                   surrogate_accuracy, options),
+               std::invalid_argument);
+  options.elite = 2;
+  EXPECT_THROW(evolutionary_search(task_geometry(), SearchSpace{},
+                                   AccuracyFn{}, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::search

@@ -1,0 +1,165 @@
+#include "univsa/search/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::search {
+namespace {
+
+vsa::ModelConfig task_geometry() {
+  vsa::ModelConfig t;
+  t.W = 8;
+  t.L = 8;
+  t.C = 4;
+  t.M = 256;
+  return t;
+}
+
+double surrogate_accuracy(const vsa::ModelConfig& c) {
+  const double capacity =
+      static_cast<double>(c.O) * c.D_H * (c.Theta > 1 ? 1.1 : 1.0);
+  return 1.0 - std::exp(-capacity / 150.0);
+}
+
+ParetoPoint point(double acc, double mem, double res) {
+  ParetoPoint p;
+  p.accuracy = acc;
+  p.memory_kb = mem;
+  p.resource_units = res;
+  return p;
+}
+
+TEST(DominanceTest, StrictDominance) {
+  EXPECT_TRUE(dominates(point(0.9, 1.0, 10), point(0.8, 2.0, 20)));
+  EXPECT_FALSE(dominates(point(0.8, 2.0, 20), point(0.9, 1.0, 10)));
+}
+
+TEST(DominanceTest, IncomparablePoints) {
+  // Better accuracy but more memory: neither dominates.
+  EXPECT_FALSE(dominates(point(0.9, 2.0, 10), point(0.8, 1.0, 10)));
+  EXPECT_FALSE(dominates(point(0.8, 1.0, 10), point(0.9, 2.0, 10)));
+}
+
+TEST(DominanceTest, EqualPointsDoNotDominate) {
+  EXPECT_FALSE(dominates(point(0.9, 1.0, 10), point(0.9, 1.0, 10)));
+}
+
+TEST(NonDominatedTest, FiltersDominatedPoints) {
+  std::vector<ParetoPoint> pts = {
+      point(0.9, 1.0, 10),  // front
+      point(0.8, 2.0, 20),  // dominated by the first
+      point(0.95, 3.0, 30), // front (best accuracy)
+  };
+  pts[0].config = task_geometry();
+  pts[1].config = task_geometry();
+  pts[1].config.O = 16;
+  pts[2].config = task_geometry();
+  pts[2].config.O = 32;
+  const auto front = non_dominated(pts);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_DOUBLE_EQ(front[0].memory_kb, 1.0);
+  EXPECT_DOUBLE_EQ(front[1].memory_kb, 3.0);
+}
+
+TEST(ParetoSearchTest, FrontIsMutuallyNonDominated) {
+  ParetoOptions options;
+  options.population = 16;
+  options.generations = 8;
+  options.seed = 1;
+  const ParetoResult r = pareto_search(task_geometry(), SearchSpace{},
+                                       surrogate_accuracy, options);
+  ASSERT_GE(r.front.size(), 2u);
+  for (const auto& a : r.front) {
+    for (const auto& b : r.front) {
+      EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+    }
+  }
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    for (std::size_t j = 0; j < r.front.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(r.front[i], r.front[j]));
+      }
+    }
+  }
+}
+
+TEST(ParetoSearchTest, FrontSortedByMemoryAndTradesAccuracy) {
+  ParetoOptions options;
+  options.population = 20;
+  options.generations = 10;
+  options.seed = 2;
+  const ParetoResult r = pareto_search(task_geometry(), SearchSpace{},
+                                       surrogate_accuracy, options);
+  ASSERT_GE(r.front.size(), 2u);
+  for (std::size_t i = 1; i < r.front.size(); ++i) {
+    EXPECT_GE(r.front[i].memory_kb, r.front[i - 1].memory_kb);
+    // On the front, spending more memory must buy accuracy or save
+    // resources (otherwise the point would be dominated).
+    if (r.front[i].memory_kb > r.front[i - 1].memory_kb) {
+      EXPECT_TRUE(r.front[i].accuracy > r.front[i - 1].accuracy ||
+                  r.front[i].resource_units <
+                      r.front[i - 1].resource_units);
+    }
+  }
+}
+
+TEST(ParetoSearchTest, SingleObjectiveOptimumLiesOnTheFront) {
+  // Run the Eq. 7 scalarized search; its winner must not be dominated by
+  // anything the multi-objective search found (modulo shared oracle).
+  SearchOptions single;
+  single.population = 16;
+  single.generations = 10;
+  single.seed = 3;
+  const SearchResult scalar = evolutionary_search(
+      task_geometry(), SearchSpace{}, surrogate_accuracy, single);
+  ParetoPoint winner;
+  winner.config = scalar.best_config;
+  winner.accuracy = scalar.best_accuracy;
+  winner.memory_kb = vsa::memory_kb(scalar.best_config);
+  winner.resource_units =
+      static_cast<double>(vsa::resource_units(scalar.best_config));
+
+  ParetoOptions options;
+  options.population = 24;
+  options.generations = 12;
+  options.seed = 3;
+  const ParetoResult pareto = pareto_search(
+      task_geometry(), SearchSpace{}, surrogate_accuracy, options);
+  for (const auto& p : pareto.front) {
+    EXPECT_FALSE(dominates(p, winner))
+        << "front point strictly dominates the Eq. 7 optimum";
+  }
+}
+
+TEST(ParetoSearchTest, DeterministicForSeed) {
+  ParetoOptions options;
+  options.population = 12;
+  options.generations = 4;
+  options.seed = 4;
+  const ParetoResult a = pareto_search(task_geometry(), SearchSpace{},
+                                       surrogate_accuracy, options);
+  const ParetoResult b = pareto_search(task_geometry(), SearchSpace{},
+                                       surrogate_accuracy, options);
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].config, b.front[i].config);
+  }
+}
+
+TEST(ParetoSearchTest, ValidatesOptions) {
+  ParetoOptions options;
+  options.population = 2;
+  EXPECT_THROW(pareto_search(task_geometry(), SearchSpace{},
+                             surrogate_accuracy, options),
+               std::invalid_argument);
+  options.population = 8;
+  EXPECT_THROW(
+      pareto_search(task_geometry(), SearchSpace{}, AccuracyFn{}, options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::search

@@ -1,0 +1,128 @@
+#include "univsa/tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "univsa/common/rng.h"
+
+namespace univsa {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void naive_nn(std::size_t m, std::size_t n, std::size_t k,
+              const std::vector<float>& a, const std::vector<float>& b,
+              std::vector<float>& c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void naive_nt(std::size_t m, std::size_t n, std::size_t k,
+              const std::vector<float>& a, const std::vector<float>& b,
+              std::vector<float>& c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[j * k + p];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void naive_tn(std::size_t m, std::size_t n, std::size_t k,
+              const std::vector<float>& a, const std::vector<float>& b,
+              std::vector<float>& c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a[p * m + i] * b[p * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void expect_close(const std::vector<float>& a, const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-3f) << "at index " << i;
+  }
+}
+
+using Shape = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class GemmShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapeTest, NnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(m * 131 + n * 7 + k);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<float> c(m * n);
+  std::vector<float> expected(m * n);
+  gemm(GemmLayout::kNN, m, n, k, a.data(), b.data(), c.data());
+  naive_nn(m, n, k, a, b, expected);
+  expect_close(c, expected);
+}
+
+TEST_P(GemmShapeTest, NtMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(m * 151 + n * 11 + k);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(n * k, rng);
+  std::vector<float> c(m * n);
+  std::vector<float> expected(m * n);
+  gemm(GemmLayout::kNT, m, n, k, a.data(), b.data(), c.data());
+  naive_nt(m, n, k, a, b, expected);
+  expect_close(c, expected);
+}
+
+TEST_P(GemmShapeTest, TnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(m * 173 + n * 13 + k);
+  const auto a = random_vec(k * m, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<float> c(m * n);
+  std::vector<float> expected(m * n);
+  gemm(GemmLayout::kTN, m, n, k, a.data(), b.data(), c.data());
+  naive_tn(m, n, k, a, b, expected);
+  expect_close(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(Shape{1, 1, 1}, Shape{2, 3, 4}, Shape{7, 5, 3},
+                      Shape{16, 16, 16}, Shape{33, 17, 65},
+                      Shape{64, 100, 72},
+                      // Large enough to take the threaded path.
+                      Shape{128, 96, 64}));
+
+TEST(GemmTest, ZeroInnerDimensionClearsOutput) {
+  std::vector<float> a;
+  std::vector<float> b;
+  std::vector<float> c(6, 42.0f);
+  // k = 0: C must be zeroed, not left stale.
+  gemm(GemmLayout::kNN, 2, 3, 0, a.data() ? a.data() : c.data(),
+       b.data() ? b.data() : c.data(), c.data());
+  for (const auto v : c) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(GemmTest, NullPointerThrows) {
+  std::vector<float> buf(4);
+  EXPECT_THROW(
+      gemm(GemmLayout::kNN, 2, 2, 2, nullptr, buf.data(), buf.data()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa

@@ -1,0 +1,146 @@
+#include "univsa/tensor/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/common/rng.h"
+
+namespace univsa {
+namespace {
+
+/// Direct "same"-padded convolution for reference.
+Tensor naive_conv(const Tensor& input, const Tensor& kernels,
+                  std::size_t k) {
+  const std::size_t channels = input.dim(0);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t out_ch = kernels.dim(0);
+  const long pad = static_cast<long>(k / 2);
+  Tensor out({out_ch, h, w});
+  for (std::size_t o = 0; o < out_ch; ++o) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < channels; ++c) {
+          for (std::size_t kh = 0; kh < k; ++kh) {
+            for (std::size_t kw = 0; kw < k; ++kw) {
+              const long sy = static_cast<long>(y + kh) - pad;
+              const long sx = static_cast<long>(x + kw) - pad;
+              if (sy < 0 || sy >= static_cast<long>(h) || sx < 0 ||
+                  sx >= static_cast<long>(w)) {
+                continue;
+              }
+              acc += kernels.at(o, (c * k + kh) * k + kw) *
+                     input.at(c, static_cast<std::size_t>(sy),
+                              static_cast<std::size_t>(sx));
+            }
+          }
+        }
+        out.at(o, y, x) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Im2colTest, ShapeIsCkkByHw) {
+  const Tensor input({3, 5, 7});
+  const Tensor cols = im2col(input, 3);
+  EXPECT_EQ(cols.dim(0), 3u * 9u);
+  EXPECT_EQ(cols.dim(1), 35u);
+}
+
+TEST(Im2colTest, CenterTapIsIdentity) {
+  Rng rng(1);
+  const Tensor input = Tensor::randn({2, 4, 4}, rng);
+  const Tensor cols = im2col(input, 3);
+  // Row (c, kh=1, kw=1) must reproduce channel c verbatim.
+  for (std::size_t c = 0; c < 2; ++c) {
+    const std::size_t row = c * 9 + 4;
+    for (std::size_t p = 0; p < 16; ++p) {
+      EXPECT_EQ(cols.at(row, p), input.flat()[c * 16 + p]);
+    }
+  }
+}
+
+TEST(Im2colTest, BordersAreZeroPadded) {
+  const Tensor input = Tensor::full({1, 3, 3}, 1.0f);
+  const Tensor cols = im2col(input, 3);
+  // Row (kh=0, kw=0) looks up (-1, -1) offsets: position (0,0) is padding.
+  EXPECT_EQ(cols.at(0, 0), 0.0f);
+  // Interior position (1,1) reads (0,0) = 1.
+  EXPECT_EQ(cols.at(0, 4), 1.0f);
+}
+
+TEST(Im2colTest, RejectsEvenKernel) {
+  const Tensor input({1, 3, 3});
+  EXPECT_THROW(im2col(input, 2), std::invalid_argument);
+}
+
+TEST(Im2colTest, RejectsWrongRank) {
+  const Tensor input({3, 3});
+  EXPECT_THROW(im2col(input, 3), std::invalid_argument);
+}
+
+class ConvLoweringTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(ConvLoweringTest, GemmOverColumnsMatchesDirectConvolution) {
+  const auto [channels, h, w, out_ch, k] = GetParam();
+  Rng rng(channels * 100 + h * 10 + w + out_ch + k);
+  const Tensor input = Tensor::randn({channels, h, w}, rng);
+  const Tensor kernels = Tensor::randn({out_ch, channels * k * k}, rng);
+
+  const Tensor cols = im2col(input, k);
+  const Tensor lowered = kernels.matmul(cols);  // (O, HW)
+  const Tensor direct = naive_conv(input, kernels, k);
+
+  for (std::size_t o = 0; o < out_ch; ++o) {
+    for (std::size_t p = 0; p < h * w; ++p) {
+      EXPECT_NEAR(lowered.at(o, p), direct.flat()[o * h * w + p], 1e-3f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvLoweringTest,
+    ::testing::Values(std::make_tuple(1, 3, 3, 1, 3),
+                      std::make_tuple(2, 4, 5, 3, 3),
+                      std::make_tuple(4, 6, 6, 2, 5),
+                      std::make_tuple(8, 5, 9, 4, 3),
+                      std::make_tuple(3, 7, 4, 5, 5)));
+
+TEST(Col2imTest, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property the conv backward pass relies on.
+  Rng rng(9);
+  const std::size_t channels = 3;
+  const std::size_t h = 5;
+  const std::size_t w = 6;
+  const std::size_t k = 3;
+  const Tensor x = Tensor::randn({channels, h, w}, rng);
+  const Tensor y = Tensor::randn({channels * k * k, h * w}, rng);
+
+  const Tensor cx = im2col(x, k);
+  const Tensor aty = col2im(y, channels, h, w, k);
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cx.size(); ++i) {
+    lhs += static_cast<double>(cx.flat()[i]) * y.flat()[i];
+  }
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x.flat()[i]) * aty.flat()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Col2imTest, ShapeValidation) {
+  const Tensor y({9, 12});
+  EXPECT_THROW(col2im(y, 2, 3, 4, 3), std::invalid_argument);  // C*K*K=18
+  EXPECT_NO_THROW(col2im(y, 1, 3, 4, 3));
+}
+
+}  // namespace
+}  // namespace univsa

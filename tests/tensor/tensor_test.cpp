@@ -1,0 +1,165 @@
+#include "univsa/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace univsa {
+namespace {
+
+TEST(TensorTest, ZerosHasShapeAndZeroData) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (const auto v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, RejectsZeroDimension) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+}
+
+TEST(TensorTest, RejectsRankFive) {
+  EXPECT_THROW(Tensor({1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  const Tensor t = Tensor::full({4}, 2.5f);
+  for (const auto v : t.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, FromDataValidatesSize) {
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f, 2.0f}),
+               std::invalid_argument);
+  const Tensor t = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(TensorTest, MultiIndexAccessorsAreRowMajor) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+  Tensor q({2, 2, 2, 2});
+  q.at(1, 0, 1, 0) = 3.0f;
+  EXPECT_EQ(q[1 * 8 + 0 * 4 + 1 * 2 + 0], 3.0f);
+}
+
+TEST(TensorTest, AccessorRankChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(2, 0), std::invalid_argument);
+}
+
+TEST(TensorTest, ReshapedPreservesData) {
+  Tensor t = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a = Tensor::from_data({3}, {1, 2, 3});
+  const Tensor b = Tensor::from_data({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[1], 22.0f);
+  a.sub_(b);
+  EXPECT_EQ(a[1], 2.0f);
+  a.mul_(2.0f);
+  EXPECT_EQ(a[2], 6.0f);
+  a.mul_(b);
+  EXPECT_EQ(a[0], 20.0f);
+}
+
+TEST(TensorTest, SumAndAbsMax) {
+  const Tensor t = Tensor::from_data({4}, {1, -5, 3, -2});
+  EXPECT_EQ(t.sum(), -3.0f);
+  EXPECT_EQ(t.abs_max(), 5.0f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(3);
+  const Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (const auto v : t.flat()) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+  EXPECT_NEAR(sum2 / 10000.0, 4.0, 0.3);
+}
+
+TEST(TensorTest, RandSignIsBipolar) {
+  Rng rng(4);
+  const Tensor t = Tensor::rand_sign({1000}, rng);
+  int pos = 0;
+  for (const auto v : t.flat()) {
+    ASSERT_TRUE(v == 1.0f || v == -1.0f);
+    if (v > 0) ++pos;
+  }
+  EXPECT_GT(pos, 400);
+  EXPECT_LT(pos, 600);
+}
+
+TEST(TensorTest, MatmulMatchesHandComputed) {
+  const Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::from_data({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = a.matmul(b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorTest, MatmulTransposedEquivalence) {
+  Rng rng(5);
+  const Tensor a = Tensor::randn({4, 6}, rng);
+  const Tensor b = Tensor::randn({5, 6}, rng);
+  // a · bᵀ computed two ways.
+  Tensor bt({6, 5});
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  EXPECT_TRUE(allclose(a.matmul_transposed(b), a.matmul(bt), 1e-4f));
+}
+
+TEST(TensorTest, TransposedMatmulEquivalence) {
+  Rng rng(6);
+  const Tensor a = Tensor::randn({6, 4}, rng);
+  const Tensor b = Tensor::randn({6, 5}, rng);
+  Tensor at({4, 6});
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) at.at(j, i) = a.at(i, j);
+  }
+  EXPECT_TRUE(allclose(a.transposed_matmul(b), at.matmul(b), 1e-4f));
+}
+
+TEST(TensorTest, MatmulShapeMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({4, 2});
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+}
+
+TEST(TensorTest, SignTensorUsesPaperTiebreak) {
+  const Tensor t = Tensor::from_data({4}, {0.0f, -0.0f, 2.0f, -3.0f});
+  const Tensor s = sign_tensor(t);
+  EXPECT_EQ(s[0], 1.0f);
+  EXPECT_EQ(s[1], 1.0f);  // -0.0f >= 0
+  EXPECT_EQ(s[2], 1.0f);
+  EXPECT_EQ(s[3], -1.0f);
+}
+
+TEST(TensorTest, AllcloseDetectsShapeAndValueDiffs) {
+  const Tensor a = Tensor::from_data({2}, {1.0f, 2.0f});
+  const Tensor b = Tensor::from_data({2}, {1.0f, 2.00001f});
+  const Tensor c = Tensor::from_data({1, 2}, {1.0f, 2.0f});
+  EXPECT_TRUE(allclose(a, b, 1e-3f));
+  EXPECT_FALSE(allclose(a, b, 1e-7f));
+  EXPECT_FALSE(allclose(a, c));
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).shape_string(), "(2, 3)");
+}
+
+}  // namespace
+}  // namespace univsa

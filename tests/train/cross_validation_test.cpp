@@ -1,0 +1,115 @@
+#include "univsa/train/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/synthetic.h"
+
+namespace univsa::train {
+namespace {
+
+data::Dataset tiny_dataset() {
+  data::SyntheticSpec spec;
+  spec.name = "cv";
+  spec.domain = data::Domain::kFrequency;
+  spec.windows = 4;
+  spec.length = 6;
+  spec.classes = 2;
+  spec.levels = 16;
+  spec.train_count = 150;
+  spec.test_count = 10;
+  spec.noise = 0.3;
+  spec.separation = 1.6;
+  spec.seed = 88;
+  return data::generate(spec).train;
+}
+
+vsa::ModelConfig tiny_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 2;
+  c.M = 16;
+  c.D_H = 4;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 4;
+  c.Theta = 1;
+  return c;
+}
+
+TEST(StratifiedFoldsTest, EveryFoldGetsEveryClass) {
+  const data::Dataset d = tiny_dataset();
+  const auto folds = stratified_folds(d, 5, 1);
+  ASSERT_EQ(folds.size(), d.size());
+  std::vector<std::vector<std::size_t>> class_count(
+      5, std::vector<std::size_t>(d.classes(), 0));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    ASSERT_LT(folds[i], 5u);
+    ++class_count[folds[i]][static_cast<std::size_t>(d.label(i))];
+  }
+  for (std::size_t f = 0; f < 5; ++f) {
+    for (std::size_t c = 0; c < d.classes(); ++c) {
+      EXPECT_GT(class_count[f][c], 0u) << "fold " << f << " class " << c;
+    }
+  }
+}
+
+TEST(StratifiedFoldsTest, FoldSizesAreBalanced) {
+  const data::Dataset d = tiny_dataset();
+  const auto folds = stratified_folds(d, 5, 2);
+  std::vector<std::size_t> sizes(5, 0);
+  for (const auto f : folds) ++sizes[f];
+  const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*hi - *lo, 2u);
+}
+
+TEST(StratifiedFoldsTest, DeterministicForSeed) {
+  const data::Dataset d = tiny_dataset();
+  EXPECT_EQ(stratified_folds(d, 4, 3), stratified_folds(d, 4, 3));
+}
+
+TEST(StratifiedFoldsTest, Validates) {
+  const data::Dataset d = tiny_dataset();
+  EXPECT_THROW(stratified_folds(d, 1, 1), std::invalid_argument);
+}
+
+TEST(CrossValidationTest, ProducesOneAccuracyPerFold) {
+  CrossValidationOptions options;
+  options.folds = 3;
+  options.train.epochs = 5;
+  options.train.seed = 4;
+  const CrossValidationResult r =
+      cross_validate_univsa(tiny_config(), tiny_dataset(), options);
+  ASSERT_EQ(r.fold_accuracies.size(), 3u);
+  for (const double acc : r.fold_accuracies) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+  EXPECT_EQ(r.summary.count, 3u);
+  EXPECT_GT(r.summary.mean, 0.6);  // well above 2-class chance
+}
+
+TEST(CrossValidationTest, SummaryMatchesFoldValues) {
+  CrossValidationOptions options;
+  options.folds = 3;
+  options.train.epochs = 3;
+  const CrossValidationResult r =
+      cross_validate_univsa(tiny_config(), tiny_dataset(), options);
+  const report::Summary direct = report::summarize(r.fold_accuracies);
+  EXPECT_DOUBLE_EQ(r.summary.mean, direct.mean);
+  EXPECT_DOUBLE_EQ(r.summary.stddev, direct.stddev);
+}
+
+TEST(CrossValidationTest, DeterministicEndToEnd) {
+  CrossValidationOptions options;
+  options.folds = 3;
+  options.train.epochs = 3;
+  const auto a = cross_validate_univsa(tiny_config(), tiny_dataset(),
+                                       options);
+  const auto b = cross_validate_univsa(tiny_config(), tiny_dataset(),
+                                       options);
+  EXPECT_EQ(a.fold_accuracies, b.fold_accuracies);
+}
+
+}  // namespace
+}  // namespace univsa::train

@@ -1,0 +1,87 @@
+#include "univsa/train/lehdc_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/synthetic.h"
+
+namespace univsa::train {
+namespace {
+
+data::SyntheticResult tiny_data() {
+  data::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.domain = data::Domain::kFrequency;
+  spec.windows = 4;
+  spec.length = 8;
+  spec.classes = 3;
+  spec.levels = 32;
+  spec.train_count = 150;
+  spec.test_count = 90;
+  spec.noise = 0.5;
+  spec.seed = 31;
+  return data::generate(spec);
+}
+
+TEST(LehdcTrainerTest, BeatsChanceAtModerateDimension) {
+  const auto data = tiny_data();
+  LehdcOptions opts;
+  opts.dim = 512;
+  opts.epochs = 10;
+  opts.seed = 1;
+  const LehdcTrainResult r = train_lehdc(data.train, opts);
+  EXPECT_EQ(r.model.dim(), 512u);
+  EXPECT_GT(r.model.accuracy(data.test), 0.6);
+}
+
+TEST(LehdcTrainerTest, TrainingAccuracyImproves) {
+  const auto data = tiny_data();
+  LehdcOptions opts;
+  opts.dim = 256;
+  opts.epochs = 10;
+  opts.seed = 2;
+  const LehdcTrainResult r = train_lehdc(data.train, opts);
+  ASSERT_EQ(r.history.size(), 10u);
+  EXPECT_GT(r.history.back().train_accuracy,
+            r.history.front().train_accuracy - 0.05);
+  EXPECT_LT(r.history.back().loss, r.history.front().loss);
+}
+
+TEST(LehdcTrainerTest, DeterministicForSeed) {
+  const auto data = tiny_data();
+  LehdcOptions opts;
+  opts.dim = 128;
+  opts.epochs = 3;
+  opts.seed = 3;
+  const LehdcTrainResult a = train_lehdc(data.train, opts);
+  const LehdcTrainResult b = train_lehdc(data.train, opts);
+  // Same encodings, same class vectors -> identical predictions.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.model.predict(data.test.values(i)),
+              b.model.predict(data.test.values(i)));
+  }
+}
+
+TEST(LehdcTrainerTest, HigherDimensionHelpsOrMatches) {
+  const auto data = tiny_data();
+  LehdcOptions small;
+  small.dim = 32;
+  small.epochs = 8;
+  small.seed = 4;
+  LehdcOptions large = small;
+  large.dim = 1024;
+  const double acc_small =
+      train_lehdc(data.train, small).model.accuracy(data.test);
+  const double acc_large =
+      train_lehdc(data.train, large).model.accuracy(data.test);
+  EXPECT_GE(acc_large + 0.08, acc_small);
+}
+
+TEST(LehdcTrainerTest, ValidatesOptions) {
+  const auto data = tiny_data();
+  LehdcOptions opts;
+  opts.dim = 1;
+  EXPECT_THROW(train_lehdc(data.train, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::train

@@ -1,0 +1,89 @@
+#include "univsa/train/mask_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "univsa/common/rng.h"
+
+namespace univsa::train {
+namespace {
+
+/// Dataset where only the first feature is informative.
+data::Dataset informative_first_feature() {
+  data::Dataset d(1, 4, 2, 256);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const int label = static_cast<int>(rng.uniform_index(2));
+    std::vector<std::uint16_t> x(4);
+    // Feature 0 separates classes; the rest are uniform noise.
+    x[0] = static_cast<std::uint16_t>(label == 0
+                                          ? rng.uniform_index(100)
+                                          : 150 + rng.uniform_index(100));
+    for (int j = 1; j < 4; ++j) {
+      x[j] = static_cast<std::uint16_t>(rng.uniform_index(256));
+    }
+    d.add(std::move(x), label);
+  }
+  return d;
+}
+
+TEST(MaskSelectionTest, InformativeFeatureScoresHighest) {
+  const auto d = informative_first_feature();
+  const auto scores = feature_f_scores(d);
+  ASSERT_EQ(scores.size(), 4u);
+  for (std::size_t j = 1; j < 4; ++j) {
+    EXPECT_GT(scores[0], scores[j]);
+  }
+}
+
+TEST(MaskSelectionTest, MaskSelectsInformativeFeature) {
+  const auto d = informative_first_feature();
+  const auto mask = select_importance_mask(d, 0.25);
+  ASSERT_EQ(mask.size(), 4u);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1] + mask[2] + mask[3], 0);
+}
+
+TEST(MaskSelectionTest, FractionControlsCount) {
+  const auto d = informative_first_feature();
+  const auto half = select_importance_mask(d, 0.5);
+  std::size_t ones = 0;
+  for (const auto m : half) ones += m;
+  EXPECT_EQ(ones, 2u);
+
+  const auto all = select_importance_mask(d, 1.0);
+  ones = 0;
+  for (const auto m : all) ones += m;
+  EXPECT_EQ(ones, 4u);
+}
+
+TEST(MaskSelectionTest, AtLeastOneFeatureSelected) {
+  const auto d = informative_first_feature();
+  const auto mask = select_importance_mask(d, 1e-9);
+  std::size_t ones = 0;
+  for (const auto m : mask) ones += m;
+  EXPECT_EQ(ones, 1u);
+}
+
+TEST(MaskSelectionTest, RejectsBadFraction) {
+  const auto d = informative_first_feature();
+  EXPECT_THROW(select_importance_mask(d, 0.0), std::invalid_argument);
+  EXPECT_THROW(select_importance_mask(d, 1.5), std::invalid_argument);
+}
+
+TEST(MaskSelectionTest, ScoresAreFiniteOnConstantFeatures) {
+  data::Dataset d(1, 2, 2, 4);
+  d.add({2, 0}, 0);
+  d.add({2, 3}, 1);
+  d.add({2, 1}, 0);
+  d.add({2, 2}, 1);
+  const auto scores = feature_f_scores(d);
+  EXPECT_TRUE(std::isfinite(scores[0]));
+  EXPECT_TRUE(std::isfinite(scores[1]));
+  // The constant feature carries no class information.
+  EXPECT_LT(scores[0], scores[1]);
+}
+
+}  // namespace
+}  // namespace univsa::train

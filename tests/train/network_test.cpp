@@ -1,0 +1,202 @@
+#include "univsa/train/univsa_network.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "univsa/data/synthetic.h"
+#include "univsa/train/mask_selection.h"
+#include "univsa/train/univsa_trainer.h"
+
+namespace univsa::train {
+namespace {
+
+vsa::ModelConfig tiny_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 2;
+  c.M = 16;
+  c.D_H = 4;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+data::SyntheticResult tiny_data() {
+  data::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.domain = data::Domain::kFrequency;
+  spec.windows = 4;
+  spec.length = 6;
+  spec.classes = 2;
+  spec.levels = 16;
+  spec.train_count = 120;
+  spec.test_count = 60;
+  spec.noise = 0.25;
+  spec.separation = 1.8;
+  spec.artifact_rate = 0.0;
+  spec.seed = 11;
+  return data::generate(spec);
+}
+
+struct VariantCase {
+  bool use_dvp;
+  bool use_conv;
+  std::size_t theta;
+};
+
+class NetworkVariantTest : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(NetworkVariantTest, ForwardShapeAndBackwardRun) {
+  const auto variant = GetParam();
+  vsa::ModelConfig c = tiny_config();
+  c.Theta = variant.theta;
+  NetworkOptions opts;
+  opts.use_dvp = variant.use_dvp;
+  opts.use_conv = variant.use_conv;
+
+  const auto data = tiny_data();
+  Rng rng(1);
+  const auto mask =
+      variant.use_dvp ? select_importance_mask(data.train, 0.5)
+                      : std::vector<std::uint8_t>{};
+  UniVsaNetwork net(c, opts, mask, rng);
+
+  const std::vector<std::size_t> batch = {0, 1, 2, 3, 4};
+  const Tensor logits = net.forward(data.train, batch);
+  ASSERT_EQ(logits.dim(0), 5u);
+  ASSERT_EQ(logits.dim(1), c.C);
+  Tensor grad(logits.shape());
+  grad.fill(0.1f);
+  EXPECT_NO_THROW(net.backward(grad));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, NetworkVariantTest,
+    ::testing::Values(VariantCase{true, true, 3},   // full UniVSA
+                      VariantCase{true, true, 1},   // no SV
+                      VariantCase{false, true, 1},  // BiConv only
+                      VariantCase{true, false, 1},  // DVP only
+                      VariantCase{false, false, 3}, // SV only
+                      VariantCase{false, false, 1}  // plain LDC
+                      ));
+
+TEST(NetworkTest, BackwardBeforeForwardThrows) {
+  Rng rng(2);
+  NetworkOptions opts;
+  opts.use_dvp = false;
+  UniVsaNetwork net(tiny_config(), opts, {}, rng);
+  EXPECT_THROW(net.backward(Tensor({1, 2})), std::logic_error);
+}
+
+TEST(NetworkTest, DatasetGeometryValidated) {
+  Rng rng(3);
+  NetworkOptions opts;
+  opts.use_dvp = false;
+  UniVsaNetwork net(tiny_config(), opts, {}, rng);
+  data::Dataset wrong(3, 6, 2, 16);
+  wrong.add(std::vector<std::uint16_t>(18, 0), 0);
+  EXPECT_THROW(net.forward(wrong, {0}), std::invalid_argument);
+}
+
+TEST(NetworkTest, TrainingBeatsChanceOnTinyTask) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 15;
+  opts.batch_size = 16;
+  opts.seed = 5;
+  NetworkOptions net_opts;  // full UniVSA
+  TrainedNetwork trained =
+      train_network(tiny_config(), net_opts, data.train, opts);
+  const double acc = trained.network->evaluate(data.test);
+  EXPECT_GT(acc, 0.7) << "test accuracy " << acc;
+}
+
+TEST(NetworkTest, ExtractedModelMatchesNetworkPredictions) {
+  // The central LDC-extraction property (Sec. II-C): the deployed binary
+  // model must agree with the trained partial BNN on every sample.
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.seed = 6;
+  NetworkOptions net_opts;  // DVP + conv + SV
+  TrainedNetwork trained =
+      train_network(tiny_config(), net_opts, data.train, opts);
+
+  const vsa::Model deployed = trained.network->extract_model();
+  std::vector<std::size_t> indices(data.test.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  const auto net_pred = trained.network->predict(data.test, indices);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    EXPECT_EQ(deployed.predict(data.test.values(i)).label, net_pred[i])
+        << "sample " << i;
+  }
+}
+
+TEST(NetworkTest, ExtractedModelMatchesNetworkWithoutDvp) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.seed = 7;
+  NetworkOptions net_opts;
+  net_opts.use_dvp = false;  // conv-only ablation still extracts
+  TrainedNetwork trained =
+      train_network(tiny_config(), net_opts, data.train, opts);
+  const vsa::Model deployed = trained.network->extract_model();
+  std::vector<std::size_t> indices(20);
+  std::iota(indices.begin(), indices.end(), 0);
+  const auto net_pred = trained.network->predict(data.test, indices);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(deployed.predict(data.test.values(i)).label, net_pred[i]);
+  }
+}
+
+TEST(NetworkTest, LdcExtractionMatchesNetwork) {
+  const auto data = tiny_data();
+  vsa::ModelConfig c = tiny_config();
+  c.D_H = 12;  // LDC dimension
+  c.Theta = 1;
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.seed = 8;
+  NetworkOptions net_opts;
+  net_opts.use_dvp = false;
+  net_opts.use_conv = false;
+  TrainedNetwork trained = train_network(c, net_opts, data.train, opts);
+  const vsa::LdcModel deployed = trained.network->extract_ldc_model();
+  EXPECT_EQ(deployed.dim(), 12u);
+
+  std::vector<std::size_t> indices(data.test.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  const auto net_pred = trained.network->predict(data.test, indices);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    EXPECT_EQ(deployed.predict(data.test.values(i)), net_pred[i]);
+  }
+}
+
+TEST(NetworkTest, ExtractionRequiresMatchingArchitecture) {
+  Rng rng(9);
+  NetworkOptions no_conv;
+  no_conv.use_conv = false;
+  no_conv.use_dvp = false;
+  UniVsaNetwork ldc_net(tiny_config(), no_conv, {}, rng);
+  EXPECT_THROW(ldc_net.extract_model(), std::invalid_argument);
+
+  NetworkOptions full;
+  const auto mask = std::vector<std::uint8_t>(24, 1);
+  UniVsaNetwork conv_net(tiny_config(), full, mask, rng);
+  EXPECT_THROW(conv_net.extract_ldc_model(), std::invalid_argument);
+}
+
+TEST(NetworkTest, MaskSizeValidatedUnderDvp) {
+  Rng rng(10);
+  NetworkOptions opts;  // dvp on
+  EXPECT_THROW(UniVsaNetwork(tiny_config(), opts, {1, 1, 1}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::train

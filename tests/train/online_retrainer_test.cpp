@@ -1,0 +1,163 @@
+#include "univsa/train/online_retrainer.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/synthetic.h"
+#include "univsa/train/univsa_trainer.h"
+
+namespace univsa::train {
+namespace {
+
+data::SyntheticSpec base_spec() {
+  data::SyntheticSpec spec;
+  spec.name = "drift";
+  spec.domain = data::Domain::kFrequency;
+  spec.windows = 6;
+  spec.length = 10;
+  spec.classes = 3;
+  spec.levels = 32;
+  spec.train_count = 220;
+  spec.test_count = 150;
+  spec.noise = 0.4;
+  spec.artifact_rate = 0.0;
+  spec.seed = 71;
+  return spec;
+}
+
+vsa::ModelConfig model_config() {
+  vsa::ModelConfig c;
+  c.W = 6;
+  c.L = 10;
+  c.C = 3;
+  c.M = 32;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 10;
+  c.Theta = 3;
+  return c;
+}
+
+struct Scenario {
+  vsa::Model model;               // trained on session A
+  data::SyntheticResult session_a;
+  data::SyntheticResult session_b;  // drifted
+};
+
+const Scenario& scenario() {
+  static const Scenario s = [] {
+    const data::SyntheticSpec spec_a = base_spec();
+    data::SyntheticSpec spec_b = base_spec();
+    spec_b.drift = 0.35;
+    spec_b.drift_seed = 5;
+
+    Scenario sc{vsa::Model(), data::generate(spec_a),
+                data::generate(spec_b)};
+    TrainOptions options;
+    options.epochs = 12;
+    options.seed = 3;
+    sc.model =
+        train_univsa(model_config(), sc.session_a.train, options).model;
+    return sc;
+  }();
+  return s;
+}
+
+TEST(DriftTest, DriftedSessionIsHarderForTheFrozenModel) {
+  const double on_a = scenario().model.accuracy(scenario().session_a.test);
+  const double on_b = scenario().model.accuracy(scenario().session_b.test);
+  EXPECT_GT(on_a, 0.75);
+  EXPECT_LT(on_b, on_a - 0.05) << "drift did not degrade the model";
+}
+
+TEST(DriftTest, ZeroDriftChangesNothing) {
+  data::SyntheticSpec spec = base_spec();
+  spec.drift = 0.0;
+  const auto a = data::generate(base_spec());
+  const auto b = data::generate(spec);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.train.values(i), b.train.values(i));
+  }
+}
+
+TEST(OnlineRetrainerTest, RecoversAccuracyOnDriftedSession) {
+  const auto& sc = scenario();
+  const double before = sc.model.accuracy(sc.session_b.test);
+  const OnlineRetrainResult r =
+      adapt_class_vectors(sc.model, sc.session_b.train);
+  const double after = r.model.accuracy(sc.session_b.test);
+  EXPECT_GT(after, before + 0.03)
+      << "adaptation gained too little: " << before << " -> " << after;
+  EXPECT_GT(r.flipped_lanes, 0u);
+}
+
+TEST(OnlineRetrainerTest, OnlyClassVectorsChange) {
+  const auto& sc = scenario();
+  const OnlineRetrainResult r =
+      adapt_class_vectors(sc.model, sc.session_b.train);
+  EXPECT_EQ(r.model.mask(), sc.model.mask());
+  EXPECT_EQ(r.model.value_table_high(), sc.model.value_table_high());
+  EXPECT_EQ(r.model.kernel_bits(), sc.model.kernel_bits());
+  EXPECT_EQ(r.model.feature_vectors(), sc.model.feature_vectors());
+  // Encodings are therefore identical.
+  EXPECT_EQ(r.model.encode(sc.session_b.test.values(0)),
+            sc.model.encode(sc.session_b.test.values(0)));
+}
+
+TEST(OnlineRetrainerTest, UpdatesDecreaseAcrossEpochs) {
+  const auto& sc = scenario();
+  OnlineRetrainOptions options;
+  options.epochs = 5;
+  const OnlineRetrainResult r =
+      adapt_class_vectors(sc.model, sc.session_b.train, options);
+  ASSERT_GE(r.updates_per_epoch.size(), 2u);
+  EXPECT_LE(r.updates_per_epoch.back(),
+            r.updates_per_epoch.front());
+}
+
+TEST(OnlineRetrainerTest, AdaptingToTheSameSessionDoesLittleHarm) {
+  const auto& sc = scenario();
+  const double before = sc.model.accuracy(sc.session_a.test);
+  const OnlineRetrainResult r =
+      adapt_class_vectors(sc.model, sc.session_a.train);
+  const double after = r.model.accuracy(sc.session_a.test);
+  EXPECT_GT(after, before - 0.06);
+}
+
+TEST(OnlineRetrainerTest, HighInertiaFlipsFewerLanes) {
+  const auto& sc = scenario();
+  OnlineRetrainOptions plastic;
+  plastic.inertia = 1;
+  plastic.epochs = 2;
+  OnlineRetrainOptions stable;
+  stable.inertia = 50;
+  stable.epochs = 2;
+  const auto r_plastic =
+      adapt_class_vectors(sc.model, sc.session_b.train, plastic);
+  const auto r_stable =
+      adapt_class_vectors(sc.model, sc.session_b.train, stable);
+  EXPECT_LT(r_stable.flipped_lanes, r_plastic.flipped_lanes);
+}
+
+TEST(OnlineRetrainerTest, DeterministicForSeed) {
+  const auto& sc = scenario();
+  const auto a = adapt_class_vectors(sc.model, sc.session_b.train);
+  const auto b = adapt_class_vectors(sc.model, sc.session_b.train);
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.updates_per_epoch, b.updates_per_epoch);
+}
+
+TEST(OnlineRetrainerTest, ValidatesInputs) {
+  const auto& sc = scenario();
+  data::Dataset wrong(3, 3, 3, 32);
+  wrong.add(std::vector<std::uint16_t>(9, 0), 0);
+  EXPECT_THROW(adapt_class_vectors(sc.model, wrong),
+               std::invalid_argument);
+  OnlineRetrainOptions bad;
+  bad.epochs = 0;
+  EXPECT_THROW(adapt_class_vectors(sc.model, sc.session_b.train, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::train

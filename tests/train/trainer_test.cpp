@@ -1,0 +1,132 @@
+#include "univsa/train/univsa_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/synthetic.h"
+#include "univsa/train/ldc_trainer.h"
+
+namespace univsa::train {
+namespace {
+
+data::SyntheticResult tiny_data(std::uint64_t seed = 21) {
+  data::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.domain = data::Domain::kTime;
+  spec.windows = 4;
+  spec.length = 8;
+  spec.classes = 2;
+  spec.levels = 32;
+  spec.train_count = 150;
+  spec.test_count = 80;
+  spec.noise = 0.3;
+  spec.separation = 1.5;
+  spec.seed = seed;
+  return data::generate(spec);
+}
+
+vsa::ModelConfig tiny_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 8;
+  c.C = 2;
+  c.M = 32;
+  c.D_H = 4;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 6;
+  c.Theta = 1;
+  return c;
+}
+
+TEST(TrainerTest, LossDecreasesOverTraining) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 12;
+  opts.seed = 1;
+  const UniVsaTrainResult r = train_univsa(tiny_config(), data.train, opts);
+  ASSERT_EQ(r.history.size(), 12u);
+  EXPECT_LT(r.history.back().loss, r.history.front().loss);
+}
+
+TEST(TrainerTest, DeployedModelBeatsChance) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 15;
+  opts.seed = 2;
+  const UniVsaTrainResult r = train_univsa(tiny_config(), data.train, opts);
+  EXPECT_GT(r.model.accuracy(data.test), 0.7);
+}
+
+TEST(TrainerTest, SameSeedGivesIdenticalModel) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.seed = 3;
+  const UniVsaTrainResult a = train_univsa(tiny_config(), data.train, opts);
+  const UniVsaTrainResult b = train_univsa(tiny_config(), data.train, opts);
+  EXPECT_EQ(a.model, b.model);
+}
+
+TEST(TrainerTest, DifferentSeedsGiveDifferentModels) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.seed = 4;
+  const UniVsaTrainResult a = train_univsa(tiny_config(), data.train, opts);
+  opts.seed = 5;
+  const UniVsaTrainResult b = train_univsa(tiny_config(), data.train, opts);
+  EXPECT_NE(a.model, b.model);
+}
+
+TEST(TrainerTest, ValidatesOptions) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 0;
+  EXPECT_THROW(train_univsa(tiny_config(), data.train, opts),
+               std::invalid_argument);
+}
+
+TEST(TrainerTest, TrainedModelConfigMatchesRequest) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 2;
+  const vsa::ModelConfig c = tiny_config();
+  const UniVsaTrainResult r = train_univsa(c, data.train, opts);
+  EXPECT_EQ(r.model.config(), c);
+}
+
+TEST(LdcTrainerTest, BeatsChanceAndExtractsRequestedDimension) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 15;
+  opts.seed = 6;
+  const LdcTrainResult r = train_ldc(data.train, 16, opts);
+  EXPECT_EQ(r.model.dim(), 16u);
+  EXPECT_GT(r.model.accuracy(data.test), 0.65);
+}
+
+TEST(LdcTrainerTest, SupportsDimensionsBeyondPackedLaneLimit) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.seed = 7;
+  // D = 64 exceeds the 32-lane conv path limit but LDC has no conv.
+  const LdcTrainResult r = train_ldc(data.train, 64, opts);
+  EXPECT_EQ(r.model.dim(), 64u);
+}
+
+TEST(TrainerTest, MaskFractionRespected) {
+  const auto data = tiny_data();
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.mask_high_fraction = 0.25;
+  NetworkOptions net_opts;
+  const TrainedNetwork t =
+      train_network(tiny_config(), net_opts, data.train, opts);
+  std::size_t ones = 0;
+  for (const auto m : t.mask) ones += m;
+  EXPECT_EQ(ones, 8u);  // 0.25 · 32 features
+}
+
+}  // namespace
+}  // namespace univsa::train

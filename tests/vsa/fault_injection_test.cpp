@@ -1,0 +1,169 @@
+// Fault injection on the deployed binary model.
+//
+// A core practical argument for binary VSA on stringent devices is
+// graceful degradation: the class decision is a majority over thousands
+// of independent lanes, so isolated bit faults in the stored vector sets
+// (SEUs in BRAM, flash wear) shave margin instead of flipping behaviour.
+// These tests flip controlled fractions of F and C bits and check the
+// degradation profile.
+#include <gtest/gtest.h>
+
+#include "univsa/data/synthetic.h"
+#include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::vsa {
+namespace {
+
+struct Deployed {
+  data::SyntheticResult data;
+  Model model;
+};
+
+const Deployed& deployed() {
+  static const Deployed d = [] {
+    data::SyntheticSpec spec;
+    spec.name = "fault";
+    spec.domain = data::Domain::kFrequency;
+    spec.windows = 6;
+    spec.length = 12;
+    spec.classes = 2;
+    spec.levels = 32;
+    spec.train_count = 200;
+    spec.test_count = 150;
+    spec.noise = 0.4;
+    spec.artifact_rate = 0.0;
+    spec.seed = 55;
+    auto data = data::generate(spec);
+
+    ModelConfig config;
+    config.W = 6;
+    config.L = 12;
+    config.C = 2;
+    config.M = 32;
+    config.D_H = 8;
+    config.D_L = 2;
+    config.D_K = 3;
+    config.O = 12;
+    config.Theta = 3;
+    train::TrainOptions options;
+    options.epochs = 12;
+    options.seed = 3;
+    auto trained = train::train_univsa(config, data.train, options);
+    return Deployed{std::move(data), std::move(trained.model)};
+  }();
+  return d;
+}
+
+/// Rebuilds the model with `fraction` of the F and C lanes flipped.
+Model with_flipped_bits(const Model& m, double fraction, Rng& rng) {
+  const ModelConfig& c = m.config();
+  const std::size_t ns = c.sample_dim();
+  const std::size_t kk = c.D_K * c.D_K;
+
+  Tensor v_high({c.M, c.D_H});
+  Tensor v_low({c.M, c.D_L});
+  for (std::size_t level = 0; level < c.M; ++level) {
+    for (std::size_t d = 0; d < c.D_H; ++d) {
+      v_high.at(level, d) =
+          static_cast<float>(m.value_table_high()[level].get(d));
+    }
+    for (std::size_t d = 0; d < c.D_L; ++d) {
+      v_low.at(level, d) =
+          static_cast<float>(m.value_table_low()[level].get(d));
+    }
+  }
+  Tensor kernels({c.O, c.D_H * kk});
+  for (std::size_t o = 0; o < c.O; ++o) {
+    for (std::size_t d = 0; d < c.D_H; ++d) {
+      for (std::size_t k = 0; k < kk; ++k) {
+        kernels.at(o, d * kk + k) =
+            (m.kernel_bits()[o][k] >> d) & 1u ? 1.0f : -1.0f;
+      }
+    }
+  }
+  Tensor features({c.O, ns});
+  for (std::size_t o = 0; o < c.O; ++o) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      const float bit = static_cast<float>(m.feature_vectors()[o].get(j));
+      features.at(o, j) = rng.bernoulli(fraction) ? -bit : bit;
+    }
+  }
+  Tensor classes({c.Theta * c.C, ns});
+  for (std::size_t r = 0; r < c.Theta * c.C; ++r) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      const float bit = static_cast<float>(m.class_vectors()[r].get(j));
+      classes.at(r, j) = rng.bernoulli(fraction) ? -bit : bit;
+    }
+  }
+  return Model(c, m.mask(), v_high, v_low, kernels, features, classes);
+}
+
+TEST(FaultInjectionTest, ZeroFlipRateIsIdentity) {
+  Rng rng(1);
+  const Model flipped = with_flipped_bits(deployed().model, 0.0, rng);
+  EXPECT_EQ(flipped, deployed().model);
+}
+
+TEST(FaultInjectionTest, SmallFaultRatesShaveLittleAccuracy) {
+  Rng rng(2);
+  const double clean = deployed().model.accuracy(deployed().data.test);
+  ASSERT_GT(clean, 0.8);
+  const Model faulty = with_flipped_bits(deployed().model, 0.01, rng);
+  const double acc = faulty.accuracy(deployed().data.test);
+  EXPECT_GT(acc, clean - 0.10) << "1% faults cost more than 10 points";
+}
+
+TEST(FaultInjectionTest, DegradationIsGraceful) {
+  // Accuracy under increasing fault rate must fall off smoothly toward
+  // chance, not cliff at the first faults.
+  Rng rng(3);
+  const double clean = deployed().model.accuracy(deployed().data.test);
+  double prev = clean;
+  for (const double rate : {0.02, 0.10, 0.30}) {
+    const Model faulty = with_flipped_bits(deployed().model, rate, rng);
+    const double acc = faulty.accuracy(deployed().data.test);
+    // Allow small non-monotonicity from randomness, no cliffs.
+    EXPECT_GT(acc, 0.35) << "rate " << rate;
+    EXPECT_LT(acc, prev + 0.10) << "rate " << rate;
+    prev = acc;
+  }
+}
+
+TEST(FaultInjectionTest, FullCorruptionIsChanceLevel) {
+  // Flipping every lane negates F and C; the compounded negations cancel
+  // in encoding (both F and u's sign structure flip), so compare against
+  // 50% random flips, which is true noise.
+  Rng rng(4);
+  const Model noise = with_flipped_bits(deployed().model, 0.5, rng);
+  const double acc = noise.accuracy(deployed().data.test);
+  EXPECT_GT(acc, 0.30);
+  EXPECT_LT(acc, 0.75);  // 2-class chance band
+}
+
+TEST(FaultInjectionTest, SingleBitFlipChangesFewPredictions) {
+  Rng rng(5);
+  const Model& clean = deployed().model;
+  Model faulty = with_flipped_bits(clean, 0.0, rng);
+  // Flip exactly one F bit via the rebuild helper at a tiny rate until
+  // one flip lands.
+  Model one_flip = clean;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Rng attempt_rng(100 + attempt);
+    one_flip = with_flipped_bits(clean, 0.0005, attempt_rng);
+    if (!(one_flip == clean)) break;
+  }
+  ASSERT_FALSE(one_flip == clean);
+  std::size_t changed = 0;
+  const auto& test = deployed().data.test;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (one_flip.predict(test.values(i)).label !=
+        clean.predict(test.values(i)).label) {
+      ++changed;
+    }
+  }
+  EXPECT_LT(changed, test.size() / 10);
+}
+
+}  // namespace
+}  // namespace univsa::vsa

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "univsa/vsa/ldc_model.h"
+#include "univsa/vsa/lehdc_model.h"
+
+namespace univsa::vsa {
+namespace {
+
+TEST(LdcModelTest, EncodeMatchesEquationOne) {
+  // Build an LdcModel from known tensors and cross-check Eq. 1 naively.
+  const std::size_t dim = 16;
+  Rng rng(1);
+  const Tensor values_t = Tensor::rand_sign({4, dim}, rng);
+  const Tensor features_t = Tensor::rand_sign({6, dim}, rng);
+  const Tensor classes_t = Tensor::rand_sign({2, dim}, rng);
+  const LdcModel m(2, 3, values_t, features_t, classes_t);
+
+  Rng sample_rng(2);
+  std::vector<std::uint16_t> values(6);
+  for (auto& v : values) {
+    v = static_cast<std::uint16_t>(sample_rng.uniform_index(4));
+  }
+  const BitVec s = m.encode(values);
+  ASSERT_EQ(s.size(), dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < 6; ++i) {
+      sum += features_t.at(i, j) * values_t.at(values[i], j);
+    }
+    EXPECT_EQ(s.get(j), sum >= 0.0f ? 1 : -1) << "lane " << j;
+  }
+  EXPECT_EQ(m.encode(values), s);  // deterministic
+}
+
+TEST(LdcModelTest, MajorityOfIdenticalBindingsIsThatBinding) {
+  // If every feature vector is all-ones, encode(x) = sgn(Σ v_{x_i}).
+  const std::size_t dim = 8;
+  Tensor values = Tensor::from_data(
+      {2, dim}, {1, 1, 1, 1, 1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1, -1});
+  Tensor features = Tensor::full({3, dim}, 1.0f);
+  Tensor classes = Tensor::full({2, dim}, 1.0f);
+  for (std::size_t j = 0; j < dim; ++j) classes.at(1, j) = -1.0f;
+  const LdcModel m(1, 3, values, features, classes);
+
+  // Two features with value 0 (all +1), one with value 1 (all -1):
+  // sums = +1 -> s all +1 -> class 0.
+  EXPECT_EQ(m.predict({0, 0, 1}), 0);
+  // Majority -1 -> class 1.
+  EXPECT_EQ(m.predict({1, 1, 0}), 1);
+}
+
+TEST(LdcModelTest, AccuracyOnDesignedDataset) {
+  const std::size_t dim = 8;
+  Tensor values = Tensor::from_data(
+      {2, dim}, {1, 1, 1, 1, 1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1, -1});
+  Tensor features = Tensor::full({3, dim}, 1.0f);
+  Tensor classes = Tensor::full({2, dim}, 1.0f);
+  for (std::size_t j = 0; j < dim; ++j) classes.at(1, j) = -1.0f;
+  const LdcModel m(1, 3, values, features, classes);
+
+  data::Dataset d(1, 3, 2, 2);
+  d.add({0, 0, 0}, 0);
+  d.add({0, 0, 1}, 0);
+  d.add({1, 1, 1}, 1);
+  d.add({1, 1, 0}, 1);
+  EXPECT_EQ(m.accuracy(d), 1.0);
+}
+
+TEST(LdcModelTest, ValidatesGeometry) {
+  Rng rng(3);
+  Tensor values = Tensor::rand_sign({4, 16}, rng);
+  Tensor features = Tensor::rand_sign({5, 16}, rng);  // != W·L = 6
+  Tensor classes = Tensor::rand_sign({2, 16}, rng);
+  EXPECT_THROW(LdcModel(2, 3, values, features, classes),
+               std::invalid_argument);
+}
+
+TEST(LdcModelTest, ValueLevelRangeChecked) {
+  Rng rng(4);
+  const LdcModel m = LdcModel::random(1, 2, 4, 2, 8, rng);
+  EXPECT_THROW(m.predict({0, 4}), std::invalid_argument);
+  EXPECT_THROW(m.predict({0}), std::invalid_argument);
+}
+
+TEST(LehdcModelTest, EncodeMatchesNaivePerLaneAccumulation) {
+  const std::size_t dim = 32;
+  Rng rng(5);
+  auto v = LehdcModel::random_bipolar(4 * dim, rng);
+  auto f = LehdcModel::random_bipolar(6 * dim, rng);
+  Tensor classes = Tensor::rand_sign({2, dim}, rng);
+  const LehdcModel m(2, 3, 4, dim, v, f, classes);
+
+  const std::vector<std::uint16_t> values = {0, 3, 1, 2, 0, 1};
+  const BitVec s = m.encode(values);
+  for (std::size_t j = 0; j < dim; ++j) {
+    int sum = 0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      sum += static_cast<int>(f[i * dim + j]) *
+             v[static_cast<std::size_t>(values[i]) * dim + j];
+    }
+    EXPECT_EQ(s.get(j), sum >= 0 ? 1 : -1) << "lane " << j;
+  }
+}
+
+TEST(LehdcModelTest, PredictPicksNearestClassVector) {
+  const std::size_t dim = 16;
+  Rng rng(6);
+  auto v = LehdcModel::random_bipolar(2 * dim, rng);
+  auto f = LehdcModel::random_bipolar(2 * dim, rng);
+  // Class 0 vector = the encoding of a known sample; class 1 = negation.
+  Tensor classes({2, dim});
+  {
+    const LehdcModel probe(1, 2, 2, dim, v, f,
+                           Tensor::rand_sign({2, dim}, rng));
+    const BitVec s = probe.encode({0, 1});
+    for (std::size_t j = 0; j < dim; ++j) {
+      classes.at(0, j) = static_cast<float>(s.get(j));
+      classes.at(1, j) = -static_cast<float>(s.get(j));
+    }
+  }
+  const LehdcModel m(1, 2, 2, dim, v, f, classes);
+  EXPECT_EQ(m.predict({0, 1}), 0);
+}
+
+TEST(LehdcModelTest, ValidatesLaneCounts) {
+  Rng rng(7);
+  auto v = LehdcModel::random_bipolar(4 * 8, rng);
+  auto f = LehdcModel::random_bipolar(5 * 8, rng);  // wrong: N = 6
+  Tensor classes = Tensor::rand_sign({2, 8}, rng);
+  EXPECT_THROW(LehdcModel(2, 3, 4, 8, v, f, classes),
+               std::invalid_argument);
+}
+
+TEST(LehdcModelTest, LevelEncodingCorrelationFallsOffLinearly) {
+  Rng rng(11);
+  const std::size_t levels = 64;
+  const std::size_t dim = 4096;
+  const auto lanes = LehdcModel::level_encoded_values(levels, dim, rng);
+  const auto corr = [&](std::size_t a, std::size_t b) {
+    long long dot = 0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      dot += static_cast<long long>(lanes[a * dim + j]) *
+             lanes[b * dim + j];
+    }
+    return static_cast<double>(dot) / static_cast<double>(dim);
+  };
+  // Adjacent levels nearly identical; endpoints ~orthogonal; halfway
+  // level correlation ~0.5 with level 0.
+  EXPECT_GT(corr(0, 1), 0.95);
+  EXPECT_NEAR(corr(0, levels - 1), 0.0, 0.05);
+  EXPECT_NEAR(corr(0, levels / 2), 0.5, 0.06);
+  // Monotone in distance from level 0.
+  EXPECT_GT(corr(0, 8), corr(0, 16));
+  EXPECT_GT(corr(0, 16), corr(0, 32));
+}
+
+TEST(LehdcModelTest, LevelEncodingLanesAreBipolar) {
+  Rng rng(12);
+  const auto lanes = LehdcModel::level_encoded_values(8, 128, rng);
+  ASSERT_EQ(lanes.size(), 8u * 128u);
+  for (const auto x : lanes) {
+    EXPECT_TRUE(x == 1 || x == -1);
+  }
+}
+
+TEST(LehdcModelTest, LevelEncodingRejectsDegenerate) {
+  Rng rng(13);
+  EXPECT_THROW(LehdcModel::level_encoded_values(1, 16, rng),
+               std::invalid_argument);
+}
+
+TEST(LehdcModelTest, RejectsNonBipolarLanes) {
+  Rng rng(8);
+  auto v = LehdcModel::random_bipolar(4 * 8, rng);
+  auto f = LehdcModel::random_bipolar(6 * 8, rng);
+  v[3] = 0;
+  Tensor classes = Tensor::rand_sign({2, 8}, rng);
+  EXPECT_THROW(LehdcModel(2, 3, 4, 8, v, f, classes),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::vsa

@@ -1,0 +1,130 @@
+#include "univsa/vsa/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/benchmarks.h"
+#include "univsa/report/paper_constants.h"
+
+namespace univsa::vsa {
+namespace {
+
+TEST(MemoryModelTest, BreakdownTermsMatchEquationFive) {
+  ModelConfig c;
+  c.W = 16;
+  c.L = 64;
+  c.C = 2;
+  c.M = 256;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 95;
+  c.Theta = 1;
+  const MemoryBreakdown b = memory_breakdown(c);
+  EXPECT_EQ(b.value_vectors, 256u * 10u);
+  EXPECT_EQ(b.conv_kernels, 95u * 8u * 9u);
+  EXPECT_EQ(b.feature_vectors, 1024u * 95u);
+  EXPECT_EQ(b.class_vectors, 1024u * 1u * 2u);
+  EXPECT_EQ(b.total_bits(), memory_bits(c));
+}
+
+TEST(MemoryModelTest, ReproducesEveryTableTwoUniVsaMemoryFigure) {
+  // The strongest anchor of the reproduction: Eq. 5 evaluated on the
+  // Table I configurations gives Table II's UniVSA memory column exactly
+  // (to the 0.01 KB the paper prints).
+  const auto& paper = report::paper_table2();
+  for (const auto& row : paper) {
+    const auto& bench = data::find_benchmark(row.task);
+    EXPECT_NEAR(memory_kb(bench.config), row.univsa_kb, 0.005)
+        << row.task;
+  }
+}
+
+TEST(MemoryModelTest, ReproducesTableTwoLdcMemoryColumn) {
+  const auto& paper = report::paper_table2();
+  for (const auto& row : paper) {
+    const auto& bench = data::find_benchmark(row.task);
+    const double kb =
+        ldc_memory_kb(bench.config.features(), bench.config.C, 128);
+    EXPECT_NEAR(kb, row.ldc_kb, 0.02) << row.task;
+  }
+}
+
+TEST(MemoryModelTest, ReproducesTableTwoLehdcMemoryColumn) {
+  const auto& paper = report::paper_table2();
+  for (const auto& row : paper) {
+    const auto& bench = data::find_benchmark(row.task);
+    const double kb = lehdc_memory_kb(bench.config.features(),
+                                      bench.config.C, 256, 10000);
+    EXPECT_NEAR(kb, row.lehdc_kb, 0.005) << row.task;
+  }
+}
+
+TEST(MemoryModelTest, ReproducesTableTwoLdaMemoryColumn) {
+  const auto& paper = report::paper_table2();
+  for (const auto& row : paper) {
+    const auto& bench = data::find_benchmark(row.task);
+    const double kb = lda_memory_kb(bench.config.features(),
+                                    bench.config.C);
+    EXPECT_NEAR(kb, row.lda_kb, 0.005) << row.task;
+  }
+}
+
+TEST(MemoryModelTest, SvmAccountingScalesWithSupportVectors) {
+  const double small = svm_memory_kb(1024, 100, 1);
+  const double large = svm_memory_kb(1024, 1000, 1);
+  EXPECT_GT(large, 9.0 * small);
+  // 16-bit floats: 100 SVs × 1024 features ≈ 204.8 KB + coefficients.
+  EXPECT_NEAR(small, (100.0 * 1024 + 100 + 1) * 2 / 1000.0, 1e-6);
+}
+
+TEST(MemoryModelTest, PenaltyIsLambdaSumAtBasis) {
+  // At the basis configuration, Memory/M0 = Resource/R0 = 1, so
+  // L_HW = λ1 + λ2 (Eq. 7).
+  ModelConfig task;
+  task.W = 16;
+  task.L = 40;
+  task.C = 26;
+  const ModelConfig basis = hardware_basis(task);
+  EXPECT_NEAR(hardware_penalty(basis), 0.01, 1e-9);
+  EXPECT_NEAR(hardware_penalty(basis, 0.1, 0.2), 0.3, 1e-9);
+}
+
+TEST(MemoryModelTest, PenaltyGrowsWithResources) {
+  ModelConfig task;
+  task.W = 16;
+  task.L = 40;
+  task.C = 26;
+  ModelConfig small = hardware_basis(task);
+  ModelConfig big = small;
+  big.O = 128;
+  EXPECT_GT(hardware_penalty(big), hardware_penalty(small));
+}
+
+TEST(MemoryModelTest, ResourceUnitsFollowEquationSix) {
+  ModelConfig c;
+  c.W = 4;
+  c.L = 4;
+  c.C = 2;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 5;
+  c.O = 32;
+  c.Theta = 1;
+  EXPECT_EQ(resource_units(c), 5u * 32u * 8u);
+}
+
+TEST(MemoryModelTest, InvalidConfigRejected) {
+  ModelConfig c;  // W = L = C = 0
+  EXPECT_THROW(memory_bits(c), std::invalid_argument);
+  c.W = 4;
+  c.L = 4;
+  c.C = 2;
+  c.D_K = 4;  // even kernel
+  EXPECT_THROW(memory_bits(c), std::invalid_argument);
+  c.D_K = 3;
+  c.D_L = 16;  // D_L > D_H
+  EXPECT_THROW(memory_bits(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::vsa

@@ -1,0 +1,158 @@
+// Edge-of-the-envelope configurations for the deployed model and the
+// hardware functional simulator: minimal dimensions, maximal lane
+// counts, degenerate grids. These are the places where index arithmetic
+// and padding masks break first.
+#include <gtest/gtest.h>
+
+#include "univsa/hw/functional_sim.h"
+#include "univsa/vsa/memory_model.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::vsa {
+namespace {
+
+std::vector<std::uint16_t> random_sample(const ModelConfig& c, Rng& rng) {
+  std::vector<std::uint16_t> values(c.features());
+  for (auto& v : values) {
+    v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  }
+  return values;
+}
+
+struct EdgeCase {
+  const char* name;
+  ModelConfig config;
+};
+
+EdgeCase make_case(const char* name, std::size_t w, std::size_t l,
+                   std::size_t classes, std::size_t m, std::size_t d_h,
+                   std::size_t d_l, std::size_t d_k, std::size_t o,
+                   std::size_t theta) {
+  EdgeCase e;
+  e.name = name;
+  e.config.W = w;
+  e.config.L = l;
+  e.config.C = classes;
+  e.config.M = m;
+  e.config.D_H = d_h;
+  e.config.D_L = d_l;
+  e.config.D_K = d_k;
+  e.config.O = o;
+  e.config.Theta = theta;
+  return e;
+}
+
+class ModelEdgeTest : public ::testing::TestWithParam<EdgeCase> {};
+
+TEST_P(ModelEdgeTest, PredictsAndMatchesFunctionalSim) {
+  const EdgeCase& e = GetParam();
+  Rng rng(99);
+  const Model m = Model::random(e.config, rng);
+  const hw::Accelerator accel(m);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto values = random_sample(e.config, rng);
+    const Prediction sw = m.predict(values);
+    ASSERT_GE(sw.label, 0);
+    ASSERT_LT(static_cast<std::size_t>(sw.label), e.config.C);
+    const hw::RunTrace trace = accel.run(values);
+    EXPECT_EQ(trace.prediction.label, sw.label) << e.name;
+    EXPECT_EQ(trace.prediction.scores, sw.scores) << e.name;
+  }
+}
+
+TEST_P(ModelEdgeTest, MemoryModelIsConsistentWithBreakdown) {
+  const EdgeCase& e = GetParam();
+  const MemoryBreakdown b = memory_breakdown(e.config);
+  EXPECT_EQ(b.total_bits(), memory_bits(e.config)) << e.name;
+  EXPECT_GT(memory_kb(e.config), 0.0) << e.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ModelEdgeTest,
+    ::testing::Values(
+        // Minimal everything.
+        make_case("minimal", 1, 1, 2, 2, 1, 1, 1, 1, 1),
+        // Single row / single column grids exercise padding on one axis.
+        make_case("single_row", 1, 9, 2, 4, 4, 2, 3, 3, 1),
+        make_case("single_col", 9, 1, 3, 4, 4, 1, 3, 2, 2),
+        // Kernel bigger than one grid axis: every patch is partial.
+        make_case("kernel_gt_width", 2, 7, 2, 8, 4, 2, 5, 3, 1),
+        // Max supported channel lanes.
+        make_case("max_lanes", 3, 4, 2, 4, 32, 4, 3, 2, 1),
+        // D_L == D_H (DVP degenerates to a single width).
+        make_case("equal_dims", 4, 4, 2, 8, 4, 4, 3, 4, 1),
+        // Many voters, many classes.
+        make_case("wide_vote", 3, 5, 7, 4, 2, 1, 3, 3, 5),
+        // Sample dim exactly on a 64-bit word boundary.
+        make_case("word_boundary", 8, 8, 2, 4, 4, 2, 3, 2, 1)),
+    [](const ::testing::TestParamInfo<EdgeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ModelEdgeTest2, AllLowMaskUsesOnlyVLow) {
+  // Force every feature low-importance; lanes [D_L, D_H) must be dead.
+  ModelConfig c;
+  c.W = 3;
+  c.L = 3;
+  c.C = 2;
+  c.M = 4;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 3;
+  c.Theta = 1;
+  Rng rng(5);
+  const std::size_t kk = c.D_K * c.D_K;
+  const Tensor v_high = Tensor::rand_sign({c.M, c.D_H}, rng);
+  const Tensor v_low = Tensor::rand_sign({c.M, c.D_L}, rng);
+  const Tensor kernels = Tensor::rand_sign({c.O, c.D_H * kk}, rng);
+  const Tensor features = Tensor::rand_sign({c.O, c.sample_dim()}, rng);
+  const Tensor classes =
+      Tensor::rand_sign({c.C, c.sample_dim()}, rng);
+  const std::vector<std::uint8_t> all_low(c.features(), 0);
+  const Model m(c, all_low, v_high, v_low, kernels, features, classes);
+
+  // Changing V_H must not change any prediction.
+  Tensor v_high_flipped = v_high;
+  for (auto& x : v_high_flipped.flat()) x = -x;
+  const Model m2(c, all_low, v_high_flipped, v_low, kernels, features,
+                 classes);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto values = random_sample(c, rng);
+    EXPECT_EQ(m.predict(values).label, m2.predict(values).label);
+    EXPECT_EQ(m.predict(values).scores, m2.predict(values).scores);
+  }
+}
+
+TEST(ModelEdgeTest2, AllHighMaskIgnoresVLow) {
+  ModelConfig c;
+  c.W = 3;
+  c.L = 3;
+  c.C = 2;
+  c.M = 4;
+  c.D_H = 6;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 3;
+  c.Theta = 1;
+  Rng rng(6);
+  const std::size_t kk = c.D_K * c.D_K;
+  const Tensor v_high = Tensor::rand_sign({c.M, c.D_H}, rng);
+  const Tensor v_low = Tensor::rand_sign({c.M, c.D_L}, rng);
+  Tensor v_low_flipped = v_low;
+  for (auto& x : v_low_flipped.flat()) x = -x;
+  const Tensor kernels = Tensor::rand_sign({c.O, c.D_H * kk}, rng);
+  const Tensor features = Tensor::rand_sign({c.O, c.sample_dim()}, rng);
+  const Tensor classes = Tensor::rand_sign({c.C, c.sample_dim()}, rng);
+  const std::vector<std::uint8_t> all_high(c.features(), 1);
+  const Model a(c, all_high, v_high, v_low, kernels, features, classes);
+  const Model b(c, all_high, v_high, v_low_flipped, kernels, features,
+                classes);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto values = random_sample(c, rng);
+    EXPECT_EQ(a.predict(values).scores, b.predict(values).scores);
+  }
+}
+
+}  // namespace
+}  // namespace univsa::vsa

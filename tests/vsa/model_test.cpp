@@ -1,0 +1,303 @@
+#include "univsa/vsa/model.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::vsa {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+std::vector<std::uint16_t> random_sample(const ModelConfig& c, Rng& rng) {
+  std::vector<std::uint16_t> values(c.features());
+  for (auto& v : values) {
+    v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  }
+  return values;
+}
+
+TEST(ModelTest, RandomModelHasConsistentShapes) {
+  Rng rng(1);
+  const Model m = Model::random(small_config(), rng);
+  EXPECT_EQ(m.mask().size(), 24u);
+  EXPECT_EQ(m.value_table_high().size(), 16u);
+  EXPECT_EQ(m.value_table_high()[0].size(), 8u);
+  EXPECT_EQ(m.value_table_low()[0].size(), 2u);
+  EXPECT_EQ(m.kernel_bits().size(), 5u);
+  EXPECT_EQ(m.kernel_bits()[0].size(), 9u);
+  EXPECT_EQ(m.feature_vectors().size(), 5u);
+  EXPECT_EQ(m.feature_vectors()[0].size(), 24u);
+  EXPECT_EQ(m.class_vectors().size(), 6u);
+}
+
+TEST(ModelTest, ProjectValuesRoutesThroughMask) {
+  Rng rng(2);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  Rng sample_rng(3);
+  const auto values = random_sample(c, sample_rng);
+  const auto volume = m.project_values(values);
+  ASSERT_EQ(volume.size(), c.features());
+
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    if (m.mask()[i]) {
+      EXPECT_EQ(volume[i].valid, (1u << c.D_H) - 1) << i;
+      EXPECT_EQ(volume[i].bits,
+                static_cast<std::uint32_t>(
+                    m.value_table_high()[values[i]].words()[0]));
+    } else {
+      EXPECT_EQ(volume[i].valid, (1u << c.D_L) - 1) << i;
+      // Lanes above D_L must read 0 (the DVP padding).
+      EXPECT_EQ(volume[i].bits & ~volume[i].valid, 0u);
+    }
+  }
+}
+
+TEST(ModelTest, ConvolveRawMatchesNaiveMaskedConvolution) {
+  Rng rng(4);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  Rng sample_rng(5);
+  const auto values = random_sample(c, sample_rng);
+  const auto volume = m.project_values(values);
+  const auto raw = m.convolve_raw(volume);
+
+  const long pad = static_cast<long>(c.D_K / 2);
+  for (std::size_t o = 0; o < c.O; ++o) {
+    for (std::size_t y = 0; y < c.W; ++y) {
+      for (std::size_t x = 0; x < c.L; ++x) {
+        long long expected = 0;
+        for (std::size_t kh = 0; kh < c.D_K; ++kh) {
+          for (std::size_t kw = 0; kw < c.D_K; ++kw) {
+            const long sy = static_cast<long>(y + kh) - pad;
+            const long sx = static_cast<long>(x + kw) - pad;
+            if (sy < 0 || sy >= static_cast<long>(c.W) || sx < 0 ||
+                sx >= static_cast<long>(c.L)) {
+              continue;
+            }
+            const PackedValue& pv =
+                volume[static_cast<std::size_t>(sy) * c.L +
+                       static_cast<std::size_t>(sx)];
+            for (std::size_t d = 0; d < c.D_H; ++d) {
+              if (!((pv.valid >> d) & 1u)) continue;
+              const int in = (pv.bits >> d) & 1u ? 1 : -1;
+              const int kb =
+                  (m.kernel_bits()[o][kh * c.D_K + kw] >> d) & 1u ? 1 : -1;
+              expected += in * kb;
+            }
+          }
+        }
+        EXPECT_EQ(raw[o][y * c.L + x], expected)
+            << "o=" << o << " y=" << y << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(ModelTest, ConvolveBinarizesWithPaperTiebreak) {
+  Rng rng(6);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  Rng sample_rng(7);
+  const auto volume = m.project_values(random_sample(c, sample_rng));
+  const auto raw = m.convolve_raw(volume);
+  const auto out = m.convolve(volume);
+  for (std::size_t o = 0; o < c.O; ++o) {
+    for (std::size_t j = 0; j < c.sample_dim(); ++j) {
+      EXPECT_EQ(out[o].get(j), raw[o][j] >= 0 ? 1 : -1);
+    }
+  }
+}
+
+TEST(ModelTest, EncodeChannelsMatchesAccumulatorSemantics) {
+  Rng rng(8);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  Rng sample_rng(9);
+  const auto conv = m.convolve(m.project_values(random_sample(c, sample_rng)));
+  const BitVec s = m.encode_channels(conv);
+  for (std::size_t j = 0; j < c.sample_dim(); ++j) {
+    long long sum = 0;
+    for (std::size_t o = 0; o < c.O; ++o) {
+      sum += m.feature_vectors()[o].get(j) * conv[o].get(j);
+    }
+    EXPECT_EQ(s.get(j), sum >= 0 ? 1 : -1);
+  }
+}
+
+TEST(ModelTest, SimilaritySumsOverVoters) {
+  Rng rng(10);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  BitVec s = BitVec::random(c.sample_dim(), rng);
+  const Prediction p = m.similarity(s);
+  ASSERT_EQ(p.scores.size(), c.C);
+  for (std::size_t cls = 0; cls < c.C; ++cls) {
+    long long expected = 0;
+    for (std::size_t t = 0; t < c.Theta; ++t) {
+      expected += s.dot(m.class_vectors()[t * c.C + cls]);
+    }
+    EXPECT_EQ(p.scores[cls], expected);
+  }
+  // Label is the argmax.
+  const auto best =
+      std::max_element(p.scores.begin(), p.scores.end()) - p.scores.begin();
+  EXPECT_EQ(p.label, static_cast<int>(best));
+}
+
+TEST(ModelTest, PredictIsStageComposition) {
+  Rng rng(11);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  Rng sample_rng(12);
+  const auto values = random_sample(c, sample_rng);
+  const Prediction direct = m.predict(values);
+  const Prediction staged =
+      m.similarity(m.encode_channels(m.convolve(m.project_values(values))));
+  EXPECT_EQ(direct.label, staged.label);
+  EXPECT_EQ(direct.scores, staged.scores);
+}
+
+TEST(ModelTest, Figure2ToyExample) {
+  // Fig. 2's toy setting: N = 3 features, M = 2 values, C = 2 classes.
+  // We realize it with a 1×3 grid, 1 conv channel with a +1 center-only
+  // contribution (via mask/kernel choices the arithmetic is checkable by
+  // hand): here we validate Eq. 1 + Eq. 2 semantics end to end on an
+  // explicitly constructed model.
+  ModelConfig c;
+  c.W = 1;
+  c.L = 3;
+  c.C = 2;
+  c.M = 2;
+  c.D_H = 1;
+  c.D_L = 1;
+  c.D_K = 1;
+  c.O = 1;
+  c.Theta = 1;
+
+  // V: value 0 -> -1, value 1 -> +1 (D = 1).
+  Tensor v_high = Tensor::from_data({2, 1}, {-1.0f, 1.0f});
+  Tensor v_low = v_high;
+  // K: single +1 tap — conv output equals the value vector lane.
+  Tensor kernels = Tensor::from_data({1, 1}, {1.0f});
+  // F: (+1, -1, +1) over the three positions.
+  Tensor features = Tensor::from_data({1, 3}, {1.0f, -1.0f, 1.0f});
+  // Class vectors: c0 = (+1,+1,+1), c1 = (-1,-1,-1).
+  Tensor classes =
+      Tensor::from_data({2, 3}, {1.0f, 1.0f, 1.0f, -1.0f, -1.0f, -1.0f});
+
+  const Model m(c, {1, 1, 1}, v_high, v_low, kernels, features, classes);
+
+  // x = (1, 0, 1): values (+1, -1, +1); conv = same; encoding binds with
+  // F: s = (+1·+1, -1·-1, +1·+1) = (+1, +1, +1).
+  const BitVec s = m.encode({1, 0, 1});
+  EXPECT_EQ(s.to_bipolar(), (std::vector<int>{1, 1, 1}));
+  const Prediction p = m.predict({1, 0, 1});
+  EXPECT_EQ(p.scores[0], 3);   // dot with all-ones
+  EXPECT_EQ(p.scores[1], -3);
+  EXPECT_EQ(p.label, 0);
+
+  // x = (0, 1, 0) gives s = (-1, -1, -1) -> class 1.
+  EXPECT_EQ(m.predict({0, 1, 0}).label, 1);
+}
+
+TEST(ModelTest, TieBreaksToLowestClassIndex) {
+  ModelConfig c;
+  c.W = 1;
+  c.L = 2;
+  c.C = 2;
+  c.M = 2;
+  c.D_H = 1;
+  c.D_L = 1;
+  c.D_K = 1;
+  c.O = 1;
+  c.Theta = 1;
+  Tensor v = Tensor::from_data({2, 1}, {-1.0f, 1.0f});
+  Tensor kernels = Tensor::from_data({1, 1}, {1.0f});
+  Tensor features = Tensor::from_data({1, 2}, {1.0f, 1.0f});
+  // Identical class vectors -> identical scores -> label 0.
+  Tensor classes = Tensor::from_data({2, 2}, {1.0f, -1.0f, 1.0f, -1.0f});
+  const Model m(c, {1, 1}, v, v, kernels, features, classes);
+  EXPECT_EQ(m.predict({0, 1}).label, 0);
+}
+
+TEST(ModelTest, HammingMetricAgreesWithDotProductRanking) {
+  // Sec. II-C: dot = D − 2·hamming, so argmax(dot) == argmin(hamming).
+  Rng rng(21);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto values = random_sample(c, rng);
+    const BitVec s = m.encode(values);
+    const Prediction dot = m.similarity(s);
+    const Prediction ham = m.similarity_hamming(s);
+    EXPECT_EQ(dot.label, ham.label);
+    // Exact linear relation per class, accumulated over Θ voters.
+    for (std::size_t cls = 0; cls < c.C; ++cls) {
+      EXPECT_EQ(dot.scores[cls],
+                static_cast<long long>(c.Theta * c.sample_dim()) -
+                    2 * ham.scores[cls]);
+    }
+  }
+}
+
+TEST(ModelTest, ValidatesInputs) {
+  Rng rng(13);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  std::vector<std::uint16_t> bad_count(c.features() - 1, 0);
+  EXPECT_THROW(m.predict(bad_count), std::invalid_argument);
+  std::vector<std::uint16_t> bad_level(c.features(), 0);
+  bad_level[0] = static_cast<std::uint16_t>(c.M);
+  EXPECT_THROW(m.predict(bad_level), std::invalid_argument);
+}
+
+TEST(ModelTest, ConstructorValidatesShapes) {
+  const ModelConfig c = small_config();
+  Rng rng(14);
+  const std::size_t kk = c.D_K * c.D_K;
+  Tensor v_high = Tensor::rand_sign({c.M, c.D_H}, rng);
+  Tensor v_low = Tensor::rand_sign({c.M, c.D_L}, rng);
+  Tensor kernels = Tensor::rand_sign({c.O, c.D_H * kk}, rng);
+  Tensor features = Tensor::rand_sign({c.O, c.sample_dim()}, rng);
+  Tensor classes = Tensor::rand_sign({c.Theta * c.C, c.sample_dim()}, rng);
+  std::vector<std::uint8_t> mask(c.features(), 1);
+
+  EXPECT_NO_THROW(Model(c, mask, v_high, v_low, kernels, features, classes));
+  // Non-bipolar tensor rejected.
+  Tensor bad = v_high;
+  bad.at(0, 0) = 0.5f;
+  EXPECT_THROW(Model(c, mask, bad, v_low, kernels, features, classes),
+               std::invalid_argument);
+  // Wrong mask size rejected.
+  std::vector<std::uint8_t> short_mask(c.features() - 1, 1);
+  EXPECT_THROW(
+      Model(c, short_mask, v_high, v_low, kernels, features, classes),
+      std::invalid_argument);
+}
+
+TEST(ModelTest, EqualityDetectsDifferences) {
+  Rng rng(15);
+  const Model a = Model::random(small_config(), rng);
+  Model b = a;
+  EXPECT_EQ(a, b);
+  Rng rng2(16);
+  const Model c = Model::random(small_config(), rng2);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace univsa::vsa

@@ -1,0 +1,125 @@
+#include "univsa/vsa/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::vsa {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig c;
+  c.W = 3;
+  c.L = 5;
+  c.C = 2;
+  c.M = 8;
+  c.D_H = 4;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 6;
+  c.Theta = 2;
+  return c;
+}
+
+TEST(SerializationTest, BytesRoundtripPreservesModel) {
+  Rng rng(1);
+  const Model m = Model::random(small_config(), rng);
+  const auto bytes = ModelIo::to_bytes(m);
+  const Model loaded = ModelIo::from_bytes(bytes);
+  EXPECT_EQ(m, loaded);
+}
+
+TEST(SerializationTest, RoundtripPreservesPredictions) {
+  Rng rng(2);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  const Model loaded = ModelIo::from_bytes(ModelIo::to_bytes(m));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint16_t> values(c.features());
+    for (auto& v : values) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+    }
+    const auto a = m.predict(values);
+    const auto b = loaded.predict(values);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.scores, b.scores);
+  }
+}
+
+TEST(SerializationTest, StreamRoundtrip) {
+  Rng rng(3);
+  const Model m = Model::random(small_config(), rng);
+  std::stringstream ss;
+  ModelIo::save(m, ss);
+  const Model loaded = ModelIo::load(ss);
+  EXPECT_EQ(m, loaded);
+}
+
+TEST(SerializationTest, FileRoundtrip) {
+  Rng rng(4);
+  const Model m = Model::random(small_config(), rng);
+  const std::string path = ::testing::TempDir() + "/model.uvsa";
+  ModelIo::save_file(m, path);
+  const Model loaded = ModelIo::load_file(path);
+  EXPECT_EQ(m, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  Rng rng(5);
+  auto bytes = ModelIo::to_bytes(Model::random(small_config(), rng));
+  bytes[0] = 'X';
+  EXPECT_THROW(ModelIo::from_bytes(bytes), std::invalid_argument);
+}
+
+TEST(SerializationTest, TruncationRejected) {
+  Rng rng(6);
+  auto bytes = ModelIo::to_bytes(Model::random(small_config(), rng));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(ModelIo::from_bytes(bytes), std::invalid_argument);
+}
+
+TEST(SerializationTest, TrailingGarbageRejected) {
+  Rng rng(7);
+  auto bytes = ModelIo::to_bytes(Model::random(small_config(), rng));
+  bytes.push_back(0);
+  EXPECT_THROW(ModelIo::from_bytes(bytes), std::invalid_argument);
+}
+
+TEST(SerializationTest, CorruptMaskRejected) {
+  Rng rng(8);
+  const Model m = Model::random(small_config(), rng);
+  auto bytes = ModelIo::to_bytes(m);
+  // Mask starts right after the 8-byte magic + 9 u64 config fields.
+  const std::size_t mask_offset = 8 + 9 * 8;
+  bytes[mask_offset] = 7;  // not 0/1
+  EXPECT_THROW(ModelIo::from_bytes(bytes), std::invalid_argument);
+}
+
+TEST(SerializationTest, MissingFileThrows) {
+  EXPECT_THROW(ModelIo::load_file("/nonexistent/dir/model.uvsa"),
+               std::invalid_argument);
+}
+
+TEST(SerializationTest, PayloadBytesTracksEquationFive) {
+  Rng rng(9);
+  const ModelConfig c = small_config();
+  const Model m = Model::random(c, rng);
+  const std::size_t payload = ModelIo::payload_bytes(m);
+  // Byte-rounded Eq. 5 components.
+  const auto ceil_div = [](std::size_t bits) { return (bits + 7) / 8; };
+  const std::size_t expected =
+      ceil_div(c.M * c.D_H) + ceil_div(c.M * c.D_L) +
+      ceil_div(c.O * c.D_H * c.D_K * c.D_K) +
+      ceil_div(c.W * c.L * c.O) + ceil_div(c.W * c.L * c.Theta * c.C);
+  EXPECT_EQ(payload, expected);
+  // Within a byte-rounding margin of the bit-exact Eq. 5 figure.
+  EXPECT_NEAR(static_cast<double>(payload),
+              static_cast<double>(memory_bits(c)) / 8.0, 5.0);
+}
+
+}  // namespace
+}  // namespace univsa::vsa

@@ -1,0 +1,285 @@
+// univsa_cli — end-to-end command-line driver for the UniVSA toolkit.
+//
+//   univsa_cli datagen  --benchmark HAR --train train.csv --test test.csv
+//   univsa_cli train    --benchmark HAR --train train.csv --out har.uvsa
+//   univsa_cli eval     --model har.uvsa --data test.csv
+//   univsa_cli info     --model har.uvsa
+//   univsa_cli adapt    --model har.uvsa --data new.csv --out adapted.uvsa
+//   univsa_cli export-c   --model har.uvsa --dir out/
+//   univsa_cli export-rtl --model har.uvsa --dir out/
+//   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
+//
+// CSVs are `label,f0,f1,...` rows of already-discretized levels, as
+// written by `datagen` (see data/csv_io.h for raw-float import).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "univsa/data/benchmarks.h"
+#include "univsa/data/csv_io.h"
+#include "univsa/hw/accelerator.h"
+#include "univsa/hw/c_emitter.h"
+#include "univsa/hw/io_model.h"
+#include "univsa/hw/verilog_gen.h"
+#include "univsa/report/metrics.h"
+#include "univsa/train/online_retrainer.h"
+#include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/memory_model.h"
+#include "univsa/vsa/serialization.h"
+
+namespace {
+
+using namespace univsa;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  const std::string& require(const std::string& key) const {
+    const auto it = values.find(key);
+    if (it == values.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+  std::string get(const std::string& key,
+                  const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  std::size_t get_size(const std::string& key,
+                       std::size_t fallback) const {
+    const auto it = values.find(key);
+    return it == values.end()
+               ? fallback
+               : static_cast<std::size_t>(std::stoul(it->second));
+  }
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    flags.values[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+int cmd_datagen(const Flags& flags) {
+  const auto& bench = data::find_benchmark(flags.require("benchmark"));
+  data::SyntheticSpec spec = bench.spec;
+  spec.train_count = flags.get_size("train-count", 480);
+  spec.test_count = flags.get_size("test-count", 240);
+  spec.seed = flags.get_size("seed", spec.seed);
+  const data::SyntheticResult ds = data::generate(spec);
+  data::save_csv(ds.train, flags.require("train"));
+  data::save_csv(ds.test, flags.require("test"));
+  std::printf("wrote %zu train / %zu test samples for %s\n",
+              ds.train.size(), ds.test.size(), spec.name.c_str());
+  return 0;
+}
+
+data::Dataset load_for(const vsa::ModelConfig& c,
+                       const std::string& path) {
+  return data::load_csv(path, c.W, c.L, c.C, c.M);
+}
+
+int cmd_train(const Flags& flags) {
+  const auto& bench = data::find_benchmark(flags.require("benchmark"));
+  const data::Dataset train_set =
+      load_for(bench.config, flags.require("train"));
+  train::TrainOptions options;
+  options.epochs = flags.get_size("epochs", 20);
+  options.seed = flags.get_size("seed", 7);
+  options.verbose = flags.get("quiet", "0") == "0";
+  std::printf("training %s on %zu samples...\n",
+              bench.config.to_string().c_str(), train_set.size());
+  const auto result =
+      train::train_univsa(bench.config, train_set, options);
+  vsa::ModelIo::save_file(result.model, flags.require("out"));
+  std::printf("train accuracy %.4f, model %.2f KB -> %s\n",
+              result.model.accuracy(train_set),
+              vsa::memory_kb(bench.config),
+              flags.require("out").c_str());
+  return 0;
+}
+
+int cmd_eval(const Flags& flags) {
+  const vsa::Model model =
+      vsa::ModelIo::load_file(flags.require("model"));
+  const data::Dataset test_set =
+      load_for(model.config(), flags.require("data"));
+  report::ConfusionMatrix cm(model.config().C);
+  for (std::size_t i = 0; i < test_set.size(); ++i) {
+    cm.add(test_set.label(i), model.predict(test_set.values(i)).label);
+  }
+  std::printf("accuracy %.4f  macro-F1 %.4f  (%zu samples)\n",
+              cm.accuracy(), cm.macro_f1(), cm.total());
+  std::fputs(cm.to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_info(const Flags& flags) {
+  const vsa::Model model =
+      vsa::ModelIo::load_file(flags.require("model"));
+  const vsa::ModelConfig& c = model.config();
+  std::printf("configuration: %s\n", c.to_string().c_str());
+  const auto b = vsa::memory_breakdown(c);
+  std::printf("memory (Eq.5): %.2f KB  [V %zu | K %zu | F %zu | C %zu "
+              "bits]\n",
+              vsa::memory_kb(c), b.value_vectors, b.conv_kernels,
+              b.feature_vectors, b.class_vectors);
+  const hw::HardwareReport r = hw::report_for(c);
+  std::printf("hardware model @%.0f MHz: latency %.3f ms | %.1fk inf/s "
+              "| %.2f W | %.2fk LUTs | %zu BRAM | %zu DSP | %.1f "
+              "uJ/inf\n",
+              r.clock_mhz, r.latency_ms, r.throughput_kilo, r.power_w,
+              r.kiloluts, r.brams, r.dsps, r.energy_per_inference_uj);
+  const hw::IoReport io = hw::io_report_for(c);
+  std::printf("host link (AXI): %.2f us I/O per inference (%.0f%% of "
+              "the compute interval)\n",
+              io.io_us, 100.0 * io.io_fraction);
+  return 0;
+}
+
+int cmd_adapt(const Flags& flags) {
+  const vsa::Model model =
+      vsa::ModelIo::load_file(flags.require("model"));
+  const data::Dataset samples =
+      load_for(model.config(), flags.require("data"));
+  train::OnlineRetrainOptions options;
+  options.epochs = flags.get_size("epochs", 3);
+  options.inertia = static_cast<long long>(flags.get_size("inertia", 5));
+  const auto result =
+      train::adapt_class_vectors(model, samples, options);
+  vsa::ModelIo::save_file(result.model, flags.require("out"));
+  std::printf("adapted on %zu samples: %zu class-vector lanes flipped "
+              "-> %s\n",
+              samples.size(), result.flipped_lanes,
+              flags.require("out").c_str());
+  return 0;
+}
+
+int cmd_export_c(const Flags& flags) {
+  const vsa::Model model =
+      vsa::ModelIo::load_file(flags.require("model"));
+  hw::CEmitterOptions options;
+  options.prefix = flags.get("prefix", "univsa");
+  const hw::CEmitter emitter(model, options);
+  emitter.write_files(flags.require("dir"), true);
+  std::printf("wrote %s/%s_model.{h,c} and %s_main.c\n",
+              flags.require("dir").c_str(), options.prefix.c_str(),
+              options.prefix.c_str());
+  return 0;
+}
+
+int cmd_export_rtl(const Flags& flags) {
+  const vsa::Model model =
+      vsa::ModelIo::load_file(flags.require("model"));
+  hw::VerilogOptions options;
+  options.prefix = flags.get("prefix", "univsa");
+  const hw::VerilogGenerator gen(model, options);
+  // Testbench sample: all-mid levels.
+  std::vector<std::uint16_t> sample(
+      model.config().features(),
+      static_cast<std::uint16_t>(model.config().M / 2));
+  gen.write_files(flags.require("dir"), sample);
+  std::printf("wrote %s/%s_rtl.v and %s_tb.v\n",
+              flags.require("dir").c_str(), options.prefix.c_str(),
+              options.prefix.c_str());
+  return 0;
+}
+
+int cmd_selftest() {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = tmp != nullptr ? tmp : "/tmp";
+
+  // datagen -> train -> save -> load -> eval -> adapt -> export.
+  data::SyntheticSpec spec = data::find_benchmark("HAR").spec;
+  spec.train_count = 160;
+  spec.test_count = 80;
+  const data::SyntheticResult ds = data::generate(spec);
+  const std::string train_csv = dir + "/univsa_selftest_train.csv";
+  const std::string test_csv = dir + "/univsa_selftest_test.csv";
+  data::save_csv(ds.train, train_csv);
+  data::save_csv(ds.test, test_csv);
+
+  const vsa::ModelConfig config = data::find_benchmark("HAR").config;
+  const data::Dataset train_set = load_for(config, train_csv);
+  train::TrainOptions options;
+  options.epochs = 8;
+  const auto trained = train::train_univsa(config, train_set, options);
+
+  const std::string model_path = dir + "/univsa_selftest.uvsa";
+  vsa::ModelIo::save_file(trained.model, model_path);
+  const vsa::Model reloaded = vsa::ModelIo::load_file(model_path);
+  if (!(reloaded == trained.model)) {
+    std::fprintf(stderr, "selftest: serialization mismatch\n");
+    return 1;
+  }
+
+  const data::Dataset test_set = load_for(config, test_csv);
+  const double acc = reloaded.accuracy(test_set);
+  if (acc < 0.5) {
+    std::fprintf(stderr, "selftest: accuracy %.3f below sanity bar\n",
+                 acc);
+    return 1;
+  }
+
+  const auto adapted =
+      train::adapt_class_vectors(reloaded, test_set);
+  const hw::CEmitter emitter(adapted.model);
+  emitter.write_files(dir, false);
+  const hw::VerilogGenerator gen(adapted.model);
+  if (!hw::verilog_structural_problems(gen.emit_all()).empty()) {
+    std::fprintf(stderr, "selftest: emitted RTL is malformed\n");
+    return 1;
+  }
+
+  std::remove(train_csv.c_str());
+  std::remove(test_csv.c_str());
+  std::remove(model_path.c_str());
+  std::remove((dir + "/univsa_model.h").c_str());
+  std::remove((dir + "/univsa_model.c").c_str());
+  std::printf("selftest OK (test accuracy %.4f)\n", acc);
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: univsa_cli <datagen|train|eval|info|adapt|export-c|"
+      "export-rtl|selftest> [--flag value ...]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Flags flags = parse_flags(argc, argv, 2);
+    if (cmd == "datagen") return cmd_datagen(flags);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "eval") return cmd_eval(flags);
+    if (cmd == "info") return cmd_info(flags);
+    if (cmd == "adapt") return cmd_adapt(flags);
+    if (cmd == "export-c") return cmd_export_c(flags);
+    if (cmd == "export-rtl") return cmd_export_rtl(flags);
+    if (cmd == "selftest") return cmd_selftest();
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
