@@ -7,6 +7,7 @@
 #include "univsa/common/rng.h"
 #include "univsa/data/benchmarks.h"
 #include "univsa/hw/functional_sim.h"
+#include "univsa/vsa/infer_engine.h"
 #include "univsa/vsa/ldc_model.h"
 #include "univsa/vsa/model.h"
 
@@ -143,6 +144,71 @@ void BM_DeployedPredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DeployedPredict);
+
+void BM_ReferencePredict(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  const auto values = isolet_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict_reference(values));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReferencePredict);
+
+void BM_EnginePredict(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  vsa::InferEngine engine(m);
+  const auto values = isolet_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.predict(values).label);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnginePredict);
+
+void BM_EngineConvolve(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  vsa::InferScratch scratch(m.config());
+  const auto volume = m.project_values(isolet_sample());
+  m.convolve_into(volume, scratch);  // warm: packs kernels + validity
+  for (auto _ : state) {
+    m.convolve_into(volume, scratch);
+    benchmark::DoNotOptimize(scratch.conv_words.data());
+  }
+}
+BENCHMARK(BM_EngineConvolve);
+
+void BM_EngineEncode(benchmark::State& state) {
+  const vsa::Model m = isolet_model();
+  vsa::InferScratch scratch(m.config());
+  m.convolve_into(m.project_values(isolet_sample()), scratch);
+  for (auto _ : state) {
+    m.encode_into(scratch);
+    benchmark::DoNotOptimize(scratch.sample.words().data());
+  }
+}
+BENCHMARK(BM_EngineEncode);
+
+void BM_EnginePredictBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const vsa::Model m = isolet_model();
+  vsa::InferEngine engine(m);
+  Rng rng(7);
+  const auto& c = m.config();
+  std::vector<std::vector<std::uint16_t>> samples(batch);
+  for (auto& s : samples) {
+    s.resize(c.features());
+    for (auto& v : s) v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  }
+  std::vector<vsa::Prediction> out;
+  for (auto _ : state) {
+    engine.predict_batch(samples, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(batch));
+}
+BENCHMARK(BM_EnginePredictBatch)->Arg(16)->Arg(256);
 
 void BM_LdcPredict(benchmark::State& state) {
   Rng rng(6);

@@ -6,11 +6,31 @@
 // exactly at the BiConv-bound streaming rate; below saturation latency
 // sits at the single-input pipeline latency; past saturation a finite
 // input FIFO sheds load instead of stalling the sensor.
+//
+// A second section measures the *software* serving path on the same task
+// configuration: the per-sample reference pipeline vs the zero-allocation
+// batched InferEngine, single- and multi-threaded, and records the
+// throughput in BENCH_stream.json for the perf trajectory.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.h"
+#include "univsa/common/thread_pool.h"
 #include "univsa/hw/event_sim.h"
 #include "univsa/report/table.h"
+#include "univsa/vsa/infer_engine.h"
+#include "univsa/vsa/model.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace univsa;
@@ -77,5 +97,82 @@ int main(int argc, char** argv) {
                        "latency_us", "max_fifo"},
                       csv_rows);
   }
+
+  // ---- Software serving path: reference pipeline vs InferEngine ----
+  const vsa::ModelConfig& mc = benchmark.config;
+  Rng rng(0x5eed);
+  const vsa::Model model = vsa::Model::random(mc, rng);
+  const std::size_t n_samples = args.fast ? 64 : 256;
+  std::vector<std::vector<std::uint16_t>> samples(n_samples);
+  for (auto& s : samples) {
+    s.resize(mc.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(mc.M));
+    }
+  }
+
+  vsa::InferEngine engine(model);
+  // Warm both paths once (first engine batch grows the output vector).
+  std::vector<vsa::Prediction> out;
+  engine.predict_batch(samples, out, /*parallel=*/false);
+  (void)model.predict_reference(samples[0]);
+
+  const auto time_path = [&](auto&& fn) {
+    // Repeat until ~0.2 s elapsed so short batches still time stably.
+    std::size_t done = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+      fn();
+      done += n_samples;
+      elapsed = seconds_since(t0);
+    } while (elapsed < 0.2);
+    return static_cast<double>(done) / elapsed;  // samples / second
+  };
+
+  const double reference_sps = time_path([&] {
+    for (const auto& s : samples) (void)model.predict_reference(s);
+  });
+  const double engine_serial_sps = time_path(
+      [&] { engine.predict_batch(samples, out, /*parallel=*/false); });
+  const double engine_parallel_sps = time_path(
+      [&] { engine.predict_batch(samples, out, /*parallel=*/true); });
+
+  const std::size_t threads = global_pool().thread_count();
+  std::printf("\n== Software predict throughput (%s, %zu samples, %zu "
+              "pool thread%s) ==\n",
+              benchmark.spec.name.c_str(), n_samples, threads,
+              threads == 1 ? "" : "s");
+  report::TextTable sw_table(
+      {"path", "throughput (inf/s)", "speedup vs reference"});
+  sw_table.add_row({"reference per-sample", report::fmt(reference_sps, 0),
+                    report::fmt(1.0, 2)});
+  sw_table.add_row({"engine (1 thread)",
+                    report::fmt(engine_serial_sps, 0),
+                    report::fmt(engine_serial_sps / reference_sps, 2)});
+  sw_table.add_row({"engine (parallel)",
+                    report::fmt(engine_parallel_sps, 0),
+                    report::fmt(engine_parallel_sps / reference_sps, 2)});
+  std::fputs(sw_table.to_string().c_str(), stdout);
+
+  {
+    std::ofstream json("BENCH_stream.json");
+    json << "{\n"
+         << "  \"task\": \"" << benchmark.spec.name << "\",\n"
+         << "  \"samples\": " << n_samples << ",\n"
+         << "  \"pool_threads\": " << threads << ",\n"
+         << "  \"reference_sps\": " << report::fmt(reference_sps, 1)
+         << ",\n"
+         << "  \"engine_serial_sps\": "
+         << report::fmt(engine_serial_sps, 1) << ",\n"
+         << "  \"engine_parallel_sps\": "
+         << report::fmt(engine_parallel_sps, 1) << ",\n"
+         << "  \"engine_serial_speedup\": "
+         << report::fmt(engine_serial_sps / reference_sps, 3) << ",\n"
+         << "  \"engine_parallel_speedup\": "
+         << report::fmt(engine_parallel_sps / reference_sps, 3) << "\n"
+         << "}\n";
+  }
+  std::puts("\nWrote BENCH_stream.json");
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "univsa/train/ldc_trainer.h"
 #include "univsa/train/lehdc_trainer.h"
 #include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/infer_engine.h"
 #include "univsa/vsa/memory_model.h"
 
 namespace {
@@ -90,7 +91,10 @@ TaskResults run_task(const data::Benchmark& b, bool fast) {
   uni_opts.epochs = fast ? 8 : 25;
   uni_opts.seed = 7;
   const auto uni = train::train_univsa(b.config, ds.train, uni_opts);
-  r.univsa = {uni.model.accuracy(ds.test), vsa::memory_kb(b.config)};
+  // Batched zero-allocation engine over the thread pool (same path
+  // Model::accuracy takes; spelled out here because this is the bench).
+  vsa::InferEngine engine(uni.model);
+  r.univsa = {engine.accuracy(ds.test), vsa::memory_kb(b.config)};
   return r;
 }
 

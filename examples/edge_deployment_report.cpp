@@ -7,6 +7,7 @@
 //
 // Without an argument it trains a small ISOLET-style model first, so the
 // example is self-contained.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -16,6 +17,7 @@
 #include "univsa/hw/io_model.h"
 #include "univsa/hw/pipeline.h"
 #include "univsa/train/univsa_trainer.h"
+#include "univsa/vsa/infer_engine.h"
 #include "univsa/vsa/memory_model.h"
 #include "univsa/vsa/serialization.h"
 
@@ -56,19 +58,38 @@ int main(int argc, char** argv) {
               breakdown.total_bits(), vsa::memory_kb(c),
               vsa::ModelIo::payload_bytes(model));
 
-  // Bit-true dry run: software model vs accelerator datapath.
+  // Bit-true dry run: a probe batch through the software inference
+  // engine, every sample checked against the accelerator datapath.
   Rng rng(99);
-  std::vector<std::uint16_t> probe(c.features());
-  for (auto& v : probe) {
-    v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  const std::size_t n_probe = 16;
+  std::vector<std::vector<std::uint16_t>> probes(n_probe);
+  for (auto& probe : probes) {
+    probe.resize(c.features());
+    for (auto& v : probe) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+    }
   }
+  vsa::InferEngine engine(model);
+  std::vector<vsa::Prediction> sw;
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.predict_batch(probes, sw);
+  const double batch_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   const hw::Accelerator accel(model);
-  const hw::RunTrace trace = accel.run(probe);
-  const vsa::Prediction sw = model.predict(probe);
-  std::printf("\nbit-true dry run: accelerator label %d, software label "
-              "%d — %s\n",
-              trace.prediction.label, sw.label,
-              trace.prediction.scores == sw.scores ? "MATCH" : "MISMATCH");
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < n_probe; ++i) {
+    const hw::RunTrace trace = accel.run(probes[i]);
+    if (trace.prediction.label != sw[i].label ||
+        trace.prediction.scores != sw[i].scores) {
+      ++mismatches;
+    }
+  }
+  std::printf("\nbit-true dry run: %zu-probe batch, engine vs "
+              "accelerator — %s (%zu mismatches)\n",
+              n_probe, mismatches == 0 ? "MATCH" : "MISMATCH", mismatches);
+  std::printf("  software engine throughput: %.0f inferences/s\n",
+              static_cast<double>(n_probe) / batch_s);
 
   const hw::HardwareReport r = hw::report_for(c);
   std::puts("\nprojected fabric budget (ZU3EG-class, 250 MHz):");

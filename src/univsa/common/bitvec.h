@@ -52,6 +52,11 @@ class BitVec {
   std::span<const std::uint64_t> words() const { return words_; }
   std::size_t word_count() const { return words_.size(); }
 
+  /// Mutable raw word access for zero-copy producers (the inference
+  /// engine writes whole 64-lane words at a time). Callers must keep the
+  /// invariant that bits at and beyond size() stay zero.
+  std::span<std::uint64_t> words_mut() { return words_; }
+
   /// Bipolar dot product: sum_i a_i * b_i. Sizes must match.
   long long dot(const BitVec& other) const;
 

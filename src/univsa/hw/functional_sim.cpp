@@ -25,7 +25,8 @@ DvpResult DvpUnit::process(InputFifo& fifo) const {
   r.volume.resize(n);
   const std::uint32_t high_valid =
       c.D_H == 32 ? ~0u : (1u << c.D_H) - 1;
-  const std::uint32_t low_valid = (1u << c.D_L) - 1;
+  const std::uint32_t low_valid =
+      c.D_L == 32 ? ~0u : (1u << c.D_L) - 1;
 
   // One feature leaves the FIFO per cycle; the table lookup pipeline adds
   // a constant fill latency.

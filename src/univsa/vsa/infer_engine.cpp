@@ -1,0 +1,111 @@
+#include "univsa/vsa/infer_engine.h"
+
+#include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
+
+namespace univsa::vsa {
+
+InferEngine::InferEngine(const Model& model) : model_(&model) {
+  model.config().validate();
+  // parallel_for runs at most workers + 1 chunks concurrently (the caller
+  // participates), so that many arenas cover every schedule.
+  const std::size_t arenas = global_pool().thread_count() + 1;
+  scratches_.reserve(arenas);
+  for (std::size_t i = 0; i < arenas; ++i) {
+    scratches_.emplace_back(model.config());
+  }
+}
+
+void InferEngine::dispatch(
+    std::size_t n, bool parallel,
+    const std::function<void(InferScratch&, std::size_t, std::size_t)>&
+        chunk) {
+  if (n == 0) return;
+  if (!parallel || scratches_.size() == 1) {
+    chunk(scratches_[0], 0, n);
+    return;
+  }
+  next_arena_.store(0);
+  global_pool().parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    InferScratch& s = scratches_[next_arena_.fetch_add(1)];
+    chunk(s, begin, end);
+  });
+}
+
+const Prediction& InferEngine::predict(
+    const std::vector<std::uint16_t>& values) {
+  model_->predict_into(values, scratches_[0]);
+  return scratches_[0].prediction;
+}
+
+const BitVec& InferEngine::encode(const std::vector<std::uint16_t>& values) {
+  InferScratch& s = scratches_[0];
+  model_->project_values_into(values, s.volume);
+  model_->convolve_into(s.volume, s);
+  model_->encode_into(s);
+  return s.sample;
+}
+
+void InferEngine::predict_batch(
+    const std::vector<std::vector<std::uint16_t>>& samples,
+    std::vector<Prediction>& out, bool parallel) {
+  out.resize(samples.size());
+  dispatch(samples.size(), parallel,
+           [&](InferScratch& s, std::size_t begin, std::size_t end) {
+             for (std::size_t i = begin; i < end; ++i) {
+               model_->predict_into(samples[i], s);
+               out[i] = s.prediction;
+             }
+           });
+}
+
+void InferEngine::predict_batch(const data::Dataset& dataset,
+                                std::vector<Prediction>& out, bool parallel) {
+  const ModelConfig& c = model_->config();
+  UNIVSA_REQUIRE(dataset.windows() == c.W && dataset.length() == c.L,
+                 "dataset geometry mismatch");
+  out.resize(dataset.size());
+  dispatch(dataset.size(), parallel,
+           [&](InferScratch& s, std::size_t begin, std::size_t end) {
+             for (std::size_t i = begin; i < end; ++i) {
+               model_->predict_into(dataset.values(i), s);
+               out[i] = s.prediction;
+             }
+           });
+}
+
+void InferEngine::encode_batch(
+    const std::vector<std::vector<std::uint16_t>>& samples,
+    std::vector<BitVec>& out, bool parallel) {
+  out.resize(samples.size());
+  dispatch(samples.size(), parallel,
+           [&](InferScratch& s, std::size_t begin, std::size_t end) {
+             for (std::size_t i = begin; i < end; ++i) {
+               model_->project_values_into(samples[i], s.volume);
+               model_->convolve_into(s.volume, s);
+               model_->encode_into(s);
+               out[i] = s.sample;
+             }
+           });
+}
+
+double InferEngine::accuracy(const data::Dataset& dataset, bool parallel) {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  const ModelConfig& c = model_->config();
+  UNIVSA_REQUIRE(dataset.windows() == c.W && dataset.length() == c.L,
+                 "dataset geometry mismatch");
+  std::atomic<std::size_t> correct{0};
+  dispatch(dataset.size(), parallel,
+           [&](InferScratch& s, std::size_t begin, std::size_t end) {
+             std::size_t local = 0;
+             for (std::size_t i = begin; i < end; ++i) {
+               model_->predict_into(dataset.values(i), s);
+               if (s.prediction.label == dataset.label(i)) ++local;
+             }
+             correct.fetch_add(local);
+           });
+  return static_cast<double>(correct.load()) /
+         static_cast<double>(dataset.size());
+}
+
+}  // namespace univsa::vsa

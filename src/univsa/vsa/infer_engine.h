@@ -1,0 +1,77 @@
+// Zero-allocation batched inference engine over a deployed Model.
+//
+// The engine owns one InferScratch arena per global-pool worker (plus the
+// calling thread) and runs predict_batch / encode_batch / accuracy by
+// chunking samples across univsa::global_pool(). Each chunk claims an
+// arena, so steady-state batched inference performs no heap allocation:
+// the DVP volume, BiConv patch gathers, packed channel words, encoding
+// counter planes, the sample vector, and the score buffer are all
+// preallocated and reused sample after sample (DESIGN.md "Inference
+// engine").
+//
+// The per-stage kernels live on vsa::Model (`*_into` variants) so the
+// hardware functional simulator's bit-identity cross-checks exercise the
+// exact code the engine serves with. Engine outputs are property-tested
+// bit-identical to Model::predict_reference, the original per-sample
+// scalar pipeline.
+//
+// Thread-safety: the engine parallelizes internally; concurrent calls
+// into one engine from multiple external threads are not supported (use
+// one engine per caller — arenas are cheap, the Model is shared).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "univsa/data/dataset.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::vsa {
+
+class InferEngine {
+ public:
+  /// Binds to `model` (not owned; must outlive the engine) and sizes one
+  /// scratch arena per thread the global pool can run.
+  explicit InferEngine(const Model& model);
+
+  InferEngine(const InferEngine&) = delete;
+  InferEngine& operator=(const InferEngine&) = delete;
+
+  const Model& model() const { return *model_; }
+  const ModelConfig& config() const { return model_->config(); }
+  std::size_t arena_count() const { return scratches_.size(); }
+
+  /// Single-sample inference reusing arena 0; the returned references
+  /// stay valid until the next engine call.
+  const Prediction& predict(const std::vector<std::uint16_t>& values);
+  const BitVec& encode(const std::vector<std::uint16_t>& values);
+
+  /// Batched inference. `out` is resized to the batch and reused across
+  /// calls (per-element buffers keep their capacity). `parallel = false`
+  /// forces a single-threaded run on arena 0.
+  void predict_batch(const std::vector<std::vector<std::uint16_t>>& samples,
+                     std::vector<Prediction>& out, bool parallel = true);
+  void predict_batch(const data::Dataset& dataset,
+                     std::vector<Prediction>& out, bool parallel = true);
+  void encode_batch(const std::vector<std::vector<std::uint16_t>>& samples,
+                    std::vector<BitVec>& out, bool parallel = true);
+
+  /// Fraction of correct predictions over the dataset.
+  double accuracy(const data::Dataset& dataset, bool parallel = true);
+
+ private:
+  /// Runs `chunk(arena, begin, end)` over a partition of [0, n), handing
+  /// each concurrent chunk its own scratch arena.
+  void dispatch(
+      std::size_t n, bool parallel,
+      const std::function<void(InferScratch&, std::size_t, std::size_t)>&
+          chunk);
+
+  const Model* model_;
+  std::vector<InferScratch> scratches_;
+  std::atomic<std::size_t> next_arena_{0};
+};
+
+}  // namespace univsa::vsa

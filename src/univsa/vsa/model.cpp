@@ -1,10 +1,10 @@
 #include "univsa/vsa/model.h"
 
-#include <atomic>
+#include <algorithm>
 #include <bit>
 
 #include "univsa/common/contracts.h"
-#include "univsa/common/thread_pool.h"
+#include "univsa/vsa/infer_engine.h"
 
 namespace univsa::vsa {
 
@@ -21,7 +21,44 @@ BitVec pack_long_row(const Tensor& t, std::size_t row) {
   return v;
 }
 
+/// Valid-lane mask for a value-vector width; `dim == 32` needs the guard
+/// because `1u << 32` is undefined behavior.
+std::uint32_t lane_mask(std::size_t dim) {
+  return dim == 32 ? ~0u : (1u << dim) - 1;
+}
+
+/// Deposits a D_H-lane field at flat bit position `bitpos` of the
+/// flattened tap-major patch/kernel layout. `bits` has no lanes set at or
+/// above `width` (BitVec/lane-mask invariants), so fields never overlap.
+inline void insert_field(std::uint64_t* words, std::size_t bitpos,
+                         std::uint32_t bits, std::size_t width) {
+  const std::size_t wd = bitpos >> 6;
+  const std::size_t off = bitpos & 63;
+  words[wd] |= static_cast<std::uint64_t>(bits) << off;
+  if (off + width > 64) {
+    words[wd + 1] |= static_cast<std::uint64_t>(bits) >> (64 - off);
+  }
+}
+
 }  // namespace
+
+void InferScratch::resize(const ModelConfig& config) {
+  config.validate();
+  const std::size_t kk = config.D_K * config.D_K;
+  volume.resize(config.features());
+  words_per_patch = (kk * config.D_H + 63) / 64;
+  patch_words.resize(words_per_patch);
+  kernel_words.resize(config.O * words_per_patch);
+  valid_words.resize(config.features() * words_per_patch);
+  valid_halves.resize(config.features());
+  packed_model = nullptr;  // tables must be repacked after a resize
+  words_per_channel = (config.sample_dim() + 63) / 64;
+  conv_words.resize(config.O * words_per_channel);
+  if (sample.size() != config.sample_dim()) {
+    sample = BitVec(config.sample_dim());
+  }
+  prediction.scores.assign(config.C, 0);
+}
 
 Model::Model(ModelConfig config, std::vector<std::uint8_t> mask,
              const Tensor& v_high, const Tensor& v_low,
@@ -108,14 +145,13 @@ Model Model::random(ModelConfig config, Rng& rng, double high_fraction) {
                                   config.sample_dim()}, rng));
 }
 
-std::vector<PackedValue> Model::project_values(
-    const std::vector<std::uint16_t>& values) const {
+void Model::project_values_into(const std::vector<std::uint16_t>& values,
+                                std::vector<PackedValue>& volume) const {
   const std::size_t n = config_.features();
   UNIVSA_REQUIRE(values.size() == n, "feature count mismatch");
-  std::vector<PackedValue> volume(n);
-  const std::uint32_t high_valid =
-      config_.D_H == 32 ? ~0u : (1u << config_.D_H) - 1;
-  const std::uint32_t low_valid = (1u << config_.D_L) - 1;
+  volume.resize(n);
+  const std::uint32_t high_valid = lane_mask(config_.D_H);
+  const std::uint32_t low_valid = lane_mask(config_.D_L);
 
   for (std::size_t i = 0; i < n; ++i) {
     UNIVSA_REQUIRE(values[i] < config_.M, "value exceeds M levels");
@@ -130,59 +166,227 @@ std::vector<PackedValue> Model::project_values(
       pv.bits = static_cast<std::uint32_t>(v.words()[0]) & low_valid;
     }
   }
+}
+
+std::vector<PackedValue> Model::project_values(
+    const std::vector<std::uint16_t>& values) const {
+  std::vector<PackedValue> volume;
+  project_values_into(values, volume);
   return volume;
 }
 
-std::vector<std::vector<long long>> Model::convolve_raw(
-    const std::vector<PackedValue>& volume) const {
+void Model::convolve_raw_into(
+    const std::vector<PackedValue>& volume,
+    std::vector<std::vector<long long>>& raw) const {
   const std::size_t h = config_.W;
   const std::size_t w = config_.L;
   UNIVSA_REQUIRE(volume.size() == h * w, "volume size mismatch");
   const std::size_t k = config_.D_K;
+  const std::size_t kk = k * k;
   const long pad = static_cast<long>(k / 2);
 
-  std::vector<std::vector<long long>> raw(
-      config_.O, std::vector<long long>(h * w, 0));
+  raw.assign(config_.O, std::vector<long long>(h * w, 0));
 
+  std::vector<std::uint32_t> pb(kk);
+  std::vector<std::uint32_t> pv(kk);
+  std::vector<std::size_t> tap(kk);
   for (std::size_t y = 0; y < h; ++y) {
     for (std::size_t x = 0; x < w; ++x) {
-      // Gather the patch once; all O kernels reuse it.
-      for (std::size_t o = 0; o < config_.O; ++o) {
-        long long acc = 0;
-        const auto& kb = kernel_bits_[o];
-        for (std::size_t kh = 0; kh < k; ++kh) {
-          const long sy = static_cast<long>(y) + static_cast<long>(kh) - pad;
-          if (sy < 0 || sy >= static_cast<long>(h)) continue;
-          for (std::size_t kw = 0; kw < k; ++kw) {
-            const long sx =
-                static_cast<long>(x) + static_cast<long>(kw) - pad;
-            if (sx < 0 || sx >= static_cast<long>(w)) continue;
-            const PackedValue& pv =
-                volume[static_cast<std::size_t>(sy) * w +
-                       static_cast<std::size_t>(sx)];
-            const std::uint32_t kbits = kb[kh * k + kw];
-            const std::uint32_t agree = ~(pv.bits ^ kbits) & pv.valid;
-            acc += 2LL * std::popcount(agree) -
-                   static_cast<long long>(std::popcount(pv.valid));
-          }
+      // Gather the in-bounds taps of the (y, x) patch once; all O
+      // kernels sweep the gathered entries.
+      std::size_t taps = 0;
+      long long valid_pop = 0;
+      for (std::size_t kh = 0; kh < k; ++kh) {
+        const long sy = static_cast<long>(y) + static_cast<long>(kh) - pad;
+        if (sy < 0 || sy >= static_cast<long>(h)) continue;
+        for (std::size_t kw = 0; kw < k; ++kw) {
+          const long sx = static_cast<long>(x) + static_cast<long>(kw) - pad;
+          if (sx < 0 || sx >= static_cast<long>(w)) continue;
+          const PackedValue& p =
+              volume[static_cast<std::size_t>(sy) * w +
+                     static_cast<std::size_t>(sx)];
+          pb[taps] = p.bits;
+          pv[taps] = p.valid;
+          tap[taps] = kh * k + kw;
+          valid_pop += std::popcount(p.valid);
+          ++taps;
         }
-        raw[o][y * w + x] = acc;
+      }
+      for (std::size_t o = 0; o < config_.O; ++o) {
+        const auto& kb = kernel_bits_[o];
+        long long matches = 0;
+        for (std::size_t t = 0; t < taps; ++t) {
+          matches += std::popcount(~(pb[t] ^ kb[tap[t]]) & pv[t]);
+        }
+        raw[o][y * w + x] = 2 * matches - valid_pop;
       }
     }
   }
+}
+
+std::vector<std::vector<long long>> Model::convolve_raw(
+    const std::vector<PackedValue>& volume) const {
+  std::vector<std::vector<long long>> raw;
+  convolve_raw_into(volume, raw);
   return raw;
+}
+
+void Model::pack_scratch_tables(InferScratch& s) const {
+  const std::size_t h = config_.W;
+  const std::size_t w = config_.L;
+  const std::size_t k = config_.D_K;
+  const std::size_t dh = config_.D_H;
+  const std::size_t pad = k / 2;
+  const std::size_t pw = s.words_per_patch;
+
+  // Kernels, flattened tap-major to mirror the patch layout.
+  std::fill(s.kernel_words.begin(), s.kernel_words.end(), 0);
+  for (std::size_t o = 0; o < config_.O; ++o) {
+    std::uint64_t* kw = s.kernel_words.data() + o * pw;
+    for (std::size_t t = 0; t < k * k; ++t) {
+      insert_field(kw, t * dh, kernel_bits_[o][t], dh);
+    }
+  }
+
+  // Validity planes: valid lanes depend only on the importance mask and
+  // the patch geometry (out-of-bounds taps contribute zero lanes), never
+  // on the sample values — packed once, reused for every sample.
+  const std::uint32_t high_valid = lane_mask(config_.D_H);
+  const std::uint32_t low_valid = lane_mask(config_.D_L);
+  std::fill(s.valid_words.begin(), s.valid_words.end(), 0);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      std::uint64_t* vw = s.valid_words.data() + (y * w + x) * pw;
+      long long pop = 0;
+      for (std::size_t kh = 0; kh < k; ++kh) {
+        const long sy = static_cast<long>(y + kh) - static_cast<long>(pad);
+        if (sy < 0 || sy >= static_cast<long>(h)) continue;
+        for (std::size_t kw = 0; kw < k; ++kw) {
+          const long sx = static_cast<long>(x + kw) - static_cast<long>(pad);
+          if (sx < 0 || sx >= static_cast<long>(w)) continue;
+          const std::size_t i =
+              static_cast<std::size_t>(sy) * w + static_cast<std::size_t>(sx);
+          const std::uint32_t valid = mask_[i] ? high_valid : low_valid;
+          insert_field(vw, (kh * k + kw) * dh, valid, dh);
+          pop += std::popcount(valid);
+        }
+      }
+      s.valid_halves[y * w + x] = (pop + 1) >> 1;
+    }
+  }
+  s.packed_model = this;
+}
+
+void Model::convolve_into(const std::vector<PackedValue>& volume,
+                          InferScratch& s) const {
+  const std::size_t h = config_.W;
+  const std::size_t w = config_.L;
+  UNIVSA_REQUIRE(volume.size() == h * w, "volume size mismatch");
+  const std::size_t k = config_.D_K;
+  const std::size_t dh = config_.D_H;
+  const std::size_t pad = k / 2;
+  const std::size_t wp = s.words_per_channel;
+  const std::size_t pw = s.words_per_patch;
+  UNIVSA_REQUIRE(wp == (h * w + 63) / 64 &&
+                     s.conv_words.size() == config_.O * wp &&
+                     pw == (k * k * dh + 63) / 64,
+                 "scratch not sized for this model");
+  if (s.packed_model != this) pack_scratch_tables(s);
+
+  std::fill(s.conv_words.begin(), s.conv_words.end(), 0);
+  std::uint64_t* pb = s.patch_words.data();
+  std::uint64_t* cw = s.conv_words.data();
+  const std::uint64_t* kernels = s.kernel_words.data();
+  const std::size_t O = config_.O;
+
+  // Sweeps all O pre-packed kernels over the flattened patch in pb and
+  // sets each channel's sign bit for position j (the Sec. IV-A
+  // kernel-parallel order). The bit is 1 iff acc >= ceil(valid_pop/2),
+  // i.e. raw = 2*acc - valid_pop >= 0 with sgn(0) = +1; the set is
+  // branchless because the outcome is data-random (~50/50).
+  const auto sweep = [&](std::size_t j) {
+    const std::uint64_t* vw = s.valid_words.data() + j * pw;
+    const long long half = s.valid_halves[j];
+    const std::size_t word = j >> 6;
+    const std::size_t shift = j & 63;
+    if (pw == 1) {
+      const std::uint64_t pbw = pb[0];
+      const std::uint64_t pvw = vw[0];
+      for (std::size_t o = 0; o < O; ++o) {
+        const long long acc = std::popcount(~(pbw ^ kernels[o]) & pvw);
+        cw[o * wp + word] |=
+            static_cast<std::uint64_t>(acc >= half) << shift;
+      }
+    } else {
+      for (std::size_t o = 0; o < O; ++o) {
+        const std::uint64_t* kw = kernels + o * pw;
+        long long acc = 0;
+        for (std::size_t i = 0; i < pw; ++i) {
+          acc += std::popcount(~(pb[i] ^ kw[i]) & vw[i]);
+        }
+        cw[o * wp + word] |=
+            static_cast<std::uint64_t>(acc >= half) << shift;
+      }
+    }
+  };
+
+  // Border positions: bounds-checked gather of the in-bounds taps only
+  // (the validity plane already zeroes the out-of-bounds lanes).
+  const auto border_position = [&](std::size_t y, std::size_t x) {
+    std::fill_n(pb, pw, 0);
+    for (std::size_t kh = 0; kh < k; ++kh) {
+      const long sy = static_cast<long>(y + kh) - static_cast<long>(pad);
+      if (sy < 0 || sy >= static_cast<long>(h)) continue;
+      for (std::size_t kw = 0; kw < k; ++kw) {
+        const long sx = static_cast<long>(x + kw) - static_cast<long>(pad);
+        if (sx < 0 || sx >= static_cast<long>(w)) continue;
+        const PackedValue& p =
+            volume[static_cast<std::size_t>(sy) * w +
+                   static_cast<std::size_t>(sx)];
+        insert_field(pb, (kh * k + kw) * dh, p.bits, dh);
+      }
+    }
+    sweep(y * w + x);
+  };
+
+  for (std::size_t y = 0; y < h; ++y) {
+    const bool row_interior = y >= pad && y + pad < h;
+    if (!row_interior || w < k) {
+      for (std::size_t x = 0; x < w; ++x) border_position(y, x);
+      continue;
+    }
+    std::size_t x = 0;
+    for (; x < pad; ++x) border_position(y, x);
+    for (; x + pad < w; ++x) {
+      // Interior: every tap in bounds — gather the full patch through
+      // row pointers with no bounds checks, once for all O kernels.
+      std::fill_n(pb, pw, 0);
+      std::size_t t = 0;
+      for (std::size_t kh = 0; kh < k; ++kh) {
+        const PackedValue* row = volume.data() + (y + kh - pad) * w + x - pad;
+        for (std::size_t kw = 0; kw < k; ++kw, ++t) {
+          insert_field(pb, t * dh, row[kw].bits, dh);
+        }
+      }
+      sweep(y * w + x);
+    }
+    for (; x < w; ++x) border_position(y, x);
+  }
 }
 
 std::vector<BitVec> Model::convolve(
     const std::vector<PackedValue>& volume) const {
-  const auto raw = convolve_raw(volume);
+  InferScratch s(config_);
+  convolve_into(volume, s);
+  const std::size_t ns = config_.sample_dim();
   std::vector<BitVec> out;
   out.reserve(config_.O);
-  for (const auto& channel : raw) {
-    BitVec u(channel.size());
-    for (std::size_t j = 0; j < channel.size(); ++j) {
-      u.set(j, channel[j] >= 0 ? 1 : -1);
-    }
+  for (std::size_t o = 0; o < config_.O; ++o) {
+    BitVec u(ns);
+    auto words = u.words_mut();
+    std::copy_n(s.conv_words.begin() +
+                    static_cast<std::ptrdiff_t>(o * s.words_per_channel),
+                s.words_per_channel, words.begin());
     out.push_back(std::move(u));
   }
   return out;
@@ -201,22 +405,83 @@ BitVec Model::encode_channels(const std::vector<BitVec>& conv_out) const {
   return acc.sign();
 }
 
-Prediction Model::similarity(const BitVec& sample_vector) const {
-  UNIVSA_REQUIRE(sample_vector.size() == config_.sample_dim(),
+void Model::encode_into(InferScratch& s) const {
+  const std::size_t ns = config_.sample_dim();
+  const std::size_t wp = s.words_per_channel;
+  const std::size_t rows = config_.O;
+  UNIVSA_REQUIRE(s.sample.size() == ns && s.conv_words.size() == rows * wp,
+                 "scratch not sized for this model");
+  auto sw = s.sample.words_mut();
+  // Per 64-position word: bit-sliced agreement counters across the O
+  // channel rows, then a word-parallel count >= ceil(O/2) compare
+  // (2·count >= O with sgn(0) = +1, same rule as BitSlicedAccumulator).
+  const std::size_t planes = std::bit_width(rows);
+  const std::uint64_t threshold = (rows + 1) >> 1;
+  std::uint64_t cnt[64];
+  for (std::size_t wd = 0; wd < wp; ++wd) {
+    for (std::size_t p = 0; p < planes; ++p) cnt[p] = 0;
+    for (std::size_t o = 0; o < rows; ++o) {
+      std::uint64_t carry = ~(s.conv_words[o * wp + wd] ^ f_[o].words()[wd]);
+      for (std::size_t p = 0; p < planes && carry; ++p) {
+        const std::uint64_t next = cnt[p] & carry;
+        cnt[p] ^= carry;
+        carry = next;
+      }
+    }
+    // MSB-first lane-parallel compare of the counters against threshold.
+    std::uint64_t ge = 0;
+    std::uint64_t decided = 0;
+    for (std::size_t p = planes; p-- > 0;) {
+      if ((threshold >> p) & 1) {
+        decided |= ~cnt[p];
+      } else {
+        const std::uint64_t g = cnt[p] & ~decided;
+        ge |= g;
+        decided |= g;
+      }
+    }
+    ge |= ~decided;  // undecided lanes have count == threshold
+    sw[wd] = ge;
+  }
+  // Keep the BitVec padding invariant (lanes beyond ns stay zero).
+  const std::size_t rem = ns % 64;
+  if (rem != 0 && wp > 0) sw[wp - 1] &= (1ULL << rem) - 1;
+}
+
+void Model::similarity_into(const BitVec& sample_vector,
+                            Prediction& out) const {
+  const std::size_t ns = config_.sample_dim();
+  UNIVSA_REQUIRE(sample_vector.size() == ns,
                  "sample vector length mismatch");
-  Prediction pred;
-  pred.scores.assign(config_.C, 0);
+  out.scores.assign(config_.C, 0);
+  const auto sw = sample_vector.words();
+  const long long pad_lanes =
+      static_cast<long long>(sw.size() * 64 - ns);
+  // One XNOR+popcount sweep per class row; the Θ voter rows of a class
+  // accumulate into the same score.
   for (std::size_t theta = 0; theta < config_.Theta; ++theta) {
     for (std::size_t c = 0; c < config_.C; ++c) {
-      pred.scores[c] += sample_vector.dot(c_[theta * config_.C + c]);
+      const auto cw = c_[theta * config_.C + c].words();
+      long long matches = 0;
+      for (std::size_t wd = 0; wd < sw.size(); ++wd) {
+        matches += std::popcount(~(sw[wd] ^ cw[wd]));
+      }
+      // ~ also matches the zero padding lanes; remove them.
+      out.scores[c] +=
+          2 * (matches - pad_lanes) - static_cast<long long>(ns);
     }
   }
   // argmax with lowest-index tiebreak.
   std::size_t best = 0;
   for (std::size_t c = 1; c < config_.C; ++c) {
-    if (pred.scores[c] > pred.scores[best]) best = c;
+    if (out.scores[c] > out.scores[best]) best = c;
   }
-  pred.label = static_cast<int>(best);
+  out.label = static_cast<int>(best);
+}
+
+Prediction Model::similarity(const BitVec& sample_vector) const {
+  Prediction pred;
+  similarity_into(sample_vector, pred);
   return pred;
 }
 
@@ -240,29 +505,59 @@ Prediction Model::similarity_hamming(const BitVec& sample_vector) const {
   return pred;
 }
 
+void Model::predict_into(const std::vector<std::uint16_t>& values,
+                         InferScratch& scratch) const {
+  project_values_into(values, scratch.volume);
+  convolve_into(scratch.volume, scratch);
+  encode_into(scratch);
+  similarity_into(scratch.sample, scratch.prediction);
+}
+
 BitVec Model::encode(const std::vector<std::uint16_t>& values) const {
-  return encode_channels(convolve(project_values(values)));
+  InferScratch s(config_);
+  project_values_into(values, s.volume);
+  convolve_into(s.volume, s);
+  encode_into(s);
+  return std::move(s.sample);
 }
 
 Prediction Model::predict(const std::vector<std::uint16_t>& values) const {
-  return similarity(encode(values));
+  InferScratch s(config_);
+  predict_into(values, s);
+  return std::move(s.prediction);
+}
+
+Prediction Model::predict_reference(
+    const std::vector<std::uint16_t>& values) const {
+  const auto raw = convolve_raw(project_values(values));
+  std::vector<BitVec> conv;
+  conv.reserve(config_.O);
+  for (const auto& channel : raw) {
+    BitVec u(channel.size());
+    for (std::size_t j = 0; j < channel.size(); ++j) {
+      u.set(j, channel[j] >= 0 ? 1 : -1);
+    }
+    conv.push_back(std::move(u));
+  }
+  const BitVec s = encode_channels(conv);
+  Prediction pred;
+  pred.scores.assign(config_.C, 0);
+  for (std::size_t theta = 0; theta < config_.Theta; ++theta) {
+    for (std::size_t c = 0; c < config_.C; ++c) {
+      pred.scores[c] += s.dot(c_[theta * config_.C + c]);
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < config_.C; ++c) {
+    if (pred.scores[c] > pred.scores[best]) best = c;
+  }
+  pred.label = static_cast<int>(best);
+  return pred;
 }
 
 double Model::accuracy(const data::Dataset& dataset) const {
-  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
-  UNIVSA_REQUIRE(dataset.windows() == config_.W &&
-                     dataset.length() == config_.L,
-                 "dataset geometry mismatch");
-  std::atomic<std::size_t> correct{0};
-  parallel_for(dataset.size(), [&](std::size_t begin, std::size_t end) {
-    std::size_t local = 0;
-    for (std::size_t i = begin; i < end; ++i) {
-      if (predict(dataset.values(i)).label == dataset.label(i)) ++local;
-    }
-    correct.fetch_add(local);
-  });
-  return static_cast<double>(correct.load()) /
-         static_cast<double>(dataset.size());
+  InferEngine engine(*this);
+  return engine.accuracy(dataset);
 }
 
 Model Model::with_class_vectors(const Tensor& class_vectors) const {

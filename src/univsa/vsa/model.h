@@ -40,6 +40,54 @@ struct Prediction {
   std::vector<long long> scores;
 };
 
+/// Reusable per-sample scratch arena for the `*_into` inference stages.
+///
+/// Sized once from a ModelConfig; after that every stage writes into the
+/// preallocated buffers and steady-state inference performs no heap
+/// allocation. The engine (vsa::InferEngine) owns one arena per worker
+/// thread; the hardware cross-check tests use a standalone arena to
+/// compare stage outputs against the functional simulator.
+/// Layout details: DESIGN.md "Inference engine".
+struct InferScratch {
+  InferScratch() = default;
+  explicit InferScratch(const ModelConfig& config) { resize(config); }
+
+  /// (Re)sizes every buffer for `config`. Idempotent; cheap when already
+  /// sized.
+  void resize(const ModelConfig& config);
+
+  // Stage 1 out — DVP value volume, W·L positions.
+  std::vector<PackedValue> volume;
+  // BiConv flattened patch: the D_K²·D_H patch lanes packed tap-major
+  // into words_per_patch 64-bit words (out-of-bounds taps stay zero), so
+  // each kernel dot is a handful of XNOR+popcount64 word ops.
+  std::vector<std::uint64_t> patch_words;
+  std::size_t words_per_patch = 0;
+  // Model-derived tables packed lazily on first convolve_into call (and
+  // whenever the scratch is handed a different model): kernels in the
+  // same flattened layout, plus the sample-independent validity planes —
+  // PackedValue::valid depends only on the importance mask, so the
+  // per-position packed valid words and their popcounts are hoisted out
+  // of the per-sample loop entirely.
+  std::vector<std::uint64_t> kernel_words;  // O × words_per_patch
+  std::vector<std::uint64_t> valid_words;   // W·L × words_per_patch
+  /// Per-position sign threshold ceil(valid_pop / 2): the conv bit is 1
+  /// iff the XNOR match count reaches it (raw = 2·acc − valid_pop ≥ 0).
+  std::vector<long long> valid_halves;  // W·L
+  /// Identity key for the lazily packed tables. Reusing one scratch
+  /// across models repacks automatically; destroying a model and reusing
+  /// its address while a scratch is live is not detected.
+  const void* packed_model = nullptr;
+  // Stage 2 out — O binarized channels, packed 64 positions per word,
+  // channel-major: word w of channel o at conv_words[o*words_per_channel+w].
+  std::vector<std::uint64_t> conv_words;
+  std::size_t words_per_channel = 0;
+  // Stage 3 out — encoded sample vector s.
+  BitVec sample;
+  // Stage 4 out — label + per-class scores.
+  Prediction prediction;
+};
+
 class Model {
  public:
   Model() = default;
@@ -61,25 +109,60 @@ class Model {
   const ModelConfig& config() const { return config_; }
 
   // --- Inference pipeline (each stage exposed for hardware cross-checks).
+  //
+  // Every stage has two forms: a `*_into` variant that writes into a
+  // caller-owned InferScratch (zero allocation once the scratch is warm —
+  // the deployed hot path, used by vsa::InferEngine and the hardware
+  // cross-check tests), and the original allocating signature kept as a
+  // thin wrapper.
 
   /// Stage 1 — DVP: per-feature value-vector lookup. `values` holds W·L
   /// levels in [0, M). Output indexed [w*L + l].
   std::vector<PackedValue> project_values(
       const std::vector<std::uint16_t>& values) const;
+  void project_values_into(const std::vector<std::uint16_t>& values,
+                           std::vector<PackedValue>& volume) const;
 
   /// Stage 2 — BiConv: binarized convolution output, one BitVec of W·L
-  /// lanes per output channel.
+  /// lanes per output channel. `volume` must be this model's
+  /// project_values output — the hot path takes the validity lanes from
+  /// the model's own importance mask, which is identical by construction.
   std::vector<BitVec> convolve(const std::vector<PackedValue>& volume) const;
 
+  /// Stage 2 hot path, mirroring the Sec. IV-A kernel-parallel schedule:
+  /// each (y, x) patch is gathered exactly once — flattened tap-major
+  /// into scratch.patch_words (interior positions via bounds-check-free
+  /// row pointers, border positions skipping out-of-bounds taps) — then
+  /// all O pre-packed kernels sweep it with whole-word XNOR+popcounts
+  /// against the precomputed validity plane. Writes packed channel words
+  /// into `scratch.conv_words`. Bit-identical to sgn(convolve_raw) —
+  /// property-tested.
+  void convolve_into(const std::vector<PackedValue>& volume,
+                     InferScratch& scratch) const;
+
   /// Stage 2 raw accumulations (pre-sign), for hardware adder checks.
+  /// This is the reference implementation the BiConv hot path and the
+  /// functional simulator are both checked against.
   std::vector<std::vector<long long>> convolve_raw(
       const std::vector<PackedValue>& volume) const;
+  void convolve_raw_into(const std::vector<PackedValue>& volume,
+                         std::vector<std::vector<long long>>& raw) const;
 
   /// Stage 3 — Encoding (Eq. 1 over conv channels): sample vector s.
   BitVec encode_channels(const std::vector<BitVec>& conv_out) const;
 
+  /// Stage 3 hot path over the packed channels in `scratch.conv_words`:
+  /// word-parallel bit-sliced majority (64 positions at a time) with a
+  /// word-parallel threshold compare, writing `scratch.sample`.
+  void encode_into(InferScratch& scratch) const;
+
   /// Stage 4 — Similarity with soft voting (Eq. 4, dot-product metric).
   Prediction similarity(const BitVec& sample_vector) const;
+
+  /// Stage 4 hot path: the Θ·C dots fused into one word-major
+  /// XNOR+popcount sweep over the class-vector words, writing into a
+  /// reused Prediction (scores capacity is retained across calls).
+  void similarity_into(const BitVec& sample_vector, Prediction& out) const;
 
   /// Eq. 2 with the Hamming metric instead (scores are summed Hamming
   /// distances, label is the argmin). Equivalent ranking to the
@@ -90,10 +173,22 @@ class Model {
   /// Full pipeline: values -> label.
   Prediction predict(const std::vector<std::uint16_t>& values) const;
 
+  /// Full pipeline into a caller-owned scratch arena: label + scores in
+  /// `scratch.prediction`. Zero heap allocation once the scratch is warm.
+  void predict_into(const std::vector<std::uint16_t>& values,
+                    InferScratch& scratch) const;
+
+  /// Full pipeline through the original per-sample scalar stages
+  /// (convolve_raw + BitSlicedAccumulator encode + per-class dots). Kept
+  /// as the reference path for the hot-path property tests and as the
+  /// baseline the engine's throughput is measured against.
+  Prediction predict_reference(const std::vector<std::uint16_t>& values) const;
+
   /// End-to-end sample vector (stages 1–3).
   BitVec encode(const std::vector<std::uint16_t>& values) const;
 
-  /// Fraction of correct predictions on a dataset.
+  /// Fraction of correct predictions on a dataset. Routed through a
+  /// batched InferEngine over the global thread pool.
   double accuracy(const data::Dataset& dataset) const;
 
   // --- Stored vector sets (read access for hardware sim / serialization).
@@ -119,6 +214,10 @@ class Model {
 
  private:
   friend class ModelIo;
+
+  /// Fills scratch.kernel_words / valid_words / valid_pops (the
+  /// sample-independent BiConv tables) and stamps scratch.packed_model.
+  void pack_scratch_tables(InferScratch& scratch) const;
 
   ModelConfig config_;
   std::vector<std::uint8_t> mask_;

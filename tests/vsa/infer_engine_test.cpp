@@ -1,0 +1,235 @@
+// Property tests for the batched inference engine: every engine output
+// must be bit-identical to Model::predict_reference (the original
+// per-sample scalar pipeline) over random models spanning the edge
+// configurations, single- and multi-threaded, and the hardware
+// functional simulator must stay bit-exact against the same models.
+#include "univsa/vsa/infer_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/hw/functional_sim.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::vsa {
+namespace {
+
+struct EngineCase {
+  const char* name;
+  ModelConfig config;
+};
+
+EngineCase make_case(const char* name, std::size_t w, std::size_t l,
+                     std::size_t classes, std::size_t m, std::size_t d_h,
+                     std::size_t d_l, std::size_t d_k, std::size_t o,
+                     std::size_t theta) {
+  EngineCase e;
+  e.name = name;
+  e.config.W = w;
+  e.config.L = l;
+  e.config.C = classes;
+  e.config.M = m;
+  e.config.D_H = d_h;
+  e.config.D_L = d_l;
+  e.config.D_K = d_k;
+  e.config.O = o;
+  e.config.Theta = theta;
+  return e;
+}
+
+std::vector<std::uint16_t> random_sample(const ModelConfig& c, Rng& rng) {
+  std::vector<std::uint16_t> values(c.features());
+  for (auto& v : values) {
+    v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  }
+  return values;
+}
+
+data::Dataset random_dataset(const ModelConfig& c, std::size_t n, Rng& rng) {
+  data::Dataset ds(c.W, c.L, c.C, c.M);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.add(random_sample(c, rng),
+           static_cast<int>(rng.uniform_index(c.C)));
+  }
+  return ds;
+}
+
+class InferEngineTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(InferEngineTest, PredictBatchIsBitIdenticalToReference) {
+  const EngineCase& e = GetParam();
+  Rng rng(42);
+  const Model m = Model::random(e.config, rng);
+  InferEngine engine(m);
+
+  std::vector<std::vector<std::uint16_t>> samples;
+  for (int i = 0; i < 24; ++i) samples.push_back(random_sample(e.config, rng));
+
+  std::vector<Prediction> serial;
+  std::vector<Prediction> parallel;
+  engine.predict_batch(samples, serial, /*parallel=*/false);
+  engine.predict_batch(samples, parallel, /*parallel=*/true);
+  ASSERT_EQ(serial.size(), samples.size());
+  ASSERT_EQ(parallel.size(), samples.size());
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Prediction ref = m.predict_reference(samples[i]);
+    EXPECT_EQ(serial[i].label, ref.label) << e.name << " sample " << i;
+    EXPECT_EQ(serial[i].scores, ref.scores) << e.name << " sample " << i;
+    EXPECT_EQ(parallel[i].label, ref.label) << e.name << " sample " << i;
+    EXPECT_EQ(parallel[i].scores, ref.scores) << e.name << " sample " << i;
+  }
+}
+
+TEST_P(InferEngineTest, EncodeBatchMatchesReferenceEncoding) {
+  const EngineCase& e = GetParam();
+  Rng rng(7);
+  const Model m = Model::random(e.config, rng);
+  InferEngine engine(m);
+
+  std::vector<std::vector<std::uint16_t>> samples;
+  for (int i = 0; i < 8; ++i) samples.push_back(random_sample(e.config, rng));
+
+  std::vector<BitVec> encoded;
+  engine.encode_batch(samples, encoded);
+  ASSERT_EQ(encoded.size(), samples.size());
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Reference stages: raw conv -> sign -> bit-sliced bundle.
+    const auto raw = m.convolve_raw(m.project_values(samples[i]));
+    std::vector<BitVec> conv;
+    for (const auto& channel : raw) {
+      BitVec u(channel.size());
+      for (std::size_t j = 0; j < channel.size(); ++j) {
+        u.set(j, channel[j] >= 0 ? 1 : -1);
+      }
+      conv.push_back(std::move(u));
+    }
+    EXPECT_EQ(encoded[i], m.encode_channels(conv)) << e.name << " " << i;
+    EXPECT_EQ(encoded[i], m.encode(samples[i])) << e.name << " " << i;
+  }
+}
+
+TEST_P(InferEngineTest, StageIntoVariantsMatchAllocatingWrappers) {
+  const EngineCase& e = GetParam();
+  Rng rng(13);
+  const Model m = Model::random(e.config, rng);
+  const auto values = random_sample(e.config, rng);
+
+  std::vector<PackedValue> volume;
+  m.project_values_into(values, volume);
+  const auto wrapped = m.project_values(values);
+  ASSERT_EQ(volume.size(), wrapped.size());
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    EXPECT_EQ(volume[i].bits, wrapped[i].bits);
+    EXPECT_EQ(volume[i].valid, wrapped[i].valid);
+  }
+
+  InferScratch s(e.config);
+  m.convolve_into(volume, s);
+  const auto conv = m.convolve(volume);
+  const auto raw = m.convolve_raw(volume);
+  for (std::size_t o = 0; o < e.config.O; ++o) {
+    for (std::size_t j = 0; j < e.config.sample_dim(); ++j) {
+      const int fast =
+          (s.conv_words[o * s.words_per_channel + j / 64] >> (j % 64)) & 1
+              ? 1
+              : -1;
+      EXPECT_EQ(fast, conv[o].get(j)) << e.name;
+      EXPECT_EQ(fast, raw[o][j] >= 0 ? 1 : -1) << e.name;
+    }
+  }
+
+  m.encode_into(s);
+  EXPECT_EQ(s.sample, m.encode_channels(conv)) << e.name;
+
+  Prediction fused;
+  m.similarity_into(s.sample, fused);
+  const Prediction wrapped_sim = m.similarity(s.sample);
+  EXPECT_EQ(fused.label, wrapped_sim.label) << e.name;
+  EXPECT_EQ(fused.scores, wrapped_sim.scores) << e.name;
+}
+
+TEST_P(InferEngineTest, AccuracyMatchesReferenceLoop) {
+  const EngineCase& e = GetParam();
+  Rng rng(21);
+  const Model m = Model::random(e.config, rng);
+  const data::Dataset ds = random_dataset(e.config, 40, rng);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (m.predict_reference(ds.values(i)).label == ds.label(i)) ++correct;
+  }
+  const double expected =
+      static_cast<double>(correct) / static_cast<double>(ds.size());
+
+  InferEngine engine(m);
+  EXPECT_DOUBLE_EQ(engine.accuracy(ds, /*parallel=*/false), expected);
+  EXPECT_DOUBLE_EQ(engine.accuracy(ds, /*parallel=*/true), expected);
+  // Model::accuracy routes through the engine.
+  EXPECT_DOUBLE_EQ(m.accuracy(ds), expected);
+}
+
+TEST_P(InferEngineTest, FunctionalSimStaysBitExact) {
+  const EngineCase& e = GetParam();
+  Rng rng(33);
+  const Model m = Model::random(e.config, rng);
+  InferEngine engine(m);
+  const hw::Accelerator accel(m);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto values = random_sample(e.config, rng);
+    const hw::RunTrace trace = accel.run(values);
+    const Prediction& p = engine.predict(values);
+    EXPECT_EQ(trace.prediction.label, p.label) << e.name;
+    EXPECT_EQ(trace.prediction.scores, p.scores) << e.name;
+    EXPECT_EQ(trace.sample_vector, engine.encode(values)) << e.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, InferEngineTest,
+    ::testing::Values(
+        make_case("base", 4, 6, 3, 16, 8, 2, 3, 5, 2),
+        // Full 32-lane value vectors on both tables (the D_L shift UB).
+        make_case("full_lanes", 3, 5, 2, 8, 32, 32, 3, 4, 1),
+        make_case("high_lanes_low2", 3, 5, 2, 8, 32, 2, 3, 4, 2),
+        // Kernel size extremes, including a kernel wider than the grid.
+        make_case("pointwise", 4, 5, 3, 8, 4, 2, 1, 6, 1),
+        make_case("wide_kernel", 2, 9, 2, 8, 4, 2, 5, 3, 1),
+        // Many voters and an even/odd channel-count majority.
+        make_case("voters", 3, 5, 4, 8, 4, 2, 3, 7, 3),
+        make_case("single_channel", 3, 4, 2, 4, 4, 1, 3, 1, 1),
+        // Sample dim exactly on a 64-bit word boundary, O past a power
+        // of two (forces an extra bit-sliced counter plane).
+        make_case("word_boundary", 8, 8, 2, 4, 4, 2, 3, 65, 1)),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return info.param.name;
+    });
+
+TEST(InferEngineTest2, SingleSamplePredictReusesArenaZero) {
+  Rng rng(55);
+  ModelConfig c = make_case("", 4, 6, 3, 16, 8, 2, 3, 5, 2).config;
+  const Model m = Model::random(c, rng);
+  InferEngine engine(m);
+  EXPECT_GE(engine.arena_count(), 1u);
+  const auto a = random_sample(c, rng);
+  const auto b = random_sample(c, rng);
+  const Prediction ra = engine.predict(a);  // copy before reuse
+  EXPECT_EQ(ra.scores, m.predict_reference(a).scores);
+  const Prediction rb = engine.predict(b);
+  EXPECT_EQ(rb.scores, m.predict_reference(b).scores);
+}
+
+TEST(InferEngineTest2, RejectsGeometryMismatch) {
+  Rng rng(56);
+  ModelConfig c = make_case("", 4, 6, 3, 16, 8, 2, 3, 5, 1).config;
+  const Model m = Model::random(c, rng);
+  InferEngine engine(m);
+  data::Dataset wrong(c.W + 1, c.L, c.C, c.M);
+  wrong.add(std::vector<std::uint16_t>((c.W + 1) * c.L, 0), 0);
+  EXPECT_THROW(engine.accuracy(wrong), std::invalid_argument);
+  std::vector<Prediction> out;
+  EXPECT_THROW(engine.predict_batch(wrong, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::vsa

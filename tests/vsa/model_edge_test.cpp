@@ -79,6 +79,9 @@ INSTANTIATE_TEST_SUITE_P(
         make_case("kernel_gt_width", 2, 7, 2, 8, 4, 2, 5, 3, 1),
         // Max supported channel lanes.
         make_case("max_lanes", 3, 4, 2, 4, 32, 4, 3, 2, 1),
+        // Both value tables at the full 32-lane width (regression for the
+        // undefined 1u << 32 in the low-table valid mask).
+        make_case("max_lanes_both", 3, 4, 2, 4, 32, 32, 3, 2, 1),
         // D_L == D_H (DVP degenerates to a single width).
         make_case("equal_dims", 4, 4, 2, 8, 4, 4, 3, 4, 1),
         // Many voters, many classes.
@@ -88,6 +91,32 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<EdgeCase>& info) {
       return info.param.name;
     });
+
+TEST(ModelEdgeTest2, FullLaneWidthConfigValidatesAndProjects) {
+  // D_L == D_H == 32 must validate and produce all-ones valid masks on
+  // both branches of the DVP (1u << 32 is UB — the masks are guarded).
+  ModelConfig c;
+  c.W = 2;
+  c.L = 3;
+  c.C = 2;
+  c.M = 4;
+  c.D_H = 32;
+  c.D_L = 32;
+  c.D_K = 3;
+  c.O = 2;
+  c.Theta = 1;
+  EXPECT_NO_THROW(c.validate());
+
+  Rng rng(17);
+  const Model m = Model::random(c, rng, /*high_fraction=*/0.5);
+  const auto values = random_sample(c, rng);
+  const auto volume = m.project_values(values);
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    EXPECT_EQ(volume[i].valid, ~0u) << i;
+  }
+  const Prediction p = m.predict(values);
+  EXPECT_EQ(p.scores, m.predict_reference(values).scores);
+}
 
 TEST(ModelEdgeTest2, AllLowMaskUsesOnlyVLow) {
   // Force every feature low-importance; lanes [D_L, D_H) must be dead.
