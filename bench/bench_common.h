@@ -4,22 +4,26 @@
 //   --fast          smaller datasets / fewer epochs (CI-scale smoke run)
 //   --task NAME     restrict to one Table I benchmark
 //   --csv PATH      also emit the table as CSV
+//   --threads N     size the global thread pool (0 = hardware default)
 // and prints a paper-vs-measured table to stdout.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "univsa/common/thread_pool.h"
 #include "univsa/data/benchmarks.h"
 
 namespace univsa::bench {
 
 struct Args {
   bool fast = false;
-  std::string task;  // empty = all
-  std::string csv;   // empty = none
+  std::string task;        // empty = all
+  std::string csv;         // empty = none
+  std::size_t threads = 0; // 0 = hardware default
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -31,13 +35,18 @@ inline Args parse_args(int argc, char** argv) {
       args.task = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       args.csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--fast] [--task NAME] [--csv PATH]\n",
+                   "usage: %s [--fast] [--task NAME] [--csv PATH] "
+                   "[--threads N]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  set_global_pool_threads(args.threads);
   return args;
 }
 

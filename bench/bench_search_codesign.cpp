@@ -4,6 +4,7 @@
 // obj = val-accuracy − L_HW. Demonstrates the co-design loop that
 // produced Table I's configurations.
 #include <cstdio>
+#include <mutex>
 
 #include "bench_common.h"
 #include "univsa/report/table.h"
@@ -29,16 +30,25 @@ int main(int argc, char** argv) {
   task.C = spec.classes;
   task.M = spec.levels;
 
+  // Candidates are trained concurrently (SearchOptions::parallel), so the
+  // progress counter and stdout need a lock; the per-genome seed from the
+  // search keeps each training run reproducible regardless of schedule.
+  std::mutex log_mutex;
   std::size_t trained = 0;
-  const search::AccuracyFn oracle = [&](const vsa::ModelConfig& c) {
+  const search::SeededAccuracyFn oracle = [&](const vsa::ModelConfig& c,
+                                              std::uint64_t seed) {
     train::TrainOptions opts;
     opts.epochs = args.fast ? 3 : 6;
-    opts.seed = 7;
+    opts.seed = seed;
     const auto result = train::train_univsa(c, ds.train, opts);
     const double acc = result.model.accuracy(ds.test);
-    ++trained;
-    std::printf("  candidate %2zu %s -> acc %.4f, penalty %.4f\n", trained,
-                c.to_string().c_str(), acc, vsa::hardware_penalty(c));
+    {
+      const std::lock_guard<std::mutex> lock(log_mutex);
+      ++trained;
+      std::printf("  candidate %2zu %s -> acc %.4f, penalty %.4f\n",
+                  trained, c.to_string().c_str(), acc,
+                  vsa::hardware_penalty(c));
+    }
     return acc;
   };
 

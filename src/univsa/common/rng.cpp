@@ -94,6 +94,44 @@ bool Rng::bernoulli(double p) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+void Rng::jump() {
+  // Standard xoshiro256** jump polynomial (advances 2^128 steps).
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0;
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  std::uint64_t s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next_u64();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+  has_cached_normal_ = false;
+}
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Fold the id into the seed so far-apart ids land in unrelated states,
+  // then jump a bounded number of times so nearby ids are provably
+  // non-overlapping (a jump is 2^128 steps; 64 jumps is cheap).
+  std::uint64_t sm = seed;
+  const std::uint64_t mixed = splitmix64(sm) ^ (stream_id * 0xD1B54A32D192ED03ULL);
+  Rng r(mixed);
+  for (std::uint64_t j = 0; j < (stream_id & 63ULL); ++j) r.jump();
+  return r;
+}
+
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;

@@ -48,6 +48,20 @@ class Rng {
   /// Derive an independent child stream (for per-worker determinism).
   Rng fork();
 
+  /// Advance this generator by 2^128 steps (the xoshiro256** jump
+  /// polynomial). Generators separated by jumps never overlap for any
+  /// realistic draw count, so `r.jump()` carves the stream into
+  /// independent sub-streams.
+  void jump();
+
+  /// Deterministic per-worker/per-genome stream: seeds through splitmix64
+  /// with the stream id folded in, then applies `stream_id`-many 2^128
+  /// jumps (capped) so distinct ids are guaranteed non-overlapping even
+  /// under adversarial seed/id combinations. `stream(s, i)` depends only
+  /// on (s, i) — never on evaluation order — which is what makes parallel
+  /// GA/training runs bit-identical to their serial counterparts.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
   /// Fisher–Yates shuffle of an index vector [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
 

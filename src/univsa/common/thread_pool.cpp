@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 
 #include "univsa/common/contracts.h"
 
@@ -29,6 +31,15 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+namespace {
+// Set while a pool worker (or a caller chunk of parallel_for) is running a
+// chunk. A nested parallel_for from such a context would deadlock — the
+// queue has no work stealing and every worker could end up waiting — so
+// nested calls degrade to serial execution instead. Parallelism then lives
+// at the outermost level (e.g. GA candidates), which is where it scales.
+thread_local bool tl_inside_pool_chunk = false;
+}  // namespace
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -48,7 +59,7 @@ void ThreadPool::parallel_for(
   if (n == 0) return;
   const std::size_t parts =
       std::min<std::size_t>(n, workers_.size() + 1);
-  if (parts <= 1) {
+  if (parts <= 1 || tl_inside_pool_chunk) {
     fn(0, n);
     return;
   }
@@ -69,12 +80,14 @@ void ThreadPool::parallel_for(
       const std::size_t begin = p * chunk;
       const std::size_t end = std::min(n, begin + chunk);
       tasks_.push([&shared, &fn, begin, end] {
+        tl_inside_pool_chunk = true;
         try {
           if (begin < end) fn(begin, end);
         } catch (...) {
           std::lock_guard<std::mutex> elock(shared.error_mutex);
           if (!shared.error) shared.error = std::current_exception();
         }
+        tl_inside_pool_chunk = false;
         if (shared.remaining.fetch_sub(1) == 1) {
           std::lock_guard<std::mutex> dlock(shared.done_mutex);
           shared.done_cv.notify_one();
@@ -85,12 +98,14 @@ void ThreadPool::parallel_for(
   cv_.notify_all();
 
   // The caller runs the first chunk itself.
+  tl_inside_pool_chunk = true;
   try {
     fn(0, std::min(n, chunk));
   } catch (...) {
     std::lock_guard<std::mutex> elock(shared.error_mutex);
     if (!shared.error) shared.error = std::current_exception();
   }
+  tl_inside_pool_chunk = false;
 
   std::unique_lock<std::mutex> lock(shared.done_mutex);
   shared.done_cv.wait(lock,
@@ -98,9 +113,39 @@ void ThreadPool::parallel_for(
   if (shared.error) std::rethrow_exception(shared.error);
 }
 
-ThreadPool& global_pool() {
-  static ThreadPool pool;
+namespace {
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::size_t env_thread_request() {
+  const char* env = std::getenv("UNIVSA_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& pool = global_pool_slot();
+  if (!pool) pool = std::make_unique<ThreadPool>(env_thread_request());
+  return *pool;
+}
+
+void set_global_pool_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& pool = global_pool_slot();
+  pool.reset();  // join old workers before spawning replacements
+  pool = std::make_unique<ThreadPool>(threads);
 }
 
 void parallel_for(std::size_t n,

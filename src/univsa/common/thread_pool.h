@@ -43,8 +43,17 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Process-wide pool, lazily constructed.
+/// Process-wide pool, lazily constructed. The first construction honours
+/// the UNIVSA_THREADS environment variable (0/unset means
+/// hardware_concurrency) so bench and CI runs are pinnable without code
+/// changes.
 ThreadPool& global_pool();
+
+/// Rebuilds the global pool with `threads` workers (0 = hardware
+/// concurrency). Must not be called while a parallel_for on the global
+/// pool is in flight — intended for startup flag parsing (`--threads N`)
+/// and tests.
+void set_global_pool_threads(std::size_t threads);
 
 /// Convenience: parallel_for on the global pool. Runs serially when n is
 /// small enough that chunking would cost more than it saves.

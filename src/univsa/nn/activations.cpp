@@ -7,24 +7,35 @@
 namespace univsa {
 
 Tensor SignSte::forward(const Tensor& x) {
+  Tensor out;
+  forward_into(x, out);
+  return out;
+}
+
+void SignSte::forward_into(const Tensor& x, Tensor& out) {
   cached_input_ = x;
   has_cache_ = true;
-  return sign_tensor(x);
+  sign_tensor_into(x, out);
 }
 
 Tensor SignSte::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void SignSte::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   UNIVSA_ENSURE(has_cache_, "SignSte::backward before forward");
   UNIVSA_REQUIRE(grad_out.shape() == cached_input_.shape(),
                  "grad shape mismatch");
   has_cache_ = false;
-  Tensor grad_in(grad_out.shape());
+  grad_in.ensure_shape(grad_out.shape());
   const auto in = cached_input_.flat();
   const auto go = grad_out.flat();
   auto gi = grad_in.flat();
   for (std::size_t i = 0; i < in.size(); ++i) {
     gi[i] = std::fabs(in[i]) <= 1.0f ? go[i] : 0.0f;
   }
-  return grad_in;
 }
 
 Tensor Relu::forward(const Tensor& x) {
@@ -55,28 +66,38 @@ Tensor Relu::backward(const Tensor& grad_out) {
 }
 
 Tensor Tanh::forward(const Tensor& x) {
-  Tensor out(x.shape());
+  Tensor out;
+  forward_into(x, out);
+  return out;
+}
+
+void Tanh::forward_into(const Tensor& x, Tensor& out) {
+  out.ensure_shape(x.shape());
   const auto in = x.flat();
   auto o = out.flat();
   for (std::size_t i = 0; i < in.size(); ++i) o[i] = std::tanh(in[i]);
   cached_output_ = out;
   has_cache_ = true;
-  return out;
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void Tanh::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   UNIVSA_ENSURE(has_cache_, "Tanh::backward before forward");
   UNIVSA_REQUIRE(grad_out.shape() == cached_output_.shape(),
                  "grad shape mismatch");
   has_cache_ = false;
-  Tensor grad_in(grad_out.shape());
+  grad_in.ensure_shape(grad_out.shape());
   const auto y = cached_output_.flat();
   const auto go = grad_out.flat();
   auto gi = grad_in.flat();
   for (std::size_t i = 0; i < y.size(); ++i) {
     gi[i] = go[i] * (1.0f - y[i] * y[i]);
   }
-  return grad_in;
 }
 
 }  // namespace univsa

@@ -18,6 +18,10 @@ class SignSte {
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& grad_out);
 
+  /// Allocation-free variants; `out`/`grad_in` reuse their storage.
+  void forward_into(const Tensor& x, Tensor& out);
+  void backward_into(const Tensor& grad_out, Tensor& grad_in);
+
  private:
   Tensor cached_input_;
   bool has_cache_ = false;
@@ -37,6 +41,9 @@ class Tanh {
  public:
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& grad_out);
+
+  void forward_into(const Tensor& x, Tensor& out);
+  void backward_into(const Tensor& grad_out, Tensor& grad_in);
 
  private:
   Tensor cached_output_;

@@ -1,9 +1,9 @@
 #include "univsa/nn/binary_conv2d.h"
 
 #include <cmath>
-#include <cstring>
 
 #include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
 #include "univsa/tensor/gemm.h"
 #include "univsa/tensor/im2col.h"
 
@@ -21,13 +21,21 @@ BinaryConv2d::BinaryConv2d(std::size_t in_channels, std::size_t out_channels,
   UNIVSA_REQUIRE(kernel % 2 == 1, "kernel size must be odd");
 }
 
-Tensor BinaryConv2d::effective_weight() const {
-  return binarize_ ? sign_tensor(weight_) : weight_;
+const Tensor& BinaryConv2d::effective_weight() {
+  if (!binarize_) return weight_;
+  sign_tensor_into(weight_, eff_w_);
+  return eff_w_;
 }
 
 Tensor BinaryConv2d::binary_weight() const { return sign_tensor(weight_); }
 
 Tensor BinaryConv2d::forward(const Tensor& x) {
+  Tensor out;
+  forward_into(x, out);
+  return out;
+}
+
+void BinaryConv2d::forward_into(const Tensor& x, Tensor& out) {
   UNIVSA_REQUIRE(x.rank() == 4 && x.dim(1) == in_channels_,
                  "BinaryConv2d input shape mismatch");
   const std::size_t batch = x.dim(0);
@@ -36,29 +44,41 @@ Tensor BinaryConv2d::forward(const Tensor& x) {
   const std::size_t plane = height * width;
   const std::size_t ckk = in_channels_ * kernel_ * kernel_;
 
-  cached_cols_.assign(batch, Tensor());
+  cached_cols_.ensure_shape({batch, ckk, plane});
+  cached_batch_ = batch;
   cached_height_ = height;
   cached_width_ = width;
   has_cache_ = true;
 
-  const Tensor w = effective_weight();  // (O, CKK)
-  Tensor out({batch, out_channels_, height, width});
+  const Tensor& w = effective_weight();  // (O, CKK)
+  out.ensure_shape({batch, out_channels_, height, width});
 
-  for (std::size_t b = 0; b < batch; ++b) {
-    Tensor sample({in_channels_, height, width});
-    std::memcpy(sample.data(), x.data() + b * in_channels_ * plane,
-                in_channels_ * plane * sizeof(float));
-    cached_cols_[b] = im2col(sample, kernel_);  // (CKK, HW)
-    // (O, CKK) x (CKK, HW) -> (O, HW)
-    gemm(GemmLayout::kNN, out_channels_, plane, ckk, w.data(),
-         cached_cols_[b].data(), out.data() + b * out_channels_ * plane);
-  }
-  return out;
+  const float* xd = x.data();
+  float* cols = cached_cols_.data();
+  float* od = out.data();
+  // Samples are independent (disjoint column/output slices), so the batch
+  // loop parallelizes without changing any result bit.
+  global_pool().parallel_for(batch, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t b = begin; b < end; ++b) {
+      float* cols_b = cols + b * ckk * plane;
+      im2col_into(xd + b * in_channels_ * plane, in_channels_, height, width,
+                  kernel_, cols_b);
+      // (O, CKK) x (CKK, HW) -> (O, HW)
+      gemm(GemmLayout::kNN, out_channels_, plane, ckk, w.data(), cols_b,
+           od + b * out_channels_ * plane);
+    }
+  });
 }
 
 Tensor BinaryConv2d::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void BinaryConv2d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   UNIVSA_ENSURE(has_cache_, "BinaryConv2d::backward before forward");
-  const std::size_t batch = cached_cols_.size();
+  const std::size_t batch = cached_batch_;
   const std::size_t plane = cached_height_ * cached_width_;
   UNIVSA_REQUIRE(grad_out.rank() == 4 && grad_out.dim(0) == batch &&
                      grad_out.dim(1) == out_channels_ &&
@@ -68,36 +88,33 @@ Tensor BinaryConv2d::backward(const Tensor& grad_out) {
   has_cache_ = false;
 
   const std::size_t ckk = in_channels_ * kernel_ * kernel_;
-  const Tensor w = effective_weight();
-  Tensor dw({out_channels_, ckk});
-  Tensor grad_in({batch, in_channels_, cached_height_, cached_width_});
-  Tensor dw_sample({out_channels_, ckk});
-  Tensor dcols({ckk, plane});
+  const Tensor& w = effective_weight();
+  dw_.ensure_shape({out_channels_, ckk});
+  dw_.fill(0.0f);
+  grad_in.ensure_shape({batch, in_channels_, cached_height_, cached_width_});
+  dcols_.ensure_shape({ckk, plane});
 
   for (std::size_t b = 0; b < batch; ++b) {
     const float* go = grad_out.data() + b * out_channels_ * plane;
-    // dW += grad_out_b (O, HW) · cols_bᵀ (HW, CKK)
-    gemm(GemmLayout::kNT, out_channels_, ckk, plane, go,
-         cached_cols_[b].data(), dw_sample.data());
-    dw.add_(dw_sample);
+    const float* cols_b = cached_cols_.data() + b * ckk * plane;
+    // dW += grad_out_b (O, HW) · cols_bᵀ (HW, CKK), fused β = 1.
+    gemm(GemmLayout::kNT, out_channels_, ckk, plane, go, cols_b, dw_.data(),
+         /*accumulate=*/true);
     // dcols = wᵀ (CKK, O) · grad_out_b (O, HW)
     gemm(GemmLayout::kTN, ckk, plane, out_channels_, w.data(), go,
-         dcols.data());
-    Tensor gi = col2im(dcols, in_channels_, cached_height_, cached_width_,
-                       kernel_);
-    std::memcpy(grad_in.data() + b * in_channels_ * plane, gi.data(),
-                in_channels_ * plane * sizeof(float));
+         dcols_.data());
+    col2im_into(dcols_.data(), in_channels_, cached_height_, cached_width_,
+                kernel_, grad_in.data() + b * in_channels_ * plane);
   }
 
   if (binarize_) {
     const auto wl = weight_.flat();
-    auto g = dw.flat();
+    auto g = dw_.flat();
     for (std::size_t i = 0; i < g.size(); ++i) {
       if (std::fabs(wl[i]) > 1.0f) g[i] = 0.0f;
     }
   }
-  weight_grad_.add_(dw);
-  return grad_in;
+  weight_grad_.add_(dw_);
 }
 
 ParamList BinaryConv2d::params() {

@@ -10,8 +10,6 @@
 // the backward pass.
 #pragma once
 
-#include <vector>
-
 #include "univsa/common/rng.h"
 #include "univsa/nn/param.h"
 #include "univsa/tensor/tensor.h"
@@ -31,6 +29,14 @@ class BinaryConv2d {
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& grad_out);
 
+  /// Allocation-free variants: `out`/`grad_in` plus the internal im2col,
+  /// effective-weight, and gradient scratch reuse their storage across
+  /// calls. Forward is parallel over the batch (disjoint writes, so
+  /// results are bit-identical for any thread count); backward stays
+  /// serial because dW accumulates across samples in a fixed order.
+  void forward_into(const Tensor& x, Tensor& out);
+  void backward_into(const Tensor& grad_out, Tensor& grad_in);
+
   ParamList params();
   void zero_grad();
 
@@ -39,14 +45,19 @@ class BinaryConv2d {
   const Tensor& latent_weight() const { return weight_; }
 
  private:
-  Tensor effective_weight() const;
+  /// Refreshes eff_w_ (sgn(W) or W) and returns it.
+  const Tensor& effective_weight();
 
   std::size_t in_channels_;
   std::size_t out_channels_;
   std::size_t kernel_;
   Tensor weight_;  // (O, C*K*K) latent
   Tensor weight_grad_;
-  std::vector<Tensor> cached_cols_;  // one (C*K*K, H*W) per sample
+  Tensor cached_cols_;  // (B, C*K*K, H*W) im2col scratch from forward
+  Tensor eff_w_;        // scratch: sgn(W) of the last forward/backward
+  Tensor dw_;           // scratch: batch dW before the STE mask
+  Tensor dcols_;        // scratch: (C*K*K, H*W) column gradient
+  std::size_t cached_batch_ = 0;
   std::size_t cached_height_ = 0;
   std::size_t cached_width_ = 0;
   bool has_cache_ = false;

@@ -13,21 +13,35 @@ BinaryLinear::BinaryLinear(std::size_t in_features, std::size_t out_features,
       weight_grad_({out_features, in_features}),
       binarize_(binarize) {}
 
-Tensor BinaryLinear::effective_weight() const {
-  return binarize_ ? sign_tensor(weight_) : weight_;
+const Tensor& BinaryLinear::effective_weight() {
+  if (!binarize_) return weight_;
+  sign_tensor_into(weight_, eff_w_);
+  return eff_w_;
 }
 
 Tensor BinaryLinear::binary_weight() const { return sign_tensor(weight_); }
 
 Tensor BinaryLinear::forward(const Tensor& x) {
+  Tensor out;
+  forward_into(x, out);
+  return out;
+}
+
+void BinaryLinear::forward_into(const Tensor& x, Tensor& out) {
   UNIVSA_REQUIRE(x.rank() == 2 && x.dim(1) == in_features(),
                  "BinaryLinear input shape mismatch");
   cached_input_ = x;
   has_cache_ = true;
-  return x.matmul_transposed(effective_weight());
+  x.matmul_transposed_into(effective_weight(), out);
 }
 
 Tensor BinaryLinear::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void BinaryLinear::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   UNIVSA_ENSURE(has_cache_, "BinaryLinear::backward before forward");
   UNIVSA_REQUIRE(grad_out.rank() == 2 &&
                      grad_out.dim(0) == cached_input_.dim(0) &&
@@ -35,17 +49,17 @@ Tensor BinaryLinear::backward(const Tensor& grad_out) {
                  "BinaryLinear grad shape mismatch");
   has_cache_ = false;
 
-  Tensor dw = grad_out.transposed_matmul(cached_input_);  // (out, in)
+  grad_out.transposed_matmul_into(cached_input_, dw_);  // (out, in)
   if (binarize_) {
     // STE: pass gradient only inside the clip window.
     const auto w = weight_.flat();
-    auto g = dw.flat();
+    auto g = dw_.flat();
     for (std::size_t i = 0; i < g.size(); ++i) {
       if (std::fabs(w[i]) > 1.0f) g[i] = 0.0f;
     }
   }
-  weight_grad_.add_(dw);
-  return grad_out.matmul(effective_weight());
+  weight_grad_.add_(dw_);
+  grad_out.matmul_into(effective_weight(), grad_in);
 }
 
 ParamList BinaryLinear::params() {

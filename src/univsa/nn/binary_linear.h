@@ -28,6 +28,11 @@ class BinaryLinear {
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& grad_out);
 
+  /// Allocation-free variants: `out`/`grad_in` plus the internal
+  /// effective-weight and dW scratch reuse their storage across calls.
+  void forward_into(const Tensor& x, Tensor& out);
+  void backward_into(const Tensor& grad_out, Tensor& grad_in);
+
   ParamList params();
   void zero_grad();
 
@@ -36,11 +41,14 @@ class BinaryLinear {
   const Tensor& latent_weight() const { return weight_; }
 
  private:
-  Tensor effective_weight() const;
+  /// Refreshes eff_w_ (sgn(W) or W) and returns it.
+  const Tensor& effective_weight();
 
   Tensor weight_;  // (out, in) latent
   Tensor weight_grad_;
   Tensor cached_input_;
+  Tensor eff_w_;  // scratch: sgn(W) of the last forward/backward
+  Tensor dw_;     // scratch: per-call weight gradient before the STE mask
   bool has_cache_ = false;
   bool binarize_;
 };

@@ -15,21 +15,29 @@ EncodingLayer::EncodingLayer(std::size_t groups, std::size_t dim, Rng& rng,
       weight_grad_({groups, dim}),
       binarize_(binarize) {}
 
-Tensor EncodingLayer::effective_weight() const {
-  return binarize_ ? sign_tensor(weight_) : weight_;
+const Tensor& EncodingLayer::effective_weight() {
+  if (!binarize_) return weight_;
+  sign_tensor_into(weight_, eff_w_);
+  return eff_w_;
 }
 
 Tensor EncodingLayer::binary_weight() const { return sign_tensor(weight_); }
 
 Tensor EncodingLayer::forward(const Tensor& u) {
+  Tensor z;
+  forward_into(u, z);
+  return z;
+}
+
+void EncodingLayer::forward_into(const Tensor& u, Tensor& z) {
   UNIVSA_REQUIRE(u.rank() == 3 && u.dim(1) == groups_ && u.dim(2) == dim_,
                  "EncodingLayer input shape mismatch");
   cached_input_ = u;
   has_cache_ = true;
 
   const std::size_t batch = u.dim(0);
-  const Tensor w = effective_weight();
-  Tensor z({batch, dim_});
+  const Tensor& w = effective_weight();
+  z.ensure_shape({batch, dim_});
   const float* wd = w.data();
   const float* ud = u.data();
   float* zd = z.data();
@@ -45,10 +53,15 @@ Tensor EncodingLayer::forward(const Tensor& u) {
       }
     }
   });
-  return z;
 }
 
 Tensor EncodingLayer::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void EncodingLayer::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   UNIVSA_ENSURE(has_cache_, "EncodingLayer::backward before forward");
   const std::size_t batch = cached_input_.dim(0);
   UNIVSA_REQUIRE(grad_out.rank() == 2 && grad_out.dim(0) == batch &&
@@ -56,14 +69,15 @@ Tensor EncodingLayer::backward(const Tensor& grad_out) {
                  "EncodingLayer grad shape mismatch");
   has_cache_ = false;
 
-  const Tensor w = effective_weight();
-  Tensor grad_in({batch, groups_, dim_});
-  Tensor dw({groups_, dim_});
+  const Tensor& w = effective_weight();
+  grad_in.ensure_shape({batch, groups_, dim_});
+  dw_.ensure_shape({groups_, dim_});
+  dw_.fill(0.0f);
   const float* wd = w.data();
   const float* ud = cached_input_.data();
   const float* god = grad_out.data();
   float* gid = grad_in.data();
-  float* dwd = dw.data();
+  float* dwd = dw_.data();
 
   // du[b,g,j] = dz[b,j] * w[g,j];  dw[g,j] = Σ_b dz[b,j] * u[b,g,j].
   for (std::size_t b = 0; b < batch; ++b) {
@@ -82,13 +96,12 @@ Tensor EncodingLayer::backward(const Tensor& grad_out) {
 
   if (binarize_) {
     const auto wl = weight_.flat();
-    auto g = dw.flat();
+    auto g = dw_.flat();
     for (std::size_t i = 0; i < g.size(); ++i) {
       if (std::fabs(wl[i]) > 1.0f) g[i] = 0.0f;
     }
   }
-  weight_grad_.add_(dw);
-  return grad_in;
+  weight_grad_.add_(dw_);
 }
 
 ParamList EncodingLayer::params() {

@@ -34,6 +34,10 @@ class EncodingLayer {
   /// grad_out: (B, D) -> grad wrt u (B, G, D).
   Tensor backward(const Tensor& grad_out);
 
+  /// Allocation-free variants (scratch + outputs reuse their storage).
+  void forward_into(const Tensor& u, Tensor& out);
+  void backward_into(const Tensor& grad_out, Tensor& grad_in);
+
   ParamList params();
   void zero_grad();
 
@@ -42,13 +46,16 @@ class EncodingLayer {
   const Tensor& latent_weight() const { return weight_; }
 
  private:
-  Tensor effective_weight() const;
+  /// Refreshes eff_w_ (sgn(F) or F) and returns it.
+  const Tensor& effective_weight();
 
   std::size_t groups_;
   std::size_t dim_;
   Tensor weight_;  // (G, D) latent
   Tensor weight_grad_;
   Tensor cached_input_;
+  Tensor eff_w_;  // scratch: sgn(F) of the last forward/backward
+  Tensor dw_;     // scratch: per-call weight gradient before the STE mask
   bool has_cache_ = false;
   bool binarize_;
 };

@@ -15,35 +15,47 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
       bias_grad_({out_features}) {}
 
 Tensor Linear::forward(const Tensor& x) {
+  Tensor out;
+  forward_into(x, out);
+  return out;
+}
+
+void Linear::forward_into(const Tensor& x, Tensor& out) {
   UNIVSA_REQUIRE(x.rank() == 2 && x.dim(1) == in_features(),
                  "Linear input shape mismatch");
   cached_input_ = x;
   has_cache_ = true;
-  Tensor out = x.matmul_transposed(weight_);  // (B, out)
+  x.matmul_transposed_into(weight_, out);  // (B, out)
   for (std::size_t b = 0; b < out.dim(0); ++b) {
     for (std::size_t o = 0; o < out.dim(1); ++o) {
       out.at(b, o) += bias_[o];
     }
   }
-  return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void Linear::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   UNIVSA_ENSURE(has_cache_, "Linear::backward before forward");
   UNIVSA_REQUIRE(grad_out.rank() == 2 &&
                      grad_out.dim(0) == cached_input_.dim(0) &&
                      grad_out.dim(1) == out_features(),
                  "Linear grad shape mismatch");
   has_cache_ = false;
-  // dW = grad_outᵀ (B,out)ᵀ · x (B,in) -> (out, in)
-  weight_grad_.add_(grad_out.transposed_matmul(cached_input_));
+  // dW += grad_outᵀ (B,out)ᵀ · x (B,in) -> (out, in), fused β = 1.
+  grad_out.transposed_matmul_into(cached_input_, weight_grad_,
+                                  /*accumulate=*/true);
   for (std::size_t b = 0; b < grad_out.dim(0); ++b) {
     for (std::size_t o = 0; o < grad_out.dim(1); ++o) {
       bias_grad_[o] += grad_out.at(b, o);
     }
   }
   // dx = grad_out (B,out) · W (out,in)
-  return grad_out.matmul(weight_);
+  grad_out.matmul_into(weight_, grad_in);
 }
 
 ParamList Linear::params() {

@@ -24,6 +24,11 @@ class Linear {
   /// grad_out: (B, out) -> grad wrt x (B, in); accumulates weight grads.
   Tensor backward(const Tensor& grad_out);
 
+  /// Allocation-free variants: `out`/`grad_in` reuse their storage across
+  /// calls (stable shapes ⇒ no steady-state allocation).
+  void forward_into(const Tensor& x, Tensor& out);
+  void backward_into(const Tensor& grad_out, Tensor& grad_in);
+
   ParamList params();
   void zero_grad();
 

@@ -9,13 +9,21 @@ namespace univsa {
 
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  const std::vector<int>& labels) {
+  LossResult result;
+  softmax_cross_entropy_into(logits, labels, result);
+  return result;
+}
+
+void softmax_cross_entropy_into(const Tensor& logits,
+                                const std::vector<int>& labels,
+                                LossResult& result) {
   UNIVSA_REQUIRE(logits.rank() == 2, "logits must be (B, C)");
   const std::size_t batch = logits.dim(0);
   const std::size_t classes = logits.dim(1);
   UNIVSA_REQUIRE(labels.size() == batch, "label count mismatch");
 
-  LossResult result;
-  result.grad_logits = Tensor({batch, classes});
+  result.grad_logits.ensure_shape({batch, classes});
+  result.correct = 0;
   double total = 0.0;
 
   for (std::size_t b = 0; b < batch; ++b) {
@@ -53,7 +61,6 @@ LossResult softmax_cross_entropy(const Tensor& logits,
   }
 
   result.loss = static_cast<float>(total / static_cast<double>(batch));
-  return result;
 }
 
 }  // namespace univsa

@@ -18,4 +18,11 @@ struct LossResult {
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  const std::vector<int>& labels);
 
+/// Allocation-free variant: `result.grad_logits` reuses its storage when
+/// the batch shape is stable (the training loop passes the same LossResult
+/// every step).
+void softmax_cross_entropy_into(const Tensor& logits,
+                                const std::vector<int>& labels,
+                                LossResult& result);
+
 }  // namespace univsa

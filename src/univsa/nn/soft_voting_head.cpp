@@ -20,22 +20,36 @@ SoftVotingHead::SoftVotingHead(std::size_t in_features, std::size_t classes,
 }
 
 Tensor SoftVotingHead::forward(const Tensor& s) {
-  Tensor mean_sim;
+  Tensor out;
+  forward_into(s, out);
+  return out;
+}
+
+void SoftVotingHead::forward_into(const Tensor& s, Tensor& out) {
   for (std::size_t t = 0; t < voters_.size(); ++t) {
-    Tensor sim = voters_[t]->forward(s);
     if (t == 0) {
-      mean_sim = std::move(sim);
+      voters_[t]->forward_into(s, cached_mean_sim_);
     } else {
-      mean_sim.add_(sim);
+      voters_[t]->forward_into(s, voter_out_);
+      cached_mean_sim_.add_(voter_out_);
     }
   }
-  mean_sim.mul_(1.0f / static_cast<float>(voters_.size()));
-  cached_mean_sim_ = mean_sim;
+  cached_mean_sim_.mul_(1.0f / static_cast<float>(voters_.size()));
   has_cache_ = true;
-  return mean_sim.mul(std::fabs(scale_[0]));
+  out.ensure_shape(cached_mean_sim_.shape());
+  const float mag = std::fabs(scale_[0]);
+  const auto ms = cached_mean_sim_.flat();
+  auto od = out.flat();
+  for (std::size_t i = 0; i < ms.size(); ++i) od[i] = ms[i] * mag;
 }
 
 Tensor SoftVotingHead::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void SoftVotingHead::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   UNIVSA_ENSURE(has_cache_, "SoftVotingHead::backward before forward");
   UNIVSA_REQUIRE(grad_out.shape() == cached_mean_sim_.shape(),
                  "SoftVotingHead grad shape mismatch");
@@ -49,18 +63,20 @@ Tensor SoftVotingHead::backward(const Tensor& grad_out) {
   for (std::size_t i = 0; i < go.size(); ++i) dscale += go[i] * ms[i];
   scale_grad_[0] += dscale * scale_sign;
 
-  Tensor voter_grad = grad_out.mul(std::fabs(scale_[0]) /
-                                   static_cast<float>(voters_.size()));
-  Tensor grad_in;
+  voter_grad_.ensure_shape(grad_out.shape());
+  const float vscale =
+      std::fabs(scale_[0]) / static_cast<float>(voters_.size());
+  auto vg = voter_grad_.flat();
+  for (std::size_t i = 0; i < go.size(); ++i) vg[i] = go[i] * vscale;
+
   for (std::size_t t = 0; t < voters_.size(); ++t) {
-    Tensor g = voters_[t]->backward(voter_grad);
     if (t == 0) {
-      grad_in = std::move(g);
+      voters_[t]->backward_into(voter_grad_, grad_in);
     } else {
-      grad_in.add_(g);
+      voters_[t]->backward_into(voter_grad_, voter_out_);
+      grad_in.add_(voter_out_);
     }
   }
-  return grad_in;
 }
 
 ParamList SoftVotingHead::params() {

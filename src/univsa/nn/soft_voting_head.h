@@ -33,6 +33,10 @@ class SoftVotingHead {
   Tensor forward(const Tensor& s);
   Tensor backward(const Tensor& grad_out);
 
+  /// Allocation-free variants (voter scratch + outputs reuse storage).
+  void forward_into(const Tensor& s, Tensor& out);
+  void backward_into(const Tensor& grad_out, Tensor& grad_in);
+
   ParamList params();
   void zero_grad();
 
@@ -45,6 +49,8 @@ class SoftVotingHead {
   Tensor scale_;  // γ, learnable scalar
   Tensor scale_grad_;
   Tensor cached_mean_sim_;  // (B, C) pre-scale, for dγ
+  Tensor voter_out_;        // scratch: one voter's similarities / grad_in
+  Tensor voter_grad_;       // scratch: scaled upstream gradient
   bool has_cache_ = false;
 };
 

@@ -14,25 +14,30 @@ ValueBox::ValueBox(std::size_t levels, std::size_t dim, Rng& rng,
   UNIVSA_REQUIRE(dim >= 1, "ValueBox dim must be positive");
 }
 
-Tensor ValueBox::forward_table() {
+Tensor ValueBox::forward_table() { return forward_table_cached(); }
+
+const Tensor& ValueBox::forward_table_cached() {
   // Level m normalized to [-1, 1] — the MLP input grid.
-  Tensor levels({levels_, 1});
+  grid_.ensure_shape({levels_, 1});
   for (std::size_t m = 0; m < levels_; ++m) {
-    levels.at(m, 0) =
+    grid_.at(m, 0) =
         2.0f * static_cast<float>(m) / static_cast<float>(levels_ - 1) - 1.0f;
   }
-  Tensor h = act_.forward(fc1_.forward(levels));
-  return sign_.forward(fc2_.forward(h));
+  fc1_.forward_into(grid_, h1_);
+  act_.forward_into(h1_, h2_);
+  fc2_.forward_into(h2_, h3_);
+  sign_.forward_into(h3_, table_);
+  return table_;
 }
 
 void ValueBox::backward_table(const Tensor& grad_table) {
   UNIVSA_REQUIRE(grad_table.rank() == 2 && grad_table.dim(0) == levels_ &&
                      grad_table.dim(1) == dim_,
                  "ValueBox grad table shape mismatch");
-  Tensor g = sign_.backward(grad_table);
-  g = fc2_.backward(g);
-  g = act_.backward(g);
-  fc1_.backward(g);
+  sign_.backward_into(grad_table, g1_);
+  fc2_.backward_into(g1_, g2_);
+  act_.backward_into(g2_, g3_);
+  fc1_.backward_into(g3_, g4_);
 }
 
 ParamList ValueBox::params() {

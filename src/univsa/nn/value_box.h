@@ -31,6 +31,10 @@ class ValueBox {
   /// Bipolar table (M, D): row m = sgn(MLP(norm(m))). Caches activations.
   Tensor forward_table();
 
+  /// Allocation-free variant: the returned reference points at internal
+  /// scratch valid until the next forward_table call.
+  const Tensor& forward_table_cached();
+
   /// Accumulates parameter grads from the table gradient (M, D).
   void backward_table(const Tensor& grad_table);
 
@@ -44,6 +48,16 @@ class ValueBox {
   Tanh act_;
   Linear fc2_;
   SignSte sign_;
+  // Persistent forward/backward scratch (allocation-free steady state).
+  Tensor grid_;
+  Tensor h1_;
+  Tensor h2_;
+  Tensor h3_;
+  Tensor table_;
+  Tensor g1_;
+  Tensor g2_;
+  Tensor g3_;
+  Tensor g4_;
 };
 
 }  // namespace univsa

@@ -1,10 +1,12 @@
 #include "univsa/search/evolutionary.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <tuple>
 
 #include "univsa/common/contracts.h"
+#include "univsa/common/thread_pool.h"
 #include "univsa/vsa/memory_model.h"
 
 namespace univsa::search {
@@ -71,11 +73,27 @@ void mutate(vsa::ModelConfig& c, const SearchSpace& space, double rate,
   repair(c, space);
 }
 
+// Per-configuration oracle seed: a pure function of the search seed and
+// the genome, never of evaluation order or thread id — the cornerstone of
+// the parallel == serial determinism contract.
+std::uint64_t config_seed(std::uint64_t base, const Key& k) {
+  std::uint64_t h = base;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::get<0>(k));
+  mix(std::get<1>(k));
+  mix(std::get<2>(k));
+  mix(std::get<3>(k));
+  mix(std::get<4>(k));
+  return h;
+}
+
 }  // namespace
 
 SearchResult evolutionary_search(const vsa::ModelConfig& task,
                                  const SearchSpace& space,
-                                 const AccuracyFn& accuracy,
+                                 const SeededAccuracyFn& accuracy,
                                  const SearchOptions& options) {
   UNIVSA_REQUIRE(options.population >= 2, "population too small");
   UNIVSA_REQUIRE(options.elite >= 1 && options.elite < options.population,
@@ -96,25 +114,69 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
     double objective = 0.0;
   };
 
-  const auto evaluate = [&](const vsa::ModelConfig& c) -> Scored {
-    const Key k = key_of(c);
-    const auto it = cache.find(k);
-    if (it != cache.end()) {
-      return {c, it->second.first, it->second.second};
-    }
-    const double acc = accuracy(c);
-    const double obj =
-        acc - vsa::hardware_penalty(c, options.lambda1, options.lambda2);
-    cache.emplace(k, std::make_pair(acc, obj));
-    ++result.evaluations;
-    return {c, acc, obj};
-  };
+  // Batch evaluation with the serial search's exact memo semantics: walk
+  // the candidates in generation order, collect each not-yet-cached key
+  // once (first appearance wins), run the oracle over those — concurrently
+  // when options.parallel — then insert into the memo serially in that
+  // same stable order. The oracle seed depends only on (search seed,
+  // genome), so results, memo contents, and the evaluation count are all
+  // bit-identical to evaluating one candidate at a time.
+  const auto evaluate_batch =
+      [&](const std::vector<vsa::ModelConfig>& configs) {
+        std::vector<Key> fresh_keys;
+        std::vector<const vsa::ModelConfig*> fresh_configs;
+        for (const auto& c : configs) {
+          const Key k = key_of(c);
+          if (cache.find(k) != cache.end()) continue;
+          if (std::find(fresh_keys.begin(), fresh_keys.end(), k) !=
+              fresh_keys.end()) {
+            continue;
+          }
+          fresh_keys.push_back(k);
+          fresh_configs.push_back(&c);
+        }
 
-  std::vector<Scored> population;
-  population.reserve(options.population);
+        std::vector<double> acc(fresh_keys.size(), 0.0);
+        const auto eval_range = [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            acc[i] = accuracy(*fresh_configs[i],
+                              config_seed(options.seed, fresh_keys[i]));
+          }
+        };
+        if (options.parallel) {
+          global_pool().parallel_for(fresh_keys.size(), eval_range);
+        } else {
+          eval_range(0, fresh_keys.size());
+        }
+
+        for (std::size_t i = 0; i < fresh_keys.size(); ++i) {
+          const double obj =
+              acc[i] - vsa::hardware_penalty(*fresh_configs[i],
+                                             options.lambda1,
+                                             options.lambda2);
+          cache.emplace(fresh_keys[i], std::make_pair(acc[i], obj));
+          ++result.evaluations;
+        }
+
+        std::vector<Scored> scored;
+        scored.reserve(configs.size());
+        for (const auto& c : configs) {
+          const auto& entry = cache.at(key_of(c));
+          scored.push_back({c, entry.first, entry.second});
+        }
+        return scored;
+      };
+
+  // Genomes are always generated serially — candidate evaluation cannot
+  // influence genome generation (the RNG feeds only selection, crossover,
+  // and mutation), so batching the oracle calls preserves the serial
+  // search's RNG consumption order exactly.
+  std::vector<vsa::ModelConfig> genomes;
+  genomes.reserve(options.population);
   for (std::size_t i = 0; i < options.population; ++i) {
-    population.push_back(evaluate(random_genome(task, space, rng)));
+    genomes.push_back(random_genome(task, space, rng));
   }
+  std::vector<Scored> population = evaluate_batch(genomes);
 
   const auto by_objective = [](const Scored& a, const Scored& b) {
     return a.objective > b.objective;
@@ -135,17 +197,23 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
     stats.mean_objective = sum / static_cast<double>(population.size());
     result.history.push_back(stats);
 
-    // Elitist preservation: the top `elite` genomes carry over unchanged.
-    std::vector<Scored> next(population.begin(),
-                             population.begin() +
-                                 static_cast<long>(options.elite));
-    while (next.size() < options.population) {
+    // Offspring of this generation (tournament draws from the sorted
+    // current population, never from siblings, so generating them all
+    // before any evaluation matches the serial interleaving).
+    genomes.clear();
+    while (options.elite + genomes.size() < options.population) {
       vsa::ModelConfig child =
           crossover(tournament().config, tournament().config, space, rng);
       mutate(child, space, options.mutation_rate, rng);
-      next.push_back(evaluate(child));
+      genomes.push_back(child);
     }
-    population = std::move(next);
+    std::vector<Scored> children = evaluate_batch(genomes);
+
+    // Elitist preservation: the top `elite` genomes carry over unchanged.
+    population.resize(options.elite);
+    population.insert(population.end(),
+                      std::make_move_iterator(children.begin()),
+                      std::make_move_iterator(children.end()));
   }
 
   std::sort(population.begin(), population.end(), by_objective);
@@ -153,6 +221,18 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
   result.best_objective = population.front().objective;
   result.best_accuracy = population.front().accuracy;
   return result;
+}
+
+SearchResult evolutionary_search(const vsa::ModelConfig& task,
+                                 const SearchSpace& space,
+                                 const AccuracyFn& accuracy,
+                                 const SearchOptions& options) {
+  UNIVSA_REQUIRE(static_cast<bool>(accuracy), "null accuracy oracle");
+  return evolutionary_search(
+      task, space,
+      SeededAccuracyFn([&accuracy](const vsa::ModelConfig& c,
+                                   std::uint64_t) { return accuracy(c); }),
+      options);
 }
 
 }  // namespace univsa::search

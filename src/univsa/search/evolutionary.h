@@ -36,10 +36,26 @@ struct SearchOptions {
   double lambda1 = 0.005;      ///< Eq. 7 memory weight
   double lambda2 = 0.005;      ///< Eq. 7 resource weight
   std::uint64_t seed = 7;
+  /// Evaluate candidate batches across the global thread pool. The
+  /// trajectory is bit-identical to the serial search for a fixed seed:
+  /// genomes are generated serially (same RNG consumption), only the
+  /// oracle calls — keyed by configuration, seeded independently of
+  /// evaluation order — run concurrently, and memo insertion happens
+  /// serially in generation order. The oracle must be thread-safe.
+  bool parallel = true;
 };
 
 /// Returns the (validation) accuracy of a candidate configuration.
+/// Must be deterministic per configuration (and thread-safe when
+/// SearchOptions::parallel) or the search trajectory is not reproducible.
 using AccuracyFn = std::function<double(const vsa::ModelConfig&)>;
+
+/// Accuracy oracle handed a per-configuration deterministic seed derived
+/// from SearchOptions::seed and the genome alone (never from evaluation
+/// order or thread id), so oracles that train a model can seed their RNG
+/// from it and stay reproducible under parallel evaluation.
+using SeededAccuracyFn =
+    std::function<double(const vsa::ModelConfig&, std::uint64_t)>;
 
 struct GenerationStats {
   double best_objective = 0.0;
@@ -58,6 +74,11 @@ struct SearchResult {
 SearchResult evolutionary_search(const vsa::ModelConfig& task,
                                  const SearchSpace& space,
                                  const AccuracyFn& accuracy,
+                                 const SearchOptions& options);
+
+SearchResult evolutionary_search(const vsa::ModelConfig& task,
+                                 const SearchSpace& space,
+                                 const SeededAccuracyFn& accuracy,
                                  const SearchOptions& options);
 
 }  // namespace univsa::search

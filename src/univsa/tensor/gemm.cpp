@@ -11,87 +11,280 @@ namespace univsa {
 
 namespace {
 
-// Rows of C are independent, so we parallelize over m and keep the inner
-// loops in forms the compiler auto-vectorizes (unit-stride over n or k).
+// Blocking parameters (BLIS-style). A KC-deep, NR-wide B sliver stays in
+// L1 while an MC×KC packed A block streams from L2; MR×NR accumulators
+// live in registers. MR·NR = 64 floats: four 16-lane vectors under
+// AVX-512, eight under AVX2 — within register budget either way.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 16;
+constexpr std::size_t kMc = 64;    // rows per packed A block (multiple of kMr)
+constexpr std::size_t kKc = 256;   // depth per packed block
+constexpr std::size_t kNc = 2048;  // cols per packed B block (multiple of kNr)
 
-void gemm_nn_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
-                  std::size_t k, const float* a, const float* b, float* c) {
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    float* ci = c + i * n;
-    std::memset(ci, 0, n * sizeof(float));
-    const float* ai = a + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;
-      const float* bp = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+// Below this flop count the packing passes cost more than they save.
+constexpr std::size_t kBlockedFlopFloor = 1u << 15;
+// Below this flop count threading dispatch costs more than it saves.
+constexpr std::size_t kParallelFlopFloor = 1u << 16;
+
+inline float a_elem(GemmLayout layout, const float* a, std::size_t m,
+                    std::size_t k, std::size_t i, std::size_t p) {
+  return layout == GemmLayout::kTN ? a[p * m + i] : a[i * k + p];
+}
+
+inline float b_elem(GemmLayout layout, const float* b, std::size_t n,
+                    std::size_t k, std::size_t p, std::size_t j) {
+  return layout == GemmLayout::kNT ? b[j * k + p] : b[p * n + j];
+}
+
+// Packs A(ic..ic+mb, pc..pc+kb) into ⌈mb/MR⌉ panels of (kb × MR), rows
+// beyond mb zero-filled so the micro-kernel never branches on the tail.
+void pack_a(GemmLayout layout, const float* a, std::size_t m, std::size_t k,
+            std::size_t ic, std::size_t mb, std::size_t pc, std::size_t kb,
+            float* dst) {
+  for (std::size_t ir = 0; ir < mb; ir += kMr) {
+    const std::size_t rows = std::min(kMr, mb - ir);
+    for (std::size_t p = 0; p < kb; ++p) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        dst[p * kMr + r] =
+            a_elem(layout, a, m, k, ic + ir + r, pc + p);
+      }
+      for (std::size_t r = rows; r < kMr; ++r) dst[p * kMr + r] = 0.0f;
+    }
+    dst += kb * kMr;
+  }
+}
+
+// Packs B(pc..pc+kb, jc..jc+nb) into ⌈nb/NR⌉ panels of (kb × NR),
+// columns beyond nb zero-filled.
+void pack_b(GemmLayout layout, const float* b, std::size_t n, std::size_t k,
+            std::size_t pc, std::size_t kb, std::size_t jc, std::size_t nb,
+            float* dst) {
+  for (std::size_t jr = 0; jr < nb; jr += kNr) {
+    const std::size_t cols = std::min(kNr, nb - jr);
+    if (layout != GemmLayout::kNT && cols == kNr) {
+      // Row-major B: the panel rows are contiguous source spans.
+      const float* src = b + pc * n + jc + jr;
+      for (std::size_t p = 0; p < kb; ++p) {
+        std::memcpy(dst + p * kNr, src + p * n, kNr * sizeof(float));
+      }
+    } else {
+      for (std::size_t p = 0; p < kb; ++p) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          dst[p * kNr + c] =
+              b_elem(layout, b, n, k, pc + p, jc + jr + c);
+        }
+        for (std::size_t c = cols; c < kNr; ++c) dst[p * kNr + c] = 0.0f;
+      }
+    }
+    dst += kb * kNr;
+  }
+}
+
+// MR×NR register tile over a kb-deep packed panel pair. `mr`/`nr` bound
+// the writeback for edge tiles; the arithmetic always runs at full width
+// against the zero-padded panels.
+//
+// The kernel is written with compiler vector extensions (one NR-wide
+// vector per tile row) because scalar loops here tempt GCC's SLP pass
+// into shuffle-heavy code that loses to the naive kernels. On targets
+// narrower than NR floats the compiler splits each op into native-width
+// pieces, which is exactly the hand-written form.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float VecNr __attribute__((vector_size(kNr * sizeof(float)),
+                                   aligned(alignof(float))));
+
+void micro_kernel(std::size_t kb, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr,
+                  bool accumulate) {
+  static_assert(kMr == 4, "micro_kernel is written for MR == 4");
+  VecNr acc0{}, acc1{}, acc2{}, acc3{};
+  for (std::size_t p = 0; p < kb; ++p) {
+    const float* arow = ap + p * kMr;
+    VecNr bv;
+    __builtin_memcpy(&bv, bp + p * kNr, sizeof(bv));
+    acc0 += arow[0] * bv;
+    acc1 += arow[1] * bv;
+    acc2 += arow[2] * bv;
+    acc3 += arow[3] * bv;
+  }
+  if (nr == kNr) {
+    const VecNr* rows[kMr] = {&acc0, &acc1, &acc2, &acc3};
+    for (std::size_t i = 0; i < mr; ++i) {
+      float* ci = c + i * ldc;
+      if (accumulate) {
+        VecNr cv;
+        __builtin_memcpy(&cv, ci, sizeof(cv));
+        cv += *rows[i];
+        __builtin_memcpy(ci, &cv, sizeof(cv));
+      } else {
+        __builtin_memcpy(ci, rows[i], sizeof(VecNr));
+      }
+    }
+    return;
+  }
+  float tile[kMr][kNr];
+  __builtin_memcpy(tile[0], &acc0, sizeof(acc0));
+  __builtin_memcpy(tile[1], &acc1, sizeof(acc1));
+  __builtin_memcpy(tile[2], &acc2, sizeof(acc2));
+  __builtin_memcpy(tile[3], &acc3, sizeof(acc3));
+  for (std::size_t i = 0; i < mr; ++i) {
+    for (std::size_t j = 0; j < nr; ++j) {
+      if (accumulate) {
+        c[i * ldc + j] += tile[i][j];
+      } else {
+        c[i * ldc + j] = tile[i][j];
+      }
+    }
+  }
+}
+#else
+void micro_kernel(std::size_t kb, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr,
+                  bool accumulate) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kb; ++p) {
+    const float* arow = ap + p * kMr;
+    const float* brow = bp + p * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const float ai = arow[i];
+      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += ai * brow[j];
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    for (std::size_t j = 0; j < nr; ++j) {
+      if (accumulate) {
+        c[i * ldc + j] += acc[i][j];
+      } else {
+        c[i * ldc + j] = acc[i][j];
+      }
+    }
+  }
+}
+#endif
+
+void gemm_blocked(GemmLayout layout, std::size_t m, std::size_t n,
+                  std::size_t k, const float* a, const float* b, float* c,
+                  bool accumulate, bool parallel) {
+  // Packed-B block is shared read-only across row-block workers; packed-A
+  // blocks are per-thread. thread_local keeps both allocation-free in
+  // steady state (resize only ever grows the capacity).
+  static thread_local std::vector<float> tl_pack_b;
+
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nb = std::min(kNc, n - jc);
+    const std::size_t n_panels = (nb + kNr - 1) / kNr;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kb = std::min(kKc, k - pc);
+      if (tl_pack_b.size() < n_panels * kb * kNr) {
+        tl_pack_b.resize(n_panels * kb * kNr);
+      }
+      pack_b(layout, b, n, k, pc, kb, jc, nb, tl_pack_b.data());
+      const float* packed_b = tl_pack_b.data();
+      const bool acc_block = accumulate || pc > 0;
+
+      const std::size_t m_blocks = (m + kMc - 1) / kMc;
+      const auto run_blocks = [&](std::size_t blk_begin,
+                                  std::size_t blk_end) {
+        static thread_local std::vector<float> tl_pack_a;
+        for (std::size_t blk = blk_begin; blk < blk_end; ++blk) {
+          const std::size_t ic = blk * kMc;
+          const std::size_t mb = std::min(kMc, m - ic);
+          const std::size_t m_panels = (mb + kMr - 1) / kMr;
+          if (tl_pack_a.size() < m_panels * kb * kMr) {
+            tl_pack_a.resize(m_panels * kb * kMr);
+          }
+          pack_a(layout, a, m, k, ic, mb, pc, kb, tl_pack_a.data());
+          for (std::size_t jp = 0; jp < n_panels; ++jp) {
+            const std::size_t nr = std::min(kNr, nb - jp * kNr);
+            const float* bp = packed_b + jp * kb * kNr;
+            for (std::size_t ip = 0; ip < m_panels; ++ip) {
+              const std::size_t mr = std::min(kMr, mb - ip * kMr);
+              micro_kernel(kb, tl_pack_a.data() + ip * kb * kMr, bp,
+                           c + (ic + ip * kMr) * n + jc + jp * kNr, n, mr,
+                           nr, acc_block);
+            }
+          }
+        }
+      };
+      if (parallel && m_blocks > 1) {
+        global_pool().parallel_for(m_blocks, run_blocks);
+      } else {
+        run_blocks(0, m_blocks);
+      }
     }
   }
 }
 
-void gemm_nt_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
-                  std::size_t k, const float* a, const float* b, float* c) {
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    const float* ai = a + i * k;
-    float* ci = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* bj = b + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-      ci[j] = acc;
-    }
-  }
-}
-
-void gemm_tn_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
-                  std::size_t k, std::size_t m, const float* a,
-                  const float* b, float* c) {
-  // A is (k, m): column i of A is strided; accumulate row-by-row of A/B so
-  // the inner loop stays unit-stride over n.
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    float* ci = c + i * n;
-    std::memset(ci, 0, n * sizeof(float));
-    for (std::size_t p = 0; p < k; ++p) {
-      const float api = a[p * m + i];
-      if (api == 0.0f) continue;
-      const float* bp = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
-    }
+// Unit-stride fallback for products too small to amortize packing. Dense
+// on purpose — no per-element zero skip (see header).
+void gemm_small_rows(GemmLayout layout, std::size_t row_begin,
+                     std::size_t row_end, std::size_t m, std::size_t n,
+                     std::size_t k, const float* a, const float* b, float* c,
+                     bool accumulate) {
+  switch (layout) {
+    case GemmLayout::kNN:
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        float* ci = c + i * n;
+        if (!accumulate) std::memset(ci, 0, n * sizeof(float));
+        const float* ai = a + i * k;
+        for (std::size_t p = 0; p < k; ++p) {
+          const float aip = ai[p];
+          const float* bp = b + p * n;
+          for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+        }
+      }
+      break;
+    case GemmLayout::kNT:
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        const float* ai = a + i * k;
+        float* ci = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          const float* bj = b + j * k;
+          float acc = 0.0f;
+          for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+          ci[j] = accumulate ? ci[j] + acc : acc;
+        }
+      }
+      break;
+    case GemmLayout::kTN:
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        float* ci = c + i * n;
+        if (!accumulate) std::memset(ci, 0, n * sizeof(float));
+        for (std::size_t p = 0; p < k; ++p) {
+          const float api = a[p * m + i];
+          const float* bp = b + p * n;
+          for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+        }
+      }
+      break;
   }
 }
 
 }  // namespace
 
 void gemm(GemmLayout layout, std::size_t m, std::size_t n, std::size_t k,
-          const float* a, const float* b, float* c) {
+          const float* a, const float* b, float* c, bool accumulate) {
   UNIVSA_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
                  "gemm null operand");
   if (m == 0 || n == 0) return;
   if (k == 0) {
-    std::memset(c, 0, m * n * sizeof(float));
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
     return;
   }
 
-  const auto run = [&](std::size_t begin, std::size_t end) {
-    switch (layout) {
-      case GemmLayout::kNN:
-        gemm_nn_rows(begin, end, n, k, a, b, c);
-        break;
-      case GemmLayout::kNT:
-        gemm_nt_rows(begin, end, n, k, a, b, c);
-        break;
-      case GemmLayout::kTN:
-        gemm_tn_rows(begin, end, n, k, m, a, b, c);
-        break;
-    }
-  };
-
-  // Only thread when there is enough work to amortize the dispatch.
   const std::size_t flops = m * n * k;
-  if (flops < 1u << 16) {
-    run(0, m);
-  } else {
+  const bool parallel = flops >= kParallelFlopFloor;
+  if (flops >= kBlockedFlopFloor && k >= 4) {
+    gemm_blocked(layout, m, n, k, a, b, c, accumulate, parallel);
+    return;
+  }
+  const auto run = [&](std::size_t begin, std::size_t end) {
+    gemm_small_rows(layout, begin, end, m, n, k, a, b, c, accumulate);
+  };
+  if (parallel) {
     global_pool().parallel_for(m, run);
+  } else {
+    run(0, m);
   }
 }
 

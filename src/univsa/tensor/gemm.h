@@ -1,9 +1,21 @@
-// Blocked, threaded single-precision GEMM.
+// Blocked, register-tiled, threaded single-precision GEMM.
 //
 // All three layouts the backprop passes need are provided explicitly
 // (C = A·B, C = A·Bᵀ, C = Aᵀ·B) instead of a general stride interface —
 // the training stack only ever calls these three, and the explicit forms
-// keep the inner loops contiguous.
+// keep the packing routines contiguous.
+//
+// Large products go through a cache-blocked path (packed A/B panels,
+// MR×NR register-tiled micro-kernel the compiler vectorizes, row-block
+// parallelism on the global thread pool); small products use simple
+// unit-stride loops where packing overhead would dominate. Both paths are
+// dense: the historical per-element `a == 0` skip is gone — it defeated
+// vectorization on dense activations, and training activations are dense
+// (sign outputs are ±1; DVP zero-padding lives in dedicated lanes the
+// packed micro-kernel streams through at full width anyway).
+//
+// Determinism: each C element is accumulated in a fixed k-block order by
+// exactly one thread, so results are bit-identical for any thread count.
 #pragma once
 
 #include <cstddef>
@@ -16,8 +28,10 @@ enum class GemmLayout {
   kTN,  ///< C(m,n) = A(k,m)ᵀ · B(k,n)
 };
 
-/// C must not alias A or B. C is overwritten.
+/// C must not alias A or B. With `accumulate` false (default) C is
+/// overwritten; with it true the product is added to C (fused β = 1,
+/// used by per-sample weight-gradient accumulation).
 void gemm(GemmLayout layout, std::size_t m, std::size_t n, std::size_t k,
-          const float* a, const float* b, float* c);
+          const float* a, const float* b, float* c, bool accumulate = false);
 
 }  // namespace univsa

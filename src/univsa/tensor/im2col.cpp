@@ -1,20 +1,15 @@
 #include "univsa/tensor/im2col.h"
 
+#include <algorithm>
+
 #include "univsa/common/contracts.h"
 
 namespace univsa {
 
-Tensor im2col(const Tensor& input, std::size_t kernel) {
-  UNIVSA_REQUIRE(input.rank() == 3, "im2col expects (C, H, W)");
+void im2col_into(const float* in, std::size_t channels, std::size_t height,
+                 std::size_t width, std::size_t kernel, float* out) {
   UNIVSA_REQUIRE(kernel % 2 == 1, "kernel size must be odd for same padding");
-  const std::size_t channels = input.dim(0);
-  const std::size_t height = input.dim(1);
-  const std::size_t width = input.dim(2);
   const std::size_t pad = kernel / 2;
-
-  Tensor cols({channels * kernel * kernel, height * width});
-  const float* in = input.data();
-  float* out = cols.data();
   const std::size_t plane = height * width;
 
   std::size_t row = 0;
@@ -40,20 +35,14 @@ Tensor im2col(const Tensor& input, std::size_t kernel) {
       }
     }
   }
-  return cols;
 }
 
-Tensor col2im(const Tensor& columns, std::size_t channels, std::size_t height,
-              std::size_t width, std::size_t kernel) {
-  UNIVSA_REQUIRE(columns.rank() == 2, "col2im expects (C*K*K, H*W)");
-  UNIVSA_REQUIRE(columns.dim(0) == channels * kernel * kernel &&
-                     columns.dim(1) == height * width,
-                 "col2im shape mismatch");
+void col2im_into(const float* in, std::size_t channels, std::size_t height,
+                 std::size_t width, std::size_t kernel, float* out) {
+  UNIVSA_REQUIRE(kernel % 2 == 1, "kernel size must be odd for same padding");
   const std::size_t pad = kernel / 2;
-  Tensor grad({channels, height, width});
-  float* out = grad.data();
-  const float* in = columns.data();
   const std::size_t plane = height * width;
+  std::fill(out, out + channels * plane, 0.0f);
 
   std::size_t row = 0;
   for (std::size_t c = 0; c < channels; ++c) {
@@ -75,6 +64,26 @@ Tensor col2im(const Tensor& columns, std::size_t channels, std::size_t height,
       }
     }
   }
+}
+
+Tensor im2col(const Tensor& input, std::size_t kernel) {
+  UNIVSA_REQUIRE(input.rank() == 3, "im2col expects (C, H, W)");
+  const std::size_t channels = input.dim(0);
+  const std::size_t height = input.dim(1);
+  const std::size_t width = input.dim(2);
+  Tensor cols({channels * kernel * kernel, height * width});
+  im2col_into(input.data(), channels, height, width, kernel, cols.data());
+  return cols;
+}
+
+Tensor col2im(const Tensor& columns, std::size_t channels, std::size_t height,
+              std::size_t width, std::size_t kernel) {
+  UNIVSA_REQUIRE(columns.rank() == 2, "col2im expects (C*K*K, H*W)");
+  UNIVSA_REQUIRE(columns.dim(0) == channels * kernel * kernel &&
+                     columns.dim(1) == height * width,
+                 "col2im shape mismatch");
+  Tensor grad({channels, height, width});
+  col2im_into(columns.data(), channels, height, width, kernel, grad.data());
   return grad;
 }
 

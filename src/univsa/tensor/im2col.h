@@ -20,4 +20,12 @@ Tensor im2col(const Tensor& input, std::size_t kernel);
 Tensor col2im(const Tensor& columns, std::size_t channels, std::size_t height,
               std::size_t width, std::size_t kernel);
 
+/// Allocation-free raw-pointer cores of the above, used by the training
+/// fast path with caller-owned scratch. `cols` holds C*K*K*H*W floats;
+/// `input`/`grad` hold C*H*W floats. col2im_into zero-fills `grad` first.
+void im2col_into(const float* input, std::size_t channels, std::size_t height,
+                 std::size_t width, std::size_t kernel, float* cols);
+void col2im_into(const float* cols, std::size_t channels, std::size_t height,
+                 std::size_t width, std::size_t kernel, float* grad);
+
 }  // namespace univsa

@@ -121,6 +121,25 @@ Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
   return t;
 }
 
+Tensor& Tensor::reshape_(std::vector<std::size_t> shape) {
+  UNIVSA_REQUIRE(!shape.empty() && shape.size() <= 4,
+                 "tensor rank must be 1..4");
+  for (const auto d : shape) UNIVSA_REQUIRE(d > 0, "zero tensor dimension");
+  UNIVSA_REQUIRE(shape_size(shape) == size(), "reshape changes element count");
+  shape_ = std::move(shape);
+  return *this;
+}
+
+Tensor& Tensor::ensure_shape(std::vector<std::size_t> shape) {
+  UNIVSA_REQUIRE(!shape.empty() && shape.size() <= 4,
+                 "tensor rank must be 1..4");
+  for (const auto d : shape) UNIVSA_REQUIRE(d > 0, "zero tensor dimension");
+  const std::size_t n = shape_size(shape);
+  if (n != data_.size()) data_.assign(n, 0.0f);
+  shape_ = std::move(shape);
+  return *this;
+}
+
 void Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
@@ -174,35 +193,53 @@ float Tensor::abs_max() const {
 }
 
 Tensor Tensor::matmul(const Tensor& other) const {
-  require_rank(2);
-  other.require_rank(2);
-  UNIVSA_REQUIRE(shape_[1] == other.shape_[0], "matmul inner dim mismatch");
-  Tensor out({shape_[0], other.shape_[1]});
-  gemm(GemmLayout::kNN, shape_[0], other.shape_[1], shape_[1], data(),
-       other.data(), out.data());
+  Tensor out;
+  matmul_into(other, out);
   return out;
 }
 
 Tensor Tensor::matmul_transposed(const Tensor& other) const {
-  require_rank(2);
-  other.require_rank(2);
-  UNIVSA_REQUIRE(shape_[1] == other.shape_[1],
-                 "matmul_transposed inner dim mismatch");
-  Tensor out({shape_[0], other.shape_[0]});
-  gemm(GemmLayout::kNT, shape_[0], other.shape_[0], shape_[1], data(),
-       other.data(), out.data());
+  Tensor out;
+  matmul_transposed_into(other, out);
   return out;
 }
 
 Tensor Tensor::transposed_matmul(const Tensor& other) const {
+  Tensor out;
+  transposed_matmul_into(other, out);
+  return out;
+}
+
+void Tensor::matmul_into(const Tensor& other, Tensor& out,
+                         bool accumulate) const {
+  require_rank(2);
+  other.require_rank(2);
+  UNIVSA_REQUIRE(shape_[1] == other.shape_[0], "matmul inner dim mismatch");
+  out.ensure_shape({shape_[0], other.shape_[1]});
+  gemm(GemmLayout::kNN, shape_[0], other.shape_[1], shape_[1], data(),
+       other.data(), out.data(), accumulate);
+}
+
+void Tensor::matmul_transposed_into(const Tensor& other, Tensor& out,
+                                    bool accumulate) const {
+  require_rank(2);
+  other.require_rank(2);
+  UNIVSA_REQUIRE(shape_[1] == other.shape_[1],
+                 "matmul_transposed inner dim mismatch");
+  out.ensure_shape({shape_[0], other.shape_[0]});
+  gemm(GemmLayout::kNT, shape_[0], other.shape_[0], shape_[1], data(),
+       other.data(), out.data(), accumulate);
+}
+
+void Tensor::transposed_matmul_into(const Tensor& other, Tensor& out,
+                                    bool accumulate) const {
   require_rank(2);
   other.require_rank(2);
   UNIVSA_REQUIRE(shape_[0] == other.shape_[0],
                  "transposed_matmul inner dim mismatch");
-  Tensor out({shape_[1], other.shape_[1]});
+  out.ensure_shape({shape_[1], other.shape_[1]});
   gemm(GemmLayout::kTN, shape_[1], other.shape_[1], shape_[0], data(),
-       other.data(), out.data());
-  return out;
+       other.data(), out.data(), accumulate);
 }
 
 std::string Tensor::shape_string() const {
@@ -217,13 +254,18 @@ std::string Tensor::shape_string() const {
 }
 
 Tensor sign_tensor(const Tensor& x) {
-  Tensor out(x.shape());
+  Tensor out;
+  sign_tensor_into(x, out);
+  return out;
+}
+
+void sign_tensor_into(const Tensor& x, Tensor& out) {
+  out.ensure_shape(x.shape());
   const auto in = x.flat();
   auto o = out.flat();
   for (std::size_t i = 0; i < in.size(); ++i) {
     o[i] = in[i] >= 0.0f ? 1.0f : -1.0f;
   }
-  return out;
 }
 
 bool allclose(const Tensor& a, const Tensor& b, float tol) {

@@ -60,6 +60,16 @@ class Tensor {
   /// Same data, new shape; total size must match.
   Tensor reshaped(std::vector<std::size_t> shape) const;
 
+  /// In-place reshape: rebinds the shape without touching the data.
+  /// Total size must match. Allocation-free.
+  Tensor& reshape_(std::vector<std::size_t> shape);
+
+  /// Make this tensor have exactly `shape`, reusing the existing
+  /// allocation when the element count already matches (contents are then
+  /// left as-is); otherwise reallocates. Training scratch buffers call
+  /// this every step — after the first step it never allocates.
+  Tensor& ensure_shape(std::vector<std::size_t> shape);
+
   void fill(float value);
 
   /// In-place elementwise updates (shapes must match where applicable).
@@ -83,6 +93,16 @@ class Tensor {
   /// (k,m)^T x (k,n) -> (m,n).
   Tensor transposed_matmul(const Tensor& other) const;
 
+  /// Allocation-free variants: `out` is resized via ensure_shape (no-op
+  /// after the first call with stable shapes) and must not alias either
+  /// operand. With `accumulate` the product is added onto `out`.
+  void matmul_into(const Tensor& other, Tensor& out,
+                   bool accumulate = false) const;
+  void matmul_transposed_into(const Tensor& other, Tensor& out,
+                              bool accumulate = false) const;
+  void transposed_matmul_into(const Tensor& other, Tensor& out,
+                              bool accumulate = false) const;
+
   std::string shape_string() const;
 
  private:
@@ -94,6 +114,8 @@ class Tensor {
 
 /// Elementwise sign with the paper's tiebreak: sgn(0) = +1.
 Tensor sign_tensor(const Tensor& x);
+/// Allocation-free variant (out reuses its storage when the size matches).
+void sign_tensor_into(const Tensor& x, Tensor& out);
 
 /// True when every element differs by at most tol.
 bool allclose(const Tensor& a, const Tensor& b, float tol = 1e-5f);

@@ -50,10 +50,10 @@ std::size_t UniVsaNetwork::encode_dim() const {
   return options_.use_conv ? config_.sample_dim() : config_.D_H;
 }
 
-Tensor UniVsaNetwork::build_volume(const data::Dataset& dataset,
-                                   const std::vector<std::size_t>& indices,
-                                   const Tensor& table_high,
-                                   const Tensor& table_low) {
+void UniVsaNetwork::build_volume(const data::Dataset& dataset,
+                                 const std::vector<std::size_t>& indices,
+                                 const Tensor& table_high,
+                                 const Tensor& table_low) {
   const std::size_t batch = indices.size();
   const std::size_t n = config_.features();
   const std::size_t dh = config_.D_H;
@@ -64,10 +64,13 @@ Tensor UniVsaNetwork::build_volume(const data::Dataset& dataset,
 
   // Conv layout: (B, D_H, W, L) — channel-major for im2col.
   // No-conv layout: (B, N, D_H) — feature-major for the encoder.
-  Tensor volume = options_.use_conv
-                      ? Tensor({batch, dh, config_.W, config_.L})
-                      : Tensor({batch, n, dh});
-  float* vd = volume.data();
+  if (options_.use_conv) {
+    volume_.ensure_shape({batch, dh, config_.W, config_.L});
+  } else {
+    volume_.ensure_shape({batch, n, dh});
+  }
+  volume_.fill(0.0f);
+  float* vd = volume_.data();
 
   for (std::size_t b = 0; b < batch; ++b) {
     const auto& x = dataset.values(indices[b]);
@@ -90,59 +93,57 @@ Tensor UniVsaNetwork::build_volume(const data::Dataset& dataset,
       // Lanes [lanes, dh) stay 0 — the DVP padding.
     }
   }
-  return volume;
 }
 
-Tensor UniVsaNetwork::forward(const data::Dataset& dataset,
-                              const std::vector<std::size_t>& indices) {
+const Tensor& UniVsaNetwork::forward(
+    const data::Dataset& dataset, const std::vector<std::size_t>& indices) {
   UNIVSA_REQUIRE(!indices.empty(), "empty batch");
   UNIVSA_REQUIRE(dataset.windows() == config_.W &&
                      dataset.length() == config_.L,
                  "dataset geometry mismatch");
-  const Tensor table_high = vb_high_.forward_table();
-  const Tensor table_low =
-      options_.use_dvp ? vb_low_->forward_table() : Tensor({1, 1});
+  const Tensor& table_high = vb_high_.forward_table_cached();
+  const Tensor& table_low =
+      options_.use_dvp ? vb_low_->forward_table_cached() : empty_low_;
 
-  Tensor volume = build_volume(dataset, indices, table_high, table_low);
+  build_volume(dataset, indices, table_high, table_low);
   has_cache_ = true;
 
-  Tensor u;
   if (options_.use_conv) {
-    Tensor pre = conv_->forward(volume);
-    Tensor binarized = conv_sign_.forward(pre);
-    u = binarized.reshaped(
-        {indices.size(), config_.O, config_.sample_dim()});
+    conv_->forward_into(volume_, conv_pre_);
+    conv_sign_.forward_into(conv_pre_, u_);
+    u_.reshape_({indices.size(), config_.O, config_.sample_dim()});
+    encoder_.forward_into(u_, z_);
   } else {
-    u = std::move(volume);  // (B, N, D_H), already bipolar/0
+    encoder_.forward_into(volume_, z_);  // (B, N, D_H), already bipolar/0
   }
-  Tensor z = encoder_.forward(u);
-  Tensor s = encode_sign_.forward(z);
-  return head_.forward(s);
+  encode_sign_.forward_into(z_, s_);
+  head_.forward_into(s_, logits_);
+  return logits_;
 }
 
 void UniVsaNetwork::backward(const Tensor& grad_logits) {
   UNIVSA_ENSURE(has_cache_, "backward before forward");
   has_cache_ = false;
 
-  Tensor ds = head_.backward(grad_logits);
-  Tensor dz = encode_sign_.backward(ds);
-  Tensor du = encoder_.backward(dz);  // (B, G, Dv)
+  head_.backward_into(grad_logits, ds_);
+  encode_sign_.backward_into(ds_, dz_);
+  encoder_.backward_into(dz_, du_);  // (B, G, Dv)
 
-  Tensor dvolume;
+  const Tensor* dvolume = &du_;
   if (options_.use_conv) {
-    Tensor du4 = du.reshaped(
-        {cached_batch_, config_.O, config_.W, config_.L});
-    Tensor dpre = conv_sign_.backward(du4);
-    dvolume = conv_->backward(dpre);  // (B, D_H, W, L)
-  } else {
-    dvolume = std::move(du);  // (B, N, D_H)
+    du_.reshape_({cached_batch_, config_.O, config_.W, config_.L});
+    conv_sign_.backward_into(du_, dpre_);
+    conv_->backward_into(dpre_, dvolume_);  // (B, D_H, W, L)
+    dvolume = &dvolume_;
   }
 
-  Tensor grad_high({config_.M, config_.D_H});
-  Tensor grad_low({config_.M, config_.D_L});
-  scatter_volume_grad(dvolume, grad_high, grad_low);
-  vb_high_.backward_table(grad_high);
-  if (options_.use_dvp) vb_low_->backward_table(grad_low);
+  grad_high_.ensure_shape({config_.M, config_.D_H});
+  grad_high_.fill(0.0f);
+  grad_low_.ensure_shape({config_.M, config_.D_L});
+  grad_low_.fill(0.0f);
+  scatter_volume_grad(*dvolume, grad_high_, grad_low_);
+  vb_high_.backward_table(grad_high_);
+  if (options_.use_dvp) vb_low_->backward_table(grad_low_);
 }
 
 void UniVsaNetwork::scatter_volume_grad(const Tensor& grad_volume,
@@ -189,7 +190,7 @@ void UniVsaNetwork::zero_grad() {
 
 std::vector<int> UniVsaNetwork::predict(
     const data::Dataset& dataset, const std::vector<std::size_t>& indices) {
-  const Tensor logits = forward(dataset, indices);
+  const Tensor& logits = forward(dataset, indices);
   has_cache_ = false;  // no backward follows
   std::vector<int> labels(indices.size());
   for (std::size_t b = 0; b < indices.size(); ++b) {

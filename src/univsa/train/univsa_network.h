@@ -58,8 +58,11 @@ class UniVsaNetwork {
   const NetworkOptions& options() const { return options_; }
 
   /// Forward over dataset samples `indices`; returns logits (B, C).
-  Tensor forward(const data::Dataset& dataset,
-                 const std::vector<std::size_t>& indices);
+  /// The reference points at an internal buffer valid until the next
+  /// forward — the whole pass runs on persistent scratch, so a training
+  /// step performs no steady-state allocation.
+  const Tensor& forward(const data::Dataset& dataset,
+                        const std::vector<std::size_t>& indices);
 
   /// Backward from the loss gradient; accumulates parameter grads.
   void backward(const Tensor& grad_logits);
@@ -93,9 +96,9 @@ class UniVsaNetwork {
   /// Encoded vector dimension: N_s (conv) or D_H (no conv).
   std::size_t encode_dim() const;
 
-  Tensor build_volume(const data::Dataset& dataset,
-                      const std::vector<std::size_t>& indices,
-                      const Tensor& table_high, const Tensor& table_low);
+  void build_volume(const data::Dataset& dataset,
+                    const std::vector<std::size_t>& indices,
+                    const Tensor& table_high, const Tensor& table_low);
   void scatter_volume_grad(const Tensor& grad_volume, Tensor& grad_high,
                            Tensor& grad_low) const;
 
@@ -115,6 +118,24 @@ class UniVsaNetwork {
   std::vector<std::uint16_t> cached_values_;  // B·N level indices
   std::size_t cached_batch_ = 0;
   bool has_cache_ = false;
+
+  // Persistent activation/gradient scratch: every forward/backward runs
+  // through these via the layers' *_into APIs, so repeated steps with a
+  // stable batch shape allocate nothing.
+  Tensor empty_low_;  // stand-in V_L table when DVP is off
+  Tensor volume_;
+  Tensor conv_pre_;
+  Tensor u_;
+  Tensor z_;
+  Tensor s_;
+  Tensor logits_;
+  Tensor ds_;
+  Tensor dz_;
+  Tensor du_;
+  Tensor dpre_;
+  Tensor dvolume_;
+  Tensor grad_high_;
+  Tensor grad_low_;
 };
 
 }  // namespace univsa::train

@@ -32,6 +32,7 @@ TrainedNetwork train_network(const vsa::ModelConfig& config,
   std::iota(order.begin(), order.end(), 0);
   std::vector<std::size_t> batch_indices;
   std::vector<int> batch_labels;
+  LossResult loss;  // reused across steps — grad buffer allocates once
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     // Fresh shuffle per epoch.
@@ -54,9 +55,9 @@ TrainedNetwork train_network(const vsa::ModelConfig& config,
       }
 
       optimizer.zero_grad();
-      const Tensor logits =
+      const Tensor& logits =
           result.network->forward(train_set, batch_indices);
-      const LossResult loss = softmax_cross_entropy(logits, batch_labels);
+      softmax_cross_entropy_into(logits, batch_labels, loss);
       result.network->backward(loss.grad_logits);
       optimizer.step();
 

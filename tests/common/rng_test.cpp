@@ -173,6 +173,42 @@ TEST(RngTest, PermutationOfZeroAndOne) {
   EXPECT_EQ(p[0], 0u);
 }
 
+TEST(RngTest, JumpIsDeterministicAndMovesTheStream) {
+  Rng a(41);
+  Rng b(41);
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+
+  Rng plain(41);
+  Rng jumped(41);
+  jumped.jump();
+  // 2^128 steps ahead: the next draws must not coincide.
+  std::size_t equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (plain.next_u64() == jumped.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0u);
+}
+
+TEST(RngTest, StreamDependsOnlyOnSeedAndId) {
+  for (const std::uint64_t id : {0ull, 1ull, 7ull, 63ull, 64ull, 1000ull}) {
+    Rng a = Rng::stream(17, id);
+    Rng b = Rng::stream(17, id);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DistinctStreamIdsDiverge) {
+  Rng a = Rng::stream(17, 1);
+  Rng b = Rng::stream(17, 2);
+  std::size_t equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2u);
+}
+
 TEST(RngTest, PermutationShuffles) {
   Rng r(37);
   const auto p = r.permutation(64);

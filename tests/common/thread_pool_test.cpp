@@ -104,5 +104,35 @@ TEST(ThreadPoolTest, GlobalHelperLargeRange) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, SetGlobalPoolThreadsResizesAndStillCovers) {
+  set_global_pool_threads(3);
+  std::vector<std::atomic<int>> hits(1000);
+  global_pool().parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  set_global_pool_threads(0);  // restore hardware default
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSerialAndCompletes) {
+  // A nested parallel_for from inside a pool chunk must not deadlock —
+  // it degrades to serial execution in the calling worker.
+  set_global_pool_threads(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  global_pool().parallel_for(8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      outer.fetch_add(1);
+      global_pool().parallel_for(
+          100, [&](std::size_t ib, std::size_t ie) {
+            inner.fetch_add(static_cast<int>(ie - ib));
+          });
+    }
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 800);
+  set_global_pool_threads(0);
+}
+
 }  // namespace
 }  // namespace univsa

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "univsa/common/thread_pool.h"
 #include "univsa/vsa/memory_model.h"
 
 namespace univsa::search {
@@ -89,9 +91,10 @@ TEST(EvolutionarySearchTest, DeterministicForSeed) {
 }
 
 TEST(EvolutionarySearchTest, MemoizationBoundsOracleCalls) {
-  std::size_t calls = 0;
+  // Atomic: the default options evaluate candidates across the pool.
+  std::atomic<std::size_t> calls{0};
   const auto counting = [&calls](const vsa::ModelConfig& c) {
-    ++calls;
+    calls.fetch_add(1, std::memory_order_relaxed);
     return surrogate_accuracy(c);
   };
   SearchOptions options;
@@ -100,7 +103,7 @@ TEST(EvolutionarySearchTest, MemoizationBoundsOracleCalls) {
   options.seed = 4;
   const SearchResult r = evolutionary_search(task_geometry(), SearchSpace{},
                                              counting, options);
-  EXPECT_EQ(calls, r.evaluations);
+  EXPECT_EQ(calls.load(), r.evaluations);
   // Without memoization this would be population·(generations+1) minus
   // elites; with it, repeats are free.
   EXPECT_LE(r.evaluations,
@@ -140,6 +143,51 @@ TEST(EvolutionarySearchTest, PenaltyDiscouragesOversizedConfigs) {
   // The minimum of the space is (D_H=2, D_K=3, O=8, Θ=1).
   EXPECT_LE(r.best_config.O, 16u);
   EXPECT_LE(r.best_config.D_H, 4u);
+}
+
+TEST(EvolutionarySearchTest, ParallelMatchesSerialBitForBit) {
+  // The determinism contract of the parallel GA: for a fixed seed, the
+  // parallel search must reproduce the serial trajectory exactly —
+  // best config, every objective, the generation history, and the
+  // number of oracle evaluations.
+  set_global_pool_threads(4);
+  for (const std::uint64_t seed : {7ull, 13ull, 99ull}) {
+    SearchOptions serial_opts;
+    serial_opts.population = 14;
+    serial_opts.generations = 8;
+    serial_opts.seed = seed;
+    serial_opts.parallel = false;
+    SearchOptions parallel_opts = serial_opts;
+    parallel_opts.parallel = true;
+
+    // A seeded oracle whose result depends on the per-genome seed: if the
+    // parallel path derived seeds from evaluation order or thread id,
+    // the trajectories would diverge.
+    const SeededAccuracyFn oracle = [](const vsa::ModelConfig& c,
+                                       std::uint64_t seed_in) {
+      Rng rng(seed_in);
+      return surrogate_accuracy(c) + 1e-3 * rng.uniform();
+    };
+
+    const SearchResult a = evolutionary_search(task_geometry(),
+                                               SearchSpace{}, oracle,
+                                               serial_opts);
+    const SearchResult b = evolutionary_search(task_geometry(),
+                                               SearchSpace{}, oracle,
+                                               parallel_opts);
+    EXPECT_EQ(a.best_config, b.best_config) << "seed " << seed;
+    EXPECT_EQ(a.best_objective, b.best_objective) << "seed " << seed;
+    EXPECT_EQ(a.best_accuracy, b.best_accuracy) << "seed " << seed;
+    EXPECT_EQ(a.evaluations, b.evaluations) << "seed " << seed;
+    ASSERT_EQ(a.history.size(), b.history.size()) << "seed " << seed;
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+      EXPECT_EQ(a.history[g].best_objective, b.history[g].best_objective)
+          << "seed " << seed << " gen " << g;
+      EXPECT_EQ(a.history[g].mean_objective, b.history[g].mean_objective)
+          << "seed " << seed << " gen " << g;
+    }
+  }
+  set_global_pool_threads(0);  // restore hardware default
 }
 
 TEST(EvolutionarySearchTest, ValidatesOptions) {

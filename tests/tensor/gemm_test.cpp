@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 #include <vector>
 
 #include "univsa/common/rng.h"
+#include "univsa/common/thread_pool.h"
 
 namespace univsa {
 namespace {
@@ -104,8 +106,119 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Shape{1, 1, 1}, Shape{2, 3, 4}, Shape{7, 5, 3},
                       Shape{16, 16, 16}, Shape{33, 17, 65},
                       Shape{64, 100, 72},
+                      // Prime dims that straddle every tile boundary
+                      // (MR=4, NR=16, MC=64, KC=256).
+                      Shape{5, 17, 257}, Shape{67, 31, 259},
+                      // k spanning multiple KC blocks exercises the
+                      // accumulate-into-C inner path.
+                      Shape{3, 19, 521},
                       // Large enough to take the threaded path.
                       Shape{128, 96, 64}));
+
+using AccumulateCase = std::tuple<GemmLayout, Shape>;
+
+class GemmAccumulateTest
+    : public ::testing::TestWithParam<AccumulateCase> {};
+
+TEST_P(GemmAccumulateTest, AccumulateAddsOntoExistingC) {
+  const auto [layout, shape] = GetParam();
+  const auto [m, n, k] = shape;
+  Rng rng(m * 191 + n * 17 + k);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  const auto c0 = random_vec(m * n, rng);
+
+  std::vector<float> accumulated(c0);
+  gemm(layout, m, n, k, a.data(), b.data(), accumulated.data(),
+       /*accumulate=*/true);
+
+  std::vector<float> product(m * n);
+  gemm(layout, m, n, k, a.data(), b.data(), product.data());
+  std::vector<float> expected(m * n);
+  for (std::size_t i = 0; i < m * n; ++i) expected[i] = c0[i] + product[i];
+  expect_close(accumulated, expected);
+}
+
+TEST_P(GemmAccumulateTest, AccumulateWithZeroKLeavesCUntouched) {
+  const auto [layout, shape] = GetParam();
+  const auto [m, n, k] = shape;
+  (void)k;
+  std::vector<float> c(m * n, 3.5f);
+  const float dummy = 0.0f;
+  gemm(layout, m, n, 0, &dummy, &dummy, c.data(), /*accumulate=*/true);
+  for (const auto v : c) EXPECT_EQ(v, 3.5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutsAndShapes, GemmAccumulateTest,
+    ::testing::Combine(::testing::Values(GemmLayout::kNN, GemmLayout::kNT,
+                                         GemmLayout::kTN),
+                       ::testing::Values(Shape{1, 1, 1}, Shape{7, 5, 3},
+                                         Shape{26, 640, 32},
+                                         Shape{3, 19, 521})));
+
+TEST(GemmTest, DenormalInputsMatchNaive) {
+  // ±denormals must flow through the blocked path like any other value —
+  // the seed kernel's `a == 0.0f` skip is gone, and packing must not
+  // flush them differently than the naive reference does.
+  const std::size_t m = 9, n = 33, k = 40;
+  Rng rng(77);
+  std::vector<float> a(m * k);
+  std::vector<float> b(k * n);
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int r = static_cast<int>(rng.uniform_index(4));
+    a[i] = r == 0 ? denorm : r == 1 ? -denorm
+           : r == 2 ? 0.0f : static_cast<float>(rng.normal());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const int r = static_cast<int>(rng.uniform_index(4));
+    b[i] = r == 0 ? denorm : r == 1 ? -denorm
+           : r == 2 ? 0.0f : static_cast<float>(rng.normal());
+  }
+  std::vector<float> c(m * n);
+  std::vector<float> expected(m * n);
+  gemm(GemmLayout::kNN, m, n, k, a.data(), b.data(), c.data());
+  naive_nn(m, n, k, a, b, expected);
+  expect_close(c, expected);
+}
+
+TEST(GemmTest, SignedZeroRowsDoNotSkipColumns) {
+  // Regression for the removed zero-skip: a row of A that is entirely
+  // zero must still produce exact zeros in C (not stale memory), and a
+  // zero in A must not cancel a NaN-free accumulation elsewhere.
+  const std::size_t m = 4, n = 16, k = 8;
+  std::vector<float> a(m * k, 0.0f);
+  std::vector<float> b(k * n, 1.0f);
+  for (std::size_t p = 0; p < k; ++p) a[0 * k + p] = 1.0f;  // row 0 only
+  std::vector<float> c(m * n, -1.0f);
+  gemm(GemmLayout::kNN, m, n, k, a.data(), b.data(), c.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(c[j], static_cast<float>(k));
+  }
+  for (std::size_t i = 1; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(c[i * n + j], 0.0f);
+  }
+}
+
+TEST(GemmTest, DeterministicAcrossThreadCounts) {
+  // The row-block split never changes each element's k-accumulation
+  // order, so results are bit-identical for any pool size.
+  const std::size_t m = 96, n = 80, k = 300;
+  Rng rng(123);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<float> c1(m * n);
+  std::vector<float> c4(m * n);
+  set_global_pool_threads(1);
+  gemm(GemmLayout::kNN, m, n, k, a.data(), b.data(), c1.data());
+  set_global_pool_threads(4);
+  gemm(GemmLayout::kNN, m, n, k, a.data(), b.data(), c4.data());
+  set_global_pool_threads(0);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i], c4[i]) << "at index " << i;
+  }
+}
 
 TEST(GemmTest, ZeroInnerDimensionClearsOutput) {
   std::vector<float> a;

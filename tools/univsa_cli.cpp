@@ -9,6 +9,9 @@
 //   univsa_cli export-rtl --model har.uvsa --dir out/
 //   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
 //
+// Every command also accepts `--threads N` to size the global thread
+// pool (0 = hardware default).
+//
 // CSVs are `label,f0,f1,...` rows of already-discretized levels, as
 // written by `datagen` (see data/csv_io.h for raw-float import).
 #include <cstdio>
@@ -17,6 +20,7 @@
 #include <map>
 #include <string>
 
+#include "univsa/common/thread_pool.h"
 #include "univsa/data/benchmarks.h"
 #include "univsa/data/csv_io.h"
 #include "univsa/hw/accelerator.h"
@@ -268,6 +272,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Flags flags = parse_flags(argc, argv, 2);
+    set_global_pool_threads(flags.get_size("threads", 0));
     if (cmd == "datagen") return cmd_datagen(flags);
     if (cmd == "train") return cmd_train(flags);
     if (cmd == "eval") return cmd_eval(flags);
