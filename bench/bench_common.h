@@ -5,6 +5,8 @@
 //   --task NAME     restrict to one Table I benchmark
 //   --csv PATH      also emit the table as CSV
 //   --threads N     size the global thread pool (0 = hardware default)
+//   --backend NAME  runtime inference backend (default "packed"; see
+//                   univsa/runtime/registry.h for the registered names)
 // and prints a paper-vs-measured table to stdout.
 #pragma once
 
@@ -16,6 +18,7 @@
 
 #include "univsa/common/thread_pool.h"
 #include "univsa/data/benchmarks.h"
+#include "univsa/runtime/registry.h"
 
 namespace univsa::bench {
 
@@ -24,6 +27,7 @@ struct Args {
   std::string task;        // empty = all
   std::string csv;         // empty = none
   std::size_t threads = 0; // 0 = hardware default
+  std::string backend = runtime::default_backend();
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -38,13 +42,24 @@ inline Args parse_args(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       args.threads =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      args.backend = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--fast] [--task NAME] [--csv PATH] "
-                   "[--threads N]\n",
+                   "[--threads N] [--backend NAME]\n",
                    argv[0]);
       std::exit(2);
     }
+  }
+  if (!runtime::has_backend(args.backend)) {
+    std::fprintf(stderr, "unknown backend '%s'; registered:",
+                 args.backend.c_str());
+    for (const auto& name : runtime::backend_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fputc('\n', stderr);
+    std::exit(2);
   }
   set_global_pool_threads(args.threads);
   return args;
@@ -69,6 +84,22 @@ inline data::SyntheticSpec sized_spec(const data::Benchmark& b,
   spec.test_count = std::max<std::size_t>(fast ? 80 : 240,
                                           per_class_test * spec.classes);
   return spec;
+}
+
+/// Accuracy through the selected runtime backend — the one evaluation
+/// loop every bench shares (replaces the per-bench hand-rolled
+/// predict/compare loops).
+inline double backend_accuracy(const Args& args, const vsa::Model& model,
+                               const data::Dataset& dataset) {
+  return runtime::make_backend(args.backend, model)->accuracy(dataset);
+}
+
+/// The execution-environment fields every BENCH_*.json record carries:
+/// which backend served the run and how wide the pool was.
+inline std::string json_runtime_fields(const Args& args) {
+  return "  \"backend\": \"" + args.backend + "\",\n" +
+         "  \"pool_threads\": " +
+         std::to_string(global_pool().thread_count()) + ",\n";
 }
 
 }  // namespace univsa::bench

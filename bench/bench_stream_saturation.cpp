@@ -8,18 +8,22 @@
 // input FIFO sheds load instead of stalling the sensor.
 //
 // A second section measures the *software* serving path on the same task
-// configuration: the per-sample reference pipeline vs the zero-allocation
-// batched InferEngine, single- and multi-threaded, and records the
-// throughput in BENCH_stream.json for the perf trajectory.
+// configuration through the runtime layer: the reference backend vs the
+// selected one (--backend, default packed), single- and multi-threaded,
+// plus the micro-batching runtime::Server front-end driven by concurrent
+// submitters. Throughputs are recorded in BENCH_stream.json for the perf
+// trajectory.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <future>
+#include <thread>
 
 #include "bench_common.h"
 #include "univsa/common/thread_pool.h"
 #include "univsa/hw/event_sim.h"
 #include "univsa/report/table.h"
-#include "univsa/vsa/infer_engine.h"
+#include "univsa/runtime/server.h"
 #include "univsa/vsa/model.h"
 
 namespace {
@@ -98,7 +102,7 @@ int main(int argc, char** argv) {
                       csv_rows);
   }
 
-  // ---- Software serving path: reference pipeline vs InferEngine ----
+  // ---- Software serving path through the runtime layer ----
   const vsa::ModelConfig& mc = benchmark.config;
   Rng rng(0x5eed);
   const vsa::Model model = vsa::Model::random(mc, rng);
@@ -111,11 +115,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  vsa::InferEngine engine(model);
-  // Warm both paths once (first engine batch grows the output vector).
+  const auto reference = runtime::make_backend("reference", model);
+  const auto backend = runtime::make_backend(args.backend, model);
+  // Warm both paths once (first batch grows the output vector).
   std::vector<vsa::Prediction> out;
-  engine.predict_batch(samples, out, /*parallel=*/false);
-  (void)model.predict_reference(samples[0]);
+  reference->predict_batch(samples, out, /*parallel=*/false);
+  backend->predict_batch(samples, out, /*parallel=*/false);
 
   const auto time_path = [&](auto&& fn) {
     // Repeat until ~0.2 s elapsed so short batches still time stably.
@@ -130,29 +135,61 @@ int main(int argc, char** argv) {
     return static_cast<double>(done) / elapsed;  // samples / second
   };
 
-  const double reference_sps = time_path([&] {
-    for (const auto& s : samples) (void)model.predict_reference(s);
-  });
+  const double reference_sps = time_path(
+      [&] { reference->predict_batch(samples, out, /*parallel=*/false); });
   const double engine_serial_sps = time_path(
-      [&] { engine.predict_batch(samples, out, /*parallel=*/false); });
+      [&] { backend->predict_batch(samples, out, /*parallel=*/false); });
   const double engine_parallel_sps = time_path(
-      [&] { engine.predict_batch(samples, out, /*parallel=*/true); });
+      [&] { backend->predict_batch(samples, out, /*parallel=*/true); });
+
+  // The serving front-end: a micro-batching Server fed by concurrent
+  // submitter threads, the shape production traffic takes.
+  runtime::ServerOptions server_options;
+  server_options.backend = args.backend;
+  server_options.max_batch = 32;
+  server_options.max_delay_us = 100;
+  double server_sps = 0.0;
+  double server_mean_batch = 0.0;
+  {
+    runtime::Server server(model, server_options);
+    const std::size_t submitters = 4;
+    const auto pump = [&] {
+      std::vector<std::thread> threads;
+      for (std::size_t t = 0; t < submitters; ++t) {
+        threads.emplace_back([&, t] {
+          std::vector<std::future<vsa::Prediction>> futures;
+          for (std::size_t i = t; i < n_samples; i += submitters) {
+            futures.push_back(server.submit(samples[i]));
+          }
+          for (auto& f : futures) f.get();
+        });
+      }
+      for (auto& t : threads) t.join();
+    };
+    pump();  // warm
+    server_sps = time_path(pump);
+    server_mean_batch = server.stats().mean_batch();
+  }
 
   const std::size_t threads = global_pool().thread_count();
   std::printf("\n== Software predict throughput (%s, %zu samples, %zu "
-              "pool thread%s) ==\n",
+              "pool thread%s, backend %s) ==\n",
               benchmark.spec.name.c_str(), n_samples, threads,
-              threads == 1 ? "" : "s");
+              threads == 1 ? "" : "s", args.backend.c_str());
   report::TextTable sw_table(
       {"path", "throughput (inf/s)", "speedup vs reference"});
   sw_table.add_row({"reference per-sample", report::fmt(reference_sps, 0),
                     report::fmt(1.0, 2)});
-  sw_table.add_row({"engine (1 thread)",
+  sw_table.add_row({args.backend + " (1 thread)",
                     report::fmt(engine_serial_sps, 0),
                     report::fmt(engine_serial_sps / reference_sps, 2)});
-  sw_table.add_row({"engine (parallel)",
+  sw_table.add_row({args.backend + " (parallel)",
                     report::fmt(engine_parallel_sps, 0),
                     report::fmt(engine_parallel_sps / reference_sps, 2)});
+  sw_table.add_row({"server (4 submitters, mean batch " +
+                        report::fmt(server_mean_batch, 1) + ")",
+                    report::fmt(server_sps, 0),
+                    report::fmt(server_sps / reference_sps, 2)});
   std::fputs(sw_table.to_string().c_str(), stdout);
 
   {
@@ -160,7 +197,7 @@ int main(int argc, char** argv) {
     json << "{\n"
          << "  \"task\": \"" << benchmark.spec.name << "\",\n"
          << "  \"samples\": " << n_samples << ",\n"
-         << "  \"pool_threads\": " << threads << ",\n"
+         << bench::json_runtime_fields(args)
          << "  \"reference_sps\": " << report::fmt(reference_sps, 1)
          << ",\n"
          << "  \"engine_serial_sps\": "
@@ -170,7 +207,10 @@ int main(int argc, char** argv) {
          << "  \"engine_serial_speedup\": "
          << report::fmt(engine_serial_sps / reference_sps, 3) << ",\n"
          << "  \"engine_parallel_speedup\": "
-         << report::fmt(engine_parallel_sps / reference_sps, 3) << "\n"
+         << report::fmt(engine_parallel_sps / reference_sps, 3) << ",\n"
+         << "  \"server_sps\": " << report::fmt(server_sps, 1) << ",\n"
+         << "  \"server_mean_batch\": "
+         << report::fmt(server_mean_batch, 2) << "\n"
          << "}\n";
   }
   std::puts("\nWrote BENCH_stream.json");

@@ -19,7 +19,6 @@
 #include "univsa/train/ldc_trainer.h"
 #include "univsa/train/lehdc_trainer.h"
 #include "univsa/train/univsa_trainer.h"
-#include "univsa/vsa/infer_engine.h"
 #include "univsa/vsa/memory_model.h"
 
 namespace {
@@ -36,7 +35,8 @@ struct TaskResults {
   MethodResult lda, knn, svm, lehdc, ldc, univsa;
 };
 
-TaskResults run_task(const data::Benchmark& b, bool fast) {
+TaskResults run_task(const data::Benchmark& b, const bench::Args& args) {
+  const bool fast = args.fast;
   std::printf("[%s] generating data...\n", b.spec.name.c_str());
   const data::SyntheticResult ds =
       data::generate(bench::sized_spec(b, fast));
@@ -91,10 +91,10 @@ TaskResults run_task(const data::Benchmark& b, bool fast) {
   uni_opts.epochs = fast ? 8 : 25;
   uni_opts.seed = 7;
   const auto uni = train::train_univsa(b.config, ds.train, uni_opts);
-  // Batched zero-allocation engine over the thread pool (same path
-  // Model::accuracy takes; spelled out here because this is the bench).
-  vsa::InferEngine engine(uni.model);
-  r.univsa = {engine.accuracy(ds.test), vsa::memory_kb(b.config)};
+  // Evaluate through the selected runtime backend (--backend; default is
+  // the batched zero-allocation engine over the thread pool).
+  r.univsa = {bench::backend_accuracy(args, uni.model, ds.test),
+              vsa::memory_kb(b.config)};
   return r;
 }
 
@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
 
   std::vector<TaskResults> results;
   for (const auto& b : bench::selected_benchmarks(args)) {
-    results.push_back(run_task(b, args.fast));
+    results.push_back(run_task(b, args));
   }
 
   report::TextTable table(

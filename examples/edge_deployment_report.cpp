@@ -16,8 +16,9 @@
 #include "univsa/hw/functional_sim.h"
 #include "univsa/hw/io_model.h"
 #include "univsa/hw/pipeline.h"
+#include "univsa/runtime/parity.h"
+#include "univsa/runtime/registry.h"
 #include "univsa/train/univsa_trainer.h"
-#include "univsa/vsa/infer_engine.h"
 #include "univsa/vsa/memory_model.h"
 #include "univsa/vsa/serialization.h"
 
@@ -58,8 +59,9 @@ int main(int argc, char** argv) {
               breakdown.total_bits(), vsa::memory_kb(c),
               vsa::ModelIo::payload_bytes(model));
 
-  // Bit-true dry run: a probe batch through the software inference
-  // engine, every sample checked against the accelerator datapath.
+  // Bit-true dry run: a probe batch cross-checked across every
+  // registered runtime backend (reference pipeline, packed engine, and
+  // the accelerator datapath).
   Rng rng(99);
   const std::size_t n_probe = 16;
   std::vector<std::vector<std::uint16_t>> probes(n_probe);
@@ -69,26 +71,23 @@ int main(int argc, char** argv) {
       v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
     }
   }
-  vsa::InferEngine engine(model);
+  const runtime::ParityReport parity =
+      runtime::verify_parity(model, probes);
+  std::printf("\nbit-true dry run: %zu-probe batch across backends — "
+              "%s\n",
+              n_probe, parity.summary().c_str());
+  if (!parity.ok()) return 1;
+
+  const auto backend =
+      runtime::make_backend(runtime::default_backend(), model);
   std::vector<vsa::Prediction> sw;
   const auto t0 = std::chrono::steady_clock::now();
-  engine.predict_batch(probes, sw);
+  backend->predict_batch(probes, sw);
   const double batch_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  const hw::Accelerator accel(model);
-  std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < n_probe; ++i) {
-    const hw::RunTrace trace = accel.run(probes[i]);
-    if (trace.prediction.label != sw[i].label ||
-        trace.prediction.scores != sw[i].scores) {
-      ++mismatches;
-    }
-  }
-  std::printf("\nbit-true dry run: %zu-probe batch, engine vs "
-              "accelerator — %s (%zu mismatches)\n",
-              n_probe, mismatches == 0 ? "MATCH" : "MISMATCH", mismatches);
-  std::printf("  software engine throughput: %.0f inferences/s\n",
+  std::printf("  %s backend throughput: %.0f inferences/s\n",
+              backend->name().c_str(),
               static_cast<double>(n_probe) / batch_s);
 
   const hw::HardwareReport r = hw::report_for(c);

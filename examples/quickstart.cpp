@@ -7,10 +7,11 @@
 //   1. get a benchmark dataset (synthetic EEG stand-in),
 //   2. train the partial BNN (Sec. II-C/III) with train_univsa(),
 //   3. extract + serialize the deployed model (V/K/F/C bit vectors),
-//   4. reload and run pure XNOR/popcount inference (Eq. 1–4).
+//   4. reload and classify through a runtime backend (Eq. 1–4).
 #include <cstdio>
 
 #include "univsa/data/benchmarks.h"
+#include "univsa/runtime/registry.h"
 #include "univsa/train/univsa_trainer.h"
 #include "univsa/vsa/memory_model.h"
 #include "univsa/vsa/serialization.h"
@@ -44,10 +45,13 @@ int main() {
               trained.model.accuracy(ds.test));
   vsa::ModelIo::save_file(trained.model, "har_model.uvsa");
 
-  // 4. Reload and classify one sample with pure binary operations.
+  // 4. Reload and classify one sample through the default runtime
+  //    backend (the packed zero-allocation engine) — pure binary ops.
   const vsa::Model model = vsa::ModelIo::load_file("har_model.uvsa");
+  const auto backend =
+      runtime::make_backend(runtime::default_backend(), model);
   const auto& sample = ds.test.values(0);
-  const vsa::Prediction pred = model.predict(sample);
+  const vsa::Prediction pred = backend->predict(sample);
   std::printf("sample 0: true label %d, predicted %d, scores [",
               ds.test.label(0), pred.label);
   for (std::size_t c = 0; c < pred.scores.size(); ++c) {

@@ -4,10 +4,10 @@
 // envelope of an implant.
 //
 // Trains on the CHB-B stand-in (balanced seizure detection), streams the
-// test set through the batched software inference engine (with a bit-true
-// spot-check against the hardware functional simulator), and reports
-// detection quality + the hardware budget (latency, throughput, power) of
-// the monitoring loop.
+// test set through the packed runtime backend (with a bit-true parity
+// check of every registered backend against the reference pipeline), and
+// reports detection quality + the hardware budget (latency, throughput,
+// power) of the monitoring loop.
 #include <chrono>
 #include <cstdio>
 
@@ -16,8 +16,9 @@
 #include "univsa/hw/functional_sim.h"
 #include "univsa/hw/pipeline.h"
 #include "univsa/report/metrics.h"
+#include "univsa/runtime/parity.h"
+#include "univsa/runtime/registry.h"
 #include "univsa/train/univsa_trainer.h"
-#include "univsa/vsa/infer_engine.h"
 
 int main() {
   using namespace univsa;
@@ -34,11 +35,11 @@ int main() {
   const train::UniVsaTrainResult trained =
       train::train_univsa(config, ds.train, options);
 
-  // Stream the whole test set through the batched inference engine.
-  vsa::InferEngine engine(trained.model);
+  // Stream the whole test set through the packed runtime backend.
+  const auto backend = runtime::make_backend("packed", trained.model);
   std::vector<vsa::Prediction> predictions;
   const auto t0 = std::chrono::steady_clock::now();
-  engine.predict_batch(ds.test, predictions);
+  backend->predict_batch(ds.test, predictions);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -46,9 +47,9 @@ int main() {
   for (std::size_t i = 0; i < ds.test.size(); ++i) {
     cm.add(ds.test.label(i), predictions[i].label);
   }
-  std::printf("streamed %zu EEG windows through the inference engine "
+  std::printf("streamed %zu EEG windows through the %s backend "
               "(%.0f windows/s software)\n",
-              ds.test.size(),
+              ds.test.size(), backend->name().c_str(),
               static_cast<double>(ds.test.size()) / elapsed);
   std::printf("  accuracy %.3f | seizure recall %.3f | seizure "
               "precision %.3f | macro-F1 %.3f\n",
@@ -56,23 +57,24 @@ int main() {
               cm.macro_f1());
   std::printf("  confusion matrix:\n%s", cm.to_string().c_str());
 
-  // Bit-true spot-check: the cycle-counted functional simulator must
-  // agree with the engine on label and scores.
-  const hw::Accelerator accel(trained.model);
-  std::size_t spot_checked = 0;
-  for (std::size_t i = 0; i < ds.test.size() && spot_checked < 8;
-       i += ds.test.size() / 8 + 1, ++spot_checked) {
-    const hw::RunTrace trace = accel.run(ds.test.values(i));
-    if (trace.prediction.label != predictions[i].label ||
-        trace.prediction.scores != predictions[i].scores) {
-      std::printf("  BIT MISMATCH engine vs accelerator at window %zu\n",
-                  i);
-      return 1;
-    }
+  // Bit-true spot-check: every registered backend — including the
+  // cycle-counted hardware functional simulator — must agree with the
+  // reference pipeline on label and scores.
+  std::vector<std::vector<std::uint16_t>> spot;
+  for (std::size_t i = 0; i < ds.test.size() && spot.size() < 8;
+       i += ds.test.size() / 8 + 1) {
+    spot.push_back(ds.test.values(i));
   }
-  std::printf("  %zu windows spot-checked bit-exact against the hardware "
-              "functional simulator\n",
-              spot_checked);
+  const runtime::ParityReport parity =
+      runtime::verify_parity(trained.model, spot);
+  if (!parity.ok()) {
+    std::printf("  BIT MISMATCH across backends:\n%s\n",
+                parity.summary().c_str());
+    return 1;
+  }
+  std::printf("  %zu windows spot-checked bit-exact across backends "
+              "(%s)\n",
+              spot.size(), parity.summary().c_str());
 
   // Hardware budget of the monitoring loop.
   const hw::HardwareReport hwr = hw::report_for(config);

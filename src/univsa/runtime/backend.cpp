@@ -1,0 +1,99 @@
+#include "univsa/runtime/backend.h"
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::runtime {
+
+Backend::Backend(const vsa::Model& model) : model_(&model) {
+  model.config().validate();
+}
+
+void Backend::predict_batch(
+    const std::vector<std::vector<std::uint16_t>>& samples,
+    std::vector<vsa::Prediction>& out, bool parallel) {
+  (void)parallel;  // the fallback loop is serial by construction
+  out.resize(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    predict_into(samples[i], out[i]);
+  }
+}
+
+void Backend::predict_batch(const data::Dataset& dataset,
+                            std::vector<vsa::Prediction>& out,
+                            bool parallel) {
+  (void)parallel;
+  const vsa::ModelConfig& c = model_->config();
+  UNIVSA_REQUIRE(dataset.windows() == c.W && dataset.length() == c.L,
+                 "dataset geometry mismatch");
+  out.resize(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    predict_into(dataset.values(i), out[i]);
+  }
+}
+
+double Backend::accuracy(const data::Dataset& dataset, bool parallel) {
+  UNIVSA_REQUIRE(!dataset.empty(), "empty dataset");
+  std::vector<vsa::Prediction> predictions;
+  predict_batch(dataset, predictions, parallel);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (predictions[i].label == dataset.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(dataset.size());
+}
+
+vsa::Prediction Backend::predict(
+    const std::vector<std::uint16_t>& values) {
+  vsa::Prediction out;
+  predict_into(values, out);
+  return out;
+}
+
+// --- ReferenceBackend ---------------------------------------------------
+
+void ReferenceBackend::predict_into(
+    const std::vector<std::uint16_t>& values, vsa::Prediction& out) {
+  out = model_->predict_reference(values);
+}
+
+// --- PackedBackend ------------------------------------------------------
+
+void PackedBackend::predict_into(const std::vector<std::uint16_t>& values,
+                                 vsa::Prediction& out) {
+  out = engine_.predict(values);
+}
+
+void PackedBackend::predict_batch(
+    const std::vector<std::vector<std::uint16_t>>& samples,
+    std::vector<vsa::Prediction>& out, bool parallel) {
+  engine_.predict_batch(samples, out, parallel);
+}
+
+void PackedBackend::predict_batch(const data::Dataset& dataset,
+                                  std::vector<vsa::Prediction>& out,
+                                  bool parallel) {
+  engine_.predict_batch(dataset, out, parallel);
+}
+
+double PackedBackend::accuracy(const data::Dataset& dataset,
+                               bool parallel) {
+  return engine_.accuracy(dataset, parallel);
+}
+
+// --- HwSimBackend -------------------------------------------------------
+
+void HwSimBackend::predict_into(const std::vector<std::uint16_t>& values,
+                                vsa::Prediction& out) {
+  const hw::RunTrace trace = accel_.run(values);
+  out = trace.prediction;
+  total_cycles_ += trace.cycles.total();
+  ++samples_;
+}
+
+double HwSimBackend::modelled_seconds() const {
+  return static_cast<double>(total_cycles_) * timing_.controller_overhead /
+         (timing_.clock_mhz * 1e6);
+}
+
+}  // namespace univsa::runtime

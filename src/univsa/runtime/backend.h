@@ -1,0 +1,169 @@
+// Pluggable inference backends — the single algorithm/hardware serving
+// contract every consumer (CLI, benches, examples, the Server front-end)
+// dispatches through.
+//
+// The repo grew four divergent inference paths: the per-sample reference
+// pipeline (Model::predict_reference), the zero-allocation batched
+// InferEngine, the bit-true hardware functional simulator, and the
+// timing/event models. runtime::Backend wraps each behind one interface
+// so callers select an implementation by name (see runtime/registry.h)
+// and the parity harness (runtime/parity.h) can assert they all produce
+// bit-identical Predictions.
+//
+// Thread-safety contract: a Backend instance is single-caller, exactly
+// like the InferEngine it may wrap — one backend per serving thread
+// (instances are cheap, the Model is shared and immutable). A backend is
+// free to parallelize *internally* over the global pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "univsa/data/dataset.h"
+#include "univsa/hw/functional_sim.h"
+#include "univsa/hw/timing_model.h"
+#include "univsa/vsa/infer_engine.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+
+/// What a backend can do, for callers that adapt their dispatch (the
+/// Server picks batch sizes, benches report the execution mode).
+struct Capabilities {
+  /// Has a native batched path (otherwise predict_batch loops).
+  bool native_batch = false;
+  /// May spread a batch over the global thread pool when asked.
+  bool parallel_batch = false;
+  /// Steady-state inference performs no heap allocation.
+  bool zero_alloc = false;
+  /// Attaches modelled hardware cycle counts to each prediction.
+  bool counts_cycles = false;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// Registry key / display name ("reference", "packed", "hwsim", ...).
+  virtual std::string name() const = 0;
+  virtual Capabilities capabilities() const = 0;
+
+  /// Single-sample inference into a reused Prediction (scores capacity
+  /// is retained across calls).
+  virtual void predict_into(const std::vector<std::uint16_t>& values,
+                            vsa::Prediction& out) = 0;
+
+  /// Batched inference; `out` is resized to the batch. The default loops
+  /// predict_into serially; backends with a native batched path
+  /// override. `parallel = false` forces a single-threaded run.
+  virtual void predict_batch(
+      const std::vector<std::vector<std::uint16_t>>& samples,
+      std::vector<vsa::Prediction>& out, bool parallel = true);
+  virtual void predict_batch(const data::Dataset& dataset,
+                             std::vector<vsa::Prediction>& out,
+                             bool parallel = true);
+
+  /// Fraction of correct predictions over the dataset.
+  virtual double accuracy(const data::Dataset& dataset,
+                          bool parallel = true);
+
+  /// Convenience allocating form of predict_into.
+  vsa::Prediction predict(const std::vector<std::uint16_t>& values);
+
+  const vsa::Model& model() const { return *model_; }
+  const vsa::ModelConfig& config() const { return model_->config(); }
+
+ protected:
+  explicit Backend(const vsa::Model& model);
+
+  const vsa::Model* model_;
+};
+
+/// Wraps Model::predict_reference — the original per-sample scalar
+/// pipeline (raw conv accumulate + bit-sliced encode + per-class dots).
+/// The slowest path and the baseline every other backend is verified
+/// against.
+class ReferenceBackend : public Backend {
+ public:
+  explicit ReferenceBackend(const vsa::Model& model) : Backend(model) {}
+
+  std::string name() const override { return "reference"; }
+  Capabilities capabilities() const override { return {}; }
+  void predict_into(const std::vector<std::uint16_t>& values,
+                    vsa::Prediction& out) override;
+};
+
+/// Wraps the zero-allocation batched vsa::InferEngine (word-packed
+/// BiConv, hoisted validity planes, kernel-parallel schedule). The
+/// production software path and the registry default.
+class PackedBackend : public Backend {
+ public:
+  explicit PackedBackend(const vsa::Model& model)
+      : Backend(model), engine_(model) {}
+
+  std::string name() const override { return "packed"; }
+  Capabilities capabilities() const override {
+    return {.native_batch = true,
+            .parallel_batch = true,
+            .zero_alloc = true,
+            .counts_cycles = false};
+  }
+  void predict_into(const std::vector<std::uint16_t>& values,
+                    vsa::Prediction& out) override;
+  void predict_batch(const std::vector<std::vector<std::uint16_t>>& samples,
+                     std::vector<vsa::Prediction>& out,
+                     bool parallel = true) override;
+  void predict_batch(const data::Dataset& dataset,
+                     std::vector<vsa::Prediction>& out,
+                     bool parallel = true) override;
+  double accuracy(const data::Dataset& dataset,
+                  bool parallel = true) override;
+
+  vsa::InferEngine& engine() { return engine_; }
+
+ private:
+  vsa::InferEngine engine_;
+};
+
+/// Wraps the bit-true hardware functional simulator
+/// (hw::functional_sim::Accelerator units), attaching the counted stage
+/// cycles of every prediction so callers can report modelled hardware
+/// time next to accuracy.
+class HwSimBackend : public Backend {
+ public:
+  explicit HwSimBackend(const vsa::Model& model,
+                        hw::TimingParams timing = {})
+      : Backend(model), timing_(timing), accel_(model, timing) {}
+
+  std::string name() const override { return "hwsim"; }
+  Capabilities capabilities() const override {
+    return {.native_batch = false,
+            .parallel_batch = false,
+            .zero_alloc = false,
+            .counts_cycles = true};
+  }
+  void predict_into(const std::vector<std::uint16_t>& values,
+                    vsa::Prediction& out) override;
+
+  /// Counted datapath cycles (pre-overhead) summed over every prediction
+  /// this backend served, and the matching modelled wall time with the
+  /// controller overhead applied at the configured clock.
+  std::uint64_t total_cycles() const { return total_cycles_; }
+  std::uint64_t samples_processed() const { return samples_; }
+  double modelled_seconds() const;
+
+  const hw::Accelerator& accelerator() const { return accel_; }
+
+ private:
+  hw::TimingParams timing_;
+  hw::Accelerator accel_;
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace univsa::runtime

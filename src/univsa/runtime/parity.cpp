@@ -1,0 +1,84 @@
+#include "univsa/runtime/parity.h"
+
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+#include "univsa/runtime/registry.h"
+
+namespace univsa::runtime {
+
+namespace {
+
+constexpr std::size_t kMismatchDetailCap = 16;
+
+}  // namespace
+
+std::string ParityReport::summary() const {
+  std::ostringstream os;
+  os << "parity vs '" << baseline << "' over " << samples << " sample"
+     << (samples == 1 ? "" : "s") << ", backends [";
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    os << (i ? " " : "") << backends[i];
+  }
+  os << "]: ";
+  if (ok()) {
+    os << "bit-identical (" << compared << " comparisons)";
+  } else {
+    os << mismatch_count << '/' << compared << " MISMATCHES";
+    for (const auto& m : mismatches) {
+      os << "\n  " << m.backend << " sample " << m.sample << ": label "
+         << m.actual.label << " vs " << m.expected.label;
+    }
+  }
+  return os.str();
+}
+
+ParityReport verify_parity(
+    const vsa::Model& model,
+    const std::vector<std::vector<std::uint16_t>>& samples,
+    std::vector<std::string> backends) {
+  UNIVSA_REQUIRE(!samples.empty(), "parity needs at least one sample");
+  if (backends.empty()) backends = backend_names();
+  UNIVSA_REQUIRE(!backends.empty(), "no backends registered");
+
+  ParityReport report;
+  report.baseline = backends.front();
+  report.backends = backends;
+  report.samples = samples.size();
+
+  std::vector<vsa::Prediction> expected;
+  make_backend(report.baseline, model)
+      ->predict_batch(samples, expected);
+
+  std::vector<vsa::Prediction> actual;
+  for (std::size_t b = 1; b < backends.size(); ++b) {
+    make_backend(backends[b], model)->predict_batch(samples, actual);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      ++report.compared;
+      if (actual[i].label == expected[i].label &&
+          actual[i].scores == expected[i].scores) {
+        continue;
+      }
+      ++report.mismatch_count;
+      if (report.mismatches.size() < kMismatchDetailCap) {
+        report.mismatches.push_back(
+            {backends[b], i, expected[i], actual[i]});
+      }
+    }
+  }
+  return report;
+}
+
+ParityReport verify_parity(const vsa::Model& model,
+                           const data::Dataset& dataset,
+                           std::vector<std::string> backends) {
+  UNIVSA_REQUIRE(!dataset.empty(), "parity needs at least one sample");
+  std::vector<std::vector<std::uint16_t>> samples;
+  samples.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    samples.push_back(dataset.values(i));
+  }
+  return verify_parity(model, samples, std::move(backends));
+}
+
+}  // namespace univsa::runtime

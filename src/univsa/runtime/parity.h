@@ -1,0 +1,57 @@
+// Cross-backend parity harness.
+//
+// Replaces the ad-hoc "engine vs accelerator" spot-check loops that were
+// copy-pasted across examples and tests: runs a sample set through every
+// requested backend and asserts the Predictions are *bit-identical* —
+// same label AND same per-class score vector — against the first backend
+// (the baseline, "reference" by default). This is the repo's standing
+// guarantee that the software serving path and the bit-true hardware
+// model can never drift apart silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "univsa/data/dataset.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+
+struct ParityMismatch {
+  std::string backend;
+  std::size_t sample = 0;
+  vsa::Prediction expected;  ///< the baseline backend's prediction
+  vsa::Prediction actual;
+};
+
+struct ParityReport {
+  std::string baseline;               ///< backend the others are held to
+  std::vector<std::string> backends;  ///< everything compared (incl. baseline)
+  std::size_t samples = 0;
+  std::size_t compared = 0;       ///< (backends-1) × samples comparisons
+  std::size_t mismatch_count = 0;
+  /// First few mismatches, for diagnostics (capped; see mismatch_count
+  /// for the true total).
+  std::vector<ParityMismatch> mismatches;
+
+  bool ok() const { return mismatch_count == 0; }
+  std::string summary() const;
+};
+
+/// Runs `samples` through every backend in `backends` (empty = all
+/// registered) and compares bit-exactly against the first. Backends are
+/// instantiated fresh from the registry, so the check covers exactly what
+/// a consumer would be served. Throws std::invalid_argument for unknown
+/// backend names or an empty sample set.
+ParityReport verify_parity(const vsa::Model& model,
+                           const std::vector<std::vector<std::uint16_t>>& samples,
+                           std::vector<std::string> backends = {});
+
+/// Dataset convenience overload (labels are ignored — parity is about
+/// agreement between implementations, not accuracy).
+ParityReport verify_parity(const vsa::Model& model,
+                           const data::Dataset& dataset,
+                           std::vector<std::string> backends = {});
+
+}  // namespace univsa::runtime

@@ -1,0 +1,85 @@
+#include "univsa/runtime/registry.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::runtime {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, BackendFactory> factories;
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    reg->factories["reference"] = [](const vsa::Model& m) {
+      return std::make_unique<ReferenceBackend>(m);
+    };
+    reg->factories["packed"] = [](const vsa::Model& m) {
+      return std::make_unique<PackedBackend>(m);
+    };
+    reg->factories["hwsim"] = [](const vsa::Model& m) {
+      return std::make_unique<HwSimBackend>(m);
+    };
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+void register_backend(const std::string& name, BackendFactory factory) {
+  UNIVSA_REQUIRE(!name.empty(), "backend name must be non-empty");
+  UNIVSA_REQUIRE(factory != nullptr, "backend factory must be callable");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.factories[name] = std::move(factory);
+}
+
+bool has_backend(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.factories.count(name) != 0;
+}
+
+std::vector<std::string> backend_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+const std::string& default_backend() {
+  static const std::string name = "packed";
+  return name;
+}
+
+std::unique_ptr<Backend> make_backend(const std::string& name,
+                                      const vsa::Model& model) {
+  BackendFactory factory;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.factories.find(name);
+    if (it != r.factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream os;
+    os << "unknown backend '" << name << "' (registered:";
+    for (const auto& n : backend_names()) os << ' ' << n;
+    os << ')';
+    throw std::invalid_argument(os.str());
+  }
+  return factory(model);
+}
+
+}  // namespace univsa::runtime

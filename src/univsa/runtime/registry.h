@@ -1,0 +1,46 @@
+// String-keyed backend registry/factory.
+//
+// Callers select an inference implementation by name (`--backend=packed`)
+// instead of hard-wiring a concrete type; new execution paths (remote
+// shards, emulated deployments, instrumented backends in tests) register
+// a factory and every consumer — CLI, benches, Server, parity harness —
+// can serve through them unchanged.
+//
+// Built-in backends, installed on first use:
+//   reference — Model::predict_reference, the scalar baseline
+//   packed    — vsa::InferEngine, the zero-allocation production path
+//   hwsim     — the bit-true hardware functional simulator w/ cycles
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "univsa/runtime/backend.h"
+
+namespace univsa::runtime {
+
+using BackendFactory =
+    std::function<std::unique_ptr<Backend>(const vsa::Model&)>;
+
+/// Registers (or replaces) a factory under `name`. Thread-safe.
+void register_backend(const std::string& name, BackendFactory factory);
+
+/// True when `name` resolves to a registered factory.
+bool has_backend(const std::string& name);
+
+/// Sorted names of every registered backend.
+std::vector<std::string> backend_names();
+
+/// The registry default ("packed") — what callers should serve with
+/// when the user expressed no preference.
+const std::string& default_backend();
+
+/// Instantiates the named backend over `model` (not owned; must outlive
+/// the backend). Throws std::invalid_argument for unknown names, listing
+/// the registered ones.
+std::unique_ptr<Backend> make_backend(const std::string& name,
+                                      const vsa::Model& model);
+
+}  // namespace univsa::runtime

@@ -1,0 +1,174 @@
+#include "univsa/runtime/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "univsa/common/contracts.h"
+#include "univsa/runtime/registry.h"
+
+namespace univsa::runtime {
+
+Server::Server(const vsa::Model& model, ServerOptions options)
+    : options_(std::move(options)) {
+  UNIVSA_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
+  UNIVSA_REQUIRE(options_.queue_capacity > 0,
+                 "queue_capacity must be positive");
+  if (options_.workers == 0) options_.workers = 1;
+  backends_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    backends_.push_back(make_backend(options_.backend, model));
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<vsa::Prediction> Server::submit(
+    std::vector<std::uint16_t> values) {
+  Request request;
+  request.values = std::move(values);
+  std::future<vsa::Prediction> future = request.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_cv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+      throw std::runtime_error("runtime::Server is shut down");
+    }
+    queue_.push_back(std::move(request));
+    ++stats_.submitted;
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth, queue_.size());
+    // Wake every worker once a full micro-batch is ready; a single one
+    // is enough to start coalescing otherwise.
+    if (queue_.size() >= options_.max_batch) {
+      queue_cv_.notify_all();
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+  return future;
+}
+
+SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
+                                std::future<vsa::Prediction>* out) {
+  Request request;
+  request.values = std::move(values);
+  std::future<vsa::Prediction> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return SubmitStatus::kShutdown;
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      return SubmitStatus::kOverloaded;
+    }
+    queue_.push_back(std::move(request));
+    ++stats_.submitted;
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth, queue_.size());
+    if (queue_.size() >= options_.max_batch) {
+      queue_cv_.notify_all();
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+  if (out != nullptr) *out = std::move(future);
+  return SubmitStatus::kOk;
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  std::lock_guard<std::mutex> jlock(join_mutex_);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool Server::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !stopping_;
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Server::worker_loop(std::size_t worker) {
+  Backend& backend = *backends_[worker];
+  const bool parallel =
+      options_.parallel_batch && backend.capabilities().parallel_batch;
+  std::vector<Request> batch;
+  std::vector<std::vector<std::uint16_t>> values;
+  std::vector<vsa::Prediction> predictions;
+
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+
+      // Coalesce: hold the batch open briefly so concurrent submitters
+      // land in the same dispatch (unless we're draining).
+      if (options_.max_delay_us > 0 &&
+          queue_.size() < options_.max_batch && !stopping_) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.max_delay_us);
+        queue_cv_.wait_until(lock, deadline, [this] {
+          return stopping_ || queue_.size() >= options_.max_batch;
+        });
+        if (queue_.empty()) continue;  // another worker took them all
+      }
+
+      const std::size_t take =
+          std::min(queue_.size(), options_.max_batch);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch_observed =
+          std::max(stats_.max_batch_observed, batch.size());
+    }
+    space_cv_.notify_all();
+
+    values.resize(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      values[i] = std::move(batch[i].values);
+    }
+    try {
+      backend.predict_batch(values, predictions, parallel);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(std::move(predictions[i]));
+      }
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (auto& request : batch) {
+        request.promise.set_exception(error);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.completed += batch.size();
+    }
+  }
+}
+
+}  // namespace univsa::runtime

@@ -1,0 +1,124 @@
+// Micro-batching serving front-end over a runtime::Backend.
+//
+// The first real serving layer toward the ROADMAP's production-scale
+// system: callers submit single samples from any number of threads; the
+// server coalesces concurrent requests into micro-batches under a
+// (max_batch, max_delay_us) policy and dispatches them to per-worker
+// backend instances (backends are single-caller; the Model is shared).
+//
+// Semantics, all covered by tests (tests/runtime/server_test.cpp):
+//   - Correctness is batching-invariant: every request's Prediction is
+//     bit-identical to a direct backend call, for any batch split,
+//     worker count, or submitter interleaving.
+//   - Backpressure: the request queue is bounded. submit() blocks until
+//     space frees up; try_submit() returns kOverloaded instead.
+//   - Shutdown drains: requests accepted before shutdown() are all
+//     served; submissions after it are refused (kShutdown / throw).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "univsa/runtime/backend.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+
+struct ServerOptions {
+  /// Registry name of the backend each worker serves with.
+  std::string backend = "packed";
+  /// Worker threads, each owning one backend instance (0 = 1).
+  std::size_t workers = 1;
+  /// Largest micro-batch handed to a backend in one dispatch.
+  std::size_t max_batch = 32;
+  /// How long a worker holds an under-full batch open waiting for more
+  /// requests to coalesce, measured from when it sees the first one.
+  /// 0 = dispatch whatever is queued immediately.
+  std::size_t max_delay_us = 100;
+  /// Bound on queued (not yet dispatched) requests — the backpressure
+  /// knob: submit() blocks and try_submit() rejects when full.
+  std::size_t queue_capacity = 1024;
+  /// Let a backend spread each micro-batch over the global thread pool
+  /// (only backends with capabilities().parallel_batch do).
+  bool parallel_batch = true;
+};
+
+enum class SubmitStatus { kOk, kOverloaded, kShutdown };
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;   ///< try_submit refusals while full
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;    ///< backend dispatches
+  std::size_t max_batch_observed = 0;
+  std::size_t max_queue_depth = 0;
+
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(completed) /
+                              static_cast<double>(batches);
+  }
+};
+
+class Server {
+ public:
+  /// Spins up `options.workers` threads, each with its own backend from
+  /// the registry. The model must outlive the server.
+  explicit Server(const vsa::Model& model, ServerOptions options = {});
+
+  /// Drains and joins (see shutdown()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one sample and returns the future Prediction. Blocks while
+  /// the queue is at capacity (backpressure). Throws std::runtime_error
+  /// once the server is shut down.
+  std::future<vsa::Prediction> submit(std::vector<std::uint16_t> values);
+
+  /// Non-blocking submit: kOverloaded when the queue is full, kShutdown
+  /// after shutdown(); `out` is only set on kOk.
+  SubmitStatus try_submit(std::vector<std::uint16_t> values,
+                          std::future<vsa::Prediction>* out);
+
+  /// Stops accepting new requests, serves everything already queued, and
+  /// joins the workers. Idempotent; safe to call from any thread.
+  void shutdown();
+
+  bool accepting() const;
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t queue_depth() const;
+  const ServerOptions& options() const { return options_; }
+  ServerStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<std::uint16_t> values;
+    std::promise<vsa::Prediction> promise;
+  };
+
+  void worker_loop(std::size_t worker);
+
+  ServerOptions options_;
+  std::vector<std::unique_ptr<Backend>> backends_;  // one per worker
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< workers wait for requests
+  std::condition_variable space_cv_;  ///< submitters wait for capacity
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  ServerStats stats_;
+
+  std::mutex join_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace univsa::runtime

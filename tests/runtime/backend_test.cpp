@@ -1,0 +1,215 @@
+// Backend adapters and the string-keyed registry: every registered
+// backend must serve bit-identical Predictions to the reference scalar
+// pipeline, the registry must resolve/extend/reject names, and the
+// hw-sim backend must attach cycle counts that agree with the closed-form
+// timing model.
+#include "univsa/runtime/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "univsa/hw/timing_model.h"
+#include "univsa/runtime/registry.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+std::vector<std::uint16_t> random_sample(const vsa::ModelConfig& c,
+                                         Rng& rng) {
+  std::vector<std::uint16_t> values(c.features());
+  for (auto& v : values) {
+    v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+  }
+  return values;
+}
+
+data::Dataset random_dataset(const vsa::ModelConfig& c, std::size_t n,
+                             Rng& rng) {
+  data::Dataset ds(c.W, c.L, c.C, c.M);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.add(random_sample(c, rng),
+           static_cast<int>(rng.uniform_index(c.C)));
+  }
+  return ds;
+}
+
+TEST(BackendRegistryTest, BuiltinsAreRegistered) {
+  EXPECT_TRUE(has_backend("reference"));
+  EXPECT_TRUE(has_backend("packed"));
+  EXPECT_TRUE(has_backend("hwsim"));
+  EXPECT_TRUE(has_backend(default_backend()));
+  const auto names = backend_names();
+  EXPECT_GE(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(BackendRegistryTest, UnknownNameThrowsWithListing) {
+  Rng rng(3);
+  const vsa::Model m = vsa::Model::random(small_config(), rng);
+  try {
+    make_backend("no-such-backend", m);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-backend"), std::string::npos);
+    EXPECT_NE(what.find("packed"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistryTest, CustomBackendCanBeRegisteredAndServed) {
+  register_backend("test-reference-alias", [](const vsa::Model& m) {
+    return std::make_unique<ReferenceBackend>(m);
+  });
+  ASSERT_TRUE(has_backend("test-reference-alias"));
+
+  Rng rng(4);
+  const vsa::Model m = vsa::Model::random(small_config(), rng);
+  auto backend = make_backend("test-reference-alias", m);
+  const auto values = random_sample(small_config(), rng);
+  const vsa::Prediction got = backend->predict(values);
+  const vsa::Prediction want = m.predict_reference(values);
+  EXPECT_EQ(got.label, want.label);
+  EXPECT_EQ(got.scores, want.scores);
+}
+
+TEST(BackendTest, EveryBuiltinMatchesReferenceBitExactly) {
+  Rng rng(11);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+
+  std::vector<std::vector<std::uint16_t>> samples;
+  for (int i = 0; i < 16; ++i) samples.push_back(random_sample(c, rng));
+
+  for (const std::string& name :
+       {std::string("reference"), std::string("packed"),
+        std::string("hwsim")}) {
+    auto backend = make_backend(name, m);
+    EXPECT_EQ(backend->name(), name);
+    EXPECT_EQ(&backend->model(), &m);
+
+    std::vector<vsa::Prediction> batch;
+    backend->predict_batch(samples, batch);
+    ASSERT_EQ(batch.size(), samples.size()) << name;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const vsa::Prediction want = m.predict_reference(samples[i]);
+      EXPECT_EQ(batch[i].label, want.label) << name << " sample " << i;
+      EXPECT_EQ(batch[i].scores, want.scores) << name << " sample " << i;
+
+      vsa::Prediction single;
+      backend->predict_into(samples[i], single);
+      EXPECT_EQ(single.label, want.label) << name << " sample " << i;
+      EXPECT_EQ(single.scores, want.scores) << name << " sample " << i;
+    }
+  }
+}
+
+TEST(BackendTest, DatasetBatchAndAccuracyMatchReferenceLoop) {
+  Rng rng(12);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const data::Dataset ds = random_dataset(c, 30, rng);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (m.predict_reference(ds.values(i)).label == ds.label(i)) ++correct;
+  }
+  const double expected =
+      static_cast<double>(correct) / static_cast<double>(ds.size());
+
+  for (const std::string& name : backend_names()) {
+    if (name.rfind("test-", 0) == 0) continue;  // other tests' fixtures
+    auto backend = make_backend(name, m);
+    EXPECT_DOUBLE_EQ(backend->accuracy(ds), expected) << name;
+    std::vector<vsa::Prediction> out;
+    backend->predict_batch(ds, out);
+    ASSERT_EQ(out.size(), ds.size()) << name;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      EXPECT_EQ(out[i].label, m.predict_reference(ds.values(i)).label)
+          << name << " sample " << i;
+    }
+  }
+}
+
+TEST(BackendTest, PackedSerialAndParallelAgree) {
+  Rng rng(13);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  std::vector<std::vector<std::uint16_t>> samples;
+  for (int i = 0; i < 40; ++i) samples.push_back(random_sample(c, rng));
+
+  PackedBackend backend(m);
+  EXPECT_TRUE(backend.capabilities().native_batch);
+  EXPECT_TRUE(backend.capabilities().parallel_batch);
+  EXPECT_TRUE(backend.capabilities().zero_alloc);
+
+  std::vector<vsa::Prediction> serial;
+  std::vector<vsa::Prediction> parallel;
+  backend.predict_batch(samples, serial, /*parallel=*/false);
+  backend.predict_batch(samples, parallel, /*parallel=*/true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    EXPECT_EQ(serial[i].scores, parallel[i].scores);
+  }
+}
+
+TEST(BackendTest, HwSimAttachesCycleCountsMatchingTimingModel) {
+  Rng rng(14);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  HwSimBackend backend(m);
+  EXPECT_TRUE(backend.capabilities().counts_cycles);
+  EXPECT_EQ(backend.total_cycles(), 0u);
+
+  const std::size_t n = 7;
+  std::vector<std::vector<std::uint16_t>> samples;
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(random_sample(c, rng));
+  }
+  std::vector<vsa::Prediction> out;
+  backend.predict_batch(samples, out);
+
+  // Counted cycles per sample are input-independent and equal the
+  // closed-form stage model (the functional sim's own invariant).
+  const std::size_t per_sample = hw::stage_cycles(c).total();
+  EXPECT_EQ(backend.samples_processed(), n);
+  EXPECT_EQ(backend.total_cycles(),
+            static_cast<std::uint64_t>(per_sample) * n);
+  EXPECT_GT(backend.modelled_seconds(), 0.0);
+}
+
+TEST(BackendTest, RejectsGeometryMismatchedDataset) {
+  Rng rng(15);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  data::Dataset wrong(c.W + 1, c.L, c.C, c.M);
+  wrong.add(std::vector<std::uint16_t>((c.W + 1) * c.L, 0), 0);
+  for (const std::string& name :
+       {std::string("reference"), std::string("packed"),
+        std::string("hwsim")}) {
+    auto backend = make_backend(name, m);
+    std::vector<vsa::Prediction> out;
+    EXPECT_THROW(backend->predict_batch(wrong, out),
+                 std::invalid_argument)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace univsa::runtime

@@ -1,0 +1,147 @@
+// runtime::verify_parity — the cross-implementation property check:
+// reference, packed, and hw-sim backends must produce bit-identical
+// Predictions on synthetic data and on the ISOLET-shaped configuration
+// (the paper's largest task geometry), and the harness must actually
+// catch a backend that diverges.
+#include "univsa/runtime/parity.h"
+
+#include <gtest/gtest.h>
+
+#include "univsa/data/benchmarks.h"
+#include "univsa/data/synthetic.h"
+#include "univsa/runtime/registry.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+namespace {
+
+std::vector<std::vector<std::uint16_t>> random_samples(
+    const vsa::ModelConfig& c, std::size_t n, Rng& rng) {
+  std::vector<std::vector<std::uint16_t>> samples(n);
+  for (auto& s : samples) {
+    s.resize(c.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+    }
+  }
+  return samples;
+}
+
+TEST(VerifyParityTest, AllBuiltinsBitIdenticalOnSmallConfig) {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  Rng rng(71);
+  const vsa::Model m = vsa::Model::random(c, rng);
+
+  const ParityReport report = verify_parity(
+      m, random_samples(c, 20, rng), {"reference", "packed", "hwsim"});
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.baseline, "reference");
+  EXPECT_EQ(report.samples, 20u);
+  EXPECT_EQ(report.compared, 40u);  // 2 non-baseline backends × 20
+  EXPECT_NE(report.summary().find("bit-identical"), std::string::npos);
+}
+
+TEST(VerifyParityTest, IsoletShapedConfigStaysBitIdentical) {
+  // The acceptance-bar check: the paper's largest geometry, all three
+  // built-in backends, random model + random levels.
+  const vsa::ModelConfig c = data::find_benchmark("ISOLET").config;
+  Rng rng(72);
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const ParityReport report = verify_parity(
+      m, random_samples(c, 8, rng), {"reference", "packed", "hwsim"});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(VerifyParityTest, SyntheticDatasetOverloadCoversAllRegistered) {
+  const auto& bench = data::find_benchmark("HAR");
+  data::SyntheticSpec spec = bench.spec;
+  spec.train_count = 24;
+  spec.test_count = 12;
+  const data::SyntheticResult ds = data::generate(spec);
+
+  Rng rng(73);
+  const vsa::Model m = vsa::Model::random(bench.config, rng);
+  // Every registered backend must agree (minus this binary's deliberate
+  // test fixtures, which other cases register to exercise divergence).
+  std::vector<std::string> backends;
+  for (const std::string& name : backend_names()) {
+    if (name.rfind("test-", 0) != 0) backends.push_back(name);
+  }
+  const ParityReport report = verify_parity(m, ds.test, backends);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.samples, ds.test.size());
+  EXPECT_GE(report.backends.size(), 3u);
+}
+
+// A backend that deliberately corrupts the winning label — the harness
+// must flag it and name it in the summary.
+class LyingBackend : public ReferenceBackend {
+ public:
+  using ReferenceBackend::ReferenceBackend;
+  std::string name() const override { return "test-lying"; }
+  void predict_into(const std::vector<std::uint16_t>& values,
+                    vsa::Prediction& out) override {
+    ReferenceBackend::predict_into(values, out);
+    out.label = (out.label + 1) % static_cast<int>(config().C);
+  }
+};
+
+TEST(VerifyParityTest, DetectsDivergingBackend) {
+  register_backend("test-lying", [](const vsa::Model& m) {
+    return std::make_unique<LyingBackend>(m);
+  });
+
+  vsa::ModelConfig c;
+  c.W = 3;
+  c.L = 5;
+  c.C = 2;
+  c.M = 8;
+  c.D_H = 4;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 4;
+  c.Theta = 1;
+  Rng rng(74);
+  const vsa::Model m = vsa::Model::random(c, rng);
+
+  const ParityReport report = verify_parity(
+      m, random_samples(c, 6, rng), {"reference", "packed", "test-lying"});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.mismatch_count, 6u);  // every lying sample
+  ASSERT_FALSE(report.mismatches.empty());
+  EXPECT_EQ(report.mismatches.front().backend, "test-lying");
+  EXPECT_NE(report.summary().find("test-lying"), std::string::npos);
+  EXPECT_NE(report.summary().find("MISMATCH"), std::string::npos);
+}
+
+TEST(VerifyParityTest, RejectsEmptyInputsAndUnknownBackends) {
+  vsa::ModelConfig c;
+  c.W = 3;
+  c.L = 4;
+  c.C = 2;
+  c.M = 8;
+  c.D_H = 4;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 4;
+  c.Theta = 1;
+  Rng rng(75);
+  const vsa::Model m = vsa::Model::random(c, rng);
+  EXPECT_THROW(verify_parity(m, std::vector<std::vector<std::uint16_t>>{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      verify_parity(m, random_samples(c, 2, rng), {"no-such-backend"}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::runtime

@@ -1,0 +1,313 @@
+// Micro-batching Server semantics:
+//   - per-request results are bit-identical to a direct backend call for
+//     any (max_batch, max_delay) policy, worker count, and number of
+//     concurrent submitter threads (batching invariance),
+//   - the bounded queue backpressures: try_submit reports kOverloaded
+//     while full and submit() blocks until space frees,
+//   - shutdown drains everything already accepted and refuses new work.
+#include "univsa/runtime/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "univsa/runtime/registry.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+std::vector<std::vector<std::uint16_t>> random_samples(
+    const vsa::ModelConfig& c, std::size_t n, Rng& rng) {
+  std::vector<std::vector<std::uint16_t>> samples(n);
+  for (auto& s : samples) {
+    s.resize(c.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+    }
+  }
+  return samples;
+}
+
+/// A controllable backend: blocks inside predict_batch until released.
+/// Lets the tests pin the worker mid-dispatch to fill the queue
+/// deterministically.
+class GatedBackend : public ReferenceBackend {
+ public:
+  explicit GatedBackend(const vsa::Model& m) : ReferenceBackend(m) {}
+
+  std::string name() const override { return "test-gated"; }
+
+  void predict_batch(const std::vector<std::vector<std::uint16_t>>& samples,
+                     std::vector<vsa::Prediction>& out,
+                     bool parallel = true) override {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex());
+      ++entered();
+      entered_cv().notify_all();
+      gate_cv().wait(lock, [] { return open(); });
+    }
+    ReferenceBackend::predict_batch(samples, out, parallel);
+  }
+
+  // Shared across all instances so the test controls every worker.
+  static std::mutex& gate_mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::condition_variable& gate_cv() {
+    static std::condition_variable cv;
+    return cv;
+  }
+  static std::condition_variable& entered_cv() {
+    static std::condition_variable cv;
+    return cv;
+  }
+  static bool& open() {
+    static bool o = false;
+    return o;
+  }
+  static int& entered() {
+    static int n = 0;
+    return n;
+  }
+  static void reset() {
+    std::lock_guard<std::mutex> lock(gate_mutex());
+    open() = false;
+    entered() = 0;
+  }
+  static void release() {
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex());
+      open() = true;
+    }
+    gate_cv().notify_all();
+  }
+  static void wait_for_dispatch() {
+    std::unique_lock<std::mutex> lock(gate_mutex());
+    entered_cv().wait(lock, [] { return entered() > 0; });
+  }
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_backend("test-gated", [](const vsa::Model& m) {
+      return std::make_unique<GatedBackend>(m);
+    });
+    GatedBackend::reset();
+  }
+};
+
+TEST_F(ServerTest, ResultsIndependentOfBatchPolicyAndThreadCount) {
+  Rng rng(91);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const auto samples = random_samples(c, 60, rng);
+
+  std::vector<vsa::Prediction> expected;
+  make_backend("reference", m)->predict_batch(samples, expected);
+
+  struct Policy {
+    std::string backend;
+    std::size_t workers, max_batch, max_delay_us;
+  };
+  const std::vector<Policy> policies = {
+      {"packed", 1, 1, 0},     // no coalescing at all
+      {"packed", 1, 8, 200},   // micro-batches
+      {"packed", 3, 16, 500},  // several workers racing for batches
+      {"packed", 4, 64, 0},    // batch bigger than any burst
+      {"reference", 2, 7, 100},
+      {"hwsim", 2, 5, 50},
+  };
+
+  for (const Policy& policy : policies) {
+    ServerOptions options;
+    options.backend = policy.backend;
+    options.workers = policy.workers;
+    options.max_batch = policy.max_batch;
+    options.max_delay_us = policy.max_delay_us;
+    Server server(m, options);
+    EXPECT_EQ(server.worker_count(), policy.workers);
+
+    std::vector<std::future<vsa::Prediction>> futures;
+    futures.reserve(samples.size());
+    for (const auto& s : samples) futures.push_back(server.submit(s));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const vsa::Prediction got = futures[i].get();
+      EXPECT_EQ(got.label, expected[i].label)
+          << policy.backend << " w=" << policy.workers
+          << " b=" << policy.max_batch << " sample " << i;
+      EXPECT_EQ(got.scores, expected[i].scores)
+          << policy.backend << " w=" << policy.workers
+          << " b=" << policy.max_batch << " sample " << i;
+    }
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.submitted, samples.size());
+    server.shutdown();
+    EXPECT_EQ(server.stats().completed, samples.size());
+  }
+}
+
+TEST_F(ServerTest, ConcurrentSubmittersGetTheirOwnResults) {
+  Rng rng(92);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 25;
+  const auto samples = random_samples(c, kThreads * kPerThread, rng);
+
+  std::vector<vsa::Prediction> expected;
+  make_backend("reference", m)->predict_batch(samples, expected);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    ServerOptions options;
+    options.workers = workers;
+    options.max_batch = 8;
+    options.max_delay_us = 200;
+    Server server(m, options);
+
+    std::atomic<std::size_t> mismatches{0};
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          const std::size_t index = t * kPerThread + i;
+          const vsa::Prediction got =
+              server.submit(samples[index]).get();
+          if (got.label != expected[index].label ||
+              got.scores != expected[index].scores) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(mismatches.load(), 0u) << "workers=" << workers;
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.submitted, samples.size());
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_LE(stats.max_batch_observed, options.max_batch);
+  }
+}
+
+TEST_F(ServerTest, TrySubmitReportsOverloadWhileQueueIsFull) {
+  Rng rng(93);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const auto samples = random_samples(c, 8, rng);
+
+  ServerOptions options;
+  options.backend = "test-gated";
+  options.workers = 1;
+  options.max_batch = 1;
+  options.max_delay_us = 0;
+  options.queue_capacity = 2;
+  Server server(m, options);
+
+  // First request gets picked up by the worker, which then blocks inside
+  // the gated backend; the queue itself is empty again.
+  auto inflight = server.submit(samples[0]);
+  GatedBackend::wait_for_dispatch();
+
+  // Fill the bounded queue, then overflow it.
+  std::future<vsa::Prediction> q1, q2, overflow;
+  ASSERT_EQ(server.try_submit(samples[1], &q1), SubmitStatus::kOk);
+  ASSERT_EQ(server.try_submit(samples[2], &q2), SubmitStatus::kOk);
+  EXPECT_EQ(server.queue_depth(), 2u);
+  EXPECT_EQ(server.try_submit(samples[3], &overflow),
+            SubmitStatus::kOverloaded);
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  // A blocking submit must park until the worker frees queue space.
+  std::atomic<bool> blocked_done{false};
+  std::thread blocked([&] {
+    auto f = server.submit(samples[4]);
+    f.wait();
+    blocked_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(blocked_done.load());
+
+  GatedBackend::release();
+  blocked.join();
+  EXPECT_TRUE(blocked_done.load());
+
+  // Everything accepted eventually resolves to the right prediction.
+  EXPECT_EQ(inflight.get().label, m.predict_reference(samples[0]).label);
+  EXPECT_EQ(q1.get().scores, m.predict_reference(samples[1]).scores);
+  EXPECT_EQ(q2.get().scores, m.predict_reference(samples[2]).scores);
+  server.shutdown();
+}
+
+TEST_F(ServerTest, ShutdownDrainsAcceptedRequestsAndRefusesNewOnes) {
+  Rng rng(94);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const auto samples = random_samples(c, 40, rng);
+
+  std::vector<vsa::Prediction> expected;
+  make_backend("reference", m)->predict_batch(samples, expected);
+
+  ServerOptions options;
+  options.workers = 2;
+  options.max_batch = 4;
+  options.max_delay_us = 1000;  // long enough that draining must cut in
+  Server server(m, options);
+
+  std::vector<std::future<vsa::Prediction>> futures;
+  for (const auto& s : samples) futures.push_back(server.submit(s));
+  server.shutdown();  // drain-on-shutdown: all 40 must still be served
+  EXPECT_FALSE(server.accepting());
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(futures[i].valid());
+    const vsa::Prediction got = futures[i].get();
+    EXPECT_EQ(got.label, expected[i].label) << "sample " << i;
+    EXPECT_EQ(got.scores, expected[i].scores) << "sample " << i;
+  }
+  EXPECT_EQ(server.stats().completed, samples.size());
+  EXPECT_EQ(server.queue_depth(), 0u);
+
+  // Post-shutdown submissions are refused on both entry points.
+  EXPECT_THROW(server.submit(samples[0]), std::runtime_error);
+  std::future<vsa::Prediction> unused;
+  EXPECT_EQ(server.try_submit(samples[0], &unused),
+            SubmitStatus::kShutdown);
+  // Idempotent from any thread.
+  server.shutdown();
+}
+
+TEST_F(ServerTest, BackendExceptionPropagatesThroughTheFuture) {
+  Rng rng(95);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+
+  Server server(m, {});
+  // Wrong feature count: the backend throws inside the worker; the
+  // future must carry the exception instead of hanging the caller.
+  auto f = server.submit(std::vector<std::uint16_t>(3, 0));
+  EXPECT_THROW(f.get(), std::exception);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace univsa::runtime

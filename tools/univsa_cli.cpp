@@ -2,7 +2,8 @@
 //
 //   univsa_cli datagen  --benchmark HAR --train train.csv --test test.csv
 //   univsa_cli train    --benchmark HAR --train train.csv --out har.uvsa
-//   univsa_cli eval     --model har.uvsa --data test.csv
+//   univsa_cli eval     --model har.uvsa --data test.csv [--backend NAME]
+//   univsa_cli parity   --model har.uvsa --data test.csv
 //   univsa_cli info     --model har.uvsa
 //   univsa_cli adapt    --model har.uvsa --data new.csv --out adapted.uvsa
 //   univsa_cli export-c   --model har.uvsa --dir out/
@@ -10,7 +11,11 @@
 //   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
 //
 // Every command also accepts `--threads N` to size the global thread
-// pool (0 = hardware default).
+// pool (0 = hardware default). Commands that run inference accept
+// `--backend NAME` to pick the runtime backend (default "packed"; see
+// univsa/runtime/registry.h); `parity` cross-checks every registered
+// backend against the reference pipeline and exits non-zero on any
+// bit-level divergence.
 //
 // CSVs are `label,f0,f1,...` rows of already-discretized levels, as
 // written by `datagen` (see data/csv_io.h for raw-float import).
@@ -28,6 +33,8 @@
 #include "univsa/hw/io_model.h"
 #include "univsa/hw/verilog_gen.h"
 #include "univsa/report/metrics.h"
+#include "univsa/runtime/parity.h"
+#include "univsa/runtime/registry.h"
 #include "univsa/train/online_retrainer.h"
 #include "univsa/train/univsa_trainer.h"
 #include "univsa/vsa/memory_model.h"
@@ -119,14 +126,33 @@ int cmd_eval(const Flags& flags) {
       vsa::ModelIo::load_file(flags.require("model"));
   const data::Dataset test_set =
       load_for(model.config(), flags.require("data"));
+  const std::string backend_name =
+      flags.get("backend", runtime::default_backend());
+  const auto backend = runtime::make_backend(backend_name, model);
+  std::vector<vsa::Prediction> predictions;
+  backend->predict_batch(test_set, predictions);
   report::ConfusionMatrix cm(model.config().C);
   for (std::size_t i = 0; i < test_set.size(); ++i) {
-    cm.add(test_set.label(i), model.predict(test_set.values(i)).label);
+    cm.add(test_set.label(i), predictions[i].label);
   }
-  std::printf("accuracy %.4f  macro-F1 %.4f  (%zu samples)\n",
-              cm.accuracy(), cm.macro_f1(), cm.total());
+  std::printf("accuracy %.4f  macro-F1 %.4f  (%zu samples, backend %s, "
+              "%zu pool threads)\n",
+              cm.accuracy(), cm.macro_f1(), cm.total(),
+              backend->name().c_str(), global_pool().thread_count());
   std::fputs(cm.to_string().c_str(), stdout);
   return 0;
+}
+
+int cmd_parity(const Flags& flags) {
+  const vsa::Model model =
+      vsa::ModelIo::load_file(flags.require("model"));
+  const data::Dataset data_set =
+      load_for(model.config(), flags.require("data"));
+  const runtime::ParityReport report =
+      runtime::verify_parity(model, data_set);
+  std::fputs(report.summary().c_str(), stdout);
+  std::fputc('\n', stdout);
+  return report.ok() ? 0 : 1;
 }
 
 int cmd_info(const Flags& flags) {
@@ -229,10 +255,22 @@ int cmd_selftest() {
   }
 
   const data::Dataset test_set = load_for(config, test_csv);
-  const double acc = reloaded.accuracy(test_set);
+  const double acc =
+      runtime::make_backend(runtime::default_backend(), reloaded)
+          ->accuracy(test_set);
   if (acc < 0.5) {
     std::fprintf(stderr, "selftest: accuracy %.3f below sanity bar\n",
                  acc);
+    return 1;
+  }
+
+  // Every registered backend must agree bit-for-bit with the reference
+  // pipeline on the trained model.
+  const runtime::ParityReport parity =
+      runtime::verify_parity(reloaded, test_set);
+  if (!parity.ok()) {
+    std::fprintf(stderr, "selftest: backend parity failed\n%s\n",
+                 parity.summary().c_str());
     return 1;
   }
 
@@ -257,8 +295,8 @@ int cmd_selftest() {
 
 void usage() {
   std::fputs(
-      "usage: univsa_cli <datagen|train|eval|info|adapt|export-c|"
-      "export-rtl|selftest> [--flag value ...]\n",
+      "usage: univsa_cli <datagen|train|eval|parity|info|adapt|"
+      "export-c|export-rtl|selftest> [--flag value ...]\n",
       stderr);
 }
 
@@ -276,6 +314,7 @@ int main(int argc, char** argv) {
     if (cmd == "datagen") return cmd_datagen(flags);
     if (cmd == "train") return cmd_train(flags);
     if (cmd == "eval") return cmd_eval(flags);
+    if (cmd == "parity") return cmd_parity(flags);
     if (cmd == "info") return cmd_info(flags);
     if (cmd == "adapt") return cmd_adapt(flags);
     if (cmd == "export-c") return cmd_export_c(flags);
