@@ -16,9 +16,13 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "univsa/common/thread_pool.h"
 #include "univsa/data/benchmarks.h"
 #include "univsa/runtime/registry.h"
+#include "univsa/telemetry/metrics.h"
+#include "univsa/telemetry/provenance.h"
 
 namespace univsa::bench {
 
@@ -95,11 +99,41 @@ inline double backend_accuracy(const Args& args, const vsa::Model& model,
 }
 
 /// The execution-environment fields every BENCH_*.json record carries:
-/// which backend served the run and how wide the pool was.
+/// which backend served the run plus the shared build-provenance block
+/// (git SHA, compiler, build type/flags, pool width, telemetry state) —
+/// the same fields telemetry::snapshot() reports, from the same helper,
+/// so a bench record is always attributable to an exact build.
 inline std::string json_runtime_fields(const Args& args) {
   return "  \"backend\": \"" + args.backend + "\",\n" +
-         "  \"pool_threads\": " +
-         std::to_string(global_pool().thread_count()) + ",\n";
+         telemetry::provenance_json_fields();
+}
+
+/// Registry-routed bench timer: repeats `fn` (one call = `batch`
+/// samples) until ~0.2 s total, recording every iteration into the
+/// "bench.<name>_ns" latency histogram, then derives samples/second
+/// from that histogram's own count/sum delta. The printed table and a
+/// telemetry scrape (--metrics-json / metrics_snapshot.json) therefore
+/// can never disagree — they read the same clock path and the same
+/// accumulator.
+inline double timed_sps(const std::string& name, std::size_t batch,
+                        const std::function<void()>& fn) {
+  telemetry::LatencyHistogram& hist =
+      telemetry::histogram("bench." + name + "_ns");
+  const telemetry::HistogramSnapshot before = hist.snapshot();
+  std::uint64_t elapsed_ns = 0;
+  do {
+    const std::uint64_t t0 = telemetry::now_ns();
+    fn();
+    const std::uint64_t dt = telemetry::now_ns() - t0;
+    hist.record(dt);
+    elapsed_ns += dt;
+  } while (elapsed_ns < 200'000'000ull);
+  const telemetry::HistogramSnapshot after = hist.snapshot();
+  const double iters =
+      static_cast<double>(after.count - before.count);
+  const double ns = after.sum - before.sum;
+  return ns <= 0.0 ? 0.0
+                   : iters * static_cast<double>(batch) / (ns * 1e-9);
 }
 
 }  // namespace univsa::bench

@@ -13,7 +13,6 @@
 // plus the micro-batching runtime::Server front-end driven by concurrent
 // submitters. Throughputs are recorded in BENCH_stream.json for the perf
 // trajectory.
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -24,17 +23,8 @@
 #include "univsa/hw/event_sim.h"
 #include "univsa/report/table.h"
 #include "univsa/runtime/server.h"
+#include "univsa/telemetry/telemetry.h"
 #include "univsa/vsa/model.h"
-
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       t0)
-      .count();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace univsa;
@@ -122,24 +112,17 @@ int main(int argc, char** argv) {
   reference->predict_batch(samples, out, /*parallel=*/false);
   backend->predict_batch(samples, out, /*parallel=*/false);
 
-  const auto time_path = [&](auto&& fn) {
-    // Repeat until ~0.2 s elapsed so short batches still time stably.
-    std::size_t done = 0;
-    const auto t0 = std::chrono::steady_clock::now();
-    double elapsed = 0.0;
-    do {
-      fn();
-      done += n_samples;
-      elapsed = seconds_since(t0);
-    } while (elapsed < 0.2);
-    return static_cast<double>(done) / elapsed;  // samples / second
-  };
-
-  const double reference_sps = time_path(
+  // All four paths are timed through the registry ("bench.stream.*_ns"
+  // histograms), so the table below and the telemetry snapshot report
+  // the exact same measurements.
+  const double reference_sps = bench::timed_sps(
+      "stream.reference", n_samples,
       [&] { reference->predict_batch(samples, out, /*parallel=*/false); });
-  const double engine_serial_sps = time_path(
+  const double engine_serial_sps = bench::timed_sps(
+      "stream.engine_serial", n_samples,
       [&] { backend->predict_batch(samples, out, /*parallel=*/false); });
-  const double engine_parallel_sps = time_path(
+  const double engine_parallel_sps = bench::timed_sps(
+      "stream.engine_parallel", n_samples,
       [&] { backend->predict_batch(samples, out, /*parallel=*/true); });
 
   // The serving front-end: a micro-batching Server fed by concurrent
@@ -167,7 +150,7 @@ int main(int argc, char** argv) {
       for (auto& t : threads) t.join();
     };
     pump();  // warm
-    server_sps = time_path(pump);
+    server_sps = bench::timed_sps("stream.server", n_samples, pump);
     server_mean_batch = server.stats().mean_batch();
   }
 
@@ -213,6 +196,10 @@ int main(int argc, char** argv) {
          << report::fmt(server_mean_batch, 2) << "\n"
          << "}\n";
   }
-  std::puts("\nWrote BENCH_stream.json");
+  if (telemetry::write_json_file("metrics_snapshot.json")) {
+    std::puts("\nWrote BENCH_stream.json and metrics_snapshot.json");
+  } else {
+    std::puts("\nWrote BENCH_stream.json");
+  }
   return 0;
 }

@@ -295,7 +295,8 @@ int main(int argc, char** argv) {
 
   {
     std::ofstream json("BENCH_train.json");
-    json << "{\n  \"gemm_shapes\": [\n";
+    json << "{\n" << bench::json_runtime_fields(args)
+         << "  \"gemm_shapes\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
       json << "    {\"name\": \"" << r.name << "\", \"seed_gflops\": "

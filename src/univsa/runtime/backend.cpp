@@ -1,6 +1,7 @@
 #include "univsa/runtime/backend.h"
 
 #include "univsa/common/contracts.h"
+#include "univsa/telemetry/trace.h"
 
 namespace univsa::runtime {
 
@@ -54,6 +55,7 @@ vsa::Prediction Backend::predict(
 
 void ReferenceBackend::predict_into(
     const std::vector<std::uint16_t>& values, vsa::Prediction& out) {
+  UNIVSA_SPAN("reference.predict");
   out = model_->predict_reference(values);
 }
 
@@ -85,10 +87,29 @@ double PackedBackend::accuracy(const data::Dataset& dataset,
 
 void HwSimBackend::predict_into(const std::vector<std::uint16_t>& values,
                                 vsa::Prediction& out) {
+  telemetry::TraceSpan span("hwsim.predict");
   const hw::RunTrace trace = accel_.run(values);
   out = trace.prediction;
   total_cycles_ += trace.cycles.total();
   ++samples_;
+  // The wall span carries the modelled datapath cycles as its payload;
+  // per-stage cycle counts feed dedicated histograms so modelled stage
+  // cost shows up next to the software stage latencies in one scrape.
+  span.set_detail(trace.cycles.total());
+  if (telemetry::enabled()) {
+    static telemetry::LatencyHistogram& dvp =
+        telemetry::histogram("hwsim.dvp_cycles");
+    static telemetry::LatencyHistogram& biconv =
+        telemetry::histogram("hwsim.biconv_cycles");
+    static telemetry::LatencyHistogram& encoding =
+        telemetry::histogram("hwsim.encoding_cycles");
+    static telemetry::LatencyHistogram& similarity =
+        telemetry::histogram("hwsim.similarity_cycles");
+    dvp.record(trace.cycles.dvp);
+    biconv.record(trace.cycles.biconv);
+    encoding.record(trace.cycles.encoding);
+    similarity.record(trace.cycles.similarity);
+  }
 }
 
 double HwSimBackend::modelled_seconds() const {

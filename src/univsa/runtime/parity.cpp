@@ -4,6 +4,7 @@
 
 #include "univsa/common/contracts.h"
 #include "univsa/runtime/registry.h"
+#include "univsa/telemetry/metrics.h"
 
 namespace univsa::runtime {
 
@@ -30,6 +31,12 @@ std::string ParityReport::summary() const {
          << m.actual.label << " vs " << m.expected.label;
     }
   }
+  if (backend_seconds.size() == backends.size()) {
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      os << "\n  " << backends[i] << ": "
+         << backend_seconds[i] * 1e3 << " ms";
+    }
+  }
   return os.str();
 }
 
@@ -46,13 +53,21 @@ ParityReport verify_parity(
   report.backends = backends;
   report.samples = samples.size();
 
+  report.backend_seconds.resize(backends.size(), 0.0);
+  const auto timed_batch = [&](std::size_t b,
+                               std::vector<vsa::Prediction>& out) {
+    const std::uint64_t t0 = telemetry::now_ns();
+    make_backend(backends[b], model)->predict_batch(samples, out);
+    report.backend_seconds[b] =
+        static_cast<double>(telemetry::now_ns() - t0) * 1e-9;
+  };
+
   std::vector<vsa::Prediction> expected;
-  make_backend(report.baseline, model)
-      ->predict_batch(samples, expected);
+  timed_batch(0, expected);
 
   std::vector<vsa::Prediction> actual;
   for (std::size_t b = 1; b < backends.size(); ++b) {
-    make_backend(backends[b], model)->predict_batch(samples, actual);
+    timed_batch(b, actual);
     for (std::size_t i = 0; i < samples.size(); ++i) {
       ++report.compared;
       if (actual[i].label == expected[i].label &&

@@ -34,6 +34,11 @@ struct ParityReport {
   /// First few mismatches, for diagnostics (capped; see mismatch_count
   /// for the true total).
   std::vector<ParityMismatch> mismatches;
+  /// Wall seconds each backend spent on its predict_batch sweep, aligned
+  /// with `backends`. Purely informational — parity is about bits, but
+  /// the per-backend cost contrast (reference vs packed vs hwsim) is
+  /// free to collect here and summary() reports it.
+  std::vector<double> backend_seconds;
 
   bool ok() const { return mismatch_count == 0; }
   std::string summary() const;

@@ -5,8 +5,42 @@
 
 #include "univsa/common/contracts.h"
 #include "univsa/runtime/registry.h"
+#include "univsa/telemetry/metrics.h"
 
 namespace univsa::runtime {
+
+namespace {
+
+// Process-wide mirrors of the per-instance server metrics, so the
+// serving layer shows up in telemetry::snapshot() scrapes (Prometheus /
+// --metrics-json) without callers having to reach into a Server object.
+// Handles are resolved once; every update after that is lock-free.
+struct GlobalServerMetrics {
+  telemetry::Counter& submitted =
+      telemetry::counter("runtime.server.submitted");
+  telemetry::Counter& rejected =
+      telemetry::counter("runtime.server.rejected");
+  telemetry::Counter& completed =
+      telemetry::counter("runtime.server.completed");
+  telemetry::Counter& batches = telemetry::counter("runtime.server.batches");
+  telemetry::Gauge& queue_depth =
+      telemetry::gauge("runtime.server.queue_depth");
+  telemetry::LatencyHistogram& batch_size =
+      telemetry::histogram("runtime.server.batch_size");
+  telemetry::LatencyHistogram& queue_wait =
+      telemetry::histogram("runtime.server.queue_wait_ns");
+  telemetry::LatencyHistogram& service =
+      telemetry::histogram("runtime.server.service_ns");
+  telemetry::LatencyHistogram& latency =
+      telemetry::histogram("runtime.server.latency_ns");
+};
+
+GlobalServerMetrics& global_metrics() {
+  static GlobalServerMetrics g;
+  return g;
+}
+
+}  // namespace
 
 Server::Server(const vsa::Model& model, ServerOptions options)
     : options_(std::move(options)) {
@@ -26,6 +60,23 @@ Server::Server(const vsa::Model& model, ServerOptions options)
 
 Server::~Server() { shutdown(); }
 
+void Server::note_enqueued_locked() {
+  submitted_.add();
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  if (telemetry::enabled()) {
+    GlobalServerMetrics& g = global_metrics();
+    g.submitted.add();
+    g.queue_depth.set(static_cast<double>(queue_.size()));
+  }
+  // Wake every worker once a full micro-batch is ready; a single one
+  // is enough to start coalescing otherwise.
+  if (queue_.size() >= options_.max_batch) {
+    queue_cv_.notify_all();
+  } else {
+    queue_cv_.notify_one();
+  }
+}
+
 std::future<vsa::Prediction> Server::submit(
     std::vector<std::uint16_t> values) {
   Request request;
@@ -39,17 +90,9 @@ std::future<vsa::Prediction> Server::submit(
     if (stopping_) {
       throw std::runtime_error("runtime::Server is shut down");
     }
+    request.submit_ns = telemetry::now_ns();
     queue_.push_back(std::move(request));
-    ++stats_.submitted;
-    stats_.max_queue_depth =
-        std::max(stats_.max_queue_depth, queue_.size());
-    // Wake every worker once a full micro-batch is ready; a single one
-    // is enough to start coalescing otherwise.
-    if (queue_.size() >= options_.max_batch) {
-      queue_cv_.notify_all();
-    } else {
-      queue_cv_.notify_one();
-    }
+    note_enqueued_locked();
   }
   return future;
 }
@@ -63,18 +106,13 @@ SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) return SubmitStatus::kShutdown;
     if (queue_.size() >= options_.queue_capacity) {
-      ++stats_.rejected;
+      rejected_.add();
+      if (telemetry::enabled()) global_metrics().rejected.add();
       return SubmitStatus::kOverloaded;
     }
+    request.submit_ns = telemetry::now_ns();
     queue_.push_back(std::move(request));
-    ++stats_.submitted;
-    stats_.max_queue_depth =
-        std::max(stats_.max_queue_depth, queue_.size());
-    if (queue_.size() >= options_.max_batch) {
-      queue_cv_.notify_all();
-    } else {
-      queue_cv_.notify_one();
-    }
+    note_enqueued_locked();
   }
   if (out != nullptr) *out = std::move(future);
   return SubmitStatus::kOk;
@@ -104,8 +142,26 @@ std::size_t Server::queue_depth() const {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.queue_depth = queue_.size();
+    stats.max_batch_observed = max_batch_observed_;
+    stats.max_queue_depth = max_queue_depth_;
+  }
+  stats.submitted = submitted_.total();
+  stats.rejected = rejected_.total();
+  stats.completed = completed_.total();
+  stats.batches = batches_.total();
+  stats.batch_sizes = batch_hist_.snapshot();
+  stats.batch_sizes.name = "batch_sizes";
+  stats.queue_wait_ns = queue_wait_hist_.snapshot();
+  stats.queue_wait_ns.name = "queue_wait_ns";
+  stats.service_ns = service_hist_.snapshot();
+  stats.service_ns.name = "service_ns";
+  stats.latency_ns = latency_hist_.snapshot();
+  stats.latency_ns.name = "latency_ns";
+  return stats;
 }
 
 void Server::worker_loop(std::size_t worker) {
@@ -143,30 +199,66 @@ void Server::worker_loop(std::size_t worker) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      ++stats_.batches;
-      stats_.max_batch_observed =
-          std::max(stats_.max_batch_observed, batch.size());
+      batches_.add();
+      max_batch_observed_ = std::max(max_batch_observed_, batch.size());
+      if (telemetry::enabled()) {
+        global_metrics().queue_depth.set(
+            static_cast<double>(queue_.size()));
+      }
     }
     space_cv_.notify_all();
+
+    const bool mirror = telemetry::enabled();
+    const std::uint64_t dequeue_ns = telemetry::now_ns();
+    batch_hist_.record(batch.size());
+    for (const Request& request : batch) {
+      queue_wait_hist_.record(dequeue_ns - request.submit_ns);
+    }
+    if (mirror) {
+      GlobalServerMetrics& g = global_metrics();
+      g.batches.add();
+      g.batch_size.record(batch.size());
+      for (const Request& request : batch) {
+        g.queue_wait.record(dequeue_ns - request.submit_ns);
+      }
+    }
 
     values.resize(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       values[i] = std::move(batch[i].values);
     }
+    std::exception_ptr error;
     try {
       backend.predict_batch(values, predictions, parallel);
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        batch[i].promise.set_value(std::move(predictions[i]));
-      }
     } catch (...) {
-      const std::exception_ptr error = std::current_exception();
+      error = std::current_exception();
+    }
+
+    // Record before fulfilling the promises: once a caller's get()
+    // returns, stats() must already account for that request.
+    const std::uint64_t done_ns = telemetry::now_ns();
+    service_hist_.record(done_ns - dequeue_ns);
+    for (const Request& request : batch) {
+      latency_hist_.record(done_ns - request.submit_ns);
+    }
+    completed_.add(batch.size());
+    if (mirror) {
+      GlobalServerMetrics& g = global_metrics();
+      g.service.record(done_ns - dequeue_ns);
+      for (const Request& request : batch) {
+        g.latency.record(done_ns - request.submit_ns);
+      }
+      g.completed.add(batch.size());
+    }
+
+    if (error != nullptr) {
       for (auto& request : batch) {
         request.promise.set_exception(error);
       }
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stats_.completed += batch.size();
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(std::move(predictions[i]));
+      }
     }
   }
 }

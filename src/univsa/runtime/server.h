@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "univsa/runtime/backend.h"
+#include "univsa/telemetry/metrics.h"
 #include "univsa/vsa/model.h"
 
 namespace univsa::runtime {
@@ -52,6 +53,11 @@ struct ServerOptions {
 
 enum class SubmitStatus { kOk, kOverloaded, kShutdown };
 
+/// Point-in-time view of one Server's telemetry. Sourced from the
+/// per-instance lock-free metrics (telemetry::Counter/LatencyHistogram
+/// members merged on read), not from a mutex-guarded struct; the same
+/// event stream also feeds the process-wide "runtime.server.*" metrics
+/// in the global registry for Prometheus/JSON scrapes.
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;   ///< try_submit refusals while full
@@ -59,6 +65,16 @@ struct ServerStats {
   std::uint64_t batches = 0;    ///< backend dispatches
   std::size_t max_batch_observed = 0;
   std::size_t max_queue_depth = 0;
+  /// Requests queued (not yet dispatched) at the time of the call — the
+  /// live queue-depth gauge.
+  std::size_t queue_depth = 0;
+
+  // Full distributions (count/sum/min/max/percentiles), previously only
+  // approximated by the scalar fields above.
+  telemetry::HistogramSnapshot batch_sizes;    ///< per-dispatch batch size
+  telemetry::HistogramSnapshot queue_wait_ns;  ///< submit -> dequeue
+  telemetry::HistogramSnapshot service_ns;     ///< backend dispatch time
+  telemetry::HistogramSnapshot latency_ns;     ///< submit -> result set
 
   double mean_batch() const {
     return batches == 0 ? 0.0
@@ -103,9 +119,12 @@ class Server {
   struct Request {
     std::vector<std::uint16_t> values;
     std::promise<vsa::Prediction> promise;
+    std::uint64_t submit_ns = 0;  ///< telemetry::now_ns() at enqueue
   };
 
   void worker_loop(std::size_t worker);
+  /// Shared enqueue bookkeeping; called with mutex_ held.
+  void note_enqueued_locked();
 
   ServerOptions options_;
   std::vector<std::unique_ptr<Backend>> backends_;  // one per worker
@@ -115,7 +134,23 @@ class Server {
   std::condition_variable space_cv_;  ///< submitters wait for capacity
   std::deque<Request> queue_;
   bool stopping_ = false;
-  ServerStats stats_;
+
+  // Per-instance telemetry — the source of truth behind stats(). These
+  // always record (ServerStats works even when the global registry is
+  // disabled); the worker/submit paths additionally mirror them into the
+  // process-wide "runtime.server.*" registry metrics when telemetry is
+  // enabled. Counters/histograms are lock-free; the two scalar maxima
+  // are only touched with mutex_ already held.
+  telemetry::Counter submitted_;
+  telemetry::Counter rejected_;
+  telemetry::Counter completed_;
+  telemetry::Counter batches_;
+  telemetry::LatencyHistogram batch_hist_;       ///< batch size per dispatch
+  telemetry::LatencyHistogram queue_wait_hist_;  ///< ns, submit -> dequeue
+  telemetry::LatencyHistogram service_hist_;     ///< ns per backend dispatch
+  telemetry::LatencyHistogram latency_hist_;     ///< ns, submit -> result
+  std::size_t max_batch_observed_ = 0;  // guarded by mutex_
+  std::size_t max_queue_depth_ = 0;     // guarded by mutex_
 
   std::mutex join_mutex_;
   std::vector<std::thread> workers_;

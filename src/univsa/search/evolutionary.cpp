@@ -7,6 +7,7 @@
 
 #include "univsa/common/contracts.h"
 #include "univsa/common/thread_pool.h"
+#include "univsa/telemetry/metrics.h"
 #include "univsa/vsa/memory_model.h"
 
 namespace univsa::search {
@@ -121,6 +122,20 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
   // same stable order. The oracle seed depends only on (search seed,
   // genome), so results, memo contents, and the evaluation count are all
   // bit-identical to evaluating one candidate at a time.
+  // Search telemetry: one histogram sample per generation-batch of
+  // oracle calls, plus memo hit/miss counters (hit = a candidate served
+  // from the cache or deduplicated within the batch) and the running
+  // hit-rate gauge. Purely observational — the memo semantics above are
+  // untouched.
+  const bool traced = telemetry::kCompiledIn && telemetry::enabled();
+  telemetry::LatencyHistogram& eval_hist =
+      telemetry::histogram("search.generation_eval_ns");
+  telemetry::Counter& memo_hits = telemetry::counter("search.memo_hits");
+  telemetry::Counter& memo_misses =
+      telemetry::counter("search.memo_misses");
+  telemetry::Gauge& hit_rate_gauge =
+      telemetry::gauge("search.memo_hit_rate");
+
   const auto evaluate_batch =
       [&](const std::vector<vsa::ModelConfig>& configs) {
         std::vector<Key> fresh_keys;
@@ -135,6 +150,15 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
           fresh_keys.push_back(k);
           fresh_configs.push_back(&c);
         }
+        if (traced) {
+          memo_misses.add(fresh_keys.size());
+          memo_hits.add(configs.size() - fresh_keys.size());
+          const std::uint64_t total = memo_hits.total() + memo_misses.total();
+          if (total > 0) {
+            hit_rate_gauge.set(static_cast<double>(memo_hits.total()) /
+                               static_cast<double>(total));
+          }
+        }
 
         std::vector<double> acc(fresh_keys.size(), 0.0);
         const auto eval_range = [&](std::size_t begin, std::size_t end) {
@@ -143,10 +167,14 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
                               config_seed(options.seed, fresh_keys[i]));
           }
         };
+        const std::uint64_t eval_t0 = traced ? telemetry::now_ns() : 0;
         if (options.parallel) {
           global_pool().parallel_for(fresh_keys.size(), eval_range);
         } else {
           eval_range(0, fresh_keys.size());
+        }
+        if (traced && !fresh_keys.empty()) {
+          eval_hist.record(telemetry::now_ns() - eval_t0);
         }
 
         for (std::size_t i = 0; i < fresh_keys.size(); ++i) {

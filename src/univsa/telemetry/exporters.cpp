@@ -1,0 +1,182 @@
+#include "univsa/telemetry/exporters.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace univsa::telemetry {
+
+namespace {
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0
+                      ? c
+                      : '_');
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Doubles rendered compactly but round-trippably enough for reports.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Snapshot snapshot(std::size_t max_spans) {
+  Snapshot out;
+  for (const auto& entry : MetricsRegistry::instance().entries()) {
+    switch (entry.kind) {
+      case MetricsRegistry::Entry::Kind::kCounter:
+        out.counters.emplace_back(
+            entry.name,
+            static_cast<const Counter*>(entry.metric)->total());
+        break;
+      case MetricsRegistry::Entry::Kind::kGauge:
+        out.gauges.emplace_back(
+            entry.name,
+            static_cast<const Gauge*>(entry.metric)->value());
+        break;
+      case MetricsRegistry::Entry::Kind::kHistogram: {
+        HistogramSnapshot h =
+            static_cast<const LatencyHistogram*>(entry.metric)
+                ->snapshot();
+        h.name = entry.name;
+        out.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  if (max_spans > 0) out.recent_spans = trace_recent(max_spans);
+  out.spans_pushed = trace_pushed();
+  out.build = build_info();
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "# TYPE univsa_build_info gauge\n"
+     << "univsa_build_info{git_sha=\"" << snapshot.build.git_sha
+     << "\",compiler=\"" << snapshot.build.compiler << "\",build_type=\""
+     << snapshot.build.build_type << "\",flags=\"" << snapshot.build.flags
+     << "\",pool_threads=\"" << snapshot.build.threads << "\"} 1\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = "univsa_" + sanitize(name);
+    os << "# TYPE " << n << " counter\n"
+       << n << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = "univsa_" + sanitize(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << fmt_double(value)
+       << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string n = "univsa_" + sanitize(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& bucket : h.buckets) {
+      cumulative += bucket.count;
+      os << n << "_bucket{le=\"" << bucket.upper << "\"} " << cumulative
+         << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << n << "_sum " << fmt_double(h.sum) << "\n"
+       << n << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"git_sha\": \"" << json_escape(snapshot.build.git_sha)
+     << "\",\n"
+     << "  \"compiler\": \"" << json_escape(snapshot.build.compiler)
+     << "\",\n"
+     << "  \"build_type\": \"" << json_escape(snapshot.build.build_type)
+     << "\",\n"
+     << "  \"build_flags\": \"" << json_escape(snapshot.build.flags)
+     << "\",\n"
+     << "  \"pool_threads\": " << snapshot.build.threads << ",\n"
+     << "  \"telemetry_compiled_in\": "
+     << (snapshot.build.telemetry_compiled_in ? "true" : "false")
+     << ",\n";
+
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(snapshot.counters[i].first)
+       << "\": " << snapshot.counters[i].second;
+  }
+  os << "},\n";
+
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(snapshot.gauges[i].first)
+       << "\": " << fmt_double(snapshot.gauges[i].second);
+  }
+  os << "},\n";
+
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    os << (i ? ",\n    " : "\n    ") << "\"" << json_escape(h.name)
+       << "\": {\"count\": " << h.count << ", \"sum\": "
+       << fmt_double(h.sum) << ", \"min\": " << h.min << ", \"max\": "
+       << h.max << ", \"mean\": " << fmt_double(h.mean())
+       << ", \"p50\": " << h.percentile(0.50) << ", \"p90\": "
+       << h.percentile(0.90) << ", \"p99\": " << h.percentile(0.99)
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "[" << h.buckets[b].upper << ", "
+         << h.buckets[b].count << "]";
+    }
+    os << "]}";
+  }
+  os << (snapshot.histograms.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"spans_pushed\": " << snapshot.spans_pushed << ",\n";
+  os << "  \"spans\": [";
+  for (std::size_t i = 0; i < snapshot.recent_spans.size(); ++i) {
+    const TraceEvent& e = snapshot.recent_spans[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \""
+       << json_escape(e.name.data()) << "\", \"start_ns\": " << e.start_ns
+       << ", \"duration_ns\": " << e.duration_ns << ", \"detail\": "
+       << e.detail << ", \"thread\": " << e.thread << ", \"depth\": "
+       << e.depth << "}";
+  }
+  os << (snapshot.recent_spans.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+bool write_json_file(const std::string& path, std::size_t max_spans) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(snapshot(max_spans));
+  return static_cast<bool>(out);
+}
+
+}  // namespace univsa::telemetry

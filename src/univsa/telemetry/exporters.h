@@ -1,0 +1,50 @@
+// Snapshot + exporters: one scrape API over the metrics registry, the
+// trace ring, and the build provenance, rendered as Prometheus text
+// exposition format or JSON.
+//
+// snapshot() merges every per-thread shard (exact totals; writers are
+// never stalled) and copies the most recent trace events. to_prometheus
+// / to_json are pure functions of the Snapshot so golden tests can pin
+// their output byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "univsa/telemetry/metrics.h"
+#include "univsa/telemetry/provenance.h"
+#include "univsa/telemetry/trace.h"
+
+namespace univsa::telemetry {
+
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<TraceEvent> recent_spans;
+  std::uint64_t spans_pushed = 0;  ///< total ever; > ring size once wrapped
+  BuildInfo build;
+};
+
+/// Scrapes the global registry + trace ring. `max_spans` caps the trace
+/// section (0 = omit spans entirely).
+Snapshot snapshot(std::size_t max_spans = 256);
+
+/// Prometheus text exposition format. Metric names are sanitized
+/// ([a-zA-Z0-9_] only) and prefixed "univsa_"; counters gain "_total",
+/// histograms emit cumulative "_bucket{le=...}" / "_sum" / "_count"
+/// series, and provenance becomes a "univsa_build_info{...} 1" gauge.
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// JSON document: provenance fields, counters/gauges as objects,
+/// histograms with count/sum/min/max/mean/p50/p90/p99 and non-empty
+/// [upper, count] buckets, plus the recent span list.
+std::string to_json(const Snapshot& snapshot);
+
+/// Convenience: snapshot() -> to_json -> `path`. Returns false (and
+/// leaves no partial file behind) when the file cannot be written.
+bool write_json_file(const std::string& path, std::size_t max_spans = 256);
+
+}  // namespace univsa::telemetry

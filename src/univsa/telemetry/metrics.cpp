@@ -1,0 +1,242 @@
+#include "univsa/telemetry/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace univsa::telemetry {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+bool env_enabled() {
+  const char* v = std::getenv("UNIVSA_TELEMETRY");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0);
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+std::size_t thread_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// --- LatencyHistogram ---------------------------------------------------
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t v) noexcept {
+  constexpr std::uint64_t kSubMask = (1u << kSubBits) - 1;
+  if (v < (1u << kSubBits)) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const std::uint64_t mant = (v >> (msb - kSubBits)) & kSubMask;
+  return (static_cast<std::size_t>(msb - kSubBits) << kSubBits) +
+         static_cast<std::size_t>(mant) + (1u << kSubBits);
+}
+
+std::uint64_t LatencyHistogram::bucket_floor(std::size_t b) noexcept {
+  if (b < (1u << kSubBits)) return b;
+  const std::size_t base = b - (1u << kSubBits);
+  const int msb = static_cast<int>(base >> kSubBits) + kSubBits;
+  const std::uint64_t mant = base & ((1u << kSubBits) - 1);
+  return (1ull << msb) + (mant << (msb - kSubBits));
+}
+
+std::uint64_t LatencyHistogram::bucket_ceil(std::size_t b) noexcept {
+  if (b + 1 >= kBuckets) return ~0ull;
+  return bucket_floor(b + 1) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) noexcept {
+  Shard& s = shards_[thread_index() & (kShards - 1)];
+  s.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !s.min.compare_exchange_weak(cur, value,
+                                      std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !s.max.compare_exchange_weak(cur, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot out;
+  std::uint64_t min = ~0ull;
+  std::array<std::uint64_t, kBuckets> merged{};
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum +=
+        static_cast<double>(s.sum.load(std::memory_order_relaxed));
+    min = std::min(min, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      merged[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.min = out.count == 0 ? 0 : min;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (merged[b] != 0) {
+      out.buckets.push_back({bucket_ceil(b), merged[b]});
+    }
+  }
+  return out;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(~0ull, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil) in merged order.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (const Bucket& b : buckets) {
+    seen += b.count;
+    if (seen >= rank) return std::min(b.upper, max);
+  }
+  return max;
+}
+
+// --- MetricsRegistry ----------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms;
+  // clear() parks the objects here so references cached by callers
+  // (function-local statics at instrumentation sites) never dangle.
+  std::vector<std::unique_ptr<Counter>> retired_counters;
+  std::vector<std::unique_ptr<Gauge>> retired_gauges;
+  std::vector<std::unique_ptr<LatencyHistogram>> retired_histograms;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms
+             .emplace(std::string(name),
+                      std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t MetricsRegistry::size() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return i.counters.size() + i.gauges.size() + i.histograms.size();
+}
+
+void MetricsRegistry::clear() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, c] : i.counters) {
+    c->reset();
+    i.retired_counters.push_back(std::move(c));
+  }
+  for (auto& [name, g] : i.gauges) {
+    g->set(0.0);
+    i.retired_gauges.push_back(std::move(g));
+  }
+  for (auto& [name, h] : i.histograms) {
+    h->reset();
+    i.retired_histograms.push_back(std::move(h));
+  }
+  i.counters.clear();
+  i.gauges.clear();
+  i.histograms.clear();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::entries() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::vector<Entry> out;
+  out.reserve(i.counters.size() + i.gauges.size() + i.histograms.size());
+  for (const auto& [name, c] : i.counters) {
+    out.push_back({name, Entry::Kind::kCounter, c.get()});
+  }
+  for (const auto& [name, g] : i.gauges) {
+    out.push_back({name, Entry::Kind::kGauge, g.get()});
+  }
+  for (const auto& [name, h] : i.histograms) {
+    out.push_back({name, Entry::Kind::kHistogram, h.get()});
+  }
+  return out;
+}
+
+}  // namespace univsa::telemetry

@@ -1,0 +1,231 @@
+// Lock-free metrics primitives + the global string-keyed registry.
+//
+// Hot-path contract: once a handle (Counter&, Gauge&, LatencyHistogram&)
+// has been resolved — registration takes the registry mutex exactly once
+// per name — every subsequent add/set/record is a relaxed atomic on a
+// per-thread shard and never takes a lock. Shards are merged on scrape
+// (snapshot()), so scrapes see exact totals without stalling writers.
+//
+// Units convention: histograms record raw std::uint64_t "units"; names
+// carry the unit as a suffix ("_ns", "_us", "_cycles", plain counts).
+// DESIGN.md §9 documents the sharding/merge design.
+//
+// Compile-time kill switch: building with -DUNIVSA_TELEMETRY_OFF (the
+// CMake option UNIVSA_TELEMETRY=OFF) turns the convenience accessors
+// below into dummy-object returns and the UNIVSA_SPAN macro into a
+// no-op, so instrumented code compiles away to nothing and the registry
+// stays empty. The class definitions always exist — per-instance stats
+// (e.g. runtime::ServerStats) keep working either way.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace univsa::telemetry {
+
+/// True when this translation unit sees telemetry compiled in.
+/// Internal linkage on purpose: a TU built with -DUNIVSA_TELEMETRY_OFF
+/// (or the whole build, via the UNIVSA_TELEMETRY=OFF CMake option) gets
+/// its own `false` without violating the one-definition rule.
+#if defined(UNIVSA_TELEMETRY_OFF)
+constexpr bool kCompiledIn = false;
+#else
+constexpr bool kCompiledIn = true;
+#endif
+
+/// One steady monotonic clock path for everything that times: spans,
+/// server latency, bench loops. Nanoseconds since an arbitrary epoch.
+std::uint64_t now_ns();
+
+/// Runtime enable flag (relaxed atomic). Initialized once from the
+/// UNIVSA_TELEMETRY environment variable ("0"/"off"/"OFF" disable);
+/// defaults to on. Compiled-off builds always report false.
+bool enabled();
+void set_enabled(bool on);
+
+/// Small dense per-thread shard id (sequential, assigned on first use).
+std::size_t thread_index();
+
+/// Monotonically increasing event counter, sharded per thread.
+/// Exact under any concurrency: shards never lose increments and
+/// total() sums them all.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[thread_index() & (kShards - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-writer-wins double value (set/add from any thread).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged view of one histogram at scrape time.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;  ///< smallest recorded value (0 when empty)
+  std::uint64_t max = 0;
+  double sum = 0.0;  ///< exact sum of recorded values
+
+  /// Non-empty buckets, ascending. `upper` is the bucket's inclusive
+  /// upper bound; `count` the raw (non-cumulative) occupancy.
+  struct Bucket {
+    std::uint64_t upper = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Quantile in [0, 1], resolved to the containing bucket's upper
+  /// bound (HDR-style ≤6.25% relative error at 3 sub-bucket bits).
+  std::uint64_t percentile(double q) const;
+};
+
+/// Fixed-size log-bucketed (HDR-style) histogram of std::uint64_t
+/// values: 8 linear sub-buckets per power of two, covering the full
+/// 64-bit range in 496 buckets with ≤12.5% bucket width. Per-thread
+/// sharded; record() is a handful of relaxed atomics, no locks.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;  ///< 2^3 sub-buckets per octave
+  static constexpr std::size_t kBuckets =
+      ((64 - kSubBits) << kSubBits) + (1u << kSubBits);  // 496
+  static constexpr std::size_t kShards = 8;
+
+  /// Bucket index for a value; exact for values < 2^kSubBits.
+  static std::size_t bucket_of(std::uint64_t v) noexcept;
+  /// Smallest value mapping to bucket `b`.
+  static std::uint64_t bucket_floor(std::size_t b) noexcept;
+  /// Largest value mapping to bucket `b` (inclusive).
+  static std::uint64_t bucket_ceil(std::size_t b) noexcept;
+
+  void record(std::uint64_t value) noexcept;
+  HistogramSnapshot snapshot() const;  ///< name left empty
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~0ull};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Resolve-or-register. Returned references are stable for the
+  /// process lifetime (including across clear(); see below). Callers on
+  /// hot paths resolve once and cache the reference.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  std::size_t size() const;  ///< registered metrics across all types
+
+  /// Test-only: zeroes every metric and forgets the names. Previously
+  /// returned references stay valid (objects are pooled, not freed) but
+  /// re-registering the same name yields a fresh object.
+  void clear();
+
+  struct Entry {
+    std::string name;
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    const void* metric;
+  };
+  /// Name-sorted view of everything registered (for snapshot()).
+  std::vector<Entry> entries() const;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// --- Convenience accessors (the instrumented-code entry points) --------
+//
+// `static` (internal linkage) so a TU compiled with UNIVSA_TELEMETRY_OFF
+// can legally see the dummy versions while the rest of the build sees
+// the registry-backed ones.
+
+#if defined(UNIVSA_TELEMETRY_OFF)
+[[maybe_unused]] static Counter& counter(std::string_view) {
+  static Counter dummy;
+  return dummy;
+}
+[[maybe_unused]] static Gauge& gauge(std::string_view) {
+  static Gauge dummy;
+  return dummy;
+}
+[[maybe_unused]] static LatencyHistogram& histogram(std::string_view) {
+  static LatencyHistogram dummy;
+  return dummy;
+}
+#else
+[[maybe_unused]] static Counter& counter(std::string_view name) {
+  return MetricsRegistry::instance().counter(name);
+}
+[[maybe_unused]] static Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+[[maybe_unused]] static LatencyHistogram& histogram(std::string_view name) {
+  return MetricsRegistry::instance().histogram(name);
+}
+#endif
+
+/// Sampling tick for per-sample instrumentation on hot loops: true on
+/// every `every`-th call from this thread while telemetry is enabled.
+/// Compiled-off builds fold to false (dead branch).
+[[maybe_unused]] static bool sample_tick(std::uint32_t every) noexcept {
+  if constexpr (!kCompiledIn) return false;
+  thread_local std::uint32_t tick = 0;
+  return (++tick % every) == 0 && enabled();
+}
+
+}  // namespace univsa::telemetry

@@ -1,0 +1,64 @@
+#include "univsa/telemetry/provenance.h"
+
+#include <sstream>
+
+#include "univsa/common/thread_pool.h"
+#include "univsa/telemetry/metrics.h"
+
+// Configure-time facts, injected by src/CMakeLists.txt onto this file
+// only. Fallbacks keep non-CMake builds compiling.
+#ifndef UNIVSA_GIT_SHA
+#define UNIVSA_GIT_SHA "unknown"
+#endif
+#ifndef UNIVSA_BUILD_TYPE
+#define UNIVSA_BUILD_TYPE "unknown"
+#endif
+#ifndef UNIVSA_BUILD_FLAGS
+#define UNIVSA_BUILD_FLAGS ""
+#endif
+
+namespace univsa::telemetry {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.git_sha = UNIVSA_GIT_SHA;
+  info.compiler = compiler_string();
+  info.build_type = UNIVSA_BUILD_TYPE;
+  info.flags = UNIVSA_BUILD_FLAGS;
+  info.threads = global_pool().thread_count();
+  info.telemetry_compiled_in = kCompiledIn;
+  return info;
+}
+
+std::string provenance_json_fields() {
+  const BuildInfo info = build_info();
+  std::ostringstream os;
+  os << "  \"git_sha\": \"" << info.git_sha << "\",\n"
+     << "  \"compiler\": \"" << info.compiler << "\",\n"
+     << "  \"build_type\": \"" << info.build_type << "\",\n"
+     << "  \"build_flags\": \"" << info.flags << "\",\n"
+     << "  \"pool_threads\": " << info.threads << ",\n"
+     << "  \"telemetry_compiled_in\": "
+     << (info.telemetry_compiled_in ? "true" : "false") << ",\n";
+  return os.str();
+}
+
+}  // namespace univsa::telemetry

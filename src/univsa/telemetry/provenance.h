@@ -1,0 +1,33 @@
+// Build/run provenance — the metadata stamped into every
+// telemetry::snapshot() and BENCH_*.json record so perf numbers can be
+// traced back to the exact build that produced them.
+//
+// Git SHA / build type / flags are baked in at configure time (CMake
+// passes them as compile definitions to provenance.cpp only, so a new
+// commit recompiles one file). Thread count is sampled at call time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace univsa::telemetry {
+
+struct BuildInfo {
+  std::string git_sha;     ///< short SHA at configure time ("unknown" outside git)
+  std::string compiler;    ///< compiler id + version
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string flags;       ///< distinguishing build options (sanitizer, native arch)
+  std::size_t threads = 0; ///< global pool width at call time
+  bool telemetry_compiled_in = true;
+};
+
+/// Current process provenance (thread count sampled per call).
+BuildInfo build_info();
+
+/// The same record as embeddable JSON fields (no surrounding braces),
+/// two-space indented — the shared helper every BENCH_*.json writer and
+/// the snapshot exporter use. Trailing comma included:
+///   "git_sha": "...",\n  "compiler": "...",\n ...
+std::string provenance_json_fields();
+
+}  // namespace univsa::telemetry

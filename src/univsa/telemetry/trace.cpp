@@ -1,0 +1,97 @@
+#include "univsa/telemetry/trace.h"
+
+#include <cstring>
+
+namespace univsa::telemetry {
+
+namespace {
+
+// Seqlock-stamped slot: writers bump `seq` to an odd value, copy the
+// payload, then publish the even sequence; readers retry on mismatch.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  TraceEvent event;
+};
+
+struct Ring {
+  std::array<Slot, kRingCapacity> slots;
+  std::atomic<std::uint64_t> head{0};  ///< total events ever pushed
+};
+
+Ring& ring() {
+  static Ring r;
+  return r;
+}
+
+thread_local std::uint16_t t_depth = 0;
+
+}  // namespace
+
+void trace_push(const TraceEvent& event) noexcept {
+  Ring& r = ring();
+  const std::uint64_t n = r.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = r.slots[n % kRingCapacity];
+  // Publish with an odd/even seqlock so readers can detect torn slots.
+  const std::uint64_t ticket = 2 * (n / kRingCapacity) + 1;
+  slot.seq.store(ticket, std::memory_order_release);
+  slot.event = event;
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> trace_recent(std::size_t max_events) {
+  Ring& r = ring();
+  const std::uint64_t head = r.head.load(std::memory_order_acquire);
+  const std::uint64_t available = std::min<std::uint64_t>(
+      head, std::min<std::uint64_t>(max_events, kRingCapacity));
+  std::vector<TraceEvent> out;
+  out.reserve(available);
+  for (std::uint64_t i = head - available; i < head; ++i) {
+    Slot& slot = r.slots[i % kRingCapacity];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // unwritten / torn
+    TraceEvent copy = slot.event;
+    const std::uint64_t after = slot.seq.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten mid-copy
+    out.push_back(copy);
+  }
+  return out;
+}
+
+std::uint64_t trace_pushed() {
+  return ring().head.load(std::memory_order_relaxed);
+}
+
+void trace_clear() {
+  Ring& r = ring();
+  r.head.store(0, std::memory_order_relaxed);
+  for (Slot& s : r.slots) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.event = TraceEvent{};
+  }
+}
+
+TraceSpan::TraceSpan(const char* name,
+                     LatencyHistogram* histogram) noexcept
+    : name_(name), histogram_(histogram) {
+  if (!enabled()) return;
+  active_ = true;
+  ++t_depth;
+  start_ = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::uint64_t duration = now_ns() - start_;
+  const std::uint16_t depth = --t_depth;
+  if (histogram_ != nullptr) histogram_->record(duration);
+  TraceEvent event;
+  std::strncpy(event.name.data(), name_, event.name.size() - 1);
+  event.start_ns = start_;
+  event.duration_ns = duration;
+  event.detail = detail_;
+  event.thread = static_cast<std::uint32_t>(thread_index());
+  event.depth = depth;
+  trace_push(event);
+}
+
+}  // namespace univsa::telemetry

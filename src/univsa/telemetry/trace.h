@@ -1,0 +1,98 @@
+// RAII trace spans over a bounded in-memory ring.
+//
+// A TraceSpan marks one timed stage (DVP, BiConv, a server batch, a
+// training epoch...). On destruction it records the duration into an
+// optional LatencyHistogram (resolved once by the caller — see the
+// UNIVSA_SPAN macro) and pushes a fixed-size TraceEvent into the global
+// ring. Spans nest: a thread-local depth counter tags each event with
+// its nesting level, so the exporter can reconstruct stage trees.
+//
+// The ring is wait-free for writers (one relaxed fetch_add + a seqlock
+// per slot); readers validate each slot's sequence stamp and drop
+// entries that were being overwritten mid-read. Old events are simply
+// overwritten — the ring holds the most recent kRingCapacity spans.
+//
+// Compiled-off builds (UNIVSA_TELEMETRY_OFF): the UNIVSA_SPAN macro
+// expands to nothing; TraceSpan itself stays defined but inert callers
+// should prefer the macro.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::telemetry {
+
+struct TraceEvent {
+  std::array<char, 32> name{};  ///< NUL-terminated, truncated
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Stage-specific payload (e.g. modelled hardware cycles for hwsim
+  /// spans, batch size for server dispatch spans). 0 when unused.
+  std::uint64_t detail = 0;
+  std::uint32_t thread = 0;  ///< telemetry::thread_index()
+  std::uint16_t depth = 0;   ///< nesting level at the time of the span
+};
+
+inline constexpr std::size_t kRingCapacity = 4096;
+
+/// Appends one event (wait-free; may overwrite the oldest entry).
+void trace_push(const TraceEvent& event) noexcept;
+
+/// Most recent events, oldest first. Capped at kRingCapacity; slots
+/// caught mid-overwrite are skipped.
+std::vector<TraceEvent> trace_recent(std::size_t max_events = kRingCapacity);
+
+/// Total events ever pushed (monotonic; exceeds kRingCapacity once the
+/// ring has wrapped).
+std::uint64_t trace_pushed();
+
+/// Test-only: empties the ring.
+void trace_clear();
+
+class TraceSpan {
+ public:
+  /// `name` must outlive the span (string literals at call sites).
+  /// Reads the clock only when telemetry is enabled.
+  explicit TraceSpan(const char* name,
+                     LatencyHistogram* histogram = nullptr) noexcept;
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a payload to the event (modelled cycles, batch size...).
+  void set_detail(std::uint64_t detail) noexcept { detail_ = detail; }
+  bool active() const noexcept { return active_; }
+
+ private:
+  const char* name_;
+  LatencyHistogram* histogram_;
+  std::uint64_t start_ = 0;
+  std::uint64_t detail_ = 0;
+  bool active_ = false;
+};
+
+// Instrumentation macro: resolves the span's histogram once (function-
+// local static — one registry lock for the lifetime of the process) and
+// opens an RAII span. `stage` must be a string literal; the histogram is
+// registered as "<stage>_ns". Use inside a block:
+//   { UNIVSA_SPAN("stage.dvp"); project_values_into(...); }
+#define UNIVSA_TELEMETRY_CONCAT_IMPL(a, b) a##b
+#define UNIVSA_TELEMETRY_CONCAT(a, b) UNIVSA_TELEMETRY_CONCAT_IMPL(a, b)
+#if defined(UNIVSA_TELEMETRY_OFF)
+#define UNIVSA_SPAN(stage) ((void)0)
+#else
+#define UNIVSA_SPAN(stage)                                              \
+  static ::univsa::telemetry::LatencyHistogram&                         \
+      UNIVSA_TELEMETRY_CONCAT(univsa_span_hist_, __LINE__) =            \
+          ::univsa::telemetry::histogram(stage "_ns");                  \
+  ::univsa::telemetry::TraceSpan UNIVSA_TELEMETRY_CONCAT(univsa_span_,  \
+                                                         __LINE__)(     \
+      stage, &UNIVSA_TELEMETRY_CONCAT(univsa_span_hist_, __LINE__))
+#endif
+
+}  // namespace univsa::telemetry

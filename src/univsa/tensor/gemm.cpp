@@ -6,6 +6,7 @@
 
 #include "univsa/common/contracts.h"
 #include "univsa/common/thread_pool.h"
+#include "univsa/telemetry/metrics.h"
 
 namespace univsa {
 
@@ -274,18 +275,38 @@ void gemm(GemmLayout layout, std::size_t m, std::size_t n, std::size_t k,
 
   const std::size_t flops = m * n * k;
   const bool parallel = flops >= kParallelFlopFloor;
-  if (flops >= kBlockedFlopFloor && k >= 4) {
-    gemm_blocked(layout, m, n, k, a, b, c, accumulate, parallel);
+  const auto dispatch = [&] {
+    if (flops >= kBlockedFlopFloor && k >= 4) {
+      gemm_blocked(layout, m, n, k, a, b, c, accumulate, parallel);
+      return;
+    }
+    const auto run = [&](std::size_t begin, std::size_t end) {
+      gemm_small_rows(layout, begin, end, m, n, k, a, b, c, accumulate);
+    };
+    if (parallel) {
+      global_pool().parallel_for(m, run);
+    } else {
+      run(0, m);
+    }
+  };
+
+  // gemm.ns_total lets the trainer attribute an epoch's wall time to the
+  // GEMM kernels (the counter delta across the epoch); the histogram
+  // shows the per-call size mix. Two clock reads per call — noise even
+  // for the smallest dispatched GEMMs.
+  if (telemetry::kCompiledIn && telemetry::enabled()) {
+    static telemetry::LatencyHistogram& hist =
+        telemetry::histogram("gemm.ns");
+    static telemetry::Counter& ns_total =
+        telemetry::counter("gemm.ns_total");
+    const std::uint64_t t0 = telemetry::now_ns();
+    dispatch();
+    const std::uint64_t dt = telemetry::now_ns() - t0;
+    hist.record(dt);
+    ns_total.add(dt);
     return;
   }
-  const auto run = [&](std::size_t begin, std::size_t end) {
-    gemm_small_rows(layout, begin, end, m, n, k, a, b, c, accumulate);
-  };
-  if (parallel) {
-    global_pool().parallel_for(m, run);
-  } else {
-    run(0, m);
-  }
+  dispatch();
 }
 
 }  // namespace univsa

@@ -6,6 +6,7 @@
 #include "univsa/common/contracts.h"
 #include "univsa/nn/loss.h"
 #include "univsa/nn/optimizer.h"
+#include "univsa/telemetry/metrics.h"
 #include "univsa/train/mask_selection.h"
 
 namespace univsa::train {
@@ -34,12 +35,29 @@ TrainedNetwork train_network(const vsa::ModelConfig& config,
   std::vector<int> batch_labels;
   LossResult loss;  // reused across steps — grad buffer allocates once
 
+  // Training telemetry: per-epoch / per-step wall-time histograms, the
+  // latest loss/accuracy as gauges, and the share of epoch wall time
+  // spent inside the GEMM kernels (from the gemm.ns_total counter delta
+  // across the epoch). All lock-free after this one-time resolve.
+  const bool traced = telemetry::kCompiledIn && telemetry::enabled();
+  telemetry::LatencyHistogram& epoch_hist =
+      telemetry::histogram("train.epoch_ns");
+  telemetry::LatencyHistogram& step_hist =
+      telemetry::histogram("train.step_ns");
+  telemetry::Gauge& loss_gauge = telemetry::gauge("train.loss");
+  telemetry::Gauge& accuracy_gauge = telemetry::gauge("train.accuracy");
+  telemetry::Gauge& gemm_share_gauge =
+      telemetry::gauge("train.gemm_time_share");
+  telemetry::Counter& gemm_ns_total = telemetry::counter("gemm.ns_total");
+
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     // Fresh shuffle per epoch.
     for (std::size_t i = order.size(); i > 1; --i) {
       std::swap(order[i - 1], order[rng.uniform_index(i)]);
     }
 
+    const std::uint64_t epoch_t0 = traced ? telemetry::now_ns() : 0;
+    const std::uint64_t gemm_ns0 = traced ? gemm_ns_total.total() : 0;
     double epoch_loss = 0.0;
     std::size_t correct = 0;
     std::size_t batches = 0;
@@ -54,12 +72,14 @@ TrainedNetwork train_network(const vsa::ModelConfig& config,
         batch_labels[b] = train_set.label(batch_indices[b]);
       }
 
+      const std::uint64_t step_t0 = traced ? telemetry::now_ns() : 0;
       optimizer.zero_grad();
       const Tensor& logits =
           result.network->forward(train_set, batch_indices);
       softmax_cross_entropy_into(logits, batch_labels, loss);
       result.network->backward(loss.grad_logits);
       optimizer.step();
+      if (traced) step_hist.record(telemetry::now_ns() - step_t0);
 
       epoch_loss += loss.loss;
       correct += loss.correct;
@@ -73,6 +93,17 @@ TrainedNetwork train_network(const vsa::ModelConfig& config,
     stats.train_accuracy = static_cast<double>(correct) /
                            static_cast<double>(train_set.size());
     result.history.push_back(stats);
+    if (traced) {
+      const std::uint64_t epoch_ns = telemetry::now_ns() - epoch_t0;
+      epoch_hist.record(epoch_ns);
+      loss_gauge.set(static_cast<double>(stats.loss));
+      accuracy_gauge.set(stats.train_accuracy);
+      if (epoch_ns > 0) {
+        gemm_share_gauge.set(
+            static_cast<double>(gemm_ns_total.total() - gemm_ns0) /
+            static_cast<double>(epoch_ns));
+      }
+    }
     if (options.verbose) {
       std::printf("  epoch %2zu  loss %.4f  train acc %.4f\n", epoch + 1,
                   static_cast<double>(stats.loss), stats.train_accuracy);

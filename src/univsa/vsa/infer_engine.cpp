@@ -2,8 +2,19 @@
 
 #include "univsa/common/contracts.h"
 #include "univsa/common/thread_pool.h"
+#include "univsa/telemetry/trace.h"
 
 namespace univsa::vsa {
+
+namespace {
+
+// One sample in every 64 runs the stage-traced pipeline, so the
+// per-stage latency histograms follow production traffic while the
+// batched hot path keeps its <1% telemetry budget (the traced variant
+// is bit-identical — it is the same four stage calls).
+constexpr std::uint32_t kStageSampleEvery = 64;
+
+}  // namespace
 
 InferEngine::InferEngine(const Model& model) : model_(&model) {
   model.config().validate();
@@ -34,7 +45,9 @@ void InferEngine::dispatch(
 
 const Prediction& InferEngine::predict(
     const std::vector<std::uint16_t>& values) {
-  model_->predict_into(values, scratches_[0]);
+  // Single-sample calls always take the stage-traced pipeline — the
+  // span cost is invisible next to a whole prediction.
+  model_->predict_into_traced(values, scratches_[0]);
   return scratches_[0].prediction;
 }
 
@@ -49,11 +62,16 @@ const BitVec& InferEngine::encode(const std::vector<std::uint16_t>& values) {
 void InferEngine::predict_batch(
     const std::vector<std::vector<std::uint16_t>>& samples,
     std::vector<Prediction>& out, bool parallel) {
+  UNIVSA_SPAN("engine.predict_batch");
   out.resize(samples.size());
   dispatch(samples.size(), parallel,
            [&](InferScratch& s, std::size_t begin, std::size_t end) {
              for (std::size_t i = begin; i < end; ++i) {
-               model_->predict_into(samples[i], s);
+               if (telemetry::sample_tick(kStageSampleEvery)) {
+                 model_->predict_into_traced(samples[i], s);
+               } else {
+                 model_->predict_into(samples[i], s);
+               }
                out[i] = s.prediction;
              }
            });
@@ -64,11 +82,16 @@ void InferEngine::predict_batch(const data::Dataset& dataset,
   const ModelConfig& c = model_->config();
   UNIVSA_REQUIRE(dataset.windows() == c.W && dataset.length() == c.L,
                  "dataset geometry mismatch");
+  UNIVSA_SPAN("engine.predict_batch");
   out.resize(dataset.size());
   dispatch(dataset.size(), parallel,
            [&](InferScratch& s, std::size_t begin, std::size_t end) {
              for (std::size_t i = begin; i < end; ++i) {
-               model_->predict_into(dataset.values(i), s);
+               if (telemetry::sample_tick(kStageSampleEvery)) {
+                 model_->predict_into_traced(dataset.values(i), s);
+               } else {
+                 model_->predict_into(dataset.values(i), s);
+               }
                out[i] = s.prediction;
              }
            });
@@ -94,12 +117,17 @@ double InferEngine::accuracy(const data::Dataset& dataset, bool parallel) {
   const ModelConfig& c = model_->config();
   UNIVSA_REQUIRE(dataset.windows() == c.W && dataset.length() == c.L,
                  "dataset geometry mismatch");
+  UNIVSA_SPAN("engine.accuracy");
   std::atomic<std::size_t> correct{0};
   dispatch(dataset.size(), parallel,
            [&](InferScratch& s, std::size_t begin, std::size_t end) {
              std::size_t local = 0;
              for (std::size_t i = begin; i < end; ++i) {
-               model_->predict_into(dataset.values(i), s);
+               if (telemetry::sample_tick(kStageSampleEvery)) {
+                 model_->predict_into_traced(dataset.values(i), s);
+               } else {
+                 model_->predict_into(dataset.values(i), s);
+               }
                if (s.prediction.label == dataset.label(i)) ++local;
              }
              correct.fetch_add(local);

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "univsa/common/contracts.h"
+#include "univsa/telemetry/trace.h"
 #include "univsa/vsa/infer_engine.h"
 
 namespace univsa::vsa {
@@ -513,6 +514,26 @@ void Model::predict_into(const std::vector<std::uint16_t>& values,
   similarity_into(scratch.sample, scratch.prediction);
 }
 
+void Model::predict_into_traced(const std::vector<std::uint16_t>& values,
+                                InferScratch& scratch) const {
+  {
+    UNIVSA_SPAN("stage.dvp");
+    project_values_into(values, scratch.volume);
+  }
+  {
+    UNIVSA_SPAN("stage.biconv");
+    convolve_into(scratch.volume, scratch);
+  }
+  {
+    UNIVSA_SPAN("stage.encoding");
+    encode_into(scratch);
+  }
+  {
+    UNIVSA_SPAN("stage.similarity");
+    similarity_into(scratch.sample, scratch.prediction);
+  }
+}
+
 BitVec Model::encode(const std::vector<std::uint16_t>& values) const {
   InferScratch s(config_);
   project_values_into(values, s.volume);
@@ -529,17 +550,30 @@ Prediction Model::predict(const std::vector<std::uint16_t>& values) const {
 
 Prediction Model::predict_reference(
     const std::vector<std::uint16_t>& values) const {
-  const auto raw = convolve_raw(project_values(values));
-  std::vector<BitVec> conv;
-  conv.reserve(config_.O);
-  for (const auto& channel : raw) {
-    BitVec u(channel.size());
-    for (std::size_t j = 0; j < channel.size(); ++j) {
-      u.set(j, channel[j] >= 0 ? 1 : -1);
-    }
-    conv.push_back(std::move(u));
+  std::vector<PackedValue> volume;
+  {
+    UNIVSA_SPAN("reference.dvp");
+    volume = project_values(values);
   }
-  const BitVec s = encode_channels(conv);
+  std::vector<BitVec> conv;
+  {
+    UNIVSA_SPAN("reference.biconv");
+    const auto raw = convolve_raw(volume);
+    conv.reserve(config_.O);
+    for (const auto& channel : raw) {
+      BitVec u(channel.size());
+      for (std::size_t j = 0; j < channel.size(); ++j) {
+        u.set(j, channel[j] >= 0 ? 1 : -1);
+      }
+      conv.push_back(std::move(u));
+    }
+  }
+  BitVec s;
+  {
+    UNIVSA_SPAN("reference.encoding");
+    s = encode_channels(conv);
+  }
+  UNIVSA_SPAN("reference.similarity");
   Prediction pred;
   pred.scores.assign(config_.C, 0);
   for (std::size_t theta = 0; theta < config_.Theta; ++theta) {

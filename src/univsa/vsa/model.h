@@ -178,6 +178,14 @@ class Model {
   void predict_into(const std::vector<std::uint16_t>& values,
                     InferScratch& scratch) const;
 
+  /// predict_into with a telemetry TraceSpan around each stage
+  /// ("stage.dvp" / "stage.biconv" / "stage.encoding" /
+  /// "stage.similarity"). Bit-identical outputs; the engine samples this
+  /// variant on its batched hot path (telemetry::sample_tick) so the
+  /// per-stage latency histograms track production traffic at <1% cost.
+  void predict_into_traced(const std::vector<std::uint16_t>& values,
+                           InferScratch& scratch) const;
+
   /// Full pipeline through the original per-sample scalar stages
   /// (convolve_raw + BitSlicedAccumulator encode + per-class dots). Kept
   /// as the reference path for the hot-path property tests and as the

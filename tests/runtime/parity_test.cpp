@@ -48,6 +48,13 @@ TEST(VerifyParityTest, AllBuiltinsBitIdenticalOnSmallConfig) {
   EXPECT_EQ(report.samples, 20u);
   EXPECT_EQ(report.compared, 40u);  // 2 non-baseline backends × 20
   EXPECT_NE(report.summary().find("bit-identical"), std::string::npos);
+
+  // Per-backend wall time rides along: one positive entry per backend,
+  // surfaced in the summary.
+  ASSERT_EQ(report.backend_seconds.size(), 3u);
+  for (const double s : report.backend_seconds) EXPECT_GT(s, 0.0);
+  EXPECT_NE(report.summary().find("reference: "), std::string::npos);
+  EXPECT_NE(report.summary().find(" ms"), std::string::npos);
 }
 
 TEST(VerifyParityTest, IsoletShapedConfigStaysBitIdentical) {

@@ -206,6 +206,18 @@ TEST_F(ServerTest, ConcurrentSubmittersGetTheirOwnResults) {
     EXPECT_EQ(stats.submitted, samples.size());
     EXPECT_GE(stats.batches, 1u);
     EXPECT_LE(stats.max_batch_observed, options.max_batch);
+
+    // Histogram-backed stats agree with the scalar counters: one batch-
+    // size sample per dispatch, one wait/latency sample per request.
+    EXPECT_EQ(stats.queue_depth, 0u);  // everything drained
+    EXPECT_EQ(stats.batch_sizes.count, stats.batches);
+    EXPECT_EQ(stats.queue_wait_ns.count, stats.submitted);
+    EXPECT_EQ(stats.latency_ns.count, stats.submitted);
+    EXPECT_EQ(stats.service_ns.count, stats.batches);
+    EXPECT_EQ(stats.batch_sizes.max, stats.max_batch_observed);
+    EXPECT_GT(stats.latency_ns.percentile(0.99), 0u);
+    // End-to-end latency dominates queue wait for every request.
+    EXPECT_GE(stats.latency_ns.sum, stats.queue_wait_ns.sum);
   }
 }
 

@@ -1,0 +1,178 @@
+// Exporter golden tests: to_prometheus / to_json are pure functions of
+// a Snapshot, so a hand-built snapshot pins their output byte-for-byte.
+// A second group scrapes the real registry and parse-checks the
+// Prometheus invariants (cumulative buckets, _count consistency).
+#include "univsa/telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace univsa::telemetry {
+namespace {
+
+Snapshot golden_snapshot() {
+  Snapshot s;
+  s.build.git_sha = "abc123def456";
+  s.build.compiler = "testcc 1.0";
+  s.build.build_type = "Release";
+  s.build.flags = "sanitize=off";
+  s.build.threads = 4;
+  s.build.telemetry_compiled_in = true;
+  s.counters.emplace_back("server.requests", 42);
+  s.gauges.emplace_back("queue_depth", 3.5);
+  HistogramSnapshot h;
+  h.name = "lat_ns";
+  h.count = 3;
+  h.min = 2;
+  h.max = 4;
+  h.sum = 9.0;
+  h.buckets.push_back({2, 1});
+  h.buckets.push_back({4, 2});
+  s.histograms.push_back(h);
+  s.spans_pushed = 7;
+  return s;
+}
+
+TEST(ExporterGolden, PrometheusTextFormat) {
+  const std::string expected =
+      "# TYPE univsa_build_info gauge\n"
+      "univsa_build_info{git_sha=\"abc123def456\",compiler=\"testcc 1.0\","
+      "build_type=\"Release\",flags=\"sanitize=off\",pool_threads=\"4\"}"
+      " 1\n"
+      "# TYPE univsa_server_requests counter\n"
+      "univsa_server_requests_total 42\n"
+      "# TYPE univsa_queue_depth gauge\n"
+      "univsa_queue_depth 3.5\n"
+      "# TYPE univsa_lat_ns histogram\n"
+      "univsa_lat_ns_bucket{le=\"2\"} 1\n"
+      "univsa_lat_ns_bucket{le=\"4\"} 3\n"
+      "univsa_lat_ns_bucket{le=\"+Inf\"} 3\n"
+      "univsa_lat_ns_sum 9\n"
+      "univsa_lat_ns_count 3\n";
+  EXPECT_EQ(to_prometheus(golden_snapshot()), expected);
+}
+
+TEST(ExporterGolden, JsonFormat) {
+  const std::string expected =
+      "{\n"
+      "  \"git_sha\": \"abc123def456\",\n"
+      "  \"compiler\": \"testcc 1.0\",\n"
+      "  \"build_type\": \"Release\",\n"
+      "  \"build_flags\": \"sanitize=off\",\n"
+      "  \"pool_threads\": 4,\n"
+      "  \"telemetry_compiled_in\": true,\n"
+      "  \"counters\": {\"server.requests\": 42},\n"
+      "  \"gauges\": {\"queue_depth\": 3.5},\n"
+      "  \"histograms\": {\n"
+      "    \"lat_ns\": {\"count\": 3, \"sum\": 9, \"min\": 2, \"max\": 4,"
+      " \"mean\": 3, \"p50\": 4, \"p90\": 4, \"p99\": 4,"
+      " \"buckets\": [[2, 1], [4, 2]]}\n"
+      "  },\n"
+      "  \"spans_pushed\": 7,\n"
+      "  \"spans\": []\n"
+      "}\n";
+  EXPECT_EQ(to_json(golden_snapshot()), expected);
+}
+
+TEST(ExporterGolden, JsonEscapesSpecialCharacters) {
+  Snapshot s;
+  s.build.git_sha = "a\"b\\c";
+  const std::string json = to_json(s);
+  EXPECT_NE(json.find("\"git_sha\": \"a\\\"b\\\\c\""), std::string::npos);
+}
+
+class ExporterRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Live-registry round trips need the compiled-in accessors; the
+    // pure-function golden tests above run in every build flavor.
+    if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+    set_enabled(true);
+    MetricsRegistry::instance().clear();
+    trace_clear();
+  }
+};
+
+TEST_F(ExporterRegistryTest, PrometheusBucketsAreCumulativeAndConsistent) {
+  LatencyHistogram& hist = histogram("exporter.probe_ns");
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v * 7);
+  counter("exporter.events").add(12);
+
+  const std::string text = to_prometheus(snapshot(0));
+  EXPECT_NE(text.find("univsa_exporter_events_total 12"),
+            std::string::npos);
+
+  // Parse every exporter.probe bucket line; the series must be
+  // non-decreasing, end at +Inf == _count, and le bounds must ascend.
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t prev_cum = 0;
+  std::uint64_t prev_le = 0;
+  std::uint64_t inf_value = 0;
+  std::size_t bucket_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("univsa_exporter_probe_ns_bucket{le=", 0) != 0) continue;
+    ++bucket_lines;
+    const std::size_t q1 = line.find('"');
+    const std::size_t q2 = line.find('"', q1 + 1);
+    const std::string le = line.substr(q1 + 1, q2 - q1 - 1);
+    const std::uint64_t cum =
+        std::stoull(line.substr(line.find("} ") + 2));
+    EXPECT_GE(cum, prev_cum) << line;
+    prev_cum = cum;
+    if (le == "+Inf") {
+      inf_value = cum;
+    } else {
+      const std::uint64_t bound = std::stoull(le);
+      EXPECT_GT(bound, prev_le) << line;
+      prev_le = bound;
+    }
+  }
+  EXPECT_GT(bucket_lines, 2u);
+  EXPECT_EQ(inf_value, 1000u);
+  EXPECT_NE(text.find("univsa_exporter_probe_ns_count 1000"),
+            std::string::npos);
+}
+
+TEST_F(ExporterRegistryTest, SnapshotCarriesSpansAndProvenance) {
+  {
+    UNIVSA_SPAN("exporter.stage");
+  }
+  const Snapshot s = snapshot();
+  EXPECT_EQ(s.spans_pushed, 1u);
+  ASSERT_EQ(s.recent_spans.size(), 1u);
+  EXPECT_STREQ(s.recent_spans[0].name.data(), "exporter.stage");
+  EXPECT_FALSE(s.build.compiler.empty());
+  EXPECT_TRUE(s.build.telemetry_compiled_in);
+  // The span macro's histogram shows up in the scrape.
+  bool found = false;
+  for (const auto& h : s.histograms) {
+    if (h.name == "exporter.stage_ns") found = h.count == 1;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ExporterRegistryTest, WriteJsonFileRoundTrips) {
+  counter("exporter.file_probe").add(5);
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/univsa_metrics_test.json";
+  ASSERT_TRUE(write_json_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"exporter.file_probe\": 5"),
+            std::string::npos);
+  EXPECT_NE(buffer.str().find("\"git_sha\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace univsa::telemetry

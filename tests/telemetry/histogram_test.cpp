@@ -1,0 +1,116 @@
+// LatencyHistogram bucket math and single-thread recording semantics.
+// (Concurrency exactness lives in telemetry/metrics_test.cpp.)
+#include "univsa/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace univsa::telemetry {
+namespace {
+
+using H = LatencyHistogram;
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  // Values below 2^kSubBits get one bucket each: no quantization at all.
+  for (std::uint64_t v = 0; v < (1u << H::kSubBits); ++v) {
+    const std::size_t b = H::bucket_of(v);
+    EXPECT_EQ(b, v);
+    EXPECT_EQ(H::bucket_floor(b), v);
+    EXPECT_EQ(H::bucket_ceil(b), v);
+  }
+}
+
+TEST(HistogramBuckets, FloorAndCeilBracketEveryValue) {
+  const std::uint64_t probes[] = {
+      8,      9,      15,     16,    17,    100,   1000,
+      1023,   1024,   1025,   4095,  4096,  65535, 1ull << 20,
+      (1ull << 20) + 1,        (1ull << 32) - 1,   1ull << 32,
+      (1ull << 63) - 1,        1ull << 63,
+      std::numeric_limits<std::uint64_t>::max() - 1,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : probes) {
+    const std::size_t b = H::bucket_of(v);
+    ASSERT_LT(b, H::kBuckets) << v;
+    EXPECT_LE(H::bucket_floor(b), v) << v;
+    EXPECT_GE(H::bucket_ceil(b), v) << v;
+  }
+}
+
+TEST(HistogramBuckets, PowersOfTwoStartFreshBuckets) {
+  for (int p = H::kSubBits; p < 64; ++p) {
+    const std::uint64_t v = 1ull << p;
+    const std::size_t b = H::bucket_of(v);
+    EXPECT_EQ(H::bucket_floor(b), v) << "p=" << p;
+    EXPECT_NE(b, H::bucket_of(v - 1)) << "p=" << p;
+  }
+}
+
+TEST(HistogramBuckets, MonotonicAndBounded) {
+  // bucket_of never decreases, and relative bucket width stays <= 1/8
+  // past the exact range (8 linear sub-buckets per octave).
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    const std::size_t b = H::bucket_of(v);
+    ASSERT_GE(b, prev) << v;
+    prev = b;
+    if (v >= (1u << H::kSubBits)) {
+      const double width = static_cast<double>(H::bucket_ceil(b) -
+                                               H::bucket_floor(b) + 1);
+      EXPECT_LE(width / static_cast<double>(H::bucket_floor(b)), 0.125 + 1e-9)
+          << v;
+    }
+  }
+  EXPECT_EQ(H::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            H::kBuckets - 1);
+  EXPECT_EQ(H::bucket_ceil(H::kBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramRecord, ExactScalarsAndBucketedPercentiles) {
+  H hist;
+  for (std::uint64_t v = 1; v <= 100; ++v) hist.record(v);
+  const HistogramSnapshot s = hist.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Percentiles resolve to a bucket upper bound >= the true rank value
+  // and within the HDR error bound (<=12.5% bucket width).
+  const std::uint64_t p50 = s.percentile(0.50);
+  EXPECT_GE(p50, 50u);
+  EXPECT_LE(p50, 56u);
+  EXPECT_EQ(s.percentile(0.0), s.buckets.front().upper);
+  EXPECT_EQ(s.percentile(1.0), 100u);  // clamped to observed max
+}
+
+TEST(HistogramRecord, EmptyAndReset) {
+  H hist;
+  EXPECT_EQ(hist.snapshot().count, 0u);
+  EXPECT_EQ(hist.snapshot().min, 0u);
+  EXPECT_EQ(hist.snapshot().percentile(0.99), 0u);
+  hist.record(7);
+  hist.record(9);
+  hist.reset();
+  const HistogramSnapshot s = hist.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_TRUE(s.buckets.empty());
+}
+
+TEST(HistogramRecord, ExtremeValues) {
+  H hist;
+  hist.record(0);
+  hist.record(std::numeric_limits<std::uint64_t>::max());
+  const HistogramSnapshot s = hist.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(s.buckets.size(), 2u);
+  EXPECT_EQ(s.percentile(1.0), std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace univsa::telemetry

@@ -1,0 +1,52 @@
+// Guard test for the compile-time kill switch: this TU defines
+// UNIVSA_TELEMETRY_OFF before including the telemetry headers — exactly
+// what every TU sees under cmake -DUNIVSA_TELEMETRY=OFF — and proves
+// the instrumentation entry points degrade to no-ops: the span macro
+// expands to nothing, accessors hand back dummies, and the global
+// registry (linked from the normally-built library) stays empty.
+#define UNIVSA_TELEMETRY_OFF 1
+
+#include "univsa/telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace univsa::telemetry {
+namespace {
+
+TEST(TelemetryNoop, CompileFlagIsVisible) {
+  EXPECT_FALSE(kCompiledIn);
+}
+
+TEST(TelemetryNoop, SpanMacroIsErased) {
+  const std::uint64_t before = trace_pushed();
+  for (int i = 0; i < 100; ++i) {
+    UNIVSA_SPAN("noop.stage");
+  }
+  EXPECT_EQ(trace_pushed(), before);
+  EXPECT_EQ(MetricsRegistry::instance().size(), 0u);
+}
+
+TEST(TelemetryNoop, AccessorsReturnDummiesWithoutRegistering) {
+  Counter& c = counter("noop.counter");
+  Gauge& g = gauge("noop.gauge");
+  LatencyHistogram& h = histogram("noop.histogram");
+  c.add(7);
+  g.set(1.5);
+  h.record(100);
+  // The dummies work as objects (per-instance use stays valid even in
+  // disabled builds)...
+  EXPECT_EQ(c.total(), 7u);
+  // ...but nothing touched the global registry.
+  EXPECT_EQ(MetricsRegistry::instance().size(), 0u);
+  // Same-name lookups resolve to the same TU-local dummy.
+  EXPECT_EQ(&c, &counter("some.other.name"));
+}
+
+TEST(TelemetryNoop, SampleTickNeverFires) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(sample_tick(1));
+  }
+}
+
+}  // namespace
+}  // namespace univsa::telemetry

@@ -8,6 +8,7 @@
 //   univsa_cli adapt    --model har.uvsa --data new.csv --out adapted.uvsa
 //   univsa_cli export-c   --model har.uvsa --dir out/
 //   univsa_cli export-rtl --model har.uvsa --dir out/
+//   univsa_cli stats    --model har.uvsa --data test.csv [--format json]
 //   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
 //
 // Every command also accepts `--threads N` to size the global thread
@@ -16,6 +17,13 @@
 // univsa/runtime/registry.h); `parity` cross-checks every registered
 // backend against the reference pipeline and exits non-zero on any
 // bit-level divergence.
+//
+// Telemetry: `eval`, `train`, `parity`, and `stats` accept
+// `--metrics-json PATH` to dump the full telemetry snapshot (counters,
+// gauges, latency histograms, recent spans, build provenance) as JSON
+// after the command finishes. `stats` drives the micro-batching server
+// over the dataset and prints the scrape — Prometheus text exposition
+// by default, `--format json` for the JSON document.
 //
 // CSVs are `label,f0,f1,...` rows of already-discretized levels, as
 // written by `datagen` (see data/csv_io.h for raw-float import).
@@ -35,6 +43,8 @@
 #include "univsa/report/metrics.h"
 #include "univsa/runtime/parity.h"
 #include "univsa/runtime/registry.h"
+#include "univsa/runtime/server.h"
+#include "univsa/telemetry/telemetry.h"
 #include "univsa/train/online_retrainer.h"
 #include "univsa/train/univsa_trainer.h"
 #include "univsa/vsa/memory_model.h"
@@ -82,6 +92,51 @@ Flags parse_flags(int argc, char** argv, int first) {
   return flags;
 }
 
+/// Honors `--metrics-json PATH`: dumps the full telemetry snapshot after
+/// the command's work is done. No-op when the flag is absent.
+void maybe_write_metrics(const Flags& flags) {
+  const std::string path = flags.get("metrics-json", "");
+  if (path.empty()) return;
+  if (telemetry::write_json_file(path)) {
+    std::printf("telemetry snapshot -> %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write telemetry snapshot to %s\n",
+                 path.c_str());
+  }
+}
+
+/// Per-stage span summary from the registry: every histogram under the
+/// pipeline-stage prefixes, one line each with count / mean / p50 / p99.
+void print_stage_summary() {
+  const telemetry::Snapshot snap = telemetry::snapshot(0);
+  const char* prefixes[] = {"stage.", "reference.", "engine.", "hwsim."};
+  bool any = false;
+  for (const auto& h : snap.histograms) {
+    bool match = false;
+    for (const char* p : prefixes) {
+      if (h.name.rfind(p, 0) == 0) { match = true; break; }
+    }
+    if (!match || h.count == 0) continue;
+    if (!any) {
+      std::printf("per-stage spans (sampled):\n");
+      any = true;
+    }
+    // Nanosecond histograms print in microseconds; everything else
+    // (e.g. hwsim *_cycles) keeps its native unit.
+    const bool is_ns = h.name.size() >= 3 &&
+                       h.name.compare(h.name.size() - 3, 3, "_ns") == 0;
+    const double scale = is_ns ? 1e-3 : 1.0;
+    const char* unit = is_ns ? "us" : "  ";
+    std::printf("  %-24s %8llu samples  mean %9.2f %s  p50 %8.2f %s  "
+                "p99 %8.2f %s\n",
+                h.name.c_str(),
+                static_cast<unsigned long long>(h.count), h.mean() * scale,
+                unit, static_cast<double>(h.percentile(0.50)) * scale,
+                unit, static_cast<double>(h.percentile(0.99)) * scale,
+                unit);
+  }
+}
+
 int cmd_datagen(const Flags& flags) {
   const auto& bench = data::find_benchmark(flags.require("benchmark"));
   data::SyntheticSpec spec = bench.spec;
@@ -118,6 +173,7 @@ int cmd_train(const Flags& flags) {
               result.model.accuracy(train_set),
               vsa::memory_kb(bench.config),
               flags.require("out").c_str());
+  maybe_write_metrics(flags);
   return 0;
 }
 
@@ -140,6 +196,7 @@ int cmd_eval(const Flags& flags) {
               cm.accuracy(), cm.macro_f1(), cm.total(),
               backend->name().c_str(), global_pool().thread_count());
   std::fputs(cm.to_string().c_str(), stdout);
+  maybe_write_metrics(flags);
   return 0;
 }
 
@@ -152,7 +209,54 @@ int cmd_parity(const Flags& flags) {
       runtime::verify_parity(model, data_set);
   std::fputs(report.summary().c_str(), stdout);
   std::fputc('\n', stdout);
+  print_stage_summary();
+  maybe_write_metrics(flags);
   return report.ok() ? 0 : 1;
+}
+
+/// Drives the micro-batching server over a dataset and prints the
+/// telemetry scrape (server latency histograms included).
+int cmd_stats(const Flags& flags) {
+  const vsa::Model model =
+      vsa::ModelIo::load_file(flags.require("model"));
+  const data::Dataset data_set =
+      load_for(model.config(), flags.require("data"));
+
+  runtime::ServerOptions options;
+  options.backend = flags.get("backend", runtime::default_backend());
+  options.workers = flags.get_size("workers", 2);
+  options.max_batch = flags.get_size("max-batch", 32);
+  {
+    runtime::Server server(model, options);
+    std::vector<std::future<vsa::Prediction>> futures;
+    futures.reserve(data_set.size());
+    for (std::size_t i = 0; i < data_set.size(); ++i) {
+      futures.push_back(server.submit(data_set.values(i)));
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data_set.size(); ++i) {
+      if (futures[i].get().label == data_set.label(i)) ++correct;
+    }
+    const runtime::ServerStats stats = server.stats();
+    std::fprintf(stderr,
+                 "served %llu requests in %llu batches (mean batch %.1f, "
+                 "accuracy %.4f, backend %s)\n",
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.batches),
+                 stats.mean_batch(),
+                 static_cast<double>(correct) /
+                     static_cast<double>(data_set.size()),
+                 options.backend.c_str());
+  }  // server drains + joins before the scrape
+
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  if (flags.get("format", "prometheus") == "json") {
+    std::fputs(telemetry::to_json(snap).c_str(), stdout);
+  } else {
+    std::fputs(telemetry::to_prometheus(snap).c_str(), stdout);
+  }
+  maybe_write_metrics(flags);
+  return 0;
 }
 
 int cmd_info(const Flags& flags) {
@@ -296,7 +400,7 @@ int cmd_selftest() {
 void usage() {
   std::fputs(
       "usage: univsa_cli <datagen|train|eval|parity|info|adapt|"
-      "export-c|export-rtl|selftest> [--flag value ...]\n",
+      "export-c|export-rtl|stats|selftest> [--flag value ...]\n",
       stderr);
 }
 
@@ -319,6 +423,7 @@ int main(int argc, char** argv) {
     if (cmd == "adapt") return cmd_adapt(flags);
     if (cmd == "export-c") return cmd_export_c(flags);
     if (cmd == "export-rtl") return cmd_export_rtl(flags);
+    if (cmd == "stats") return cmd_stats(flags);
     if (cmd == "selftest") return cmd_selftest();
     usage();
     return 2;
