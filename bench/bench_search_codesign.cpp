@@ -9,6 +9,7 @@
 #include "bench_common.h"
 #include "univsa/report/table.h"
 #include "univsa/search/evolutionary.h"
+#include "univsa/telemetry/telemetry.h"
 #include "univsa/train/univsa_trainer.h"
 #include "univsa/vsa/memory_model.h"
 
@@ -87,5 +88,10 @@ int main(int argc, char** argv) {
       "\nShape check: the penalty steers the search away from oversized "
       "O/D_H configurations while retaining accuracy — the mechanism "
       "that produced Table I's compact configs.");
+  // The search.* metrics only exist once a search has run; this snapshot
+  // is what the docs-check CI job scrapes to verify docs/METRICS.md.
+  if (telemetry::write_json_file("metrics_search.json")) {
+    std::puts("Wrote metrics_search.json");
+  }
   return 0;
 }

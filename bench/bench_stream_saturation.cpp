@@ -13,6 +13,14 @@
 // plus the micro-batching runtime::Server front-end driven by concurrent
 // submitters. Throughputs are recorded in BENCH_stream.json for the perf
 // trajectory.
+//
+// A third section exercises the robustness layer under deliberate
+// overload (small queue, slowdown-only fault plan, low-priority flood +
+// high-priority deadline stream) and records overload_shed_rate and
+// overload_high_p99_ms alongside the throughputs.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -154,6 +162,115 @@ int main(int argc, char** argv) {
     server_mean_batch = server.stats().mean_batch();
   }
 
+  // ---- Overload behaviour: the robustness layer under pressure ----
+  //
+  // A deliberately small queue, a slowdown-only fault plan degrading the
+  // backends, low-priority flood threads pushing the queue past its shed
+  // watermark, and a high-priority deadline stream riding through. The
+  // two numbers that matter for the perf trajectory: what fraction of
+  // the flood was shed (availability protection engaged) and the p99
+  // client-observed latency of the high-priority stream while it was.
+  double overload_shed_rate = 0.0;
+  double overload_high_p99_ms = 0.0;
+  std::uint64_t overload_shed = 0;
+  std::size_t overload_high_completed = 0;
+  std::size_t overload_high_total = args.fast ? 60 : 200;
+  {
+    runtime::FaultSpec slow;
+    slow.seed = 7;
+    slow.slowdown_rate = 0.25;
+    slow.slowdown_us = 500;
+    runtime::ServerOptions options;
+    options.backend = args.backend;
+    options.workers = 2;
+    options.max_batch = 16;
+    options.max_delay_us = 50;
+    options.queue_capacity = 32;  // watermark derives to 24
+    options.fault_plan = std::make_shared<runtime::FaultPlan>(slow);
+    runtime::Server server(model, options);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> flood_attempts{0};
+    std::vector<std::thread> flood;
+    for (std::size_t t = 0; t < 2; ++t) {
+      flood.emplace_back([&] {
+        runtime::SubmitOptions low;
+        low.priority = runtime::Priority::kLow;
+        std::vector<std::future<vsa::Prediction>> futures;
+        std::size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::future<vsa::Prediction> f;
+          if (server.try_submit(samples[i % n_samples], low, &f) ==
+              runtime::SubmitStatus::kOk) {
+            futures.push_back(std::move(f));
+          } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          flood_attempts.fetch_add(1, std::memory_order_relaxed);
+          ++i;
+        }
+        for (auto& f : futures) {
+          try {
+            f.get();
+          } catch (const std::exception&) {
+            // evicted for a higher class — expected under overload
+          }
+        }
+      });
+    }
+
+    runtime::SubmitOptions high;
+    high.priority = runtime::Priority::kHigh;
+    high.deadline_us = 250000;
+    std::vector<double> high_latency_ms;
+    high_latency_ms.reserve(overload_high_total);
+    for (std::size_t i = 0; i < overload_high_total; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        server.submit(samples[i % n_samples], high).get();
+        high_latency_ms.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+      } catch (const std::exception&) {
+        // deadline miss or injected fault: excluded from the latency
+        // distribution, visible in overload_high_completed.
+      }
+    }
+    stop.store(true);
+    for (auto& t : flood) t.join();
+    server.shutdown();
+
+    overload_high_completed = high_latency_ms.size();
+    if (!high_latency_ms.empty()) {
+      std::sort(high_latency_ms.begin(), high_latency_ms.end());
+      const std::size_t idx = std::min(
+          high_latency_ms.size() - 1,
+          static_cast<std::size_t>(
+              static_cast<double>(high_latency_ms.size()) * 0.99));
+      overload_high_p99_ms = high_latency_ms[idx];
+    }
+    const runtime::ServerStats overload_stats = server.stats();
+    overload_shed = overload_stats.shed;
+    const std::uint64_t attempts = flood_attempts.load();
+    overload_shed_rate =
+        attempts == 0 ? 0.0
+                      : static_cast<double>(overload_shed) /
+                            static_cast<double>(attempts);
+    std::printf("\n== Overload (queue %zu, watermark %zu, slowdown-only "
+                "fault plan) ==\n",
+                options.queue_capacity, server.shed_watermark());
+    std::printf("low-priority flood: %llu attempts, %llu shed "
+                "(%.1f%%)\n",
+                static_cast<unsigned long long>(attempts),
+                static_cast<unsigned long long>(overload_shed),
+                100.0 * overload_shed_rate);
+    std::printf("high-priority stream: %zu/%zu within 250 ms deadline, "
+                "p99 %.2f ms\n",
+                overload_high_completed, overload_high_total,
+                overload_high_p99_ms);
+  }
+
   const std::size_t threads = global_pool().thread_count();
   std::printf("\n== Software predict throughput (%s, %zu samples, %zu "
               "pool thread%s, backend %s) ==\n",
@@ -193,7 +310,15 @@ int main(int argc, char** argv) {
          << report::fmt(engine_parallel_sps / reference_sps, 3) << ",\n"
          << "  \"server_sps\": " << report::fmt(server_sps, 1) << ",\n"
          << "  \"server_mean_batch\": "
-         << report::fmt(server_mean_batch, 2) << "\n"
+         << report::fmt(server_mean_batch, 2) << ",\n"
+         << "  \"overload_shed_rate\": "
+         << report::fmt(overload_shed_rate, 4) << ",\n"
+         << "  \"overload_shed\": " << overload_shed << ",\n"
+         << "  \"overload_high_completed\": " << overload_high_completed
+         << ",\n"
+         << "  \"overload_high_total\": " << overload_high_total << ",\n"
+         << "  \"overload_high_p99_ms\": "
+         << report::fmt(overload_high_p99_ms, 3) << "\n"
          << "}\n";
   }
   if (telemetry::write_json_file("metrics_snapshot.json")) {

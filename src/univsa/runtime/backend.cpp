@@ -1,5 +1,8 @@
 #include "univsa/runtime/backend.h"
 
+#include <chrono>
+#include <thread>
+
 #include "univsa/common/contracts.h"
 #include "univsa/telemetry/trace.h"
 
@@ -115,6 +118,50 @@ void HwSimBackend::predict_into(const std::vector<std::uint16_t>& values,
 double HwSimBackend::modelled_seconds() const {
   return static_cast<double>(total_cycles_) * timing_.controller_overhead /
          (timing_.clock_mhz * 1e6);
+}
+
+// --- FaultInjectedBackend -----------------------------------------------
+
+FaultInjectedBackend::FaultInjectedBackend(std::unique_ptr<Backend> inner,
+                                           std::shared_ptr<FaultPlan> plan,
+                                           std::size_t lane)
+    : Backend(inner->model()),
+      inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      lane_(lane) {
+  UNIVSA_REQUIRE(plan_ != nullptr, "FaultInjectedBackend needs a plan");
+}
+
+void FaultInjectedBackend::inject() {
+  if constexpr (!kFaultsCompiledIn) return;
+  const FaultDecision d = plan_->next(lane_);
+  if (d.delay_us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+  }
+  if (d.error) {
+    throw InjectedFault("injected backend error (" + inner_->name() +
+                        ", lane " + std::to_string(lane_) + ")");
+  }
+}
+
+void FaultInjectedBackend::predict_into(
+    const std::vector<std::uint16_t>& values, vsa::Prediction& out) {
+  inject();
+  inner_->predict_into(values, out);
+}
+
+void FaultInjectedBackend::predict_batch(
+    const std::vector<std::vector<std::uint16_t>>& samples,
+    std::vector<vsa::Prediction>& out, bool parallel) {
+  inject();
+  inner_->predict_batch(samples, out, parallel);
+}
+
+void FaultInjectedBackend::predict_batch(const data::Dataset& dataset,
+                                         std::vector<vsa::Prediction>& out,
+                                         bool parallel) {
+  inject();
+  inner_->predict_batch(dataset, out, parallel);
 }
 
 }  // namespace univsa::runtime

@@ -24,6 +24,7 @@
 #include "univsa/data/dataset.h"
 #include "univsa/hw/functional_sim.h"
 #include "univsa/hw/timing_model.h"
+#include "univsa/runtime/fault.h"
 #include "univsa/vsa/infer_engine.h"
 #include "univsa/vsa/model.h"
 
@@ -164,6 +165,46 @@ class HwSimBackend : public Backend {
   hw::Accelerator accel_;
   std::uint64_t total_cycles_ = 0;
   std::uint64_t samples_ = 0;
+};
+
+/// Decorator applying a FaultPlan to any backend: before each dispatch
+/// it draws the next scheduled decision for its lane and sleeps
+/// (slowdown / worker stall) or throws InjectedFault accordingly.
+/// Completed dispatches delegate unchanged, so every non-faulted result
+/// stays bit-identical to the wrapped backend. The Server wraps each
+/// worker's backend in one of these when ServerOptions::fault_plan is
+/// set (lane = worker index); tests and the faultcheck CLI command use
+/// it directly.
+class FaultInjectedBackend : public Backend {
+ public:
+  /// `plan` is shared with the test/operator harness observing the
+  /// injection counters; it must not be null.
+  FaultInjectedBackend(std::unique_ptr<Backend> inner,
+                       std::shared_ptr<FaultPlan> plan, std::size_t lane);
+
+  std::string name() const override { return inner_->name() + "+fault"; }
+  Capabilities capabilities() const override {
+    return inner_->capabilities();
+  }
+  void predict_into(const std::vector<std::uint16_t>& values,
+                    vsa::Prediction& out) override;
+  void predict_batch(const std::vector<std::vector<std::uint16_t>>& samples,
+                     std::vector<vsa::Prediction>& out,
+                     bool parallel = true) override;
+  void predict_batch(const data::Dataset& dataset,
+                     std::vector<vsa::Prediction>& out,
+                     bool parallel = true) override;
+
+  const FaultPlan& plan() const { return *plan_; }
+  std::size_t lane() const { return lane_; }
+
+ private:
+  /// Draws and applies one scheduled decision (sleep, then maybe throw).
+  void inject();
+
+  std::unique_ptr<Backend> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+  std::size_t lane_;
 };
 
 }  // namespace univsa::runtime

@@ -1,0 +1,97 @@
+#include "univsa/runtime/fault.h"
+
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::runtime {
+
+namespace {
+
+// splitmix64 — the schedule's only source of randomness. Chosen over
+// common/rng.h so a (seed, lane, sequence) triple maps to a decision
+// with no per-lane generator state to snapshot or replay.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double unit_interval(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+struct GlobalFaultMetrics {
+  telemetry::Counter& errors =
+      telemetry::counter("runtime.fault.injected_errors_total");
+  telemetry::Counter& stalls =
+      telemetry::counter("runtime.fault.injected_stalls_total");
+  telemetry::Counter& slowdowns =
+      telemetry::counter("runtime.fault.injected_slowdowns_total");
+};
+
+GlobalFaultMetrics& global_metrics() {
+  static GlobalFaultMetrics g;
+  return g;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultSpec spec) : spec_(spec) {}
+
+FaultDecision FaultPlan::at(std::size_t lane,
+                            std::uint64_t sequence) const noexcept {
+  if constexpr (!kFaultsCompiledIn) {
+    (void)lane;
+    (void)sequence;
+    return {};
+  }
+  const std::uint64_t h =
+      mix(spec_.seed ^ mix(static_cast<std::uint64_t>(lane) ^
+                           (sequence << 20)));
+  const double u = unit_interval(h);
+  FaultDecision d;
+  if (u < spec_.error_rate) {
+    d.error = true;
+  } else if (u < spec_.error_rate + spec_.stall_rate) {
+    d.stall = true;
+    d.delay_us = spec_.stall_us;
+  } else if (u < spec_.error_rate + spec_.stall_rate + spec_.slowdown_rate) {
+    d.delay_us = spec_.slowdown_us;
+  }
+  return d;
+}
+
+FaultDecision FaultPlan::next(std::size_t lane) noexcept {
+  if constexpr (!kFaultsCompiledIn) {
+    (void)lane;
+    return {};
+  }
+  const std::size_t slot = lane % kMaxLanes;
+  const std::uint64_t n =
+      sequence_[slot].fetch_add(1, std::memory_order_relaxed);
+  const FaultDecision d = at(lane, n);
+  if (d.error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) global_metrics().errors.add();
+  } else if (d.stall) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) global_metrics().stalls.add();
+  } else if (d.delay_us != 0) {
+    slowdowns_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) global_metrics().slowdowns.add();
+  }
+  return d;
+}
+
+FaultSpec canned_overload_spec(std::uint64_t seed) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.error_rate = 0.03;
+  spec.stall_rate = 0.02;
+  spec.stall_us = 20000;
+  spec.slowdown_rate = 0.10;
+  spec.slowdown_us = 2000;
+  return spec;
+}
+
+}  // namespace univsa::runtime

@@ -1,0 +1,118 @@
+// Deterministic fault injection for the serving layer.
+//
+// A FaultPlan is a seeded, replayable schedule of induced failures —
+// backend slowdowns, spurious backend errors, and worker stalls — used
+// to test the Server's robustness behavior (deadlines, shedding, health
+// degradation) under *controlled* adversity instead of hoping real
+// overload shows up in CI. The decision for the n-th dispatch on lane
+// `l` is a pure function of (seed, l, n): the same seed always yields
+// the identical injected-failure schedule, independent of thread
+// interleaving (each worker lane advances its own sequence counter).
+//
+// Faults are applied by FaultInjectedBackend (runtime/backend.h), which
+// wraps any registered backend, and by the Server when
+// ServerOptions::fault_plan is set. Spurious errors surface as
+// InjectedFault through the request futures; completed requests remain
+// bit-identical to the unwrapped backend by construction.
+//
+// Compile-time kill switch: building with -DUNIVSA_FAULTS_OFF (CMake
+// option UNIVSA_FAULTS=OFF) folds every decision to "no fault" at
+// compile time — the schedule evaluation and counters disappear from
+// release binaries while the classes stay defined.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace univsa::runtime {
+
+/// True when this build evaluates fault schedules (see header comment).
+#if defined(UNIVSA_FAULTS_OFF)
+inline constexpr bool kFaultsCompiledIn = false;
+#else
+inline constexpr bool kFaultsCompiledIn = true;
+#endif
+
+/// Thrown by a fault-injected backend in place of a real result. The
+/// Server propagates it through the affected request futures exactly
+/// like a genuine backend failure.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One seeded schedule description. Rates are per-dispatch probabilities
+/// in [0, 1]; at most one fault fires per dispatch, drawn in the order
+/// error -> stall -> slowdown (so error_rate=1 means every dispatch
+/// throws regardless of the other rates).
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double error_rate = 0.0;     ///< spurious backend error (InjectedFault)
+  double stall_rate = 0.0;     ///< long worker stall before dispatch
+  std::uint64_t stall_us = 20000;
+  double slowdown_rate = 0.0;  ///< moderate added backend latency
+  std::uint64_t slowdown_us = 1000;
+};
+
+/// What the plan decided for one dispatch.
+struct FaultDecision {
+  bool error = false;          ///< throw InjectedFault after any delay
+  bool stall = false;          ///< delay_us is a stall (vs a slowdown)
+  std::uint64_t delay_us = 0;  ///< injected sleep before dispatching
+  bool any() const { return error || delay_us != 0; }
+};
+
+/// The replayable schedule plus injection counters. Thread-safe: lanes
+/// advance independent atomic sequence counters, so concurrent workers
+/// never perturb each other's schedule.
+class FaultPlan {
+ public:
+  static constexpr std::size_t kMaxLanes = 64;
+
+  explicit FaultPlan(FaultSpec spec = {});
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Pure schedule lookup: the decision for dispatch number `sequence`
+  /// on `lane`, without advancing anything. Deterministic in
+  /// (seed, lane, sequence); always no-fault when compiled off.
+  FaultDecision at(std::size_t lane, std::uint64_t sequence) const noexcept;
+
+  /// Draws the next decision for `lane` (advances that lane's sequence)
+  /// and bumps the injection counters, mirrored into the global
+  /// "runtime.fault.*" telemetry metrics when telemetry is enabled.
+  FaultDecision next(std::size_t lane) noexcept;
+
+  std::uint64_t injected_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected_stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected_slowdowns() const {
+    return slowdowns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected_total() const {
+    return injected_errors() + injected_stalls() + injected_slowdowns();
+  }
+
+ private:
+  FaultSpec spec_;
+  std::array<std::atomic<std::uint64_t>, kMaxLanes> sequence_{};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> slowdowns_{0};
+};
+
+/// The canned degradation scenario `univsa_cli faultcheck` and the
+/// overload bench run: a few percent spurious errors, occasional worker
+/// stalls, and frequent moderate slowdowns — enough induced adversity
+/// to force shedding and health transitions while high-priority traffic
+/// can still meet a generous deadline.
+FaultSpec canned_overload_spec(std::uint64_t seed = 42);
+
+}  // namespace univsa::runtime

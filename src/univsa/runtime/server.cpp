@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "univsa/common/contracts.h"
 #include "univsa/runtime/registry.h"
@@ -23,6 +24,15 @@ struct GlobalServerMetrics {
   telemetry::Counter& completed =
       telemetry::counter("runtime.server.completed");
   telemetry::Counter& batches = telemetry::counter("runtime.server.batches");
+  telemetry::Counter& shed = telemetry::counter("runtime.server.shed_total");
+  telemetry::Counter& deadline_rejected =
+      telemetry::counter("runtime.server.deadline_rejected_total");
+  telemetry::Counter& retries =
+      telemetry::counter("runtime.server.retries_total");
+  telemetry::Counter& health_transitions =
+      telemetry::counter("runtime.server.health_transitions_total");
+  telemetry::Gauge& health_state =
+      telemetry::gauge("runtime.server.health_state");
   telemetry::Gauge& queue_depth =
       telemetry::gauge("runtime.server.queue_depth");
   telemetry::LatencyHistogram& batch_size =
@@ -42,15 +52,48 @@ GlobalServerMetrics& global_metrics() {
 
 }  // namespace
 
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "?";
+}
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kServing: return "serving";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kDraining: return "draining";
+  }
+  return "?";
+}
+
 Server::Server(const vsa::Model& model, ServerOptions options)
     : options_(std::move(options)) {
   UNIVSA_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
   UNIVSA_REQUIRE(options_.queue_capacity > 0,
                  "queue_capacity must be positive");
+  UNIVSA_REQUIRE(options_.shed_watermark <= options_.queue_capacity,
+                 "shed_watermark cannot exceed queue_capacity");
+  watermark_ = options_.shed_watermark != 0
+                   ? options_.shed_watermark
+                   : std::max<std::size_t>(1,
+                                           options_.queue_capacity * 3 / 4);
   if (options_.workers == 0) options_.workers = 1;
   backends_.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w) {
-    backends_.push_back(make_backend(options_.backend, model));
+    auto backend = make_backend(options_.backend, model);
+    if (options_.fault_plan != nullptr) {
+      backend = std::make_unique<FaultInjectedBackend>(
+          std::move(backend), options_.fault_plan, w);
+    }
+    backends_.push_back(std::move(backend));
+  }
+  if (telemetry::enabled()) {
+    global_metrics().health_state.set(
+        static_cast<double>(HealthState::kServing));
   }
   workers_.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w) {
@@ -60,68 +103,189 @@ Server::Server(const vsa::Model& model, ServerOptions options)
 
 Server::~Server() { shutdown(); }
 
+void Server::update_health_locked() {
+  HealthState desired;
+  if (stopping_) {
+    desired = HealthState::kDraining;
+  } else if (total_queued_ >= watermark_) {
+    desired = HealthState::kDegraded;
+  } else if (health_ == HealthState::kDegraded &&
+             total_queued_ > watermark_ / 2) {
+    desired = HealthState::kDegraded;  // hysteresis: recover at half
+  } else {
+    desired = HealthState::kServing;
+  }
+  if (desired == health_) return;
+  health_ = desired;
+  health_transitions_.add();
+  if (telemetry::enabled()) {
+    GlobalServerMetrics& g = global_metrics();
+    g.health_transitions.add();
+    g.health_state.set(static_cast<double>(desired));
+  }
+}
+
 void Server::note_enqueued_locked() {
   submitted_.add();
-  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  max_queue_depth_ = std::max(max_queue_depth_, total_queued_);
   if (telemetry::enabled()) {
     GlobalServerMetrics& g = global_metrics();
     g.submitted.add();
-    g.queue_depth.set(static_cast<double>(queue_.size()));
+    g.queue_depth.set(static_cast<double>(total_queued_));
   }
+  update_health_locked();
   // Wake every worker once a full micro-batch is ready; a single one
   // is enough to start coalescing otherwise.
-  if (queue_.size() >= options_.max_batch) {
+  if (total_queued_ >= options_.max_batch) {
     queue_cv_.notify_all();
   } else {
     queue_cv_.notify_one();
   }
 }
 
+Server::Request Server::pop_highest_locked() {
+  for (std::size_t p = kPriorityClasses; p-- > 0;) {
+    if (!queues_[p].empty()) {
+      Request request = std::move(queues_[p].front());
+      queues_[p].pop_front();
+      --total_queued_;
+      return request;
+    }
+  }
+  UNIVSA_ENSURE(false, "pop_highest_locked on an empty queue");
+  return {};
+}
+
+SubmitStatus Server::admit_locked(Request&& request,
+                                  std::optional<Request>& evicted) {
+  if (stopping_) return SubmitStatus::kShutdown;
+  if (request.priority == Priority::kLow && total_queued_ >= watermark_) {
+    shed_.add();
+    if (telemetry::enabled()) global_metrics().shed.add();
+    return SubmitStatus::kShed;
+  }
+  if (total_queued_ >= options_.queue_capacity) {
+    // Shed low-priority work first: a higher-class arrival at full
+    // capacity evicts the *youngest* queued kLow request (oldest keeps
+    // its FIFO progress) instead of being turned away.
+    std::deque<Request>& low =
+        queues_[static_cast<std::size_t>(Priority::kLow)];
+    if (request.priority == Priority::kLow || low.empty()) {
+      return SubmitStatus::kOverloaded;
+    }
+    evicted = std::move(low.back());
+    low.pop_back();
+    --total_queued_;
+    shed_.add();
+    if (telemetry::enabled()) global_metrics().shed.add();
+  }
+  request.submit_ns = telemetry::now_ns();
+  queues_[static_cast<std::size_t>(request.priority)].push_back(
+      std::move(request));
+  ++total_queued_;
+  note_enqueued_locked();
+  return SubmitStatus::kOk;
+}
+
 std::future<vsa::Prediction> Server::submit(
-    std::vector<std::uint16_t> values) {
+    std::vector<std::uint16_t> values, const SubmitOptions& options) {
   Request request;
   request.values = std::move(values);
+  request.priority = options.priority;
+  if (options.deadline_us != 0) {
+    request.deadline_ns =
+        telemetry::now_ns() + options.deadline_us * 1000ull;
+  }
   std::future<vsa::Prediction> future = request.promise.get_future();
+
+  std::uint64_t backoff_us =
+      options.retry_backoff_us != 0 ? options.retry_backoff_us : 100;
+  std::size_t attempts = 0;
+  std::optional<Request> evicted;
+  SubmitStatus status;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    space_cv_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.queue_capacity;
-    });
-    if (stopping_) {
-      throw std::runtime_error("runtime::Server is shut down");
+    const auto has_space = [this] {
+      return stopping_ || total_queued_ < options_.queue_capacity;
+    };
+    for (;;) {
+      status = admit_locked(std::move(request), evicted);
+      if (status != SubmitStatus::kOverloaded) break;
+      if (options.max_retries == 0) {
+        // Classic backpressure: park until a worker frees queue space.
+        space_cv_.wait(lock, has_space);
+        continue;
+      }
+      if (attempts >= options.max_retries) break;
+      ++attempts;
+      retries_.add();
+      if (telemetry::enabled()) global_metrics().retries.add();
+      space_cv_.wait_for(lock, std::chrono::microseconds(backoff_us),
+                         has_space);
+      backoff_us *= 2;
     }
-    request.submit_ns = telemetry::now_ns();
-    queue_.push_back(std::move(request));
-    note_enqueued_locked();
   }
-  return future;
+  if (evicted.has_value()) {
+    evicted->promise.set_exception(std::make_exception_ptr(
+        RequestShed("low-priority request evicted for a higher class")));
+  }
+  switch (status) {
+    case SubmitStatus::kOk:
+      return future;
+    case SubmitStatus::kShed:
+      throw RequestShed("low-priority request shed: queue depth at the "
+                        "shed watermark (" +
+                        std::to_string(watermark_) + ")");
+    case SubmitStatus::kOverloaded:
+      throw ServerOverloaded(
+          "queue still full after " + std::to_string(attempts) +
+          " retries with exponential backoff");
+    default:
+      throw std::runtime_error("runtime::Server is shut down");
+  }
 }
 
 SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
                                 std::future<vsa::Prediction>* out) {
+  return try_submit(std::move(values), SubmitOptions{}, out);
+}
+
+SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
+                                const SubmitOptions& options,
+                                std::future<vsa::Prediction>* out) {
   Request request;
   request.values = std::move(values);
+  request.priority = options.priority;
+  if (options.deadline_us != 0) {
+    request.deadline_ns =
+        telemetry::now_ns() + options.deadline_us * 1000ull;
+  }
   std::future<vsa::Prediction> future = request.promise.get_future();
+  std::optional<Request> evicted;
+  SubmitStatus status;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) return SubmitStatus::kShutdown;
-    if (queue_.size() >= options_.queue_capacity) {
+    status = admit_locked(std::move(request), evicted);
+    if (status == SubmitStatus::kOverloaded) {
       rejected_.add();
       if (telemetry::enabled()) global_metrics().rejected.add();
-      return SubmitStatus::kOverloaded;
     }
-    request.submit_ns = telemetry::now_ns();
-    queue_.push_back(std::move(request));
-    note_enqueued_locked();
   }
-  if (out != nullptr) *out = std::move(future);
-  return SubmitStatus::kOk;
+  if (evicted.has_value()) {
+    evicted->promise.set_exception(std::make_exception_ptr(
+        RequestShed("low-priority request evicted for a higher class")));
+  }
+  if (status == SubmitStatus::kOk && out != nullptr) {
+    *out = std::move(future);
+  }
+  return status;
 }
 
 void Server::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    update_health_locked();  // -> kDraining (counts the transition)
   }
   queue_cv_.notify_all();
   space_cv_.notify_all();
@@ -138,21 +302,31 @@ bool Server::accepting() const {
 
 std::size_t Server::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return total_queued_;
+}
+
+HealthState Server::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_;
 }
 
 ServerStats Server::stats() const {
   ServerStats stats;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats.queue_depth = queue_.size();
+    stats.queue_depth = total_queued_;
     stats.max_batch_observed = max_batch_observed_;
     stats.max_queue_depth = max_queue_depth_;
+    stats.health = health_;
   }
   stats.submitted = submitted_.total();
   stats.rejected = rejected_.total();
   stats.completed = completed_.total();
   stats.batches = batches_.total();
+  stats.shed = shed_.total();
+  stats.deadline_rejected = deadline_rejected_.total();
+  stats.retries = retries_.total();
+  stats.health_transitions = health_transitions_.total();
   stats.batch_sizes = batch_hist_.snapshot();
   stats.batch_sizes.name = "batch_sizes";
   stats.queue_wait_ns = queue_wait_hist_.snapshot();
@@ -169,44 +343,70 @@ void Server::worker_loop(std::size_t worker) {
   const bool parallel =
       options_.parallel_batch && backend.capabilities().parallel_batch;
   std::vector<Request> batch;
+  std::vector<Request> expired;
   std::vector<std::vector<std::uint16_t>> values;
   std::vector<vsa::Prediction> predictions;
 
   for (;;) {
     batch.clear();
+    expired.clear();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       queue_cv_.wait(lock,
-                     [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
+                     [this] { return stopping_ || total_queued_ > 0; });
+      if (total_queued_ == 0) return;  // stopping and fully drained
 
       // Coalesce: hold the batch open briefly so concurrent submitters
       // land in the same dispatch (unless we're draining).
       if (options_.max_delay_us > 0 &&
-          queue_.size() < options_.max_batch && !stopping_) {
+          total_queued_ < options_.max_batch && !stopping_) {
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::microseconds(options_.max_delay_us);
         queue_cv_.wait_until(lock, deadline, [this] {
-          return stopping_ || queue_.size() >= options_.max_batch;
+          return stopping_ || total_queued_ >= options_.max_batch;
         });
-        if (queue_.empty()) continue;  // another worker took them all
+        if (total_queued_ == 0) continue;  // another worker took them all
       }
 
-      const std::size_t take =
-          std::min(queue_.size(), options_.max_batch);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      // Drain highest class first; a request whose deadline has already
+      // passed is set aside for rejection and does NOT consume one of
+      // the max_batch slots.
+      const std::uint64_t now = telemetry::now_ns();
+      while (batch.size() < options_.max_batch && total_queued_ > 0) {
+        Request request = pop_highest_locked();
+        if (request.deadline_ns != 0 && now >= request.deadline_ns) {
+          expired.push_back(std::move(request));
+        } else {
+          batch.push_back(std::move(request));
+        }
       }
-      batches_.add();
-      max_batch_observed_ = std::max(max_batch_observed_, batch.size());
+      if (!batch.empty()) {
+        batches_.add();
+        max_batch_observed_ = std::max(max_batch_observed_, batch.size());
+      }
       if (telemetry::enabled()) {
         global_metrics().queue_depth.set(
-            static_cast<double>(queue_.size()));
+            static_cast<double>(total_queued_));
       }
+      update_health_locked();
     }
     space_cv_.notify_all();
+
+    // Deadline rejections are counted before their futures resolve, the
+    // same stats-before-fulfillment invariant as completions below.
+    if (!expired.empty()) {
+      deadline_rejected_.add(expired.size());
+      if (telemetry::enabled()) {
+        global_metrics().deadline_rejected.add(expired.size());
+      }
+      for (Request& request : expired) {
+        request.promise.set_exception(std::make_exception_ptr(
+            DeadlineExceeded("deadline passed while queued")));
+      }
+      expired.clear();  // release the promises now, not next iteration
+    }
+    if (batch.empty()) continue;
 
     const bool mirror = telemetry::enabled();
     const std::uint64_t dequeue_ns = telemetry::now_ns();

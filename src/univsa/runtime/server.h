@@ -1,4 +1,7 @@
-// Micro-batching serving front-end over a runtime::Backend.
+// Micro-batching serving front-end over a runtime::Backend, with a
+// robustness layer: per-request deadlines, priority classes with
+// overload shedding, bounded retry-with-backoff on the blocking path,
+// health states, and deterministic fault injection.
 //
 // The first real serving layer toward the ROADMAP's production-scale
 // system: callers submit single samples from any number of threads; the
@@ -6,14 +9,29 @@
 // (max_batch, max_delay_us) policy and dispatches them to per-worker
 // backend instances (backends are single-caller; the Model is shared).
 //
-// Semantics, all covered by tests (tests/runtime/server_test.cpp):
+// Semantics, all covered by tests (tests/runtime/server_test.cpp,
+// robustness_test.cpp, fault_test.cpp, stats_race_test.cpp):
 //   - Correctness is batching-invariant: every request's Prediction is
 //     bit-identical to a direct backend call, for any batch split,
 //     worker count, or submitter interleaving.
 //   - Backpressure: the request queue is bounded. submit() blocks until
-//     space frees up; try_submit() returns kOverloaded instead.
+//     space frees up (or retries with exponential backoff when
+//     SubmitOptions::max_retries is set, throwing ServerOverloaded once
+//     exhausted); try_submit() returns kOverloaded instead.
+//   - Deadlines: a request whose deadline passes while still queued is
+//     rejected with DeadlineExceeded through its future instead of
+//     consuming a batch slot.
+//   - Priorities + shedding: requests are dequeued highest class first.
+//     Once queue depth crosses the shed watermark, new kLow work is
+//     refused (kShed); at full capacity an arriving higher-priority
+//     request evicts the youngest queued kLow request (its future gets
+//     RequestShed) rather than being turned away.
+//   - Health: kServing -> kDegraded while depth sits above the
+//     watermark (with hysteresis at half the watermark), kDraining once
+//     shutdown begins. Exposed via ServerStats::health and the
+//     "runtime.server.health_state" gauge; every transition counts.
 //   - Shutdown drains: requests accepted before shutdown() are all
-//     served; submissions after it are refused (kShutdown / throw).
+//     served (or deadline-rejected); submissions after it are refused.
 #pragma once
 
 #include <condition_variable>
@@ -22,15 +40,24 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "univsa/runtime/backend.h"
+#include "univsa/runtime/fault.h"
 #include "univsa/telemetry/metrics.h"
 #include "univsa/vsa/model.h"
 
 namespace univsa::runtime {
+
+/// Admission classes. Shedding removes kLow work first; workers drain
+/// the highest non-empty class first (FIFO within a class).
+enum class Priority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+inline constexpr std::size_t kPriorityClasses = 3;
+
+const char* to_string(Priority priority);
 
 struct ServerOptions {
   /// Registry name of the backend each worker serves with.
@@ -46,12 +73,85 @@ struct ServerOptions {
   /// Bound on queued (not yet dispatched) requests — the backpressure
   /// knob: submit() blocks and try_submit() rejects when full.
   std::size_t queue_capacity = 1024;
+  /// Queue depth at which admission control starts shedding kLow work
+  /// and health degrades. 0 = derive 3/4 of queue_capacity (min 1).
+  std::size_t shed_watermark = 0;
   /// Let a backend spread each micro-batch over the global thread pool
   /// (only backends with capabilities().parallel_batch do).
   bool parallel_batch = true;
+  /// Deterministic fault-injection plan (runtime/fault.h): every worker
+  /// backend is wrapped in a FaultInjectedBackend on its own lane.
+  /// Null (the default) injects nothing.
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
-enum class SubmitStatus { kOk, kOverloaded, kShutdown };
+/// Per-request robustness knobs; default-constructed == the original
+/// submit semantics (normal priority, no deadline, block forever).
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Relative deadline measured from submission; 0 = none. Expiry while
+  /// queued rejects the request with DeadlineExceeded (the batch slot
+  /// goes to a live request instead). Expiry mid-dispatch does not
+  /// cancel the backend call — the result is still delivered.
+  std::uint64_t deadline_us = 0;
+  /// Blocking-path overload policy: 0 = block until space (classic
+  /// backpressure); N > 0 = wait with exponential backoff at most N
+  /// times, then throw ServerOverloaded.
+  std::size_t max_retries = 0;
+  /// First backoff wait; doubles after every retry. 0 falls back to
+  /// 100 us.
+  std::uint64_t retry_backoff_us = 100;
+};
+
+enum class SubmitStatus {
+  kOk,
+  kOverloaded,        ///< queue at capacity (try_submit / retries spent)
+  kShed,              ///< admission control refused kLow work
+  kDeadlineExceeded,  ///< deadline passed while queued (via the future)
+  kShutdown
+};
+
+/// Base for every robustness-layer refusal; carries the SubmitStatus so
+/// callers can switch on one code whether the refusal arrived as a
+/// thrown exception (submit) or through a request future.
+class RequestRefused : public std::runtime_error {
+ public:
+  RequestRefused(SubmitStatus status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  SubmitStatus status() const { return status_; }
+
+ private:
+  SubmitStatus status_;
+};
+
+class DeadlineExceeded : public RequestRefused {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : RequestRefused(SubmitStatus::kDeadlineExceeded, what) {}
+};
+
+class RequestShed : public RequestRefused {
+ public:
+  explicit RequestShed(const std::string& what)
+      : RequestRefused(SubmitStatus::kShed, what) {}
+};
+
+class ServerOverloaded : public RequestRefused {
+ public:
+  explicit ServerOverloaded(const std::string& what)
+      : RequestRefused(SubmitStatus::kOverloaded, what) {}
+};
+
+/// Server availability, coarsest first. Transitions are counted and the
+/// current state is exported as the "runtime.server.health_state" gauge
+/// (0 = serving, 1 = degraded, 2 = draining).
+enum class HealthState : std::uint8_t {
+  kServing = 0,   ///< queue below the shed watermark
+  kDegraded = 1,  ///< at/above the watermark; kLow admissions shed
+  kDraining = 2   ///< shutdown started; serving the backlog only
+};
+
+const char* to_string(HealthState state);
 
 /// Point-in-time view of one Server's telemetry. Sourced from the
 /// per-instance lock-free metrics (telemetry::Counter/LatencyHistogram
@@ -63,6 +163,11 @@ struct ServerStats {
   std::uint64_t rejected = 0;   ///< try_submit refusals while full
   std::uint64_t completed = 0;
   std::uint64_t batches = 0;    ///< backend dispatches
+  std::uint64_t shed = 0;       ///< kLow admissions refused + evictions
+  std::uint64_t deadline_rejected = 0;  ///< expired while queued
+  std::uint64_t retries = 0;    ///< backoff waits on the blocking path
+  std::uint64_t health_transitions = 0;
+  HealthState health = HealthState::kServing;
   std::size_t max_batch_observed = 0;
   std::size_t max_queue_depth = 0;
   /// Requests queued (not yet dispatched) at the time of the call — the
@@ -96,13 +201,21 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Enqueues one sample and returns the future Prediction. Blocks while
-  /// the queue is at capacity (backpressure). Throws std::runtime_error
-  /// once the server is shut down.
-  std::future<vsa::Prediction> submit(std::vector<std::uint16_t> values);
+  /// the queue is at capacity (backpressure) unless options.max_retries
+  /// bounds the wait. Throws std::runtime_error once the server is shut
+  /// down, RequestShed when admission control refuses kLow work, and
+  /// ServerOverloaded when bounded retries are exhausted. The future
+  /// itself can deliver DeadlineExceeded / RequestShed / InjectedFault.
+  std::future<vsa::Prediction> submit(std::vector<std::uint16_t> values,
+                                      const SubmitOptions& options = {});
 
-  /// Non-blocking submit: kOverloaded when the queue is full, kShutdown
-  /// after shutdown(); `out` is only set on kOk.
+  /// Non-blocking submit: kOverloaded when the queue is full, kShed when
+  /// admission control refuses the request, kShutdown after shutdown();
+  /// `out` is only set on kOk.
   SubmitStatus try_submit(std::vector<std::uint16_t> values,
+                          std::future<vsa::Prediction>* out);
+  SubmitStatus try_submit(std::vector<std::uint16_t> values,
+                          const SubmitOptions& options,
                           std::future<vsa::Prediction>* out);
 
   /// Stops accepting new requests, serves everything already queued, and
@@ -112,6 +225,9 @@ class Server {
   bool accepting() const;
   std::size_t worker_count() const { return workers_.size(); }
   std::size_t queue_depth() const;
+  /// The resolved shed watermark (see ServerOptions::shed_watermark).
+  std::size_t shed_watermark() const { return watermark_; }
+  HealthState health() const;
   const ServerOptions& options() const { return options_; }
   ServerStats stats() const;
 
@@ -119,21 +235,37 @@ class Server {
   struct Request {
     std::vector<std::uint16_t> values;
     std::promise<vsa::Prediction> promise;
-    std::uint64_t submit_ns = 0;  ///< telemetry::now_ns() at enqueue
+    std::uint64_t submit_ns = 0;    ///< telemetry::now_ns() at enqueue
+    std::uint64_t deadline_ns = 0;  ///< absolute; 0 = none
+    Priority priority = Priority::kNormal;
   };
 
   void worker_loop(std::size_t worker);
+  /// Admission decision with mutex_ held. On kOk the request has been
+  /// enqueued; when a full queue forces an eviction, `evicted` receives
+  /// the kLow request whose promise the caller must fail *after*
+  /// unlocking (promise work never runs under mutex_).
+  SubmitStatus admit_locked(Request&& request,
+                            std::optional<Request>& evicted);
   /// Shared enqueue bookkeeping; called with mutex_ held.
   void note_enqueued_locked();
+  /// Pops the highest-priority queued request; total_queued_ > 0.
+  Request pop_highest_locked();
+  /// Recomputes health from (stopping_, total_queued_) and records any
+  /// transition; called with mutex_ held.
+  void update_health_locked();
 
   ServerOptions options_;
+  std::size_t watermark_ = 0;  ///< resolved shed watermark
   std::vector<std::unique_ptr<Backend>> backends_;  // one per worker
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< workers wait for requests
   std::condition_variable space_cv_;  ///< submitters wait for capacity
-  std::deque<Request> queue_;
+  std::deque<Request> queues_[kPriorityClasses];  ///< FIFO per class
+  std::size_t total_queued_ = 0;
   bool stopping_ = false;
+  HealthState health_ = HealthState::kServing;  // guarded by mutex_
 
   // Per-instance telemetry — the source of truth behind stats(). These
   // always record (ServerStats works even when the global registry is
@@ -145,6 +277,10 @@ class Server {
   telemetry::Counter rejected_;
   telemetry::Counter completed_;
   telemetry::Counter batches_;
+  telemetry::Counter shed_;
+  telemetry::Counter deadline_rejected_;
+  telemetry::Counter retries_;
+  telemetry::Counter health_transitions_;
   telemetry::LatencyHistogram batch_hist_;       ///< batch size per dispatch
   telemetry::LatencyHistogram queue_wait_hist_;  ///< ns, submit -> dequeue
   telemetry::LatencyHistogram service_hist_;     ///< ns per backend dispatch

@@ -85,9 +85,16 @@ std::string to_prometheus(const Snapshot& snapshot) {
      << snapshot.build.build_type << "\",flags=\"" << snapshot.build.flags
      << "\",pool_threads=\"" << snapshot.build.threads << "\"} 1\n";
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string n = "univsa_" + sanitize(name);
+    std::string n = "univsa_" + sanitize(name);
+    // Prometheus counters end in exactly one `_total`; registry names
+    // that already carry the suffix (runtime.server.shed_total, ...) are
+    // exported as-is rather than doubled.
+    const std::string suffix = "_total";
+    const bool has_suffix =
+        n.size() >= suffix.size() &&
+        n.compare(n.size() - suffix.size(), suffix.size(), suffix) == 0;
     os << "# TYPE " << n << " counter\n"
-       << n << "_total " << value << "\n";
+       << n << (has_suffix ? "" : "_total") << " " << value << "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string n = "univsa_" + sanitize(name);

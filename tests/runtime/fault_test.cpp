@@ -1,0 +1,232 @@
+// Deterministic fault injection (runtime/fault.h):
+//   - a FaultPlan is a pure function of (seed, lane, sequence): the same
+//     seed replays the identical schedule, different seeds diverge, and
+//     concurrent lanes never perturb each other,
+//   - FaultInjectedBackend surfaces scheduled errors as InjectedFault
+//     and leaves every non-faulted result bit-identical to the wrapped
+//     backend,
+//   - a Server running the canned overload plan stays available: every
+//     completed request matches the reference backend bit-for-bit and
+//     injected errors arrive through the futures, not as crashes.
+#include "univsa/runtime/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "univsa/runtime/registry.h"
+#include "univsa/runtime/server.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+std::vector<std::vector<std::uint16_t>> random_samples(
+    const vsa::ModelConfig& c, std::size_t n, Rng& rng) {
+  std::vector<std::vector<std::uint16_t>> samples(n);
+  for (auto& s : samples) {
+    s.resize(c.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+    }
+  }
+  return samples;
+}
+
+FaultSpec busy_spec(std::uint64_t seed) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.error_rate = 0.2;
+  spec.stall_rate = 0.1;
+  spec.stall_us = 0;  // keep the test fast: decisions, not real sleeps
+  spec.slowdown_rate = 0.3;
+  spec.slowdown_us = 0;
+  return spec;
+}
+
+TEST(FaultPlanTest, SameSeedReplaysTheIdenticalSchedule) {
+  if (!kFaultsCompiledIn) GTEST_SKIP() << "UNIVSA_FAULTS=OFF";
+  const FaultPlan a(busy_spec(99));
+  const FaultPlan b(busy_spec(99));
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    for (std::uint64_t seq = 0; seq < 512; ++seq) {
+      const FaultDecision da = a.at(lane, seq);
+      const FaultDecision db = b.at(lane, seq);
+      EXPECT_EQ(da.error, db.error) << "lane " << lane << " seq " << seq;
+      EXPECT_EQ(da.stall, db.stall) << "lane " << lane << " seq " << seq;
+      EXPECT_EQ(da.delay_us, db.delay_us)
+          << "lane " << lane << " seq " << seq;
+    }
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsAndLanesDiverge) {
+  if (!kFaultsCompiledIn) GTEST_SKIP() << "UNIVSA_FAULTS=OFF";
+  const FaultPlan a(busy_spec(1));
+  const FaultPlan b(busy_spec(2));
+  std::size_t seed_diffs = 0, lane_diffs = 0;
+  for (std::uint64_t seq = 0; seq < 512; ++seq) {
+    const FaultDecision da = a.at(0, seq);
+    if (da.error != b.at(0, seq).error) ++seed_diffs;
+    if (da.error != a.at(1, seq).error) ++lane_diffs;
+  }
+  EXPECT_GT(seed_diffs, 0u);
+  EXPECT_GT(lane_diffs, 0u);
+}
+
+TEST(FaultPlanTest, NextMatchesAtAndCountsInjections) {
+  if (!kFaultsCompiledIn) GTEST_SKIP() << "UNIVSA_FAULTS=OFF";
+  FaultPlan plan(busy_spec(7));
+  std::uint64_t errors = 0, stalls = 0, slowdowns = 0;
+  for (std::uint64_t seq = 0; seq < 256; ++seq) {
+    const FaultDecision expected = plan.at(0, seq);
+    const FaultDecision got = plan.next(0);
+    EXPECT_EQ(got.error, expected.error) << "seq " << seq;
+    EXPECT_EQ(got.stall, expected.stall) << "seq " << seq;
+    EXPECT_EQ(got.delay_us, expected.delay_us) << "seq " << seq;
+    if (got.error) {
+      ++errors;
+    } else if (got.stall) {
+      ++stalls;
+    } else if (got.delay_us != 0) {
+      ++slowdowns;
+    }
+  }
+  EXPECT_EQ(plan.injected_errors(), errors);
+  EXPECT_EQ(plan.injected_stalls(), stalls);
+  // With the rates in busy_spec all three kinds fired somewhere in 256
+  // draws (probability of this failing is astronomically small).
+  EXPECT_GT(errors, 0u);
+  EXPECT_GT(stalls + plan.injected_slowdowns(), 0u);
+}
+
+TEST(FaultPlanTest, ConcurrentLanesDoNotPerturbEachOther) {
+  if (!kFaultsCompiledIn) GTEST_SKIP() << "UNIVSA_FAULTS=OFF";
+  // Four threads draw on their own lanes concurrently; the sequence each
+  // observes must equal the pure schedule, regardless of interleaving.
+  FaultPlan plan(busy_spec(11));
+  constexpr std::size_t kLanes = 4;
+  constexpr std::uint64_t kDraws = 2000;
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> mismatches(kLanes, 0);
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    threads.emplace_back([&, lane] {
+      for (std::uint64_t seq = 0; seq < kDraws; ++seq) {
+        const FaultDecision expected = plan.at(lane, seq);
+        const FaultDecision got = plan.next(lane);
+        if (got.error != expected.error || got.stall != expected.stall ||
+            got.delay_us != expected.delay_us) {
+          ++mismatches[lane];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(mismatches[lane], 0u) << "lane " << lane;
+  }
+}
+
+TEST(FaultPlanTest, CompiledOffFoldsEveryDecisionToNoFault) {
+  if (kFaultsCompiledIn) {
+    GTEST_SKIP() << "meaningful only under UNIVSA_FAULTS=OFF";
+  }
+  FaultSpec always;
+  always.error_rate = 1.0;
+  FaultPlan plan(always);
+  EXPECT_FALSE(plan.next(0).any());
+  EXPECT_FALSE(plan.at(0, 123).any());
+  EXPECT_EQ(plan.injected_total(), 0u);
+}
+
+TEST(FaultInjectedBackendTest, ErrorsSurfaceAndCleanResultsStayBitIdentical) {
+  if (!kFaultsCompiledIn) GTEST_SKIP() << "UNIVSA_FAULTS=OFF";
+  Rng rng(21);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const auto samples = random_samples(c, 40, rng);
+  std::vector<vsa::Prediction> expected;
+  make_backend("reference", m)->predict_batch(samples, expected);
+
+  auto plan = std::make_shared<FaultPlan>(busy_spec(5));
+  FaultInjectedBackend faulty(make_backend("packed", m), plan, /*lane=*/0);
+  EXPECT_EQ(faulty.name(), "packed+fault");
+
+  std::size_t faulted = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // The schedule is known ahead of time: dispatch i draws sequence i.
+    const bool will_fault = plan->at(0, i).error;
+    vsa::Prediction out;
+    if (will_fault) {
+      EXPECT_THROW(faulty.predict_into(samples[i], out), InjectedFault);
+      ++faulted;
+    } else {
+      faulty.predict_into(samples[i], out);
+      EXPECT_EQ(out.label, expected[i].label) << "sample " << i;
+      EXPECT_EQ(out.scores, expected[i].scores) << "sample " << i;
+    }
+  }
+  EXPECT_GT(faulted, 0u);
+  EXPECT_EQ(plan->injected_errors(), faulted);
+}
+
+TEST(FaultInjectedBackendTest, ServerUnderCannedPlanStaysCorrect) {
+  Rng rng(22);
+  const vsa::ModelConfig c = small_config();
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const auto samples = random_samples(c, 60, rng);
+  std::vector<vsa::Prediction> expected;
+  make_backend("reference", m)->predict_batch(samples, expected);
+
+  FaultSpec spec = canned_overload_spec(3);
+  spec.stall_us = 500;     // keep CI fast; rates stay the canned ones
+  spec.slowdown_us = 100;
+  ServerOptions options;
+  options.workers = 2;
+  options.max_batch = 8;
+  options.max_delay_us = 50;
+  options.fault_plan = std::make_shared<FaultPlan>(spec);
+  Server server(m, options);
+
+  std::size_t completed = 0, faulted = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Client-side resubmit after an injected error, production-style.
+    for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+      try {
+        const vsa::Prediction got = server.submit(samples[i]).get();
+        ASSERT_EQ(got.label, expected[i].label) << "sample " << i;
+        ASSERT_EQ(got.scores, expected[i].scores) << "sample " << i;
+        ++completed;
+        break;
+      } catch (const InjectedFault&) {
+        ++faulted;
+      }
+    }
+  }
+  server.shutdown();
+  // Every request eventually completed with a bit-identical result.
+  EXPECT_EQ(completed, samples.size());
+  if (kFaultsCompiledIn) {
+    EXPECT_EQ(options.fault_plan->injected_errors() > 0, faulted > 0);
+  } else {
+    EXPECT_EQ(faulted, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace univsa::runtime

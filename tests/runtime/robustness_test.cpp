@@ -1,0 +1,485 @@
+// Robustness-layer semantics of runtime::Server:
+//   - a request whose deadline passes while queued is rejected with
+//     DeadlineExceeded and never consumes a batch slot,
+//   - admission control sheds kLow work at the watermark and evicts the
+//     youngest queued kLow request when a higher class arrives at full
+//     capacity,
+//   - bounded retry-with-backoff on the blocking path throws
+//     ServerOverloaded once exhausted (and succeeds when space frees in
+//     time),
+//   - workers drain the highest priority class first,
+//   - health transitions kServing -> kDegraded -> kServing with
+//     hysteresis, and kDraining on shutdown,
+//   - drain-on-shutdown keeps the exactly-once contract: every accepted
+//     request resolves exactly once (result or refusal), none lost.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "univsa/runtime/registry.h"
+#include "univsa/runtime/server.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+std::vector<std::vector<std::uint16_t>> random_samples(
+    const vsa::ModelConfig& c, std::size_t n, Rng& rng) {
+  std::vector<std::vector<std::uint16_t>> samples(n);
+  for (auto& s : samples) {
+    s.resize(c.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+    }
+  }
+  return samples;
+}
+
+/// Same controllable backend as server_test.cpp: blocks inside
+/// predict_batch until released, so tests can pin workers mid-dispatch
+/// and fill the queue deterministically.
+class GatedBackend : public ReferenceBackend {
+ public:
+  explicit GatedBackend(const vsa::Model& m) : ReferenceBackend(m) {}
+
+  std::string name() const override { return "test-gated-robust"; }
+
+  void predict_batch(const std::vector<std::vector<std::uint16_t>>& samples,
+                     std::vector<vsa::Prediction>& out,
+                     bool parallel = true) override {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex());
+      ++entered();
+      entered_cv().notify_all();
+      gate_cv().wait(lock, [] { return open(); });
+    }
+    ReferenceBackend::predict_batch(samples, out, parallel);
+  }
+
+  static std::mutex& gate_mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::condition_variable& gate_cv() {
+    static std::condition_variable cv;
+    return cv;
+  }
+  static std::condition_variable& entered_cv() {
+    static std::condition_variable cv;
+    return cv;
+  }
+  static bool& open() {
+    static bool o = false;
+    return o;
+  }
+  static int& entered() {
+    static int n = 0;
+    return n;
+  }
+  static void reset() {
+    std::lock_guard<std::mutex> lock(gate_mutex());
+    open() = false;
+    entered() = 0;
+  }
+  static void release() {
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex());
+      open() = true;
+    }
+    gate_cv().notify_all();
+  }
+  static void wait_for_dispatch() {
+    std::unique_lock<std::mutex> lock(gate_mutex());
+    entered_cv().wait(lock, [] { return entered() > 0; });
+  }
+};
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_backend("test-gated-robust", [](const vsa::Model& m) {
+      return std::make_unique<GatedBackend>(m);
+    });
+    GatedBackend::reset();
+    Rng rng(1234);
+    config_ = small_config();
+    model_ = vsa::Model::random(config_, rng);
+    samples_ = random_samples(config_, 32, rng);
+  }
+
+  /// One worker pinned inside the gated backend: the queue state is then
+  /// fully under test control.
+  Server gated_server(std::size_t queue_capacity,
+                      std::size_t shed_watermark = 0) {
+    ServerOptions options;
+    options.backend = "test-gated-robust";
+    options.workers = 1;
+    options.max_batch = 1;
+    options.max_delay_us = 0;
+    options.queue_capacity = queue_capacity;
+    options.shed_watermark = shed_watermark;
+    return Server(model_, options);
+  }
+
+  vsa::ModelConfig config_;
+  vsa::Model model_;
+  std::vector<std::vector<std::uint16_t>> samples_;
+};
+
+TEST_F(RobustnessTest, SubmitOptionsDefaultsPreserveClassicSemantics) {
+  const SubmitOptions options;
+  EXPECT_EQ(options.priority, Priority::kNormal);
+  EXPECT_EQ(options.deadline_us, 0u);
+  EXPECT_EQ(options.max_retries, 0u);
+}
+
+TEST_F(RobustnessTest, WatermarkDerivesToThreeQuartersOfCapacity) {
+  ServerOptions options;
+  options.queue_capacity = 32;
+  Server server(model_, options);
+  EXPECT_EQ(server.shed_watermark(), 24u);
+  server.shutdown();
+
+  options.queue_capacity = 1;  // derived watermark still >= 1
+  Server tiny(model_, options);
+  EXPECT_EQ(tiny.shed_watermark(), 1u);
+  tiny.shutdown();
+
+  options.queue_capacity = 8;
+  options.shed_watermark = 5;  // explicit value wins
+  Server explicit_mark(model_, options);
+  EXPECT_EQ(explicit_mark.shed_watermark(), 5u);
+  explicit_mark.shutdown();
+}
+
+TEST_F(RobustnessTest, ExpiredQueuedRequestIsRejectedNotServed) {
+  Server server = gated_server(/*queue_capacity=*/8);
+
+  // Pin the worker, then queue a request with a microscopic deadline and
+  // one without. By the time the worker is released the first deadline
+  // has long passed.
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+
+  SubmitOptions doomed;
+  doomed.deadline_us = 1;  // expires almost immediately
+  auto expired = server.submit(samples_[1], doomed);
+  auto alive = server.submit(samples_[2]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  GatedBackend::release();
+  EXPECT_THROW(expired.get(), DeadlineExceeded);
+  // The live requests still produce correct results.
+  EXPECT_EQ(pinned.get().scores,
+            model_.predict_reference(samples_[0]).scores);
+  EXPECT_EQ(alive.get().scores,
+            model_.predict_reference(samples_[2]).scores);
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_rejected, 1u);
+  // The expired request never reached a backend dispatch: only the two
+  // live ones are counted as completed.
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST_F(RobustnessTest, DeadlineCarriesStatusCode) {
+  Server server = gated_server(/*queue_capacity=*/8);
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+
+  SubmitOptions doomed;
+  doomed.deadline_us = 1;
+  auto expired = server.submit(samples_[1], doomed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  GatedBackend::release();
+
+  try {
+    expired.get();
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const RequestRefused& refusal) {
+    EXPECT_EQ(refusal.status(), SubmitStatus::kDeadlineExceeded);
+  }
+  pinned.get();
+  server.shutdown();
+}
+
+TEST_F(RobustnessTest, LowPriorityShedsAtTheWatermark) {
+  // capacity 4, watermark 2: once two requests sit queued, kLow work is
+  // refused while kNormal is still admitted.
+  Server server = gated_server(/*queue_capacity=*/4, /*shed_watermark=*/2);
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+
+  SubmitOptions low;
+  low.priority = Priority::kLow;
+  std::future<vsa::Prediction> f1, f2, refused, normal_ok;
+  ASSERT_EQ(server.try_submit(samples_[1], low, &f1), SubmitStatus::kOk);
+  ASSERT_EQ(server.try_submit(samples_[2], low, &f2), SubmitStatus::kOk);
+  EXPECT_EQ(server.queue_depth(), 2u);
+
+  // At the watermark: kLow is shed on both entry points...
+  EXPECT_EQ(server.try_submit(samples_[3], low, &refused),
+            SubmitStatus::kShed);
+  EXPECT_THROW(server.submit(samples_[3], low), RequestShed);
+  // ...while a default (kNormal) admission still succeeds.
+  ASSERT_EQ(server.try_submit(samples_[4], {}, &normal_ok),
+            SubmitStatus::kOk);
+
+  GatedBackend::release();
+  f1.get();
+  f2.get();
+  normal_ok.get();
+  pinned.get();
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST_F(RobustnessTest, HighPriorityEvictsYoungestLowAtFullCapacity) {
+  // capacity 3, watermark 3 (== capacity, so kLow fills the whole queue).
+  Server server = gated_server(/*queue_capacity=*/3, /*shed_watermark=*/3);
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+
+  SubmitOptions low;
+  low.priority = Priority::kLow;
+  std::future<vsa::Prediction> oldest, middle, youngest;
+  ASSERT_EQ(server.try_submit(samples_[1], low, &oldest), SubmitStatus::kOk);
+  ASSERT_EQ(server.try_submit(samples_[2], low, &middle), SubmitStatus::kOk);
+  ASSERT_EQ(server.try_submit(samples_[3], low, &youngest),
+            SubmitStatus::kOk);
+  EXPECT_EQ(server.queue_depth(), 3u);
+
+  // Full queue: another kLow is refused outright (the watermark check
+  // fires before the capacity check, so the refusal reads kShed)...
+  std::future<vsa::Prediction> extra_low;
+  EXPECT_EQ(server.try_submit(samples_[4], low, &extra_low),
+            SubmitStatus::kShed);
+
+  // ...but a kHigh arrival evicts the *youngest* queued kLow request.
+  SubmitOptions high;
+  high.priority = Priority::kHigh;
+  std::future<vsa::Prediction> vip;
+  ASSERT_EQ(server.try_submit(samples_[5], high, &vip), SubmitStatus::kOk);
+  EXPECT_EQ(server.queue_depth(), 3u);
+  EXPECT_THROW(youngest.get(), RequestShed);
+
+  GatedBackend::release();
+  // The evicted slot went to the high-priority request; the older kLow
+  // requests keep their FIFO progress and still complete correctly.
+  EXPECT_EQ(vip.get().scores, model_.predict_reference(samples_[5]).scores);
+  EXPECT_EQ(oldest.get().scores,
+            model_.predict_reference(samples_[1]).scores);
+  EXPECT_EQ(middle.get().scores,
+            model_.predict_reference(samples_[2]).scores);
+  pinned.get();
+  server.shutdown();
+  // Two sheds: the refused extra kLow and the eviction.
+  EXPECT_EQ(server.stats().shed, 2u);
+}
+
+TEST_F(RobustnessTest, WorkersDrainHighestPriorityClassFirst) {
+  Server server = gated_server(/*queue_capacity=*/8, /*shed_watermark=*/8);
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+
+  // Queue low before high; the worker must still dispatch high first.
+  // Completion order is observable through the completed counter at the
+  // moment each future resolves.
+  SubmitOptions low;
+  low.priority = Priority::kLow;
+  SubmitOptions high;
+  high.priority = Priority::kHigh;
+  auto low_future = server.submit(samples_[1], low);
+  auto high_future = server.submit(samples_[2], high);
+
+  GatedBackend::release();
+  high_future.get();
+  // max_batch=1: when the high result lands, the low one may be mid-
+  // dispatch but cannot have completed *before* it. stats() already
+  // accounts for high (stats-before-fulfillment), so completed >= 2
+  // (pinned + high) and the low request finishes after.
+  low_future.get();
+  pinned.get();
+  server.shutdown();
+  EXPECT_EQ(server.stats().completed, 3u);
+}
+
+TEST_F(RobustnessTest, BoundedRetriesThrowServerOverloadedOnceExhausted) {
+  Server server = gated_server(/*queue_capacity=*/1, /*shed_watermark=*/1);
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+  auto queued = server.submit(samples_[1]);  // queue now full
+
+  SubmitOptions bounded;
+  bounded.max_retries = 3;
+  bounded.retry_backoff_us = 100;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(server.submit(samples_[2], bounded), ServerOverloaded);
+  // 3 backoff waits of 100/200/400 us must have elapsed.
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::microseconds(700));
+  EXPECT_EQ(server.stats().retries, 3u);
+
+  GatedBackend::release();
+  queued.get();
+  pinned.get();
+  server.shutdown();
+}
+
+TEST_F(RobustnessTest, BoundedRetriesSucceedWhenSpaceFreesInTime) {
+  Server server = gated_server(/*queue_capacity=*/1, /*shed_watermark=*/1);
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+  auto queued = server.submit(samples_[1]);  // queue now full
+
+  // Release the gate shortly after the retry loop starts waiting: the
+  // worker drains the queue and a later attempt succeeds.
+  std::thread releaser([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    GatedBackend::release();
+  });
+  SubmitOptions bounded;
+  bounded.max_retries = 20;
+  bounded.retry_backoff_us = 500;
+  auto retried = server.submit(samples_[2], bounded);
+  releaser.join();
+
+  EXPECT_EQ(retried.get().scores,
+            model_.predict_reference(samples_[2]).scores);
+  queued.get();
+  pinned.get();
+  server.shutdown();
+  EXPECT_GE(server.stats().retries, 1u);
+}
+
+TEST_F(RobustnessTest, HealthDegradesAboveWatermarkAndRecoversWithHysteresis) {
+  // capacity 8, watermark 4, recovery threshold watermark/2 = 2.
+  Server server = gated_server(/*queue_capacity=*/8, /*shed_watermark=*/4);
+  EXPECT_EQ(server.health(), HealthState::kServing);
+
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+  std::vector<std::future<vsa::Prediction>> queued;
+  for (std::size_t i = 1; i <= 4; ++i) {
+    queued.push_back(server.submit(samples_[i]));
+  }
+  EXPECT_EQ(server.queue_depth(), 4u);
+  EXPECT_EQ(server.health(), HealthState::kDegraded);
+
+  GatedBackend::release();
+  for (auto& f : queued) f.get();
+  pinned.get();
+  // Queue fully drained (0 <= watermark/2): back to serving.
+  EXPECT_EQ(server.health(), HealthState::kServing);
+
+  server.shutdown();
+  EXPECT_EQ(server.health(), HealthState::kDraining);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.health, HealthState::kDraining);
+  // serving -> degraded -> serving -> draining.
+  EXPECT_EQ(stats.health_transitions, 3u);
+}
+
+TEST_F(RobustnessTest, ShutdownDrainsMixedPrioritiesExactlyOnce) {
+  // Exactly-once under drain: every accepted request resolves exactly
+  // once — a correct result or a refusal — and none is lost, across all
+  // priority classes with deadlines in the mix.
+  ServerOptions options;
+  options.workers = 2;
+  options.max_batch = 4;
+  options.max_delay_us = 1000;  // draining must cut the coalescing short
+  options.queue_capacity = 64;
+  options.shed_watermark = 64;  // no shedding: isolate drain behavior
+  Server server(model_, options);
+
+  std::vector<vsa::Prediction> expected;
+  make_backend("reference", model_)->predict_batch(samples_, expected);
+
+  std::vector<std::future<vsa::Prediction>> futures;
+  std::vector<std::size_t> index;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    SubmitOptions opts;
+    opts.priority = static_cast<Priority>(i % kPriorityClasses);
+    // Every 4th request gets a deadline; generous enough that most
+    // survive, but expiry under drain must still resolve the future.
+    if (i % 4 == 0) opts.deadline_us = 50000;
+    futures.push_back(server.submit(samples_[i], opts));
+    index.push_back(i);
+  }
+  server.shutdown();
+
+  std::size_t completed = 0, refused = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_TRUE(futures[i].valid()) << "request " << i << " lost";
+    try {
+      const vsa::Prediction got = futures[i].get();
+      EXPECT_EQ(got.label, expected[index[i]].label) << "request " << i;
+      EXPECT_EQ(got.scores, expected[index[i]].scores) << "request " << i;
+      ++completed;
+    } catch (const DeadlineExceeded&) {
+      ++refused;  // legal: deadline passed while draining
+    }
+  }
+  EXPECT_EQ(completed + refused, samples_.size());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, completed);
+  EXPECT_EQ(stats.deadline_rejected, refused);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(RobustnessTest, InFlightBoundedRetrySurvivesShutdown) {
+  // A submitter parked in the bounded-retry loop when shutdown() lands
+  // must resolve (kShutdown refusal), not hang.
+  Server server = gated_server(/*queue_capacity=*/1, /*shed_watermark=*/1);
+  auto pinned = server.submit(samples_[0]);
+  GatedBackend::wait_for_dispatch();
+  auto queued = server.submit(samples_[1]);
+
+  std::atomic<bool> refused{false};
+  std::thread retrier([&] {
+    SubmitOptions bounded;
+    bounded.max_retries = 1000;
+    bounded.retry_backoff_us = 200;
+    try {
+      server.submit(samples_[2], bounded).get();
+    } catch (const std::exception&) {
+      refused.store(true);  // shutdown or overload — either resolves
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  GatedBackend::release();
+  server.shutdown();
+  retrier.join();
+  queued.get();
+  pinned.get();
+  // The retrier either got served after the gate opened or was refused;
+  // in both cases the thread resolved. No assertion on which — the
+  // invariant is termination plus a consistent final state.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace univsa::runtime

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (runs in the docs-check CI job).
+
+Two passes:
+
+1. Link check — every relative markdown link in README.md, DESIGN.md,
+   and docs/*.md must point at an existing file, and an explicit
+   `#anchor` must match a heading in the target (GitHub slug rules).
+   External (http/https/mailto) links are not fetched.
+
+2. Metric check — every backticked `dotted.metric.name` documented in
+   docs/METRICS.md must appear in at least one of the telemetry
+   snapshot JSONs passed via --snapshot (union of their counters /
+   gauges / histograms keys). Documented-but-missing names FAIL the
+   build; live-but-undocumented names only warn, so experiments can add
+   probes without gating on docs. Rows containing `<` (e.g.
+   `bench.<name>_ns`) are treated as patterns and skipped.
+
+Exit status: 0 clean (warnings allowed), 1 on any error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+METRIC_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_<>]+)+)`")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # [t](u) -> t
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in HEADING_RE.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links(doc: Path, repo_root: Path, errors: list[str]) -> None:
+    text = CODE_FENCE_RE.sub("", doc.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # same-file anchor
+            dest = doc
+        else:
+            dest = (doc.parent / path_part).resolve()
+            if repo_root not in dest.parents and dest != repo_root:
+                errors.append(f"{doc}: link escapes the repo: {target}")
+                continue
+            if not dest.exists():
+                errors.append(f"{doc}: dead link: {target}")
+                continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in anchors_of(dest):
+                errors.append(
+                    f"{doc}: dead anchor: {target} "
+                    f"(no heading slugs to '{anchor}' in {dest.name})")
+
+
+def documented_metrics(metrics_md: Path) -> set[str]:
+    """Metric names are the backticked first cell of METRICS.md table
+    rows; prose mentions and file names don't count."""
+    names: set[str] = set()
+    text = CODE_FENCE_RE.sub("", metrics_md.read_text(encoding="utf-8"))
+    for line in text.splitlines():
+        if not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        match = METRIC_RE.search(first_cell)
+        if not match:
+            continue
+        name = match.group(1)
+        if "<" in name:  # pattern row, e.g. bench.<name>_ns
+            continue
+        names.add(name)
+    return names
+
+
+def live_metrics(snapshots: list[Path], errors: list[str]) -> set[str]:
+    live: set[str] = set()
+    for path in snapshots:
+        if not path.exists():
+            errors.append(f"snapshot not found: {path}")
+            continue
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            errors.append(f"unparseable snapshot {path}: {exc}")
+            continue
+        for kind in ("counters", "gauges", "histograms"):
+            live.update(doc.get(kind, {}).keys())
+    return live
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repo", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of tools/)")
+    parser.add_argument(
+        "--snapshot", type=Path, action="append", default=[],
+        help="telemetry snapshot JSON; repeatable. When none are given "
+             "the metric check is skipped (link check still runs).")
+    args = parser.parse_args()
+    repo = args.repo.resolve()
+
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    docs = [repo / "README.md", repo / "DESIGN.md"]
+    docs += sorted((repo / "docs").glob("*.md"))
+    docs = [d for d in docs if d.exists()]
+    for doc in docs:
+        check_links(doc, repo, errors)
+    print(f"link check: {len(docs)} files scanned")
+
+    metrics_md = repo / "docs" / "METRICS.md"
+    if args.snapshot and metrics_md.exists():
+        documented = documented_metrics(metrics_md)
+        live = live_metrics(args.snapshot, errors)
+        missing = sorted(documented - live)
+        undocumented = sorted(
+            n for n in live - documented if not n.startswith("bench."))
+        for name in missing:
+            errors.append(
+                f"METRICS.md documents `{name}` but no snapshot emits it")
+        for name in undocumented:
+            warnings.append(f"live metric `{name}` is not in METRICS.md")
+        print(f"metric check: {len(documented)} documented, "
+              f"{len(live)} live across {len(args.snapshot)} snapshots")
+    elif metrics_md.exists():
+        print("metric check: skipped (no --snapshot given)")
+
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("check_docs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,14 +9,22 @@
 //   univsa_cli export-c   --model har.uvsa --dir out/
 //   univsa_cli export-rtl --model har.uvsa --dir out/
 //   univsa_cli stats    --model har.uvsa --data test.csv [--format json]
+//   univsa_cli faultcheck          (canned fault plan -> degradation report)
 //   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
+//
+// The complete flag reference lives in docs/CLI.md; the serving knobs
+// (deadlines, priorities, shedding, fault plans) are explained in
+// docs/SERVING.md.
 //
 // Every command also accepts `--threads N` to size the global thread
 // pool (0 = hardware default). Commands that run inference accept
 // `--backend NAME` to pick the runtime backend (default "packed"; see
 // univsa/runtime/registry.h); `parity` cross-checks every registered
 // backend against the reference pipeline and exits non-zero on any
-// bit-level divergence.
+// bit-level divergence. `stats` accepts `--deadline-us` / `--priority`
+// / `--max-retries` to exercise the robustness layer; `faultcheck`
+// runs the canned overload fault plan against a server and exits 0
+// only if availability, shedding, and bit-parity all held up.
 //
 // Telemetry: `eval`, `train`, `parity`, and `stats` accept
 // `--metrics-json PATH` to dump the full telemetry snapshot (counters,
@@ -27,11 +35,13 @@
 //
 // CSVs are `label,f0,f1,...` rows of already-discretized levels, as
 // written by `datagen` (see data/csv_io.h for raw-float import).
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "univsa/common/thread_pool.h"
 #include "univsa/data/benchmarks.h"
@@ -214,8 +224,20 @@ int cmd_parity(const Flags& flags) {
   return report.ok() ? 0 : 1;
 }
 
+runtime::Priority parse_priority(const std::string& name) {
+  if (name == "low") return runtime::Priority::kLow;
+  if (name == "normal") return runtime::Priority::kNormal;
+  if (name == "high") return runtime::Priority::kHigh;
+  std::fprintf(stderr, "bad --priority %s (low|normal|high)\n",
+               name.c_str());
+  std::exit(2);
+}
+
 /// Drives the micro-batching server over a dataset and prints the
-/// telemetry scrape (server latency histograms included).
+/// telemetry scrape (server latency histograms included). The
+/// robustness knobs (--deadline-us, --priority, --max-retries) apply to
+/// every submitted request, so deadline misses and sheds show up both
+/// in the summary line and in the scraped counters.
 int cmd_stats(const Flags& flags) {
   const vsa::Model model =
       vsa::ModelIo::load_file(flags.require("model"));
@@ -226,16 +248,39 @@ int cmd_stats(const Flags& flags) {
   options.backend = flags.get("backend", runtime::default_backend());
   options.workers = flags.get_size("workers", 2);
   options.max_batch = flags.get_size("max-batch", 32);
+  options.max_delay_us = flags.get_size("max-delay-us", options.max_delay_us);
+  options.queue_capacity =
+      flags.get_size("queue-capacity", options.queue_capacity);
+  options.shed_watermark =
+      flags.get_size("shed-watermark", options.shed_watermark);
+
+  runtime::SubmitOptions sopts;
+  sopts.priority = parse_priority(flags.get("priority", "normal"));
+  sopts.deadline_us = flags.get_size("deadline-us", 0);
+  sopts.max_retries = flags.get_size("max-retries", 0);
   {
     runtime::Server server(model, options);
-    std::vector<std::future<vsa::Prediction>> futures;
+    std::vector<std::pair<std::size_t, std::future<vsa::Prediction>>>
+        futures;
     futures.reserve(data_set.size());
+    std::size_t refused = 0;
     for (std::size_t i = 0; i < data_set.size(); ++i) {
-      futures.push_back(server.submit(data_set.values(i)));
+      try {
+        futures.emplace_back(i, server.submit(data_set.values(i), sopts));
+      } catch (const runtime::RequestRefused&) {
+        ++refused;  // shed at admission / retries exhausted
+      }
     }
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < data_set.size(); ++i) {
-      if (futures[i].get().label == data_set.label(i)) ++correct;
+    std::size_t correct = 0, served = 0, deadline_missed = 0;
+    for (auto& [index, future] : futures) {
+      try {
+        if (future.get().label == data_set.label(index)) ++correct;
+        ++served;
+      } catch (const runtime::DeadlineExceeded&) {
+        ++deadline_missed;
+      } catch (const runtime::RequestRefused&) {
+        ++refused;
+      }
     }
     const runtime::ServerStats stats = server.stats();
     std::fprintf(stderr,
@@ -244,9 +289,21 @@ int cmd_stats(const Flags& flags) {
                  static_cast<unsigned long long>(stats.completed),
                  static_cast<unsigned long long>(stats.batches),
                  stats.mean_batch(),
-                 static_cast<double>(correct) /
-                     static_cast<double>(data_set.size()),
+                 served == 0 ? 0.0
+                             : static_cast<double>(correct) /
+                                   static_cast<double>(served),
                  options.backend.c_str());
+    std::fprintf(stderr,
+                 "robustness: health %s, %llu shed, %llu deadline-"
+                 "rejected (%zu missed at the client), %llu retries, "
+                 "%llu health transitions\n",
+                 runtime::to_string(stats.health),
+                 static_cast<unsigned long long>(stats.shed),
+                 static_cast<unsigned long long>(stats.deadline_rejected),
+                 deadline_missed,
+                 static_cast<unsigned long long>(stats.retries),
+                 static_cast<unsigned long long>(
+                     stats.health_transitions));
   }  // server drains + joins before the scrape
 
   const telemetry::Snapshot snap = telemetry::snapshot();
@@ -257,6 +314,202 @@ int cmd_stats(const Flags& flags) {
   }
   maybe_write_metrics(flags);
   return 0;
+}
+
+/// Canned fault-plan degradation check (see docs/SERVING.md): wraps
+/// every worker backend in the seeded FaultPlan schedule (spurious
+/// errors, worker stalls, slowdowns), floods the server with
+/// low-priority work past its shed watermark, and streams high-priority
+/// requests with a deadline through the chaos. Exits 0 only when the
+/// server stayed available: every high-priority request completed
+/// (with bounded client resubmits after injected faults), low-priority
+/// sheds were observed, and every completed result is bit-identical to
+/// the reference backend.
+int cmd_faultcheck(const Flags& flags) {
+  const std::size_t seed = flags.get_size("seed", 42);
+  // Self-contained by default: a seeded random model on the HAR
+  // configuration. --model PATH checks a trained artifact instead.
+  vsa::Model model = [&] {
+    const std::string path = flags.get("model", "");
+    if (!path.empty()) return vsa::ModelIo::load_file(path);
+    Rng rng(static_cast<std::uint64_t>(seed));
+    return vsa::Model::random(data::find_benchmark("HAR").config, rng);
+  }();
+  const vsa::ModelConfig& config = model.config();
+
+  auto plan = std::make_shared<runtime::FaultPlan>(
+      runtime::canned_overload_spec(seed));
+  runtime::ServerOptions options;
+  options.backend = flags.get("backend", runtime::default_backend());
+  options.workers = flags.get_size("workers", 2);
+  options.max_batch = 16;
+  options.max_delay_us = 50;
+  options.queue_capacity = 32;
+  options.fault_plan = plan;
+
+  // Sample pool + the reference predictions every completed result must
+  // match bit-for-bit.
+  Rng rng(static_cast<std::uint64_t>(seed) ^ 0x5eed);
+  const std::size_t n_samples = 64;
+  std::vector<std::vector<std::uint16_t>> samples(n_samples);
+  for (auto& s : samples) {
+    s.resize(config.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(config.M));
+    }
+  }
+  std::vector<vsa::Prediction> expected;
+  runtime::make_backend("reference", model)
+      ->predict_batch(samples, expected);
+
+  const std::size_t n_high = flags.get_size("requests", 120);
+  const std::uint64_t deadline_us = flags.get_size("deadline-us", 500000);
+  std::size_t high_ok = 0, high_deadline = 0, high_gave_up = 0;
+  std::size_t resubmits = 0, mismatches = 0;
+  std::size_t low_submitted = 0, low_completed = 0, low_failed = 0;
+  std::size_t low_shed = 0, low_overloaded = 0;
+  runtime::ServerStats stats;
+  {
+    runtime::Server server(model, options);
+
+    // Low-priority flood: two threads slam try_submit() until the
+    // high-priority stream finishes, backing off briefly whenever
+    // admission control pushes back.
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> flood_submitted{0}, flood_shed{0},
+        flood_overloaded{0};
+    std::vector<std::vector<std::pair<std::size_t,
+                                      std::future<vsa::Prediction>>>>
+        low_futures(2);
+    std::vector<std::thread> flood;
+    for (std::size_t t = 0; t < 2; ++t) {
+      flood.emplace_back([&, t] {
+        runtime::SubmitOptions low;
+        low.priority = runtime::Priority::kLow;
+        std::size_t i = t;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t sample = i % n_samples;
+          std::future<vsa::Prediction> future;
+          const runtime::SubmitStatus status =
+              server.try_submit(samples[sample], low, &future);
+          flood_submitted.fetch_add(1, std::memory_order_relaxed);
+          if (status == runtime::SubmitStatus::kOk) {
+            low_futures[t].emplace_back(sample, std::move(future));
+          } else {
+            if (status == runtime::SubmitStatus::kShed) {
+              flood_shed.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              flood_overloaded.fetch_add(1, std::memory_order_relaxed);
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+          }
+          i += 2;
+        }
+      });
+    }
+
+    // High-priority stream with a deadline; injected faults are
+    // resubmitted a bounded number of times, exactly how a production
+    // client rides out a degraded replica.
+    runtime::SubmitOptions high;
+    high.priority = runtime::Priority::kHigh;
+    high.deadline_us = deadline_us;
+    for (std::size_t i = 0; i < n_high; ++i) {
+      const std::size_t sample = i % n_samples;
+      bool done = false;
+      for (std::size_t attempt = 0; attempt < 4 && !done; ++attempt) {
+        try {
+          const vsa::Prediction got =
+              server.submit(samples[sample], high).get();
+          if (got.label == expected[sample].label &&
+              got.scores == expected[sample].scores) {
+            ++high_ok;
+          } else {
+            ++mismatches;
+          }
+          done = true;
+        } catch (const runtime::InjectedFault&) {
+          ++resubmits;
+        } catch (const runtime::DeadlineExceeded&) {
+          ++high_deadline;
+          done = true;
+        }
+      }
+      if (!done) ++high_gave_up;
+    }
+
+    stop.store(true);
+    for (auto& t : flood) t.join();
+    low_submitted = flood_submitted.load();
+    low_shed = flood_shed.load();
+    low_overloaded = flood_overloaded.load();
+    for (auto& per_thread : low_futures) {
+      for (auto& [sample, future] : per_thread) {
+        try {
+          const vsa::Prediction got = future.get();
+          if (got.label == expected[sample].label &&
+              got.scores == expected[sample].scores) {
+            ++low_completed;
+          } else {
+            ++mismatches;
+          }
+        } catch (const std::exception&) {
+          ++low_failed;  // evicted (RequestShed) or injected fault
+        }
+      }
+    }
+    server.shutdown();
+    stats = server.stats();
+  }
+
+  std::printf("== faultcheck: canned overload fault plan (seed %zu) ==\n",
+              seed);
+  std::printf("backend %s+fault, %zu workers, max_batch %zu, queue %zu\n",
+              options.backend.c_str(), options.workers, options.max_batch,
+              options.queue_capacity);
+  std::printf("injected: %llu errors, %llu stalls, %llu slowdowns\n",
+              static_cast<unsigned long long>(plan->injected_errors()),
+              static_cast<unsigned long long>(plan->injected_stalls()),
+              static_cast<unsigned long long>(plan->injected_slowdowns()));
+  std::printf("high-priority: %zu/%zu ok within %llu us deadline "
+              "(%zu resubmits after injected faults, %zu deadline "
+              "misses, %zu gave up)\n",
+              high_ok, n_high,
+              static_cast<unsigned long long>(deadline_us), resubmits,
+              high_deadline, high_gave_up);
+  std::printf("low-priority: %zu attempts -> %zu completed, %zu shed at "
+              "admission, %zu overloaded, %zu failed in flight\n",
+              low_submitted, low_completed, low_shed, low_overloaded,
+              low_failed);
+  std::printf("server: %llu completed, %llu shed "
+              "(runtime.server.shed_total), %llu deadline-rejected, "
+              "%llu health transitions, final health %s\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.deadline_rejected),
+              static_cast<unsigned long long>(stats.health_transitions),
+              runtime::to_string(stats.health));
+  std::printf("parity: %zu mismatches across %zu completed results\n",
+              mismatches, high_ok + low_completed);
+  maybe_write_metrics(flags);
+
+  bool ok = true;
+  const auto fail = [&ok](const char* what) {
+    std::fprintf(stderr, "FAULTCHECK FAILED: %s\n", what);
+    ok = false;
+  };
+  if (high_ok != n_high) {
+    fail("high-priority availability hole (misses/gave up above)");
+  }
+  if (mismatches != 0) fail("completed results diverged from reference");
+  if (stats.shed + low_shed == 0) {
+    fail("no low-priority sheds observed under overload");
+  }
+  if (runtime::kFaultsCompiledIn && plan->injected_total() == 0) {
+    fail("fault plan injected nothing (schedule bug?)");
+  }
+  if (ok) std::printf("FAULTCHECK OK — degraded gracefully\n");
+  return ok ? 0 : 1;
 }
 
 int cmd_info(const Flags& flags) {
@@ -400,7 +653,10 @@ int cmd_selftest() {
 void usage() {
   std::fputs(
       "usage: univsa_cli <datagen|train|eval|parity|info|adapt|"
-      "export-c|export-rtl|stats|selftest> [--flag value ...]\n",
+      "export-c|export-rtl|stats|faultcheck|selftest> "
+      "[--flag value ...]\n"
+      "flag reference: docs/CLI.md; serving/robustness guide: "
+      "docs/SERVING.md\n",
       stderr);
 }
 
@@ -424,6 +680,7 @@ int main(int argc, char** argv) {
     if (cmd == "export-c") return cmd_export_c(flags);
     if (cmd == "export-rtl") return cmd_export_rtl(flags);
     if (cmd == "stats") return cmd_stats(flags);
+    if (cmd == "faultcheck") return cmd_faultcheck(flags);
     if (cmd == "selftest") return cmd_selftest();
     usage();
     return 2;
