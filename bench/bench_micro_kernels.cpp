@@ -1,15 +1,35 @@
 // Microbenchmarks of the inference hot paths (google-benchmark):
 // XNOR-popcount dot products, bind-bundle encoding, packed BiConv,
 // end-to-end deployed inference, and the hardware functional simulator.
+//
+// A custom main() extends BENCHMARK_MAIN(): after the google-benchmark
+// run (all its flags, --benchmark_filter included, keep working) it
+// hand-times every univsa::simd primitive under every ISA the build and
+// CPU support and writes per-primitive GiB/s + words/cycle rows to
+// BENCH_micro.json, tagged with the build provenance block.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "univsa/common/bitvec.h"
 #include "univsa/common/rng.h"
+#include "univsa/common/simd.h"
 #include "univsa/data/benchmarks.h"
 #include "univsa/hw/functional_sim.h"
+#include "univsa/report/table.h"
+#include "univsa/telemetry/provenance.h"
 #include "univsa/vsa/infer_engine.h"
 #include "univsa/vsa/ldc_model.h"
 #include "univsa/vsa/model.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define UNIVSA_BENCH_HAS_TSC 1
+#endif
 
 namespace {
 
@@ -230,6 +250,214 @@ void BM_FunctionalSimRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FunctionalSimRun);
 
+// --- Per-ISA SIMD primitive micro section --------------------------------
+//
+// Registered dynamically (availability is a runtime property of the CPU),
+// so `--benchmark_filter=BM_Simd` sweeps every compiled-in ISA variant
+// side by side. The same loops are re-timed by hand below the
+// google-benchmark run to produce the BENCH_micro.json rows.
+
+inline std::uint64_t cycle_counter() {
+#if defined(UNIVSA_BENCH_HAS_TSC)
+  return __rdtsc();
+#else
+  return 0;  // words/cycle reported as 0 off x86; GiB/s still valid
+#endif
+}
+
+std::vector<std::uint64_t> random_words(Rng& rng, std::size_t n) {
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) w = rng.next_u64();
+  return words;
+}
+
+// Reduction primitives stream kReductionWords-word operands (128 KiB per
+// stream — L2-resident, so this measures the kernel, not DRAM). The
+// sweep uses a kernel matrix of the same footprint with the BiConv
+// shape: few words per patch, many kernels.
+constexpr std::size_t kReductionWords = 16384;
+constexpr std::size_t kSweepWords = 4;
+constexpr std::size_t kSweepKernels = 4096;
+
+struct SimdBuffers {
+  std::vector<std::uint64_t> a, b, m, kernels_t;
+  std::vector<std::uint32_t> acc;
+  SimdBuffers() {
+    Rng rng(0x5EEDu);
+    a = random_words(rng, kReductionWords);
+    b = random_words(rng, kReductionWords);
+    m = random_words(rng, kReductionWords);
+    kernels_t = random_words(rng, kSweepWords * kSweepKernels);
+    acc.resize(kSweepKernels);
+  }
+};
+
+SimdBuffers& simd_buffers() {
+  static SimdBuffers buffers;
+  return buffers;
+}
+
+struct SimdPrimitive {
+  const char* name;
+  std::size_t bytes_per_call;   // streamed bytes (for GiB/s)
+  std::size_t words_per_call;   // 64-bit word-ops (for words/cycle)
+  std::uint64_t (*run)(const simd::Kernels&);
+};
+
+const SimdPrimitive kSimdPrimitives[] = {
+    {"bulk_popcount", kReductionWords * 8, kReductionWords,
+     [](const simd::Kernels& k) {
+       const SimdBuffers& s = simd_buffers();
+       return static_cast<std::uint64_t>(
+           k.bulk_popcount(s.a.data(), kReductionWords));
+     }},
+    {"xor_popcount", kReductionWords * 16, kReductionWords,
+     [](const simd::Kernels& k) {
+       const SimdBuffers& s = simd_buffers();
+       return static_cast<std::uint64_t>(
+           k.xor_popcount(s.a.data(), s.b.data(), kReductionWords));
+     }},
+    {"xnor_popcount", kReductionWords * 16, kReductionWords,
+     [](const simd::Kernels& k) {
+       const SimdBuffers& s = simd_buffers();
+       return static_cast<std::uint64_t>(
+           k.xnor_popcount(s.a.data(), s.b.data(), kReductionWords));
+     }},
+    {"masked_xnor_popcount", kReductionWords * 24, kReductionWords,
+     [](const simd::Kernels& k) {
+       const SimdBuffers& s = simd_buffers();
+       return static_cast<std::uint64_t>(k.masked_xnor_popcount(
+           s.a.data(), s.b.data(), s.m.data(), kReductionWords));
+     }},
+    {"masked_xnor_popcount_sweep",
+     kSweepWords * kSweepKernels * 8 + kSweepKernels * 4,
+     kSweepWords * kSweepKernels,
+     [](const simd::Kernels& k) {
+       SimdBuffers& s = simd_buffers();
+       k.masked_xnor_popcount_sweep(s.a.data(), s.m.data(),
+                                    s.kernels_t.data(), kSweepWords,
+                                    kSweepKernels, s.acc.data());
+       return static_cast<std::uint64_t>(s.acc[kSweepKernels - 1]);
+     }},
+};
+
+void register_simd_benchmarks() {
+  for (const simd::Isa isa : simd::compiled_isas()) {
+    if (!simd::isa_available(isa)) continue;
+    const simd::Kernels* k = &simd::kernels_for(isa);
+    for (const SimdPrimitive& prim : kSimdPrimitives) {
+      const std::string name = std::string("BM_Simd/") + prim.name + "<" +
+                               simd::to_string(isa) + ">";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [k, &prim](benchmark::State& state) {
+            std::uint64_t sink = 0;
+            for (auto _ : state) {
+              sink += prim.run(*k);
+              benchmark::DoNotOptimize(sink);
+            }
+            state.SetBytesProcessed(
+                static_cast<long>(state.iterations()) *
+                static_cast<long>(prim.bytes_per_call));
+            state.counters["words_per_s"] = benchmark::Counter(
+                static_cast<double>(state.iterations()) *
+                    static_cast<double>(prim.words_per_call),
+                benchmark::Counter::kIsRate);
+          });
+    }
+  }
+}
+
+struct SimdRow {
+  std::string primitive;
+  std::string isa;
+  double gib_per_s = 0.0;
+  double words_per_cycle = 0.0;
+};
+
+// Hand-timed pass behind BENCH_micro.json: ~50 ms per (primitive, ISA)
+// cell, GiB/s from the wall clock, words/cycle from the TSC (0 off x86).
+std::vector<SimdRow> time_simd_rows() {
+  using clock = std::chrono::steady_clock;
+  std::vector<SimdRow> rows;
+  volatile std::uint64_t sink = 0;
+  for (const simd::Isa isa : simd::compiled_isas()) {
+    if (!simd::isa_available(isa)) continue;
+    const simd::Kernels& k = simd::kernels_for(isa);
+    for (const SimdPrimitive& prim : kSimdPrimitives) {
+      sink += prim.run(k);  // warm
+      std::uint64_t calls = 0;
+      const auto t0 = clock::now();
+      const std::uint64_t c0 = cycle_counter();
+      double elapsed_s = 0.0;
+      do {
+        sink += prim.run(k);
+        ++calls;
+        elapsed_s = std::chrono::duration<double>(clock::now() - t0).count();
+      } while (elapsed_s < 0.05);
+      const std::uint64_t cycles = cycle_counter() - c0;
+      SimdRow row;
+      row.primitive = prim.name;
+      row.isa = simd::to_string(isa);
+      row.gib_per_s = static_cast<double>(calls) *
+                      static_cast<double>(prim.bytes_per_call) /
+                      (elapsed_s * 1024.0 * 1024.0 * 1024.0);
+      row.words_per_cycle =
+          cycles == 0 ? 0.0
+                      : static_cast<double>(calls) *
+                            static_cast<double>(prim.words_per_call) /
+                            static_cast<double>(cycles);
+      rows.push_back(row);
+    }
+  }
+  (void)sink;
+  return rows;
+}
+
+void write_bench_micro_json(const std::vector<SimdRow>& rows) {
+  std::ofstream json("BENCH_micro.json");
+  json << "{\n"
+       << "  \"task\": \"micro_kernels\",\n"
+       << "  \"reduction_words\": " << kReductionWords << ",\n"
+       << "  \"sweep_words\": " << kSweepWords << ",\n"
+       << "  \"sweep_kernels\": " << kSweepKernels << ",\n"
+       << univsa::telemetry::provenance_json_fields()
+       << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json << "    {\"primitive\": \"" << rows[i].primitive << "\", \"isa\": \""
+         << rows[i].isa << "\", \"gib_per_s\": "
+         << report::fmt(rows[i].gib_per_s, 3) << ", \"words_per_cycle\": "
+         << report::fmt(rows[i].words_per_cycle, 3) << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n"
+       << "}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the per-ISA SIMD benchmarks can be
+// registered at runtime and the BENCH_micro.json pass can run after the
+// google-benchmark section. All google-benchmark flags keep working.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  register_simd_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::vector<SimdRow> rows = time_simd_rows();
+  univsa::report::TextTable table(
+      {"primitive", "isa", "GiB/s", "words/cycle"});
+  for (const SimdRow& row : rows) {
+    table.add_row({row.primitive, row.isa,
+                   univsa::report::fmt(row.gib_per_s, 2),
+                   univsa::report::fmt(row.words_per_cycle, 2)});
+  }
+  std::printf("\n== SIMD primitive throughput (active isa: %s) ==\n",
+              univsa::simd::to_string(univsa::simd::active_isa()));
+  std::fputs(table.to_string().c_str(), stdout);
+  write_bench_micro_json(rows);
+  std::puts("\nWrote BENCH_micro.json");
+  return 0;
+}

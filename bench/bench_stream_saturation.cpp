@@ -27,6 +27,7 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "univsa/common/simd.h"
 #include "univsa/common/thread_pool.h"
 #include "univsa/hw/event_sim.h"
 #include "univsa/report/table.h"
@@ -273,9 +274,10 @@ int main(int argc, char** argv) {
 
   const std::size_t threads = global_pool().thread_count();
   std::printf("\n== Software predict throughput (%s, %zu samples, %zu "
-              "pool thread%s, backend %s) ==\n",
+              "pool thread%s, backend %s, simd %s) ==\n",
               benchmark.spec.name.c_str(), n_samples, threads,
-              threads == 1 ? "" : "s", args.backend.c_str());
+              threads == 1 ? "" : "s", args.backend.c_str(),
+              simd::to_string(simd::active_isa()));
   report::TextTable sw_table(
       {"path", "throughput (inf/s)", "speedup vs reference"});
   sw_table.add_row({"reference per-sample", report::fmt(reference_sps, 0),

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "univsa/common/contracts.h"
+#include "univsa/common/simd.h"
 
 namespace univsa {
 
@@ -68,11 +69,10 @@ void BitVec::set(std::size_t i, int bipolar_value) {
 
 long long BitVec::dot(const BitVec& other) const {
   UNIVSA_REQUIRE(n_ == other.n_, "dot of mismatched sizes");
-  std::size_t matches = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    matches += std::popcount(~(words_[w] ^ other.words_[w]));
-  }
-  // ~ also matches the zero padding lanes; remove them.
+  std::size_t matches = simd::xnor_popcount(words_.data(),
+                                            other.words_.data(),
+                                            words_.size());
+  // XNOR also matches the zero padding lanes; remove them.
   const std::size_t padding = words_.size() * kWordBits - n_;
   matches -= padding;
   return 2LL * static_cast<long long>(matches) - static_cast<long long>(n_);
@@ -81,30 +81,22 @@ long long BitVec::dot(const BitVec& other) const {
 long long BitVec::masked_dot(const BitVec& other, const BitVec& mask) const {
   UNIVSA_REQUIRE(n_ == other.n_ && n_ == mask.n_,
                  "masked_dot of mismatched sizes");
-  std::size_t matches = 0;
-  std::size_t valid = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    const std::uint64_t m = mask.words_[w];
-    matches += std::popcount(~(words_[w] ^ other.words_[w]) & m);
-    valid += std::popcount(m);
-  }
+  const std::size_t matches = simd::masked_xnor_popcount(
+      words_.data(), other.words_.data(), mask.words_.data(), words_.size());
+  const std::size_t valid =
+      simd::bulk_popcount(mask.words_.data(), mask.words_.size());
   return 2LL * static_cast<long long>(matches) -
          static_cast<long long>(valid);
 }
 
 std::size_t BitVec::hamming(const BitVec& other) const {
   UNIVSA_REQUIRE(n_ == other.n_, "hamming of mismatched sizes");
-  std::size_t diff = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    diff += std::popcount(words_[w] ^ other.words_[w]);
-  }
-  return diff;
+  return simd::xor_popcount(words_.data(), other.words_.data(),
+                            words_.size());
 }
 
 std::size_t BitVec::popcount() const {
-  std::size_t c = 0;
-  for (const auto w : words_) c += std::popcount(w);
-  return c;
+  return simd::bulk_popcount(words_.data(), words_.size());
 }
 
 BitVec BitVec::bind(const BitVec& other) const {

@@ -1,0 +1,284 @@
+// Dispatch table + the single scalar reference implementation of the
+// XNOR/popcount primitive set. The ISA variants live in simd_avx2.cpp /
+// simd_avx512.cpp / simd_neon.cpp (compiled in only when CMake enables
+// the matching UNIVSA_SIMD_HAS_* gate); this file decides, once, which
+// table serves the process.
+#include "univsa/common/simd.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "univsa/common/contracts.h"
+
+namespace univsa::simd {
+
+namespace {
+
+// --- Scalar reference ---------------------------------------------------
+//
+// This is the one scalar XNOR/popcount word loop in the repo; BitVec,
+// the BiConv sweep, and the similarity sweep all route here (or to an
+// ISA variant proven bit-exact against it).
+
+std::uint64_t scalar_bulk_popcount(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+
+std::uint64_t scalar_xor_popcount(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+std::uint64_t scalar_xnor_popcount(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(~(a[i] ^ b[i])));
+  }
+  return total;
+}
+
+std::uint64_t scalar_masked_xnor_popcount(const std::uint64_t* a,
+                                          const std::uint64_t* b,
+                                          const std::uint64_t* mask,
+                                          std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total +=
+        static_cast<std::uint64_t>(std::popcount(~(a[i] ^ b[i]) & mask[i]));
+  }
+  return total;
+}
+
+void scalar_masked_xnor_popcount_sweep(const std::uint64_t* patch,
+                                       const std::uint64_t* valid,
+                                       const std::uint64_t* kernels_t,
+                                       std::size_t words,
+                                       std::size_t k_count,
+                                       std::uint32_t* acc) {
+  for (std::size_t k = 0; k < k_count; ++k) acc[k] = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t p = patch[i];
+    const std::uint64_t v = valid[i];
+    const std::uint64_t* row = kernels_t + i * k_count;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      acc[k] +=
+          static_cast<std::uint32_t>(std::popcount(~(p ^ row[k]) & v));
+    }
+  }
+}
+
+// --- Selection ----------------------------------------------------------
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // advanced SIMD is baseline on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool compiled_in(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(UNIVSA_SIMD_HAS_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(UNIVSA_SIMD_HAS_AVX512)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(UNIVSA_SIMD_HAS_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+struct Selection {
+  const Kernels* table;
+  std::optional<Isa> forced;
+};
+
+Selection select_active() {
+  Selection sel{&kernels_for(best_isa()), std::nullopt};
+  const char* env = std::getenv("UNIVSA_FORCE_ISA");
+  if (env == nullptr || *env == '\0') return sel;
+  const std::optional<Isa> wanted = parse_isa(env);
+  sel.forced = wanted;
+  if (!wanted.has_value()) {
+    std::fprintf(stderr,
+                 "univsa: UNIVSA_FORCE_ISA='%s' not one of "
+                 "scalar|avx2|avx512|neon; using %s\n",
+                 env, to_string(sel.table->isa));
+    return sel;
+  }
+  if (!isa_available(*wanted)) {
+    std::fprintf(stderr,
+                 "univsa: UNIVSA_FORCE_ISA=%s not available on this "
+                 "build/CPU; using %s\n",
+                 to_string(*wanted), to_string(sel.table->isa));
+    return sel;
+  }
+  sel.table = &kernels_for(*wanted);
+  return sel;
+}
+
+const Selection& selection() {
+  static const Selection sel = select_active();
+  return sel;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Isa> parse_isa(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
+  if (name == "neon") return Isa::kNeon;
+  return std::nullopt;
+}
+
+std::vector<Isa> compiled_isas() {
+  std::vector<Isa> isas;
+  for (const Isa isa :
+       {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    if (compiled_in(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+bool isa_available(Isa isa) { return compiled_in(isa) && cpu_supports(isa); }
+
+Isa best_isa() {
+  // Preference order: native vector popcount beats emulated beats scalar.
+  for (const Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon}) {
+    if (isa_available(isa)) return isa;
+  }
+  return Isa::kScalar;
+}
+
+const Kernels& kernels_for(Isa isa) {
+  UNIVSA_REQUIRE(isa_available(isa),
+                 "requested SIMD ISA is not available on this build/CPU");
+  switch (isa) {
+#if defined(UNIVSA_SIMD_HAS_AVX2)
+    case Isa::kAvx2: {
+      static const Kernels k = detail::avx2_kernels();
+      return k;
+    }
+#endif
+#if defined(UNIVSA_SIMD_HAS_AVX512)
+    case Isa::kAvx512: {
+      static const Kernels k = detail::avx512_kernels();
+      return k;
+    }
+#endif
+#if defined(UNIVSA_SIMD_HAS_NEON)
+    case Isa::kNeon: {
+      static const Kernels k = detail::neon_kernels();
+      return k;
+    }
+#endif
+    default: {
+      static const Kernels k = detail::scalar_kernels();
+      return k;
+    }
+  }
+}
+
+const Kernels& active() { return *selection().table; }
+
+Isa active_isa() { return active().isa; }
+
+std::optional<Isa> forced_isa() { return selection().forced; }
+
+std::string cpu_features_string() {
+  std::string features;
+  const auto add = [&features](const char* name) {
+    if (!features.empty()) features += ' ';
+    features += name;
+  };
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("popcnt")) add("popcnt");
+  if (__builtin_cpu_supports("avx")) add("avx");
+  if (__builtin_cpu_supports("avx2")) add("avx2");
+  if (__builtin_cpu_supports("avx512f")) add("avx512f");
+  if (__builtin_cpu_supports("avx512vl")) add("avx512vl");
+  if (__builtin_cpu_supports("avx512vpopcntdq")) add("avx512vpopcntdq");
+#elif defined(__aarch64__)
+  add("neon");
+#endif
+  if (features.empty()) features = "(none detected)";
+  return features;
+}
+
+namespace detail {
+
+Kernels scalar_kernels() {
+  Kernels k;
+  k.isa = Isa::kScalar;
+  k.bulk_popcount = scalar_bulk_popcount;
+  k.xor_popcount = scalar_xor_popcount;
+  k.xnor_popcount = scalar_xnor_popcount;
+  k.masked_xnor_popcount = scalar_masked_xnor_popcount;
+  k.masked_xnor_popcount_sweep = scalar_masked_xnor_popcount_sweep;
+  return k;
+}
+
+}  // namespace detail
+
+}  // namespace univsa::simd

@@ -1,0 +1,142 @@
+// Runtime-dispatched SIMD kernels for the XNOR/popcount datapath.
+//
+// Every inference hot loop in the repo reduces to "combine packed 64-bit
+// words with XNOR/AND, then popcount" (DESIGN.md §10). This layer owns
+// that primitive set exactly once:
+//
+//   bulk_popcount(a, n)                 Σ popcount(a[i])
+//   xor_popcount(a, b, n)               Σ popcount(a[i] ^ b[i])        (hamming)
+//   xnor_popcount(a, b, n)              Σ popcount(~(a[i] ^ b[i]))     (matches)
+//   masked_xnor_popcount(a, b, m, n)    Σ popcount(~(a[i] ^ b[i]) & m[i])
+//   masked_xnor_popcount_sweep(...)     the fused BiConv kernel sweep: one
+//                                       patch against K kernels at once
+//
+// Each primitive has a portable scalar reference plus AVX2 (Harley–Seal
+// popcount), AVX-512 (`VPOPCNTDQ`), and NEON (`CNT`) implementations.
+// ISA variants live in their own translation units compiled with the
+// matching -m flags (simd_avx2.cpp / simd_avx512.cpp / simd_neon.cpp);
+// the dispatch table here is resolved once at startup from CPUID /
+// baseline-ISA facts, honoring a `UNIVSA_FORCE_ISA` environment override
+// (scalar|avx2|avx512|neon) for testing. Every variant is bit-exact
+// against the scalar reference — popcount has no rounding — and the
+// property tests sweep every tail-mask shape to prove it.
+//
+// Note on padding: `xnor_popcount` counts the zero padding lanes beyond a
+// BitVec's size as matches (~(0^0) = all ones), exactly like the scalar
+// loops it replaced; callers subtract the padding (see BitVec::dot).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace univsa::simd {
+
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+/// Registry/CLI spelling: "scalar", "avx2", "avx512", "neon".
+const char* to_string(Isa isa);
+
+/// Inverse of to_string (case-sensitive); nullopt for unknown names.
+std::optional<Isa> parse_isa(const std::string& name);
+
+/// One dispatch table: every primitive resolved for a single ISA. The
+/// pointers are immutable after construction, so a `const Kernels&` can
+/// be shared freely across threads.
+struct Kernels {
+  Isa isa = Isa::kScalar;
+
+  /// Σ popcount(a[i]) over n words.
+  std::uint64_t (*bulk_popcount)(const std::uint64_t* a, std::size_t n);
+
+  /// Σ popcount(a[i] ^ b[i]) — hamming distance over packed lanes.
+  std::uint64_t (*xor_popcount)(const std::uint64_t* a,
+                                const std::uint64_t* b, std::size_t n);
+
+  /// Σ popcount(~(a[i] ^ b[i])) — matching lanes, padding included.
+  std::uint64_t (*xnor_popcount)(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n);
+
+  /// Σ popcount(~(a[i] ^ b[i]) & mask[i]) — DVP-masked matches.
+  std::uint64_t (*masked_xnor_popcount)(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        const std::uint64_t* mask,
+                                        std::size_t n);
+
+  /// Fused BiConv sweep: one flattened patch against k_count kernels.
+  /// `kernels_t` is word-major ("transposed"): word i of kernel k lives
+  /// at kernels_t[i * k_count + k], so the vector paths process adjacent
+  /// kernels in one register. Writes
+  ///   acc[k] = Σ_i popcount(~(patch[i] ^ kernels_t[i*k_count+k]) & valid[i])
+  /// for every k in [0, k_count).
+  void (*masked_xnor_popcount_sweep)(const std::uint64_t* patch,
+                                     const std::uint64_t* valid,
+                                     const std::uint64_t* kernels_t,
+                                     std::size_t words, std::size_t k_count,
+                                     std::uint32_t* acc);
+};
+
+/// The ISA variants this binary was compiled with (always includes
+/// kScalar; the others depend on the target architecture and compiler).
+std::vector<Isa> compiled_isas();
+
+/// Compiled in AND supported by the running CPU.
+bool isa_available(Isa isa);
+
+/// The best available ISA — what the default dispatch upgrades to.
+Isa best_isa();
+
+/// Dispatch table for one specific ISA. Requires isa_available(isa).
+const Kernels& kernels_for(Isa isa);
+
+/// The process-wide active table: best_isa(), unless UNIVSA_FORCE_ISA
+/// names an available ISA (an unavailable or unparsable override falls
+/// back to best_isa(); forced_isa() reports what the env asked for).
+/// Resolved once, on first call.
+const Kernels& active();
+Isa active_isa();
+
+/// What UNIVSA_FORCE_ISA requested, if set and parsable (even when
+/// unavailable and therefore not active).
+std::optional<Isa> forced_isa();
+
+/// Space-separated relevant CPU features detected at runtime (e.g.
+/// "popcnt avx avx2 avx512f avx512vpopcntdq"), for diagnostics.
+std::string cpu_features_string();
+
+// Convenience forwarders through the active table.
+inline std::uint64_t bulk_popcount(const std::uint64_t* a, std::size_t n) {
+  return active().bulk_popcount(a, n);
+}
+inline std::uint64_t xor_popcount(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n) {
+  return active().xor_popcount(a, b, n);
+}
+inline std::uint64_t xnor_popcount(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  return active().xnor_popcount(a, b, n);
+}
+inline std::uint64_t masked_xnor_popcount(const std::uint64_t* a,
+                                          const std::uint64_t* b,
+                                          const std::uint64_t* mask,
+                                          std::size_t n) {
+  return active().masked_xnor_popcount(a, b, mask, n);
+}
+
+namespace detail {
+// Per-ISA table builders, defined in their own translation units (only
+// the ones CMake compiled in are ever referenced by the dispatcher).
+Kernels scalar_kernels();
+Kernels avx2_kernels();
+Kernels avx512_kernels();
+Kernels neon_kernels();
+}  // namespace detail
+
+}  // namespace univsa::simd

@@ -1,0 +1,224 @@
+// AVX2 variants of the XNOR/popcount primitives. Compiled with -mavx2
+// (see src/CMakeLists.txt); only dispatched when CPUID reports AVX2.
+//
+// AVX2 has no vector popcount instruction, so per-vector counts use the
+// classic pshufb nibble-LUT + _mm256_sad_epu8 reduction (per-qword
+// popcounts in one __m256i), and the large-n reductions wrap that in a
+// Harley–Seal carry-save adder over blocks of 16 vectors so most LUT
+// work happens at 1/16th rate.
+#include "univsa/common/simd.h"
+
+#if defined(UNIVSA_SIMD_HAS_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace univsa::simd {
+namespace {
+
+// Per-byte popcount via nibble lookup, then SAD against zero to sum the
+// bytes of each 64-bit lane: result holds popcount per qword.
+inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3,  //
+                                       1, 2, 2, 3, 2, 3, 3, 4,  //
+                                       0, 1, 1, 2, 1, 2, 2, 3,  //
+                                       1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::uint64_t hsum_epi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+// Carry-save adder step: (carry, sum) two-bit add of a+b+c per bit lane.
+inline void csa(__m256i& h, __m256i& l, __m256i a, __m256i b, __m256i c) {
+  const __m256i u = _mm256_xor_si256(a, b);
+  h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  l = _mm256_xor_si256(u, c);
+}
+
+// Harley–Seal reduction over `Load(i)` for i in [0, n) vectors of 4
+// words each, where Load produces the already-combined word (e.g. the
+// XNOR of two streams). Processes blocks of 16 vectors through a CSA
+// tree so only one popcount per 16 vectors runs at full weight.
+template <typename Load>
+inline std::uint64_t harley_seal(std::size_t vecs, Load load) {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  __m256i fours = _mm256_setzero_si256();
+  __m256i eights = _mm256_setzero_si256();
+  __m256i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+
+  std::size_t i = 0;
+  for (; i + 16 <= vecs; i += 16) {
+    csa(twos_a, ones, ones, load(i + 0), load(i + 1));
+    csa(twos_b, ones, ones, load(i + 2), load(i + 3));
+    csa(fours_a, twos, twos, twos_a, twos_b);
+    csa(twos_a, ones, ones, load(i + 4), load(i + 5));
+    csa(twos_b, ones, ones, load(i + 6), load(i + 7));
+    csa(fours_b, twos, twos, twos_a, twos_b);
+    csa(eights_a, fours, fours, fours_a, fours_b);
+    csa(twos_a, ones, ones, load(i + 8), load(i + 9));
+    csa(twos_b, ones, ones, load(i + 10), load(i + 11));
+    csa(fours_a, twos, twos, twos_a, twos_b);
+    csa(twos_a, ones, ones, load(i + 12), load(i + 13));
+    csa(twos_b, ones, ones, load(i + 14), load(i + 15));
+    csa(fours_b, twos, twos, twos_a, twos_b);
+    csa(eights_b, fours, fours, fours_a, fours_b);
+    csa(sixteens, eights, eights, eights_a, eights_b);
+    total = _mm256_add_epi64(total, popcount_epi64(sixteens));
+  }
+  total = _mm256_slli_epi64(total, 4);
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(popcount_epi64(eights), 3));
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(popcount_epi64(fours), 2));
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(popcount_epi64(twos), 1));
+  total = _mm256_add_epi64(total, popcount_epi64(ones));
+  for (; i < vecs; ++i) {
+    total = _mm256_add_epi64(total, popcount_epi64(load(i)));
+  }
+  return hsum_epi64(total);
+}
+
+inline __m256i loadu(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+std::uint64_t avx2_bulk_popcount(const std::uint64_t* a, std::size_t n) {
+  const std::size_t vecs = n / 4;
+  std::uint64_t total =
+      harley_seal(vecs, [a](std::size_t i) { return loadu(a + 4 * i); });
+  for (std::size_t i = 4 * vecs; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+
+std::uint64_t avx2_xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) {
+  const std::size_t vecs = n / 4;
+  std::uint64_t total = harley_seal(vecs, [a, b](std::size_t i) {
+    return _mm256_xor_si256(loadu(a + 4 * i), loadu(b + 4 * i));
+  });
+  for (std::size_t i = 4 * vecs; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+std::uint64_t avx2_xnor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t n) {
+  const __m256i all_ones = _mm256_set1_epi64x(-1);
+  const std::size_t vecs = n / 4;
+  std::uint64_t total = harley_seal(vecs, [a, b, all_ones](std::size_t i) {
+    return _mm256_xor_si256(
+        _mm256_xor_si256(loadu(a + 4 * i), loadu(b + 4 * i)), all_ones);
+  });
+  for (std::size_t i = 4 * vecs; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(~(a[i] ^ b[i])));
+  }
+  return total;
+}
+
+std::uint64_t avx2_masked_xnor_popcount(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        const std::uint64_t* mask,
+                                        std::size_t n) {
+  const __m256i all_ones = _mm256_set1_epi64x(-1);
+  const std::size_t vecs = n / 4;
+  std::uint64_t total =
+      harley_seal(vecs, [a, b, mask, all_ones](std::size_t i) {
+        const __m256i x =
+            _mm256_xor_si256(loadu(a + 4 * i), loadu(b + 4 * i));
+        return _mm256_and_si256(_mm256_xor_si256(x, all_ones),
+                                loadu(mask + 4 * i));
+      });
+  for (std::size_t i = 4 * vecs; i < n; ++i) {
+    total += static_cast<std::uint64_t>(
+        std::popcount(~(a[i] ^ b[i]) & mask[i]));
+  }
+  return total;
+}
+
+// BiConv sweep: vectorize ACROSS kernels. For each patch word i the
+// patch/valid words are broadcast and XNOR-matched against 8 adjacent
+// kernels (two __m256i) from the word-major kernels_t row, accumulating
+// per-kernel qword counts. The patch word count is tiny in the paper's
+// configs (often 1), so across-kernel parallelism is the win.
+void avx2_masked_xnor_popcount_sweep(const std::uint64_t* patch,
+                                     const std::uint64_t* valid,
+                                     const std::uint64_t* kernels_t,
+                                     std::size_t words, std::size_t k_count,
+                                     std::uint32_t* acc) {
+  const __m256i all_ones = _mm256_set1_epi64x(-1);
+  std::size_t k = 0;
+  for (; k + 8 <= k_count; k += 8) {
+    __m256i sum0 = _mm256_setzero_si256();
+    __m256i sum1 = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < words; ++i) {
+      const __m256i p = _mm256_set1_epi64x(
+          static_cast<long long>(patch[i]));
+      const __m256i v = _mm256_set1_epi64x(
+          static_cast<long long>(valid[i]));
+      const std::uint64_t* row = kernels_t + i * k_count + k;
+      const __m256i m0 = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_xor_si256(p, loadu(row)), all_ones), v);
+      const __m256i m1 = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_xor_si256(p, loadu(row + 4)), all_ones),
+          v);
+      sum0 = _mm256_add_epi64(sum0, popcount_epi64(m0));
+      sum1 = _mm256_add_epi64(sum1, popcount_epi64(m1));
+    }
+    alignas(32) std::uint64_t lanes[8];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), sum0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes + 4), sum1);
+    for (int j = 0; j < 8; ++j) {
+      acc[k + static_cast<std::size_t>(j)] =
+          static_cast<std::uint32_t>(lanes[j]);
+    }
+  }
+  for (; k < k_count; ++k) {
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      total += static_cast<std::uint32_t>(
+          std::popcount(~(patch[i] ^ kernels_t[i * k_count + k]) & valid[i]));
+    }
+    acc[k] = total;
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+Kernels avx2_kernels() {
+  Kernels k;
+  k.isa = Isa::kAvx2;
+  k.bulk_popcount = avx2_bulk_popcount;
+  k.xor_popcount = avx2_xor_popcount;
+  k.xnor_popcount = avx2_xnor_popcount;
+  k.masked_xnor_popcount = avx2_masked_xnor_popcount;
+  k.masked_xnor_popcount_sweep = avx2_masked_xnor_popcount_sweep;
+  return k;
+}
+
+}  // namespace detail
+
+}  // namespace univsa::simd
+
+#endif  // UNIVSA_SIMD_HAS_AVX2

@@ -1,0 +1,171 @@
+// AVX-512 variants of the XNOR/popcount primitives. Compiled with
+// -mavx512f -mavx512bw -mavx512vl -mavx512vpopcntdq (src/CMakeLists.txt);
+// only dispatched when CPUID reports avx512f+vl+vpopcntdq.
+//
+// VPOPCNTDQ gives a native per-qword popcount, so no Harley–Seal tree is
+// needed — the loops are plain load / vpternlogq / vpopcntq / vpaddq.
+// Booleans fuse into a single vpternlogq: imm 0xC3 is ~(A^B) and imm
+// 0x82 is (~(A^B)) & C (derived from the A=0xF0, B=0xCC, C=0xAA truth
+// table). Tails use maskz loads; note the masked-out lanes of a maskz
+// load read as 0, which XNOR would count as 64 false matches each, so
+// the xnor tail counts through _mm512_maskz_popcnt_epi64 instead of
+// popcounting the full vector.
+#include "univsa/common/simd.h"
+
+#if defined(UNIVSA_SIMD_HAS_AVX512)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace univsa::simd {
+namespace {
+
+inline __m512i loadu(const std::uint64_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline __mmask8 tail_mask(std::size_t remaining) {
+  return static_cast<__mmask8>((1u << remaining) - 1u);
+}
+
+std::uint64_t avx512_bulk_popcount(const std::uint64_t* a, std::size_t n) {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    total = _mm512_add_epi64(total, _mm512_popcnt_epi64(loadu(a + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    total = _mm512_add_epi64(
+        total, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(m, a + i)));
+  }
+  return static_cast<std::uint64_t>(_mm512_reduce_add_epi64(total));
+}
+
+std::uint64_t avx512_xor_popcount(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n) {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    total = _mm512_add_epi64(
+        total,
+        _mm512_popcnt_epi64(_mm512_xor_si512(loadu(a + i), loadu(b + i))));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    total = _mm512_add_epi64(
+        total, _mm512_popcnt_epi64(_mm512_xor_si512(
+                   _mm512_maskz_loadu_epi64(m, a + i),
+                   _mm512_maskz_loadu_epi64(m, b + i))));
+  }
+  return static_cast<std::uint64_t>(_mm512_reduce_add_epi64(total));
+}
+
+std::uint64_t avx512_xnor_popcount(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = loadu(a + i);
+    const __m512i x = _mm512_ternarylogic_epi64(va, loadu(b + i), va, 0xC3);
+    total = _mm512_add_epi64(total, _mm512_popcnt_epi64(x));
+  }
+  if (i < n) {
+    // Masked-out lanes are 0 after a maskz load, so ~(0^0) would count
+    // 64 phantom matches per lane — popcount only the live lanes.
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i va = _mm512_maskz_loadu_epi64(m, a + i);
+    const __m512i x = _mm512_ternarylogic_epi64(
+        va, _mm512_maskz_loadu_epi64(m, b + i), va, 0xC3);
+    total = _mm512_add_epi64(total, _mm512_maskz_popcnt_epi64(m, x));
+  }
+  return static_cast<std::uint64_t>(_mm512_reduce_add_epi64(total));
+}
+
+std::uint64_t avx512_masked_xnor_popcount(const std::uint64_t* a,
+                                          const std::uint64_t* b,
+                                          const std::uint64_t* mask,
+                                          std::size_t n) {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_ternarylogic_epi64(
+        loadu(a + i), loadu(b + i), loadu(mask + i), 0x82);
+    total = _mm512_add_epi64(total, _mm512_popcnt_epi64(x));
+  }
+  if (i < n) {
+    // A zero mask lane contributes zero, so no phantom-match hazard here.
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i x = _mm512_ternarylogic_epi64(
+        _mm512_maskz_loadu_epi64(m, a + i),
+        _mm512_maskz_loadu_epi64(m, b + i),
+        _mm512_maskz_loadu_epi64(m, mask + i), 0x82);
+    total = _mm512_add_epi64(total, _mm512_popcnt_epi64(x));
+  }
+  return static_cast<std::uint64_t>(_mm512_reduce_add_epi64(total));
+}
+
+// BiConv sweep vectorized across kernels: 8 adjacent kernels per zmm,
+// patch/valid words broadcast, (~(p^k))&v fused into one vpternlogq.
+void avx512_masked_xnor_popcount_sweep(const std::uint64_t* patch,
+                                       const std::uint64_t* valid,
+                                       const std::uint64_t* kernels_t,
+                                       std::size_t words, std::size_t k_count,
+                                       std::uint32_t* acc) {
+  std::size_t k = 0;
+  for (; k + 8 <= k_count; k += 8) {
+    __m512i sum = _mm512_setzero_si512();
+    for (std::size_t i = 0; i < words; ++i) {
+      const __m512i p =
+          _mm512_set1_epi64(static_cast<long long>(patch[i]));
+      const __m512i v =
+          _mm512_set1_epi64(static_cast<long long>(valid[i]));
+      const __m512i x = _mm512_ternarylogic_epi64(
+          p, loadu(kernels_t + i * k_count + k), v, 0x82);
+      sum = _mm512_add_epi64(sum, _mm512_popcnt_epi64(x));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + k),
+                        _mm512_cvtepi64_epi32(sum));
+  }
+  if (k < k_count) {
+    const __mmask8 m = tail_mask(k_count - k);
+    __m512i sum = _mm512_setzero_si512();
+    for (std::size_t i = 0; i < words; ++i) {
+      const __m512i p =
+          _mm512_set1_epi64(static_cast<long long>(patch[i]));
+      const __m512i v =
+          _mm512_set1_epi64(static_cast<long long>(valid[i]));
+      const __m512i x = _mm512_ternarylogic_epi64(
+          p, _mm512_maskz_loadu_epi64(m, kernels_t + i * k_count + k), v,
+          0x82);
+      // Phantom matches in the dead lanes don't matter — the masked
+      // store below never writes them — but keep them zeroed anyway so
+      // the accumulator can't overflow in a pathological words count.
+      sum = _mm512_add_epi64(sum, _mm512_maskz_popcnt_epi64(m, x));
+    }
+    _mm256_mask_storeu_epi32(acc + k, m, _mm512_cvtepi64_epi32(sum));
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+Kernels avx512_kernels() {
+  Kernels k;
+  k.isa = Isa::kAvx512;
+  k.bulk_popcount = avx512_bulk_popcount;
+  k.xor_popcount = avx512_xor_popcount;
+  k.xnor_popcount = avx512_xnor_popcount;
+  k.masked_xnor_popcount = avx512_masked_xnor_popcount;
+  k.masked_xnor_popcount_sweep = avx512_masked_xnor_popcount_sweep;
+  return k;
+}
+
+}  // namespace detail
+
+}  // namespace univsa::simd
+
+#endif  // UNIVSA_SIMD_HAS_AVX512

@@ -1,0 +1,134 @@
+// NEON (AArch64 advanced SIMD) variants of the XNOR/popcount primitives.
+// Advanced SIMD is baseline on AArch64 so no extra compile flags or
+// runtime probe are needed — CMake compiles this TU on aarch64 targets
+// only. CNT counts bits per byte; vaddvq_u8 folds a vector of byte
+// counts into one lane sum (max 16 bytes × 8 bits = 128 fits uint8
+// arithmetic before the horizontal add).
+#include "univsa/common/simd.h"
+
+#if defined(UNIVSA_SIMD_HAS_NEON)
+
+#include <arm_neon.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace univsa::simd {
+namespace {
+
+inline std::uint64_t popcount_u64x2(uint64x2_t v) {
+  return vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(v)));
+}
+
+std::uint64_t neon_bulk_popcount(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    total += popcount_u64x2(vld1q_u64(a + i));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+
+std::uint64_t neon_xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    total += popcount_u64x2(veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+std::uint64_t neon_xnor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    total += popcount_u64x2(
+        vreinterpretq_u64_u8(vmvnq_u8(vreinterpretq_u8_u64(x))));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(~(a[i] ^ b[i])));
+  }
+  return total;
+}
+
+std::uint64_t neon_masked_xnor_popcount(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        const std::uint64_t* mask,
+                                        std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    // BIC computes mask & ~x == mask & xnor.
+    total += popcount_u64x2(vbicq_u64(vld1q_u64(mask + i), x));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(
+        std::popcount(~(a[i] ^ b[i]) & mask[i]));
+  }
+  return total;
+}
+
+void neon_masked_xnor_popcount_sweep(const std::uint64_t* patch,
+                                     const std::uint64_t* valid,
+                                     const std::uint64_t* kernels_t,
+                                     std::size_t words, std::size_t k_count,
+                                     std::uint32_t* acc) {
+  std::size_t k = 0;
+  for (; k + 2 <= k_count; k += 2) {
+    std::uint64_t total0 = 0;
+    std::uint64_t total1 = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      const uint64x2_t p = vdupq_n_u64(patch[i]);
+      const uint64x2_t v = vdupq_n_u64(valid[i]);
+      const uint64x2_t x = veorq_u64(p, vld1q_u64(kernels_t + i * k_count + k));
+      const uint64x2_t m = vbicq_u64(v, x);
+      const uint8x16_t cnt = vcntq_u8(vreinterpretq_u8_u64(m));
+      const uint64x2_t per_lane = vpaddlq_u32(
+          vpaddlq_u16(vpaddlq_u8(cnt)));
+      total0 += vgetq_lane_u64(per_lane, 0);
+      total1 += vgetq_lane_u64(per_lane, 1);
+    }
+    acc[k] = static_cast<std::uint32_t>(total0);
+    acc[k + 1] = static_cast<std::uint32_t>(total1);
+  }
+  for (; k < k_count; ++k) {
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      total += static_cast<std::uint32_t>(
+          std::popcount(~(patch[i] ^ kernels_t[i * k_count + k]) & valid[i]));
+    }
+    acc[k] = total;
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+Kernels neon_kernels() {
+  Kernels k;
+  k.isa = Isa::kNeon;
+  k.bulk_popcount = neon_bulk_popcount;
+  k.xor_popcount = neon_xor_popcount;
+  k.xnor_popcount = neon_xnor_popcount;
+  k.masked_xnor_popcount = neon_masked_xnor_popcount;
+  k.masked_xnor_popcount_sweep = neon_masked_xnor_popcount_sweep;
+  return k;
+}
+
+}  // namespace detail
+
+}  // namespace univsa::simd
+
+#endif  // UNIVSA_SIMD_HAS_NEON

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "univsa/common/simd.h"
 #include "univsa/data/dataset.h"
 #include "univsa/hw/functional_sim.h"
 #include "univsa/hw/timing_model.h"
@@ -101,13 +102,22 @@ class ReferenceBackend : public Backend {
 
 /// Wraps the zero-allocation batched vsa::InferEngine (word-packed
 /// BiConv, hoisted validity planes, kernel-parallel schedule). The
-/// production software path and the registry default.
+/// production software path and the registry default. The default
+/// constructor runs on the process-wide simd::active() dispatch table
+/// (best available ISA, honoring UNIVSA_FORCE_ISA) and is named
+/// "packed"; the Isa constructor pins the engine to one specific SIMD
+/// table and names itself "packed-<isa>" — the registry installs one
+/// per available ISA so parity proves every variant bit-identical.
 class PackedBackend : public Backend {
  public:
   explicit PackedBackend(const vsa::Model& model)
-      : Backend(model), engine_(model) {}
+      : Backend(model), engine_(model), name_("packed") {}
+  PackedBackend(const vsa::Model& model, simd::Isa isa)
+      : Backend(model),
+        engine_(model, &simd::kernels_for(isa)),
+        name_(std::string("packed-") + simd::to_string(isa)) {}
 
-  std::string name() const override { return "packed"; }
+  std::string name() const override { return name_; }
   Capabilities capabilities() const override {
     return {.native_batch = true,
             .parallel_batch = true,
@@ -129,6 +139,7 @@ class PackedBackend : public Backend {
 
  private:
   vsa::InferEngine engine_;
+  std::string name_;
 };
 
 /// Wraps the bit-true hardware functional simulator

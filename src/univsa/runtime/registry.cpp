@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "univsa/common/contracts.h"
+#include "univsa/common/simd.h"
 
 namespace univsa::runtime {
 
@@ -28,6 +29,18 @@ Registry& registry() {
     reg->factories["hwsim"] = [](const vsa::Model& m) {
       return std::make_unique<HwSimBackend>(m);
     };
+    // One ISA-pinned packed backend per available SIMD variant
+    // (including packed-scalar), so the parity harness and the CLI
+    // selftest prove every dispatch-table entry bit-identical against
+    // the reference pipeline. The plain "packed" default above silently
+    // upgrades to the best available ISA via simd::active().
+    for (const simd::Isa isa : simd::compiled_isas()) {
+      if (!simd::isa_available(isa)) continue;
+      reg->factories[std::string("packed-") + simd::to_string(isa)] =
+          [isa](const vsa::Model& m) {
+            return std::make_unique<PackedBackend>(m, isa);
+          };
+    }
     return reg;
   }();
   return *r;

@@ -83,7 +83,8 @@ std::string to_prometheus(const Snapshot& snapshot) {
      << "univsa_build_info{git_sha=\"" << snapshot.build.git_sha
      << "\",compiler=\"" << snapshot.build.compiler << "\",build_type=\""
      << snapshot.build.build_type << "\",flags=\"" << snapshot.build.flags
-     << "\",pool_threads=\"" << snapshot.build.threads << "\"} 1\n";
+     << "\",simd_isa=\"" << snapshot.build.simd_isa << "\",pool_threads=\""
+     << snapshot.build.threads << "\"} 1\n";
   for (const auto& [name, value] : snapshot.counters) {
     std::string n = "univsa_" + sanitize(name);
     // Prometheus counters end in exactly one `_total`; registry names
@@ -127,6 +128,8 @@ std::string to_json(const Snapshot& snapshot) {
      << "  \"build_type\": \"" << json_escape(snapshot.build.build_type)
      << "\",\n"
      << "  \"build_flags\": \"" << json_escape(snapshot.build.flags)
+     << "\",\n"
+     << "  \"simd_isa\": \"" << json_escape(snapshot.build.simd_isa)
      << "\",\n"
      << "  \"pool_threads\": " << snapshot.build.threads << ",\n"
      << "  \"telemetry_compiled_in\": "

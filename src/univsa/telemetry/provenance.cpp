@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "univsa/common/simd.h"
 #include "univsa/common/thread_pool.h"
 #include "univsa/telemetry/metrics.h"
 
@@ -43,6 +44,7 @@ BuildInfo build_info() {
   info.compiler = compiler_string();
   info.build_type = UNIVSA_BUILD_TYPE;
   info.flags = UNIVSA_BUILD_FLAGS;
+  info.simd_isa = simd::to_string(simd::active_isa());
   info.threads = global_pool().thread_count();
   info.telemetry_compiled_in = kCompiledIn;
   return info;
@@ -55,6 +57,7 @@ std::string provenance_json_fields() {
      << "  \"compiler\": \"" << info.compiler << "\",\n"
      << "  \"build_type\": \"" << info.build_type << "\",\n"
      << "  \"build_flags\": \"" << info.flags << "\",\n"
+     << "  \"simd_isa\": \"" << info.simd_isa << "\",\n"
      << "  \"pool_threads\": " << info.threads << ",\n"
      << "  \"telemetry_compiled_in\": "
      << (info.telemetry_compiled_in ? "true" : "false") << ",\n";

@@ -17,6 +17,7 @@ struct BuildInfo {
   std::string compiler;    ///< compiler id + version
   std::string build_type;  ///< CMAKE_BUILD_TYPE
   std::string flags;       ///< distinguishing build options (sanitizer, native arch)
+  std::string simd_isa;    ///< active SIMD dispatch table (simd::active_isa)
   std::size_t threads = 0; ///< global pool width at call time
   bool telemetry_compiled_in = true;
 };

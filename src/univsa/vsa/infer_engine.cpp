@@ -16,7 +16,8 @@ constexpr std::uint32_t kStageSampleEvery = 64;
 
 }  // namespace
 
-InferEngine::InferEngine(const Model& model) : model_(&model) {
+InferEngine::InferEngine(const Model& model, const simd::Kernels* kernels)
+    : model_(&model) {
   model.config().validate();
   // parallel_for runs at most workers + 1 chunks concurrently (the caller
   // participates), so that many arenas cover every schedule.
@@ -24,6 +25,7 @@ InferEngine::InferEngine(const Model& model) : model_(&model) {
   scratches_.reserve(arenas);
   for (std::size_t i = 0; i < arenas; ++i) {
     scratches_.emplace_back(model.config());
+    scratches_.back().simd_kernels = kernels;
   }
 }
 

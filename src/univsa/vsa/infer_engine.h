@@ -33,8 +33,12 @@ namespace univsa::vsa {
 class InferEngine {
  public:
   /// Binds to `model` (not owned; must outlive the engine) and sizes one
-  /// scratch arena per thread the global pool can run.
-  explicit InferEngine(const Model& model);
+  /// scratch arena per thread the global pool can run. `kernels`, when
+  /// non-null, pins every arena to that SIMD dispatch table (must
+  /// outlive the engine; the simd::kernels_for tables are static);
+  /// null means the process-wide simd::active() table.
+  explicit InferEngine(const Model& model,
+                       const simd::Kernels* kernels = nullptr);
 
   InferEngine(const InferEngine&) = delete;
   InferEngine& operator=(const InferEngine&) = delete;

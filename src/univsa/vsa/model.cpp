@@ -50,6 +50,7 @@ void InferScratch::resize(const ModelConfig& config) {
   words_per_patch = (kk * config.D_H + 63) / 64;
   patch_words.resize(words_per_patch);
   kernel_words.resize(config.O * words_per_patch);
+  kernel_acc.resize(config.O);
   valid_words.resize(config.features() * words_per_patch);
   valid_halves.resize(config.features());
   packed_model = nullptr;  // tables must be repacked after a resize
@@ -240,12 +241,18 @@ void Model::pack_scratch_tables(InferScratch& s) const {
   const std::size_t pad = k / 2;
   const std::size_t pw = s.words_per_patch;
 
-  // Kernels, flattened tap-major to mirror the patch layout.
+  // Kernels, flattened tap-major to mirror the patch layout, then
+  // scattered word-major (word i of kernel o at kernel_words[i*O + o])
+  // so the SIMD sweep reads adjacent kernels contiguously.
   std::fill(s.kernel_words.begin(), s.kernel_words.end(), 0);
+  std::vector<std::uint64_t> row(pw);
   for (std::size_t o = 0; o < config_.O; ++o) {
-    std::uint64_t* kw = s.kernel_words.data() + o * pw;
+    std::fill(row.begin(), row.end(), 0);
     for (std::size_t t = 0; t < k * k; ++t) {
-      insert_field(kw, t * dh, kernel_bits_[o][t], dh);
+      insert_field(row.data(), t * dh, kernel_bits_[o][t], dh);
+    }
+    for (std::size_t i = 0; i < pw; ++i) {
+      s.kernel_words[i * config_.O + o] = row[i];
     }
   }
 
@@ -298,36 +305,26 @@ void Model::convolve_into(const std::vector<PackedValue>& volume,
   std::uint64_t* pb = s.patch_words.data();
   std::uint64_t* cw = s.conv_words.data();
   const std::uint64_t* kernels = s.kernel_words.data();
+  std::uint32_t* acc = s.kernel_acc.data();
   const std::size_t O = config_.O;
+  const simd::Kernels& isa =
+      s.simd_kernels != nullptr ? *s.simd_kernels : simd::active();
 
   // Sweeps all O pre-packed kernels over the flattened patch in pb and
   // sets each channel's sign bit for position j (the Sec. IV-A
-  // kernel-parallel order). The bit is 1 iff acc >= ceil(valid_pop/2),
-  // i.e. raw = 2*acc - valid_pop >= 0 with sgn(0) = +1; the set is
-  // branchless because the outcome is data-random (~50/50).
+  // kernel-parallel order): one fused SIMD sweep produces the per-kernel
+  // match counts, then the bit is 1 iff acc >= ceil(valid_pop/2), i.e.
+  // raw = 2*acc - valid_pop >= 0 with sgn(0) = +1; the set is branchless
+  // because the outcome is data-random (~50/50).
   const auto sweep = [&](std::size_t j) {
     const std::uint64_t* vw = s.valid_words.data() + j * pw;
     const long long half = s.valid_halves[j];
     const std::size_t word = j >> 6;
     const std::size_t shift = j & 63;
-    if (pw == 1) {
-      const std::uint64_t pbw = pb[0];
-      const std::uint64_t pvw = vw[0];
-      for (std::size_t o = 0; o < O; ++o) {
-        const long long acc = std::popcount(~(pbw ^ kernels[o]) & pvw);
-        cw[o * wp + word] |=
-            static_cast<std::uint64_t>(acc >= half) << shift;
-      }
-    } else {
-      for (std::size_t o = 0; o < O; ++o) {
-        const std::uint64_t* kw = kernels + o * pw;
-        long long acc = 0;
-        for (std::size_t i = 0; i < pw; ++i) {
-          acc += std::popcount(~(pb[i] ^ kw[i]) & vw[i]);
-        }
-        cw[o * wp + word] |=
-            static_cast<std::uint64_t>(acc >= half) << shift;
-      }
+    isa.masked_xnor_popcount_sweep(pb, vw, kernels, pw, O, acc);
+    for (std::size_t o = 0; o < O; ++o) {
+      cw[o * wp + word] |=
+          static_cast<std::uint64_t>(acc[o] >= half) << shift;
     }
   };
 
@@ -451,6 +448,11 @@ void Model::encode_into(InferScratch& s) const {
 
 void Model::similarity_into(const BitVec& sample_vector,
                             Prediction& out) const {
+  similarity_into(sample_vector, out, simd::active());
+}
+
+void Model::similarity_into(const BitVec& sample_vector, Prediction& out,
+                            const simd::Kernels& kernels) const {
   const std::size_t ns = config_.sample_dim();
   UNIVSA_REQUIRE(sample_vector.size() == ns,
                  "sample vector length mismatch");
@@ -463,11 +465,9 @@ void Model::similarity_into(const BitVec& sample_vector,
   for (std::size_t theta = 0; theta < config_.Theta; ++theta) {
     for (std::size_t c = 0; c < config_.C; ++c) {
       const auto cw = c_[theta * config_.C + c].words();
-      long long matches = 0;
-      for (std::size_t wd = 0; wd < sw.size(); ++wd) {
-        matches += std::popcount(~(sw[wd] ^ cw[wd]));
-      }
-      // ~ also matches the zero padding lanes; remove them.
+      const long long matches = static_cast<long long>(
+          kernels.xnor_popcount(sw.data(), cw.data(), sw.size()));
+      // XNOR also matches the zero padding lanes; remove them.
       out.scores[c] +=
           2 * (matches - pad_lanes) - static_cast<long long>(ns);
     }
@@ -508,14 +508,20 @@ Prediction Model::similarity_hamming(const BitVec& sample_vector) const {
 
 void Model::predict_into(const std::vector<std::uint16_t>& values,
                          InferScratch& scratch) const {
+  const simd::Kernels& kernels = scratch.simd_kernels != nullptr
+                                     ? *scratch.simd_kernels
+                                     : simd::active();
   project_values_into(values, scratch.volume);
   convolve_into(scratch.volume, scratch);
   encode_into(scratch);
-  similarity_into(scratch.sample, scratch.prediction);
+  similarity_into(scratch.sample, scratch.prediction, kernels);
 }
 
 void Model::predict_into_traced(const std::vector<std::uint16_t>& values,
                                 InferScratch& scratch) const {
+  const simd::Kernels& kernels = scratch.simd_kernels != nullptr
+                                     ? *scratch.simd_kernels
+                                     : simd::active();
   {
     UNIVSA_SPAN("stage.dvp");
     project_values_into(values, scratch.volume);
@@ -530,7 +536,7 @@ void Model::predict_into_traced(const std::vector<std::uint16_t>& values,
   }
   {
     UNIVSA_SPAN("stage.similarity");
-    similarity_into(scratch.sample, scratch.prediction);
+    similarity_into(scratch.sample, scratch.prediction, kernels);
   }
 }
 

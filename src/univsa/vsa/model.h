@@ -21,6 +21,7 @@
 
 #include "univsa/common/bitvec.h"
 #include "univsa/common/rng.h"
+#include "univsa/common/simd.h"
 #include "univsa/data/dataset.h"
 #include "univsa/tensor/tensor.h"
 #include "univsa/vsa/model_config.h"
@@ -65,12 +66,18 @@ struct InferScratch {
   std::size_t words_per_patch = 0;
   // Model-derived tables packed lazily on first convolve_into call (and
   // whenever the scratch is handed a different model): kernels in the
-  // same flattened layout, plus the sample-independent validity planes —
-  // PackedValue::valid depends only on the importance mask, so the
-  // per-position packed valid words and their popcounts are hoisted out
-  // of the per-sample loop entirely.
-  std::vector<std::uint64_t> kernel_words;  // O × words_per_patch
+  // same flattened layout but word-major ("transposed") — word i of
+  // kernel o lives at kernel_words[i*O + o], the layout the fused
+  // simd::masked_xnor_popcount_sweep primitive consumes so the vector
+  // paths process adjacent kernels in one register — plus the
+  // sample-independent validity planes: PackedValue::valid depends only
+  // on the importance mask, so the per-position packed valid words and
+  // their popcounts are hoisted out of the per-sample loop entirely.
+  std::vector<std::uint64_t> kernel_words;  // words_per_patch × O
   std::vector<std::uint64_t> valid_words;   // W·L × words_per_patch
+  /// Per-kernel match counts for one patch position (the sweep
+  /// primitive's output buffer), length O.
+  std::vector<std::uint32_t> kernel_acc;
   /// Per-position sign threshold ceil(valid_pop / 2): the conv bit is 1
   /// iff the XNOR match count reaches it (raw = 2·acc − valid_pop ≥ 0).
   std::vector<long long> valid_halves;  // W·L
@@ -86,6 +93,11 @@ struct InferScratch {
   BitVec sample;
   // Stage 4 out — label + per-class scores.
   Prediction prediction;
+  /// SIMD dispatch table the `*_into` stages run on. Null means "the
+  /// process-wide simd::active() table" (best ISA / UNIVSA_FORCE_ISA);
+  /// the packed-<isa> runtime backends pin their scratches to a specific
+  /// table so parity can prove every ISA variant bit-identical.
+  const simd::Kernels* simd_kernels = nullptr;
 };
 
 class Model {
@@ -161,8 +173,12 @@ class Model {
 
   /// Stage 4 hot path: the Θ·C dots fused into one word-major
   /// XNOR+popcount sweep over the class-vector words, writing into a
-  /// reused Prediction (scores capacity is retained across calls).
+  /// reused Prediction (scores capacity is retained across calls). The
+  /// three-argument form runs on a specific SIMD dispatch table; the
+  /// two-argument form uses the process-wide simd::active() table.
   void similarity_into(const BitVec& sample_vector, Prediction& out) const;
+  void similarity_into(const BitVec& sample_vector, Prediction& out,
+                       const simd::Kernels& kernels) const;
 
   /// Eq. 2 with the Hamming metric instead (scores are summed Hamming
   /// distances, label is the argmin). Equivalent ranking to the

@@ -1,0 +1,171 @@
+// Property tests for the runtime-dispatched SIMD kernel layer: every
+// compiled-in ISA variant must be bit-exact against the scalar
+// reference for every vector-width remainder (word counts 1..256 cover
+// every tail shape of the 256- and 512-bit paths several times over),
+// the dispatch rules must honor UNIVSA_FORCE_ISA, and the registry must
+// surface one packed-<isa> backend per available ISA.
+#include "univsa/common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/runtime/registry.h"
+
+namespace univsa::simd {
+namespace {
+
+std::vector<std::uint64_t> random_words(Rng& rng, std::size_t n) {
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) w = rng.next_u64();
+  return words;
+}
+
+TEST(SimdDispatch, ScalarAlwaysCompiledAndAvailable) {
+  const auto isas = compiled_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  EXPECT_TRUE(isa_available(Isa::kScalar));
+  EXPECT_EQ(kernels_for(Isa::kScalar).isa, Isa::kScalar);
+}
+
+TEST(SimdDispatch, ParseIsaRoundTrips) {
+  for (const Isa isa :
+       {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    const auto parsed = parse_isa(to_string(isa));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(parse_isa("").has_value());
+  EXPECT_FALSE(parse_isa("sse9").has_value());
+  EXPECT_FALSE(parse_isa("AVX2").has_value());  // case-sensitive
+}
+
+TEST(SimdDispatch, EveryTableReportsItsOwnIsa) {
+  for (const Isa isa : compiled_isas()) {
+    if (!isa_available(isa)) continue;
+    EXPECT_EQ(kernels_for(isa).isa, isa);
+  }
+}
+
+// The active table must follow UNIVSA_FORCE_ISA when it names an
+// available ISA and fall back to best_isa() otherwise. The CI dispatch
+// matrix runs this whole suite under UNIVSA_FORCE_ISA=scalar and =avx2,
+// so both branches are exercised on real runners.
+TEST(SimdDispatch, ActiveIsaHonorsForceIsaEnv) {
+  const char* env = std::getenv("UNIVSA_FORCE_ISA");
+  if (env == nullptr || *env == '\0') {
+    EXPECT_FALSE(forced_isa().has_value());
+    EXPECT_EQ(active_isa(), best_isa());
+    return;
+  }
+  const auto wanted = parse_isa(env);
+  EXPECT_EQ(forced_isa(), wanted);
+  if (wanted.has_value() && isa_available(*wanted)) {
+    EXPECT_EQ(active_isa(), *wanted);
+  } else {
+    EXPECT_EQ(active_isa(), best_isa());
+  }
+}
+
+TEST(SimdDispatch, RegistryListsOnePackedBackendPerAvailableIsa) {
+  for (const Isa isa : compiled_isas()) {
+    const std::string name = std::string("packed-") + to_string(isa);
+    EXPECT_EQ(runtime::has_backend(name), isa_available(isa)) << name;
+  }
+  // The scalar table is always available, so packed-scalar always exists.
+  EXPECT_TRUE(runtime::has_backend("packed-scalar"));
+}
+
+// --- Bit-exactness sweeps ------------------------------------------------
+
+class SimdKernelTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!isa_available(GetParam())) {
+      GTEST_SKIP() << to_string(GetParam())
+                   << " not available on this build/CPU";
+    }
+  }
+};
+
+TEST_P(SimdKernelTest, ReductionsMatchScalarForEveryWordCount) {
+  const Kernels& k = kernels_for(GetParam());
+  const Kernels& s = kernels_for(Isa::kScalar);
+  Rng rng(0x51D0u);
+  for (std::size_t n = 0; n <= 256; ++n) {
+    const auto a = random_words(rng, n);
+    const auto b = random_words(rng, n);
+    const auto m = random_words(rng, n);
+    EXPECT_EQ(k.bulk_popcount(a.data(), n), s.bulk_popcount(a.data(), n))
+        << "bulk n=" << n;
+    EXPECT_EQ(k.xor_popcount(a.data(), b.data(), n),
+              s.xor_popcount(a.data(), b.data(), n))
+        << "xor n=" << n;
+    EXPECT_EQ(k.xnor_popcount(a.data(), b.data(), n),
+              s.xnor_popcount(a.data(), b.data(), n))
+        << "xnor n=" << n;
+    EXPECT_EQ(k.masked_xnor_popcount(a.data(), b.data(), m.data(), n),
+              s.masked_xnor_popcount(a.data(), b.data(), m.data(), n))
+        << "masked n=" << n;
+  }
+}
+
+TEST_P(SimdKernelTest, ReductionsMatchScalarOnAdversarialPatterns) {
+  const Kernels& k = kernels_for(GetParam());
+  const Kernels& s = kernels_for(Isa::kScalar);
+  for (const std::uint64_t fill :
+       {0ULL, ~0ULL, 0xAAAAAAAAAAAAAAAAULL, 0x8000000000000001ULL}) {
+    for (const std::size_t n : {1, 7, 8, 9, 63, 64, 65, 129, 1000}) {
+      const std::vector<std::uint64_t> a(n, fill);
+      const std::vector<std::uint64_t> b(n, ~fill);
+      const std::vector<std::uint64_t> m(n, 0x0123456789ABCDEFULL);
+      EXPECT_EQ(k.bulk_popcount(a.data(), n), s.bulk_popcount(a.data(), n));
+      EXPECT_EQ(k.xor_popcount(a.data(), b.data(), n),
+                s.xor_popcount(a.data(), b.data(), n));
+      EXPECT_EQ(k.xnor_popcount(a.data(), b.data(), n),
+                s.xnor_popcount(a.data(), b.data(), n));
+      EXPECT_EQ(k.masked_xnor_popcount(a.data(), b.data(), m.data(), n),
+                s.masked_xnor_popcount(a.data(), b.data(), m.data(), n));
+    }
+  }
+}
+
+TEST_P(SimdKernelTest, SweepMatchesScalarForEveryKernelCountShape) {
+  const Kernels& k = kernels_for(GetParam());
+  const Kernels& s = kernels_for(Isa::kScalar);
+  Rng rng(0xB1C0u);
+  // words × k_count covers the paper configs (words_per_patch is 1-3,
+  // O is 8-64) plus every vector-lane remainder of the sweep's
+  // across-kernel blocking.
+  for (const std::size_t words : {1, 2, 3, 5, 10}) {
+    for (std::size_t k_count = 1; k_count <= 40; ++k_count) {
+      const auto patch = random_words(rng, words);
+      const auto valid = random_words(rng, words);
+      const auto kernels_t = random_words(rng, words * k_count);
+      std::vector<std::uint32_t> got(k_count, 0xDEADBEEFu);
+      std::vector<std::uint32_t> want(k_count, 0u);
+      k.masked_xnor_popcount_sweep(patch.data(), valid.data(),
+                                   kernels_t.data(), words, k_count,
+                                   got.data());
+      s.masked_xnor_popcount_sweep(patch.data(), valid.data(),
+                                   kernels_t.data(), words, k_count,
+                                   want.data());
+      EXPECT_EQ(got, want) << "words=" << words << " k_count=" << k_count;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCompiledIsas, SimdKernelTest,
+    ::testing::ValuesIn(compiled_isas()),
+    [](const ::testing::TestParamInfo<Isa>& info) {
+      return std::string(to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace univsa::simd

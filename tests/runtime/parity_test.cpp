@@ -68,6 +68,30 @@ TEST(VerifyParityTest, IsoletShapedConfigStaysBitIdentical) {
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
+// The ISA-backend acceptance bar: every registered packed-* backend
+// (one per SIMD ISA the build + CPU support, packed-scalar always) must
+// be bit-identical to the reference pipeline on a real dataset config.
+TEST(VerifyParityTest, EveryPackedIsaBackendMatchesReferenceOnIsolet) {
+  std::vector<std::string> backends = {"reference", "packed"};
+  std::size_t isa_backends = 0;
+  for (const std::string& name : backend_names()) {
+    if (name.rfind("packed-", 0) == 0) {
+      backends.push_back(name);
+      ++isa_backends;
+    }
+  }
+  ASSERT_GE(isa_backends, 1u);  // packed-scalar is unconditional
+
+  const vsa::ModelConfig c = data::find_benchmark("ISOLET").config;
+  Rng rng(76);
+  const vsa::Model m = vsa::Model::random(c, rng);
+  const ParityReport report =
+      verify_parity(m, random_samples(c, 8, rng), backends);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.baseline, "reference");
+  EXPECT_EQ(report.compared, (backends.size() - 1) * 8u);
+}
+
 TEST(VerifyParityTest, SyntheticDatasetOverloadCoversAllRegistered) {
   const auto& bench = data::find_benchmark("HAR");
   data::SyntheticSpec spec = bench.spec;

@@ -22,6 +22,7 @@ Snapshot golden_snapshot() {
   s.build.compiler = "testcc 1.0";
   s.build.build_type = "Release";
   s.build.flags = "sanitize=off";
+  s.build.simd_isa = "avx2";
   s.build.threads = 4;
   s.build.telemetry_compiled_in = true;
   s.counters.emplace_back("server.requests", 42);
@@ -43,8 +44,8 @@ TEST(ExporterGolden, PrometheusTextFormat) {
   const std::string expected =
       "# TYPE univsa_build_info gauge\n"
       "univsa_build_info{git_sha=\"abc123def456\",compiler=\"testcc 1.0\","
-      "build_type=\"Release\",flags=\"sanitize=off\",pool_threads=\"4\"}"
-      " 1\n"
+      "build_type=\"Release\",flags=\"sanitize=off\",simd_isa=\"avx2\","
+      "pool_threads=\"4\"} 1\n"
       "# TYPE univsa_server_requests counter\n"
       "univsa_server_requests_total 42\n"
       "# TYPE univsa_queue_depth gauge\n"
@@ -65,6 +66,7 @@ TEST(ExporterGolden, JsonFormat) {
       "  \"compiler\": \"testcc 1.0\",\n"
       "  \"build_type\": \"Release\",\n"
       "  \"build_flags\": \"sanitize=off\",\n"
+      "  \"simd_isa\": \"avx2\",\n"
       "  \"pool_threads\": 4,\n"
       "  \"telemetry_compiled_in\": true,\n"
       "  \"counters\": {\"server.requests\": 42},\n"

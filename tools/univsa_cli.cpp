@@ -9,6 +9,7 @@
 //   univsa_cli export-c   --model har.uvsa --dir out/
 //   univsa_cli export-rtl --model har.uvsa --dir out/
 //   univsa_cli stats    --model har.uvsa --data test.csv [--format json]
+//   univsa_cli backends            (CPU features, SIMD dispatch, registry)
 //   univsa_cli faultcheck          (canned fault plan -> degradation report)
 //   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
 //
@@ -43,6 +44,7 @@
 #include <string>
 #include <thread>
 
+#include "univsa/common/simd.h"
 #include "univsa/common/thread_pool.h"
 #include "univsa/data/benchmarks.h"
 #include "univsa/data/csv_io.h"
@@ -293,6 +295,9 @@ int cmd_stats(const Flags& flags) {
                              : static_cast<double>(correct) /
                                    static_cast<double>(served),
                  options.backend.c_str());
+    std::fprintf(stderr, "simd: active isa %s (cpu: %s)\n",
+                 simd::to_string(simd::active_isa()),
+                 simd::cpu_features_string().c_str());
     std::fprintf(stderr,
                  "robustness: health %s, %llu shed, %llu deadline-"
                  "rejected (%zu missed at the client), %llu retries, "
@@ -583,6 +588,43 @@ int cmd_export_rtl(const Flags& flags) {
   return 0;
 }
 
+/// Prints the runtime dispatch picture: detected CPU features, which
+/// SIMD ISA variants this binary carries and which the CPU can run, the
+/// table each primitive dispatches to (with any UNIVSA_FORCE_ISA
+/// override), and the registered runtime backend names.
+int cmd_backends() {
+  std::printf("cpu features: %s\n", simd::cpu_features_string().c_str());
+
+  std::printf("simd isas:");
+  for (const simd::Isa isa : simd::compiled_isas()) {
+    std::printf(" %s%s", simd::to_string(isa),
+                simd::isa_available(isa) ? "" : "(compiled, cpu lacks)");
+  }
+  std::printf("\n");
+
+  if (const auto forced = simd::forced_isa(); forced.has_value()) {
+    std::printf("UNIVSA_FORCE_ISA: %s%s\n", simd::to_string(*forced),
+                simd::isa_available(*forced) ? ""
+                                             : " (unavailable, ignored)");
+  }
+  const simd::Isa active = simd::active_isa();
+  std::printf("active isa: %s (best available: %s)\n",
+              simd::to_string(active), simd::to_string(simd::best_isa()));
+  for (const char* primitive :
+       {"bulk_popcount", "xor_popcount", "xnor_popcount",
+        "masked_xnor_popcount", "masked_xnor_popcount_sweep"}) {
+    std::printf("  %-26s -> %s\n", primitive, simd::to_string(active));
+  }
+
+  std::printf("registered backends:");
+  for (const auto& name : runtime::backend_names()) {
+    std::printf(" %s%s", name.c_str(),
+                name == runtime::default_backend() ? "*" : "");
+  }
+  std::printf("  (* = default)\n");
+  return 0;
+}
+
 int cmd_selftest() {
   const char* tmp = std::getenv("TMPDIR");
   const std::string dir = tmp != nullptr ? tmp : "/tmp";
@@ -646,14 +688,15 @@ int cmd_selftest() {
   std::remove(model_path.c_str());
   std::remove((dir + "/univsa_model.h").c_str());
   std::remove((dir + "/univsa_model.c").c_str());
-  std::printf("selftest OK (test accuracy %.4f)\n", acc);
+  std::printf("selftest OK (test accuracy %.4f, simd isa %s)\n", acc,
+              simd::to_string(simd::active_isa()));
   return 0;
 }
 
 void usage() {
   std::fputs(
       "usage: univsa_cli <datagen|train|eval|parity|info|adapt|"
-      "export-c|export-rtl|stats|faultcheck|selftest> "
+      "export-c|export-rtl|stats|backends|faultcheck|selftest> "
       "[--flag value ...]\n"
       "flag reference: docs/CLI.md; serving/robustness guide: "
       "docs/SERVING.md\n",
@@ -680,6 +723,7 @@ int main(int argc, char** argv) {
     if (cmd == "export-c") return cmd_export_c(flags);
     if (cmd == "export-rtl") return cmd_export_rtl(flags);
     if (cmd == "stats") return cmd_stats(flags);
+    if (cmd == "backends") return cmd_backends();
     if (cmd == "faultcheck") return cmd_faultcheck(flags);
     if (cmd == "selftest") return cmd_selftest();
     usage();
