@@ -1,10 +1,9 @@
 #include "univsa/common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <exception>
 #include <memory>
+#include <utility>
 
 #include "univsa/common/contracts.h"
 
@@ -31,15 +30,6 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-namespace {
-// Set while a pool worker (or a caller chunk of parallel_for) is running a
-// chunk. A nested parallel_for from such a context would deadlock — the
-// queue has no work stealing and every worker could end up waiting — so
-// nested calls degrade to serial execution instead. Parallelism then lives
-// at the outermost level (e.g. GA candidates), which is where it scales.
-thread_local bool tl_inside_pool_chunk = false;
-}  // namespace
-
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -48,69 +38,83 @@ void ThreadPool::worker_loop() {
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::help_until_done(Join& join) {
+  while (join.remaining.load(std::memory_order_acquire) != 0) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this, &join] {
+        return join.remaining.load(std::memory_order_acquire) == 0 ||
+               !tasks_.empty();
+      });
+      if (join.remaining.load(std::memory_order_acquire) == 0) return;
+      // Steal from the back: the newest tasks are most likely this
+      // join's own sub-chunks (nested parallel_for pushes last), which
+      // keeps a joining thread working towards its own completion.
+      task = std::move(tasks_.back());
+      tasks_.pop_back();
     }
     task();
   }
 }
 
 void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t max_chunk) {
   if (n == 0) return;
-  const std::size_t parts =
-      std::min<std::size_t>(n, workers_.size() + 1);
-  if (parts <= 1 || tl_inside_pool_chunk) {
+  std::size_t chunk = (n + workers_.size()) / (workers_.size() + 1);
+  if (max_chunk > 0) chunk = std::min(chunk, max_chunk);
+  chunk = std::max<std::size_t>(chunk, 1);
+  const std::size_t parts = (n + chunk - 1) / chunk;
+  if (parts <= 1) {
     fn(0, n);
     return;
   }
 
-  struct Shared {
-    std::atomic<std::size_t> remaining;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    std::mutex error_mutex;
-  } shared;
-  shared.remaining.store(parts - 1);
+  Join join;
+  join.remaining.store(parts - 1, std::memory_order_relaxed);
 
-  const std::size_t chunk = (n + parts - 1) / parts;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t p = 1; p < parts; ++p) {
       const std::size_t begin = p * chunk;
       const std::size_t end = std::min(n, begin + chunk);
-      tasks_.push([&shared, &fn, begin, end] {
-        tl_inside_pool_chunk = true;
+      tasks_.push_back([this, &join, &fn, begin, end] {
         try {
           if (begin < end) fn(begin, end);
         } catch (...) {
-          std::lock_guard<std::mutex> elock(shared.error_mutex);
-          if (!shared.error) shared.error = std::current_exception();
+          std::lock_guard<std::mutex> elock(join.error_mutex);
+          if (!join.error) join.error = std::current_exception();
         }
-        tl_inside_pool_chunk = false;
-        if (shared.remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> dlock(shared.done_mutex);
-          shared.done_cv.notify_one();
+        if (join.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Completion must be published under the queue mutex: a
+          // joining thread checks `remaining` inside cv_.wait's
+          // predicate, so notifying while holding the mutex closes the
+          // check-then-sleep window.
+          std::lock_guard<std::mutex> wlock(mutex_);
+          cv_.notify_all();
         }
       });
     }
   }
   cv_.notify_all();
 
-  // The caller runs the first chunk itself.
-  tl_inside_pool_chunk = true;
+  // The caller runs the first chunk itself, then helps drain the queue
+  // until all of its chunks have completed.
   try {
     fn(0, std::min(n, chunk));
   } catch (...) {
-    std::lock_guard<std::mutex> elock(shared.error_mutex);
-    if (!shared.error) shared.error = std::current_exception();
+    std::lock_guard<std::mutex> elock(join.error_mutex);
+    if (!join.error) join.error = std::current_exception();
   }
-  tl_inside_pool_chunk = false;
-
-  std::unique_lock<std::mutex> lock(shared.done_mutex);
-  shared.done_cv.wait(lock,
-                      [&shared] { return shared.remaining.load() == 0; });
-  if (shared.error) std::rethrow_exception(shared.error);
+  help_until_done(join);
+  if (join.error) std::rethrow_exception(join.error);
 }
 
 namespace {

@@ -1,16 +1,28 @@
-// A small fixed-size thread pool with a parallel_for helper.
+// A small fixed-size thread pool with a work-stealing parallel_for.
 //
 // Training the partial BNN (Sec. II-C / III) is GEMM-bound; parallel_for
 // splits the M dimension of the GEMM and the batch dimension of layer
 // forward/backward passes. The pool is created once (see global_pool())
 // so bench binaries don't pay thread start-up per layer call.
+//
+// parallel_for calls may nest: a chunk running on a pool worker (e.g. one
+// GA candidate training a model) may itself call parallel_for, and the
+// sub-chunks go into the shared queue where any idle thread — including
+// threads blocked on their own join — picks them up. Joining threads
+// never sleep while runnable work exists ("help-while-wait"), so P
+// outer tasks effectively train concurrently on N shared workers with
+// no lane ever deadlocking on its own children. This is what makes the
+// co-design search's candidate-evaluation phase scale: before, nested
+// calls degraded to serial execution inside the worker.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -29,15 +41,33 @@ class ThreadPool {
 
   /// Runs fn(begin, end) over a partition of [0, n) across the pool and
   /// the calling thread; returns when every chunk is done. Exceptions in
-  /// chunks are rethrown (first one wins).
+  /// chunks are rethrown (first one wins). While waiting for its own
+  /// chunks the caller executes other queued tasks, so nested calls
+  /// compose instead of serializing or deadlocking.
+  ///
+  /// `max_chunk` bounds the per-task index range; 0 picks one chunk per
+  /// thread (right for homogeneous work like GEMM row blocks). Pass 1
+  /// for heterogeneous tasks (e.g. GA candidates whose training cost
+  /// varies with the genome) so idle threads dynamically steal work
+  /// item by item instead of being stuck with an unlucky static range.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t max_chunk = 0);
 
  private:
+  struct Join {
+    std::atomic<std::size_t> remaining{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
   void worker_loop();
+  /// Executes queued tasks until join.remaining reaches zero, sleeping
+  /// only when the queue is empty.
+  void help_until_done(Join& join);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::deque<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,12 +1,15 @@
 #include "univsa/search/evolutionary.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
-#include <map>
 #include <tuple>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "univsa/common/contracts.h"
 #include "univsa/common/thread_pool.h"
+#include "univsa/search/pareto.h"
 #include "univsa/telemetry/metrics.h"
 #include "univsa/vsa/memory_model.h"
 
@@ -20,6 +23,37 @@ using Key = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
 Key key_of(const vsa::ModelConfig& c) {
   return {c.D_H, c.D_L, c.D_K, c.O, c.Theta};
 }
+
+/// The searched fields plus the task geometry fully determine a config,
+/// so the memo can reconstruct configurations from keys alone.
+vsa::ModelConfig config_of(const vsa::ModelConfig& task, const Key& k) {
+  vsa::ModelConfig c = task;
+  c.D_H = std::get<0>(k);
+  c.D_L = std::get<1>(k);
+  c.D_K = std::get<2>(k);
+  c.O = std::get<3>(k);
+  c.Theta = std::get<4>(k);
+  return c;
+}
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+}
+
+/// splitmix-style mixed hash over all five genome fields — the memo is an
+/// unordered_map, and single-field hashes would collide pathologically
+/// (O alone takes ~150 values while the other genes take 2–4).
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::uint64_t h = 0x243F6A8885A308D3ULL;
+    h = mix64(h, std::get<0>(k));
+    h = mix64(h, std::get<1>(k));
+    h = mix64(h, std::get<2>(k));
+    h = mix64(h, std::get<3>(k));
+    h = mix64(h, std::get<4>(k));
+    return static_cast<std::size_t>(h * 0xFF51AFD7ED558CCDULL);
+  }
+};
 
 std::size_t pick(const std::vector<std::size_t>& values, Rng& rng) {
   return values[rng.uniform_index(values.size())];
@@ -79,18 +113,56 @@ void mutate(vsa::ModelConfig& c, const SearchSpace& space, double rate,
 // the parallel == serial determinism contract.
 std::uint64_t config_seed(std::uint64_t base, const Key& k) {
   std::uint64_t h = base;
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-  };
-  mix(std::get<0>(k));
-  mix(std::get<1>(k));
-  mix(std::get<2>(k));
-  mix(std::get<3>(k));
-  mix(std::get<4>(k));
+  h = mix64(h, std::get<0>(k));
+  h = mix64(h, std::get<1>(k));
+  h = mix64(h, std::get<2>(k));
+  h = mix64(h, std::get<3>(k));
+  h = mix64(h, std::get<4>(k));
   return h;
 }
 
+/// Salt folded into the base seed for surrogate proxy calls so a proxy
+/// never sees the full oracle's seed for the same genome.
+constexpr std::uint64_t kSurrogateSalt = 0x53555252ULL;  // "SURR"
+
+struct Scored {
+  vsa::ModelConfig config;
+  double accuracy = 0.0;
+  double objective = 0.0;
+  /// True when `accuracy` came from the full oracle; false when the
+  /// surrogate screen left this candidate with its proxy score.
+  bool exact = true;
+};
+
+struct CacheEntry {
+  double accuracy = 0.0;
+  double objective = 0.0;
+};
+
+ParetoPoint pareto_point(const vsa::ModelConfig& c, double accuracy) {
+  ParetoPoint p;
+  p.config = c;
+  p.accuracy = accuracy;
+  p.memory_kb = vsa::memory_kb(c);
+  p.resource_units = static_cast<double>(vsa::resource_units(c));
+  return p;
+}
+
 }  // namespace
+
+void ring_migration_plan(
+    std::size_t islands, std::size_t population, std::size_t emigrants,
+    const std::function<void(std::size_t, std::size_t, std::size_t,
+                             std::size_t)>& visit) {
+  if (islands < 2 || population == 0) return;
+  const std::size_t e = std::min(emigrants, population - 1);
+  for (std::size_t from = 0; from < islands; ++from) {
+    const std::size_t to = (from + 1) % islands;
+    for (std::size_t rank = 0; rank < e; ++rank) {
+      visit(from, rank, to, population - e + rank);
+    }
+  }
+}
 
 SearchResult evolutionary_search(const vsa::ModelConfig& task,
                                  const SearchSpace& space,
@@ -104,29 +176,50 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
                      !space.d_k.empty() && !space.theta.empty() &&
                      space.o_min >= 1 && space.o_min <= space.o_max,
                  "empty search space");
+  UNIVSA_REQUIRE(options.islands >= 1, "need at least one island");
+  UNIVSA_REQUIRE(options.islands < 2 || options.migration_interval >= 1,
+                 "migration interval must be at least one generation");
+  UNIVSA_REQUIRE(!options.surrogate ||
+                     (options.surrogate_keep > 0.0 &&
+                      options.surrogate_keep <= 1.0),
+                 "surrogate_keep must be in (0, 1]");
 
-  Rng rng(options.seed);
+  const std::size_t K = options.islands;
+  const bool screening = static_cast<bool>(options.surrogate);
   SearchResult result;
-  std::map<Key, std::pair<double, double>> cache;  // key -> (acc, obj)
 
-  struct Scored {
-    vsa::ModelConfig config;
-    double accuracy = 0.0;
-    double objective = 0.0;
+  // Island RNG streams. A single island draws from Rng(seed) directly so
+  // the default configuration reproduces the legacy single-population
+  // trajectory bit-for-bit (regression-pinned for seeds 7/13/99);
+  // multi-island runs use jump-separated streams per island.
+  std::vector<Rng> rngs;
+  rngs.reserve(K);
+  if (K == 1) {
+    rngs.emplace_back(options.seed);
+  } else {
+    for (std::size_t i = 0; i < K; ++i) {
+      rngs.push_back(Rng::stream(options.seed, i));
+    }
+  }
+
+  // Memo tables. `oracle_cache` holds full-fidelity results,
+  // `proxy_cache` the surrogate screen's scores; `oracle_order` records
+  // full evaluations in insertion order so "best ever fully evaluated"
+  // never depends on hash-table iteration order.
+  std::unordered_map<Key, CacheEntry, KeyHash> oracle_cache;
+  std::unordered_map<Key, double, KeyHash> proxy_cache;
+  std::vector<Key> oracle_order;
+
+  const auto objective_of = [&](const Key& k, double acc) {
+    return acc - vsa::hardware_penalty(config_of(task, k), options.lambda1,
+                                       options.lambda2);
   };
 
-  // Batch evaluation with the serial search's exact memo semantics: walk
-  // the candidates in generation order, collect each not-yet-cached key
-  // once (first appearance wins), run the oracle over those — concurrently
-  // when options.parallel — then insert into the memo serially in that
-  // same stable order. The oracle seed depends only on (search seed,
-  // genome), so results, memo contents, and the evaluation count are all
-  // bit-identical to evaluating one candidate at a time.
-  // Search telemetry: one histogram sample per generation-batch of
-  // oracle calls, plus memo hit/miss counters (hit = a candidate served
-  // from the cache or deduplicated within the batch) and the running
-  // hit-rate gauge. Purely observational — the memo semantics above are
-  // untouched.
+  // Search telemetry: memo hit/miss counters (hit = a candidate served
+  // from the cache or deduplicated within the batch; miss = a full
+  // oracle call), surrogate screen counters, per-batch oracle latency,
+  // and the oracle-vs-surrogate wall-time share. Purely observational —
+  // the memo semantics are untouched.
   const bool traced = telemetry::kCompiledIn && telemetry::enabled();
   telemetry::LatencyHistogram& eval_hist =
       telemetry::histogram("search.generation_eval_ns");
@@ -135,119 +228,387 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
       telemetry::counter("search.memo_misses");
   telemetry::Gauge& hit_rate_gauge =
       telemetry::gauge("search.memo_hit_rate");
+  telemetry::Counter& island_generations =
+      telemetry::counter("search.island_generations_total");
+  telemetry::Counter& screened_counter =
+      telemetry::counter("search.surrogate_screened_total");
+  telemetry::Counter& promoted_counter =
+      telemetry::counter("search.surrogate_promoted_total");
+  telemetry::Gauge& oracle_share_gauge =
+      telemetry::gauge("search.oracle_time_share");
+  std::uint64_t oracle_ns = 0;
+  std::uint64_t surrogate_ns = 0;
 
+  // Runs `fn(i)` over [0, n) — across the pool at unit grain when the
+  // search is parallel (candidate costs vary with the genome, so static
+  // chunking would load-imbalance), serially otherwise.
+  const auto for_each_candidate = [&](std::size_t n,
+                                      const std::function<void(std::size_t)>&
+                                          fn) {
+    if (options.parallel) {
+      global_pool().parallel_for(
+          n,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) fn(i);
+          },
+          /*max_chunk=*/1);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+  };
+
+  // Batch evaluation with the serial search's exact memo semantics: walk
+  // the candidates in generation order, collect each not-yet-cached key
+  // once (first appearance wins), screen the fresh set through the
+  // surrogate when configured, run the full oracle over the promoted
+  // subset — concurrently when options.parallel — then insert into the
+  // memo serially in that same stable order. Oracle and proxy seeds
+  // depend only on (search seed, genome), so results, memo contents, and
+  // the evaluation counts are all bit-identical to evaluating one
+  // candidate at a time, for any thread count.
   const auto evaluate_batch =
       [&](const std::vector<vsa::ModelConfig>& configs) {
         std::vector<Key> fresh_keys;
         std::vector<const vsa::ModelConfig*> fresh_configs;
+        std::unordered_set<Key, KeyHash> in_batch;
         for (const auto& c : configs) {
           const Key k = key_of(c);
-          if (cache.find(k) != cache.end()) continue;
-          if (std::find(fresh_keys.begin(), fresh_keys.end(), k) !=
-              fresh_keys.end()) {
-            continue;
-          }
+          if (oracle_cache.find(k) != oracle_cache.end()) continue;
+          if (!in_batch.insert(k).second) continue;
           fresh_keys.push_back(k);
           fresh_configs.push_back(&c);
         }
+
+        // Surrogate screen: proxy-score the fresh set (memoized
+        // separately from the oracle), then promote the `surrogate_keep`
+        // share — ties and ordering resolved by (score desc, batch
+        // position asc), independent of thread schedule.
+        std::vector<std::size_t> promoted(fresh_keys.size());
+        for (std::size_t i = 0; i < promoted.size(); ++i) promoted[i] = i;
+        if (screening && !fresh_keys.empty()) {
+          std::vector<double> proxy(fresh_keys.size(), 0.0);
+          std::vector<std::size_t> to_score;
+          for (std::size_t i = 0; i < fresh_keys.size(); ++i) {
+            const auto it = proxy_cache.find(fresh_keys[i]);
+            if (it != proxy_cache.end()) {
+              proxy[i] = it->second;
+            } else {
+              to_score.push_back(i);
+            }
+          }
+          const std::uint64_t proxy_t0 = traced ? telemetry::now_ns() : 0;
+          for_each_candidate(to_score.size(), [&](std::size_t j) {
+            const std::size_t i = to_score[j];
+            proxy[i] = options.surrogate(
+                *fresh_configs[i],
+                config_seed(options.seed ^ kSurrogateSalt, fresh_keys[i]));
+          });
+          if (traced) surrogate_ns += telemetry::now_ns() - proxy_t0;
+          for (const std::size_t i : to_score) {
+            proxy_cache.emplace(fresh_keys[i], proxy[i]);
+            ++result.surrogate_evaluations;
+          }
+
+          const auto keep = static_cast<std::size_t>(std::max(
+              1.0, std::ceil(options.surrogate_keep *
+                             static_cast<double>(fresh_keys.size()))));
+          std::stable_sort(promoted.begin(), promoted.end(),
+                           [&](std::size_t a, std::size_t b) {
+                             return proxy[a] > proxy[b];
+                           });
+          promoted.resize(std::min(keep, promoted.size()));
+          // Oracle calls and memo inserts happen in batch order, exactly
+          // as in exact mode.
+          std::sort(promoted.begin(), promoted.end());
+          if (traced) {
+            screened_counter.add(fresh_keys.size());
+            promoted_counter.add(promoted.size());
+          }
+        }
+        result.surrogate_promoted += promoted.size();
+
         if (traced) {
-          memo_misses.add(fresh_keys.size());
+          memo_misses.add(promoted.size());
           memo_hits.add(configs.size() - fresh_keys.size());
-          const std::uint64_t total = memo_hits.total() + memo_misses.total();
+          const std::uint64_t total =
+              memo_hits.total() + memo_misses.total();
           if (total > 0) {
             hit_rate_gauge.set(static_cast<double>(memo_hits.total()) /
                                static_cast<double>(total));
           }
         }
 
-        std::vector<double> acc(fresh_keys.size(), 0.0);
-        const auto eval_range = [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            acc[i] = accuracy(*fresh_configs[i],
-                              config_seed(options.seed, fresh_keys[i]));
-          }
-        };
+        std::vector<double> acc(promoted.size(), 0.0);
         const std::uint64_t eval_t0 = traced ? telemetry::now_ns() : 0;
-        if (options.parallel) {
-          global_pool().parallel_for(fresh_keys.size(), eval_range);
-        } else {
-          eval_range(0, fresh_keys.size());
+        for_each_candidate(promoted.size(), [&](std::size_t j) {
+          const std::size_t i = promoted[j];
+          acc[j] = accuracy(*fresh_configs[i],
+                            config_seed(options.seed, fresh_keys[i]));
+        });
+        if (traced && !promoted.empty()) {
+          const std::uint64_t dt = telemetry::now_ns() - eval_t0;
+          eval_hist.record(dt);
+          oracle_ns += dt;
         }
-        if (traced && !fresh_keys.empty()) {
-          eval_hist.record(telemetry::now_ns() - eval_t0);
+        if (traced && oracle_ns + surrogate_ns > 0) {
+          oracle_share_gauge.set(
+              static_cast<double>(oracle_ns) /
+              static_cast<double>(oracle_ns + surrogate_ns));
         }
 
-        for (std::size_t i = 0; i < fresh_keys.size(); ++i) {
-          const double obj =
-              acc[i] - vsa::hardware_penalty(*fresh_configs[i],
-                                             options.lambda1,
-                                             options.lambda2);
-          cache.emplace(fresh_keys[i], std::make_pair(acc[i], obj));
+        for (std::size_t j = 0; j < promoted.size(); ++j) {
+          const Key& k = fresh_keys[promoted[j]];
+          oracle_cache.emplace(
+              k, CacheEntry{acc[j], objective_of(k, acc[j])});
+          oracle_order.push_back(k);
           ++result.evaluations;
         }
 
         std::vector<Scored> scored;
         scored.reserve(configs.size());
         for (const auto& c : configs) {
-          const auto& entry = cache.at(key_of(c));
-          scored.push_back({c, entry.first, entry.second});
+          const Key k = key_of(c);
+          const auto it = oracle_cache.find(k);
+          if (it != oracle_cache.end()) {
+            scored.push_back(
+                {c, it->second.accuracy, it->second.objective, true});
+          } else {
+            const double p = proxy_cache.at(k);
+            scored.push_back({c, p, objective_of(k, p), false});
+          }
         }
         return scored;
       };
 
-  // Genomes are always generated serially — candidate evaluation cannot
-  // influence genome generation (the RNG feeds only selection, crossover,
-  // and mutation), so batching the oracle calls preserves the serial
-  // search's RNG consumption order exactly.
-  std::vector<vsa::ModelConfig> genomes;
-  genomes.reserve(options.population);
-  for (std::size_t i = 0; i < options.population; ++i) {
-    genomes.push_back(random_genome(task, space, rng));
-  }
-  std::vector<Scored> population = evaluate_batch(genomes);
-
   const auto by_objective = [](const Scored& a, const Scored& b) {
     return a.objective > b.objective;
   };
-  const auto tournament = [&]() -> const Scored& {
-    const auto& a = population[rng.uniform_index(population.size())];
-    const auto& b = population[rng.uniform_index(population.size())];
-    return a.objective >= b.objective ? a : b;
+
+  // Genomes are always generated serially, island by island — candidate
+  // evaluation cannot influence genome generation (each island's RNG
+  // feeds only selection, crossover, and mutation), so batching all
+  // islands' oracle calls together preserves per-island RNG consumption
+  // exactly while giving the pool K·population-wide batches.
+  std::vector<vsa::ModelConfig> genomes;
+  std::vector<std::size_t> island_offsets(K + 1, 0);
+  genomes.reserve(K * options.population);
+  for (std::size_t i = 0; i < K; ++i) {
+    for (std::size_t g = 0; g < options.population; ++g) {
+      genomes.push_back(random_genome(task, space, rngs[i]));
+    }
+    island_offsets[i + 1] = genomes.size();
+  }
+  std::vector<Scored> all_scored = evaluate_batch(genomes);
+  std::vector<std::vector<Scored>> islands(K);
+  for (std::size_t i = 0; i < K; ++i) {
+    islands[i].assign(
+        std::make_move_iterator(all_scored.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    island_offsets[i])),
+        std::make_move_iterator(all_scored.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    island_offsets[i + 1])));
+  }
+
+  // Pareto mode keeps per-island NSGA-II state (recomputed per
+  // generation): non-dominated rank then crowding distance drive both
+  // the tournaments and environmental selection.
+  const auto pareto_points = [&](const std::vector<Scored>& pop) {
+    std::vector<ParetoPoint> pts;
+    pts.reserve(pop.size());
+    for (const auto& s : pop) {
+      pts.push_back(pareto_point(s.config, s.accuracy));
+    }
+    return pts;
   };
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
-    std::sort(population.begin(), population.end(), by_objective);
-
     GenerationStats stats;
-    stats.best_objective = population.front().objective;
     double sum = 0.0;
-    for (const auto& s : population) sum += s.objective;
-    stats.mean_objective = sum / static_cast<double>(population.size());
-    result.history.push_back(stats);
+    std::size_t members = 0;
+    // Per-island NSGA-II tables for this generation (pareto mode only).
+    std::vector<std::vector<std::size_t>> ranks(K);
+    std::vector<std::vector<double>> dists(K);
 
-    // Offspring of this generation (tournament draws from the sorted
-    // current population, never from siblings, so generating them all
-    // before any evaluation matches the serial interleaving).
-    genomes.clear();
-    while (options.elite + genomes.size() < options.population) {
-      vsa::ModelConfig child =
-          crossover(tournament().config, tournament().config, space, rng);
-      mutate(child, space, options.mutation_rate, rng);
-      genomes.push_back(child);
+    for (std::size_t i = 0; i < K; ++i) {
+      auto& pop = islands[i];
+      std::sort(pop.begin(), pop.end(), by_objective);
+      if (options.pareto) {
+        const auto pts = pareto_points(pop);
+        ranks[i] = non_dominated_ranks(pts);
+        std::vector<std::size_t> all(pop.size());
+        for (std::size_t m = 0; m < all.size(); ++m) all[m] = m;
+        dists[i] = crowding_distances(pts, all);
+      }
+      const double island_best = pop.front().objective;
+      if (i == 0 || island_best > stats.best_objective) {
+        stats.best_objective = island_best;
+      }
+      for (const auto& s : pop) sum += s.objective;
+      members += pop.size();
     }
-    std::vector<Scored> children = evaluate_batch(genomes);
+    stats.mean_objective = sum / static_cast<double>(members);
+    result.history.push_back(stats);
+    if (traced) island_generations.add(K);
 
-    // Elitist preservation: the top `elite` genomes carry over unchanged.
-    population.resize(options.elite);
-    population.insert(population.end(),
-                      std::make_move_iterator(children.begin()),
-                      std::make_move_iterator(children.end()));
+    // Offspring of this generation, all islands batched together
+    // (tournament draws from each island's sorted current population,
+    // never from siblings, so generating them all before any evaluation
+    // matches the serial interleaving).
+    genomes.clear();
+    for (std::size_t i = 0; i < K; ++i) {
+      auto& pop = islands[i];
+      Rng& rng = rngs[i];
+      const std::size_t children =
+          options.pareto ? options.population
+                         : options.population - options.elite;
+      const auto tournament = [&]() -> const Scored& {
+        const std::size_t a = rng.uniform_index(pop.size());
+        const std::size_t b = rng.uniform_index(pop.size());
+        if (options.pareto) {
+          if (ranks[i][a] != ranks[i][b]) {
+            return pop[ranks[i][a] < ranks[i][b] ? a : b];
+          }
+          return pop[dists[i][a] >= dists[i][b] ? a : b];
+        }
+        return pop[a].objective >= pop[b].objective ? pop[a] : pop[b];
+      };
+      for (std::size_t c = 0; c < children; ++c) {
+        vsa::ModelConfig child =
+            crossover(tournament().config, tournament().config, space, rng);
+        mutate(child, space, options.mutation_rate, rng);
+        genomes.push_back(child);
+      }
+      island_offsets[i + 1] = genomes.size();
+    }
+    all_scored = evaluate_batch(genomes);
+
+    for (std::size_t i = 0; i < K; ++i) {
+      auto& pop = islands[i];
+      const auto child_begin =
+          all_scored.begin() +
+          static_cast<std::ptrdiff_t>(island_offsets[i]);
+      const auto child_end =
+          all_scored.begin() +
+          static_cast<std::ptrdiff_t>(island_offsets[i + 1]);
+      if (options.pareto) {
+        // μ+λ environmental selection: parents + children, best fronts
+        // first, crowding inside the last partially-admitted front.
+        std::vector<Scored> combined = pop;
+        combined.insert(combined.end(), child_begin, child_end);
+        const auto pts = pareto_points(combined);
+        const auto comb_ranks = non_dominated_ranks(pts);
+        std::vector<std::size_t> order(combined.size());
+        for (std::size_t m = 0; m < order.size(); ++m) order[m] = m;
+        const auto comb_dist = crowding_distances(pts, order);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           if (comb_ranks[a] != comb_ranks[b]) {
+                             return comb_ranks[a] < comb_ranks[b];
+                           }
+                           return comb_dist[a] > comb_dist[b];
+                         });
+        std::vector<Scored> next;
+        next.reserve(options.population);
+        for (std::size_t m = 0; m < options.population; ++m) {
+          next.push_back(combined[order[m]]);
+        }
+        pop = std::move(next);
+      } else {
+        // Elitist preservation: the top `elite` genomes carry over
+        // unchanged (pop is still sorted from the top of the loop).
+        pop.resize(options.elite);
+        pop.insert(pop.end(), std::make_move_iterator(child_begin),
+                   std::make_move_iterator(child_end));
+      }
+    }
+
+    // Deterministic ring migration: simultaneous exchange of each
+    // island's best members into its ring successor, reading
+    // pre-migration snapshots so the result is independent of island
+    // processing order (and of thread count — migration happens on the
+    // serial control path).
+    if (K > 1 && options.emigrants > 0 &&
+        (gen + 1) % options.migration_interval == 0) {
+      std::vector<std::vector<std::size_t>> order(K);
+      for (std::size_t i = 0; i < K; ++i) {
+        auto& pop = islands[i];
+        order[i].resize(pop.size());
+        for (std::size_t m = 0; m < order[i].size(); ++m) order[i][m] = m;
+        if (options.pareto) {
+          const auto pts = pareto_points(pop);
+          const auto r = non_dominated_ranks(pts);
+          const auto d = crowding_distances(pts, order[i]);
+          std::stable_sort(order[i].begin(), order[i].end(),
+                           [&](std::size_t a, std::size_t b) {
+                             if (r[a] != r[b]) return r[a] < r[b];
+                             return d[a] > d[b];
+                           });
+        } else {
+          std::stable_sort(order[i].begin(), order[i].end(),
+                           [&](std::size_t a, std::size_t b) {
+                             return pop[a].objective > pop[b].objective;
+                           });
+        }
+      }
+      const std::vector<std::vector<Scored>> snapshot = islands;
+      ring_migration_plan(
+          K, options.population, options.emigrants,
+          [&](std::size_t from, std::size_t rank, std::size_t to,
+              std::size_t replaced) {
+            islands[to][order[to][replaced]] =
+                snapshot[from][order[from][rank]];
+          });
+    }
   }
 
-  std::sort(population.begin(), population.end(), by_objective);
-  result.best_config = population.front().config;
-  result.best_objective = population.front().objective;
-  result.best_accuracy = population.front().accuracy;
+  // Final selection. Legacy semantics per island: one last objective
+  // sort, best at the front. Under surrogate screening the reported
+  // winner must be a fully-evaluated configuration, so proxy-only
+  // members are skipped (their keys are re-checked against the oracle
+  // memo — a genome screened out early may have been promoted since) and
+  // the fully-evaluated history is the fallback.
+  bool have_best = false;
+  for (std::size_t i = 0; i < K; ++i) {
+    auto& pop = islands[i];
+    std::sort(pop.begin(), pop.end(), by_objective);
+    for (const auto& s : pop) {
+      const auto it = oracle_cache.find(key_of(s.config));
+      if (it == oracle_cache.end()) continue;
+      if (!have_best || it->second.objective > result.best_objective) {
+        result.best_config = s.config;
+        result.best_objective = it->second.objective;
+        result.best_accuracy = it->second.accuracy;
+        have_best = true;
+      }
+      break;  // pop is sorted; only its best member can win the island
+    }
+  }
+  if (!have_best) {
+    for (const Key& k : oracle_order) {
+      const CacheEntry& e = oracle_cache.at(k);
+      if (!have_best || e.objective > result.best_objective) {
+        result.best_config = config_of(task, k);
+        result.best_objective = e.objective;
+        result.best_accuracy = e.accuracy;
+        have_best = true;
+      }
+    }
+  }
+
+  if (options.pareto) {
+    // Native front: every fully-evaluated member of the final
+    // populations, non-dominated-filtered (dedup + ascending memory).
+    std::vector<ParetoPoint> pts;
+    for (std::size_t i = 0; i < K; ++i) {
+      for (const auto& s : islands[i]) {
+        const auto it = oracle_cache.find(key_of(s.config));
+        if (it == oracle_cache.end()) continue;
+        pts.push_back(pareto_point(s.config, it->second.accuracy));
+      }
+    }
+    result.front = non_dominated(pts);
+  }
   return result;
 }
 

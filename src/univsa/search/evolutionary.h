@@ -8,6 +8,31 @@
 // the Table I bench trains a small model per candidate, tests use an
 // analytic surrogate. Evaluations are memoized per configuration — the
 // GA revisits genomes often and training is the expensive part.
+//
+// Beyond the paper's single-population GA, the search scales out in
+// three orthogonal directions (all off by default; defaults reproduce
+// the legacy trajectory bit-for-bit):
+//
+//  * Island model (`SearchOptions::islands`): K independent populations,
+//    each with its own RNG stream (Rng::stream(seed, island)), evolved
+//    in lock-step with all islands' offspring evaluated as one combined
+//    batch — per-generation parallelism scales with K·population instead
+//    of a single population's fresh-candidate count. Every
+//    `migration_interval` generations the islands exchange their top
+//    `emigrants` around a deterministic ring (see ring_migration_plan).
+//
+//  * Surrogate pre-screening (`SearchOptions::surrogate`): a cheap
+//    seeded proxy (e.g. truncated-epoch training) scores each
+//    generation's fresh offspring and only the top `surrogate_keep`
+//    fraction is promoted to the full oracle; the rest keep their proxy
+//    score for selection. Proxy and oracle results are memoized
+//    separately, and a genome screened out in one generation can still
+//    be promoted when it resurfaces. An empty surrogate is exact mode.
+//
+//  * Native multi-objective mode (`SearchOptions::pareto`): NSGA-II
+//    non-dominated sorting + crowding selection inside the same island/
+//    surrogate machinery, emitting the accuracy/memory/resource front
+//    (SearchResult::front) instead of only the Eq. 7 scalarization.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +53,20 @@ struct SearchSpace {
   std::vector<std::size_t> theta = {1, 3, 5};
 };
 
+/// Returns the (validation) accuracy of a candidate configuration.
+/// Must be deterministic per configuration (and thread-safe when
+/// SearchOptions::parallel) or the search trajectory is not reproducible.
+using AccuracyFn = std::function<double(const vsa::ModelConfig&)>;
+
+/// Accuracy oracle handed a per-configuration deterministic seed derived
+/// from SearchOptions::seed and the genome alone (never from evaluation
+/// order or thread id), so oracles that train a model can seed their RNG
+/// from it and stay reproducible under parallel evaluation.
+using SeededAccuracyFn =
+    std::function<double(const vsa::ModelConfig&, std::uint64_t)>;
+
 struct SearchOptions {
-  std::size_t population = 16;
+  std::size_t population = 16;  ///< per-island population
   std::size_t generations = 10;
   std::size_t elite = 4;       ///< elitist preservation count
   double mutation_rate = 0.3;  ///< per-gene mutation probability
@@ -43,31 +80,63 @@ struct SearchOptions {
   /// evaluation order — run concurrently, and memo insertion happens
   /// serially in generation order. The oracle must be thread-safe.
   bool parallel = true;
+
+  // --- Island model ---------------------------------------------------
+  /// Number of independent populations. 1 reproduces the legacy
+  /// single-population trajectory exactly (island 0 then draws from
+  /// Rng(seed), not Rng::stream, for backwards bit-compatibility).
+  std::size_t islands = 1;
+  /// Generations between ring migrations (only meaningful islands > 1).
+  std::size_t migration_interval = 4;
+  /// Members copied island→island per migration, clamped to
+  /// population − 1. 0 disables migration.
+  std::size_t emigrants = 2;
+
+  // --- Surrogate pre-screening ---------------------------------------
+  /// Cheap fitness proxy with the same seeding contract as the oracle;
+  /// empty (default) means exact mode — every fresh genome goes to the
+  /// full oracle. Must be thread-safe when `parallel`.
+  SeededAccuracyFn surrogate;
+  /// Fraction of each fresh batch promoted to the full oracle (at least
+  /// one candidate per non-empty batch). Ignored without `surrogate`.
+  double surrogate_keep = 0.5;
+
+  // --- Multi-objective mode -------------------------------------------
+  /// NSGA-II selection (non-dominated rank, then crowding distance) over
+  /// (accuracy ↑, Eq. 5 memory ↓, Eq. 6 resources ↓); fills
+  /// SearchResult::front. The Eq. 7 scalarization still decides
+  /// best_config so single-number reporting keeps working.
+  bool pareto = false;
 };
-
-/// Returns the (validation) accuracy of a candidate configuration.
-/// Must be deterministic per configuration (and thread-safe when
-/// SearchOptions::parallel) or the search trajectory is not reproducible.
-using AccuracyFn = std::function<double(const vsa::ModelConfig&)>;
-
-/// Accuracy oracle handed a per-configuration deterministic seed derived
-/// from SearchOptions::seed and the genome alone (never from evaluation
-/// order or thread id), so oracles that train a model can seed their RNG
-/// from it and stay reproducible under parallel evaluation.
-using SeededAccuracyFn =
-    std::function<double(const vsa::ModelConfig&, std::uint64_t)>;
 
 struct GenerationStats {
   double best_objective = 0.0;
   double mean_objective = 0.0;
 };
 
+/// One point of the accuracy/memory/resource trade-off surface.
+struct ParetoPoint {
+  vsa::ModelConfig config;
+  double accuracy = 0.0;
+  double memory_kb = 0.0;
+  double resource_units = 0.0;
+};
+
 struct SearchResult {
   vsa::ModelConfig best_config;
   double best_objective = 0.0;
   double best_accuracy = 0.0;
-  std::vector<GenerationStats> history;
-  std::size_t evaluations = 0;  ///< oracle calls (after memoization)
+  std::vector<GenerationStats> history;  ///< per generation, max/mean
+                                         ///< across all islands
+  std::size_t evaluations = 0;  ///< full-oracle calls (after memoization)
+  /// Proxy calls made by surrogate pre-screening (0 in exact mode).
+  std::size_t surrogate_evaluations = 0;
+  /// Fresh candidates promoted to the full oracle by the screen (equals
+  /// `evaluations` in exact mode).
+  std::size_t surrogate_promoted = 0;
+  /// Non-dominated front over every fully-evaluated configuration in the
+  /// final populations; empty unless SearchOptions::pareto.
+  std::vector<ParetoPoint> front;
 };
 
 /// `task` supplies W, L, C, M; its hyperparameter fields are ignored.
@@ -80,5 +149,18 @@ SearchResult evolutionary_search(const vsa::ModelConfig& task,
                                  const SearchSpace& space,
                                  const SeededAccuracyFn& accuracy,
                                  const SearchOptions& options);
+
+/// The deterministic ring-migration plan the island search applies
+/// (exposed for the topology unit test): with islands sorted best-first,
+/// island i's members of rank 0..E−1 are copied into island (i+1) mod K,
+/// replacing its members of rank P−E..P−1 (emigrant rank e replaces
+/// destination rank P−E+e); all copies read pre-migration state, so the
+/// exchange is simultaneous around the ring. E is `emigrants` clamped to
+/// P−1. `visit(from_island, emigrant_rank, to_island, replaced_rank)` is
+/// called once per copied member, in (from_island, emigrant_rank) order.
+void ring_migration_plan(
+    std::size_t islands, std::size_t population, std::size_t emigrants,
+    const std::function<void(std::size_t, std::size_t, std::size_t,
+                             std::size_t)>& visit);
 
 }  // namespace univsa::search

@@ -66,8 +66,10 @@ vsa::ModelConfig vary(const vsa::ModelConfig& a, const vsa::ModelConfig& b,
   return c;
 }
 
-/// Fast non-dominated sort (returns front index per point, 0 = best).
-std::vector<std::size_t> front_ranks(const std::vector<ParetoPoint>& pts) {
+}  // namespace
+
+std::vector<std::size_t> non_dominated_ranks(
+    const std::vector<ParetoPoint>& pts) {
   const std::size_t n = pts.size();
   std::vector<std::size_t> rank(n, 0);
   std::vector<std::size_t> dominated_count(n, 0);
@@ -99,9 +101,9 @@ std::vector<std::size_t> front_ranks(const std::vector<ParetoPoint>& pts) {
   return rank;
 }
 
-/// Crowding distance within one front (larger = more isolated).
-std::vector<double> crowding(const std::vector<ParetoPoint>& pts,
-                             const std::vector<std::size_t>& members) {
+std::vector<double> crowding_distances(
+    const std::vector<ParetoPoint>& pts,
+    const std::vector<std::size_t>& members) {
   std::vector<double> distance(pts.size(), 0.0);
   const auto by_key = [&](auto key) {
     std::vector<std::size_t> order = members;
@@ -129,8 +131,6 @@ std::vector<double> crowding(const std::vector<ParetoPoint>& pts,
   by_key([](const ParetoPoint& p) { return p.resource_units; });
   return distance;
 }
-
-}  // namespace
 
 bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
   const bool no_worse = a.accuracy >= b.accuracy &&
@@ -208,10 +208,10 @@ ParetoResult pareto_search(const vsa::ModelConfig& task,
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
     // Offspring via binary tournaments on (rank, crowding).
-    const auto ranks = front_ranks(population);
+    const auto ranks = non_dominated_ranks(population);
     std::vector<std::size_t> all(population.size());
     for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-    const auto dist = crowding(population, all);
+    const auto dist = crowding_distances(population, all);
     const auto tournament = [&]() -> const ParetoPoint& {
       const std::size_t a = rng.uniform_index(population.size());
       const std::size_t b = rng.uniform_index(population.size());
@@ -231,11 +231,11 @@ ParetoResult pareto_search(const vsa::ModelConfig& task,
 
     // Environmental selection: best fronts first, crowding inside the
     // last partially-admitted front.
-    const auto comb_ranks = front_ranks(combined);
+    const auto comb_ranks = non_dominated_ranks(combined);
     std::vector<std::size_t> order(combined.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::vector<std::size_t> everyone = order;
-    const auto comb_dist = crowding(combined, everyone);
+    const auto comb_dist = crowding_distances(combined, everyone);
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) {
                 if (comb_ranks[a] != comb_ranks[b]) {

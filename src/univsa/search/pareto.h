@@ -9,6 +9,12 @@
 // pick from. (An extension beyond the paper's single-objective search;
 // the single-objective optimum is always on this front, which is
 // property-tested.)
+//
+// The scalable path is SearchOptions::pareto on evolutionary_search,
+// which runs the same NSGA-II selection inside the island/surrogate/
+// parallel machinery and emits SearchResult::front natively; the
+// standalone pareto_search here is the small serial reference the
+// property tests pin down. Both share the ranking primitives below.
 #pragma once
 
 #include <vector>
@@ -16,13 +22,6 @@
 #include "univsa/search/evolutionary.h"
 
 namespace univsa::search {
-
-struct ParetoPoint {
-  vsa::ModelConfig config;
-  double accuracy = 0.0;
-  double memory_kb = 0.0;
-  double resource_units = 0.0;
-};
 
 /// a dominates b: no objective worse, at least one strictly better.
 bool dominates(const ParetoPoint& a, const ParetoPoint& b);
@@ -48,5 +47,17 @@ ParetoResult pareto_search(const vsa::ModelConfig& task,
 /// Non-dominated filter over arbitrary points (exposed for tests).
 std::vector<ParetoPoint> non_dominated(
     const std::vector<ParetoPoint>& points);
+
+/// Fast non-dominated sort: front index per point, 0 = best. Shared by
+/// pareto_search and the native multi-objective evolutionary_search.
+std::vector<std::size_t> non_dominated_ranks(
+    const std::vector<ParetoPoint>& points);
+
+/// NSGA-II crowding distance over the points selected by `members`
+/// (indices into `points`); larger = more isolated. Entries not in
+/// `members` stay 0.
+std::vector<double> crowding_distances(
+    const std::vector<ParetoPoint>& points,
+    const std::vector<std::size_t>& members);
 
 }  // namespace univsa::search

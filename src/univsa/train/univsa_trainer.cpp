@@ -1,5 +1,6 @@
 #include "univsa/train/univsa_trainer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <numeric>
 
@@ -123,6 +124,28 @@ UniVsaTrainResult train_univsa(const vsa::ModelConfig& config,
   UniVsaTrainResult result{trained.network->extract_model(),
                            std::move(trained.history)};
   return result;
+}
+
+std::function<double(const vsa::ModelConfig&, std::uint64_t)>
+make_accuracy_oracle(const data::Dataset& train_set,
+                     const data::Dataset& test_set, TrainOptions base) {
+  base.verbose = false;
+  return [&train_set, &test_set, base](const vsa::ModelConfig& config,
+                                       std::uint64_t seed) {
+    TrainOptions options = base;
+    options.seed = seed;
+    return train_univsa(config, train_set, options)
+        .model.accuracy(test_set);
+  };
+}
+
+std::function<double(const vsa::ModelConfig&, std::uint64_t)>
+make_surrogate_oracle(const data::Dataset& train_set,
+                      const data::Dataset& test_set, TrainOptions base,
+                      std::size_t epoch_divisor) {
+  UNIVSA_REQUIRE(epoch_divisor >= 1, "epoch divisor must be >= 1");
+  base.epochs = std::max<std::size_t>(1, base.epochs / epoch_divisor);
+  return make_accuracy_oracle(train_set, test_set, base);
 }
 
 }  // namespace univsa::train

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -56,5 +57,27 @@ struct UniVsaTrainResult {
 UniVsaTrainResult train_univsa(const vsa::ModelConfig& config,
                                const data::Dataset& train_set,
                                const TrainOptions& options);
+
+/// Seeded accuracy oracle for the co-design search
+/// (search::SeededAccuracyFn-compatible): trains a full UniVSA model on
+/// `train_set` with `base` options — the per-call seed overrides
+/// base.seed, keeping candidate training reproducible under parallel
+/// evaluation — and returns test-set accuracy. The datasets are captured
+/// by reference and must outlive the returned closure; the closure is
+/// thread-safe and composes with nested pool parallelism (candidate
+/// lanes share the training parallel_fors through the work-stealing
+/// pool).
+std::function<double(const vsa::ModelConfig&, std::uint64_t)>
+make_accuracy_oracle(const data::Dataset& train_set,
+                     const data::Dataset& test_set, TrainOptions base);
+
+/// Truncated-epoch proxy of make_accuracy_oracle for surrogate
+/// pre-screening: identical contract with epochs cut to
+/// max(1, base.epochs / divisor) — cheap enough to score every offspring,
+/// correlated enough to rank them for promotion to the full oracle.
+std::function<double(const vsa::ModelConfig&, std::uint64_t)>
+make_surrogate_oracle(const data::Dataset& train_set,
+                      const data::Dataset& test_set, TrainOptions base,
+                      std::size_t epoch_divisor = 4);
 
 }  // namespace univsa::train

@@ -114,9 +114,11 @@ TEST(ThreadPoolTest, SetGlobalPoolThreadsResizesAndStillCovers) {
   set_global_pool_threads(0);  // restore hardware default
 }
 
-TEST(ThreadPoolTest, NestedParallelForRunsSerialAndCompletes) {
-  // A nested parallel_for from inside a pool chunk must not deadlock —
-  // it degrades to serial execution in the calling worker.
+TEST(ThreadPoolTest, NestedParallelForCompletesAndCoversAll) {
+  // A nested parallel_for from inside a pool chunk must not deadlock:
+  // sub-chunks go into the shared queue and joining threads help drain
+  // it, so nesting composes (the co-design search relies on this — GA
+  // candidate lanes nest training parallel_fors).
   set_global_pool_threads(4);
   std::atomic<int> outer{0};
   std::atomic<int> inner{0};
@@ -132,6 +134,91 @@ TEST(ThreadPoolTest, NestedParallelForRunsSerialAndCompletes) {
   EXPECT_EQ(outer.load(), 8);
   EXPECT_EQ(inner.load(), 800);
   set_global_pool_threads(0);
+}
+
+TEST(ThreadPoolTest, TriplyNestedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4 * 4 * 64);
+  pool.parallel_for(4, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      pool.parallel_for(4, [&, o](std::size_t mb, std::size_t me) {
+        for (std::size_t m = mb; m < me; ++m) {
+          pool.parallel_for(64, [&, o, m](std::size_t ib, std::size_t ie) {
+            for (std::size_t i = ib; i < ie; ++i) {
+              hits[(o * 4 + m) * 64 + i].fetch_add(1);
+            }
+          });
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            pool.parallel_for(
+                                32, [](std::size_t ib, std::size_t) {
+                                  if (ib > 0) {
+                                    throw std::runtime_error("inner boom");
+                                  }
+                                });
+                          }
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after the unwound join.
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, UnitChunkGrainDynamicallyBalances) {
+  // max_chunk = 1 turns parallel_for into a dynamic work queue: every
+  // index is its own task, so stragglers can't pin a static range.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(37);
+  pool.parallel_for(
+      37,
+      [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(end, begin + 1);
+        hits[begin].fetch_add(1);
+      },
+      /*max_chunk=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentHeterogeneousNestedLanesStress) {
+  // Shapes the co-design workload: unit-grain candidate lanes of very
+  // different costs, each nesting an inner parallel_for, repeated across
+  // rounds. Every index on both levels must be covered exactly once.
+  ThreadPool pool(8);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t lanes = 13;
+    std::vector<std::atomic<std::uint64_t>> sums(lanes);
+    pool.parallel_for(
+        lanes,
+        [&](std::size_t lb, std::size_t le) {
+          for (std::size_t lane = lb; lane < le; ++lane) {
+            const std::size_t work = 64 + 512 * (lane % 3);
+            pool.parallel_for(work, [&, lane](std::size_t b, std::size_t e) {
+              std::uint64_t local = 0;
+              for (std::size_t i = b; i < e; ++i) local += i;
+              sums[lane].fetch_add(local);
+            });
+          }
+        },
+        /*max_chunk=*/1);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::uint64_t work = 64 + 512 * (lane % 3);
+      EXPECT_EQ(sums[lane].load(), work * (work - 1) / 2) << lane;
+    }
+  }
 }
 
 }  // namespace

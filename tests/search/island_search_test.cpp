@@ -1,0 +1,343 @@
+// Determinism and semantics of the scaled co-design search: island-model
+// evolution, ring migration, surrogate pre-screening, and the native
+// multi-objective mode. The core contract under test: for a fixed seed
+// and fixed island/migration/surrogate parameters, the search trajectory
+// is a pure function of the options — identical across thread counts,
+// and (in legacy single-island exact mode) identical to the PR 2
+// single-population search bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "univsa/common/thread_pool.h"
+#include "univsa/search/pareto.h"
+#include "univsa/vsa/memory_model.h"
+
+namespace univsa::search {
+namespace {
+
+vsa::ModelConfig task_geometry() {
+  vsa::ModelConfig t;
+  t.W = 8;
+  t.L = 8;
+  t.C = 4;
+  t.M = 256;
+  return t;
+}
+
+/// Analytic stand-in for trained accuracy (same shape as the
+/// evolutionary_test oracle).
+double analytic_accuracy(const vsa::ModelConfig& c) {
+  const double capacity =
+      static_cast<double>(c.O) * c.D_H * (c.Theta > 1 ? 1.1 : 1.0) *
+      (c.D_K == 3 ? 1.0 : 1.05);
+  return 1.0 - std::exp(-capacity / 150.0);
+}
+
+/// Seed-sensitive oracle: if any path derived seeds from evaluation
+/// order or thread id, trajectories would diverge across schedules.
+double seeded_accuracy(const vsa::ModelConfig& c, std::uint64_t seed) {
+  Rng rng(seed);
+  return analytic_accuracy(c) + 1e-3 * rng.uniform();
+}
+
+/// A deliberately-biased cheap proxy (slightly underestimates, like
+/// truncated-epoch training would).
+double proxy_accuracy(const vsa::ModelConfig& c, std::uint64_t seed) {
+  Rng rng(seed);
+  return 0.9 * analytic_accuracy(c) + 1e-3 * rng.uniform();
+}
+
+void expect_identical(const SearchResult& a, const SearchResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.best_config, b.best_config) << label;
+  EXPECT_EQ(a.best_objective, b.best_objective) << label;
+  EXPECT_EQ(a.best_accuracy, b.best_accuracy) << label;
+  EXPECT_EQ(a.evaluations, b.evaluations) << label;
+  EXPECT_EQ(a.surrogate_evaluations, b.surrogate_evaluations) << label;
+  EXPECT_EQ(a.surrogate_promoted, b.surrogate_promoted) << label;
+  ASSERT_EQ(a.history.size(), b.history.size()) << label;
+  for (std::size_t g = 0; g < a.history.size(); ++g) {
+    EXPECT_EQ(a.history[g].best_objective, b.history[g].best_objective)
+        << label << " gen " << g;
+    EXPECT_EQ(a.history[g].mean_objective, b.history[g].mean_objective)
+        << label << " gen " << g;
+  }
+  ASSERT_EQ(a.front.size(), b.front.size()) << label;
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].config, b.front[i].config) << label;
+    EXPECT_EQ(a.front[i].accuracy, b.front[i].accuracy) << label;
+  }
+}
+
+TEST(IslandSearchTest, BitIdenticalAcrossThreadCounts) {
+  // Fixed seed + fixed island/migration/surrogate params ⇒ bit-identical
+  // results for thread counts 1, 2, and 8 — the determinism half of the
+  // scaling contract (ISSUE 7 acceptance).
+  SearchOptions options;
+  options.population = 8;
+  options.generations = 6;
+  options.elite = 2;
+  options.islands = 4;
+  options.migration_interval = 2;
+  options.emigrants = 2;
+  options.surrogate = proxy_accuracy;
+  options.surrogate_keep = 0.5;
+  options.seed = 7;
+
+  std::vector<SearchResult> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    set_global_pool_threads(threads);
+    runs.push_back(evolutionary_search(task_geometry(), SearchSpace{},
+                                       SeededAccuracyFn(seeded_accuracy),
+                                       options));
+  }
+  set_global_pool_threads(0);
+  expect_identical(runs[0], runs[1], "threads 1 vs 2");
+  expect_identical(runs[0], runs[2], "threads 1 vs 8");
+}
+
+TEST(IslandSearchTest, SerialAndParallelIslandTrajectoriesMatch) {
+  SearchOptions options;
+  options.population = 6;
+  options.generations = 5;
+  options.elite = 2;
+  options.islands = 3;
+  options.migration_interval = 2;
+  options.emigrants = 1;
+  options.seed = 13;
+  options.parallel = false;
+  const SearchResult serial = evolutionary_search(
+      task_geometry(), SearchSpace{}, SeededAccuracyFn(seeded_accuracy),
+      options);
+  options.parallel = true;
+  const SearchResult parallel = evolutionary_search(
+      task_geometry(), SearchSpace{}, SeededAccuracyFn(seeded_accuracy),
+      options);
+  expect_identical(serial, parallel, "islands serial vs parallel");
+}
+
+TEST(IslandSearchTest, LegacyModeMatchesPr2GoldenTrajectories) {
+  // Regression pin: single-island exact mode must reproduce the PR 2
+  // single-population search bit-for-bit. These values were captured
+  // from the pre-island implementation for seeds 7/13/99 (population 14,
+  // 8 generations, seed-sensitive oracle).
+  struct Golden {
+    std::uint64_t seed;
+    std::size_t d_h, d_l, d_k, o, theta;
+    double objective, accuracy;
+    std::size_t evaluations;
+  };
+  const Golden goldens[] = {
+      {7, 8, 1, 3, 95, 5, 0x1.f1bc8aeb14841p-1, 0x1.fe7e7670333c6p-1, 72},
+      {13, 16, 1, 3, 47, 5, 0x1.f217bd7e43af9p-1, 0x1.fe6d800d9fd88p-1,
+       79},
+      {99, 16, 1, 3, 52, 5, 0x1.f1e3f7028f1aap-1, 0x1.ff59b991eb439p-1,
+       76},
+  };
+  for (const auto& g : goldens) {
+    SearchOptions options;
+    options.population = 14;
+    options.generations = 8;
+    options.seed = g.seed;
+    const SearchResult r = evolutionary_search(
+        task_geometry(), SearchSpace{}, SeededAccuracyFn(seeded_accuracy),
+        options);
+    EXPECT_EQ(r.best_config.D_H, g.d_h) << "seed " << g.seed;
+    EXPECT_EQ(r.best_config.D_L, g.d_l) << "seed " << g.seed;
+    EXPECT_EQ(r.best_config.D_K, g.d_k) << "seed " << g.seed;
+    EXPECT_EQ(r.best_config.O, g.o) << "seed " << g.seed;
+    EXPECT_EQ(r.best_config.Theta, g.theta) << "seed " << g.seed;
+    EXPECT_EQ(r.best_objective, g.objective) << "seed " << g.seed;
+    EXPECT_EQ(r.best_accuracy, g.accuracy) << "seed " << g.seed;
+    EXPECT_EQ(r.evaluations, g.evaluations) << "seed " << g.seed;
+  }
+}
+
+TEST(IslandSearchTest, RingMigrationPlanTopology) {
+  // K=4, P=10, E=3: island i sends ranks 0..2 to island (i+1) mod 4,
+  // replacing ranks 7..9, in (from, rank) order.
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t,
+                         std::size_t>> moves;
+  ring_migration_plan(4, 10, 3,
+                      [&](std::size_t from, std::size_t rank,
+                          std::size_t to, std::size_t replaced) {
+                        moves.emplace_back(from, rank, to, replaced);
+                      });
+  ASSERT_EQ(moves.size(), 12u);
+  std::size_t idx = 0;
+  for (std::size_t from = 0; from < 4; ++from) {
+    for (std::size_t rank = 0; rank < 3; ++rank, ++idx) {
+      EXPECT_EQ(moves[idx],
+                std::make_tuple(from, rank, (from + 1) % 4, 7 + rank));
+    }
+  }
+}
+
+TEST(IslandSearchTest, RingMigrationPlanClampsAndDegenerates) {
+  // Emigrant count clamps to population − 1 (an island never fully
+  // overwrites its neighbour)...
+  std::size_t count = 0;
+  ring_migration_plan(3, 4, 99,
+                      [&](std::size_t, std::size_t rank, std::size_t,
+                          std::size_t replaced) {
+                        ++count;
+                        EXPECT_LT(rank, 3u);
+                        EXPECT_GE(replaced, 1u);
+                      });
+  EXPECT_EQ(count, 9u);
+  // ...and a single island (or empty exchange) is a no-op.
+  ring_migration_plan(1, 8, 2,
+                      [&](std::size_t, std::size_t, std::size_t,
+                          std::size_t) { FAIL() << "no-op expected"; });
+  ring_migration_plan(4, 8, 0,
+                      [&](std::size_t, std::size_t, std::size_t,
+                          std::size_t) { FAIL() << "no-op expected"; });
+}
+
+TEST(IslandSearchTest, SurrogateKeepOneMatchesExactMode) {
+  // Screening with keep = 1.0 promotes every fresh candidate, so the
+  // trajectory must equal exact mode bit-for-bit — the screen consumes
+  // no search RNG and the proxy scores only gate promotion.
+  SearchOptions exact;
+  exact.population = 10;
+  exact.generations = 6;
+  exact.islands = 2;
+  exact.migration_interval = 3;
+  exact.seed = 42;
+  SearchOptions screened = exact;
+  screened.surrogate = proxy_accuracy;
+  screened.surrogate_keep = 1.0;
+
+  const SearchResult a = evolutionary_search(
+      task_geometry(), SearchSpace{}, SeededAccuracyFn(seeded_accuracy),
+      exact);
+  const SearchResult b = evolutionary_search(
+      task_geometry(), SearchSpace{}, SeededAccuracyFn(seeded_accuracy),
+      screened);
+  EXPECT_EQ(a.best_config, b.best_config);
+  EXPECT_EQ(a.best_objective, b.best_objective);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(b.surrogate_evaluations, b.evaluations);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t g = 0; g < a.history.size(); ++g) {
+    EXPECT_EQ(a.history[g].best_objective, b.history[g].best_objective);
+    EXPECT_EQ(a.history[g].mean_objective, b.history[g].mean_objective);
+  }
+}
+
+TEST(IslandSearchTest, SurrogateScreeningCutsOracleCalls) {
+  SearchOptions exact;
+  exact.population = 12;
+  exact.generations = 8;
+  exact.islands = 2;
+  exact.seed = 5;
+  SearchOptions screened = exact;
+  screened.surrogate = proxy_accuracy;
+  screened.surrogate_keep = 0.25;
+
+  const SearchResult full = evolutionary_search(
+      task_geometry(), SearchSpace{}, SeededAccuracyFn(seeded_accuracy),
+      exact);
+  const SearchResult cut = evolutionary_search(
+      task_geometry(), SearchSpace{}, SeededAccuracyFn(seeded_accuracy),
+      screened);
+  // The screen must cut full-oracle work hard (~4x here) while still
+  // finding a competitive configuration.
+  EXPECT_LT(cut.evaluations, full.evaluations / 2);
+  EXPECT_EQ(cut.evaluations, cut.surrogate_promoted);
+  EXPECT_GE(cut.surrogate_evaluations, cut.evaluations);
+  EXPECT_GT(cut.best_objective, 0.9 * full.best_objective);
+  // The reported winner must be a fully-evaluated configuration whose
+  // objective is consistent with its reported accuracy.
+  EXPECT_EQ(cut.best_objective,
+            cut.best_accuracy -
+                vsa::hardware_penalty(cut.best_config, screened.lambda1,
+                                      screened.lambda2));
+}
+
+TEST(IslandSearchTest, NativeParetoModeEmitsNonDominatedFront) {
+  SearchOptions options;
+  options.population = 12;
+  options.generations = 8;
+  options.islands = 2;
+  options.migration_interval = 3;
+  options.pareto = true;
+  options.seed = 23;
+  const SearchResult r = evolutionary_search(
+      task_geometry(), SearchSpace{}, SeededAccuracyFn(seeded_accuracy),
+      options);
+
+  ASSERT_FALSE(r.front.empty());
+  // Pairwise non-domination and ascending-memory ordering.
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    for (std::size_t j = 0; j < r.front.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(r.front[j], r.front[i]));
+      }
+    }
+    if (i > 0) {
+      EXPECT_GE(r.front[i].memory_kb, r.front[i - 1].memory_kb);
+    }
+    // Every point's memory/resource figures are the closed-form models.
+    EXPECT_EQ(r.front[i].memory_kb, vsa::memory_kb(r.front[i].config));
+    EXPECT_EQ(r.front[i].resource_units,
+              static_cast<double>(vsa::resource_units(r.front[i].config)));
+  }
+  // The scalar best is still reported and is on or behind the front.
+  EXPECT_GT(r.best_objective, 0.0);
+}
+
+TEST(IslandSearchTest, ParetoModeDeterministicAcrossThreadCounts) {
+  SearchOptions options;
+  options.population = 10;
+  options.generations = 6;
+  options.islands = 3;
+  options.pareto = true;
+  options.surrogate = proxy_accuracy;
+  options.surrogate_keep = 0.5;
+  options.seed = 31;
+  std::vector<SearchResult> runs;
+  for (const std::size_t threads : {1u, 8u}) {
+    set_global_pool_threads(threads);
+    runs.push_back(evolutionary_search(task_geometry(), SearchSpace{},
+                                       SeededAccuracyFn(seeded_accuracy),
+                                       options));
+  }
+  set_global_pool_threads(0);
+  expect_identical(runs[0], runs[1], "pareto threads 1 vs 8");
+}
+
+TEST(IslandSearchTest, ValidatesIslandAndSurrogateOptions) {
+  SearchOptions options;
+  options.islands = 0;
+  EXPECT_THROW(evolutionary_search(task_geometry(), SearchSpace{},
+                                   SeededAccuracyFn(seeded_accuracy),
+                                   options),
+               std::invalid_argument);
+  options.islands = 2;
+  options.migration_interval = 0;
+  EXPECT_THROW(evolutionary_search(task_geometry(), SearchSpace{},
+                                   SeededAccuracyFn(seeded_accuracy),
+                                   options),
+               std::invalid_argument);
+  options.migration_interval = 2;
+  options.surrogate = proxy_accuracy;
+  options.surrogate_keep = 0.0;
+  EXPECT_THROW(evolutionary_search(task_geometry(), SearchSpace{},
+                                   SeededAccuracyFn(seeded_accuracy),
+                                   options),
+               std::invalid_argument);
+  options.surrogate_keep = 1.5;
+  EXPECT_THROW(evolutionary_search(task_geometry(), SearchSpace{},
+                                   SeededAccuracyFn(seeded_accuracy),
+                                   options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::search

@@ -9,6 +9,8 @@
 //   univsa_cli export-c   --model har.uvsa --dir out/
 //   univsa_cli export-rtl --model har.uvsa --dir out/
 //   univsa_cli stats    --model har.uvsa --data test.csv [--format json]
+//   univsa_cli search   --benchmark HAR [--islands K] [--surrogate F]
+//                       [--pareto 1] [--out-json best.json]
 //   univsa_cli backends            (CPU features, SIMD dispatch, registry)
 //   univsa_cli faultcheck          (canned fault plan -> degradation report)
 //   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
@@ -40,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -56,6 +59,7 @@
 #include "univsa/runtime/parity.h"
 #include "univsa/runtime/registry.h"
 #include "univsa/runtime/server.h"
+#include "univsa/search/evolutionary.h"
 #include "univsa/telemetry/telemetry.h"
 #include "univsa/train/online_retrainer.h"
 #include "univsa/train/univsa_trainer.h"
@@ -88,6 +92,10 @@ struct Flags {
     return it == values.end()
                ? fallback
                : static_cast<std::size_t>(std::stoul(it->second));
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
   }
 };
 
@@ -517,6 +525,115 @@ int cmd_faultcheck(const Flags& flags) {
   return ok ? 0 : 1;
 }
 
+/// Scalable co-design search (DESIGN.md §12) over a benchmark's task
+/// geometry: island-model GA with optional surrogate pre-screening and
+/// native NSGA-II Pareto mode, candidates trained on synthetic data
+/// generated in-process. `--out-json PATH` writes a timing-free record
+/// of the result (best config, exact objective, per-generation
+/// trajectory, front) — the search is deterministic for a fixed seed
+/// regardless of `--threads`, so CI diffs the file across thread counts.
+int cmd_search(const Flags& flags) {
+  const auto& bench = data::find_benchmark(flags.require("benchmark"));
+  data::SyntheticSpec spec = bench.spec;
+  spec.train_count = flags.get_size("train-count", 240);
+  spec.test_count = flags.get_size("test-count", 120);
+  const data::SyntheticResult ds = data::generate(spec);
+
+  vsa::ModelConfig task;
+  task.W = spec.windows;
+  task.L = spec.length;
+  task.C = spec.classes;
+  task.M = spec.levels;
+
+  train::TrainOptions train_opts;
+  train_opts.epochs = flags.get_size("epochs", 6);
+  const search::SeededAccuracyFn oracle =
+      train::make_accuracy_oracle(ds.train, ds.test, train_opts);
+
+  search::SearchSpace space;
+  search::SearchOptions options;
+  options.population = flags.get_size("population", 10);
+  options.generations = flags.get_size("generations", 5);
+  options.elite = flags.get_size("elite", 2);
+  options.seed = flags.get_size("seed", 7);
+  options.islands = flags.get_size("islands", 1);
+  options.migration_interval = flags.get_size("migration-interval", 4);
+  options.emigrants = flags.get_size("emigrants", 2);
+  options.pareto = flags.get("pareto", "0") != "0";
+  const double keep = flags.get_double("surrogate", 0.0);
+  if (keep > 0.0) {
+    options.surrogate = train::make_surrogate_oracle(
+        ds.train, ds.test, train_opts,
+        flags.get_size("surrogate-divisor", 4));
+    options.surrogate_keep = keep;
+  }
+
+  std::printf("searching %s geometry (W=%zu L=%zu C=%zu M=%zu): "
+              "%zu island(s) x %zu genomes x %zu generations%s%s\n",
+              spec.name.c_str(), task.W, task.L, task.C, task.M,
+              options.islands, options.population, options.generations,
+              keep > 0.0 ? ", surrogate screen" : "",
+              options.pareto ? ", NSGA-II front" : "");
+  const search::SearchResult r =
+      search::evolutionary_search(task, space, oracle, options);
+
+  for (std::size_t g = 0; g < r.history.size(); ++g) {
+    std::printf("  gen %2zu  best %.4f  mean %.4f\n", g,
+                r.history[g].best_objective, r.history[g].mean_objective);
+  }
+  std::printf("best: %s\n", r.best_config.to_string().c_str());
+  std::printf("  accuracy %.4f, objective %.4f (Eq.7), memory %.2f KB, "
+              "%zu resource units\n",
+              r.best_accuracy, r.best_objective,
+              vsa::memory_kb(r.best_config),
+              vsa::resource_units(r.best_config));
+  std::printf("  %zu oracle trainings, %zu surrogate screens "
+              "(%zu promoted), %zu pool threads\n",
+              r.evaluations, r.surrogate_evaluations, r.surrogate_promoted,
+              global_pool().thread_count());
+  if (options.pareto) {
+    std::printf("Pareto front (%zu points):\n", r.front.size());
+    for (const auto& p : r.front) {
+      std::printf("  (D_H,D_L,D_K,O,Θ)=(%zu,%zu,%zu,%zu,%zu)  acc %.4f  "
+                  "%.2f KB  %.0f units\n",
+                  p.config.D_H, p.config.D_L, p.config.D_K, p.config.O,
+                  p.config.Theta, p.accuracy, p.memory_kb,
+                  p.resource_units);
+    }
+  }
+
+  const std::string out_json = flags.get("out-json", "");
+  if (!out_json.empty()) {
+    char buf[64];
+    const auto exact = [&buf](double v) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      return std::string(buf);
+    };
+    std::ofstream json(out_json);
+    json << "{\n  \"best_config\": \"" << r.best_config.to_string()
+         << "\",\n  \"best_objective\": " << exact(r.best_objective)
+         << ",\n  \"best_accuracy\": " << exact(r.best_accuracy)
+         << ",\n  \"evaluations\": " << r.evaluations
+         << ",\n  \"surrogate_evaluations\": " << r.surrogate_evaluations
+         << ",\n  \"surrogate_promoted\": " << r.surrogate_promoted
+         << ",\n  \"trajectory\": [";
+    for (std::size_t g = 0; g < r.history.size(); ++g) {
+      json << (g ? ", " : "") << exact(r.history[g].best_objective);
+    }
+    json << "],\n  \"front\": [";
+    for (std::size_t i = 0; i < r.front.size(); ++i) {
+      const auto& p = r.front[i];
+      json << (i ? ", " : "") << "{\"config\": \""
+           << p.config.to_string() << "\", \"accuracy\": "
+           << exact(p.accuracy) << "}";
+    }
+    json << "]\n}\n";
+    std::printf("search record -> %s\n", out_json.c_str());
+  }
+  maybe_write_metrics(flags);
+  return 0;
+}
+
 int cmd_info(const Flags& flags) {
   const vsa::Model model =
       vsa::ModelIo::load_file(flags.require("model"));
@@ -696,7 +813,7 @@ int cmd_selftest() {
 void usage() {
   std::fputs(
       "usage: univsa_cli <datagen|train|eval|parity|info|adapt|"
-      "export-c|export-rtl|stats|backends|faultcheck|selftest> "
+      "export-c|export-rtl|stats|search|backends|faultcheck|selftest> "
       "[--flag value ...]\n"
       "flag reference: docs/CLI.md; serving/robustness guide: "
       "docs/SERVING.md\n",
@@ -723,6 +840,7 @@ int main(int argc, char** argv) {
     if (cmd == "export-c") return cmd_export_c(flags);
     if (cmd == "export-rtl") return cmd_export_rtl(flags);
     if (cmd == "stats") return cmd_stats(flags);
+    if (cmd == "search") return cmd_search(flags);
     if (cmd == "backends") return cmd_backends();
     if (cmd == "faultcheck") return cmd_faultcheck(flags);
     if (cmd == "selftest") return cmd_selftest();
