@@ -1,0 +1,386 @@
+// Multi-tenant model-zoo serving drill (docs/ZOO.md) — the acceptance
+// benchmark for the versioned ModelRegistry + per-tenant serving stack:
+//
+//   1. Baselines: train the three heterogeneous zoo tenants
+//      (KWS / ANOMALY / GESTURE) and measure each model's accuracy via
+//      a direct backend call — the single-model reference.
+//   2. Mixed-traffic drill: serve all tenants' test traffic interleaved
+//      through ONE Server (per-tenant QoS policies active) and check
+//      every answer is bit-identical to the direct backend call —
+//      multi-tenant routing and per-snapshot batching change nothing.
+//   3. Hot-swap drill: stream requests at one tenant from multiple
+//      threads while the main thread publishes fresh model versions;
+//      the RCU snapshot flip must drop zero requests.
+//   4. Drift drill: replay drifted traffic through the
+//      AdaptationDriver; the refreshed (hot-swapped) model must recover
+//      >= 90% of the drift-induced accuracy gap on held-out data.
+//
+// Results land in BENCH_zoo.json (full record, includes latencies) and
+// BENCH_zoo_acc.json (timing-free: per-tenant accuracies, bit-exactness,
+// drop counts, recovery fraction — byte-identical across two same-seed
+// runs, which CI diffs for determinism).
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "univsa/report/table.h"
+#include "univsa/runtime/adaptation.h"
+#include "univsa/runtime/model_registry.h"
+#include "univsa/runtime/server.h"
+#include "univsa/train/univsa_trainer.h"
+
+namespace {
+
+using namespace univsa;
+
+struct TenantRun {
+  std::string tenant;
+  const data::Benchmark* bench = nullptr;
+  data::SyntheticResult data;
+  std::vector<vsa::Prediction> expected;  // direct backend, per test row
+  double direct_accuracy = 0.0;
+  double served_accuracy = 0.0;
+  bool bit_exact = true;
+  double p99_us = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+};
+
+std::string tenant_name(const std::string& bench_name) {
+  std::string lower = bench_name;
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return "zoo/" + lower;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const bool fast = args.fast;
+
+  // ---- Phase 1: per-tenant baselines -----------------------------------
+  auto registry = std::make_shared<runtime::ModelRegistry>();
+  std::vector<TenantRun> runs;
+  train::TrainOptions topt;
+  topt.epochs = 10;
+  topt.seed = 7;
+  std::printf("== model zoo bench (%s mode, backend %s) ==\n",
+              fast ? "fast" : "full", args.backend.c_str());
+  for (const auto& bench : data::zoo_benchmarks()) {
+    TenantRun run;
+    run.tenant = tenant_name(bench.spec.name);
+    run.bench = &bench;
+    data::SyntheticSpec spec = bench.spec;
+    if (fast) {
+      spec.train_count = 240;
+      spec.test_count = 120;
+    }
+    run.data = data::generate(spec);
+    auto trained = train::train_univsa(bench.config, run.data.train, topt);
+    registry->publish(run.tenant, std::move(trained.model));
+    const auto backend = runtime::make_backend(
+        args.backend, registry->latest(run.tenant)->model());
+    run.expected.resize(run.data.test.size());
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < run.data.test.size(); ++i) {
+      backend->predict_into(run.data.test.values(i), run.expected[i]);
+      if (run.expected[i].label == run.data.test.label(i)) ++correct;
+    }
+    run.direct_accuracy = static_cast<double>(correct) /
+                          static_cast<double>(run.data.test.size());
+    std::printf("  trained %-12s -> %s (direct accuracy %.4f)\n",
+                bench.spec.name.c_str(),
+                registry->latest(run.tenant)->key().c_str(),
+                run.direct_accuracy);
+    runs.push_back(std::move(run));
+  }
+
+  // ---- Phase 2: mixed-traffic drill ------------------------------------
+  runtime::ServerOptions sopt;
+  sopt.backend = args.backend;
+  sopt.workers = 2;
+  sopt.max_batch = 16;
+  sopt.max_delay_us = 50;
+  sopt.tenant_policies[tenant_name("ANOMALY")] = {runtime::Priority::kHigh,
+                                                  0};
+  sopt.tenant_policies[tenant_name("GESTURE")] = {runtime::Priority::kLow,
+                                                  256};
+  std::uint64_t mixed_batches = 0;
+  double mixed_mean_batch = 0.0;
+  {
+    runtime::Server server(registry, sopt);
+    std::vector<std::vector<std::future<vsa::Prediction>>> futures(
+        runs.size());
+    std::size_t remaining = 0;
+    for (const auto& run : runs) remaining += run.data.test.size();
+    for (std::size_t i = 0; remaining > 0; ++i) {
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        if (i >= runs[t].data.test.size()) continue;
+        runtime::SubmitOptions so;
+        so.tenant = runs[t].tenant;
+        so.priority = runs[t].tenant == tenant_name("ANOMALY")
+                          ? runtime::Priority::kHigh
+                          : runtime::Priority::kNormal;
+        futures[t].push_back(
+            server.submit(runs[t].data.test.values(i), so));
+        --remaining;
+      }
+    }
+    for (std::size_t t = 0; t < runs.size(); ++t) {
+      std::size_t correct = 0;
+      for (std::size_t i = 0; i < futures[t].size(); ++i) {
+        const vsa::Prediction got = futures[t][i].get();
+        if (got.label != runs[t].expected[i].label ||
+            got.scores != runs[t].expected[i].scores) {
+          runs[t].bit_exact = false;
+        }
+        if (got.label == runs[t].data.test.label(i)) ++correct;
+      }
+      runs[t].served_accuracy =
+          static_cast<double>(correct) /
+          static_cast<double>(futures[t].size());
+    }
+    const runtime::ServerStats stats = server.stats();
+    mixed_batches = stats.batches;
+    mixed_mean_batch = stats.mean_batch();
+    for (auto& run : runs) {
+      const auto it = stats.tenants.find(run.tenant);
+      if (it == stats.tenants.end()) continue;
+      run.completed = it->second.completed;
+      run.shed = it->second.shed;
+      run.p99_us =
+          static_cast<double>(it->second.latency_ns.percentile(0.99)) *
+          1e-3;
+    }
+  }
+  report::TextTable mixed({"tenant", "direct acc", "served acc",
+                           "bit-exact", "completed", "p99 (us)"});
+  bool all_bit_exact = true;
+  for (const auto& run : runs) {
+    all_bit_exact = all_bit_exact && run.bit_exact;
+    mixed.add_row({run.tenant, report::fmt(run.direct_accuracy),
+                   report::fmt(run.served_accuracy),
+                   run.bit_exact ? "yes" : "NO",
+                   std::to_string(run.completed),
+                   report::fmt(run.p99_us, 1)});
+  }
+  std::printf("\nmixed-traffic drill: %llu batches (mean %.1f)\n",
+              static_cast<unsigned long long>(mixed_batches),
+              mixed_mean_batch);
+  std::fputs(mixed.to_string().c_str(), stdout);
+
+  // ---- Phase 3: hot-swap drill -----------------------------------------
+  // Two submitter threads stream the KWS tenant while the main thread
+  // publishes refreshed versions mid-flight. Every submitted request
+  // must complete — the RCU flip never drops or errors a request.
+  const std::string swap_tenant = tenant_name("KWS");
+  const TenantRun* kws = nullptr;
+  for (const auto& run : runs) {
+    if (run.tenant == swap_tenant) kws = &run;
+  }
+  const std::size_t swap_per_thread = fast ? 400 : 1500;
+  const std::size_t swap_publishes = 4;
+  std::atomic<std::uint64_t> swap_completed{0}, swap_failed{0};
+  {
+    runtime::Server server(registry, sopt);
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < 2; ++t) {
+      submitters.emplace_back([&, t] {
+        runtime::SubmitOptions so;
+        so.tenant = swap_tenant;
+        std::vector<std::future<vsa::Prediction>> futures;
+        futures.reserve(swap_per_thread);
+        for (std::size_t i = 0; i < swap_per_thread; ++i) {
+          futures.push_back(server.submit(
+              kws->data.test.values((t + 2 * i) %
+                                    kws->data.test.size()),
+              so));
+        }
+        for (auto& f : futures) {
+          try {
+            f.get();
+            swap_completed.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::exception&) {
+            swap_failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    train::OnlineRetrainOptions ropt;
+    ropt.epochs = 1;
+    for (std::size_t v = 0; v < swap_publishes; ++v) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      auto refreshed = train::refresh_class_vectors(
+          registry->latest(swap_tenant)->model(), kws->data.train, v + 1,
+          ropt);
+      registry->publish(swap_tenant, std::move(refreshed.model));
+    }
+    for (auto& t : submitters) t.join();
+  }
+  const std::uint64_t swap_submitted = 2 * swap_per_thread;
+  const std::uint64_t swap_versions =
+      registry->tenant(swap_tenant).version_count();
+  std::printf("\nhot-swap drill: %llu requests across %zu publishes "
+              "(now at %s): %llu completed, %llu dropped\n",
+              static_cast<unsigned long long>(swap_submitted),
+              swap_publishes,
+              registry->latest(swap_tenant)->key().c_str(),
+              static_cast<unsigned long long>(swap_completed.load()),
+              static_cast<unsigned long long>(swap_failed.load()));
+
+  // ---- Phase 4: drift + online adaptation ------------------------------
+  // The gesture tenant's prototypes drift (new user / sensor mount); the
+  // AdaptationDriver watches the labeled stream, detects the shift, and
+  // republishes refreshed class vectors through the same hot-swap path.
+  const std::string drift_tenant = tenant_name("GESTURE");
+  const TenantRun* gesture = nullptr;
+  for (const auto& run : runs) {
+    if (run.tenant == drift_tenant) gesture = &run;
+  }
+  // The drifted stream stays full-size even in fast mode: it is cheap
+  // (predict-only) traffic, and the refresh quality is bounded by how
+  // many distinct drifted samples the reservoir can draw from.
+  data::SyntheticSpec drifted_spec = gesture->bench->spec;
+  drifted_spec.drift = 0.3;
+  drifted_spec.drift_seed = 9;
+  const data::SyntheticResult drifted = data::generate(drifted_spec);
+  const double pre_drift = gesture->direct_accuracy;
+  const double post_drift =
+      runtime::make_backend(args.backend,
+                            registry->latest(drift_tenant)->model())
+          ->accuracy(drifted.test);
+
+  // Refresh recipe (matches the univsa_cli zoo defaults): plastic class
+  // vectors (inertia 1) retrained hard on a full reservoir of
+  // post-drift traffic — the reservoir restarts when drift latches, so
+  // min_refresh_samples counts drifted samples only.
+  runtime::AdaptationOptions aopt;
+  // Capacity must match min_refresh_samples: the refresh gates on
+  // reservoir.size(), which is capped at capacity. Sizing both to one
+  // full cycle of the stream means that wherever in pass 1 the latch
+  // lands, the reservoir at refresh time holds the tail of pass 1 plus
+  // the complementary head of pass 2 — every distinct drifted sample
+  // exactly once, with no duplicate weighting.
+  aopt.reservoir_capacity = drifted.train.size();
+  aopt.min_refresh_samples = drifted.train.size();
+  aopt.refresh_cooldown = 64;
+  aopt.retrain.epochs = 10;
+  aopt.retrain.inertia = 1;
+  runtime::AdaptationDriver driver(registry, drift_tenant, aopt);
+  runtime::SnapshotPtr current = registry->latest(drift_tenant);
+  auto serving = runtime::make_backend(args.backend, current->model());
+  vsa::Prediction prediction;
+  // Freeze the detector's baseline on in-distribution traffic first —
+  // it must describe the healthy model for drift to register as a drop.
+  for (std::size_t i = 0; i < gesture->data.train.size(); ++i) {
+    serving->predict_into(gesture->data.train.values(i), prediction);
+    driver.observe(gesture->data.train.values(i),
+                   gesture->data.train.label(i), prediction);
+  }
+  // Two passes of drifted traffic (a continuous stream): the first
+  // latches the detector partway through, the rest fills the reservoir
+  // until the refresh publishes; the tail serves on the new version.
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < drifted.train.size(); ++i) {
+      if (const auto latest = registry->latest(drift_tenant);
+          latest != current) {
+        current = latest;
+        serving = runtime::make_backend(args.backend, current->model());
+      }
+      serving->predict_into(drifted.train.values(i), prediction);
+      driver.observe(drifted.train.values(i), drifted.train.label(i),
+                     prediction);
+    }
+  }
+  const double recovered =
+      runtime::make_backend(args.backend,
+                            registry->latest(drift_tenant)->model())
+          ->accuracy(drifted.test);
+  const double gap = pre_drift - post_drift;
+  const double recovery =
+      gap <= 0.0 ? 1.0 : (recovered - post_drift) / gap;
+  // The >= 90% acceptance bar applies to the full-size drill; the fast
+  // smoke's 2/3-size training split makes recovery noisier, so it gates
+  // on a looser sanity floor.
+  const double recovery_bar = fast ? 0.70 : 0.90;
+  std::printf("\ndrift drill (%s, drift %.2f): %.4f -> %.4f after "
+              "drift, %.4f after %llu refresh(es); recovery %.0f%% of "
+              "the gap (target >= %.0f%%)\n",
+              drift_tenant.c_str(), drifted_spec.drift, pre_drift,
+              post_drift, recovered,
+              static_cast<unsigned long long>(driver.refreshes()),
+              100.0 * recovery, 100.0 * recovery_bar);
+
+  // ---- Verdict + JSON records ------------------------------------------
+  const bool zero_drops = swap_failed.load() == 0 &&
+                          swap_completed.load() == swap_submitted;
+  const bool recovered_enough = recovery >= recovery_bar;
+  const bool ok = all_bit_exact && zero_drops && recovered_enough &&
+                  driver.refreshes() > 0;
+
+  const auto tenant_json = [&](const TenantRun& run, bool timing) {
+    std::string s = "    {\"tenant\": \"" + run.tenant +
+                    "\", \"benchmark\": \"" + run.bench->spec.name +
+                    "\", \"direct_accuracy\": " +
+                    report::fmt(run.direct_accuracy) +
+                    ", \"served_accuracy\": " +
+                    report::fmt(run.served_accuracy) +
+                    ", \"bit_exact\": " +
+                    (run.bit_exact ? "true" : "false");
+    if (timing) {
+      s += ", \"completed\": " + std::to_string(run.completed) +
+           ", \"shed\": " + std::to_string(run.shed) +
+           ", \"p99_us\": " + report::fmt(run.p99_us, 1);
+    }
+    return s + "}";
+  };
+  const auto write_record = [&](const std::string& path, bool timing) {
+    std::ofstream json(path);
+    json << "{\n  \"bench\": \"model_zoo\",\n"
+         << "  \"mode\": \"" << (fast ? "fast" : "full") << "\",\n";
+    if (timing) json << bench::json_runtime_fields(args);
+    json << "  \"tenants\": [\n";
+    for (std::size_t t = 0; t < runs.size(); ++t) {
+      json << tenant_json(runs[t], timing) << (t + 1 < runs.size() ? ",\n"
+                                                                   : "\n");
+    }
+    json << "  ],\n"
+         << "  \"hot_swap\": {\"submitted\": " << swap_submitted
+         << ", \"completed\": " << swap_completed.load()
+         << ", \"dropped\": " << swap_failed.load()
+         << ", \"publishes\": " << swap_publishes
+         << ", \"versions\": " << swap_versions << "},\n"
+         << "  \"drift\": {\"tenant\": \"" << drift_tenant
+         << "\", \"drift\": " << report::fmt(drifted_spec.drift, 2)
+         << ", \"pre_drift_accuracy\": " << report::fmt(pre_drift)
+         << ", \"post_drift_accuracy\": " << report::fmt(post_drift)
+         << ", \"recovered_accuracy\": " << report::fmt(recovered)
+         << ", \"recovery_fraction\": " << report::fmt(recovery)
+         << ", \"refreshes\": " << driver.refreshes()
+         << ", \"drift_events\": " << driver.drift_events() << "},\n"
+         << "  \"acceptance\": {\"bit_exact\": "
+         << (all_bit_exact ? "true" : "false")
+         << ", \"hot_swap_zero_drops\": " << (zero_drops ? "true" : "false")
+         << ", \"drift_recovery_ok\": "
+         << (recovered_enough ? "true" : "false") << ", \"ok\": "
+         << (ok ? "true" : "false") << "}\n}\n";
+  };
+  write_record("BENCH_zoo.json", true);
+  // Timing-free twin: every field is a deterministic function of the
+  // seeds, so CI diffs two same-seed runs byte-for-byte.
+  write_record("BENCH_zoo_acc.json", false);
+  std::printf("\nWrote BENCH_zoo.json and BENCH_zoo_acc.json\n");
+  if (!ok) {
+    std::fprintf(stderr, "MODEL ZOO BENCH FAILED (see acceptance "
+                         "record)\n");
+    return 1;
+  }
+  std::printf("MODEL ZOO BENCH OK\n");
+  return 0;
+}

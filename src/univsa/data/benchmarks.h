@@ -22,7 +22,15 @@ struct Benchmark {
 /// EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR.
 const std::vector<Benchmark>& table1_benchmarks();
 
-/// Lookup by name; throws std::invalid_argument for unknown names.
+/// The model-zoo tenant workloads (docs/ZOO.md): KWS (keyword
+/// spotting), ANOMALY (imbalanced machine monitoring), GESTURE
+/// (inertial gestures). Heterogeneous geometry and signal family — a
+/// model trained for one is useless on another, which is what the
+/// multi-tenant serving drill exercises.
+const std::vector<Benchmark>& zoo_benchmarks();
+
+/// Lookup by name across Table I and the zoo; throws
+/// std::invalid_argument for unknown names.
 const Benchmark& find_benchmark(const std::string& name);
 
 }  // namespace univsa::data

@@ -210,6 +210,337 @@ void apply_drift(const SyntheticSpec& spec, FreqPrototypes& p) {
   }
 }
 
+// --- kKeyword: formant trajectories over a spectrogram grid ------------
+
+struct Formant {
+  double start;   // bin position at the first frame
+  double end;     // bin position at the last frame
+  double width;   // Gaussian width in bins
+  double amp;
+};
+
+struct KeywordPrototypes {
+  std::vector<std::vector<Formant>> per_class;
+  std::vector<SpectralBump> background;  // stationary room/mic coloring
+};
+
+KeywordPrototypes draw_keyword_prototypes(const SyntheticSpec& spec,
+                                          Rng& rng) {
+  KeywordPrototypes p;
+  constexpr std::size_t kFormants = 3;
+  constexpr std::size_t kBackgroundBumps = 2;
+  const auto len = static_cast<double>(spec.length);
+  p.per_class.resize(spec.classes);
+  for (auto& formants : p.per_class) {
+    for (std::size_t k = 0; k < kFormants; ++k) {
+      formants.push_back({rng.uniform(0.1, 0.9) * len,
+                          rng.uniform(0.1, 0.9) * len,
+                          rng.uniform(0.04, 0.12) * len,
+                          spec.separation * rng.uniform(0.5, 1.0)});
+    }
+  }
+  for (std::size_t k = 0; k < kBackgroundBumps; ++k) {
+    p.background.push_back({rng.uniform(0.0, len),
+                            rng.uniform(0.1, 0.3) * len,
+                            rng.uniform(0.3, 0.7)});
+  }
+  return p;
+}
+
+std::vector<float> draw_keyword_sample(const SyntheticSpec& spec,
+                                       const KeywordPrototypes& p,
+                                       int label, Rng& rng) {
+  std::vector<float> sample(spec.windows * spec.length);
+  const auto& formants = p.per_class[static_cast<std::size_t>(label)];
+  // Speaking-rate warp: the trajectory is traversed faster or slower,
+  // so no single (frame, bin) cell has a stable class mean — the class
+  // lives in the local trajectory shape.
+  const double rate = rng.uniform(0.85, 1.15);
+  const double onset = rng.uniform(-0.05, 0.05);
+  const double loudness = rng.uniform(0.8, 1.2);
+  std::vector<double> background_gain(p.background.size());
+  for (auto& g : background_gain) g = rng.uniform(0.5, 1.5);
+
+  const double frames = static_cast<double>(spec.windows - 1);
+  for (std::size_t w = 0; w < spec.windows; ++w) {
+    const double progress = std::clamp(
+        onset + rate * static_cast<double>(w) / std::max(frames, 1.0), 0.0,
+        1.0);
+    for (std::size_t l = 0; l < spec.length; ++l) {
+      const auto bin = static_cast<double>(l);
+      double v = 0.0;
+      for (std::size_t k = 0; k < p.background.size(); ++k) {
+        const auto& bump = p.background[k];
+        const double d = (bin - bump.center) / bump.width;
+        v += background_gain[k] * bump.amp * std::exp(-0.5 * d * d);
+      }
+      for (const auto& formant : formants) {
+        const double center =
+            formant.start + (formant.end - formant.start) * progress;
+        const double d = (bin - center) / formant.width;
+        v += loudness * formant.amp * std::exp(-0.5 * d * d);
+      }
+      v += spec.noise * rng.normal();
+      if (spec.artifact_rate > 0.0 && rng.bernoulli(spec.artifact_rate)) {
+        v += rng.sign() * rng.uniform(3.0, 8.0);
+      }
+      sample[w * spec.length + l] = static_cast<float>(v);
+    }
+  }
+  return sample;
+}
+
+void apply_drift(const SyntheticSpec& spec, KeywordPrototypes& p) {
+  if (spec.drift <= 0.0) return;
+  Rng rng(spec.drift_seed * 0x9E3779B97F4A7C15ULL + 17);
+  const auto len = static_cast<double>(spec.length);
+  for (auto& formants : p.per_class) {
+    for (auto& formant : formants) {
+      // Microphone / speaker change: formants shift and rescale.
+      formant.start += spec.drift * rng.normal() * 0.1 * len;
+      formant.end += spec.drift * rng.normal() * 0.1 * len;
+      formant.amp *= 1.0 + spec.drift * rng.normal();
+      formant.width *= 1.0 + 0.5 * spec.drift * rng.normal();
+      if (formant.width < 0.5) formant.width = 0.5;
+    }
+  }
+}
+
+// --- kAnomaly: stationary hum + transient class-specific bursts --------
+
+struct AnomalyPrototypes {
+  std::vector<Tone> hum;                 // stationary machine background
+  std::vector<double> ring_freq;         // per anomaly class (index 1..)
+  std::vector<double> burst_amp;
+  std::vector<std::size_t> burst_span;   // windows the burst covers
+};
+
+AnomalyPrototypes draw_anomaly_prototypes(const SyntheticSpec& spec,
+                                          Rng& rng) {
+  AnomalyPrototypes p;
+  constexpr std::size_t kHumTones = 3;
+  for (std::size_t k = 0; k < kHumTones; ++k) {
+    p.hum.push_back({rng.uniform(0.02, 0.2), rng.uniform(0.5, 1.0),
+                     rng.uniform(0.0, 2.0 * std::numbers::pi)});
+  }
+  p.ring_freq.resize(spec.classes, 0.0);
+  p.burst_amp.resize(spec.classes, 0.0);
+  p.burst_span.resize(spec.classes, 0);
+  for (std::size_t c = 1; c < spec.classes; ++c) {
+    p.ring_freq[c] = rng.uniform(0.25, 0.45);
+    p.burst_amp[c] = spec.separation * rng.uniform(1.5, 2.5);
+    // Bursts cover a contiguous half-to-all of the trace: soft voting
+    // averages class evidence over windows, so burst windows must be
+    // the majority for the anomaly to win the vote; the span start
+    // stays a nuisance variable.
+    p.burst_span[c] = std::max<std::size_t>(1, spec.windows / 2) +
+                      rng.uniform_index(std::max<std::size_t>(
+                          1, spec.windows / 2));
+  }
+  return p;
+}
+
+std::vector<float> draw_anomaly_sample(const SyntheticSpec& spec,
+                                       const AnomalyPrototypes& p,
+                                       int label, Rng& rng) {
+  const std::size_t hop = std::max<std::size_t>(1, spec.length / 2);
+  std::vector<float> sample(spec.windows * spec.length);
+  std::vector<double> hum_phase(p.hum.size());
+  for (auto& ph : hum_phase) {
+    ph = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  const auto cls = static_cast<std::size_t>(label);
+  // The burst lands in a random contiguous span of windows; its ring
+  // frequency is the class cue, its position is nuisance. The ring is
+  // a window-local transient (an impulse response re-excited at each
+  // frame boundary) with a nearly deterministic phase, so every burst
+  // window shows the same decaying-ring profile wherever the burst
+  // lands — that profile is what the per-feature class vectors learn.
+  std::size_t burst_begin = 0;
+  std::size_t burst_end = 0;
+  double ring_phase = 0.0;
+  if (label > 0) {
+    const std::size_t span = std::min(p.burst_span[cls], spec.windows);
+    burst_begin = rng.uniform_index(spec.windows - span + 1);
+    burst_end = burst_begin + span;
+    ring_phase = rng.normal(0.0, 0.3);
+  }
+
+  for (std::size_t w = 0; w < spec.windows; ++w) {
+    const bool in_burst = label > 0 && w >= burst_begin && w < burst_end;
+    for (std::size_t l = 0; l < spec.length; ++l) {
+      const double t = static_cast<double>(w * hop + l);
+      double v = 0.0;
+      for (std::size_t k = 0; k < p.hum.size(); ++k) {
+        const auto& tone = p.hum[k];
+        v += tone.amp *
+             std::sin(2.0 * std::numbers::pi * tone.freq * t + tone.phase +
+                      hum_phase[k]);
+      }
+      if (in_burst) {
+        // Decaying ring re-excited at each burst window's start.
+        const double local = static_cast<double>(l) /
+                             static_cast<double>(spec.length);
+        v += p.burst_amp[cls] * std::exp(-3.0 * local) *
+             std::sin(2.0 * std::numbers::pi * p.ring_freq[cls] *
+                          static_cast<double>(l) +
+                      ring_phase);
+      }
+      v += spec.noise * rng.normal();
+      if (spec.artifact_rate > 0.0 && rng.bernoulli(spec.artifact_rate)) {
+        v += rng.sign() * rng.uniform(3.0, 8.0);
+      }
+      sample[w * spec.length + l] = static_cast<float>(v);
+    }
+  }
+  return sample;
+}
+
+void apply_drift(const SyntheticSpec& spec, AnomalyPrototypes& p) {
+  if (spec.drift <= 0.0) return;
+  Rng rng(spec.drift_seed * 0x9E3779B97F4A7C15ULL + 17);
+  for (auto& tone : p.hum) {
+    // Bearing wear: the hum spectrum slides and the anomaly rings
+    // detune — the trained normal/abnormal boundary goes stale.
+    tone.freq = std::clamp(
+        tone.freq * (1.0 + 0.5 * spec.drift * rng.normal()), 0.01, 0.49);
+    tone.amp *= 1.0 + spec.drift * rng.normal();
+  }
+  for (std::size_t c = 1; c < p.ring_freq.size(); ++c) {
+    p.ring_freq[c] = std::clamp(
+        p.ring_freq[c] * (1.0 + 0.5 * spec.drift * rng.normal()), 0.05,
+        0.49);
+    p.burst_amp[c] *= 1.0 + spec.drift * rng.normal();
+  }
+}
+
+// --- kGesture: chirps with attack/decay envelopes ----------------------
+
+struct GestureClass {
+  double f_start;   // chirp start frequency (cycles/sample)
+  double f_end;     // chirp end frequency
+  double attack;    // envelope peak position in [0, 1] of the trace
+  double amp;
+};
+
+struct GesturePrototypes {
+  std::vector<GestureClass> per_class;
+  std::vector<Tone> posture;  // shared low-frequency baseline (gravity)
+};
+
+GesturePrototypes draw_gesture_prototypes(const SyntheticSpec& spec,
+                                          Rng& rng) {
+  GesturePrototypes p;
+  p.per_class.resize(spec.classes);
+  // Stratified chirp assignment: start/end frequencies and envelope
+  // peaks come from independently shuffled per-class grids, so any two
+  // classes differ by a full grid step in at least one parameter —
+  // independent draws from one shared range collide once classes are
+  // more than a few, collapsing accuracy to chance.
+  const auto shuffled_grid = [&](double lo, double hi) {
+    std::vector<double> slots(spec.classes);
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+      const double f =
+          spec.classes == 1
+              ? 0.5
+              : static_cast<double>(c) /
+                    static_cast<double>(spec.classes - 1);
+      slots[c] = lo + f * (hi - lo);
+    }
+    for (std::size_t c = slots.size(); c > 1; --c) {
+      std::swap(slots[c - 1], slots[rng.uniform_index(c)]);
+    }
+    return slots;
+  };
+  const std::vector<double> starts = shuffled_grid(0.03, 0.22);
+  const std::vector<double> ends = shuffled_grid(0.03, 0.22);
+  const std::vector<double> attacks = shuffled_grid(0.25, 0.75);
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    auto& g = p.per_class[c];
+    g.f_start = starts[c] * (1.0 + 0.05 * rng.normal());
+    g.f_end = ends[c] * (1.0 + 0.05 * rng.normal());
+    g.attack = attacks[c];
+    g.amp = spec.separation * rng.uniform(0.8, 1.2);
+  }
+  constexpr std::size_t kPostureTones = 2;
+  for (std::size_t k = 0; k < kPostureTones; ++k) {
+    p.posture.push_back({rng.uniform(0.005, 0.03), rng.uniform(0.3, 0.8),
+                         rng.uniform(0.0, 2.0 * std::numbers::pi)});
+  }
+  return p;
+}
+
+std::vector<float> draw_gesture_sample(const SyntheticSpec& spec,
+                                       const GesturePrototypes& p,
+                                       int label, Rng& rng) {
+  const std::size_t hop = std::max<std::size_t>(1, spec.length / 2);
+  std::vector<float> sample(spec.windows * spec.length);
+  const auto& g = p.per_class[static_cast<std::size_t>(label)];
+  // Per-trial execution jitter: speed scales how fast the frequency
+  // trajectory is traversed, energy scales the envelope, and the
+  // posture baseline redraws its phase. The oscillation phase itself is
+  // near-locked: gesture frames are onset-aligned sensor windows, so
+  // each window shows its trajectory frequency at a stable phase —
+  // without that lock no per-feature mean carries the class and
+  // accuracy collapses to chance (cf. phase_locked_tones above).
+  const double speed = rng.uniform(0.85, 1.15);
+  const double energy = rng.uniform(0.8, 1.2);
+  const double chirp_phase = rng.normal(0.0, 0.3);
+  std::vector<double> posture_phase(p.posture.size());
+  for (auto& ph : posture_phase) {
+    ph = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+
+  const double frames = std::max<double>(
+      1.0, static_cast<double>(spec.windows - 1));
+  for (std::size_t w = 0; w < spec.windows; ++w) {
+    const double progress = std::clamp(
+        speed * static_cast<double>(w) / frames, 0.0, 1.0);
+    // Each frame oscillates at the trajectory's instantaneous
+    // frequency, re-excited at the frame boundary (phase restarts per
+    // window) — frequency sweeps f_start -> f_end across the trace.
+    const double freq =
+        g.f_start + (g.f_end - g.f_start) * progress;
+    // Asymmetric attack/decay envelope peaking at g.attack; wide
+    // enough that the chirp is live over most of the trace.
+    const double d = progress - g.attack;
+    const double env = std::exp(-0.5 * d * d / (d < 0.0 ? 0.04 : 0.12));
+    for (std::size_t l = 0; l < spec.length; ++l) {
+      const double t = static_cast<double>(w * hop + l);
+      const double phase = 2.0 * std::numbers::pi * freq *
+                           static_cast<double>(l);
+      double v = energy * g.amp * env * std::sin(phase + chirp_phase);
+      for (std::size_t k = 0; k < p.posture.size(); ++k) {
+        const auto& tone = p.posture[k];
+        v += tone.amp *
+             std::sin(2.0 * std::numbers::pi * tone.freq * t + tone.phase +
+                      posture_phase[k]);
+      }
+      v += spec.noise * rng.normal();
+      if (spec.artifact_rate > 0.0 && rng.bernoulli(spec.artifact_rate)) {
+        v += rng.sign() * rng.uniform(3.0, 8.0);
+      }
+      sample[w * spec.length + l] = static_cast<float>(v);
+    }
+  }
+  return sample;
+}
+
+void apply_drift(const SyntheticSpec& spec, GesturePrototypes& p) {
+  if (spec.drift <= 0.0) return;
+  Rng rng(spec.drift_seed * 0x9E3779B97F4A7C15ULL + 17);
+  for (auto& g : p.per_class) {
+    // New user / sensor placement: chirps retune, envelopes shift.
+    g.f_start = std::clamp(
+        g.f_start * (1.0 + 0.5 * spec.drift * rng.normal()), 0.01, 0.3);
+    g.f_end = std::clamp(
+        g.f_end * (1.0 + 0.5 * spec.drift * rng.normal()), 0.01, 0.3);
+    g.attack = std::clamp(g.attack + 0.2 * spec.drift * rng.normal(),
+                          0.05, 0.95);
+    g.amp *= 1.0 + spec.drift * rng.normal();
+  }
+}
+
 int draw_label(const SyntheticSpec& spec, Rng& rng) {
   if (spec.imbalance > 0.0 && spec.classes == 2) {
     const double p0 = 0.5 + spec.imbalance / 2.0;
@@ -230,22 +561,55 @@ SyntheticResult generate(const SyntheticSpec& spec) {
   Rng rng(spec.seed);
   TimePrototypes time_protos;
   FreqPrototypes freq_protos;
-  if (spec.domain == Domain::kTime) {
-    time_protos = draw_time_prototypes(spec, rng);
-    apply_drift(spec, time_protos);
-  } else {
-    freq_protos = draw_freq_prototypes(spec, rng);
-    apply_drift(spec, freq_protos);
+  KeywordPrototypes keyword_protos;
+  AnomalyPrototypes anomaly_protos;
+  GesturePrototypes gesture_protos;
+  switch (spec.family) {
+    case Family::kMultiTone:
+      if (spec.domain == Domain::kTime) {
+        time_protos = draw_time_prototypes(spec, rng);
+        apply_drift(spec, time_protos);
+      } else {
+        freq_protos = draw_freq_prototypes(spec, rng);
+        apply_drift(spec, freq_protos);
+      }
+      break;
+    case Family::kKeyword:
+      keyword_protos = draw_keyword_prototypes(spec, rng);
+      apply_drift(spec, keyword_protos);
+      break;
+    case Family::kAnomaly:
+      anomaly_protos = draw_anomaly_prototypes(spec, rng);
+      apply_drift(spec, anomaly_protos);
+      break;
+    case Family::kGesture:
+      gesture_protos = draw_gesture_prototypes(spec, rng);
+      apply_drift(spec, gesture_protos);
+      break;
   }
+
+  const auto draw_sample = [&](int label) {
+    switch (spec.family) {
+      case Family::kKeyword:
+        return draw_keyword_sample(spec, keyword_protos, label, rng);
+      case Family::kAnomaly:
+        return draw_anomaly_sample(spec, anomaly_protos, label, rng);
+      case Family::kGesture:
+        return draw_gesture_sample(spec, gesture_protos, label, rng);
+      case Family::kMultiTone:
+        break;
+    }
+    return spec.domain == Domain::kTime
+               ? draw_time_sample(spec, time_protos, label, rng)
+               : draw_freq_sample(spec, freq_protos, label, rng);
+  };
 
   const std::size_t total = spec.train_count + spec.test_count;
   std::vector<std::vector<float>> raw(total);
   std::vector<int> labels(total);
   for (std::size_t i = 0; i < total; ++i) {
     labels[i] = draw_label(spec, rng);
-    raw[i] = spec.domain == Domain::kTime
-                 ? draw_time_sample(spec, time_protos, labels[i], rng)
-                 : draw_freq_sample(spec, freq_protos, labels[i], rng);
+    raw[i] = draw_sample(labels[i]);
   }
 
   // Fit the discretizer on training signals only.

@@ -29,8 +29,33 @@
 
 namespace univsa::data {
 
+/// Workload family — selects the generative process. kMultiTone is the
+/// Table I stand-in machinery above; the other three model the
+/// heterogeneous tenants of a multi-tenant model zoo (docs/ZOO.md):
+/// distinct signal structure per family, so one tenant's model is
+/// useless on another tenant's traffic.
+enum class Family {
+  /// Multi-tone / spectral-bump generators (Table I stand-ins).
+  kMultiTone,
+  /// Keyword spotting: per-class formant *trajectories* over a
+  /// spectrogram grid (windows = time frames, length = mel-like bins)
+  /// with per-utterance speaking-rate warp. Class identity lives in the
+  /// trajectory shape, not in any single frame.
+  kKeyword,
+  /// Anomaly detection: class 0 is stationary machine hum; class k > 0
+  /// injects a transient broadband burst with class-specific ring
+  /// frequency into a random contiguous span of windows. Naturally
+  /// imbalanced (`imbalance` shifts mass toward class 0).
+  kAnomaly,
+  /// Gesture recognition: inertial-style chirps — class-specific
+  /// frequency sweep plus attack/decay amplitude envelope over the
+  /// whole trace, with per-trial speed and energy jitter.
+  kGesture,
+};
+
 struct SyntheticSpec {
   std::string name;
+  Family family = Family::kMultiTone;
   Domain domain = Domain::kTime;
   std::size_t windows = 16;
   std::size_t length = 64;

@@ -1,0 +1,238 @@
+#include "univsa/runtime/adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "univsa/common/contracts.h"
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::runtime {
+
+namespace {
+
+struct AdaptMetrics {
+  telemetry::Counter& refreshes =
+      telemetry::counter("runtime.adapt.refreshes_total");
+  telemetry::Counter& drift_events =
+      telemetry::counter("runtime.adapt.drift_events_total");
+  telemetry::Gauge& recent_accuracy =
+      telemetry::gauge("runtime.adapt.recent_accuracy");
+};
+
+AdaptMetrics& adapt_metrics() {
+  static AdaptMetrics g;
+  return g;
+}
+
+}  // namespace
+
+// --- DriftDetector -----------------------------------------------------
+
+DriftDetector::DriftDetector(DriftDetectorOptions options)
+    : options_(options) {
+  UNIVSA_REQUIRE(options_.baseline_window >= 1,
+                 "baseline_window must be positive");
+  UNIVSA_REQUIRE(options_.recent_window >= 1,
+                 "recent_window must be positive");
+  ring_correct_.assign(options_.recent_window, 0);
+  ring_margin_.assign(options_.recent_window, 0.0);
+}
+
+void DriftDetector::observe(bool correct, double margin) {
+  ++observed_;
+  if (baseline_count_ < options_.baseline_window) {
+    ++baseline_count_;
+    baseline_correct_ += correct ? 1 : 0;
+    baseline_margin_sum_ += margin;
+    return;
+  }
+  if (ring_size_ == options_.recent_window) {
+    ring_correct_sum_ -= ring_correct_[ring_next_];
+    ring_margin_sum_ -= ring_margin_[ring_next_];
+  } else {
+    ++ring_size_;
+  }
+  ring_correct_[ring_next_] = correct ? 1 : 0;
+  ring_margin_[ring_next_] = margin;
+  ring_correct_sum_ += correct ? 1 : 0;
+  ring_margin_sum_ += margin;
+  ring_next_ = (ring_next_ + 1) % options_.recent_window;
+}
+
+double DriftDetector::baseline_accuracy() const {
+  return baseline_count_ == 0 ? 0.0
+                              : static_cast<double>(baseline_correct_) /
+                                    static_cast<double>(baseline_count_);
+}
+
+double DriftDetector::baseline_margin() const {
+  return baseline_count_ == 0
+             ? 0.0
+             : baseline_margin_sum_ / static_cast<double>(baseline_count_);
+}
+
+double DriftDetector::recent_accuracy() const {
+  return ring_size_ == 0 ? 0.0
+                         : static_cast<double>(ring_correct_sum_) /
+                               static_cast<double>(ring_size_);
+}
+
+double DriftDetector::recent_margin() const {
+  return ring_size_ == 0
+             ? 0.0
+             : ring_margin_sum_ / static_cast<double>(ring_size_);
+}
+
+bool DriftDetector::drifted() const {
+  if (!baseline_frozen() || ring_size_ < options_.recent_window) {
+    return false;
+  }
+  if (baseline_accuracy() - recent_accuracy() >= options_.accuracy_drop) {
+    return true;
+  }
+  return options_.margin_fraction > 0.0 && baseline_margin() > 0.0 &&
+         recent_margin() <= options_.margin_fraction * baseline_margin();
+}
+
+void DriftDetector::rebaseline() {
+  baseline_count_ = 0;
+  baseline_correct_ = 0;
+  baseline_margin_sum_ = 0.0;
+  std::fill(ring_correct_.begin(), ring_correct_.end(), 0);
+  std::fill(ring_margin_.begin(), ring_margin_.end(), 0.0);
+  ring_size_ = 0;
+  ring_next_ = 0;
+  ring_correct_sum_ = 0;
+  ring_margin_sum_ = 0.0;
+}
+
+// --- TrafficReservoir --------------------------------------------------
+
+TrafficReservoir::TrafficReservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  UNIVSA_REQUIRE(capacity_ >= 1, "reservoir capacity must be positive");
+  values_.reserve(capacity_);
+  labels_.reserve(capacity_);
+}
+
+void TrafficReservoir::add(const std::vector<std::uint16_t>& values,
+                           int label) {
+  ++seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(values);
+    labels_.push_back(label);
+    return;
+  }
+  // Algorithm R: the n-th arrival replaces a uniform slot with
+  // probability capacity/n.
+  const std::size_t slot = rng_.uniform_index(seen_);
+  if (slot < capacity_) {
+    values_[slot] = values;
+    labels_[slot] = label;
+  }
+}
+
+void TrafficReservoir::clear() {
+  values_.clear();
+  labels_.clear();
+  seen_ = 0;
+}
+
+data::Dataset TrafficReservoir::dataset(std::size_t windows,
+                                        std::size_t length,
+                                        std::size_t classes,
+                                        std::size_t levels) const {
+  data::Dataset out(windows, length, classes, levels);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    out.add(values_[i], labels_[i]);
+  }
+  return out;
+}
+
+// --- AdaptationDriver --------------------------------------------------
+
+AdaptationDriver::AdaptationDriver(std::shared_ptr<ModelRegistry> registry,
+                                   std::string tenant,
+                                   AdaptationOptions options)
+    : registry_(std::move(registry)),
+      tenant_(std::move(tenant)),
+      options_(options),
+      detector_(options.detector),
+      reservoir_(options.reservoir_capacity, options.seed) {
+  UNIVSA_REQUIRE(registry_ != nullptr, "registry must be non-null");
+  UNIVSA_REQUIRE(options_.min_refresh_samples >= 1,
+                 "min_refresh_samples must be positive");
+  // Resolve the tenant now so a typo fails here, not on the first
+  // refresh; also registers the runtime.adapt.* metrics.
+  (void)registry_->latest(tenant_);
+  if (telemetry::enabled()) (void)adapt_metrics();
+}
+
+double AdaptationDriver::margin(const vsa::Prediction& prediction) {
+  if (prediction.scores.size() < 2) return 1.0;
+  long long top = prediction.scores[0];
+  long long runner = prediction.scores[1];
+  if (runner > top) std::swap(top, runner);
+  for (std::size_t i = 2; i < prediction.scores.size(); ++i) {
+    const long long s = prediction.scores[i];
+    if (s > top) {
+      runner = top;
+      top = s;
+    } else if (s > runner) {
+      runner = s;
+    }
+  }
+  const double denom = std::abs(static_cast<double>(top)) +
+                       std::abs(static_cast<double>(runner)) + 1.0;
+  return static_cast<double>(top - runner) / denom;
+}
+
+bool AdaptationDriver::observe(const std::vector<std::uint16_t>& values,
+                               int label,
+                               const vsa::Prediction& prediction) {
+  reservoir_.add(values, label);
+  const bool correct = prediction.label == label;
+  detector_.observe(correct, margin(prediction));
+  ++observations_since_refresh_;
+  if (telemetry::enabled()) {
+    adapt_metrics().recent_accuracy.set(detector_.recent_accuracy());
+  }
+  if (!drift_latched_ && detector_.drifted()) {
+    drift_latched_ = true;
+    ++drift_events_;
+    // The reservoir is a uniform sample over everything seen, which at
+    // this point is dominated by pre-drift traffic; restart it so the
+    // refresh trains on the post-drift distribution. min_refresh_samples
+    // then gates the refresh on enough *drifted* samples.
+    reservoir_.clear();
+    if (telemetry::enabled()) adapt_metrics().drift_events.add();
+  }
+  if (drift_latched_ &&
+      reservoir_.size() >= options_.min_refresh_samples &&
+      observations_since_refresh_ >= options_.refresh_cooldown) {
+    refresh_now();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t AdaptationDriver::refresh_now() {
+  UNIVSA_REQUIRE(reservoir_.size() > 0,
+                 "cannot refresh from an empty reservoir");
+  SnapshotPtr snapshot = registry_->latest(tenant_);
+  const vsa::ModelConfig& config = snapshot->model().config();
+  data::Dataset recent =
+      reservoir_.dataset(config.W, config.L, config.C, config.M);
+  train::OnlineRetrainResult result = train::refresh_class_vectors(
+      snapshot->model(), recent, refreshes_, options_.retrain);
+  const std::uint64_t version =
+      registry_->publish(tenant_, std::move(result.model));
+  ++refreshes_;
+  observations_since_refresh_ = 0;
+  drift_latched_ = false;
+  detector_.rebaseline();
+  if (telemetry::enabled()) adapt_metrics().refreshes.add();
+  return version;
+}
+
+}  // namespace univsa::runtime

@@ -1,0 +1,177 @@
+// Online adaptation under drift: the serve-time loop that keeps a
+// tenant's model fresh.
+//
+// Generalizes bench_online_adaptation into a first-class subsystem:
+//   observe(sample, label, prediction)
+//     -> bounded reservoir of recent labeled traffic (deterministic
+//        Vitter algorithm-R sampling)
+//     -> windowed drift detector (trailing accuracy + similarity-margin
+//        shift vs a frozen baseline window)
+//     -> on drift: train::refresh_class_vectors on the reservoir and
+//        publish the refreshed model to the ModelRegistry — the same
+//        RCU hot-swap path every other publish takes, so serving never
+//        pauses and in-flight work finishes on its old snapshot.
+//
+// Everything is deterministic for a fixed (options, traffic order), so
+// CI can diff two same-seed runs of the mixed-traffic drill.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/data/dataset.h"
+#include "univsa/runtime/model_registry.h"
+#include "univsa/train/online_retrainer.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+
+struct DriftDetectorOptions {
+  /// Observations that freeze the baseline accuracy/margin estimate.
+  std::size_t baseline_window = 128;
+  /// Trailing window compared against the baseline.
+  std::size_t recent_window = 64;
+  /// Trigger: baseline accuracy minus trailing accuracy >= this.
+  double accuracy_drop = 0.10;
+  /// Trigger: trailing mean margin <= this fraction of baseline margin
+  /// (catches confidence erosion before accuracy visibly falls).
+  /// <= 0 disables the margin trigger.
+  double margin_fraction = 0.5;
+};
+
+/// Windowed accuracy / similarity-margin shift detector. Not
+/// thread-safe: one detector serves one observation stream (the
+/// AdaptationDriver's).
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftDetectorOptions options = {});
+
+  /// Feeds one labeled outcome. `margin` is the prediction's normalized
+  /// score margin (AdaptationDriver::margin).
+  void observe(bool correct, double margin);
+
+  /// True once the baseline froze, the trailing window filled, and
+  /// either trigger fired.
+  bool drifted() const;
+
+  /// Restarts baseline collection (after a model refresh: the old
+  /// baseline described the old model).
+  void rebaseline();
+
+  std::size_t observed() const { return observed_; }
+  bool baseline_frozen() const {
+    return baseline_count_ >= options_.baseline_window;
+  }
+  double baseline_accuracy() const;
+  double baseline_margin() const;
+  /// Trailing-window accuracy (0 while the window is empty).
+  double recent_accuracy() const;
+  double recent_margin() const;
+
+ private:
+  DriftDetectorOptions options_;
+  std::size_t observed_ = 0;
+  // Frozen baseline accumulators.
+  std::size_t baseline_count_ = 0;
+  std::size_t baseline_correct_ = 0;
+  double baseline_margin_sum_ = 0.0;
+  // Trailing ring buffer.
+  std::vector<std::uint8_t> ring_correct_;
+  std::vector<double> ring_margin_;
+  std::size_t ring_size_ = 0;
+  std::size_t ring_next_ = 0;
+  std::size_t ring_correct_sum_ = 0;
+  double ring_margin_sum_ = 0.0;
+};
+
+/// Bounded uniform sample of recent labeled traffic (Vitter's
+/// algorithm R, deterministic for a fixed seed + arrival order).
+class TrafficReservoir {
+ public:
+  TrafficReservoir(std::size_t capacity, std::uint64_t seed);
+
+  void add(const std::vector<std::uint16_t>& values, int label);
+  std::size_t size() const { return values_.size(); }
+  std::size_t seen() const { return seen_; }
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  /// Materializes the current sample as a Dataset with the given
+  /// geometry (the tenant model's config).
+  data::Dataset dataset(std::size_t windows, std::size_t length,
+                        std::size_t classes, std::size_t levels) const;
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::size_t seen_ = 0;
+  std::vector<std::vector<std::uint16_t>> values_;
+  std::vector<int> labels_;
+};
+
+struct AdaptationOptions {
+  DriftDetectorOptions detector;
+  /// Reservoir capacity (recent labeled samples retained). The
+  /// reservoir restarts when drift latches, so a refresh trains on
+  /// post-drift traffic only.
+  std::size_t reservoir_capacity = 256;
+  /// Minimum reservoir fill before a refresh may trigger — counted
+  /// from the drift event (see above), i.e. drifted samples.
+  std::size_t min_refresh_samples = 64;
+  /// Observations that must pass after a refresh before the next one
+  /// (on top of the detector's own rebaseline).
+  std::size_t refresh_cooldown = 128;
+  /// Passed to train::refresh_class_vectors.
+  train::OnlineRetrainOptions retrain;
+  /// Reservoir sampling seed.
+  std::uint64_t seed = 17;
+};
+
+/// Drives one tenant's refresh loop against a ModelRegistry. Feed every
+/// labeled serving outcome through observe(); when the drift detector
+/// fires (and the reservoir holds enough), the driver retrains the
+/// class vectors on the reservoir and publishes the refreshed model —
+/// a registry hot-swap, wait-free for concurrent readers.
+///
+/// Not thread-safe: one driver per tenant observation stream. The
+/// registry it publishes to may be shared with live servers.
+class AdaptationDriver {
+ public:
+  AdaptationDriver(std::shared_ptr<ModelRegistry> registry,
+                   std::string tenant, AdaptationOptions options = {});
+
+  /// Normalized similarity margin of a prediction: (top - runner_up) /
+  /// (|top| + |runner_up| + 1), in [-1, 1]; higher = more confident.
+  static double margin(const vsa::Prediction& prediction);
+
+  /// Records one labeled outcome. Returns true when this observation
+  /// triggered a refresh (a new model version was published).
+  bool observe(const std::vector<std::uint16_t>& values, int label,
+               const vsa::Prediction& prediction);
+
+  /// Forces a refresh from the current reservoir regardless of the
+  /// detector (throws if the reservoir is empty). Returns the published
+  /// version.
+  std::uint64_t refresh_now();
+
+  const DriftDetector& detector() const { return detector_; }
+  const TrafficReservoir& reservoir() const { return reservoir_; }
+  std::uint64_t refreshes() const { return refreshes_; }
+  std::uint64_t drift_events() const { return drift_events_; }
+  const std::string& tenant() const { return tenant_; }
+
+ private:
+  std::shared_ptr<ModelRegistry> registry_;
+  std::string tenant_;
+  AdaptationOptions options_;
+  DriftDetector detector_;
+  TrafficReservoir reservoir_;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t drift_events_ = 0;
+  std::size_t observations_since_refresh_ = 0;
+  bool drift_latched_ = false;
+};
+
+}  // namespace univsa::runtime

@@ -1,0 +1,169 @@
+#include "univsa/runtime/model_registry.h"
+
+#include <algorithm>
+
+#include "univsa/common/contracts.h"
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::runtime {
+
+namespace {
+
+// Process-wide registry telemetry: publish volume, hot-swap volume
+// (publishes that replaced an existing latest), and tenant population.
+struct RegistryMetrics {
+  telemetry::Counter& publishes =
+      telemetry::counter("runtime.registry.publishes_total");
+  telemetry::Counter& hot_swaps =
+      telemetry::counter("runtime.registry.hot_swaps_total");
+  telemetry::Gauge& tenants = telemetry::gauge("runtime.registry.tenants");
+};
+
+RegistryMetrics& registry_metrics() {
+  static RegistryMetrics g;
+  return g;
+}
+
+[[noreturn]] void throw_unknown_tenant(
+    const std::string& name, const std::vector<std::string>& known) {
+  std::string what = "unknown tenant \"" + name + "\"; registry holds ";
+  if (known.empty()) {
+    what += "no tenants";
+  } else {
+    what += "{";
+    for (std::size_t i = 0; i < known.size(); ++i) {
+      if (i != 0) what += ", ";
+      what += known[i];
+    }
+    what += "}";
+  }
+  throw UnknownTenant(what);
+}
+
+}  // namespace
+
+std::uint64_t ModelRegistry::Tenant::version_count() const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  return history_.size();
+}
+
+SnapshotPtr ModelRegistry::Tenant::version(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  if (version == 0 || version > history_.size()) return nullptr;
+  return history_[version - 1];
+}
+
+ModelRegistry::Tenant& ModelRegistry::tenant_for_publish(
+    const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(tenants_mutex_);
+    auto it = tenants_.find(name);
+    if (it != tenants_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(tenants_mutex_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, std::unique_ptr<Tenant>(new Tenant(name)))
+             .first;
+    if (telemetry::enabled()) {
+      registry_metrics().tenants.set(static_cast<double>(tenants_.size()));
+    }
+  }
+  return *it->second;
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& tenant_name,
+                                     vsa::Model model) {
+  UNIVSA_REQUIRE(!tenant_name.empty(), "tenant name must be non-empty");
+  UNIVSA_REQUIRE(tenant_name.find('@') == std::string::npos,
+                 "tenant name cannot contain '@' (version separator)");
+  Tenant& tenant = tenant_for_publish(tenant_name);
+
+  SnapshotPtr snapshot;
+  std::uint64_t version = 0;
+  {
+    // Serialize publishers per tenant; the version is the history slot.
+    std::lock_guard<std::mutex> lock(tenant.history_mutex_);
+    version = tenant.history_.size() + 1;
+    snapshot = std::make_shared<const ModelSnapshot>(tenant_name, version,
+                                                     std::move(model));
+    tenant.history_.push_back(snapshot);
+  }
+  // The hot swap: one atomic pointer flip. Readers holding the previous
+  // snapshot keep it alive through their shared_ptr; new resolutions see
+  // the fresh version immediately.
+  tenant.latest_.store(snapshot, std::memory_order_release);
+  if (telemetry::enabled()) {
+    RegistryMetrics& g = registry_metrics();
+    g.publishes.add();
+    if (version > 1) g.hot_swaps.add();
+  }
+  return version;
+}
+
+const ModelRegistry::Tenant* ModelRegistry::find_tenant(
+    const std::string& tenant) const {
+  std::shared_lock<std::shared_mutex> lock(tenants_mutex_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+const ModelRegistry::Tenant& ModelRegistry::tenant(
+    const std::string& tenant_name) const {
+  const Tenant* tenant = find_tenant(tenant_name);
+  if (tenant == nullptr) throw_unknown_tenant(tenant_name, tenant_names());
+  return *tenant;
+}
+
+SnapshotPtr ModelRegistry::latest(const std::string& tenant_name) const {
+  return tenant(tenant_name).latest();
+}
+
+SnapshotPtr ModelRegistry::resolve(const std::string& key) const {
+  auto [tenant_name, version] = parse_key(key);
+  const Tenant& entry = tenant(tenant_name);
+  if (!version.has_value()) return entry.latest();
+  SnapshotPtr snapshot = entry.version(*version);
+  UNIVSA_REQUIRE(snapshot != nullptr,
+                 "tenant \"" + tenant_name + "\" has no version " +
+                     std::to_string(*version) + " (latest is " +
+                     std::to_string(entry.version_count()) + ")");
+  return snapshot;
+}
+
+std::vector<std::string> ModelRegistry::tenant_names() const {
+  std::shared_lock<std::shared_mutex> lock(tenants_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::size_t ModelRegistry::tenant_count() const {
+  std::shared_lock<std::shared_mutex> lock(tenants_mutex_);
+  return tenants_.size();
+}
+
+std::pair<std::string, std::optional<std::uint64_t>>
+ModelRegistry::parse_key(const std::string& key) {
+  const std::size_t at = key.find('@');
+  std::string tenant = key.substr(0, at);
+  UNIVSA_REQUIRE(!tenant.empty(),
+                 "model key must start with a tenant name: \"" + key + "\"");
+  if (at == std::string::npos) return {std::move(tenant), std::nullopt};
+  const std::string suffix = key.substr(at + 1);
+  if (suffix == "latest") return {std::move(tenant), std::nullopt};
+  UNIVSA_REQUIRE(!suffix.empty() &&
+                     std::all_of(suffix.begin(), suffix.end(),
+                                 [](unsigned char c) {
+                                   return c >= '0' && c <= '9';
+                                 }),
+                 "model key version must be \"latest\" or a positive "
+                 "integer: \"" +
+                     key + "\"");
+  const std::uint64_t version = std::stoull(suffix);
+  UNIVSA_REQUIRE(version > 0, "model versions are 1-based: \"" + key + "\"");
+  return {std::move(tenant), version};
+}
+
+}  // namespace univsa::runtime

@@ -1,0 +1,151 @@
+// Versioned multi-tenant model registry with RCU-style hot swap.
+//
+// The single-model assumption stops here: a process serves many trained
+// UniVSA configurations ("tenants" — one per workload family, e.g.
+// `zoo/kws`, `zoo/anomaly`) from one ModelRegistry. Each publish() of a
+// tenant installs an immutable ModelSnapshot under a monotonically
+// increasing version; the latest pointer is flipped atomically
+// (`std::atomic<std::shared_ptr>`), so
+//   - readers are wait-free: resolving a model is one acquire load, no
+//     lock shared with writers;
+//   - swaps never invalidate in-flight work: a request (or batch) that
+//     resolved snapshot N keeps serving on N until its shared_ptr drops,
+//     even if N+1 was published mid-dispatch — classic RCU grace-period
+//     semantics with shared_ptr as the reclamation mechanism;
+//   - old versions stay addressable: `tenant@N` pins, `tenant` /
+//     `tenant@latest` floats. Models are KB-scale, so the registry
+//     retains every published version for reproducibility.
+//
+// Covered by tests/runtime/model_registry_test.cpp, including a
+// TSan-covered drill that flips versions mid-flight under load and
+// checks every completed answer is bit-exact under exactly one snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "univsa/vsa/model.h"
+
+namespace univsa::runtime {
+
+/// Thrown when a key names a tenant the registry has never seen; the
+/// message lists the known tenants. Subclasses std::invalid_argument so
+/// generic contract handling keeps working.
+class UnknownTenant : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// One immutable published model version. Snapshots own their Model copy
+/// and are only ever handed out as shared_ptr<const ModelSnapshot>, so a
+/// holder can serve from it indefinitely regardless of later publishes.
+class ModelSnapshot {
+ public:
+  ModelSnapshot(std::string tenant, std::uint64_t version, vsa::Model model)
+      : tenant_(std::move(tenant)),
+        version_(version),
+        model_(std::move(model)) {}
+
+  const std::string& tenant() const { return tenant_; }
+  std::uint64_t version() const { return version_; }
+  const vsa::Model& model() const { return model_; }
+  /// Canonical pinned key, `tenant@version`.
+  std::string key() const {
+    return tenant_ + "@" + std::to_string(version_);
+  }
+
+ private:
+  std::string tenant_;
+  std::uint64_t version_;
+  vsa::Model model_;
+};
+
+using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
+
+class ModelRegistry {
+ public:
+  /// Stable per-tenant handle: never deallocated while the registry
+  /// lives, so hot paths may cache the pointer once and then resolve the
+  /// live model with a single wait-free atomic load per request.
+  class Tenant {
+   public:
+    const std::string& name() const { return name_; }
+    /// The current latest snapshot (wait-free; never null once the
+    /// tenant exists — a tenant is created by its first publish).
+    SnapshotPtr latest() const {
+      return latest_.load(std::memory_order_acquire);
+    }
+    /// Number of versions published so far.
+    std::uint64_t version_count() const;
+    /// Pinned lookup; null when `version` was never published.
+    SnapshotPtr version(std::uint64_t version) const;
+
+   private:
+    friend class ModelRegistry;
+    explicit Tenant(std::string name) : name_(std::move(name)) {}
+
+    std::string name_;
+    std::atomic<SnapshotPtr> latest_;
+    mutable std::mutex history_mutex_;
+    std::vector<SnapshotPtr> history_;  // index i holds version i+1
+  };
+
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publishes `model` as the next version of `tenant` (creating the
+  /// tenant on first publish) and atomically flips the tenant's latest
+  /// pointer — the hot-swap. Returns the assigned version (1-based,
+  /// monotonic per tenant). Tenant names may contain '/' (zoo paths like
+  /// "zoo/kws") but not '@' (reserved for the version suffix) and must
+  /// be non-empty.
+  std::uint64_t publish(const std::string& tenant, vsa::Model model);
+
+  /// Resolves a key of the form `tenant`, `tenant@latest`, or
+  /// `tenant@N`. Throws UnknownTenant for a tenant never published and
+  /// std::invalid_argument for a malformed or never-published version.
+  SnapshotPtr resolve(const std::string& key) const;
+
+  /// Latest snapshot of `tenant`; throws UnknownTenant if missing.
+  SnapshotPtr latest(const std::string& tenant) const;
+
+  /// Stable handle lookup; null when the tenant was never published.
+  /// The pointer remains valid for the registry's lifetime.
+  const Tenant* find_tenant(const std::string& tenant) const;
+
+  /// As find_tenant but throws UnknownTenant instead of returning null.
+  const Tenant& tenant(const std::string& tenant_name) const;
+
+  bool has_tenant(const std::string& tenant) const {
+    return find_tenant(tenant) != nullptr;
+  }
+
+  /// Sorted tenant names.
+  std::vector<std::string> tenant_names() const;
+  std::size_t tenant_count() const;
+
+  /// Splits `key` into (tenant, version); version is empty for bare
+  /// `tenant` and `tenant@latest` forms. Throws std::invalid_argument on
+  /// malformed keys (empty tenant, non-numeric version, version 0). The
+  /// *first* '@' separates tenant from version.
+  static std::pair<std::string, std::optional<std::uint64_t>> parse_key(
+      const std::string& key);
+
+ private:
+  Tenant& tenant_for_publish(const std::string& name);
+
+  mutable std::shared_mutex tenants_mutex_;  // guards the map shape only
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace univsa::runtime

@@ -29,6 +29,8 @@ struct GlobalServerMetrics {
       telemetry::counter("runtime.server.deadline_rejected_total");
   telemetry::Counter& retries =
       telemetry::counter("runtime.server.retries_total");
+  telemetry::Counter& unknown_tenant =
+      telemetry::counter("runtime.server.unknown_tenant_total");
   telemetry::Counter& health_transitions =
       telemetry::counter("runtime.server.health_transitions_total");
   telemetry::Gauge& health_state =
@@ -48,6 +50,17 @@ struct GlobalServerMetrics {
 GlobalServerMetrics& global_metrics() {
   static GlobalServerMetrics g;
   return g;
+}
+
+// The legacy single-model path: a private one-tenant registry holding a
+// copy of the caller's model, published under the default tenant.
+std::shared_ptr<ModelRegistry> single_model_registry(
+    const vsa::Model& model, const ServerOptions& options) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(
+      options.default_tenant.empty() ? "default" : options.default_tenant,
+      model);
+  return registry;
 }
 
 }  // namespace
@@ -70,27 +83,28 @@ const char* to_string(HealthState state) {
   return "?";
 }
 
-Server::Server(const vsa::Model& model, ServerOptions options)
-    : options_(std::move(options)) {
+Server::Server(std::shared_ptr<ModelRegistry> registry,
+               ServerOptions options)
+    : options_(std::move(options)), registry_(std::move(registry)) {
+  UNIVSA_REQUIRE(registry_ != nullptr, "registry must be non-null");
   UNIVSA_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
   UNIVSA_REQUIRE(options_.queue_capacity > 0,
                  "queue_capacity must be positive");
   UNIVSA_REQUIRE(options_.shed_watermark <= options_.queue_capacity,
                  "shed_watermark cannot exceed queue_capacity");
+  UNIVSA_REQUIRE(!options_.default_tenant.empty(),
+                 "default_tenant must be non-empty");
+  // Fail fast on a backend name typo: workers build backends lazily per
+  // snapshot, so without this check the error would only surface inside
+  // a dispatch.
+  UNIVSA_REQUIRE(has_backend(options_.backend),
+                 "unknown backend \"" + options_.backend + "\"");
   watermark_ = options_.shed_watermark != 0
                    ? options_.shed_watermark
                    : std::max<std::size_t>(1,
                                            options_.queue_capacity * 3 / 4);
   if (options_.workers == 0) options_.workers = 1;
-  backends_.reserve(options_.workers);
-  for (std::size_t w = 0; w < options_.workers; ++w) {
-    auto backend = make_backend(options_.backend, model);
-    if (options_.fault_plan != nullptr) {
-      backend = std::make_unique<FaultInjectedBackend>(
-          std::move(backend), options_.fault_plan, w);
-    }
-    backends_.push_back(std::move(backend));
-  }
+  if (options_.backend_cache == 0) options_.backend_cache = 1;
   if (telemetry::enabled()) {
     global_metrics().health_state.set(
         static_cast<double>(HealthState::kServing));
@@ -100,6 +114,9 @@ Server::Server(const vsa::Model& model, ServerOptions options)
     workers_.emplace_back([this, w] { worker_loop(w); });
   }
 }
+
+Server::Server(const vsa::Model& model, ServerOptions options)
+    : Server(single_model_registry(model, options), options) {}
 
 Server::~Server() { shutdown(); }
 
@@ -143,25 +160,95 @@ void Server::note_enqueued_locked() {
   }
 }
 
-Server::Request Server::pop_highest_locked() {
-  for (std::size_t p = kPriorityClasses; p-- > 0;) {
-    if (!queues_[p].empty()) {
-      Request request = std::move(queues_[p].front());
-      queues_[p].pop_front();
-      --total_queued_;
-      return request;
-    }
+Server::TenantState& Server::tenant_state_locked(const std::string& name) {
+  auto it = tenant_states_.find(name);
+  if (it != tenant_states_.end()) return *it->second;
+  auto state = std::make_unique<TenantState>();
+  state->name = name;
+  auto policy = options_.tenant_policies.find(name);
+  if (policy != options_.tenant_policies.end()) {
+    state->policy = policy->second;
   }
-  UNIVSA_ENSURE(false, "pop_highest_locked on an empty queue");
-  return {};
+  state->g_completed = &telemetry::counter(
+      telemetry::labeled("runtime.server.tenant_completed", "tenant", name));
+  state->g_shed = &telemetry::counter(
+      telemetry::labeled("runtime.server.tenant_shed", "tenant", name));
+  state->g_latency = &telemetry::histogram(telemetry::labeled(
+      "runtime.server.tenant_latency_ns", "tenant", name));
+  it = tenant_states_.emplace(name, std::move(state)).first;
+  return *it->second;
+}
+
+const ModelRegistry::Tenant* Server::resolve_tenant(
+    const SubmitOptions& options, const std::string** name) const {
+  const std::string& tenant_name =
+      options.tenant.empty() ? options_.default_tenant : options.tenant;
+  *name = &tenant_name;
+  return registry_->find_tenant(tenant_name);
+}
+
+void Server::collect_batch_locked(std::vector<Request>& batch,
+                                  std::vector<Request>& expired,
+                                  std::uint64_t now) {
+  // The highest-priority non-expired request leads the batch; only
+  // requests that resolved the SAME snapshot (tenant and version) may
+  // join it. Everything else stays queued in order. Expired requests of
+  // any tenant encountered during the scan are swept out.
+  const ModelSnapshot* leader = nullptr;
+  for (std::size_t p = kPriorityClasses; p-- > 0;) {
+    std::deque<Request>& queue = queues_[p];
+    if (queue.empty()) continue;
+    if (leader != nullptr && batch.size() >= options_.max_batch) break;
+    std::deque<Request> keep;
+    for (Request& request : queue) {
+      if (request.deadline_ns != 0 && now >= request.deadline_ns) {
+        --total_queued_;
+        --request.tenant->queued;
+        expired.push_back(std::move(request));
+        continue;
+      }
+      if (batch.size() < options_.max_batch &&
+          (leader == nullptr || request.snapshot.get() == leader)) {
+        leader = request.snapshot.get();
+        --total_queued_;
+        --request.tenant->queued;
+        batch.push_back(std::move(request));
+        continue;
+      }
+      keep.push_back(std::move(request));
+    }
+    queue = std::move(keep);
+  }
 }
 
 SubmitStatus Server::admit_locked(Request&& request,
-                                  std::optional<Request>& evicted) {
+                                  std::optional<Request>& evicted,
+                                  const char** shed_reason) {
   if (stopping_) return SubmitStatus::kShutdown;
+  TenantState& tenant = *request.tenant;
+  if (tenant.policy.queue_quota != 0 &&
+      tenant.queued >= tenant.policy.queue_quota) {
+    shed_.add();
+    tenant.shed.add();
+    if (telemetry::enabled()) {
+      global_metrics().shed.add();
+      tenant.g_shed->add();
+    }
+    if (shed_reason != nullptr) {
+      *shed_reason = "tenant admission quota reached";
+    }
+    return SubmitStatus::kShed;
+  }
   if (request.priority == Priority::kLow && total_queued_ >= watermark_) {
     shed_.add();
-    if (telemetry::enabled()) global_metrics().shed.add();
+    tenant.shed.add();
+    if (telemetry::enabled()) {
+      global_metrics().shed.add();
+      tenant.g_shed->add();
+    }
+    if (shed_reason != nullptr) {
+      *shed_reason = "queue depth at the shed watermark";
+    }
     return SubmitStatus::kShed;
   }
   if (total_queued_ >= options_.queue_capacity) {
@@ -176,10 +263,17 @@ SubmitStatus Server::admit_locked(Request&& request,
     evicted = std::move(low.back());
     low.pop_back();
     --total_queued_;
+    --evicted->tenant->queued;
     shed_.add();
-    if (telemetry::enabled()) global_metrics().shed.add();
+    evicted->tenant->shed.add();
+    if (telemetry::enabled()) {
+      global_metrics().shed.add();
+      evicted->tenant->g_shed->add();
+    }
   }
   request.submit_ns = telemetry::now_ns();
+  ++tenant.queued;
+  tenant.submitted.add();
   queues_[static_cast<std::size_t>(request.priority)].push_back(
       std::move(request));
   ++total_queued_;
@@ -198,18 +292,36 @@ std::future<vsa::Prediction> Server::submit(
   }
   std::future<vsa::Prediction> future = request.promise.get_future();
 
+  // Snapshot resolution happens here, before any queueing: whatever
+  // version is latest *now* serves this request, even if a hot-swap
+  // lands before dispatch.
+  const std::string* tenant_name = nullptr;
+  const ModelRegistry::Tenant* entry = resolve_tenant(options, &tenant_name);
+  if (entry == nullptr) {
+    unknown_tenant_.add();
+    if (telemetry::enabled()) global_metrics().unknown_tenant.add();
+    throw UnknownTenant("unknown tenant \"" + *tenant_name +
+                        "\": publish a model before submitting");
+  }
+  request.snapshot = entry->latest();
+
   std::uint64_t backoff_us =
       options.retry_backoff_us != 0 ? options.retry_backoff_us : 100;
   std::size_t attempts = 0;
   std::optional<Request> evicted;
+  const char* shed_reason = "";
   SubmitStatus status;
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    TenantState& tenant = tenant_state_locked(*tenant_name);
+    request.tenant = &tenant;
+    request.priority = std::min(options.priority,
+                                tenant.policy.max_priority);
     const auto has_space = [this] {
       return stopping_ || total_queued_ < options_.queue_capacity;
     };
     for (;;) {
-      status = admit_locked(std::move(request), evicted);
+      status = admit_locked(std::move(request), evicted, &shed_reason);
       if (status != SubmitStatus::kOverloaded) break;
       if (options.max_retries == 0) {
         // Classic backpressure: park until a worker frees queue space.
@@ -233,8 +345,8 @@ std::future<vsa::Prediction> Server::submit(
     case SubmitStatus::kOk:
       return future;
     case SubmitStatus::kShed:
-      throw RequestShed("low-priority request shed: queue depth at the "
-                        "shed watermark (" +
+      throw RequestShed("request for tenant \"" + *tenant_name +
+                        "\" shed: " + shed_reason + " (watermark " +
                         std::to_string(watermark_) + ")");
     case SubmitStatus::kOverloaded:
       throw ServerOverloaded(
@@ -261,11 +373,25 @@ SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
         telemetry::now_ns() + options.deadline_us * 1000ull;
   }
   std::future<vsa::Prediction> future = request.promise.get_future();
+
+  const std::string* tenant_name = nullptr;
+  const ModelRegistry::Tenant* entry = resolve_tenant(options, &tenant_name);
+  if (entry == nullptr) {
+    unknown_tenant_.add();
+    if (telemetry::enabled()) global_metrics().unknown_tenant.add();
+    return SubmitStatus::kUnknownTenant;
+  }
+  request.snapshot = entry->latest();
+
   std::optional<Request> evicted;
   SubmitStatus status;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    status = admit_locked(std::move(request), evicted);
+    TenantState& tenant = tenant_state_locked(*tenant_name);
+    request.tenant = &tenant;
+    request.priority = std::min(options.priority,
+                                tenant.policy.max_priority);
+    status = admit_locked(std::move(request), evicted, nullptr);
     if (status == SubmitStatus::kOverloaded) {
       rejected_.add();
       if (telemetry::enabled()) global_metrics().rejected.add();
@@ -318,6 +444,17 @@ ServerStats Server::stats() const {
     stats.max_batch_observed = max_batch_observed_;
     stats.max_queue_depth = max_queue_depth_;
     stats.health = health_;
+    for (const auto& [name, state] : tenant_states_) {
+      ServerStats::TenantStats tenant;
+      tenant.submitted = state->submitted.total();
+      tenant.completed = state->completed.total();
+      tenant.shed = state->shed.total();
+      tenant.deadline_rejected = state->deadline_rejected.total();
+      tenant.queued = state->queued;
+      tenant.latency_ns = state->latency.snapshot();
+      tenant.latency_ns.name = "latency_ns";
+      stats.tenants.emplace(name, std::move(tenant));
+    }
   }
   stats.submitted = submitted_.total();
   stats.rejected = rejected_.total();
@@ -326,6 +463,7 @@ ServerStats Server::stats() const {
   stats.shed = shed_.total();
   stats.deadline_rejected = deadline_rejected_.total();
   stats.retries = retries_.total();
+  stats.unknown_tenant = unknown_tenant_.total();
   stats.health_transitions = health_transitions_.total();
   stats.batch_sizes = batch_hist_.snapshot();
   stats.batch_sizes.name = "batch_sizes";
@@ -339,9 +477,47 @@ ServerStats Server::stats() const {
 }
 
 void Server::worker_loop(std::size_t worker) {
-  Backend& backend = *backends_[worker];
-  const bool parallel =
-      options_.parallel_batch && backend.capabilities().parallel_batch;
+  // Backends are built lazily per model snapshot and cached (LRU bound
+  // options_.backend_cache): with per-snapshot coalescing a steady mix
+  // of tenants reuses its backends dispatch after dispatch, and a
+  // hot-swap simply faults in one new entry while the old one ages out.
+  struct CachedBackend {
+    SnapshotPtr snapshot;
+    std::unique_ptr<Backend> backend;
+    bool parallel = false;
+    std::uint64_t last_used = 0;
+  };
+  std::vector<CachedBackend> cache;
+  std::uint64_t tick = 0;
+  auto backend_for = [&](const SnapshotPtr& snapshot) -> CachedBackend& {
+    for (auto& entry : cache) {
+      if (entry.snapshot.get() == snapshot.get()) {
+        entry.last_used = ++tick;
+        return entry;
+      }
+    }
+    if (cache.size() >= options_.backend_cache) {
+      std::size_t lru = 0;
+      for (std::size_t i = 1; i < cache.size(); ++i) {
+        if (cache[i].last_used < cache[lru].last_used) lru = i;
+      }
+      cache.erase(cache.begin() +
+                  static_cast<std::ptrdiff_t>(lru));
+    }
+    CachedBackend entry;
+    entry.snapshot = snapshot;
+    entry.backend = make_backend(options_.backend, snapshot->model());
+    if (options_.fault_plan != nullptr) {
+      entry.backend = std::make_unique<FaultInjectedBackend>(
+          std::move(entry.backend), options_.fault_plan, worker);
+    }
+    entry.parallel = options_.parallel_batch &&
+                     entry.backend->capabilities().parallel_batch;
+    entry.last_used = ++tick;
+    cache.push_back(std::move(entry));
+    return cache.back();
+  };
+
   std::vector<Request> batch;
   std::vector<Request> expired;
   std::vector<std::vector<std::uint16_t>> values;
@@ -369,18 +545,10 @@ void Server::worker_loop(std::size_t worker) {
         if (total_queued_ == 0) continue;  // another worker took them all
       }
 
-      // Drain highest class first; a request whose deadline has already
-      // passed is set aside for rejection and does NOT consume one of
-      // the max_batch slots.
-      const std::uint64_t now = telemetry::now_ns();
-      while (batch.size() < options_.max_batch && total_queued_ > 0) {
-        Request request = pop_highest_locked();
-        if (request.deadline_ns != 0 && now >= request.deadline_ns) {
-          expired.push_back(std::move(request));
-        } else {
-          batch.push_back(std::move(request));
-        }
-      }
+      // Extract one single-snapshot micro-batch; a request whose
+      // deadline has already passed is set aside for rejection and does
+      // NOT consume one of the max_batch slots.
+      collect_batch_locked(batch, expired, telemetry::now_ns());
       if (!batch.empty()) {
         batches_.add();
         max_batch_observed_ = std::max(max_batch_observed_, batch.size());
@@ -397,6 +565,9 @@ void Server::worker_loop(std::size_t worker) {
     // same stats-before-fulfillment invariant as completions below.
     if (!expired.empty()) {
       deadline_rejected_.add(expired.size());
+      for (const Request& request : expired) {
+        request.tenant->deadline_rejected.add();
+      }
       if (telemetry::enabled()) {
         global_metrics().deadline_rejected.add(expired.size());
       }
@@ -428,10 +599,21 @@ void Server::worker_loop(std::size_t worker) {
       values[i] = std::move(batch[i].values);
     }
     std::exception_ptr error;
+    Backend* backend = nullptr;
+    bool parallel = false;
     try {
-      backend.predict_batch(values, predictions, parallel);
+      CachedBackend& cached = backend_for(batch.front().snapshot);
+      backend = cached.backend.get();
+      parallel = cached.parallel;
     } catch (...) {
       error = std::current_exception();
+    }
+    if (error == nullptr) {
+      try {
+        backend->predict_batch(values, predictions, parallel);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
 
     // Record before fulfilling the promises: once a caller's get()
@@ -439,14 +621,20 @@ void Server::worker_loop(std::size_t worker) {
     const std::uint64_t done_ns = telemetry::now_ns();
     service_hist_.record(done_ns - dequeue_ns);
     for (const Request& request : batch) {
-      latency_hist_.record(done_ns - request.submit_ns);
+      const std::uint64_t latency = done_ns - request.submit_ns;
+      latency_hist_.record(latency);
+      request.tenant->latency.record(latency);
+      request.tenant->completed.add();
     }
     completed_.add(batch.size());
     if (mirror) {
       GlobalServerMetrics& g = global_metrics();
       g.service.record(done_ns - dequeue_ns);
       for (const Request& request : batch) {
-        g.latency.record(done_ns - request.submit_ns);
+        const std::uint64_t latency = done_ns - request.submit_ns;
+        g.latency.record(latency);
+        request.tenant->g_latency->record(latency);
+        request.tenant->g_completed->add();
       }
       g.completed.add(batch.size());
     }

@@ -1,19 +1,32 @@
-// Micro-batching serving front-end over a runtime::Backend, with a
+// Micro-batching serving front-end over a runtime::ModelRegistry, with a
 // robustness layer: per-request deadlines, priority classes with
 // overload shedding, bounded retry-with-backoff on the blocking path,
-// health states, and deterministic fault injection.
+// health states, deterministic fault injection — and multi-tenant
+// routing: every request names a registry tenant, batches never mix
+// models, and admission control enforces per-tenant QoS policies.
 //
-// The first real serving layer toward the ROADMAP's production-scale
-// system: callers submit single samples from any number of threads; the
-// server coalesces concurrent requests into micro-batches under a
+// The serving layer toward the ROADMAP's production-scale system:
+// callers submit single samples from any number of threads; the server
+// coalesces concurrent requests into micro-batches under a
 // (max_batch, max_delay_us) policy and dispatches them to per-worker
-// backend instances (backends are single-caller; the Model is shared).
+// backend instances built over immutable model snapshots.
 //
 // Semantics, all covered by tests (tests/runtime/server_test.cpp,
-// robustness_test.cpp, fault_test.cpp, stats_race_test.cpp):
+// robustness_test.cpp, fault_test.cpp, stats_race_test.cpp,
+// model_registry_test.cpp, zoo_test.cpp):
 //   - Correctness is batching-invariant: every request's Prediction is
-//     bit-identical to a direct backend call, for any batch split,
-//     worker count, or submitter interleaving.
+//     bit-identical to a direct backend call on the model snapshot the
+//     request resolved at submit time, for any batch split, worker
+//     count, or submitter interleaving.
+//   - Multi-tenant coalescing: a micro-batch only ever contains requests
+//     that resolved the *same* ModelSnapshot (same tenant AND version);
+//     requests for other snapshots stay queued for a later dispatch.
+//     Combined with submit-time snapshot resolution this makes registry
+//     hot-swaps drop nothing: in-flight and queued work finishes on the
+//     snapshot it resolved, new submissions see the new version.
+//   - Per-tenant QoS: ServerOptions::tenant_policies caps a tenant's
+//     priority class and bounds its queued share (admission quota);
+//     quota overflow is shed (kShed) and counted per tenant.
 //   - Backpressure: the request queue is bounded. submit() blocks until
 //     space frees up (or retries with exponential backoff when
 //     SubmitOptions::max_retries is set, throwing ServerOverloaded once
@@ -38,6 +51,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -47,6 +61,7 @@
 
 #include "univsa/runtime/backend.h"
 #include "univsa/runtime/fault.h"
+#include "univsa/runtime/model_registry.h"
 #include "univsa/telemetry/metrics.h"
 #include "univsa/vsa/model.h"
 
@@ -59,10 +74,24 @@ inline constexpr std::size_t kPriorityClasses = 3;
 
 const char* to_string(Priority priority);
 
+/// Per-tenant QoS policy (ServerOptions::tenant_policies). Tenants
+/// without an entry get the permissive defaults below.
+struct TenantPolicy {
+  /// Highest priority class this tenant may run at; a request asking
+  /// for more is silently clamped (batch tenants stay sheddable no
+  /// matter what the caller requests).
+  Priority max_priority = Priority::kHigh;
+  /// Admission quota: max requests this tenant may have queued at once;
+  /// the excess is shed (kShed) and counted in the tenant's shed
+  /// counter. 0 = unbounded (global capacity still applies).
+  std::size_t queue_quota = 0;
+};
+
 struct ServerOptions {
   /// Registry name of the backend each worker serves with.
   std::string backend = "packed";
-  /// Worker threads, each owning one backend instance (0 = 1).
+  /// Worker threads, each owning a small cache of backend instances
+  /// keyed by model snapshot (0 = 1).
   std::size_t workers = 1;
   /// Largest micro-batch handed to a backend in one dispatch.
   std::size_t max_batch = 32;
@@ -80,14 +109,28 @@ struct ServerOptions {
   /// (only backends with capabilities().parallel_batch do).
   bool parallel_batch = true;
   /// Deterministic fault-injection plan (runtime/fault.h): every worker
-  /// backend is wrapped in a FaultInjectedBackend on its own lane.
+  /// backend is wrapped in a FaultInjectedBackend on the worker's lane.
   /// Null (the default) injects nothing.
   std::shared_ptr<FaultPlan> fault_plan;
+  /// Tenant used when SubmitOptions::tenant is empty — what the legacy
+  /// single-model constructor publishes its model under.
+  std::string default_tenant = "default";
+  /// Per-tenant QoS policies, keyed by tenant name.
+  std::map<std::string, TenantPolicy> tenant_policies;
+  /// Per-worker cap on cached backend instances (distinct model
+  /// snapshots served without a rebuild); least-recently-used beyond it.
+  std::size_t backend_cache = 4;
 };
 
 /// Per-request robustness knobs; default-constructed == the original
-/// submit semantics (normal priority, no deadline, block forever).
+/// submit semantics (default tenant, normal priority, no deadline,
+/// block forever).
 struct SubmitOptions {
+  /// Registry tenant whose latest model serves this request; empty =
+  /// ServerOptions::default_tenant. The snapshot is resolved at submit
+  /// time, so a hot-swap between submit and dispatch does not change
+  /// (or drop) the answer.
+  std::string tenant;
   Priority priority = Priority::kNormal;
   /// Relative deadline measured from submission; 0 = none. Expiry while
   /// queued rejects the request with DeadlineExceeded (the batch slot
@@ -106,9 +149,10 @@ struct SubmitOptions {
 enum class SubmitStatus {
   kOk,
   kOverloaded,        ///< queue at capacity (try_submit / retries spent)
-  kShed,              ///< admission control refused kLow work
+  kShed,              ///< admission control refused the request
   kDeadlineExceeded,  ///< deadline passed while queued (via the future)
-  kShutdown
+  kShutdown,
+  kUnknownTenant      ///< SubmitOptions::tenant not in the registry
 };
 
 /// Base for every robustness-layer refusal; carries the SubmitStatus so
@@ -163,9 +207,10 @@ struct ServerStats {
   std::uint64_t rejected = 0;   ///< try_submit refusals while full
   std::uint64_t completed = 0;
   std::uint64_t batches = 0;    ///< backend dispatches
-  std::uint64_t shed = 0;       ///< kLow admissions refused + evictions
+  std::uint64_t shed = 0;       ///< admissions refused + evictions
   std::uint64_t deadline_rejected = 0;  ///< expired while queued
   std::uint64_t retries = 0;    ///< backoff waits on the blocking path
+  std::uint64_t unknown_tenant = 0;  ///< submissions naming no tenant
   std::uint64_t health_transitions = 0;
   HealthState health = HealthState::kServing;
   std::size_t max_batch_observed = 0;
@@ -181,6 +226,18 @@ struct ServerStats {
   telemetry::HistogramSnapshot service_ns;     ///< backend dispatch time
   telemetry::HistogramSnapshot latency_ns;     ///< submit -> result set
 
+  /// Per-tenant slice of the same event stream (QoS accounting).
+  struct TenantStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;  ///< quota + watermark refusals + evictions
+    std::uint64_t deadline_rejected = 0;
+    std::size_t queued = 0;  ///< live queue share at the time of the call
+    telemetry::HistogramSnapshot latency_ns;  ///< submit -> result set
+  };
+  /// Keyed by tenant name; a tenant appears once it has submitted.
+  std::map<std::string, TenantStats> tenants;
+
   double mean_batch() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(completed) /
@@ -190,8 +247,14 @@ struct ServerStats {
 
 class Server {
  public:
-  /// Spins up `options.workers` threads, each with its own backend from
-  /// the registry. The model must outlive the server.
+  /// Serves every tenant of `registry` (shared: publishes from other
+  /// threads hot-swap live). Spins up `options.workers` threads.
+  Server(std::shared_ptr<ModelRegistry> registry, ServerOptions options);
+
+  /// Single-model convenience (the pre-registry API): builds a private
+  /// registry and publishes a copy of `model` as
+  /// `options.default_tenant@1`. The model is copied — it need not
+  /// outlive the server.
   explicit Server(const vsa::Model& model, ServerOptions options = {});
 
   /// Drains and joins (see shutdown()).
@@ -203,15 +266,18 @@ class Server {
   /// Enqueues one sample and returns the future Prediction. Blocks while
   /// the queue is at capacity (backpressure) unless options.max_retries
   /// bounds the wait. Throws std::runtime_error once the server is shut
-  /// down, RequestShed when admission control refuses kLow work, and
-  /// ServerOverloaded when bounded retries are exhausted. The future
-  /// itself can deliver DeadlineExceeded / RequestShed / InjectedFault.
+  /// down, UnknownTenant for an unpublished tenant, RequestShed when
+  /// admission control refuses the request (kLow watermark or tenant
+  /// quota), and ServerOverloaded when bounded retries are exhausted.
+  /// The future itself can deliver DeadlineExceeded / RequestShed /
+  /// InjectedFault.
   std::future<vsa::Prediction> submit(std::vector<std::uint16_t> values,
                                       const SubmitOptions& options = {});
 
   /// Non-blocking submit: kOverloaded when the queue is full, kShed when
-  /// admission control refuses the request, kShutdown after shutdown();
-  /// `out` is only set on kOk.
+  /// admission control refuses the request, kUnknownTenant for an
+  /// unpublished tenant, kShutdown after shutdown(); `out` is only set
+  /// on kOk.
   SubmitStatus try_submit(std::vector<std::uint16_t> values,
                           std::future<vsa::Prediction>* out);
   SubmitStatus try_submit(std::vector<std::uint16_t> values,
@@ -229,35 +295,75 @@ class Server {
   std::size_t shed_watermark() const { return watermark_; }
   HealthState health() const;
   const ServerOptions& options() const { return options_; }
+  /// The registry this server routes through (never null).
+  const std::shared_ptr<ModelRegistry>& registry() const {
+    return registry_;
+  }
   ServerStats stats() const;
 
  private:
+  /// Per-tenant serving state; created on a tenant's first submission
+  /// and stable for the server's lifetime (requests keep raw pointers).
+  struct TenantState {
+    std::string name;
+    TenantPolicy policy;
+    std::size_t queued = 0;  // guarded by mutex_
+    // Per-instance counters behind ServerStats::tenants (lock-free).
+    telemetry::Counter submitted;
+    telemetry::Counter completed;
+    telemetry::Counter shed;
+    telemetry::Counter deadline_rejected;
+    telemetry::LatencyHistogram latency;
+    // Global labeled mirrors ("runtime.server.tenant_*{tenant=...}");
+    // resolved once at creation.
+    telemetry::Counter* g_completed = nullptr;
+    telemetry::Counter* g_shed = nullptr;
+    telemetry::LatencyHistogram* g_latency = nullptr;
+  };
+
   struct Request {
     std::vector<std::uint16_t> values;
     std::promise<vsa::Prediction> promise;
     std::uint64_t submit_ns = 0;    ///< telemetry::now_ns() at enqueue
     std::uint64_t deadline_ns = 0;  ///< absolute; 0 = none
     Priority priority = Priority::kNormal;
+    /// The model version this request serves on, resolved at submit.
+    SnapshotPtr snapshot;
+    TenantState* tenant = nullptr;
   };
 
   void worker_loop(std::size_t worker);
   /// Admission decision with mutex_ held. On kOk the request has been
   /// enqueued; when a full queue forces an eviction, `evicted` receives
   /// the kLow request whose promise the caller must fail *after*
-  /// unlocking (promise work never runs under mutex_).
+  /// unlocking (promise work never runs under mutex_). On kShed,
+  /// `shed_reason` (when non-null) gets a static description.
   SubmitStatus admit_locked(Request&& request,
-                            std::optional<Request>& evicted);
+                            std::optional<Request>& evicted,
+                            const char** shed_reason);
   /// Shared enqueue bookkeeping; called with mutex_ held.
   void note_enqueued_locked();
-  /// Pops the highest-priority queued request; total_queued_ > 0.
-  Request pop_highest_locked();
+  /// Extracts the next micro-batch: the highest-priority non-expired
+  /// request leads, then every queued request sharing its ModelSnapshot
+  /// joins (priority order, FIFO within class) up to max_batch — one
+  /// batch never mixes snapshots. Deadline-expired requests encountered
+  /// during the scan are moved to `expired` regardless of tenant.
+  void collect_batch_locked(std::vector<Request>& batch,
+                            std::vector<Request>& expired,
+                            std::uint64_t now);
+  /// Resolve-or-create the per-tenant state; called with mutex_ held.
+  TenantState& tenant_state_locked(const std::string& name);
   /// Recomputes health from (stopping_, total_queued_) and records any
   /// transition; called with mutex_ held.
   void update_health_locked();
+  /// Resolves SubmitOptions::tenant against the registry (outside
+  /// mutex_); null when the tenant was never published.
+  const ModelRegistry::Tenant* resolve_tenant(
+      const SubmitOptions& options, const std::string** name) const;
 
   ServerOptions options_;
   std::size_t watermark_ = 0;  ///< resolved shed watermark
-  std::vector<std::unique_ptr<Backend>> backends_;  // one per worker
+  std::shared_ptr<ModelRegistry> registry_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< workers wait for requests
@@ -266,6 +372,8 @@ class Server {
   std::size_t total_queued_ = 0;
   bool stopping_ = false;
   HealthState health_ = HealthState::kServing;  // guarded by mutex_
+  /// Tenant states; map shape guarded by mutex_, entries stable.
+  std::map<std::string, std::unique_ptr<TenantState>> tenant_states_;
 
   // Per-instance telemetry — the source of truth behind stats(). These
   // always record (ServerStats works even when the global registry is
@@ -280,6 +388,7 @@ class Server {
   telemetry::Counter shed_;
   telemetry::Counter deadline_rejected_;
   telemetry::Counter retries_;
+  telemetry::Counter unknown_tenant_;
   telemetry::Counter health_transitions_;
   telemetry::LatencyHistogram batch_hist_;       ///< batch size per dispatch
   telemetry::LatencyHistogram queue_wait_hist_;  ///< ns, submit -> dequeue

@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <string_view>
 
 namespace univsa::telemetry {
 
@@ -17,6 +19,60 @@ std::string sanitize(std::string_view name) {
                       ? c
                       : '_');
   }
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote and
+/// line-feed are the three characters the text exposition format
+/// escapes inside a quoted label value. Everything else (including
+/// '{', '}', '=' and arbitrary UTF-8) passes through verbatim —
+/// quoting makes it safe.
+std::string label_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// A registry name split into a sanitized metric family and a rendered
+/// label block. telemetry::labeled() stores `base{key=value}` with the
+/// value RAW (metrics.h contract: exporters escape at emit, never at
+/// registration), so the value may itself contain '{', '}', '=',
+/// quotes or newlines: the block opens at the FIRST '{' and the value
+/// runs to the FINAL '}'. Names without a well-formed block are
+/// treated as plain (fully sanitized) names.
+struct ParsedName {
+  std::string family;  // sanitized, no "univsa_" prefix yet
+  std::string labels;  // `key="escaped"` or empty
+};
+
+ParsedName parse_labels(std::string_view name) {
+  ParsedName out;
+  const std::size_t open = name.find('{');
+  const std::size_t close = name.rfind('}');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close <= open + 1) {
+    out.family = sanitize(name);
+    return out;
+  }
+  const std::string_view block = name.substr(open + 1, close - open - 1);
+  const std::size_t eq = block.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    out.family = sanitize(name);
+    return out;
+  }
+  out.family = sanitize(name.substr(0, open));
+  out.labels = sanitize(block.substr(0, eq));
+  out.labels += "=\"";
+  out.labels += label_escape(block.substr(eq + 1));
+  out.labels += '"';
   return out;
 }
 
@@ -85,8 +141,12 @@ std::string to_prometheus(const Snapshot& snapshot) {
      << snapshot.build.build_type << "\",flags=\"" << snapshot.build.flags
      << "\",simd_isa=\"" << snapshot.build.simd_isa << "\",pool_threads=\""
      << snapshot.build.threads << "\"} 1\n";
+  // Labeled metrics (telemetry::labeled) share one family across many
+  // label values; emit each family's # TYPE line once.
+  std::set<std::string> typed;
   for (const auto& [name, value] : snapshot.counters) {
-    std::string n = "univsa_" + sanitize(name);
+    const ParsedName pn = parse_labels(name);
+    std::string n = "univsa_" + pn.family;
     // Prometheus counters end in exactly one `_total`; registry names
     // that already carry the suffix (runtime.server.shed_total, ...) are
     // exported as-is rather than doubled.
@@ -94,26 +154,37 @@ std::string to_prometheus(const Snapshot& snapshot) {
     const bool has_suffix =
         n.size() >= suffix.size() &&
         n.compare(n.size() - suffix.size(), suffix.size(), suffix) == 0;
-    os << "# TYPE " << n << " counter\n"
-       << n << (has_suffix ? "" : "_total") << " " << value << "\n";
+    if (typed.insert(n).second) os << "# TYPE " << n << " counter\n";
+    os << n << (has_suffix ? "" : "_total");
+    if (!pn.labels.empty()) os << "{" << pn.labels << "}";
+    os << " " << value << "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string n = "univsa_" + sanitize(name);
-    os << "# TYPE " << n << " gauge\n" << n << " " << fmt_double(value)
-       << "\n";
+    const ParsedName pn = parse_labels(name);
+    const std::string n = "univsa_" + pn.family;
+    if (typed.insert(n).second) os << "# TYPE " << n << " gauge\n";
+    os << n;
+    if (!pn.labels.empty()) os << "{" << pn.labels << "}";
+    os << " " << fmt_double(value) << "\n";
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
-    const std::string n = "univsa_" + sanitize(h.name);
-    os << "# TYPE " << n << " histogram\n";
+    const ParsedName pn = parse_labels(h.name);
+    const std::string n = "univsa_" + pn.family;
+    // The `le` label joins any tenant label inside one brace block.
+    const std::string le_prefix =
+        pn.labels.empty() ? "{le=\"" : "{" + pn.labels + ",le=\"";
+    const std::string tail =
+        pn.labels.empty() ? "" : "{" + pn.labels + "}";
+    if (typed.insert(n).second) os << "# TYPE " << n << " histogram\n";
     std::uint64_t cumulative = 0;
     for (const auto& bucket : h.buckets) {
       cumulative += bucket.count;
-      os << n << "_bucket{le=\"" << bucket.upper << "\"} " << cumulative
-         << "\n";
+      os << n << "_bucket" << le_prefix << bucket.upper << "\"} "
+         << cumulative << "\n";
     }
-    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n"
-       << n << "_sum " << fmt_double(h.sum) << "\n"
-       << n << "_count " << h.count << "\n";
+    os << n << "_bucket" << le_prefix << "+Inf\"} " << h.count << "\n"
+       << n << "_sum" << tail << " " << fmt_double(h.sum) << "\n"
+       << n << "_count" << tail << " " << h.count << "\n";
   }
   return os.str();
 }

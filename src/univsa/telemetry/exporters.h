@@ -36,6 +36,10 @@ Snapshot snapshot(std::size_t max_spans = 256);
 /// ([a-zA-Z0-9_] only) and prefixed "univsa_"; counters gain "_total",
 /// histograms emit cumulative "_bucket{le=...}" / "_sum" / "_count"
 /// series, and provenance becomes a "univsa_build_info{...} 1" gauge.
+/// Names built with telemetry::labeled() — `base{key=value}` with a
+/// RAW value — become one metric family with a quoted, escaped label
+/// (`\`, `"` and newline escaped per the exposition format); hostile
+/// tenant names cannot break out of the label value.
 std::string to_prometheus(const Snapshot& snapshot);
 
 /// JSON document: provenance fields, counters/gauges as objects,

@@ -219,6 +219,25 @@ class MetricsRegistry {
 }
 #endif
 
+/// Builds a labeled metric name, `base{key=value}`. The first '{' in a
+/// registered name opens the label block and the value runs to the final
+/// '}', so `value` may be ANY user-supplied string (tenant names): the
+/// exporters escape/validate it at emit time, never here. `key` must be
+/// a bare [A-Za-z_][A-Za-z0-9_]* identifier.
+[[maybe_unused]] static std::string labeled(std::string_view base,
+                                            std::string_view key,
+                                            std::string_view value) {
+  std::string name;
+  name.reserve(base.size() + key.size() + value.size() + 3);
+  name.append(base);
+  name += '{';
+  name.append(key);
+  name += '=';
+  name.append(value);
+  name += '}';
+  return name;
+}
+
 /// Sampling tick for per-sample instrumentation on hot loops: true on
 /// every `every`-th call from this thread while telemetry is enabled.
 /// Compiled-off builds fold to false (dead branch).

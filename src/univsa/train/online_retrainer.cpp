@@ -103,4 +103,15 @@ OnlineRetrainResult adapt_class_vectors(
   return result;
 }
 
+OnlineRetrainResult refresh_class_vectors(
+    const vsa::Model& model, const data::Dataset& recent,
+    std::uint64_t generation, const OnlineRetrainOptions& options) {
+  OnlineRetrainOptions decorrelated = options;
+  // splitmix64-style mix so generation 0 reproduces plain
+  // adapt_class_vectors ordering only when the caller's seed says so.
+  decorrelated.seed =
+      options.seed ^ (generation * 0x9E3779B97F4A7C15ull + (generation != 0));
+  return adapt_class_vectors(model, recent, decorrelated);
+}
+
 }  // namespace univsa::train

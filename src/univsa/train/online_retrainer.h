@@ -56,4 +56,18 @@ OnlineRetrainResult adapt_class_vectors(const vsa::Model& model,
                                         const OnlineRetrainOptions&
                                             options = {});
 
+/// Serve-time incremental refresh entry point — what the model zoo's
+/// runtime::AdaptationDriver trains with when the drift detector fires.
+/// Same update rule as adapt_class_vectors over a bounded reservoir of
+/// recent labeled traffic, with the shuffle seed decorrelated by
+/// `generation` (the tenant's refresh count): consecutive refreshes
+/// from overlapping reservoirs don't replay the same sample order, and
+/// the whole chain stays deterministic for a fixed (seed, generation)
+/// sequence.
+OnlineRetrainResult refresh_class_vectors(const vsa::Model& model,
+                                          const data::Dataset& recent,
+                                          std::uint64_t generation,
+                                          const OnlineRetrainOptions&
+                                              options = {});
+
 }  // namespace univsa::train

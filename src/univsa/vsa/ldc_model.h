@@ -42,7 +42,16 @@ class LdcModel {
 
   double accuracy(const data::Dataset& dataset) const;
 
+  /// Structural equality (serialization round-trip tests).
+  bool operator==(const LdcModel& other) const {
+    return windows_ == other.windows_ && length_ == other.length_ &&
+           dim_ == other.dim_ && v_ == other.v_ && f_ == other.f_ &&
+           c_ == other.c_;
+  }
+
  private:
+  friend class ModelIo;  // .uvsa save/load (vsa/serialization.h)
+
   std::size_t windows_ = 0;
   std::size_t length_ = 0;
   std::size_t dim_ = 0;

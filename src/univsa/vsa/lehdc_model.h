@@ -57,7 +57,16 @@ class LehdcModel {
   const std::vector<std::int8_t>& value_lanes() const { return v_; }
   const std::vector<std::int8_t>& feature_lanes() const { return f_; }
 
+  /// Structural equality (serialization round-trip tests).
+  bool operator==(const LehdcModel& other) const {
+    return windows_ == other.windows_ && length_ == other.length_ &&
+           levels_ == other.levels_ && dim_ == other.dim_ &&
+           v_ == other.v_ && f_ == other.f_ && c_ == other.c_;
+  }
+
  private:
+  friend class ModelIo;  // .uvsa save/load (vsa/serialization.h)
+
   std::size_t windows_ = 0;
   std::size_t length_ = 0;
   std::size_t levels_ = 0;

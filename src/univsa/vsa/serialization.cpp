@@ -10,10 +10,49 @@ namespace univsa::vsa {
 
 namespace {
 
-constexpr char kMagic[8] = {'U', 'V', 'S', 'A', '0', '0', '1', '\n'};
+// Magic layout: "UVSA" + three ASCII version digits + '\n'. The digits
+// are the format version, so old loaders fail loudly (bad magic) on new
+// files and this loader can accept every version it understands.
+constexpr char kMagicPrefix[4] = {'U', 'V', 'S', 'A'};
+constexpr std::size_t kMagicSize = 8;
+
+void write_magic(std::vector<std::uint8_t>& bytes, std::uint64_t version) {
+  bytes.insert(bytes.end(), kMagicPrefix, kMagicPrefix + 4);
+  bytes.push_back(static_cast<std::uint8_t>('0' + version / 100 % 10));
+  bytes.push_back(static_cast<std::uint8_t>('0' + version / 10 % 10));
+  bytes.push_back(static_cast<std::uint8_t>('0' + version % 10));
+  bytes.push_back(static_cast<std::uint8_t>('\n'));
+}
+
+/// Parses and validates the magic; returns the format version. Rejects
+/// future versions with a message naming both versions.
+std::uint64_t parse_magic(const std::vector<std::uint8_t>& bytes) {
+  UNIVSA_REQUIRE(bytes.size() >= kMagicSize &&
+                     std::memcmp(bytes.data(), kMagicPrefix, 4) == 0 &&
+                     bytes[7] == '\n',
+                 "not a .uvsa model (bad magic)");
+  std::uint64_t version = 0;
+  for (std::size_t i = 4; i < 7; ++i) {
+    const std::uint8_t c = bytes[i];
+    UNIVSA_REQUIRE(c >= '0' && c <= '9', "not a .uvsa model (bad magic)");
+    version = version * 10 + (c - '0');
+  }
+  UNIVSA_REQUIRE(version >= 1, "not a .uvsa model (bad magic)");
+  UNIVSA_REQUIRE(
+      version <= ModelIo::kFormatVersion,
+      ".uvsa format version " + std::to_string(version) +
+          " is newer than this build supports (max " +
+          std::to_string(ModelIo::kFormatVersion) +
+          "); upgrade the reader or re-export the model");
+  return version;
+}
 
 class Writer {
  public:
+  explicit Writer(ModelIo::Kind kind) {
+    write_magic(bytes_, ModelIo::kFormatVersion);
+    u64(static_cast<std::uint64_t>(kind));
+  }
   void u64(std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
       bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -27,6 +66,15 @@ class Writer {
     u64(v.size());
     raw(v.words().data(), v.words().size() * sizeof(std::uint64_t));
   }
+  /// Bit-packs ±1 int8 lanes (+1 -> bit 1) — the deployed layout.
+  void lanes(const std::vector<std::int8_t>& lanes) {
+    u64(lanes.size());
+    std::vector<std::uint64_t> words((lanes.size() + 63) / 64, 0);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (lanes[i] > 0) words[i / 64] |= 1ull << (i % 64);
+    }
+    raw(words.data(), words.size() * sizeof(std::uint64_t));
+  }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
  private:
@@ -35,7 +83,25 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  /// Consumes the magic (and the kind field on version >= 2), checking
+  /// the stored kind against `expected`.
+  Reader(const std::vector<std::uint8_t>& bytes, ModelIo::Kind expected)
+      : bytes_(bytes) {
+    version_ = parse_magic(bytes);
+    pos_ = kMagicSize;
+    const auto kind = version_ >= 2
+                          ? static_cast<ModelIo::Kind>(u64())
+                          : ModelIo::Kind::kUniVsa;
+    UNIVSA_REQUIRE(kind == expected,
+                   ".uvsa file holds model kind " +
+                       std::to_string(static_cast<std::uint64_t>(kind)) +
+                       ", not the requested kind " +
+                       std::to_string(
+                           static_cast<std::uint64_t>(expected)) +
+                       " — use the matching loader");
+  }
+
+  std::uint64_t version() const { return version_; }
 
   std::uint64_t u64() {
     UNIVSA_REQUIRE(pos_ + 8 <= bytes_.size(), "truncated .uvsa data");
@@ -62,19 +128,43 @@ class Reader {
     }
     return v;
   }
+  /// Inverse of Writer::lanes — unpacks to ±1 int8.
+  std::vector<std::int8_t> lanes(std::size_t expected_count) {
+    const std::uint64_t n = u64();
+    UNIVSA_REQUIRE(n == expected_count, "unexpected lane count in .uvsa");
+    std::vector<std::uint64_t> words((n + 63) / 64);
+    raw(words.data(), words.size() * sizeof(std::uint64_t));
+    std::vector<std::int8_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = (words[i / 64] >> (i % 64)) & 1ULL ? 1 : -1;
+    }
+    return out;
+  }
   bool exhausted() const { return pos_ == bytes_.size(); }
 
  private:
   const std::vector<std::uint8_t>& bytes_;
   std::size_t pos_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace
 
+ModelIo::Kind ModelIo::peek_kind(const std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t version = parse_magic(bytes);
+  if (version < 2) return Kind::kUniVsa;
+  UNIVSA_REQUIRE(bytes.size() >= kMagicSize + 8, "truncated .uvsa data");
+  std::uint64_t kind = 0;
+  for (int i = 0; i < 8; ++i) {
+    kind |= static_cast<std::uint64_t>(bytes[kMagicSize + i]) << (8 * i);
+  }
+  UNIVSA_REQUIRE(kind >= 1 && kind <= 3, "unknown .uvsa model kind");
+  return static_cast<Kind>(kind);
+}
+
 std::vector<std::uint8_t> ModelIo::to_bytes(const Model& model) {
   const ModelConfig& c = model.config();
-  Writer w;
-  w.raw(kMagic, sizeof(kMagic));
+  Writer w(Kind::kUniVsa);
   w.u64(c.W);
   w.u64(c.L);
   w.u64(c.C);
@@ -97,12 +187,7 @@ std::vector<std::uint8_t> ModelIo::to_bytes(const Model& model) {
 }
 
 Model ModelIo::from_bytes(const std::vector<std::uint8_t>& bytes) {
-  UNIVSA_REQUIRE(bytes.size() >= sizeof(kMagic) &&
-                     std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
-                 "not a .uvsa model (bad magic)");
-  Reader r(bytes);
-  char magic[sizeof(kMagic)];
-  r.raw(magic, sizeof(kMagic));
+  Reader r(bytes, Kind::kUniVsa);
 
   ModelConfig c;
   c.W = r.u64();
@@ -200,6 +285,135 @@ std::size_t ModelIo::payload_bytes(const Model& model) {
   total += bits_to_bytes(c.W * c.L * c.O);
   total += bits_to_bytes(c.W * c.L * c.Theta * c.C);
   return total;
+}
+
+// --- LdcModel ----------------------------------------------------------
+
+std::vector<std::uint8_t> ModelIo::ldc_to_bytes(const LdcModel& model) {
+  Writer w(Kind::kLdc);
+  w.u64(model.windows_);
+  w.u64(model.length_);
+  w.u64(model.dim_);
+  w.u64(model.v_.size());
+  w.u64(model.f_.size());
+  w.u64(model.c_.size());
+  for (const auto& v : model.v_) w.bitvec(v);
+  for (const auto& v : model.f_) w.bitvec(v);
+  for (const auto& v : model.c_) w.bitvec(v);
+  return w.take();
+}
+
+LdcModel ModelIo::ldc_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes, Kind::kLdc);
+  LdcModel model;
+  model.windows_ = r.u64();
+  model.length_ = r.u64();
+  model.dim_ = r.u64();
+  const std::uint64_t levels = r.u64();
+  const std::uint64_t features = r.u64();
+  const std::uint64_t classes = r.u64();
+  UNIVSA_REQUIRE(model.windows_ >= 1 && model.length_ >= 1 &&
+                     model.dim_ >= 1 && levels >= 1 && classes >= 1,
+                 "implausible .uvsa LDC header");
+  UNIVSA_REQUIRE(features == model.windows_ * model.length_,
+                 "LDC feature count must equal W*L");
+  UNIVSA_REQUIRE(model.dim_ <= (1u << 20) && levels <= (1u << 16) &&
+                     features <= (1u << 22) && classes <= (1u << 16),
+                 "implausible .uvsa LDC dimensions");
+  model.v_.reserve(levels);
+  for (std::uint64_t i = 0; i < levels; ++i) {
+    model.v_.push_back(r.bitvec(model.dim_));
+  }
+  model.f_.reserve(features);
+  for (std::uint64_t i = 0; i < features; ++i) {
+    model.f_.push_back(r.bitvec(model.dim_));
+  }
+  model.c_.reserve(classes);
+  for (std::uint64_t i = 0; i < classes; ++i) {
+    model.c_.push_back(r.bitvec(model.dim_));
+  }
+  UNIVSA_REQUIRE(r.exhausted(), "trailing bytes in .uvsa data");
+  return model;
+}
+
+void ModelIo::save_ldc_file(const LdcModel& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  UNIVSA_REQUIRE(os.is_open(), "cannot open file for writing: " + path);
+  const auto bytes = ldc_to_bytes(model);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  UNIVSA_ENSURE(os.good(), "stream write failed");
+}
+
+LdcModel ModelIo::load_ldc_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  UNIVSA_REQUIRE(is.is_open(), "cannot open file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string s = buffer.str();
+  return ldc_from_bytes(std::vector<std::uint8_t>(s.begin(), s.end()));
+}
+
+// --- LehdcModel --------------------------------------------------------
+
+std::vector<std::uint8_t> ModelIo::lehdc_to_bytes(const LehdcModel& model) {
+  Writer w(Kind::kLehdc);
+  w.u64(model.windows_);
+  w.u64(model.length_);
+  w.u64(model.levels_);
+  w.u64(model.dim_);
+  w.u64(model.c_.size());
+  w.lanes(model.v_);
+  w.lanes(model.f_);
+  for (const auto& v : model.c_) w.bitvec(v);
+  return w.take();
+}
+
+LehdcModel ModelIo::lehdc_from_bytes(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes, Kind::kLehdc);
+  LehdcModel model;
+  model.windows_ = r.u64();
+  model.length_ = r.u64();
+  model.levels_ = r.u64();
+  model.dim_ = r.u64();
+  const std::uint64_t classes = r.u64();
+  UNIVSA_REQUIRE(model.windows_ >= 1 && model.length_ >= 1 &&
+                     model.levels_ >= 1 && model.dim_ >= 1 && classes >= 1,
+                 "implausible .uvsa LeHDC header");
+  const std::uint64_t features = model.windows_ * model.length_;
+  UNIVSA_REQUIRE(model.dim_ <= (1u << 20) && model.levels_ <= (1u << 16) &&
+                     features <= (1u << 22) && classes <= (1u << 16) &&
+                     model.levels_ * model.dim_ <= (1u << 28) &&
+                     features * model.dim_ <= (1u << 30),
+                 "implausible .uvsa LeHDC dimensions");
+  model.v_ = r.lanes(model.levels_ * model.dim_);
+  model.f_ = r.lanes(features * model.dim_);
+  model.c_.reserve(classes);
+  for (std::uint64_t i = 0; i < classes; ++i) {
+    model.c_.push_back(r.bitvec(model.dim_));
+  }
+  UNIVSA_REQUIRE(r.exhausted(), "trailing bytes in .uvsa data");
+  return model;
+}
+
+void ModelIo::save_lehdc_file(const LehdcModel& model,
+                              const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  UNIVSA_REQUIRE(os.is_open(), "cannot open file for writing: " + path);
+  const auto bytes = lehdc_to_bytes(model);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  UNIVSA_ENSURE(os.good(), "stream write failed");
+}
+
+LehdcModel ModelIo::load_lehdc_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  UNIVSA_REQUIRE(is.is_open(), "cannot open file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string s = buffer.str();
+  return lehdc_from_bytes(std::vector<std::uint8_t>(s.begin(), s.end()));
 }
 
 }  // namespace univsa::vsa

@@ -1,9 +1,18 @@
-// .uvsa model serialization.
+// .uvsa model serialization, format version 2.
 //
 // A deployed model is a few kilobytes of packed bits (Eq. 5); the format
 // is a fixed little-endian header followed by the raw packed words of
 // each vector set. payload_bytes() counts only the Eq. 5 bits — what the
-// target device must hold — while the file adds a 96-byte header.
+// target device must hold — while the file adds a small header.
+//
+// Versioning: the 8-byte magic carries the format version as ASCII
+// digits ("UVSA002\n"). Version 2 adds a `kind` field so every model
+// variant in the repo round-trips through the same container:
+//   kind 1 = vsa::Model (UniVSA), 2 = LdcModel, 3 = LehdcModel.
+// Version-1 files ("UVSA001\n", UniVSA payload with no kind field) load
+// forever; a file stamped with a *newer* version than this build
+// supports is rejected with a clear std::invalid_argument instead of a
+// decode attempt on an unknown layout.
 #pragma once
 
 #include <cstdint>
@@ -11,24 +20,64 @@
 #include <string>
 #include <vector>
 
+#include "univsa/vsa/ldc_model.h"
+#include "univsa/vsa/lehdc_model.h"
 #include "univsa/vsa/model.h"
 
 namespace univsa::vsa {
 
 class ModelIo {
  public:
+  /// Highest .uvsa format version this build reads and the one it
+  /// writes.
+  static constexpr std::uint64_t kFormatVersion = 2;
+
+  /// Model-variant discriminator stored in version >= 2 headers.
+  enum class Kind : std::uint64_t {
+    kUniVsa = 1,
+    kLdc = 2,
+    kLehdc = 3,
+  };
+
+  /// Parses the header and returns the stored kind without decoding the
+  /// payload. Throws std::invalid_argument on bad magic or a
+  /// future-version file. Version-1 files report Kind::kUniVsa.
+  static Kind peek_kind(const std::vector<std::uint8_t>& bytes);
+
+  // --- vsa::Model (UniVSA), kind 1 -------------------------------------
+
   /// Serializes to an in-memory buffer / stream / file.
   static std::vector<std::uint8_t> to_bytes(const Model& model);
   static void save(const Model& model, std::ostream& os);
   static void save_file(const Model& model, const std::string& path);
 
-  /// Deserializes; throws std::invalid_argument on malformed input.
+  /// Deserializes; throws std::invalid_argument on malformed input,
+  /// a future-version file, or a file holding a different model kind.
   static Model from_bytes(const std::vector<std::uint8_t>& bytes);
   static Model load(std::istream& is);
   static Model load_file(const std::string& path);
 
   /// Eq. 5 payload rounded up to whole bytes per vector set.
   static std::size_t payload_bytes(const Model& model);
+
+  // --- LdcModel, kind 2 ------------------------------------------------
+
+  static std::vector<std::uint8_t> ldc_to_bytes(const LdcModel& model);
+  static void save_ldc_file(const LdcModel& model, const std::string& path);
+  static LdcModel ldc_from_bytes(const std::vector<std::uint8_t>& bytes);
+  static LdcModel load_ldc_file(const std::string& path);
+
+  // --- LehdcModel, kind 3 ----------------------------------------------
+  //
+  // The in-memory ±1 int8 value/feature lanes are bit-packed on disk
+  // (the deployed format), so the file size matches the Table II
+  // lehdc_memory_kb() accounting, not the 8x inflated RAM layout.
+
+  static std::vector<std::uint8_t> lehdc_to_bytes(const LehdcModel& model);
+  static void save_lehdc_file(const LehdcModel& model,
+                              const std::string& path);
+  static LehdcModel lehdc_from_bytes(const std::vector<std::uint8_t>& bytes);
+  static LehdcModel load_lehdc_file(const std::string& path);
 };
 
 }  // namespace univsa::vsa

@@ -1,0 +1,210 @@
+// Online-adaptation layer: DriftDetector triggers, TrafficReservoir
+// sampling, and the AdaptationDriver's detect -> retrain -> hot-swap
+// loop against a live ModelRegistry.
+#include "univsa/runtime/adaptation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/runtime/backend.h"
+#include "univsa/runtime/registry.h"
+
+namespace univsa::runtime {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig config;
+  config.W = 3;
+  config.L = 5;
+  config.C = 2;
+  config.M = 8;
+  config.D_H = 4;
+  config.D_L = 2;
+  config.D_K = 3;
+  config.O = 6;
+  config.Theta = 2;
+  config.validate();
+  return config;
+}
+
+DriftDetectorOptions tiny_detector() {
+  DriftDetectorOptions options;
+  options.baseline_window = 10;
+  options.recent_window = 5;
+  options.accuracy_drop = 0.3;
+  options.margin_fraction = 0.5;
+  return options;
+}
+
+TEST(DriftDetector, NoTriggerBeforeWindowsFill) {
+  DriftDetector detector(tiny_detector());
+  for (int i = 0; i < 10; ++i) {
+    detector.observe(false, 0.0);  // terrible, but baseline not frozen
+    EXPECT_FALSE(detector.drifted());
+  }
+  EXPECT_TRUE(detector.baseline_frozen());
+  // Trailing window still empty.
+  EXPECT_FALSE(detector.drifted());
+}
+
+TEST(DriftDetector, AccuracyDropTriggers) {
+  DriftDetector detector(tiny_detector());
+  for (int i = 0; i < 10; ++i) detector.observe(true, 0.5);
+  EXPECT_DOUBLE_EQ(detector.baseline_accuracy(), 1.0);
+  for (int i = 0; i < 5; ++i) detector.observe(i % 2 == 0, 0.5);
+  // Recent accuracy 3/5 = 0.6; drop 0.4 >= 0.3.
+  EXPECT_TRUE(detector.drifted());
+}
+
+TEST(DriftDetector, StableStreamDoesNotTrigger) {
+  DriftDetector detector(tiny_detector());
+  for (int i = 0; i < 40; ++i) detector.observe(i % 10 != 0, 0.5);
+  EXPECT_FALSE(detector.drifted());
+}
+
+TEST(DriftDetector, MarginErosionTriggersBeforeAccuracyFalls) {
+  DriftDetector detector(tiny_detector());
+  for (int i = 0; i < 10; ++i) detector.observe(true, 0.8);
+  // Still always correct, but confidence collapsed.
+  for (int i = 0; i < 5; ++i) detector.observe(true, 0.1);
+  EXPECT_DOUBLE_EQ(detector.recent_accuracy(), 1.0);
+  EXPECT_TRUE(detector.drifted());
+}
+
+TEST(DriftDetector, RebaselineClearsTheTrigger) {
+  DriftDetector detector(tiny_detector());
+  for (int i = 0; i < 10; ++i) detector.observe(true, 0.5);
+  for (int i = 0; i < 5; ++i) detector.observe(false, 0.5);
+  ASSERT_TRUE(detector.drifted());
+  detector.rebaseline();
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_FALSE(detector.baseline_frozen());
+  // The observation count survives (it is a lifetime counter).
+  EXPECT_EQ(detector.observed(), 15u);
+}
+
+TEST(TrafficReservoir, HoldsEverythingBelowCapacity) {
+  TrafficReservoir reservoir(8, 1);
+  for (int i = 0; i < 5; ++i) {
+    reservoir.add({static_cast<std::uint16_t>(i)}, i);
+  }
+  EXPECT_EQ(reservoir.size(), 5u);
+  EXPECT_EQ(reservoir.seen(), 5u);
+}
+
+TEST(TrafficReservoir, StaysBoundedAndDeterministic) {
+  TrafficReservoir a(4, 42);
+  TrafficReservoir b(4, 42);
+  for (int i = 0; i < 100; ++i) {
+    a.add({static_cast<std::uint16_t>(i)}, i % 3);
+    b.add({static_cast<std::uint16_t>(i)}, i % 3);
+  }
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.seen(), 100u);
+  const data::Dataset da = a.dataset(1, 1, 3, 256);
+  const data::Dataset db = b.dataset(1, 1, 3, 256);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.values(i), db.values(i));
+    EXPECT_EQ(da.label(i), db.label(i));
+  }
+}
+
+TEST(TrafficReservoir, ClearRestartsSampling) {
+  TrafficReservoir reservoir(4, 7);
+  for (int i = 0; i < 50; ++i) {
+    reservoir.add({static_cast<std::uint16_t>(i)}, 0);
+  }
+  reservoir.clear();
+  EXPECT_EQ(reservoir.size(), 0u);
+  EXPECT_EQ(reservoir.seen(), 0u);
+  reservoir.add({9}, 1);
+  EXPECT_EQ(reservoir.size(), 1u);
+}
+
+TEST(AdaptationDriver, UnknownTenantFailsAtConstruction) {
+  auto registry = std::make_shared<ModelRegistry>();
+  EXPECT_THROW(AdaptationDriver(registry, "nobody", {}), UnknownTenant);
+}
+
+TEST(AdaptationDriver, MarginIsNormalizedTopTwoGap) {
+  vsa::Prediction p;
+  p.scores = {10, 4, 7};
+  // top 10, runner 7 -> (10-7)/(10+7+1).
+  EXPECT_DOUBLE_EQ(AdaptationDriver::margin(p), 3.0 / 18.0);
+  p.scores = {5};
+  EXPECT_DOUBLE_EQ(AdaptationDriver::margin(p), 1.0);
+}
+
+TEST(AdaptationDriver, DriftTriggersRefreshAndHotSwap) {
+  const vsa::ModelConfig config = small_config();
+  Rng rng(3);
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("t", vsa::Model::random(config, rng));
+
+  AdaptationOptions options;
+  options.detector.baseline_window = 16;
+  options.detector.recent_window = 8;
+  options.detector.accuracy_drop = 0.3;
+  options.reservoir_capacity = 32;
+  options.min_refresh_samples = 8;
+  options.refresh_cooldown = 4;
+  AdaptationDriver driver(registry, "t", options);
+
+  const auto sample = [&] {
+    std::vector<std::uint16_t> s(config.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(config.M));
+    }
+    return s;
+  };
+  // Healthy phase: predictions always "correct", confident.
+  vsa::Prediction good;
+  good.label = 0;
+  good.scores = {20, 2};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(driver.observe(sample(), 0, good));
+  }
+  EXPECT_EQ(driver.drift_events(), 0u);
+
+  // Drifted phase: always wrong. The reservoir restarts at the drift
+  // event, so the refresh waits for min_refresh_samples drifted
+  // samples, then publishes a new version.
+  bool refreshed = false;
+  vsa::Prediction bad;
+  bad.label = 1;
+  bad.scores = {9, 10};
+  for (int i = 0; i < 40 && !refreshed; ++i) {
+    refreshed = driver.observe(sample(), 0, bad);
+  }
+  EXPECT_TRUE(refreshed);
+  EXPECT_EQ(driver.drift_events(), 1u);
+  EXPECT_EQ(driver.refreshes(), 1u);
+  EXPECT_EQ(registry->latest("t")->version(), 2u);
+  // Refresh rebaselines the detector and unlatches drift.
+  EXPECT_FALSE(driver.detector().baseline_frozen());
+}
+
+TEST(AdaptationDriver, RefreshNowPublishesFromReservoir) {
+  const vsa::ModelConfig config = small_config();
+  Rng rng(5);
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("t", vsa::Model::random(config, rng));
+  AdaptationDriver driver(registry, "t", {});
+
+  EXPECT_THROW(driver.refresh_now(), std::invalid_argument);
+
+  std::vector<std::uint16_t> s(config.features(), 1);
+  vsa::Prediction p;
+  p.label = 0;
+  p.scores = {5, 1};
+  driver.observe(s, 0, p);
+  EXPECT_EQ(driver.refresh_now(), 2u);
+  EXPECT_EQ(driver.refreshes(), 1u);
+  EXPECT_EQ(registry->latest("t")->version(), 2u);
+}
+
+}  // namespace
+}  // namespace univsa::runtime

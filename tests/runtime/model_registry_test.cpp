@@ -1,0 +1,282 @@
+// ModelRegistry unit tests + the RCU hot-swap drill.
+//
+// The drill is the TSan-covered half: submitter threads stream requests
+// through a Server while the main thread flips the tenant's model
+// between two versions. Every completed answer must be bit-exact under
+// one of the two published snapshots, and no request may be dropped —
+// the registry's atomic snapshot flip is wait-free for readers and
+// in-flight work finishes on the snapshot it resolved at submit time.
+#include "univsa/runtime/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "univsa/common/rng.h"
+#include "univsa/runtime/registry.h"
+#include "univsa/runtime/server.h"
+
+namespace univsa::runtime {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig config;
+  config.W = 3;
+  config.L = 5;
+  config.C = 2;
+  config.M = 8;
+  config.D_H = 4;
+  config.D_L = 2;
+  config.D_K = 3;
+  config.O = 6;
+  config.Theta = 2;
+  config.validate();
+  return config;
+}
+
+vsa::Model make_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return vsa::Model::random(small_config(), rng);
+}
+
+TEST(ModelRegistry, PublishReturnsMonotonicVersions) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.publish("a", make_model(1)), 1u);
+  EXPECT_EQ(registry.publish("a", make_model(2)), 2u);
+  EXPECT_EQ(registry.publish("b", make_model(3)), 1u);
+  EXPECT_EQ(registry.publish("a", make_model(4)), 3u);
+  EXPECT_EQ(registry.tenant("a").version_count(), 3u);
+  EXPECT_EQ(registry.tenant("b").version_count(), 1u);
+}
+
+TEST(ModelRegistry, LatestTracksTheNewestPublish) {
+  ModelRegistry registry;
+  registry.publish("t", make_model(1));
+  const SnapshotPtr v1 = registry.latest("t");
+  EXPECT_EQ(v1->version(), 1u);
+  EXPECT_EQ(v1->tenant(), "t");
+  EXPECT_EQ(v1->key(), "t@1");
+
+  registry.publish("t", make_model(2));
+  const SnapshotPtr v2 = registry.latest("t");
+  EXPECT_EQ(v2->version(), 2u);
+  // The old snapshot is still alive and unchanged (RCU: readers that
+  // resolved v1 keep serving on it).
+  EXPECT_EQ(v1->version(), 1u);
+  EXPECT_FALSE(v1->model() == v2->model());
+}
+
+TEST(ModelRegistry, ResolvePinnedAndLatestForms) {
+  ModelRegistry registry;
+  registry.publish("t", make_model(1));
+  registry.publish("t", make_model(2));
+
+  EXPECT_EQ(registry.resolve("t")->version(), 2u);
+  EXPECT_EQ(registry.resolve("t@latest")->version(), 2u);
+  EXPECT_EQ(registry.resolve("t@1")->version(), 1u);
+  EXPECT_EQ(registry.resolve("t@2")->version(), 2u);
+  // Pinned resolution is stable across later publishes.
+  const SnapshotPtr pinned = registry.resolve("t@1");
+  registry.publish("t", make_model(3));
+  EXPECT_EQ(pinned->version(), 1u);
+  EXPECT_EQ(registry.resolve("t@1")->version(), 1u);
+  EXPECT_EQ(registry.resolve("t")->version(), 3u);
+}
+
+TEST(ModelRegistry, TenantNamesMayContainSlashes) {
+  ModelRegistry registry;
+  registry.publish("zoo/kws", make_model(1));
+  EXPECT_EQ(registry.resolve("zoo/kws@1")->tenant(), "zoo/kws");
+  EXPECT_TRUE(registry.has_tenant("zoo/kws"));
+}
+
+TEST(ModelRegistry, MissingTenantThrowsUnknownTenant) {
+  ModelRegistry registry;
+  registry.publish("present", make_model(1));
+  EXPECT_THROW(registry.latest("missing"), UnknownTenant);
+  EXPECT_THROW(registry.resolve("missing@1"), UnknownTenant);
+  EXPECT_THROW(registry.tenant("missing"), UnknownTenant);
+  EXPECT_EQ(registry.find_tenant("missing"), nullptr);
+  // UnknownTenant is an invalid_argument, so generic handlers work.
+  EXPECT_THROW(registry.latest("missing"), std::invalid_argument);
+  // The message lists the known tenants to make typos obvious.
+  try {
+    registry.latest("missing");
+    FAIL() << "expected UnknownTenant";
+  } catch (const UnknownTenant& e) {
+    EXPECT_NE(std::string(e.what()).find("present"), std::string::npos);
+  }
+}
+
+TEST(ModelRegistry, MalformedOrMissingVersionsThrow) {
+  ModelRegistry registry;
+  registry.publish("t", make_model(1));
+  EXPECT_THROW(registry.resolve("t@0"), std::invalid_argument);
+  EXPECT_THROW(registry.resolve("t@99"), std::invalid_argument);
+  EXPECT_THROW(registry.resolve("t@abc"), std::invalid_argument);
+  EXPECT_THROW(registry.resolve("t@"), std::invalid_argument);
+  EXPECT_THROW(registry.resolve("@1"), std::invalid_argument);
+  EXPECT_THROW(registry.resolve(""), std::invalid_argument);
+  EXPECT_THROW(registry.publish("", make_model(1)),
+               std::invalid_argument);
+  EXPECT_THROW(registry.publish("a@b", make_model(1)),
+               std::invalid_argument);
+}
+
+TEST(ModelRegistry, ParseKeySplitsAtTheFirstAt) {
+  const auto plain = ModelRegistry::parse_key("tenant");
+  EXPECT_EQ(plain.first, "tenant");
+  EXPECT_FALSE(plain.second.has_value());
+
+  const auto latest = ModelRegistry::parse_key("tenant@latest");
+  EXPECT_EQ(latest.first, "tenant");
+  EXPECT_FALSE(latest.second.has_value());
+
+  const auto pinned = ModelRegistry::parse_key("zoo/kws@12");
+  EXPECT_EQ(pinned.first, "zoo/kws");
+  EXPECT_EQ(pinned.second, 12u);
+}
+
+TEST(ModelRegistry, TenantNamesSortedAndCounted) {
+  ModelRegistry registry;
+  registry.publish("b", make_model(1));
+  registry.publish("a", make_model(2));
+  registry.publish("c", make_model(3));
+  registry.publish("a", make_model(4));
+  EXPECT_EQ(registry.tenant_count(), 3u);
+  const std::vector<std::string> names = registry.tenant_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+}
+
+TEST(ModelRegistry, VersionAccessorsMatchHistory) {
+  ModelRegistry registry;
+  registry.publish("t", make_model(1));
+  registry.publish("t", make_model(2));
+  const ModelRegistry::Tenant& tenant = registry.tenant("t");
+  EXPECT_EQ(tenant.version(1)->version(), 1u);
+  EXPECT_EQ(tenant.version(2)->version(), 2u);
+  // Pinned lookup of a never-published version is null, not a throw
+  // (resolve("t@0") is the throwing form).
+  EXPECT_EQ(tenant.version(0), nullptr);
+  EXPECT_EQ(tenant.version(3), nullptr);
+}
+
+// --- The hot-swap drill (TSan-covered) ---------------------------------
+
+TEST(ModelRegistryHotSwap, ConcurrentResolveAndPublish) {
+  ModelRegistry registry;
+  registry.publish("t", make_model(1));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> resolves{0};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const SnapshotPtr snap = registry.latest("t");
+        ASSERT_NE(snap, nullptr);
+        ASSERT_GE(snap->version(), 1u);
+        resolves.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::uint64_t v = 2; v <= 20; ++v) {
+    EXPECT_EQ(registry.publish("t", make_model(v)), v);
+  }
+  // On a loaded single-core box the publishes can finish before any
+  // reader is scheduled; insist on overlap before stopping them.
+  while (resolves.load(std::memory_order_relaxed) < 64) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(resolves.load(), 0u);
+  EXPECT_EQ(registry.latest("t")->version(), 20u);
+}
+
+TEST(ModelRegistryHotSwap, ServerFlipMidFlightIsBitExactAndDropsNothing) {
+  const vsa::ModelConfig config = small_config();
+  const vsa::Model m1 = make_model(101);
+  const vsa::Model m2 = make_model(202);
+
+  // Sample pool + expected predictions under both versions.
+  Rng rng(7);
+  const std::size_t n_samples = 16;
+  std::vector<std::vector<std::uint16_t>> samples(n_samples);
+  for (auto& s : samples) {
+    s.resize(config.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(config.M));
+    }
+  }
+  std::vector<vsa::Prediction> expected1, expected2;
+  make_backend("reference", m1)->predict_batch(samples, expected1);
+  make_backend("reference", m2)->predict_batch(samples, expected2);
+
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("t", m1);
+
+  ServerOptions options;
+  options.workers = 2;
+  options.max_batch = 8;
+  options.max_delay_us = 20;
+  options.queue_capacity = 64;
+
+  const std::size_t per_thread = 300;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> matched_v2{0};
+  {
+    Server server(registry, options);
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < 2; ++t) {
+      submitters.emplace_back([&, t] {
+        SubmitOptions so;
+        so.tenant = "t";
+        for (std::size_t i = 0; i < per_thread; ++i) {
+          const std::size_t sample = (t + 2 * i) % n_samples;
+          try {
+            const vsa::Prediction got =
+                server.submit(samples[sample], so).get();
+            completed.fetch_add(1, std::memory_order_relaxed);
+            const bool is1 = got.label == expected1[sample].label &&
+                             got.scores == expected1[sample].scores;
+            const bool is2 = got.label == expected2[sample].label &&
+                             got.scores == expected2[sample].scores;
+            if (is2) matched_v2.fetch_add(1, std::memory_order_relaxed);
+            if (!is1 && !is2) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          } catch (const std::exception&) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // Flip versions mid-flight, several times, ending on m2.
+    for (int flip = 0; flip < 5; ++flip) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      registry->publish("t", flip % 2 == 0 ? m2 : m1);
+    }
+    for (auto& t : submitters) t.join();
+  }
+
+  EXPECT_EQ(completed.load(), 2 * per_thread);
+  EXPECT_EQ(dropped.load(), 0u);
+  // Every answer was produced under exactly one of the two published
+  // snapshots — never a torn mixture.
+  EXPECT_EQ(mismatches.load(), 0u);
+  // The final flips landed while traffic was still flowing, so some
+  // tail requests served on m2.
+  EXPECT_GT(matched_v2.load(), 0u);
+  EXPECT_EQ(registry->latest("t")->version(), 6u);
+}
+
+}  // namespace
+}  // namespace univsa::runtime

@@ -89,6 +89,72 @@ TEST(ExporterGolden, JsonEscapesSpecialCharacters) {
   EXPECT_NE(json.find("\"git_sha\": \"a\\\"b\\\\c\""), std::string::npos);
 }
 
+TEST(ExporterGolden, PrometheusEscapesHostileTenantLabels) {
+  // Tenant names are arbitrary user strings; telemetry::labeled stores
+  // them raw and the exporter must neutralize them at emit time. This
+  // tenant carries a quote, a newline and a brace pair — each one a
+  // scrape-format injection vector if left unescaped.
+  const std::string hostile = "a\"b\n{}";
+  Snapshot s;
+  s.counters.emplace_back(
+      labeled("runtime.server.tenant_completed", "tenant", hostile), 5);
+  s.counters.emplace_back(
+      labeled("runtime.server.tenant_completed", "tenant", "plain"), 7);
+  s.gauges.emplace_back(
+      labeled("runtime.adapt.recent_accuracy", "tenant", hostile), 0.75);
+  HistogramSnapshot h;
+  h.name = labeled("runtime.server.tenant_latency_ns", "tenant", hostile);
+  h.count = 2;
+  h.min = 2;
+  h.max = 4;
+  h.sum = 6.0;
+  h.buckets.push_back({2, 1});
+  h.buckets.push_back({4, 1});
+  s.histograms.push_back(h);
+
+  const std::string expected =
+      "# TYPE univsa_build_info gauge\n"
+      "univsa_build_info{git_sha=\"\",compiler=\"\",build_type=\"\","
+      "flags=\"\",simd_isa=\"\",pool_threads=\"0\"} 1\n"
+      "# TYPE univsa_runtime_server_tenant_completed counter\n"
+      "univsa_runtime_server_tenant_completed_total"
+      "{tenant=\"a\\\"b\\n{}\"} 5\n"
+      "univsa_runtime_server_tenant_completed_total{tenant=\"plain\"} 7\n"
+      "# TYPE univsa_runtime_adapt_recent_accuracy gauge\n"
+      "univsa_runtime_adapt_recent_accuracy{tenant=\"a\\\"b\\n{}\"} 0.75\n"
+      "# TYPE univsa_runtime_server_tenant_latency_ns histogram\n"
+      "univsa_runtime_server_tenant_latency_ns_bucket"
+      "{tenant=\"a\\\"b\\n{}\",le=\"2\"} 1\n"
+      "univsa_runtime_server_tenant_latency_ns_bucket"
+      "{tenant=\"a\\\"b\\n{}\",le=\"4\"} 2\n"
+      "univsa_runtime_server_tenant_latency_ns_bucket"
+      "{tenant=\"a\\\"b\\n{}\",le=\"+Inf\"} 2\n"
+      "univsa_runtime_server_tenant_latency_ns_sum"
+      "{tenant=\"a\\\"b\\n{}\"} 6\n"
+      "univsa_runtime_server_tenant_latency_ns_count"
+      "{tenant=\"a\\\"b\\n{}\"} 2\n";
+  const std::string text = to_prometheus(s);
+  EXPECT_EQ(text, expected);
+  // The # TYPE line is emitted once per family even though two label
+  // values share it.
+  EXPECT_EQ(text.find("# TYPE univsa_runtime_server_tenant_completed"),
+            text.rfind("# TYPE univsa_runtime_server_tenant_completed"));
+}
+
+TEST(ExporterGolden, MalformedLabelBlocksAreSanitizedWhole) {
+  // Names with a brace that never forms a key=value block fall back to
+  // full sanitization instead of emitting a broken label block.
+  Snapshot s;
+  s.counters.emplace_back("weird{oops", 1);
+  s.counters.emplace_back("x{=v}", 2);
+  s.counters.emplace_back("empty{}", 3);
+  const std::string text = to_prometheus(s);
+  EXPECT_NE(text.find("univsa_weird_oops_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("univsa_x__v__total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("univsa_empty___total 3\n"), std::string::npos);
+  EXPECT_EQ(text.find('{', text.find("univsa_weird")), std::string::npos);
+}
+
 class ExporterRegistryTest : public ::testing::Test {
  protected:
   void SetUp() override {

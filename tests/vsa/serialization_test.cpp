@@ -93,8 +93,9 @@ TEST(SerializationTest, CorruptMaskRejected) {
   Rng rng(8);
   const Model m = Model::random(small_config(), rng);
   auto bytes = ModelIo::to_bytes(m);
-  // Mask starts right after the 8-byte magic + 9 u64 config fields.
-  const std::size_t mask_offset = 8 + 9 * 8;
+  // Mask starts after the 8-byte magic, the v2 kind field, and the
+  // 9 u64 config fields.
+  const std::size_t mask_offset = 8 + 8 + 9 * 8;
   bytes[mask_offset] = 7;  // not 0/1
   EXPECT_THROW(ModelIo::from_bytes(bytes), std::invalid_argument);
 }
@@ -119,6 +120,139 @@ TEST(SerializationTest, PayloadBytesTracksEquationFive) {
   // Within a byte-rounding margin of the bit-exact Eq. 5 figure.
   EXPECT_NEAR(static_cast<double>(payload),
               static_cast<double>(memory_bits(c)) / 8.0, 5.0);
+}
+
+// --- Format versioning (v2 header: magic + kind) -------------------------
+
+// Synthesizes a version-1 file from a v2 buffer: v1 is the same layout
+// minus the kind field, stamped "UVSA001\n".
+std::vector<std::uint8_t> as_version_one(std::vector<std::uint8_t> bytes) {
+  bytes.erase(bytes.begin() + 8, bytes.begin() + 16);  // drop kind u64
+  bytes[6] = '1';                                      // "UVSA001\n"
+  return bytes;
+}
+
+TEST(SerializationVersionTest, WritesVersionTwoMagic) {
+  Rng rng(20);
+  const auto bytes = ModelIo::to_bytes(Model::random(small_config(), rng));
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.begin() + 8), "UVSA002\n");
+}
+
+TEST(SerializationVersionTest, VersionOneFilesLoadForever) {
+  Rng rng(21);
+  const Model m = Model::random(small_config(), rng);
+  const auto v1 = as_version_one(ModelIo::to_bytes(m));
+  EXPECT_EQ(ModelIo::peek_kind(v1), ModelIo::Kind::kUniVsa);
+  EXPECT_EQ(ModelIo::from_bytes(v1), m);
+}
+
+TEST(SerializationVersionTest, FutureVersionRejectedWithClearError) {
+  Rng rng(22);
+  auto bytes = ModelIo::to_bytes(Model::random(small_config(), rng));
+  bytes[6] = '3';  // "UVSA003\n" — newer than this build
+  try {
+    ModelIo::from_bytes(bytes);
+    FAIL() << "expected rejection of a future-version file";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("newer"), std::string::npos) << what;
+  }
+  EXPECT_THROW(ModelIo::peek_kind(bytes), std::invalid_argument);
+}
+
+TEST(SerializationVersionTest, PeekKindReportsStoredKind) {
+  Rng rng(23);
+  EXPECT_EQ(ModelIo::peek_kind(
+                ModelIo::to_bytes(Model::random(small_config(), rng))),
+            ModelIo::Kind::kUniVsa);
+  EXPECT_EQ(ModelIo::peek_kind(ModelIo::ldc_to_bytes(
+                LdcModel::random(2, 3, 4, 2, 64, rng))),
+            ModelIo::Kind::kLdc);
+}
+
+TEST(SerializationVersionTest, WrongKindLoaderRejected) {
+  Rng rng(24);
+  const auto univsa = ModelIo::to_bytes(Model::random(small_config(), rng));
+  EXPECT_THROW(ModelIo::ldc_from_bytes(univsa), std::invalid_argument);
+  EXPECT_THROW(ModelIo::lehdc_from_bytes(univsa), std::invalid_argument);
+  const auto ldc =
+      ModelIo::ldc_to_bytes(LdcModel::random(2, 3, 4, 2, 64, rng));
+  EXPECT_THROW(ModelIo::from_bytes(ldc), std::invalid_argument);
+}
+
+// --- LdcModel / LehdcModel round-trips -----------------------------------
+
+TEST(SerializationLdcTest, BytesRoundtripPreservesModel) {
+  Rng rng(30);
+  const LdcModel m = LdcModel::random(2, 3, 4, 2, 64, rng);
+  EXPECT_EQ(ModelIo::ldc_from_bytes(ModelIo::ldc_to_bytes(m)), m);
+}
+
+TEST(SerializationLdcTest, FileRoundtripPreservesPredictions) {
+  Rng rng(31);
+  const LdcModel m = LdcModel::random(2, 3, 4, 3, 64, rng);
+  const std::string path = ::testing::TempDir() + "/model.ldc.uvsa";
+  ModelIo::save_ldc_file(m, path);
+  const LdcModel loaded = ModelIo::load_ldc_file(path);
+  EXPECT_EQ(loaded, m);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint16_t> values(m.features());
+    for (auto& v : values) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(m.levels()));
+    }
+    EXPECT_EQ(loaded.predict(values), m.predict(values));
+  }
+  std::remove(path.c_str());
+}
+
+LehdcModel small_lehdc(std::uint64_t seed) {
+  const std::size_t windows = 2, length = 3, levels = 4, dim = 64;
+  Rng rng(seed);
+  auto values = LehdcModel::level_encoded_values(levels, dim, rng);
+  auto features = LehdcModel::random_bipolar(windows * length * dim, rng);
+  const Tensor classes = Tensor::rand_sign({2, dim}, rng);
+  return LehdcModel(windows, length, levels, dim, std::move(values),
+                    std::move(features), classes);
+}
+
+TEST(SerializationLehdcTest, BytesRoundtripPreservesModel) {
+  const LehdcModel m = small_lehdc(40);
+  EXPECT_EQ(ModelIo::lehdc_from_bytes(ModelIo::lehdc_to_bytes(m)), m);
+}
+
+TEST(SerializationLehdcTest, FileRoundtripPreservesPredictions) {
+  const LehdcModel m = small_lehdc(41);
+  const std::string path = ::testing::TempDir() + "/model.lehdc.uvsa";
+  ModelIo::save_lehdc_file(m, path);
+  const LehdcModel loaded = ModelIo::load_lehdc_file(path);
+  EXPECT_EQ(loaded, m);
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint16_t> values(2 * 3);
+    for (auto& v : values) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(4));
+    }
+    EXPECT_EQ(loaded.predict(values), m.predict(values));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationLehdcTest, FileSizeMatchesMemoryModelAccounting) {
+  // The ±1 int8 lanes are bit-packed on disk, so the file tracks the
+  // Table II lehdc_memory_kb() figure — not the 8x inflated RAM layout.
+  const LehdcModel m = small_lehdc(43);
+  const auto bytes = ModelIo::lehdc_to_bytes(m);
+  const std::size_t n = 2 * 3;        // feature positions
+  const std::size_t payload_bits =
+      static_cast<std::size_t>(lehdc_memory_kb(n, 2, 4, 64) * 8000.0);
+  const std::size_t file_bits = bytes.size() * 8;
+  EXPECT_GE(file_bits, payload_bits);
+  // Header + length fields only on top of the packed payload; the int8
+  // RAM layout of V and F alone would add 7x their packed size.
+  const std::size_t v_f_bits = (4 + n) * 64;
+  EXPECT_LT(file_bits, payload_bits + 2048 + v_f_bits);
 }
 
 }  // namespace

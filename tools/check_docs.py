@@ -14,7 +14,9 @@ Two passes:
    gauges / histograms keys). Documented-but-missing names FAIL the
    build; live-but-undocumented names only warn, so experiments can add
    probes without gating on docs. Rows containing `<` (e.g.
-   `bench.<name>_ns`) are treated as patterns and skipped.
+   `bench.<name>_ns`, `runtime.server.tenant_shed<tenant>`) are match
+   patterns: they are never required to be live, but live names they
+   match (such as labeled per-tenant instances) count as documented.
 
 Exit status: 0 clean (warnings allowed), 1 on any error.
 """
@@ -79,10 +81,17 @@ def check_links(doc: Path, repo_root: Path, errors: list[str]) -> None:
                     f"(no heading slugs to '{anchor}' in {dest.name})")
 
 
-def documented_metrics(metrics_md: Path) -> set[str]:
+def documented_metrics(
+        metrics_md: Path) -> tuple[set[str], list[re.Pattern[str]]]:
     """Metric names are the backticked first cell of METRICS.md table
-    rows; prose mentions and file names don't count."""
+    rows; prose mentions and file names don't count. Rows containing
+    `<placeholder>` (e.g. `bench.<name>_ns`, a per-tenant label family
+    like `runtime.server.tenant_shed<tenant>`) become match patterns:
+    the placeholder matches any run of characters, so labeled live
+    names such as `runtime.server.tenant_shed{tenant=zoo/kws}` count
+    as documented."""
     names: set[str] = set()
+    patterns: list[re.Pattern[str]] = []
     text = CODE_FENCE_RE.sub("", metrics_md.read_text(encoding="utf-8"))
     for line in text.splitlines():
         if not line.startswith("|"):
@@ -93,9 +102,12 @@ def documented_metrics(metrics_md: Path) -> set[str]:
             continue
         name = match.group(1)
         if "<" in name:  # pattern row, e.g. bench.<name>_ns
+            parts = re.split(r"<[^>]*>", name)
+            patterns.append(
+                re.compile(".*".join(re.escape(p) for p in parts)))
             continue
         names.add(name)
-    return names
+    return names, patterns
 
 
 def live_metrics(snapshots: list[Path], errors: list[str]) -> set[str]:
@@ -138,11 +150,13 @@ def main() -> int:
 
     metrics_md = repo / "docs" / "METRICS.md"
     if args.snapshot and metrics_md.exists():
-        documented = documented_metrics(metrics_md)
+        documented, patterns = documented_metrics(metrics_md)
         live = live_metrics(args.snapshot, errors)
         missing = sorted(documented - live)
         undocumented = sorted(
-            n for n in live - documented if not n.startswith("bench."))
+            n for n in live - documented
+            if not n.startswith("bench.")
+            and not any(p.fullmatch(n) for p in patterns))
         for name in missing:
             errors.append(
                 f"METRICS.md documents `{name}` but no snapshot emits it")

@@ -11,8 +11,10 @@
 //   univsa_cli stats    --model har.uvsa --data test.csv [--format json]
 //   univsa_cli search   --benchmark HAR [--islands K] [--surrogate F]
 //                       [--pareto 1] [--out-json best.json]
+//   univsa_cli zoo                 (multi-tenant registry + drift drill)
 //   univsa_cli backends            (CPU features, SIMD dispatch, registry)
-//   univsa_cli faultcheck          (canned fault plan -> degradation report)
+//   univsa_cli faultcheck          (canned fault plan -> degradation report;
+//                                   --multi-tenant 1 for per-tenant QoS)
 //   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
 //
 // The complete flag reference lives in docs/CLI.md; the serving knobs
@@ -39,6 +41,7 @@
 // CSVs are `label,f0,f1,...` rows of already-discretized levels, as
 // written by `datagen` (see data/csv_io.h for raw-float import).
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +59,8 @@
 #include "univsa/hw/io_model.h"
 #include "univsa/hw/verilog_gen.h"
 #include "univsa/report/metrics.h"
+#include "univsa/runtime/adaptation.h"
+#include "univsa/runtime/model_registry.h"
 #include "univsa/runtime/parity.h"
 #include "univsa/runtime/registry.h"
 #include "univsa/runtime/server.h"
@@ -338,7 +343,210 @@ int cmd_stats(const Flags& flags) {
 /// (with bounded client resubmits after injected faults), low-priority
 /// sheds were observed, and every completed result is bit-identical to
 /// the reference backend.
+/// Multi-tenant faultcheck (`faultcheck --multi-tenant 1`): the same
+/// canned FaultPlan, but two registry tenants with opposing QoS
+/// policies share the server — a "premium" tenant (kHigh, no quota)
+/// streams deadline-bound requests while a "batch" tenant (priority
+/// capped at kLow, small admission quota) floods from two threads.
+/// Exits 0 only when degradation was per-tenant graceful: every
+/// premium request completed bit-exactly with zero premium sheds and
+/// bounded p99, while the batch tenant absorbed all the shedding.
+int cmd_faultcheck_zoo(const Flags& flags) {
+  const std::size_t seed = flags.get_size("seed", 42);
+  Rng model_rng(static_cast<std::uint64_t>(seed));
+  auto registry = std::make_shared<runtime::ModelRegistry>();
+  registry->publish(
+      "premium",
+      vsa::Model::random(data::find_benchmark("HAR").config, model_rng));
+  registry->publish(
+      "batch",
+      vsa::Model::random(data::find_benchmark("CHB-B").config, model_rng));
+
+  auto plan = std::make_shared<runtime::FaultPlan>(
+      runtime::canned_overload_spec(seed));
+  runtime::ServerOptions options;
+  options.backend = flags.get("backend", runtime::default_backend());
+  options.workers = flags.get_size("workers", 2);
+  options.max_batch = 16;
+  options.max_delay_us = 50;
+  options.queue_capacity = 32;
+  options.fault_plan = plan;
+  options.default_tenant = "premium";
+  options.tenant_policies["premium"] = {runtime::Priority::kHigh, 0};
+  options.tenant_policies["batch"] = {runtime::Priority::kLow, 12};
+
+  // Per-tenant sample pools + the reference predictions every completed
+  // result must match bit-for-bit (different geometry per tenant — a
+  // mixed batch would not even type-check against one model).
+  const std::size_t n_samples = 48;
+  Rng rng(static_cast<std::uint64_t>(seed) ^ 0x5eed);
+  std::map<std::string, std::vector<std::vector<std::uint16_t>>> samples;
+  std::map<std::string, std::vector<vsa::Prediction>> expected;
+  for (const auto& tenant : registry->tenant_names()) {
+    const vsa::Model& model = registry->latest(tenant)->model();
+    auto& pool = samples[tenant];
+    pool.resize(n_samples);
+    for (auto& s : pool) {
+      s.resize(model.config().features());
+      for (auto& v : s) {
+        v = static_cast<std::uint16_t>(
+            rng.uniform_index(model.config().M));
+      }
+    }
+    runtime::make_backend("reference", model)
+        ->predict_batch(pool, expected[tenant]);
+  }
+
+  const std::size_t n_high = flags.get_size("requests", 120);
+  const std::uint64_t deadline_us = flags.get_size("deadline-us", 500000);
+  std::size_t high_ok = 0, high_deadline = 0, high_gave_up = 0;
+  std::size_t resubmits = 0, mismatches = 0;
+  std::size_t batch_completed = 0, batch_failed = 0;
+  std::atomic<std::size_t> batch_submitted{0}, batch_refused{0};
+  runtime::ServerStats stats;
+  {
+    runtime::Server server(registry, options);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<std::pair<std::size_t,
+                                      std::future<vsa::Prediction>>>>
+        batch_futures(2);
+    std::vector<std::thread> flood;
+    for (std::size_t t = 0; t < 2; ++t) {
+      flood.emplace_back([&, t] {
+        runtime::SubmitOptions low;
+        low.tenant = "batch";
+        // Asks for kNormal; the tenant policy clamps it to kLow, so the
+        // flood stays sheddable no matter what the client requests.
+        low.priority = runtime::Priority::kNormal;
+        std::size_t i = t;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t sample = i % n_samples;
+          std::future<vsa::Prediction> future;
+          const runtime::SubmitStatus status =
+              server.try_submit(samples["batch"][sample], low, &future);
+          batch_submitted.fetch_add(1, std::memory_order_relaxed);
+          if (status == runtime::SubmitStatus::kOk) {
+            batch_futures[t].emplace_back(sample, std::move(future));
+          } else {
+            batch_refused.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+          }
+          i += 2;
+        }
+      });
+    }
+
+    runtime::SubmitOptions high;
+    high.tenant = "premium";
+    high.priority = runtime::Priority::kHigh;
+    high.deadline_us = deadline_us;
+    for (std::size_t i = 0; i < n_high; ++i) {
+      const std::size_t sample = i % n_samples;
+      bool done = false;
+      for (std::size_t attempt = 0; attempt < 4 && !done; ++attempt) {
+        try {
+          const vsa::Prediction got =
+              server.submit(samples["premium"][sample], high).get();
+          if (got.label == expected["premium"][sample].label &&
+              got.scores == expected["premium"][sample].scores) {
+            ++high_ok;
+          } else {
+            ++mismatches;
+          }
+          done = true;
+        } catch (const runtime::InjectedFault&) {
+          ++resubmits;
+        } catch (const runtime::DeadlineExceeded&) {
+          ++high_deadline;
+          done = true;
+        }
+      }
+      if (!done) ++high_gave_up;
+    }
+
+    stop.store(true);
+    for (auto& t : flood) t.join();
+    for (auto& per_thread : batch_futures) {
+      for (auto& [sample, future] : per_thread) {
+        try {
+          const vsa::Prediction got = future.get();
+          if (got.label == expected["batch"][sample].label &&
+              got.scores == expected["batch"][sample].scores) {
+            ++batch_completed;
+          } else {
+            ++mismatches;
+          }
+        } catch (const std::exception&) {
+          ++batch_failed;  // evicted (RequestShed) or injected fault
+        }
+      }
+    }
+    server.shutdown();
+    stats = server.stats();
+  }
+
+  const auto& premium = stats.tenants["premium"];
+  const auto& batch = stats.tenants["batch"];
+  std::printf("== faultcheck --multi-tenant: canned overload plan "
+              "(seed %zu) ==\n",
+              seed);
+  std::printf("tenants: premium (kHigh, HAR geometry) vs batch "
+              "(capped kLow, quota 12, CHB-B geometry)\n");
+  std::printf("injected: %llu errors, %llu stalls, %llu slowdowns\n",
+              static_cast<unsigned long long>(plan->injected_errors()),
+              static_cast<unsigned long long>(plan->injected_stalls()),
+              static_cast<unsigned long long>(plan->injected_slowdowns()));
+  std::printf("premium: %zu/%zu ok within %llu us deadline "
+              "(%zu resubmits, %zu deadline misses, %zu gave up), "
+              "%llu shed, p99 %.2f us\n",
+              high_ok, n_high,
+              static_cast<unsigned long long>(deadline_us), resubmits,
+              high_deadline, high_gave_up,
+              static_cast<unsigned long long>(premium.shed),
+              static_cast<double>(premium.latency_ns.percentile(0.99)) *
+                  1e-3);
+  std::printf("batch: %zu attempts -> %zu completed, %zu refused at "
+              "admission, %zu failed in flight, %llu shed "
+              "(runtime.server.tenant_shed{tenant=batch})\n",
+              batch_submitted.load(), batch_completed,
+              batch_refused.load(), batch_failed,
+              static_cast<unsigned long long>(batch.shed));
+  std::printf("parity: %zu mismatches across %zu completed results\n",
+              mismatches, high_ok + batch_completed);
+  maybe_write_metrics(flags);
+
+  bool ok = true;
+  const auto fail = [&ok](const char* what) {
+    std::fprintf(stderr, "FAULTCHECK FAILED: %s\n", what);
+    ok = false;
+  };
+  if (high_ok != n_high) {
+    fail("premium availability hole (misses/gave up above)");
+  }
+  if (mismatches != 0) fail("completed results diverged from reference");
+  if (premium.shed != 0) fail("premium tenant was shed");
+  if (batch.shed + batch_refused.load() == 0) {
+    fail("batch tenant saw no shedding under overload");
+  }
+  if (premium.latency_ns.count > 0 &&
+      premium.latency_ns.percentile(0.99) > deadline_us * 1000) {
+    fail("premium p99 latency above the deadline bound");
+  }
+  if (runtime::kFaultsCompiledIn && plan->injected_total() == 0) {
+    fail("fault plan injected nothing (schedule bug?)");
+  }
+  if (ok) {
+    std::printf(
+        "FAULTCHECK OK — degraded gracefully, per tenant\n");
+  }
+  return ok ? 0 : 1;
+}
+
 int cmd_faultcheck(const Flags& flags) {
+  if (flags.get_size("multi-tenant", 0) != 0) {
+    return cmd_faultcheck_zoo(flags);
+  }
   const std::size_t seed = flags.get_size("seed", 42);
   // Self-contained by default: a seeded random model on the HAR
   // configuration. --model PATH checks a trained artifact instead.
@@ -705,6 +913,213 @@ int cmd_export_rtl(const Flags& flags) {
   return 0;
 }
 
+/// Multi-tenant model-zoo drill (docs/ZOO.md): trains the three zoo
+/// workloads (KWS / ANOMALY / GESTURE), publishes each under its own
+/// registry tenant, serves interleaved mixed traffic through one Server
+/// with per-tenant QoS policies, then pushes drifted traffic at the
+/// gesture tenant and lets the AdaptationDriver refresh + hot-swap it.
+/// Exits non-zero when served accuracy diverges from a direct backend
+/// call or the drift loop never publishes a refresh.
+int cmd_zoo(const Flags& flags) {
+  const std::string backend =
+      flags.get("backend", runtime::default_backend());
+  train::TrainOptions topt;
+  topt.epochs = flags.get_size("epochs", 8);
+
+  auto registry = std::make_shared<runtime::ModelRegistry>();
+  struct TenantRun {
+    std::string tenant;
+    const data::Benchmark* bench = nullptr;
+    data::SyntheticResult data;
+    double direct_accuracy = 0.0;
+    double served_accuracy = 0.0;
+  };
+  std::vector<TenantRun> runs;
+  for (const auto& bench : data::zoo_benchmarks()) {
+    TenantRun run;
+    std::string lower = bench.spec.name;
+    for (char& c : lower) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    run.tenant = "zoo/" + lower;
+    run.bench = &bench;
+    run.data = data::generate(bench.spec);
+    auto trained = train::train_univsa(bench.config, run.data.train, topt);
+    registry->publish(run.tenant, std::move(trained.model));
+    run.direct_accuracy =
+        runtime::make_backend(backend,
+                              registry->latest(run.tenant)->model())
+            ->accuracy(run.data.test);
+    runs.push_back(std::move(run));
+  }
+
+  std::printf("== model zoo: %zu tenants ==\n", registry->tenant_count());
+  for (const auto& run : runs) {
+    const auto snap = registry->latest(run.tenant);
+    const auto& c = snap->model().config();
+    std::printf("  %-12s -> %s  (%s, %.2f KB, direct accuracy %.4f)\n",
+                run.bench->spec.name.c_str(), snap->key().c_str(),
+                c.to_string().c_str(), vsa::memory_kb(c),
+                run.direct_accuracy);
+  }
+
+  // Mixed-traffic drill: one server, three tenants, interleaved
+  // round-robin submissions. The anomaly tenant is the premium (kHigh)
+  // stream; the gesture tenant is batch traffic capped at kLow with an
+  // admission quota.
+  runtime::ServerOptions sopt;
+  sopt.backend = backend;
+  sopt.workers = flags.get_size("workers", 2);
+  sopt.max_batch = flags.get_size("max-batch", 16);
+  sopt.max_delay_us = 50;
+  sopt.tenant_policies["zoo/anomaly"] = {runtime::Priority::kHigh, 0};
+  sopt.tenant_policies["zoo/gesture"] = {runtime::Priority::kLow, 64};
+  {
+    runtime::Server server(registry, sopt);
+    std::vector<std::vector<std::future<vsa::Prediction>>> futures(
+        runs.size());
+    std::size_t remaining = 0;
+    for (const auto& run : runs) remaining += run.data.test.size();
+    for (std::size_t i = 0; remaining > 0; ++i) {
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        if (i >= runs[t].data.test.size()) continue;
+        runtime::SubmitOptions so;
+        so.tenant = runs[t].tenant;
+        so.priority = runs[t].tenant == "zoo/anomaly"
+                          ? runtime::Priority::kHigh
+                          : runtime::Priority::kNormal;
+        // The gesture tenant's admission quota sheds bursts; back off
+        // and resubmit like a well-behaved batch client.
+        while (true) {
+          try {
+            futures[t].push_back(
+                server.submit(runs[t].data.test.values(i), so));
+            break;
+          } catch (const runtime::RequestShed&) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+        --remaining;
+      }
+    }
+    for (std::size_t t = 0; t < runs.size(); ++t) {
+      std::size_t correct = 0;
+      for (std::size_t i = 0; i < futures[t].size(); ++i) {
+        if (futures[t][i].get().label == runs[t].data.test.label(i)) {
+          ++correct;
+        }
+      }
+      runs[t].served_accuracy =
+          static_cast<double>(correct) /
+          static_cast<double>(futures[t].size());
+    }
+    const runtime::ServerStats stats = server.stats();
+    std::printf("mixed traffic: %llu completed in %llu batches "
+                "(mean batch %.1f)\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.batches),
+                stats.mean_batch());
+    for (const auto& [tenant, ts] : stats.tenants) {
+      std::printf("  %-12s %llu completed, %llu shed, p99 latency "
+                  "%.2f us\n",
+                  tenant.c_str(),
+                  static_cast<unsigned long long>(ts.completed),
+                  static_cast<unsigned long long>(ts.shed),
+                  static_cast<double>(ts.latency_ns.percentile(0.99)) *
+                      1e-3);
+    }
+  }
+  bool ok = true;
+  for (const auto& run : runs) {
+    std::printf("  %-12s served accuracy %.4f (direct %.4f)\n",
+                run.tenant.c_str(), run.served_accuracy,
+                run.direct_accuracy);
+    if (run.served_accuracy != run.direct_accuracy) {
+      std::fprintf(stderr,
+                   "ZOO FAILED: %s served accuracy diverged from the "
+                   "direct backend\n",
+                   run.tenant.c_str());
+      ok = false;
+    }
+  }
+
+  // Drift + online adaptation on the gesture tenant: regenerate its
+  // traffic with drifted prototypes, stream it through the adaptation
+  // driver, and measure how much of the accuracy drop the refreshed
+  // (hot-swapped) model recovers on held-out drifted data.
+  const TenantRun* gesture = nullptr;
+  for (const auto& run : runs) {
+    if (run.tenant == "zoo/gesture") gesture = &run;
+  }
+  data::SyntheticSpec drifted_spec = gesture->bench->spec;
+  drifted_spec.drift = flags.get_double("drift", 0.3);
+  drifted_spec.drift_seed = flags.get_size("drift-seed", 9);
+  const data::SyntheticResult drifted = data::generate(drifted_spec);
+  const double pre_drift = gesture->direct_accuracy;
+  const double post_drift =
+      runtime::make_backend(backend,
+                            registry->latest(gesture->tenant)->model())
+          ->accuracy(drifted.test);
+
+  runtime::AdaptationOptions aopt;
+  // Refresh knobs tuned for strong drift: plastic class vectors
+  // (inertia 1) retrained hard (10 epochs) on a full reservoir of
+  // post-drift traffic recover >= 90% of the accuracy gap at the
+  // default drift of 0.3 — the bench_model_zoo acceptance bar.
+  aopt.retrain.epochs = flags.get_size("refresh-epochs", 10);
+  aopt.retrain.inertia = static_cast<long long>(
+      flags.get_size("refresh-inertia", 1));
+  aopt.reservoir_capacity = flags.get_size("reservoir", 256);
+  aopt.min_refresh_samples = flags.get_size("refresh-min", 256);
+  runtime::AdaptationDriver driver(registry, gesture->tenant, aopt);
+  runtime::SnapshotPtr current = registry->latest(gesture->tenant);
+  auto serving = runtime::make_backend(backend, current->model());
+  vsa::Prediction prediction;
+  // Freeze the detector's baseline on in-distribution traffic first —
+  // the baseline must describe the healthy model for the drifted
+  // window to register as a drop.
+  for (std::size_t i = 0; i < gesture->data.train.size(); ++i) {
+    serving->predict_into(gesture->data.train.values(i), prediction);
+    driver.observe(gesture->data.train.values(i),
+                   gesture->data.train.label(i), prediction);
+  }
+  for (std::size_t i = 0; i < drifted.train.size(); ++i) {
+    if (const auto latest = registry->latest(gesture->tenant);
+        latest != current) {
+      current = latest;  // hot-swap landed: serve the refreshed model
+      serving = runtime::make_backend(backend, current->model());
+    }
+    serving->predict_into(drifted.train.values(i), prediction);
+    driver.observe(drifted.train.values(i), drifted.train.label(i),
+                   prediction);
+  }
+  const double recovered =
+      runtime::make_backend(backend,
+                            registry->latest(gesture->tenant)->model())
+          ->accuracy(drifted.test);
+  const double gap = pre_drift - post_drift;
+  const double recovery =
+      gap <= 0.0 ? 1.0 : (recovered - post_drift) / gap;
+  std::printf("drift drill (%s, drift %.2f): accuracy %.4f -> %.4f "
+              "after drift, %.4f after %llu refresh(es) "
+              "(%.0f%% of the gap recovered, %llu drift events, "
+              "now at %s)\n",
+              gesture->tenant.c_str(), drifted_spec.drift, pre_drift,
+              post_drift, recovered,
+              static_cast<unsigned long long>(driver.refreshes()),
+              100.0 * recovery,
+              static_cast<unsigned long long>(driver.drift_events()),
+              registry->latest(gesture->tenant)->key().c_str());
+  if (driver.refreshes() == 0) {
+    std::fprintf(stderr,
+                 "ZOO FAILED: drift loop never published a refresh\n");
+    ok = false;
+  }
+  maybe_write_metrics(flags);
+  if (ok) std::printf("ZOO OK\n");
+  return ok ? 0 : 1;
+}
+
 /// Prints the runtime dispatch picture: detected CPU features, which
 /// SIMD ISA variants this binary carries and which the CPU can run, the
 /// table each primitive dispatches to (with any UNIVSA_FORCE_ISA
@@ -813,10 +1228,10 @@ int cmd_selftest() {
 void usage() {
   std::fputs(
       "usage: univsa_cli <datagen|train|eval|parity|info|adapt|"
-      "export-c|export-rtl|stats|search|backends|faultcheck|selftest> "
-      "[--flag value ...]\n"
+      "export-c|export-rtl|stats|search|zoo|backends|faultcheck|"
+      "selftest> [--flag value ...]\n"
       "flag reference: docs/CLI.md; serving/robustness guide: "
-      "docs/SERVING.md\n",
+      "docs/SERVING.md; multi-tenant zoo guide: docs/ZOO.md\n",
       stderr);
 }
 
@@ -841,6 +1256,7 @@ int main(int argc, char** argv) {
     if (cmd == "export-rtl") return cmd_export_rtl(flags);
     if (cmd == "stats") return cmd_stats(flags);
     if (cmd == "search") return cmd_search(flags);
+    if (cmd == "zoo") return cmd_zoo(flags);
     if (cmd == "backends") return cmd_backends();
     if (cmd == "faultcheck") return cmd_faultcheck(flags);
     if (cmd == "selftest") return cmd_selftest();
