@@ -21,8 +21,8 @@
 #include "univsa/common/thread_pool.h"
 #include "univsa/data/benchmarks.h"
 #include "univsa/runtime/registry.h"
+#include "univsa/report/provenance.h"
 #include "univsa/telemetry/metrics.h"
-#include "univsa/telemetry/provenance.h"
 
 namespace univsa::bench {
 
@@ -105,7 +105,7 @@ inline double backend_accuracy(const Args& args, const vsa::Model& model,
 /// so a bench record is always attributable to an exact build.
 inline std::string json_runtime_fields(const Args& args) {
   return "  \"backend\": \"" + args.backend + "\",\n" +
-         telemetry::provenance_json_fields();
+         report::provenance_json_fields();
 }
 
 /// Registry-routed bench timer: repeats `fn` (one call = `batch`

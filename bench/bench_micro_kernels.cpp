@@ -21,7 +21,7 @@
 #include "univsa/data/benchmarks.h"
 #include "univsa/hw/functional_sim.h"
 #include "univsa/report/table.h"
-#include "univsa/telemetry/provenance.h"
+#include "univsa/report/provenance.h"
 #include "univsa/vsa/infer_engine.h"
 #include "univsa/vsa/ldc_model.h"
 #include "univsa/vsa/model.h"
@@ -421,7 +421,7 @@ void write_bench_micro_json(const std::vector<SimdRow>& rows) {
        << "  \"reduction_words\": " << kReductionWords << ",\n"
        << "  \"sweep_words\": " << kSweepWords << ",\n"
        << "  \"sweep_kernels\": " << kSweepKernels << ",\n"
-       << univsa::telemetry::provenance_json_fields()
+       << univsa::report::provenance_json_fields()
        << "  \"kernels\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     json << "    {\"primitive\": \"" << rows[i].primitive << "\", \"isa\": \""

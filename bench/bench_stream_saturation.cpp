@@ -135,15 +135,20 @@ int main(int argc, char** argv) {
       [&] { backend->predict_batch(samples, out, /*parallel=*/true); });
 
   // The serving front-end: a micro-batching Server fed by concurrent
-  // submitter threads, the shape production traffic takes.
+  // submitter threads, the shape production traffic takes. Measured
+  // three ways to price request-scoped tracing: default sampled
+  // tracing (the headline server_sps), tracing disabled
+  // (trace_sample_every = 0), and telemetry disabled process-wide.
+  // timed_sps records into the histogram unconditionally, so the
+  // telemetry-off pass still times correctly.
   runtime::ServerOptions server_options;
   server_options.backend = args.backend;
   server_options.max_batch = 32;
   server_options.max_delay_us = 100;
-  double server_sps = 0.0;
   double server_mean_batch = 0.0;
-  {
-    runtime::Server server(model, server_options);
+  const auto serve_sps = [&](const char* label,
+                             const runtime::ServerOptions& options) {
+    runtime::Server server(model, options);
     const std::size_t submitters = 4;
     const auto pump = [&] {
       std::vector<std::thread> threads;
@@ -159,9 +164,27 @@ int main(int argc, char** argv) {
       for (auto& t : threads) t.join();
     };
     pump();  // warm
-    server_sps = bench::timed_sps("stream.server", n_samples, pump);
+    const double sps = bench::timed_sps(label, n_samples, pump);
     server_mean_batch = server.stats().mean_batch();
-  }
+    return sps;
+  };
+  const double server_sps = serve_sps("stream.server", server_options);
+  const double headline_mean_batch = server_mean_batch;
+  runtime::ServerOptions untraced_options = server_options;
+  untraced_options.trace_sample_every = 0;
+  const double server_sps_untraced =
+      serve_sps("stream.server_untraced", untraced_options);
+  telemetry::set_enabled(false);
+  const double server_sps_telemetry_off =
+      serve_sps("stream.server_telemetry_off", server_options);
+  telemetry::set_enabled(true);
+  server_mean_batch = headline_mean_batch;
+  // Positive = sampled tracing costs throughput vs the untraced server.
+  const double trace_overhead_pct =
+      server_sps_untraced <= 0.0
+          ? 0.0
+          : 100.0 * (server_sps_untraced - server_sps) /
+                server_sps_untraced;
 
   // ---- Overload behaviour: the robustness layer under pressure ----
   //
@@ -292,7 +315,17 @@ int main(int argc, char** argv) {
                         report::fmt(server_mean_batch, 1) + ")",
                     report::fmt(server_sps, 0),
                     report::fmt(server_sps / reference_sps, 2)});
+  sw_table.add_row({"server, tracing off",
+                    report::fmt(server_sps_untraced, 0),
+                    report::fmt(server_sps_untraced / reference_sps, 2)});
+  sw_table.add_row({"server, telemetry off",
+                    report::fmt(server_sps_telemetry_off, 0),
+                    report::fmt(server_sps_telemetry_off / reference_sps,
+                                2)});
   std::fputs(sw_table.to_string().c_str(), stdout);
+  std::printf("sampled-tracing overhead: %.2f%% of untraced server "
+              "throughput\n",
+              trace_overhead_pct);
 
   {
     std::ofstream json("BENCH_stream.json");
@@ -311,6 +344,12 @@ int main(int argc, char** argv) {
          << "  \"engine_parallel_speedup\": "
          << report::fmt(engine_parallel_sps / reference_sps, 3) << ",\n"
          << "  \"server_sps\": " << report::fmt(server_sps, 1) << ",\n"
+         << "  \"server_sps_untraced\": "
+         << report::fmt(server_sps_untraced, 1) << ",\n"
+         << "  \"server_sps_telemetry_off\": "
+         << report::fmt(server_sps_telemetry_off, 1) << ",\n"
+         << "  \"trace_overhead_pct\": "
+         << report::fmt(trace_overhead_pct, 2) << ",\n"
          << "  \"server_mean_batch\": "
          << report::fmt(server_mean_batch, 2) << ",\n"
          << "  \"overload_shed_rate\": "

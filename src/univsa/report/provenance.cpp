@@ -1,0 +1,48 @@
+#include "univsa/report/provenance.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+namespace univsa::report {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string provenance_json_fields(const telemetry::BuildInfo& info) {
+  std::ostringstream os;
+  os << "  \"git_sha\": \"" << json_escape(info.git_sha) << "\",\n"
+     << "  \"compiler\": \"" << json_escape(info.compiler) << "\",\n"
+     << "  \"build_type\": \"" << json_escape(info.build_type) << "\",\n"
+     << "  \"build_flags\": \"" << json_escape(info.flags) << "\",\n"
+     << "  \"simd_isa\": \"" << json_escape(info.simd_isa) << "\",\n"
+     << "  \"pool_threads\": " << info.threads << ",\n"
+     << "  \"telemetry_compiled_in\": "
+     << (info.telemetry_compiled_in ? "true" : "false") << ",\n";
+  return os.str();
+}
+
+std::string provenance_json_fields() {
+  return provenance_json_fields(telemetry::build_info());
+}
+
+}  // namespace univsa::report

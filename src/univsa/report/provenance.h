@@ -1,0 +1,24 @@
+// The one provenance-block emitter every JSON record shares.
+//
+// BENCH_*.json writers, metrics_snapshot.json (telemetry::to_json) and
+// the flight recorder all stamp the same build-provenance fields; this
+// helper is the single formatter, so the records can never drift apart
+// field-by-field. Values are JSON-escaped at emit.
+#pragma once
+
+#include <string>
+
+#include "univsa/telemetry/provenance.h"
+
+namespace univsa::report {
+
+/// `info` rendered as embeddable JSON fields (no surrounding braces),
+/// two-space indented, trailing comma included:
+///   "git_sha": "...",\n  "compiler": "...",\n ...
+std::string provenance_json_fields(const telemetry::BuildInfo& info);
+
+/// Convenience overload over the current process
+/// (telemetry::build_info(); thread count sampled now).
+std::string provenance_json_fields();
+
+}  // namespace univsa::report

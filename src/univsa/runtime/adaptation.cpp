@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "univsa/common/contracts.h"
+#include "univsa/telemetry/flight_recorder.h"
 #include "univsa/telemetry/metrics.h"
 
 namespace univsa::runtime {
@@ -205,7 +206,13 @@ bool AdaptationDriver::observe(const std::vector<std::uint16_t>& values,
     // refresh trains on the post-drift distribution. min_refresh_samples
     // then gates the refresh on enough *drifted* samples.
     reservoir_.clear();
-    if (telemetry::enabled()) adapt_metrics().drift_events.add();
+    if (telemetry::enabled()) {
+      adapt_metrics().drift_events.add();
+      telemetry::flightrec_record(
+          telemetry::FlightEventType::kDriftLatched, tenant_.c_str(),
+          drift_events_,
+          static_cast<std::uint64_t>(detector_.recent_accuracy() * 1000.0));
+    }
   }
   if (drift_latched_ &&
       reservoir_.size() >= options_.min_refresh_samples &&

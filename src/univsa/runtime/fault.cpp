@@ -1,5 +1,6 @@
 #include "univsa/runtime/fault.h"
 
+#include "univsa/telemetry/flight_recorder.h"
 #include "univsa/telemetry/metrics.h"
 
 namespace univsa::runtime {
@@ -72,13 +73,25 @@ FaultDecision FaultPlan::next(std::size_t lane) noexcept {
   const FaultDecision d = at(lane, n);
   if (d.error) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    if (telemetry::enabled()) global_metrics().errors.add();
+    if (telemetry::enabled()) {
+      global_metrics().errors.add();
+      telemetry::flightrec_record(telemetry::FlightEventType::kFaultInjected,
+                                  "error", lane, n);
+    }
   } else if (d.stall) {
     stalls_.fetch_add(1, std::memory_order_relaxed);
-    if (telemetry::enabled()) global_metrics().stalls.add();
+    if (telemetry::enabled()) {
+      global_metrics().stalls.add();
+      telemetry::flightrec_record(telemetry::FlightEventType::kFaultInjected,
+                                  "stall", lane, n);
+    }
   } else if (d.delay_us != 0) {
     slowdowns_.fetch_add(1, std::memory_order_relaxed);
-    if (telemetry::enabled()) global_metrics().slowdowns.add();
+    if (telemetry::enabled()) {
+      global_metrics().slowdowns.add();
+      telemetry::flightrec_record(telemetry::FlightEventType::kFaultInjected,
+                                  "slowdown", lane, n);
+    }
   }
   return d;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "univsa/common/contracts.h"
+#include "univsa/telemetry/flight_recorder.h"
 #include "univsa/telemetry/metrics.h"
 
 namespace univsa::runtime {
@@ -96,7 +97,12 @@ std::uint64_t ModelRegistry::publish(const std::string& tenant_name,
   if (telemetry::enabled()) {
     RegistryMetrics& g = registry_metrics();
     g.publishes.add();
-    if (version > 1) g.hot_swaps.add();
+    if (version > 1) {
+      g.hot_swaps.add();
+      telemetry::flightrec_record(telemetry::FlightEventType::kHotSwap,
+                                  tenant_name.c_str(), version,
+                                  version - 1);
+    }
   }
   return version;
 }

@@ -4,9 +4,13 @@
 #include <chrono>
 #include <optional>
 
+#include <cstring>
+
 #include "univsa/common/contracts.h"
 #include "univsa/runtime/registry.h"
+#include "univsa/telemetry/flight_recorder.h"
 #include "univsa/telemetry/metrics.h"
+#include "univsa/telemetry/trace.h"
 
 namespace univsa::runtime {
 
@@ -50,6 +54,25 @@ struct GlobalServerMetrics {
 GlobalServerMetrics& global_metrics() {
   static GlobalServerMetrics g;
   return g;
+}
+
+// One already-timed span pushed straight into the trace ring — how the
+// serving layer emits request-tree spans AFTER promise fulfillment
+// (RAII TraceSpan would time the push itself onto the critical path).
+void push_span(const char* name, std::uint64_t trace_id,
+               std::uint64_t span_id, std::uint64_t parent_span,
+               std::uint64_t start_ns, std::uint64_t end_ns,
+               std::uint64_t detail) {
+  telemetry::TraceEvent event;
+  std::strncpy(event.name.data(), name, event.name.size() - 1);
+  event.start_ns = start_ns;
+  event.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  event.detail = detail;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_span = parent_span;
+  event.thread = static_cast<std::uint32_t>(telemetry::thread_index());
+  telemetry::trace_push(event);
 }
 
 // The legacy single-model path: a private one-tenant registry holding a
@@ -133,12 +156,17 @@ void Server::update_health_locked() {
     desired = HealthState::kServing;
   }
   if (desired == health_) return;
+  const HealthState previous = health_;
   health_ = desired;
   health_transitions_.add();
   if (telemetry::enabled()) {
     GlobalServerMetrics& g = global_metrics();
     g.health_transitions.add();
     g.health_state.set(static_cast<double>(desired));
+    telemetry::flightrec_record(
+        telemetry::FlightEventType::kHealthTransition, to_string(desired),
+        static_cast<std::uint64_t>(previous),
+        static_cast<std::uint64_t>(desired));
   }
 }
 
@@ -233,6 +261,9 @@ SubmitStatus Server::admit_locked(Request&& request,
     if (telemetry::enabled()) {
       global_metrics().shed.add();
       tenant.g_shed->add();
+      telemetry::flightrec_record(telemetry::FlightEventType::kShed,
+                                  tenant.name.c_str(), tenant.queued,
+                                  tenant.policy.queue_quota);
     }
     if (shed_reason != nullptr) {
       *shed_reason = "tenant admission quota reached";
@@ -245,6 +276,9 @@ SubmitStatus Server::admit_locked(Request&& request,
     if (telemetry::enabled()) {
       global_metrics().shed.add();
       tenant.g_shed->add();
+      telemetry::flightrec_record(telemetry::FlightEventType::kShed,
+                                  tenant.name.c_str(), total_queued_,
+                                  watermark_);
     }
     if (shed_reason != nullptr) {
       *shed_reason = "queue depth at the shed watermark";
@@ -269,6 +303,10 @@ SubmitStatus Server::admit_locked(Request&& request,
     if (telemetry::enabled()) {
       global_metrics().shed.add();
       evicted->tenant->g_shed->add();
+      telemetry::flightrec_record(
+          telemetry::FlightEventType::kEviction,
+          evicted->tenant->name.c_str(), total_queued_,
+          static_cast<std::uint64_t>(request.priority));
     }
   }
   request.submit_ns = telemetry::now_ns();
@@ -305,6 +343,25 @@ std::future<vsa::Prediction> Server::submit(
   }
   request.snapshot = entry->latest();
 
+  // The per-request sampling decision, made exactly once at admission:
+  // either the caller already carries a trace (wire propagation) or the
+  // global coherent sampler starts one. Everything downstream keys off
+  // request.trace.sampled().
+  if (telemetry::enabled()) {
+    request.trace = options.trace.sampled()
+                        ? options.trace
+                        : telemetry::maybe_start_trace(
+                              static_cast<std::uint32_t>(
+                                  options_.trace_sample_every));
+    if (request.trace.sampled()) {
+      request.root_span = telemetry::next_trace_span_id();
+      request.entry_ns = telemetry::now_ns();
+    }
+  }
+  const telemetry::TraceContext trace = request.trace;
+  const std::uint64_t root_span = request.root_span;
+  const std::uint64_t entry_ns = request.entry_ns;
+
   std::uint64_t backoff_us =
       options.retry_backoff_us != 0 ? options.retry_backoff_us : 100;
   std::size_t attempts = 0;
@@ -340,6 +397,12 @@ std::future<vsa::Prediction> Server::submit(
   if (evicted.has_value()) {
     evicted->promise.set_exception(std::make_exception_ptr(
         RequestShed("low-priority request evicted for a higher class")));
+  }
+  if (status == SubmitStatus::kOk && trace.sampled()) {
+    // Admission span: entry to enqueued, including any backoff waits.
+    push_span("server.submit", trace.trace_id,
+              telemetry::next_trace_span_id(), root_span, entry_ns,
+              telemetry::now_ns(), attempts);
   }
   switch (status) {
     case SubmitStatus::kOk:
@@ -383,6 +446,21 @@ SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
   }
   request.snapshot = entry->latest();
 
+  if (telemetry::enabled()) {
+    request.trace = options.trace.sampled()
+                        ? options.trace
+                        : telemetry::maybe_start_trace(
+                              static_cast<std::uint32_t>(
+                                  options_.trace_sample_every));
+    if (request.trace.sampled()) {
+      request.root_span = telemetry::next_trace_span_id();
+      request.entry_ns = telemetry::now_ns();
+    }
+  }
+  const telemetry::TraceContext trace = request.trace;
+  const std::uint64_t root_span = request.root_span;
+  const std::uint64_t entry_ns = request.entry_ns;
+
   std::optional<Request> evicted;
   SubmitStatus status;
   {
@@ -401,6 +479,11 @@ SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
     evicted->promise.set_exception(std::make_exception_ptr(
         RequestShed("low-priority request evicted for a higher class")));
   }
+  if (status == SubmitStatus::kOk && trace.sampled()) {
+    push_span("server.submit", trace.trace_id,
+              telemetry::next_trace_span_id(), root_span, entry_ns,
+              telemetry::now_ns(), 0);
+  }
   if (status == SubmitStatus::kOk && out != nullptr) {
     *out = std::move(future);
   }
@@ -413,6 +496,9 @@ void Server::shutdown() {
     stopping_ = true;
     update_health_locked();  // -> kDraining (counts the transition)
   }
+  // One-shot post-mortem on entering draining, if an operator armed it
+  // (telemetry::flightrec_arm_draining_dump); a no-op otherwise.
+  telemetry::flightrec_on_draining();
   queue_cv_.notify_all();
   space_cv_.notify_all();
   std::lock_guard<std::mutex> jlock(join_mutex_);
@@ -570,6 +656,14 @@ void Server::worker_loop(std::size_t worker) {
       }
       if (telemetry::enabled()) {
         global_metrics().deadline_rejected.add(expired.size());
+        const std::uint64_t now = telemetry::now_ns();
+        for (const Request& request : expired) {
+          telemetry::flightrec_record(
+              telemetry::FlightEventType::kDeadlineRejected,
+              request.tenant->name.c_str(),
+              now > request.deadline_ns ? now - request.deadline_ns : 0,
+              static_cast<std::uint64_t>(request.priority));
+        }
       }
       for (Request& request : expired) {
         request.promise.set_exception(std::make_exception_ptr(
@@ -598,6 +692,21 @@ void Server::worker_loop(std::size_t worker) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       values[i] = std::move(batch[i].values);
     }
+    // If any request in the batch is trace-sampled, dispatch under its
+    // context: backend/engine stage spans opened on this thread parent-
+    // link into the request tree via the pre-allocated backend span id.
+    telemetry::TraceContext dispatch_ctx;
+    std::uint64_t leader_batch_span = 0;
+    std::uint64_t backend_span = 0;
+    for (const Request& request : batch) {
+      if (!request.trace.sampled()) continue;
+      leader_batch_span = telemetry::next_trace_span_id();
+      backend_span = telemetry::next_trace_span_id();
+      dispatch_ctx.trace_id = request.trace.trace_id;
+      dispatch_ctx.span_id = backend_span;
+      break;
+    }
+
     std::exception_ptr error;
     Backend* backend = nullptr;
     bool parallel = false;
@@ -610,6 +719,7 @@ void Server::worker_loop(std::size_t worker) {
     }
     if (error == nullptr) {
       try {
+        const telemetry::ScopedTraceContext trace_scope(dispatch_ctx);
         backend->predict_batch(values, predictions, parallel);
       } catch (...) {
         error = std::current_exception();
@@ -646,6 +756,33 @@ void Server::worker_loop(std::size_t worker) {
     } else {
       for (std::size_t i = 0; i < batch.size(); ++i) {
         batch[i].promise.set_value(std::move(predictions[i]));
+      }
+    }
+
+    // Request-tree emission happens strictly AFTER the promises are
+    // fulfilled: sampled requests never delay the reply (the same
+    // off-the-critical-path invariant stats_race_test pins for stats,
+    // which are recorded just before fulfillment above).
+    if (backend_span != 0) {
+      push_span("server.backend", dispatch_ctx.trace_id, backend_span,
+                leader_batch_span, dequeue_ns, done_ns, batch.size());
+      bool leader = true;
+      for (const Request& request : batch) {
+        if (!request.trace.sampled()) continue;
+        const std::uint64_t trace_id = request.trace.trace_id;
+        // The leader's batch span owns the shared backend dispatch
+        // span; other sampled members of the same batch get their own.
+        const std::uint64_t batch_span =
+            leader ? leader_batch_span : telemetry::next_trace_span_id();
+        leader = false;
+        push_span("server.queue", trace_id,
+                  telemetry::next_trace_span_id(), request.root_span,
+                  request.submit_ns, dequeue_ns, 0);
+        push_span("server.batch", trace_id, batch_span, request.root_span,
+                  dequeue_ns, done_ns, batch.size());
+        push_span("server.request", trace_id, request.root_span,
+                  request.trace.span_id, request.entry_ns, done_ns,
+                  request.snapshot->version());
       }
     }
   }

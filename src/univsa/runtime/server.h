@@ -63,6 +63,7 @@
 #include "univsa/runtime/fault.h"
 #include "univsa/runtime/model_registry.h"
 #include "univsa/telemetry/metrics.h"
+#include "univsa/telemetry/trace.h"
 #include "univsa/vsa/model.h"
 
 namespace univsa::runtime {
@@ -120,6 +121,13 @@ struct ServerOptions {
   /// Per-worker cap on cached backend instances (distinct model
   /// snapshots served without a rebuild); least-recently-used beyond it.
   std::size_t backend_cache = 4;
+  /// Request-scoped tracing: sample every Nth admitted request into a
+  /// complete parent-linked span tree (submit, queue wait, batch,
+  /// backend stages) in the telemetry trace ring. The decision is made
+  /// once at admission by a global counter — coherent per request, not
+  /// per probe. 0 disables sampling; requests arriving with their own
+  /// SubmitOptions::trace are always recorded.
+  std::size_t trace_sample_every = 64;
 };
 
 /// Per-request robustness knobs; default-constructed == the original
@@ -144,6 +152,11 @@ struct SubmitOptions {
   /// First backoff wait; doubles after every retry. 0 falls back to
   /// 100 us.
   std::uint64_t retry_backoff_us = 100;
+  /// Propagate an existing trace (e.g. a front-end that already made
+  /// the sampling decision): when sampled(), this request joins that
+  /// trace unconditionally. Default (unsampled) lets the server decide
+  /// per ServerOptions::trace_sample_every.
+  telemetry::TraceContext trace;
 };
 
 enum class SubmitStatus {
@@ -330,6 +343,11 @@ class Server {
     /// The model version this request serves on, resolved at submit.
     SnapshotPtr snapshot;
     TenantState* tenant = nullptr;
+    /// Sampled trace identity (trace_id 0 = untraced — the common case;
+    /// every trace touch downstream is guarded on it).
+    telemetry::TraceContext trace;
+    std::uint64_t root_span = 0;  ///< "server.request" span id
+    std::uint64_t entry_ns = 0;   ///< submit() entry (root span start)
   };
 
   void worker_loop(std::size_t worker);

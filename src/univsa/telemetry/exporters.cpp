@@ -7,6 +7,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "univsa/report/provenance.h"
+
 namespace univsa::telemetry {
 
 namespace {
@@ -191,21 +193,7 @@ std::string to_prometheus(const Snapshot& snapshot) {
 
 std::string to_json(const Snapshot& snapshot) {
   std::ostringstream os;
-  os << "{\n"
-     << "  \"git_sha\": \"" << json_escape(snapshot.build.git_sha)
-     << "\",\n"
-     << "  \"compiler\": \"" << json_escape(snapshot.build.compiler)
-     << "\",\n"
-     << "  \"build_type\": \"" << json_escape(snapshot.build.build_type)
-     << "\",\n"
-     << "  \"build_flags\": \"" << json_escape(snapshot.build.flags)
-     << "\",\n"
-     << "  \"simd_isa\": \"" << json_escape(snapshot.build.simd_isa)
-     << "\",\n"
-     << "  \"pool_threads\": " << snapshot.build.threads << ",\n"
-     << "  \"telemetry_compiled_in\": "
-     << (snapshot.build.telemetry_compiled_in ? "true" : "false")
-     << ",\n";
+  os << "{\n" << report::provenance_json_fields(snapshot.build);
 
   os << "  \"counters\": {";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
@@ -229,8 +217,8 @@ std::string to_json(const Snapshot& snapshot) {
        << fmt_double(h.sum) << ", \"min\": " << h.min << ", \"max\": "
        << h.max << ", \"mean\": " << fmt_double(h.mean())
        << ", \"p50\": " << h.percentile(0.50) << ", \"p90\": "
-       << h.percentile(0.90) << ", \"p99\": " << h.percentile(0.99)
-       << ", \"buckets\": [";
+       << h.percentile(0.90) << ", \"p95\": " << h.percentile(0.95)
+       << ", \"p99\": " << h.percentile(0.99) << ", \"buckets\": [";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       os << (b ? ", " : "") << "[" << h.buckets[b].upper << ", "
          << h.buckets[b].count << "]";
@@ -257,6 +245,41 @@ bool write_json_file(const std::string& path, std::size_t max_spans) {
   std::ofstream out(path);
   if (!out) return false;
   out << to_json(snapshot(max_spans));
+  return static_cast<bool>(out);
+}
+
+std::string export_trace_json(const std::vector<TraceEvent>& events) {
+  // Chrome trace-event format: an array of complete ("ph":"X") events
+  // with microsecond timestamps. chrome://tracing and the Perfetto UI
+  // lay spans out per tid; the trace/span/parent ids ride in args so
+  // a sampled request's tree reconstructs exactly.
+  std::ostringstream os;
+  os << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    char ts[64];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(e.start_ns) / 1000.0);
+    char dur[64];
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(e.duration_ns) / 1000.0);
+    os << (i ? ",\n" : "") << "{\"name\": \"" << json_escape(e.name.data())
+       << "\", \"cat\": \"univsa\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << e.thread << ", \"ts\": " << ts << ", \"dur\": " << dur
+       << ", \"args\": {\"trace_id\": " << e.trace_id << ", \"span_id\": "
+       << e.span_id << ", \"parent_span\": " << e.parent_span
+       << ", \"detail\": " << e.detail << ", \"depth\": " << e.depth
+       << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool write_trace_json_file(const std::string& path,
+                           std::size_t max_events) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << export_trace_json(trace_recent(max_events));
   return static_cast<bool>(out);
 }
 

@@ -43,12 +43,22 @@ Snapshot snapshot(std::size_t max_spans = 256);
 std::string to_prometheus(const Snapshot& snapshot);
 
 /// JSON document: provenance fields, counters/gauges as objects,
-/// histograms with count/sum/min/max/mean/p50/p90/p99 and non-empty
+/// histograms with count/sum/min/max/mean/p50/p90/p95/p99 and non-empty
 /// [upper, count] buckets, plus the recent span list.
 std::string to_json(const Snapshot& snapshot);
 
 /// Convenience: snapshot() -> to_json -> `path`. Returns false (and
 /// leaves no partial file behind) when the file cannot be written.
 bool write_json_file(const std::string& path, std::size_t max_spans = 256);
+
+/// Chrome-trace-event JSON (open in chrome://tracing or the Perfetto
+/// UI): one complete "X" event per TraceEvent, microsecond timestamps,
+/// with trace_id/span_id/parent_span/detail/depth in args so sampled
+/// request trees reconstruct.
+std::string export_trace_json(const std::vector<TraceEvent>& events);
+
+/// Convenience: trace_recent(max_events) -> export_trace_json -> `path`.
+bool write_trace_json_file(const std::string& path,
+                           std::size_t max_events = kRingCapacity);
 
 }  // namespace univsa::telemetry

@@ -1,0 +1,287 @@
+#include "univsa/telemetry/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "univsa/report/provenance.h"
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::telemetry {
+
+namespace {
+
+// Same seqlock-slot ring as the trace ring (trace.cpp): writers are
+// wait-free, readers skip torn slots.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  FlightEvent event;
+};
+
+struct Ring {
+  std::array<Slot, kFlightRingCapacity> slots;
+  std::atomic<std::uint64_t> head{0};
+};
+
+Ring& ring() {
+  static Ring r;
+  return r;
+}
+
+// Registered lazily, only once telemetry is enabled, so the no-op fold
+// (UNIVSA_TELEMETRY=OFF or disabled at runtime) never touches the
+// registry — the invariant telemetry_noop_test pins.
+struct FlightMetrics {
+  Counter& events = counter("runtime.flightrec.events_total");
+  Counter& dumps = counter("runtime.flightrec.dumps_total");
+};
+
+FlightMetrics& flight_metrics() {
+  static FlightMetrics m;
+  return m;
+}
+
+// Draining-dump arming: a CLI opt-in, so unit-test server shutdowns do
+// not litter dump files. Guarded by a mutex (arming is rare and never
+// on the serving path).
+std::mutex g_drain_mutex;
+std::string g_drain_path;
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// --- Fatal-signal dump --------------------------------------------------
+//
+// The handler may run on a corrupted heap, so it formats with hand-
+// rolled, allocation-free primitives and raw write(2) only; snprintf,
+// ostringstream and the registry are off-limits.
+
+const char* g_signal_path = nullptr;
+
+std::size_t append_str(char* buf, std::size_t pos, std::size_t cap,
+                       const char* s) noexcept {
+  while (*s != '\0' && pos + 1 < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+std::size_t append_u64(char* buf, std::size_t pos, std::size_t cap,
+                       std::uint64_t v) noexcept {
+  char digits[20];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && pos + 1 < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+void write_all(int fd, const char* buf, std::size_t len) noexcept {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, buf + off, len - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Dumps the ring without locks or allocation. Subject bytes pass
+// through unescaped (they are plain identifiers the runtime wrote);
+// a post-mortem reader tolerates worse.
+void signal_safe_dump(int fd) noexcept {
+  char buf[512];
+  std::size_t pos = 0;
+  pos = append_str(buf, pos, sizeof(buf),
+                   "{\n\"kind\": \"flight_recorder\",\n\"events\": [\n");
+  write_all(fd, buf, pos);
+  Ring& r = ring();
+  const std::uint64_t head = r.head.load(std::memory_order_acquire);
+  const std::uint64_t available =
+      head < kFlightRingCapacity ? head : kFlightRingCapacity;
+  bool first = true;
+  for (std::uint64_t i = head - available; i < head; ++i) {
+    Slot& slot = r.slots[i % kFlightRingCapacity];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1) != 0) continue;
+    const FlightEvent& e = slot.event;
+    pos = 0;
+    pos = append_str(buf, pos, sizeof(buf), first ? "" : ",\n");
+    first = false;
+    pos = append_str(buf, pos, sizeof(buf), "{\"time_ns\": ");
+    pos = append_u64(buf, pos, sizeof(buf), e.time_ns);
+    pos = append_str(buf, pos, sizeof(buf), ", \"type\": \"");
+    pos = append_str(buf, pos, sizeof(buf), to_string(e.type));
+    pos = append_str(buf, pos, sizeof(buf), "\", \"subject\": \"");
+    pos = append_str(buf, pos, sizeof(buf), e.subject.data());
+    pos = append_str(buf, pos, sizeof(buf), "\", \"a\": ");
+    pos = append_u64(buf, pos, sizeof(buf), e.a);
+    pos = append_str(buf, pos, sizeof(buf), ", \"b\": ");
+    pos = append_u64(buf, pos, sizeof(buf), e.b);
+    pos = append_str(buf, pos, sizeof(buf), ", \"thread\": ");
+    pos = append_u64(buf, pos, sizeof(buf), e.thread);
+    pos = append_str(buf, pos, sizeof(buf), "}");
+    write_all(fd, buf, pos);
+  }
+  write_all(fd, "\n]}\n", 4);
+}
+
+void fatal_signal_handler(int sig) noexcept {
+  if (g_signal_path != nullptr) {
+    const int fd = ::open(g_signal_path, O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd >= 0) {
+      signal_safe_dump(fd);
+      ::close(fd);
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+const char* to_string(FlightEventType type) noexcept {
+  switch (type) {
+    case FlightEventType::kShed: return "shed";
+    case FlightEventType::kEviction: return "eviction";
+    case FlightEventType::kDeadlineRejected: return "deadline_rejected";
+    case FlightEventType::kHealthTransition: return "health_transition";
+    case FlightEventType::kFaultInjected: return "fault_injected";
+    case FlightEventType::kHotSwap: return "hot_swap";
+    case FlightEventType::kDriftLatched: return "drift_latched";
+    case FlightEventType::kSloBreach: return "slo_breach";
+    case FlightEventType::kDump: return "dump";
+  }
+  return "unknown";
+}
+
+void flightrec_record(FlightEventType type, const char* subject,
+                      std::uint64_t a, std::uint64_t b) noexcept {
+  if (!enabled()) return;
+  Ring& r = ring();
+  const std::uint64_t n = r.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = r.slots[n % kFlightRingCapacity];
+  const std::uint64_t ticket = 2 * (n / kFlightRingCapacity) + 1;
+  slot.seq.store(ticket, std::memory_order_release);
+  FlightEvent& e = slot.event;
+  e.time_ns = now_ns();
+  e.type = type;
+  e.a = a;
+  e.b = b;
+  e.subject = {};
+  if (subject != nullptr) {
+    std::strncpy(e.subject.data(), subject, e.subject.size() - 1);
+  }
+  e.thread = static_cast<std::uint32_t>(thread_index());
+  slot.seq.store(ticket + 1, std::memory_order_release);
+  flight_metrics().events.add();
+}
+
+std::vector<FlightEvent> flightrec_recent(std::size_t max_events) {
+  Ring& r = ring();
+  const std::uint64_t head = r.head.load(std::memory_order_acquire);
+  const std::uint64_t available = std::min<std::uint64_t>(
+      head, std::min<std::uint64_t>(max_events, kFlightRingCapacity));
+  std::vector<FlightEvent> out;
+  out.reserve(available);
+  for (std::uint64_t i = head - available; i < head; ++i) {
+    Slot& slot = r.slots[i % kFlightRingCapacity];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;
+    FlightEvent copy = slot.event;
+    const std::uint64_t after = slot.seq.load(std::memory_order_acquire);
+    if (after != before) continue;
+    out.push_back(copy);
+  }
+  return out;
+}
+
+std::uint64_t flightrec_recorded() {
+  return ring().head.load(std::memory_order_relaxed);
+}
+
+void flightrec_clear() {
+  Ring& r = ring();
+  r.head.store(0, std::memory_order_relaxed);
+  for (Slot& s : r.slots) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.event = FlightEvent{};
+  }
+  const std::lock_guard<std::mutex> lock(g_drain_mutex);
+  g_drain_path.clear();
+}
+
+std::string flightrec_to_json() {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"kind\": \"flight_recorder\",\n"
+     << report::provenance_json_fields()
+     << "  \"recorded_total\": " << flightrec_recorded() << ",\n"
+     << "  \"events\": [";
+  const std::vector<FlightEvent> events = flightrec_recent();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"time_ns\": " << e.time_ns
+       << ", \"type\": \"" << to_string(e.type) << "\", \"subject\": \""
+       << json_escape(e.subject.data()) << "\", \"a\": " << e.a
+       << ", \"b\": " << e.b << ", \"thread\": " << e.thread << "}";
+  }
+  os << (events.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+bool flightrec_dump(const std::string& path) {
+  flightrec_record(FlightEventType::kDump, path.c_str());
+  std::ofstream out(path);
+  if (!out) return false;
+  out << flightrec_to_json();
+  if (!out) return false;
+  if (enabled()) flight_metrics().dumps.add();
+  return true;
+}
+
+void flightrec_arm_draining_dump(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(g_drain_mutex);
+  g_drain_path = path;
+}
+
+void flightrec_on_draining() noexcept {
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(g_drain_mutex);
+    path.swap(g_drain_path);  // one-shot
+  }
+  if (!path.empty()) flightrec_dump(path);
+}
+
+void flightrec_install_signal_handler(const char* path) {
+  g_signal_path = path;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    std::signal(sig, fatal_signal_handler);
+  }
+}
+
+}  // namespace univsa::telemetry

@@ -1,0 +1,96 @@
+// Flight recorder: a bounded lock-free ring of structured runtime
+// events — the decisions an operator needs after an incident, not the
+// per-span timings the trace ring holds. The serving layer records
+// admission sheds, evictions, deadline rejections, health transitions,
+// fault injections, hot swaps, and drift latches; the SLO engine adds
+// burn-rate breaches.
+//
+// The ring uses the same seqlock-slot design as the trace ring: writers
+// are wait-free (one relaxed fetch_add plus two sequence stores), and
+// readers skip slots caught mid-overwrite. Recording is a no-op when
+// telemetry is disabled, and the whole module folds away under
+// -DUNIVSA_TELEMETRY=OFF.
+//
+// Dump triggers (all emit a self-contained flight_recorder.json):
+//   - explicitly, via flightrec_dump(path);
+//   - a server's health entering draining, when armed with
+//     flightrec_arm_draining_dump() (CLI opt-in so unit-test shutdowns
+//     do not litter files);
+//   - a fatal signal (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL) after
+//     flightrec_install_signal_handler() — the handler formats with
+//     async-signal-safe primitives only, then re-raises.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace univsa::telemetry {
+
+enum class FlightEventType : std::uint8_t {
+  kShed = 0,            ///< admission refused (quota or watermark)
+  kEviction,            ///< queued request evicted for a higher priority
+  kDeadlineRejected,    ///< dequeued past its deadline
+  kHealthTransition,    ///< server health state changed
+  kFaultInjected,       ///< FaultPlan fired (error / stall / delay)
+  kHotSwap,             ///< registry published a new snapshot version
+  kDriftLatched,        ///< adaptation driver latched input drift
+  kSloBreach,           ///< multi-window burn-rate rule fired
+  kDump,                ///< a dump was taken (marks the file itself)
+};
+
+/// Stable lowercase name for JSON output (e.g. "health_transition").
+const char* to_string(FlightEventType type) noexcept;
+
+struct FlightEvent {
+  std::uint64_t time_ns = 0;
+  /// Event-specific payloads; meaning documented per type in
+  /// docs/TRACING.md (e.g. queue depth for sheds, old/new state for
+  /// health transitions, fault lane sequence for injections).
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::array<char, 40> subject{};  ///< tenant / lane / state name
+  FlightEventType type = FlightEventType::kShed;
+  std::uint32_t thread = 0;
+};
+
+inline constexpr std::size_t kFlightRingCapacity = 1024;
+
+/// Appends one event (wait-free). No-op while telemetry is disabled.
+void flightrec_record(FlightEventType type, const char* subject,
+                      std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+/// Most recent events, oldest first; torn slots skipped.
+std::vector<FlightEvent> flightrec_recent(
+    std::size_t max_events = kFlightRingCapacity);
+
+/// Total events ever recorded (monotonic across wraps).
+std::uint64_t flightrec_recorded();
+
+/// Test-only: empties the ring and disarms the draining dump.
+void flightrec_clear();
+
+/// Self-contained post-mortem document: build provenance plus every
+/// recent event.
+std::string flightrec_to_json();
+
+/// Writes flightrec_to_json() to `path`; bumps
+/// runtime.flightrec.dumps_total. Returns false on I/O failure.
+bool flightrec_dump(const std::string& path);
+
+/// Arms a one-shot dump to `path` the next time a server reports its
+/// health entering draining (see flightrec_on_draining).
+void flightrec_arm_draining_dump(const std::string& path);
+
+/// Called by the runtime when health enters draining; dumps once if
+/// armed, then disarms.
+void flightrec_on_draining() noexcept;
+
+/// Installs fatal-signal handlers that write the ring to `path` with
+/// async-signal-safe formatting, then re-raise the signal. `path` must
+/// outlive the process (string literal or leaked buffer).
+void flightrec_install_signal_handler(
+    const char* path = "flight_recorder.json");
+
+}  // namespace univsa::telemetry

@@ -130,8 +130,26 @@ std::uint64_t HistogramSnapshot::percentile(double q) const {
       q * static_cast<double>(count - 1)) + 1;
   std::uint64_t seen = 0;
   for (const Bucket& b : buckets) {
+    if (seen + b.count >= rank) {
+      // Interpolate linearly inside the containing log bucket: assume
+      // observations spread uniformly over [bucket_floor, upper]. Small
+      // values (< 2^kSubBits) sit in exact single-value buckets, so
+      // they come back unchanged.
+      const std::uint64_t lower = LatencyHistogram::bucket_floor(
+          LatencyHistogram::bucket_of(b.upper));
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(b.count);
+      const std::uint64_t span = b.upper - lower;
+      // Clamp in the integer domain: near 2^64 the double product can
+      // round past span, and casting an out-of-range double is UB.
+      const double offset = static_cast<double>(span) * frac + 0.5;
+      std::uint64_t off = offset >= static_cast<double>(span)
+                              ? span
+                              : static_cast<std::uint64_t>(offset);
+      if (off > span) off = span;
+      return std::max(min, std::min(lower + off, max));
+    }
     seen += b.count;
-    if (seen >= rank) return std::min(b.upper, max);
   }
   return max;
 }

@@ -1,7 +1,5 @@
 #include "univsa/telemetry/provenance.h"
 
-#include <sstream>
-
 #include "univsa/common/simd.h"
 #include "univsa/common/thread_pool.h"
 #include "univsa/telemetry/metrics.h"
@@ -48,20 +46,6 @@ BuildInfo build_info() {
   info.threads = global_pool().thread_count();
   info.telemetry_compiled_in = kCompiledIn;
   return info;
-}
-
-std::string provenance_json_fields() {
-  const BuildInfo info = build_info();
-  std::ostringstream os;
-  os << "  \"git_sha\": \"" << info.git_sha << "\",\n"
-     << "  \"compiler\": \"" << info.compiler << "\",\n"
-     << "  \"build_type\": \"" << info.build_type << "\",\n"
-     << "  \"build_flags\": \"" << info.flags << "\",\n"
-     << "  \"simd_isa\": \"" << info.simd_isa << "\",\n"
-     << "  \"pool_threads\": " << info.threads << ",\n"
-     << "  \"telemetry_compiled_in\": "
-     << (info.telemetry_compiled_in ? "true" : "false") << ",\n";
-  return os.str();
 }
 
 }  // namespace univsa::telemetry

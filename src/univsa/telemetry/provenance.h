@@ -22,13 +22,10 @@ struct BuildInfo {
   bool telemetry_compiled_in = true;
 };
 
-/// Current process provenance (thread count sampled per call).
+/// Current process provenance (thread count sampled per call). JSON
+/// emission lives in report/provenance.h — the shared helper every
+/// BENCH_*.json writer, the snapshot exporter, and the flight recorder
+/// use.
 BuildInfo build_info();
-
-/// The same record as embeddable JSON fields (no surrounding braces),
-/// two-space indented — the shared helper every BENCH_*.json writer and
-/// the snapshot exporter use. Trailing comma included:
-///   "git_sha": "...",\n  "compiler": "...",\n ...
-std::string provenance_json_fields();
 
 }  // namespace univsa::telemetry

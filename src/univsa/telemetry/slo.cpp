@@ -1,0 +1,145 @@
+#include "univsa/telemetry/slo.h"
+
+#include <algorithm>
+
+#include "univsa/telemetry/flight_recorder.h"
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::telemetry {
+
+namespace {
+
+// Cumulative (good, bad) totals for one objective, straight from the
+// registry. Latency objectives count log buckets at or below the
+// threshold as good — structural, no quantile estimation needed.
+std::pair<std::uint64_t, std::uint64_t> sample_objective(
+    const SloObjective& o) {
+  if (!o.histogram.empty()) {
+    const HistogramSnapshot h = histogram(o.histogram).snapshot();
+    std::uint64_t good = 0;
+    for (const auto& bucket : h.buckets) {
+      if (bucket.upper <= o.target_ns) good += bucket.count;
+    }
+    return {good, h.count - good};
+  }
+  return {counter(o.good_counter).total(), counter(o.bad_counter).total()};
+}
+
+// Error rate over the trailing `window` samples (delta of cumulative
+// pairs); 0 when the window saw no traffic.
+double window_error_rate(
+    const std::deque<std::pair<std::uint64_t, std::uint64_t>>& samples,
+    std::size_t window) {
+  if (samples.size() < 2) return 0.0;
+  const std::size_t last = samples.size() - 1;
+  const std::size_t first = last > window ? last - window : 0;
+  const std::uint64_t good = samples[last].first - samples[first].first;
+  const std::uint64_t bad = samples[last].second - samples[first].second;
+  const std::uint64_t total = good + bad;
+  if (total == 0) return 0.0;
+  return static_cast<double>(bad) / static_cast<double>(total);
+}
+
+struct SloMetrics {
+  Gauge& objectives = gauge("slo.objectives");
+  Counter& breaches = counter("slo.breaches_total");
+};
+
+SloMetrics& slo_metrics() {
+  static SloMetrics m;
+  return m;
+}
+
+}  // namespace
+
+SloEngine::SloEngine(std::vector<SloObjective> objectives)
+    : SloEngine(std::move(objectives), Options()) {}
+
+SloEngine::SloEngine(std::vector<SloObjective> objectives,
+                     Options options)
+    : options_(options),
+      objectives_(std::move(objectives)),
+      states_(objectives_.size()) {
+  if (enabled()) {
+    slo_metrics().objectives.set(static_cast<double>(objectives_.size()));
+  }
+}
+
+const std::vector<SloObjective>& SloEngine::objectives() const {
+  return objectives_;
+}
+
+std::vector<SloStatus> SloEngine::evaluate() {
+  std::vector<SloStatus> out;
+  out.reserve(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    State& s = states_[i];
+    const SloObjective& o = objectives_[i];
+    SloStatus st;
+    st.name = o.name;
+    if (!enabled()) {
+      out.push_back(std::move(st));
+      continue;
+    }
+    const auto [good, bad] = sample_objective(o);
+    s.samples.emplace_back(good, bad);
+    while (s.samples.size() > options_.slow_window + 1) {
+      s.samples.pop_front();
+    }
+    const double budget = std::max(1e-9, 1.0 - o.target);
+    st.good = good;
+    st.bad = bad;
+    st.fast_burn =
+        window_error_rate(s.samples, options_.fast_window) / budget;
+    st.slow_burn =
+        window_error_rate(s.samples, options_.slow_window) / budget;
+    const std::uint64_t total = good + bad;
+    st.compliance =
+        total == 0 ? 1.0
+                   : static_cast<double>(good) / static_cast<double>(total);
+    st.budget_remaining =
+        std::clamp(1.0 - (1.0 - st.compliance) / budget, 0.0, 1.0);
+    st.breached = st.fast_burn > options_.fast_burn_threshold &&
+                  st.slow_burn > options_.slow_burn_threshold;
+    if (s.fast_burn == nullptr) {
+      s.fast_burn = &gauge(labeled("slo.burn_rate_fast", "slo", o.name));
+      s.slow_burn = &gauge(labeled("slo.burn_rate_slow", "slo", o.name));
+      s.compliance = &gauge(labeled("slo.compliance", "slo", o.name));
+      s.budget =
+          &gauge(labeled("slo.error_budget_remaining", "slo", o.name));
+    }
+    s.fast_burn->set(st.fast_burn);
+    s.slow_burn->set(st.slow_burn);
+    s.compliance->set(st.compliance);
+    s.budget->set(st.budget_remaining);
+    if (st.breached && !s.breached) {
+      slo_metrics().breaches.add();
+      flightrec_record(FlightEventType::kSloBreach, o.name.c_str(),
+                       static_cast<std::uint64_t>(st.fast_burn * 1000.0),
+                       static_cast<std::uint64_t>(st.slow_burn * 1000.0));
+    }
+    s.breached = st.breached;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::vector<SloObjective> default_server_slos() {
+  std::vector<SloObjective> out;
+  SloObjective latency;
+  latency.name = "serving_latency_p99";
+  latency.histogram = "runtime.server.latency_ns";
+  latency.quantile = 0.99;
+  latency.target_ns = 25'000'000;  // 25 ms end-to-end
+  latency.target = 0.99;
+  out.push_back(std::move(latency));
+  SloObjective availability;
+  availability.name = "serving_availability";
+  availability.good_counter = "runtime.server.completed";
+  availability.bad_counter = "runtime.server.deadline_rejected_total";
+  availability.target = 0.999;
+  out.push_back(std::move(availability));
+  return out;
+}
+
+}  // namespace univsa::telemetry

@@ -1,0 +1,98 @@
+// Declarative SLOs evaluated by multi-window burn-rate rules over the
+// metrics the runtime already exports.
+//
+// An objective is either:
+//   - latency: "quantile q of <histogram> stays <= target_ns", measured
+//     structurally as the fraction of observations in log buckets at or
+//     below the threshold (no quantile estimation on the alert path);
+//   - availability: "good / (good + bad) stays >= target" over two
+//     counters (e.g. completed vs deadline-rejected requests).
+//
+// evaluate() snapshots each objective's cumulative good/bad totals,
+// derives error rates over a fast and a slow trailing window of
+// samples, and converts them to burn rates (error rate divided by the
+// objective's error budget 1 - target). A breach fires only when BOTH
+// windows burn above their thresholds — the standard multi-window rule
+// that rejects blips (fast-only) and stale averages (slow-only). Each
+// breach edge bumps slo.breaches_total and records a flight-recorder
+// event; per-objective burn/compliance/budget land in labeled slo.*
+// gauges for scrapes and the `univsa_cli top` dashboard.
+//
+// The engine registers nothing and evaluates to quiet zeros while
+// telemetry is disabled, and folds away under -DUNIVSA_TELEMETRY=OFF.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace univsa::telemetry {
+
+class Gauge;
+
+struct SloObjective {
+  std::string name;          ///< label value for slo.* metrics
+  /// Latency form: non-empty histogram name + threshold.
+  std::string histogram;
+  double quantile = 0.99;    ///< objective statement only (reporting)
+  std::uint64_t target_ns = 0;
+  /// Availability form: counter names (used when `histogram` empty).
+  std::string good_counter;
+  std::string bad_counter;
+  double target = 0.999;     ///< required good fraction, in (0, 1)
+};
+
+struct SloStatus {
+  std::string name;
+  double fast_burn = 0.0;        ///< fast-window error rate / budget
+  double slow_burn = 0.0;
+  double compliance = 1.0;       ///< lifetime good fraction
+  double budget_remaining = 1.0; ///< lifetime error budget left, [0, 1]
+  bool breached = false;         ///< both windows above threshold
+  std::uint64_t good = 0;        ///< cumulative totals at this sample
+  std::uint64_t bad = 0;
+};
+
+class SloEngine {
+ public:
+  struct Options {
+    std::size_t fast_window = 6;   ///< samples (ticks) per window
+    std::size_t slow_window = 36;
+    /// Burn thresholds; defaults follow the common 1h/6h paging rule
+    /// scaled to tick windows.
+    double fast_burn_threshold = 14.4;
+    double slow_burn_threshold = 6.0;
+  };
+
+  explicit SloEngine(std::vector<SloObjective> objectives);
+  SloEngine(std::vector<SloObjective> objectives, Options options);
+
+  /// One evaluation tick: sample every objective, update slo.* metrics,
+  /// record flight events on breach edges, return current statuses.
+  std::vector<SloStatus> evaluate();
+
+  const std::vector<SloObjective>& objectives() const;
+
+ private:
+  struct State {
+    /// Trailing cumulative (good, bad) samples, newest last.
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> samples;
+    bool breached = false;  ///< previous verdict (edge detection)
+    Gauge* fast_burn = nullptr;
+    Gauge* slow_burn = nullptr;
+    Gauge* compliance = nullptr;
+    Gauge* budget = nullptr;
+  };
+
+  Options options_;
+  std::vector<SloObjective> objectives_;
+  std::vector<State> states_;  ///< parallel to objectives_
+};
+
+/// The serving-runtime objectives `univsa_cli top` and faultcheck
+/// evaluate: p99 latency of runtime.server.latency_ns and availability
+/// of completed vs deadline-rejected requests.
+std::vector<SloObjective> default_server_slos();
+
+}  // namespace univsa::telemetry

@@ -1,20 +1,27 @@
 // Umbrella header for the telemetry subsystem (DESIGN.md §9).
 //
-//   - metrics.h    — Counter / Gauge / LatencyHistogram + the global
-//                    MetricsRegistry (lock-free hot path, merged on
-//                    scrape) and the now_ns() clock everything shares.
-//   - trace.h      — RAII TraceSpan + the bounded trace ring and the
-//                    UNIVSA_SPAN instrumentation macro.
-//   - exporters.h  — telemetry::snapshot() and the Prometheus / JSON
-//                    renderers.
-//   - provenance.h — build metadata (git SHA, compiler, flags, thread
-//                    count) stamped into snapshots and BENCH_*.json.
+//   - metrics.h         — Counter / Gauge / LatencyHistogram + the
+//                         global MetricsRegistry (lock-free hot path,
+//                         merged on scrape) and the shared now_ns().
+//   - trace.h           — RAII TraceSpan, request-scoped TraceContext,
+//                         the bounded trace ring and UNIVSA_SPAN.
+//   - flight_recorder.h — bounded ring of structured runtime events
+//                         with post-mortem dump triggers.
+//   - slo.h             — declarative objectives + multi-window
+//                         burn-rate evaluation (slo.* metrics).
+//   - exporters.h       — telemetry::snapshot(), the Prometheus / JSON
+//                         renderers, and the Perfetto trace exporter.
+//   - provenance.h      — build metadata (git SHA, compiler, flags,
+//                         thread count) stamped into snapshots and
+//                         BENCH_*.json (JSON form: report/provenance.h).
 //
 // Build with UNIVSA_TELEMETRY=OFF (-DUNIVSA_TELEMETRY_OFF) to compile
 // every span and registry access down to a no-op.
 #pragma once
 
 #include "univsa/telemetry/exporters.h"
+#include "univsa/telemetry/flight_recorder.h"
 #include "univsa/telemetry/metrics.h"
 #include "univsa/telemetry/provenance.h"
+#include "univsa/telemetry/slo.h"
 #include "univsa/telemetry/trace.h"

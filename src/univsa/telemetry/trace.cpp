@@ -25,7 +25,44 @@ Ring& ring() {
 
 thread_local std::uint16_t t_depth = 0;
 
+// The calling thread's active request-scoped context. Installed by
+// ScopedTraceContext (server workers around backend dispatch) and
+// narrowed by each nested TraceSpan so children parent-link correctly.
+thread_local TraceContext t_context;
+
+// Id allocator shared by traces and spans; starts at 1 so 0 stays the
+// "unsampled / no parent" sentinel.
+std::atomic<std::uint64_t> g_next_id{1};
+
+// Global admission counter behind maybe_start_trace: exact coherent
+// sampling (every N-th request process-wide), unlike the per-thread
+// sample_tick() it supersedes on the request path.
+std::atomic<std::uint64_t> g_admissions{0};
+
 }  // namespace
+
+std::uint64_t next_trace_span_id() noexcept {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext maybe_start_trace(std::uint32_t every) noexcept {
+  if (every == 0 || !enabled()) return TraceContext{};
+  const std::uint64_t n =
+      g_admissions.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_id = next_trace_span_id();
+  return ctx;
+}
+
+TraceContext current_trace() noexcept { return t_context; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) noexcept
+    : saved_(t_context) {
+  t_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_context = saved_; }
 
 void trace_push(const TraceEvent& event) noexcept {
   Ring& r = ring();
@@ -76,6 +113,14 @@ TraceSpan::TraceSpan(const char* name,
   if (!enabled()) return;
   active_ = true;
   ++t_depth;
+  if (t_context.sampled()) {
+    // Join the thread's active request trace: become the parent that
+    // any nested span links to, restoring the old parent on exit.
+    trace_id_ = t_context.trace_id;
+    parent_span_ = t_context.span_id;
+    span_id_ = next_trace_span_id();
+    t_context.span_id = span_id_;
+  }
   start_ = now_ns();
 }
 
@@ -83,12 +128,16 @@ TraceSpan::~TraceSpan() {
   if (!active_) return;
   const std::uint64_t duration = now_ns() - start_;
   const std::uint16_t depth = --t_depth;
+  if (trace_id_ != 0) t_context.span_id = parent_span_;
   if (histogram_ != nullptr) histogram_->record(duration);
   TraceEvent event;
   std::strncpy(event.name.data(), name_, event.name.size() - 1);
   event.start_ns = start_;
   event.duration_ns = duration;
   event.detail = detail_;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_span = parent_span_;
   event.thread = static_cast<std::uint32_t>(thread_index());
   event.depth = depth;
   trace_push(event);

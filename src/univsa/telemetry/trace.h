@@ -7,6 +7,12 @@
 // ring. Spans nest: a thread-local depth counter tags each event with
 // its nesting level, so the exporter can reconstruct stage trees.
 //
+// Request-scoped tracing: a TraceContext created by maybe_start_trace()
+// at admission gives every span of one sampled request a shared 64-bit
+// trace id and a parent span id. Spans opened while a context is active
+// (installed with ScopedTraceContext) parent-link automatically; the
+// Perfetto exporter (exporters.h) turns the ring into a tree view.
+//
 // The ring is wait-free for writers (one relaxed fetch_add + a seqlock
 // per slot); readers validate each slot's sequence stamp and drop
 // entries that were being overwritten mid-read. Old events are simply
@@ -33,8 +39,51 @@ struct TraceEvent {
   /// Stage-specific payload (e.g. modelled hardware cycles for hwsim
   /// spans, batch size for server dispatch spans). 0 when unused.
   std::uint64_t detail = 0;
+  /// Request-scoped identity: all spans of one sampled request share a
+  /// trace_id; parent_span links them into a tree. All three are 0 for
+  /// flat (non-request-scoped) spans.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
   std::uint32_t thread = 0;  ///< telemetry::thread_index()
   std::uint16_t depth = 0;   ///< nesting level at the time of the span
+};
+
+/// Per-request trace identity, decided once at admission and carried
+/// through SubmitOptions -> queue -> batch -> backend stages. trace_id
+/// of 0 means "not sampled": every probe downstream stays inert.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = unsampled
+  std::uint64_t span_id = 0;   ///< span the next child should parent to
+  bool sampled() const noexcept { return trace_id != 0; }
+};
+
+/// Process-unique, never-zero id for a new trace or span.
+std::uint64_t next_trace_span_id() noexcept;
+
+/// Coherent head-based sampling: one global admission counter decides
+/// once per request. Returns a fresh root context for every `every`-th
+/// call, an unsampled context otherwise (and always when `every` is 0
+/// or telemetry is disabled). Unlike sample_tick() this is exact under
+/// concurrency — N calls yield floor-exact N/every sampled requests.
+TraceContext maybe_start_trace(std::uint32_t every) noexcept;
+
+/// The calling thread's active trace context (unsampled if none).
+TraceContext current_trace() noexcept;
+
+/// Installs `ctx` as the calling thread's active context for the
+/// current scope; spans opened underneath parent-link into it. Restores
+/// the previous context on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) noexcept;
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 inline constexpr std::size_t kRingCapacity = 4096;
@@ -52,6 +101,14 @@ std::uint64_t trace_pushed();
 
 /// Test-only: empties the ring.
 void trace_clear();
+
+/// True when the calling thread is inside a sampled request — the cheap
+/// guard hot paths use to upgrade from flat sampling to request-scoped
+/// tracing. Folds to compile-time false when telemetry is compiled off.
+[[maybe_unused]] static bool trace_active() noexcept {
+  if constexpr (!kCompiledIn) return false;
+  return current_trace().sampled();
+}
 
 class TraceSpan {
  public:
@@ -73,6 +130,9 @@ class TraceSpan {
   LatencyHistogram* histogram_;
   std::uint64_t start_ = 0;
   std::uint64_t detail_ = 0;
+  std::uint64_t trace_id_ = 0;    ///< joined request trace (0 = flat span)
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_ = 0;
   bool active_ = false;
 };
 

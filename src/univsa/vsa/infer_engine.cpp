@@ -11,7 +11,10 @@ namespace {
 // One sample in every 64 runs the stage-traced pipeline, so the
 // per-stage latency histograms follow production traffic while the
 // batched hot path keeps its <1% telemetry budget (the traced variant
-// is bit-identical — it is the same four stage calls).
+// is bit-identical — it is the same four stage calls). A thread serving
+// a trace-sampled request (telemetry::trace_active) always takes the
+// traced pipeline instead, so its stage spans join the request tree —
+// request-scoped tracing supersedes this flat fallback.
 constexpr std::uint32_t kStageSampleEvery = 64;
 
 }  // namespace
@@ -69,7 +72,8 @@ void InferEngine::predict_batch(
   dispatch(samples.size(), parallel,
            [&](InferScratch& s, std::size_t begin, std::size_t end) {
              for (std::size_t i = begin; i < end; ++i) {
-               if (telemetry::sample_tick(kStageSampleEvery)) {
+               if (telemetry::trace_active() ||
+                   telemetry::sample_tick(kStageSampleEvery)) {
                  model_->predict_into_traced(samples[i], s);
                } else {
                  model_->predict_into(samples[i], s);
@@ -89,7 +93,8 @@ void InferEngine::predict_batch(const data::Dataset& dataset,
   dispatch(dataset.size(), parallel,
            [&](InferScratch& s, std::size_t begin, std::size_t end) {
              for (std::size_t i = begin; i < end; ++i) {
-               if (telemetry::sample_tick(kStageSampleEvery)) {
+               if (telemetry::trace_active() ||
+                   telemetry::sample_tick(kStageSampleEvery)) {
                  model_->predict_into_traced(dataset.values(i), s);
                } else {
                  model_->predict_into(dataset.values(i), s);
@@ -125,7 +130,8 @@ double InferEngine::accuracy(const data::Dataset& dataset, bool parallel) {
            [&](InferScratch& s, std::size_t begin, std::size_t end) {
              std::size_t local = 0;
              for (std::size_t i = begin; i < end; ++i) {
-               if (telemetry::sample_tick(kStageSampleEvery)) {
+               if (telemetry::trace_active() ||
+                   telemetry::sample_tick(kStageSampleEvery)) {
                  model_->predict_into_traced(dataset.values(i), s);
                } else {
                  model_->predict_into(dataset.values(i), s);

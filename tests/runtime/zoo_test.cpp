@@ -151,13 +151,15 @@ TEST(ZooServer, TenantQuotaShedsAndCounts) {
 
   // Stall dispatch long enough to pile submissions up: submit from this
   // thread faster than one worker can drain a 2-deep quota. Shedding is
-  // timing-dependent, so loop until we see at least one quota refusal.
+  // timing-dependent, so loop until we see at least one quota refusal
+  // (a generous cap: under heavy parallel-test load the worker can keep
+  // pace for surprisingly long stretches).
   const auto samples = make_samples(config_a(), 1, 4);
   SubmitOptions so;
   so.tenant = "capped";
   std::vector<std::future<vsa::Prediction>> futures;
   std::size_t shed = 0;
-  for (std::size_t i = 0; i < 200 && shed == 0; ++i) {
+  for (std::size_t i = 0; i < 20000 && shed == 0; ++i) {
     std::future<vsa::Prediction> out;
     const SubmitStatus status = server.try_submit(samples[0], so, &out);
     if (status == SubmitStatus::kOk) {
@@ -195,7 +197,7 @@ TEST(ZooServer, PriorityClampKeepsTenantSheddable) {
   so.priority = Priority::kHigh;  // clamped to kLow by policy
   std::vector<std::future<vsa::Prediction>> futures;
   std::size_t shed = 0;
-  for (std::size_t i = 0; i < 200 && shed == 0; ++i) {
+  for (std::size_t i = 0; i < 20000 && shed == 0; ++i) {
     std::future<vsa::Prediction> out;
     const SubmitStatus status = server.try_submit(samples[0], so, &out);
     if (status == SubmitStatus::kOk) {

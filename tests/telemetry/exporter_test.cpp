@@ -73,7 +73,7 @@ TEST(ExporterGolden, JsonFormat) {
       "  \"gauges\": {\"queue_depth\": 3.5},\n"
       "  \"histograms\": {\n"
       "    \"lat_ns\": {\"count\": 3, \"sum\": 9, \"min\": 2, \"max\": 4,"
-      " \"mean\": 3, \"p50\": 4, \"p90\": 4, \"p99\": 4,"
+      " \"mean\": 3, \"p50\": 4, \"p90\": 4, \"p95\": 4, \"p99\": 4,"
       " \"buckets\": [[2, 1], [4, 2]]}\n"
       "  },\n"
       "  \"spans_pushed\": 7,\n"

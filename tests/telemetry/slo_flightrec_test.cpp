@@ -1,0 +1,224 @@
+// Flight-recorder ring semantics and SLO burn-rate evaluation.
+//
+// Both modules share process-global state (the flight ring, the metric
+// registry), so tests clear the ring first and use test-unique metric
+// names. Suites are named Telemetry* so the TSan CI job's -R regex
+// picks them up.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "univsa/telemetry/flight_recorder.h"
+#include "univsa/telemetry/metrics.h"
+#include "univsa/telemetry/slo.h"
+
+namespace univsa::telemetry {
+namespace {
+
+std::string tmp_path(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::size_t breach_events() {
+  std::size_t n = 0;
+  for (const FlightEvent& e : flightrec_recent()) {
+    if (e.type == FlightEventType::kSloBreach) ++n;
+  }
+  return n;
+}
+
+TEST(TelemetryFlightRecorder, RecordAndRecent) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  flightrec_clear();
+  flightrec_record(FlightEventType::kHotSwap, "tenant-a", 2, 1);
+  flightrec_record(FlightEventType::kShed, "tenant-b", 31, 32);
+  const std::vector<FlightEvent> events = flightrec_recent();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, FlightEventType::kHotSwap);
+  EXPECT_STREQ(events[0].subject.data(), "tenant-a");
+  EXPECT_EQ(events[0].a, 2u);
+  EXPECT_EQ(events[0].b, 1u);
+  EXPECT_EQ(events[1].type, FlightEventType::kShed);
+  EXPECT_STREQ(events[1].subject.data(), "tenant-b");
+  EXPECT_EQ(flightrec_recorded(), 2u);
+  EXPECT_GT(events[1].time_ns, 0u);
+}
+
+TEST(TelemetryFlightRecorder, EventTypeNamesAreStable) {
+  EXPECT_STREQ(to_string(FlightEventType::kShed), "shed");
+  EXPECT_STREQ(to_string(FlightEventType::kHealthTransition),
+               "health_transition");
+  EXPECT_STREQ(to_string(FlightEventType::kFaultInjected),
+               "fault_injected");
+  EXPECT_STREQ(to_string(FlightEventType::kDriftLatched), "drift_latched");
+  EXPECT_STREQ(to_string(FlightEventType::kSloBreach), "slo_breach");
+}
+
+TEST(TelemetryFlightRecorder, WraparoundKeepsMostRecent) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  flightrec_clear();
+  const std::size_t total = kFlightRingCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    flightrec_record(FlightEventType::kShed, "wrap", i);
+  }
+  EXPECT_EQ(flightrec_recorded(), total);
+  const std::vector<FlightEvent> events = flightrec_recent();
+  // Single writer, no torn slots: exactly the newest capacity's worth,
+  // oldest first.
+  ASSERT_EQ(events.size(), kFlightRingCapacity);
+  EXPECT_EQ(events.front().a, total - kFlightRingCapacity);
+  EXPECT_EQ(events.back().a, total - 1);
+}
+
+TEST(TelemetryFlightRecorder, SubjectIsTruncatedAndTerminated) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  flightrec_clear();
+  const std::string longer(100, 'x');
+  flightrec_record(FlightEventType::kEviction, longer.c_str());
+  const std::vector<FlightEvent> events = flightrec_recent();
+  ASSERT_EQ(events.size(), 1u);
+  const FlightEvent& e = events[0];
+  EXPECT_EQ(e.subject.back(), '\0');
+  EXPECT_EQ(std::string(e.subject.data()),
+            std::string(e.subject.size() - 1, 'x'));
+}
+
+TEST(TelemetryFlightRecorder, DumpWritesSelfContainedJson) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  flightrec_clear();
+  flightrec_record(FlightEventType::kHotSwap, "tenant-a", 3, 2);
+  flightrec_record(FlightEventType::kHealthTransition, "degraded", 0, 1);
+  const std::string path = tmp_path("univsa_flightrec_test.json");
+  ASSERT_TRUE(flightrec_dump(path));
+  const std::string json = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_NE(json.find("\"kind\": \"flight_recorder\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("hot_swap"), std::string::npos);
+  EXPECT_NE(json.find("health_transition"), std::string::npos);
+  EXPECT_NE(json.find("tenant-a"), std::string::npos);
+  // The dump records itself, so the file ends with a dump marker.
+  EXPECT_NE(json.find("\"dump\""), std::string::npos);
+}
+
+TEST(TelemetrySlo, AvailabilityBreachFiresOnceOnEdge) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  flightrec_clear();
+  Counter& good = counter("test.slo.avail_good");
+  Counter& bad = counter("test.slo.avail_bad");
+  SloObjective o;
+  o.name = "test_availability";
+  o.good_counter = "test.slo.avail_good";
+  o.bad_counter = "test.slo.avail_bad";
+  o.target = 0.9;  // error budget 0.1 -> burn = error rate * 10
+  SloEngine::Options opt;
+  opt.fast_window = 2;
+  opt.slow_window = 4;
+  opt.fast_burn_threshold = 4.0;
+  opt.slow_burn_threshold = 2.0;
+  SloEngine engine({o}, opt);
+
+  // Healthy traffic: compliance 1, burn 0.
+  good.add(100);
+  std::vector<SloStatus> s = engine.evaluate();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s[0].breached);
+  good.add(100);
+  s = engine.evaluate();
+  EXPECT_FALSE(s[0].breached);
+  EXPECT_DOUBLE_EQ(s[0].fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(s[0].compliance, 1.0);
+  EXPECT_DOUBLE_EQ(s[0].budget_remaining, 1.0);
+  EXPECT_EQ(breach_events(), 0u);
+
+  // Error storm: both windows burn past their thresholds.
+  bad.add(200);
+  s = engine.evaluate();
+  bad.add(200);
+  s = engine.evaluate();
+  EXPECT_TRUE(s[0].breached);
+  EXPECT_GT(s[0].fast_burn, opt.fast_burn_threshold);
+  EXPECT_GT(s[0].slow_burn, opt.slow_burn_threshold);
+  EXPECT_LT(s[0].compliance, 1.0);
+  // Exactly one breach edge landed in the flight recorder...
+  EXPECT_EQ(breach_events(), 1u);
+  // ...and staying breached does not re-fire the edge.
+  bad.add(50);
+  s = engine.evaluate();
+  EXPECT_TRUE(s[0].breached);
+  EXPECT_EQ(breach_events(), 1u);
+}
+
+TEST(TelemetrySlo, FastBlipAloneDoesNotBreach) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  Counter& good = counter("test.slo.blip_good");
+  Counter& bad = counter("test.slo.blip_bad");
+  SloObjective o;
+  o.name = "test_blip";
+  o.good_counter = "test.slo.blip_good";
+  o.bad_counter = "test.slo.blip_bad";
+  o.target = 0.9;
+  SloEngine::Options opt;
+  opt.fast_window = 1;
+  opt.slow_window = 8;
+  opt.fast_burn_threshold = 2.0;
+  opt.slow_burn_threshold = 3.0;
+  SloEngine engine({o}, opt);
+  // A long healthy history, then one bad tick: the fast window burns
+  // but the slow window stays diluted — the multi-window rule holds.
+  for (int i = 0; i < 8; ++i) {
+    good.add(100);
+    (void)engine.evaluate();
+  }
+  bad.add(30);
+  const std::vector<SloStatus> s = engine.evaluate();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_GT(s[0].fast_burn, opt.fast_burn_threshold);
+  EXPECT_LE(s[0].slow_burn, opt.slow_burn_threshold);
+  EXPECT_FALSE(s[0].breached);
+}
+
+TEST(TelemetrySlo, LatencyObjectiveCountsBucketsAtOrBelowTarget) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  LatencyHistogram& h = histogram("test.slo.lat_ns");
+  SloObjective o;
+  o.name = "test_latency";
+  o.histogram = "test.slo.lat_ns";
+  o.target_ns = 1000;
+  o.target = 0.5;
+  SloEngine engine({o});
+  for (int i = 0; i < 10; ++i) h.record(10);          // good
+  for (int i = 0; i < 5; ++i) h.record(10'000'000);   // bad
+  const std::vector<SloStatus> s = engine.evaluate();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].good, 10u);
+  EXPECT_EQ(s[0].bad, 5u);
+  EXPECT_NEAR(s[0].compliance, 10.0 / 15.0, 1e-9);
+}
+
+TEST(TelemetrySlo, DefaultServerSlosResolve) {
+  SloEngine engine(default_server_slos());
+  ASSERT_EQ(engine.objectives().size(), 2u);
+  EXPECT_EQ(engine.objectives()[0].name, "serving_latency_p99");
+  EXPECT_EQ(engine.objectives()[1].name, "serving_availability");
+  const std::vector<SloStatus> s = engine.evaluate();
+  ASSERT_EQ(s.size(), 2u);
+  for (const SloStatus& st : s) EXPECT_FALSE(st.breached);
+}
+
+}  // namespace
+}  // namespace univsa::telemetry

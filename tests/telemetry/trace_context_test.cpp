@@ -1,0 +1,181 @@
+// Trace-ring wraparound and request-scoped sampling coherence.
+//
+// The ring and the admission counter are process-global, so each test
+// clears the ring first and only asserts properties that hold over any
+// contiguous window of admissions. Suites are named Telemetry* so the
+// TSan CI job's -R regex picks them up alongside the other telemetry
+// suites.
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "univsa/telemetry/trace.h"
+
+namespace univsa::telemetry {
+namespace {
+
+TraceEvent make_event(std::uint64_t detail) {
+  TraceEvent e;
+  std::snprintf(e.name.data(), e.name.size(), "wrap");
+  e.detail = detail;
+  return e;
+}
+
+TEST(TelemetryTraceRing, WraparoundKeepsMostRecent) {
+  trace_clear();
+  const std::size_t total = kRingCapacity + 512;
+  for (std::size_t i = 0; i < total; ++i) trace_push(make_event(i));
+  EXPECT_EQ(trace_pushed(), total);
+  const std::vector<TraceEvent> recent = trace_recent();
+  // Single writer, so no slot can be torn: exactly the newest
+  // kRingCapacity events survive, oldest first, consecutive.
+  ASSERT_EQ(recent.size(), kRingCapacity);
+  EXPECT_EQ(recent.front().detail, total - kRingCapacity);
+  EXPECT_EQ(recent.back().detail, total - 1);
+  for (std::size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].detail, recent[i - 1].detail + 1);
+  }
+}
+
+TEST(TelemetryTraceRing, RecentRespectsMaxEvents) {
+  trace_clear();
+  for (std::size_t i = 0; i < 100; ++i) trace_push(make_event(i));
+  const std::vector<TraceEvent> recent = trace_recent(10);
+  ASSERT_EQ(recent.size(), 10u);
+  EXPECT_EQ(recent.front().detail, 90u);
+  EXPECT_EQ(recent.back().detail, 99u);
+}
+
+TEST(TelemetryTraceRing, ConcurrentWritersNeverTear) {
+  trace_clear();
+  constexpr std::size_t kThreads = 8;
+  // Several wraps per writer so overwrites race with reads constantly.
+  constexpr std::size_t kPerThread = kRingCapacity / 2;
+  // Every field of an event encodes its writer; a torn slot would mix
+  // two writers and fail the cross-check.
+  const auto verify = [](const TraceEvent& e) {
+    const std::uint64_t writer = e.detail >> 32;
+    char expected[sizeof(e.name)];
+    std::snprintf(expected, sizeof(expected), "writer-%llu",
+                  static_cast<unsigned long long>(writer));
+    ASSERT_STREQ(e.name.data(), expected);
+    ASSERT_EQ(e.start_ns, writer);
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const TraceEvent& e : trace_recent()) verify(e);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        TraceEvent e;
+        std::snprintf(e.name.data(), e.name.size(), "writer-%llu",
+                      static_cast<unsigned long long>(t));
+        e.start_ns = t;
+        e.detail = (static_cast<std::uint64_t>(t) << 32) | i;
+        trace_push(e);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(trace_pushed(), kThreads * kPerThread);
+  const std::vector<TraceEvent> recent = trace_recent();
+  EXPECT_GT(recent.size(), 0u);
+  EXPECT_LE(recent.size(), kRingCapacity);
+  for (const TraceEvent& e : recent) verify(e);
+}
+
+TEST(TelemetryTraceContext, UnsampledByDefault) {
+  EXPECT_FALSE(current_trace().sampled());
+  EXPECT_FALSE(trace_active());
+  EXPECT_FALSE(maybe_start_trace(0).sampled());
+}
+
+TEST(TelemetryTraceContext, CoherentSamplingIsExactUnderConcurrency) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  constexpr std::uint32_t kEvery = 4;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 100;
+  // The admission counter is global and never reset, but any window of
+  // kThreads * kPerThread consecutive admissions contains floor-exactly
+  // total / kEvery multiples — that exactness is the whole point of
+  // head-based sampling over per-thread tick counters.
+  std::array<std::vector<std::uint64_t>, kThreads> sampled;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const TraceContext ctx = maybe_start_trace(kEvery);
+        if (ctx.sampled()) sampled[t].push_back(ctx.trace_id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<std::uint64_t> ids;
+  std::size_t total = 0;
+  for (const auto& v : sampled) {
+    total += v.size();
+    ids.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, kThreads * kPerThread / kEvery);
+  EXPECT_EQ(ids.size(), total);  // every sampled trace id is unique
+  EXPECT_EQ(ids.count(0), 0u);   // and never the unsampled sentinel
+}
+
+TEST(TelemetryTraceContext, SpansParentLinkUnderScopedContext) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  trace_clear();
+  TraceContext ctx;
+  ctx.trace_id = next_trace_span_id();
+  ctx.span_id = next_trace_span_id();  // pretend root span
+  {
+    ScopedTraceContext scope(ctx);
+    EXPECT_TRUE(trace_active());
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+    // inner's destructor restored outer as the thread's parent.
+    EXPECT_EQ(current_trace().trace_id, ctx.trace_id);
+  }
+  EXPECT_FALSE(current_trace().sampled());
+
+  // Destruction order pushes inner first, then outer.
+  const std::vector<TraceEvent> events = trace_recent();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name.data(), "inner");
+  EXPECT_STREQ(outer.name.data(), "outer");
+  EXPECT_EQ(inner.trace_id, ctx.trace_id);
+  EXPECT_EQ(outer.trace_id, ctx.trace_id);
+  EXPECT_EQ(outer.parent_span, ctx.span_id);
+  EXPECT_EQ(inner.parent_span, outer.span_id);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_NE(inner.span_id, 0u);
+  EXPECT_NE(inner.span_id, outer.span_id);
+}
+
+TEST(TelemetryTraceContext, SpansOutsideContextStayFlat) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  trace_clear();
+  { TraceSpan flat("flat"); }
+  const std::vector<TraceEvent> events = trace_recent();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[0].span_id, 0u);
+  EXPECT_EQ(events[0].parent_span, 0u);
+}
+
+}  // namespace
+}  // namespace univsa::telemetry

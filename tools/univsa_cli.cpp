@@ -15,6 +15,9 @@
 //   univsa_cli backends            (CPU features, SIMD dispatch, registry)
 //   univsa_cli faultcheck          (canned fault plan -> degradation report;
 //                                   --multi-tenant 1 for per-tenant QoS)
+//   univsa_cli top                 (live text dashboard over the telemetry
+//                                   snapshot: req/s, latency percentiles,
+//                                   SLO burn rates, flight events)
 //   univsa_cli selftest            (exercises the whole chain in $TMPDIR)
 //
 // The complete flag reference lives in docs/CLI.md; the serving knobs
@@ -36,7 +39,13 @@
 // gauges, latency histograms, recent spans, build provenance) as JSON
 // after the command finishes. `stats` drives the micro-batching server
 // over the dataset and prints the scrape — Prometheus text exposition
-// by default, `--format json` for the JSON document.
+// by default, `--format json` for the JSON document. `stats` and
+// `faultcheck` also accept `--trace-json PATH` to export the trace
+// ring as Chrome-trace-event JSON (loadable in Perfetto / chrome://
+// tracing, request trees linked via trace_id/span_id args); faultcheck
+// additionally leaves a flight-recorder dump (`--flight-json PATH`,
+// default flight_recorder.json) and prints the SLO burn-rate verdicts.
+// The tracing/flight-recorder/SLO operator guide is docs/TRACING.md.
 //
 // CSVs are `label,f0,f1,...` rows of already-discretized levels, as
 // written by `datagen` (see data/csv_io.h for raw-float import).
@@ -45,6 +54,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <string>
@@ -131,7 +141,8 @@ void maybe_write_metrics(const Flags& flags) {
 }
 
 /// Per-stage span summary from the registry: every histogram under the
-/// pipeline-stage prefixes, one line each with count / mean / p50 / p99.
+/// pipeline-stage prefixes, one line each with count / mean / p50 /
+/// p95 / p99.
 void print_stage_summary() {
   const telemetry::Snapshot snap = telemetry::snapshot(0);
   const char* prefixes[] = {"stage.", "reference.", "engine.", "hwsim."};
@@ -153,13 +164,71 @@ void print_stage_summary() {
     const double scale = is_ns ? 1e-3 : 1.0;
     const char* unit = is_ns ? "us" : "  ";
     std::printf("  %-24s %8llu samples  mean %9.2f %s  p50 %8.2f %s  "
-                "p99 %8.2f %s\n",
+                "p95 %8.2f %s  p99 %8.2f %s\n",
                 h.name.c_str(),
                 static_cast<unsigned long long>(h.count), h.mean() * scale,
                 unit, static_cast<double>(h.percentile(0.50)) * scale,
+                unit, static_cast<double>(h.percentile(0.95)) * scale,
                 unit, static_cast<double>(h.percentile(0.99)) * scale,
                 unit);
   }
+}
+
+/// Honors `--trace-json PATH`: exports the trace ring as Chrome-trace-
+/// event JSON for Perfetto. No-op when the flag is absent and no
+/// default is supplied.
+void maybe_write_trace(const Flags& flags,
+                       const std::string& fallback = "") {
+  const std::string path = flags.get("trace-json", fallback);
+  if (path.empty()) return;
+  if (telemetry::write_trace_json_file(path)) {
+    std::fprintf(stderr, "perfetto trace -> %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write trace JSON to %s\n",
+                 path.c_str());
+  }
+}
+
+/// Shared observability tail for faultcheck: evaluates the default
+/// server SLOs (two ticks, so the multi-window burn rates see a
+/// delta), prints the verdicts, exports the Perfetto trace and the
+/// flight-recorder dump, then honors --metrics-json. Runs before the
+/// pass/fail verdict so a failing check still leaves its post-mortem
+/// artifacts behind.
+void write_faultcheck_observability(const Flags& flags) {
+  telemetry::SloEngine slo(telemetry::default_server_slos());
+  (void)slo.evaluate();
+  for (const telemetry::SloStatus& s : slo.evaluate()) {
+    std::printf("slo %-24s compliance %.4f  budget %5.2f  "
+                "burn fast %6.2f / slow %6.2f%s\n",
+                s.name.c_str(), s.compliance, s.budget_remaining,
+                s.fast_burn, s.slow_burn,
+                s.breached ? "  ** BREACHED **" : "");
+  }
+  maybe_write_trace(flags, "faultcheck_trace.json");
+  const std::string flight_path =
+      flags.get("flight-json", "flight_recorder.json");
+  if (telemetry::flightrec_dump(flight_path)) {
+    std::printf("flight recorder (%llu events) -> %s\n",
+                static_cast<unsigned long long>(
+                    telemetry::flightrec_recorded()),
+                flight_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write flight recorder to %s\n",
+                 flight_path.c_str());
+  }
+  maybe_write_metrics(flags);
+}
+
+/// Post-mortem hooks shared by the serving drills: fatal signals dump
+/// the flight ring, and the drain at shutdown leaves a dump behind
+/// even when the final explicit dump is never reached.
+void arm_flight_recorder(const Flags& flags) {
+  // The handler keeps the pointer for the life of the process.
+  static const std::string path =
+      flags.get("flight-json", "flight_recorder.json");
+  telemetry::flightrec_install_signal_handler(path.c_str());
+  telemetry::flightrec_arm_draining_dump(path);
 }
 
 int cmd_datagen(const Flags& flags) {
@@ -330,6 +399,7 @@ int cmd_stats(const Flags& flags) {
   } else {
     std::fputs(telemetry::to_prometheus(snap).c_str(), stdout);
   }
+  maybe_write_trace(flags);
   maybe_write_metrics(flags);
   return 0;
 }
@@ -352,6 +422,7 @@ int cmd_stats(const Flags& flags) {
 /// premium request completed bit-exactly with zero premium sheds and
 /// bounded p99, while the batch tenant absorbed all the shedding.
 int cmd_faultcheck_zoo(const Flags& flags) {
+  arm_flight_recorder(flags);
   const std::size_t seed = flags.get_size("seed", 42);
   Rng model_rng(static_cast<std::uint64_t>(seed));
   auto registry = std::make_shared<runtime::ModelRegistry>();
@@ -514,7 +585,7 @@ int cmd_faultcheck_zoo(const Flags& flags) {
               static_cast<unsigned long long>(batch.shed));
   std::printf("parity: %zu mismatches across %zu completed results\n",
               mismatches, high_ok + batch_completed);
-  maybe_write_metrics(flags);
+  write_faultcheck_observability(flags);
 
   bool ok = true;
   const auto fail = [&ok](const char* what) {
@@ -547,6 +618,7 @@ int cmd_faultcheck(const Flags& flags) {
   if (flags.get_size("multi-tenant", 0) != 0) {
     return cmd_faultcheck_zoo(flags);
   }
+  arm_flight_recorder(flags);
   const std::size_t seed = flags.get_size("seed", 42);
   // Self-contained by default: a seeded random model on the HAR
   // configuration. --model PATH checks a trained artifact instead.
@@ -712,7 +784,7 @@ int cmd_faultcheck(const Flags& flags) {
               runtime::to_string(stats.health));
   std::printf("parity: %zu mismatches across %zu completed results\n",
               mismatches, high_ok + low_completed);
-  maybe_write_metrics(flags);
+  write_faultcheck_observability(flags);
 
   bool ok = true;
   const auto fail = [&ok](const char* what) {
@@ -731,6 +803,149 @@ int cmd_faultcheck(const Flags& flags) {
   }
   if (ok) std::printf("FAULTCHECK OK — degraded gracefully\n");
   return ok ? 0 : 1;
+}
+
+/// Live text dashboard (`univsa_cli top`): seeds a model, runs
+/// background closed-loop traffic through a micro-batching server, and
+/// polls telemetry::snapshot() every --interval-ms, printing one block
+/// per tick — req/s (completed-counter delta), queue depth, health,
+/// latency percentiles, SLO burn rates, and the most recent
+/// flight-recorder events. --iterations bounds the run (default 10
+/// ticks) so it terminates cleanly in scripts and CI. --model PATH
+/// serves a trained artifact instead of the seeded random one.
+int cmd_top(const Flags& flags) {
+  const std::size_t seed = flags.get_size("seed", 42);
+  vsa::Model model = [&] {
+    const std::string path = flags.get("model", "");
+    if (!path.empty()) return vsa::ModelIo::load_file(path);
+    Rng rng(static_cast<std::uint64_t>(seed));
+    return vsa::Model::random(data::find_benchmark("HAR").config, rng);
+  }();
+  const vsa::ModelConfig& config = model.config();
+
+  runtime::ServerOptions options;
+  options.backend = flags.get("backend", runtime::default_backend());
+  options.workers = flags.get_size("workers", 2);
+  options.max_batch = flags.get_size("max-batch", 16);
+  options.max_delay_us = flags.get_size("max-delay-us", 100);
+  options.trace_sample_every =
+      flags.get_size("trace-sample-every", options.trace_sample_every);
+
+  const std::size_t iterations = flags.get_size("iterations", 10);
+  const std::size_t interval_ms = flags.get_size("interval-ms", 500);
+  const std::size_t load_threads = flags.get_size("load-threads", 2);
+
+  Rng rng(static_cast<std::uint64_t>(seed) ^ 0x5eed);
+  const std::size_t n_samples = 64;
+  std::vector<std::vector<std::uint16_t>> samples(n_samples);
+  for (auto& s : samples) {
+    s.resize(config.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(config.M));
+    }
+  }
+
+  telemetry::SloEngine slo(telemetry::default_server_slos());
+  std::printf("univsa top — %zu load threads, %zu x %zu ms ticks, "
+              "backend %s\n",
+              load_threads, iterations, interval_ms,
+              options.backend.c_str());
+  {
+    runtime::Server server(model, options);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> load;
+    for (std::size_t t = 0; t < load_threads; ++t) {
+      load.emplace_back([&, t] {
+        // Closed loop with a small in-flight window: enough pressure
+        // to form batches without unbounded queue growth.
+        std::deque<std::future<vsa::Prediction>> inflight;
+        std::size_t i = t;
+        while (!stop.load(std::memory_order_relaxed)) {
+          try {
+            inflight.push_back(server.submit(samples[i % n_samples]));
+          } catch (const std::exception&) {
+          }
+          while (inflight.size() >= 8) {
+            try {
+              inflight.front().get();
+            } catch (const std::exception&) {
+            }
+            inflight.pop_front();
+          }
+          i += load_threads;
+        }
+        for (auto& f : inflight) {
+          try {
+            f.get();
+          } catch (const std::exception&) {
+          }
+        }
+      });
+    }
+
+    std::uint64_t last_completed = 0;
+    std::uint64_t last_ns = telemetry::now_ns();
+    for (std::size_t tick = 1; tick <= iterations; ++tick) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(interval_ms));
+      const telemetry::Snapshot snap = telemetry::snapshot(0);
+      const std::uint64_t now = telemetry::now_ns();
+
+      std::uint64_t completed = 0;
+      for (const auto& [name, value] : snap.counters) {
+        if (name == "runtime.server.completed") completed = value;
+      }
+      double queue_depth = 0.0;
+      for (const auto& [name, value] : snap.gauges) {
+        if (name == "runtime.server.queue_depth") queue_depth = value;
+      }
+      const double elapsed_s = static_cast<double>(now - last_ns) * 1e-9;
+      const double rate =
+          elapsed_s <= 0.0
+              ? 0.0
+              : static_cast<double>(completed - last_completed) /
+                    elapsed_s;
+      last_completed = completed;
+      last_ns = now;
+
+      double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+      for (const auto& h : snap.histograms) {
+        if (h.name == "runtime.server.latency_ns") {
+          p50 = static_cast<double>(h.percentile(0.50)) * 1e-3;
+          p95 = static_cast<double>(h.percentile(0.95)) * 1e-3;
+          p99 = static_cast<double>(h.percentile(0.99)) * 1e-3;
+        }
+      }
+      std::printf("[%2zu/%zu] %8.1f req/s  queue %3.0f  health %-8s  "
+                  "lat us p50 %8.1f  p95 %8.1f  p99 %8.1f\n",
+                  tick, iterations, rate, queue_depth,
+                  runtime::to_string(server.stats().health), p50, p95,
+                  p99);
+      for (const telemetry::SloStatus& s : slo.evaluate()) {
+        std::printf("        slo %-24s burn %5.2f/%5.2f  budget %5.2f"
+                    "%s\n",
+                    s.name.c_str(), s.fast_burn, s.slow_burn,
+                    s.budget_remaining,
+                    s.breached ? "  ** BREACHED **" : "");
+      }
+      const auto events = telemetry::flightrec_recent();
+      const std::size_t show = events.size() > 3 ? 3 : events.size();
+      for (std::size_t i = events.size() - show; i < events.size();
+           ++i) {
+        const telemetry::FlightEvent& e = events[i];
+        std::printf("        flight %-18s %-16s a=%llu b=%llu\n",
+                    telemetry::to_string(e.type), e.subject.data(),
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      }
+    }
+    stop.store(true);
+    for (auto& t : load) t.join();
+    server.shutdown();
+  }
+  maybe_write_trace(flags);
+  maybe_write_metrics(flags);
+  return 0;
 }
 
 /// Scalable co-design search (DESIGN.md §12) over a benchmark's task
@@ -1228,7 +1443,7 @@ int cmd_selftest() {
 void usage() {
   std::fputs(
       "usage: univsa_cli <datagen|train|eval|parity|info|adapt|"
-      "export-c|export-rtl|stats|search|zoo|backends|faultcheck|"
+      "export-c|export-rtl|stats|search|zoo|backends|faultcheck|top|"
       "selftest> [--flag value ...]\n"
       "flag reference: docs/CLI.md; serving/robustness guide: "
       "docs/SERVING.md; multi-tenant zoo guide: docs/ZOO.md\n",
@@ -1259,6 +1474,7 @@ int main(int argc, char** argv) {
     if (cmd == "zoo") return cmd_zoo(flags);
     if (cmd == "backends") return cmd_backends();
     if (cmd == "faultcheck") return cmd_faultcheck(flags);
+    if (cmd == "top") return cmd_top(flags);
     if (cmd == "selftest") return cmd_selftest();
     usage();
     return 2;
