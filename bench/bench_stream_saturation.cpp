@@ -18,18 +18,28 @@
 // overload (small queue, slowdown-only fault plan, low-priority flood +
 // high-priority deadline stream) and records overload_shed_rate and
 // overload_high_p99_ms alongside the throughputs.
+//
+// A fourth section measures the network serving path (docs/NETWORK.md):
+// an open-loop Poisson loadgen against a loopback NetServer, latency
+// measured from each request's *scheduled* arrival (coordinated
+// omission counted, not hidden), with the p50/p95/p99 tail recorded as
+// the net_* fields of BENCH_stream.json.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <memory>
+#include <random>
 #include <thread>
 
 #include "bench_common.h"
 #include "univsa/common/simd.h"
 #include "univsa/common/thread_pool.h"
 #include "univsa/hw/event_sim.h"
+#include "univsa/net/net_client.h"
+#include "univsa/net/net_server.h"
 #include "univsa/report/table.h"
 #include "univsa/runtime/server.h"
 #include "univsa/telemetry/telemetry.h"
@@ -295,6 +305,106 @@ int main(int argc, char** argv) {
                 overload_high_p99_ms);
   }
 
+  // ---- Network serving path: open-loop Poisson loadgen ----
+  //
+  // Arrivals follow a seeded Poisson process at half the measured
+  // server throughput (comfortably below saturation, so the tail
+  // reflects the wire + scheduling cost, not queue growth). Open loop:
+  // each request's latency is measured from its *scheduled* arrival
+  // time, so a stalled server shows up as tail latency instead of
+  // silently slowing the generator down (no coordinated omission).
+  const std::size_t net_requests = args.fast ? 150 : 600;
+  const double net_offered_rps =
+      std::max(200.0, std::min(server_sps * 0.5, 20000.0));
+  double net_achieved_rps = 0.0;
+  double net_p50_ms = 0.0, net_p95_ms = 0.0, net_p99_ms = 0.0;
+  std::size_t net_errors = 0;
+  {
+    auto rt = std::make_shared<runtime::Server>(model, server_options);
+    net::NetServer front(rt);
+    // Deterministic exponential inter-arrival schedule.
+    std::mt19937_64 arrivals_rng(0xa11fULL);
+    std::exponential_distribution<double> interarrival(net_offered_rps);
+    std::vector<double> arrival_s(net_requests);
+    double clock = 0.0;
+    for (auto& t : arrival_s) {
+      clock += interarrival(arrivals_rng);
+      t = clock;
+    }
+
+    constexpr std::size_t kLoadgenThreads = 4;
+    std::vector<double> latency_ms(net_requests, -1.0);
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> errors{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> loadgen;
+    for (std::size_t t = 0; t < kLoadgenThreads; ++t) {
+      loadgen.emplace_back([&] {
+        net::NetClientOptions client_options;
+        client_options.host = front.host();
+        client_options.port = front.port();
+        net::NetClient client(client_options);
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= net_requests) break;
+          const auto scheduled =
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(arrival_s[i]));
+          std::this_thread::sleep_until(scheduled);
+          try {
+            (void)client.predict(samples[i % n_samples]);
+            latency_ms[i] = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                scheduled)
+                                .count();
+          } catch (const std::exception&) {
+            errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : loadgen) t.join();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    front.shutdown();
+    rt->shutdown();
+
+    net_errors = errors.load();
+    std::vector<double> completed_ms;
+    completed_ms.reserve(net_requests);
+    for (const double ms : latency_ms) {
+      if (ms >= 0.0) completed_ms.push_back(ms);
+    }
+    if (!completed_ms.empty()) {
+      std::sort(completed_ms.begin(), completed_ms.end());
+      const auto pct = [&](double q) {
+        const std::size_t idx = std::min(
+            completed_ms.size() - 1,
+            static_cast<std::size_t>(
+                static_cast<double>(completed_ms.size()) * q));
+        return completed_ms[idx];
+      };
+      net_p50_ms = pct(0.50);
+      net_p95_ms = pct(0.95);
+      net_p99_ms = pct(0.99);
+      net_achieved_rps =
+          elapsed_s <= 0.0 ? 0.0
+                           : static_cast<double>(completed_ms.size()) /
+                                 elapsed_s;
+    }
+    std::printf("\n== Network serving path (open-loop Poisson, %zu "
+                "requests at %.0f req/s offered) ==\n",
+                net_requests, net_offered_rps);
+    std::printf("achieved %.0f req/s, %zu errors; latency from "
+                "scheduled arrival: p50 %.2f ms  p95 %.2f ms  p99 %.2f "
+                "ms\n",
+                net_achieved_rps, net_errors, net_p50_ms, net_p95_ms,
+                net_p99_ms);
+  }
+
   const std::size_t threads = global_pool().thread_count();
   std::printf("\n== Software predict throughput (%s, %zu samples, %zu "
               "pool thread%s, backend %s, simd %s) ==\n",
@@ -359,7 +469,16 @@ int main(int argc, char** argv) {
          << ",\n"
          << "  \"overload_high_total\": " << overload_high_total << ",\n"
          << "  \"overload_high_p99_ms\": "
-         << report::fmt(overload_high_p99_ms, 3) << "\n"
+         << report::fmt(overload_high_p99_ms, 3) << ",\n"
+         << "  \"net_loadgen_requests\": " << net_requests << ",\n"
+         << "  \"net_loadgen_offered_rps\": "
+         << report::fmt(net_offered_rps, 1) << ",\n"
+         << "  \"net_loadgen_achieved_rps\": "
+         << report::fmt(net_achieved_rps, 1) << ",\n"
+         << "  \"net_loadgen_errors\": " << net_errors << ",\n"
+         << "  \"net_p50_ms\": " << report::fmt(net_p50_ms, 3) << ",\n"
+         << "  \"net_p95_ms\": " << report::fmt(net_p95_ms, 3) << ",\n"
+         << "  \"net_p99_ms\": " << report::fmt(net_p99_ms, 3) << "\n"
          << "}\n";
   }
   if (telemetry::write_json_file("metrics_snapshot.json")) {

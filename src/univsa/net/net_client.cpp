@@ -1,0 +1,360 @@
+#include "univsa/net/net_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::net {
+
+namespace {
+
+struct GlobalNetClientMetrics {
+  telemetry::Counter& requests =
+      telemetry::counter("net.client.requests_total");
+  telemetry::Counter& retries =
+      telemetry::counter("net.client.retries_total");
+  telemetry::Counter& timeouts =
+      telemetry::counter("net.client.timeouts_total");
+  telemetry::Counter& transport_errors =
+      telemetry::counter("net.client.transport_errors_total");
+};
+
+GlobalNetClientMetrics& client_metrics() {
+  static GlobalNetClientMetrics g;
+  return g;
+}
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+struct NetClient::Conn {
+  int fd = -1;
+  FrameDecoder decoder;
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Blocks (via poll) until the fd is ready for `events` or
+  /// `deadline_ms` passes. Returns false on timeout/error.
+  bool wait(short events, std::uint64_t deadline_ms, bool* timed_out) {
+    const std::uint64_t now = steady_ms();
+    if (now >= deadline_ms) {
+      *timed_out = true;
+      return false;
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, static_cast<int>(deadline_ms - now));
+    if (rc == 0) {
+      *timed_out = true;
+      return false;
+    }
+    return rc > 0 && (p.revents & (POLLERR | POLLHUP | POLLNVAL)) == 0;
+  }
+
+  bool send_all(const std::uint8_t* data, std::size_t size,
+                std::uint64_t deadline_ms, bool* timed_out) {
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t sent =
+          ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+      if (sent > 0) {
+        off += static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!wait(POLLOUT, deadline_ms, timed_out)) return false;
+        continue;
+      }
+      return false;
+    }
+    return true;
+  }
+
+  /// Reads until the decoder yields a frame; false on timeout, close,
+  /// or a decode error (sticky — caller discards the connection).
+  bool read_frame(Frame& out, std::uint64_t deadline_ms,
+                  bool* timed_out, std::string* why) {
+    for (;;) {
+      const FrameDecoder::Result result = decoder.next(out);
+      if (result == FrameDecoder::Result::kFrame) return true;
+      if (result == FrameDecoder::Result::kError) {
+        *why = "malformed response: " + decoder.error();
+        return false;
+      }
+      if (!wait(POLLIN, deadline_ms, timed_out)) {
+        if (*timed_out) *why = "response deadline passed";
+        return false;
+      }
+      std::uint8_t buf[16384];
+      const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+      if (got > 0) {
+        decoder.feed(buf, static_cast<std::size_t>(got));
+        continue;
+      }
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      *why = got == 0 ? "connection closed by peer"
+                      : std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+  }
+};
+
+NetClient::NetClient(NetClientOptions options)
+    : options_(std::move(options)) {}
+
+NetClient::~NetClient() = default;
+
+std::unique_ptr<NetClient::Conn> NetClient::checkout(std::string* why) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      auto conn = std::move(idle_.back());
+      idle_.pop_back();
+      return conn;
+    }
+  }
+  // Dial a fresh non-blocking connection with a bounded handshake.
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *why = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *why = "bad IPv4 host \"" + options_.host + "\"";
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      *why = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      return nullptr;
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    const int rc =
+        ::poll(&p, 1, static_cast<int>(options_.connect_timeout_ms));
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (rc <= 0 || soerr != 0) {
+      *why = rc <= 0 ? "connect timeout"
+                     : std::string("connect: ") + std::strerror(soerr);
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  return conn;
+}
+
+void NetClient::checkin(std::unique_ptr<Conn> conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < options_.pool_size) {
+    idle_.push_back(std::move(conn));
+  }
+  // Otherwise the unique_ptr destructor closes it.
+}
+
+NetClient::Result NetClient::predict_once(
+    const std::vector<std::uint16_t>& values,
+    const runtime::SubmitOptions& options, vsa::Prediction* out,
+    std::uint64_t timeout_ms) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) client_metrics().requests.add();
+  if (timeout_ms == 0) timeout_ms = options_.request_timeout_ms;
+  const std::uint64_t deadline_ms = steady_ms() + timeout_ms;
+
+  Result result;
+  std::unique_ptr<Conn> conn = checkout(&result.message);
+  if (conn == nullptr) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) client_metrics().transport_errors.add();
+    return result;  // kTransport with the connect failure message
+  }
+
+  SubmitFrame frame;
+  frame.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  frame.trace_id = options.trace.trace_id;
+  frame.span_id = options.trace.span_id;
+  frame.priority = static_cast<std::uint8_t>(options.priority);
+  frame.deadline_us = options.deadline_us;
+  frame.tenant = options.tenant;
+  frame.values = values;
+  std::vector<std::uint8_t> bytes;
+  encode(frame, bytes);
+
+  bool timed_out = false;
+  if (!conn->send_all(bytes.data(), bytes.size(), deadline_ms,
+                      &timed_out)) {
+    result.message = timed_out ? "send deadline passed" : "send failed";
+    result.timed_out = timed_out;
+    (timed_out ? timeouts_ : transport_errors_)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      (timed_out ? client_metrics().timeouts
+                 : client_metrics().transport_errors)
+          .add();
+    }
+    return result;  // conn dropped (closed), never pooled again
+  }
+
+  Frame reply;
+  for (;;) {
+    if (!conn->read_frame(reply, deadline_ms, &timed_out,
+                          &result.message)) {
+      result.timed_out = timed_out;
+      (timed_out ? timeouts_ : transport_errors_)
+          .fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        (timed_out ? client_metrics().timeouts
+                   : client_metrics().transport_errors)
+            .add();
+      }
+      return result;
+    }
+    // Drain anything that isn't this request's response (defensive:
+    // close-on-timeout means stale replies shouldn't survive, but a
+    // server pushing a pong or a duplicate must not misroute).
+    if (reply.type == FrameType::kResponse &&
+        reply.response.request_id == frame.request_id) {
+      break;
+    }
+  }
+
+  result.status = reply.response.status;
+  result.health = reply.response.health;
+  result.message = reply.response.message;
+  if (result.status == WireStatus::kOk && out != nullptr) {
+    out->label = reply.response.label;
+    out->scores.assign(reply.response.scores.begin(),
+                       reply.response.scores.end());
+  }
+  checkin(std::move(conn));
+  return result;
+}
+
+vsa::Prediction NetClient::predict(
+    const std::vector<std::uint16_t>& values,
+    const runtime::SubmitOptions& options) {
+  std::uint64_t backoff_us =
+      options_.retry_backoff_us != 0 ? options_.retry_backoff_us : 200;
+  Result result;
+  vsa::Prediction prediction;
+  for (std::size_t attempt = 0;; ++attempt) {
+    result = predict_once(values, options, &prediction, 0);
+    if (result.status == WireStatus::kOk) return prediction;
+    const bool retryable = result.status == WireStatus::kOverloaded ||
+                           result.status == WireStatus::kTransport;
+    if (!retryable || attempt >= options_.max_retries) break;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) client_metrics().retries.add();
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us *= 2;
+  }
+  const std::string detail =
+      result.message.empty() ? to_string(result.status) : result.message;
+  switch (result.status) {
+    case WireStatus::kOverloaded:
+      throw runtime::ServerOverloaded("endpoint " + options_.host + ":" +
+                                      std::to_string(options_.port) +
+                                      " overloaded: " + detail);
+    case WireStatus::kShed:
+      throw runtime::RequestShed(detail);
+    case WireStatus::kDeadlineExceeded:
+      throw runtime::DeadlineExceeded(detail);
+    case WireStatus::kShutdown:
+      throw runtime::RequestRefused(runtime::SubmitStatus::kShutdown,
+                                    "endpoint draining: " + detail);
+    case WireStatus::kUnknownTenant:
+      throw runtime::UnknownTenant(detail);
+    case WireStatus::kError:
+      throw std::runtime_error("backend error from " + options_.host +
+                               ":" + std::to_string(options_.port) +
+                               ": " + detail);
+    default:
+      throw NetError("endpoint " + options_.host + ":" +
+                     std::to_string(options_.port) +
+                     " unreachable: " + detail);
+  }
+}
+
+PongFrame NetClient::ping(std::uint64_t timeout_ms) {
+  if (timeout_ms == 0) timeout_ms = options_.request_timeout_ms;
+  const std::uint64_t deadline_ms = steady_ms() + timeout_ms;
+  std::string why;
+  std::unique_ptr<Conn> conn = checkout(&why);
+  if (conn == nullptr) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) client_metrics().transport_errors.add();
+    throw NetError("ping " + options_.host + ":" +
+                   std::to_string(options_.port) + ": " + why);
+  }
+  PingFrame ping;
+  ping.nonce = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> bytes;
+  encode(ping, bytes);
+  bool timed_out = false;
+  Frame reply;
+  if (!conn->send_all(bytes.data(), bytes.size(), deadline_ms,
+                      &timed_out)) {
+    throw NetError("ping send to " + options_.host + ":" +
+                   std::to_string(options_.port) + " failed");
+  }
+  for (;;) {
+    if (!conn->read_frame(reply, deadline_ms, &timed_out, &why)) {
+      (timed_out ? timeouts_ : transport_errors_)
+          .fetch_add(1, std::memory_order_relaxed);
+      throw NetError("ping " + options_.host + ":" +
+                     std::to_string(options_.port) + ": " + why);
+    }
+    if (reply.type == FrameType::kPong &&
+        reply.pong.nonce == ping.nonce) {
+      break;
+    }
+  }
+  checkin(std::move(conn));
+  return reply.pong;
+}
+
+NetClientStats NetClient::stats() const {
+  NetClientStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.transport_errors =
+      transport_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace univsa::net

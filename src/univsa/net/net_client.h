@@ -1,0 +1,121 @@
+// Blocking client for one NetServer endpoint, with connection pooling
+// and timeout/retry mapped onto the runtime's RequestRefused/backoff
+// semantics (docs/NETWORK.md).
+//
+// Thread model: any number of threads may call predict()/ping()
+// concurrently. Each round-trip checks one pooled connection out for
+// exclusive use; when the pool is idle-empty a fresh connection is
+// dialed, and at most `pool_size` idle connections are kept afterwards.
+// A connection that times out or errors is closed, never returned —
+// so a late response to a timed-out request can only land on a dead
+// socket, not corrupt a later caller's correlation.
+//
+// Retry semantics mirror SubmitOptions: `max_retries = 0` means one
+// attempt; N > 0 retries kOverloaded and transport failures up to N
+// times with exponential backoff starting at `retry_backoff_us`,
+// after which predict() throws the mapped exception
+// (ServerOverloaded / NetError). Semantic refusals — shed, deadline,
+// unknown tenant — never retry: the shard meant them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "univsa/net/protocol.h"
+#include "univsa/runtime/server.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::net {
+
+/// Transport-level failure: endpoint unreachable, connection lost
+/// mid-request, or the response deadline passed. Distinct from
+/// RequestRefused — the shard never answered, so the router treats it
+/// as a failover signal, not a verdict.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct NetClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Idle connections kept for reuse; concurrency above this dials
+  /// extra connections that close on return.
+  std::size_t pool_size = 2;
+  std::uint64_t connect_timeout_ms = 1000;
+  /// Whole-round-trip budget per attempt (send + wait + decode).
+  std::uint64_t request_timeout_ms = 2000;
+  /// Overload/transport resubmits; 0 = single attempt.
+  std::size_t max_retries = 0;
+  /// First backoff wait; doubles per retry. 0 falls back to 200 us.
+  std::uint64_t retry_backoff_us = 200;
+};
+
+struct NetClientStats {
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t transport_errors = 0;
+};
+
+class NetClient {
+ public:
+  explicit NetClient(NetClientOptions options);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Outcome of one attempt, without exception mapping — the
+  /// ShardRouter's interface (it decides failover vs surface).
+  struct Result {
+    WireStatus status = WireStatus::kTransport;
+    std::uint8_t health = 0;   ///< shard HealthState from the response
+    bool timed_out = false;    ///< kTransport caused by the deadline
+    std::string message;
+  };
+
+  /// One request/response round-trip, no retries. `timeout_ms` 0 uses
+  /// options.request_timeout_ms. Fills `out` only on kOk. Never
+  /// throws; transport failures come back as kTransport.
+  Result predict_once(const std::vector<std::uint16_t>& values,
+                      const runtime::SubmitOptions& options,
+                      vsa::Prediction* out, std::uint64_t timeout_ms = 0);
+
+  /// Retrying round-trip mapped onto the runtime exception hierarchy:
+  /// ServerOverloaded / RequestShed / DeadlineExceeded /
+  /// runtime::UnknownTenant / RequestRefused(kShutdown) for wire
+  /// refusals, std::runtime_error for backend kError, NetError for
+  /// transport failure after retries.
+  vsa::Prediction predict(const std::vector<std::uint16_t>& values,
+                          const runtime::SubmitOptions& options = {});
+
+  /// Health probe; throws NetError when the endpoint doesn't answer.
+  PongFrame ping(std::uint64_t timeout_ms = 0);
+
+  NetClientStats stats() const;
+  const NetClientOptions& options() const { return options_; }
+
+ private:
+  struct Conn;
+
+  /// Pool checkout (dials when idle-empty); null on connect failure.
+  std::unique_ptr<Conn> checkout(std::string* why);
+  void checkin(std::unique_ptr<Conn> conn);
+
+  NetClientOptions options_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Conn>> idle_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> transport_errors_{0};
+};
+
+}  // namespace univsa::net

@@ -1,0 +1,485 @@
+#include "univsa/net/net_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::net {
+
+namespace {
+
+// Process-wide mirrors so the network tier shows up in telemetry
+// scrapes (docs/METRICS.md, `net.server.*`). Resolving the handles
+// eagerly registers the family even before traffic arrives.
+struct GlobalNetServerMetrics {
+  telemetry::Counter& connections =
+      telemetry::counter("net.server.connections_total");
+  telemetry::Counter& frames_in =
+      telemetry::counter("net.server.frames_in_total");
+  telemetry::Counter& frames_out =
+      telemetry::counter("net.server.frames_out_total");
+  telemetry::Counter& decode_errors =
+      telemetry::counter("net.server.decode_errors_total");
+  telemetry::Counter& refused =
+      telemetry::counter("net.server.refused_total");
+  telemetry::Gauge& active =
+      telemetry::gauge("net.server.active_connections");
+};
+
+GlobalNetServerMetrics& net_metrics() {
+  static GlobalNetServerMetrics g;
+  return g;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+struct NetServer::Connection {
+  int fd = -1;
+  // IO-thread-only decode/write state.
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> outbuf;
+  std::size_t out_off = 0;
+  bool want_write = false;
+  bool close_after_flush = false;
+  // Worker-facing side: completion callbacks append encoded responses
+  // to `pending` under `mu`; `closed` stops them once the socket dies.
+  std::mutex mu;
+  std::vector<std::uint8_t> pending;
+  bool closed = false;
+};
+
+struct NetServer::IoHub {
+  int event_fd = -1;
+  std::mutex mu;
+  std::vector<std::shared_ptr<Connection>> dirty;
+  std::atomic<std::uint64_t> frames_out{0};
+
+  ~IoHub() { close_quiet(event_fd); }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    // Best-effort: EAGAIN means the counter is already non-zero and
+    // the loop will wake anyway.
+    [[maybe_unused]] ssize_t n =
+        ::write(event_fd, &one, sizeof(one));
+  }
+
+  void notify(std::shared_ptr<Connection> conn) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      dirty.push_back(std::move(conn));
+    }
+    wake();
+  }
+};
+
+NetServer::NetServer(std::shared_ptr<runtime::Server> server,
+                     NetServerOptions options)
+    : server_(std::move(server)), options_(std::move(options)) {
+  if (server_ == nullptr) {
+    throw std::runtime_error("NetServer requires a runtime server");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close_quiet(listen_fd_);
+    throw std::runtime_error("NetServer: bad IPv4 host \"" + options_.host +
+                             "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    close_quiet(listen_fd_);
+    errno = saved;
+    throw_errno("bind " + options_.host + ":" +
+                std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    close_quiet(listen_fd_);
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    close_quiet(listen_fd_);
+    throw_errno("epoll_create1");
+  }
+  hub_ = std::make_shared<IoHub>();
+  hub_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (hub_->event_fd < 0) {
+    close_quiet(listen_fd_);
+    close_quiet(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = hub_->event_fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, hub_->event_fd, &ev);
+
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+NetServer::~NetServer() { shutdown(); }
+
+void NetServer::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    hub_->wake();
+    if (io_thread_.joinable()) io_thread_.join();
+    // The IO loop closed the connections and the epoll/listen fds on
+    // exit; the hub's eventfd stays open for straggler callbacks and
+    // closes with the last reference.
+  });
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.frames_in = frames_in_.load(std::memory_order_relaxed);
+  stats.frames_out = hub_->frames_out.load(std::memory_order_relaxed);
+  stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  stats.refused = refused_.load(std::memory_order_relaxed);
+  stats.active_connections = active_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void NetServer::update_interest(Connection& conn) {
+  const bool want = conn.out_off < conn.outbuf.size();
+  if (want == conn.want_write) return;
+  conn.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void NetServer::merge_pending(Connection& conn) {
+  std::lock_guard<std::mutex> lock(conn.mu);
+  if (conn.pending.empty()) return;
+  conn.outbuf.insert(conn.outbuf.end(), conn.pending.begin(),
+                     conn.pending.end());
+  conn.pending.clear();
+}
+
+bool NetServer::flush_out(Connection& conn) {
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t sent =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.out_off += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // peer gone or hard error
+  }
+  if (conn.out_off == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    if (conn.close_after_flush) return false;
+  }
+  update_interest(conn);
+  return true;
+}
+
+void NetServer::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  {
+    std::lock_guard<std::mutex> lock(it->second->mu);
+    it->second->closed = true;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close_quiet(fd);
+  it->second->fd = -1;
+  connections_.erase(it);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    net_metrics().active.set(
+        static_cast<double>(active_.load(std::memory_order_relaxed)));
+  }
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient accept failure
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close_quiet(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      net_metrics().connections.add();
+      net_metrics().active.set(
+          static_cast<double>(active_.load(std::memory_order_relaxed)));
+    }
+  }
+}
+
+void NetServer::handle_submit(const std::shared_ptr<Connection>& conn,
+                              SubmitFrame&& frame) {
+  runtime::SubmitOptions options;
+  options.tenant = std::move(frame.tenant);
+  options.priority = static_cast<runtime::Priority>(frame.priority);
+  options.deadline_us = frame.deadline_us;
+  // Cross-wire trace propagation: the client already made the sampling
+  // decision; this request joins its trace.
+  options.trace.trace_id = frame.trace_id;
+  options.trace.span_id = frame.span_id;
+
+  const std::uint64_t request_id = frame.request_id;
+  const std::shared_ptr<IoHub> hub = hub_;
+  // Weak on purpose: the completion lives inside the runtime server's
+  // own queues, so a shared_ptr here would be a cycle whose last drop
+  // can land on a worker thread — ~Server joining its own worker
+  // (EDEADLK -> terminate). The server is always alive while a
+  // completion runs (workers execute inside it; shutdown drains before
+  // returning), so lock() only fails in a teardown race, where the
+  // response is dropped anyway.
+  const std::weak_ptr<runtime::Server> runtime_server = server_;
+  const runtime::SubmitStatus status = server_->try_submit_async(
+      std::move(frame.values), options,
+      [conn, hub, runtime_server, request_id](
+          vsa::Prediction&& prediction, std::exception_ptr error) {
+        ResponseFrame response;
+        response.request_id = request_id;
+        if (const auto server = runtime_server.lock()) {
+          response.health =
+              static_cast<std::uint8_t>(server->health());
+        }
+        if (error == nullptr) {
+          response.status = WireStatus::kOk;
+          response.label = prediction.label;
+          response.scores.assign(prediction.scores.begin(),
+                                 prediction.scores.end());
+        } else {
+          try {
+            std::rethrow_exception(error);
+          } catch (const runtime::RequestRefused& refused) {
+            response.status = to_wire(refused.status());
+            response.message = refused.what();
+          } catch (const std::exception& e) {
+            response.status = WireStatus::kError;
+            response.message = e.what();
+          } catch (...) {
+            response.status = WireStatus::kError;
+            response.message = "unknown backend failure";
+          }
+        }
+        std::vector<std::uint8_t> bytes;
+        encode(response, bytes);
+        bool queued = false;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          if (!conn->closed) {
+            conn->pending.insert(conn->pending.end(), bytes.begin(),
+                                 bytes.end());
+            queued = true;
+          }
+        }
+        if (queued) {
+          hub->frames_out.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry::enabled()) net_metrics().frames_out.add();
+          hub->notify(conn);
+        }
+      });
+
+  if (status != runtime::SubmitStatus::kOk) {
+    // Refusals answer synchronously from the IO thread; the callback
+    // never runs.
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    ResponseFrame response;
+    response.request_id = request_id;
+    response.status = to_wire(status);
+    response.health = static_cast<std::uint8_t>(server_->health());
+    response.message = std::string("request refused: ") +
+                       to_string(response.status);
+    encode(response, conn->outbuf);
+    hub_->frames_out.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      net_metrics().refused.add();
+      net_metrics().frames_out.add();
+    }
+  }
+}
+
+void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
+                             Frame&& frame) {
+  switch (frame.type) {
+    case FrameType::kSubmit:
+      handle_submit(conn, std::move(frame.submit));
+      return;
+    case FrameType::kPing: {
+      PongFrame pong;
+      pong.nonce = frame.ping.nonce;
+      pong.health = static_cast<std::uint8_t>(server_->health());
+      pong.queue_depth =
+          static_cast<std::uint32_t>(server_->queue_depth());
+      encode(pong, conn->outbuf);
+      hub_->frames_out.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) net_metrics().frames_out.add();
+      return;
+    }
+    case FrameType::kResponse:
+    case FrameType::kPong:
+      // Only clients speak these; a server receiving one is a protocol
+      // violation handled like any other malformed input.
+      break;
+  }
+  decode_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) net_metrics().decode_errors.add();
+  ResponseFrame bad;
+  bad.status = WireStatus::kBadFrame;
+  bad.health = static_cast<std::uint8_t>(server_->health());
+  bad.message = "unexpected frame type";
+  encode(bad, conn->outbuf);
+  conn->close_after_flush = true;
+}
+
+void NetServer::connection_readable(
+    const std::shared_ptr<Connection>& conn) {
+  std::uint8_t buf[16384];
+  for (;;) {
+    const ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (got > 0) {
+      conn->decoder.feed(buf, static_cast<std::size_t>(got));
+      if (got < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_connection(conn->fd);  // peer closed or hard error
+    return;
+  }
+
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Result result = conn->decoder.next(frame);
+    if (result == FrameDecoder::Result::kNeedMore) break;
+    if (result == FrameDecoder::Result::kError) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) net_metrics().decode_errors.add();
+      ResponseFrame bad;
+      bad.status = WireStatus::kBadFrame;
+      bad.health = static_cast<std::uint8_t>(server_->health());
+      bad.message = conn->decoder.error();
+      encode(bad, conn->outbuf);
+      conn->close_after_flush = true;
+      break;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) net_metrics().frames_in.add();
+    handle_frame(conn, std::move(frame));
+    if (conn->close_after_flush) break;
+  }
+  if (!flush_out(*conn)) close_connection(conn->fd);
+}
+
+void NetServer::io_loop() {
+  std::vector<epoll_event> events(64);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0;
+         i < n && !stopping_.load(std::memory_order_acquire); ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (fd == hub_->event_fd) {
+        std::uint64_t drained = 0;
+        while (::read(hub_->event_fd, &drained, sizeof(drained)) > 0) {
+        }
+        std::vector<std::shared_ptr<Connection>> dirty;
+        {
+          std::lock_guard<std::mutex> lock(hub_->mu);
+          dirty.swap(hub_->dirty);
+        }
+        for (const auto& conn : dirty) {
+          if (conn->fd < 0) continue;  // already closed
+          merge_pending(*conn);
+          if (!flush_out(*conn)) close_connection(conn->fd);
+        }
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_connection(fd);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) {
+        connection_readable(conn);
+        if (conn->fd < 0) continue;
+      }
+      if ((mask & EPOLLOUT) != 0) {
+        merge_pending(*conn);
+        if (!flush_out(*conn)) close_connection(fd);
+      }
+    }
+  }
+  // Drain-and-close on exit: every connection is marked closed (so
+  // straggler completions drop their responses) before the fds die.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (int fd : fds) close_connection(fd);
+  close_quiet(listen_fd_);
+  close_quiet(epoll_fd_);
+  listen_fd_ = -1;
+  epoll_fd_ = -1;
+}
+
+}  // namespace univsa::net

@@ -1,0 +1,124 @@
+// Epoll-based non-blocking network front-end over one runtime::Server.
+//
+// One IO thread owns the listening socket, an epoll set, and every
+// connection's read/write buffers. Decoded submit frames enter the
+// serving runtime through Server::try_submit_async, so no thread ever
+// parks on a result: worker threads fulfill by encoding a response into
+// the connection's pending buffer and waking the IO loop through an
+// eventfd. Refusals (overload, shed, unknown tenant, shutdown) are
+// answered synchronously from the IO thread with the matching wire
+// status.
+//
+// Trace propagation: a submit frame carrying trace ids joins that
+// sampled trace (SubmitOptions::trace), so one trace spans
+// client -> router -> shard. Responses piggyback the runtime's current
+// HealthState byte — the ShardRouter's failover signal.
+//
+// Protocol violations (see protocol.h) answer with one kBadFrame
+// response, then the connection closes; the decoder's sticky error
+// state guarantees no resynchronisation on garbage.
+//
+// Operator guide: docs/NETWORK.md. Metrics: the `net.server.*` family
+// in docs/METRICS.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "univsa/net/protocol.h"
+#include "univsa/runtime/server.h"
+
+namespace univsa::net {
+
+struct NetServerOptions {
+  /// Listen address. Loopback by default: exposing a shard beyond the
+  /// host is a deliberate operator decision (`serve --host 0.0.0.0`).
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; the resolved one is port().
+  std::uint16_t port = 0;
+  int backlog = 128;
+};
+
+struct NetServerStats {
+  std::uint64_t accepted = 0;       ///< connections ever accepted
+  std::uint64_t frames_in = 0;      ///< frames decoded
+  std::uint64_t frames_out = 0;     ///< responses/pongs queued
+  std::uint64_t decode_errors = 0;  ///< connections killed on bad input
+  std::uint64_t refused = 0;        ///< submits refused synchronously
+  std::size_t active_connections = 0;
+};
+
+class NetServer {
+ public:
+  /// Binds, listens, and starts the IO thread. Throws
+  /// std::runtime_error when the socket can't be set up (address in
+  /// use, bad host, fd limits). The runtime server is shared — several
+  /// NetServers may front one runtime, and the caller controls its
+  /// drain/shutdown independently.
+  explicit NetServer(std::shared_ptr<runtime::Server> server,
+                     NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (resolved when options.port was 0).
+  std::uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Stops accepting, closes every connection, joins the IO thread.
+  /// In-flight runtime requests still complete; their responses are
+  /// dropped (the connection is gone). Idempotent.
+  void shutdown();
+  bool running() const { return !stopping_.load(std::memory_order_acquire); }
+
+  NetServerStats stats() const;
+  const std::shared_ptr<runtime::Server>& server() const { return server_; }
+
+ private:
+  struct Connection;
+  /// State shared with in-flight completion callbacks: the wakeup
+  /// eventfd, the dirty-connection list, and the frames-out counter.
+  /// Callbacks hold it by shared_ptr, so a completion landing after
+  /// shutdown() writes to a still-open (just never-read) eventfd
+  /// instead of a recycled descriptor.
+  struct IoHub;
+
+  void io_loop();
+  void accept_ready();
+  void connection_readable(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn, Frame&& frame);
+  void handle_submit(const std::shared_ptr<Connection>& conn,
+                     SubmitFrame&& frame);
+  /// Moves worker-queued bytes into the IO-thread outbuf.
+  void merge_pending(Connection& conn);
+  /// Writes as much of the outbuf as the socket takes; re-arms
+  /// EPOLLOUT when bytes remain. Returns false when the connection
+  /// must close (peer gone / hard error).
+  bool flush_out(Connection& conn);
+  void close_connection(int fd);
+  void update_interest(Connection& conn);
+
+  std::shared_ptr<runtime::Server> server_;
+  NetServerOptions options_;
+  std::shared_ptr<IoHub> hub_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::once_flag shutdown_once_;
+  /// IO-thread-only connection table.
+  std::map<int, std::shared_ptr<Connection>> connections_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::size_t> active_{0};
+  std::thread io_thread_;
+};
+
+}  // namespace univsa::net

@@ -1,0 +1,353 @@
+#include "univsa/net/protocol.h"
+
+#include <algorithm>
+
+namespace univsa::net {
+
+namespace {
+
+// Explicit little-endian byte serialization: the wire format must not
+// depend on host endianness or struct layout.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+// Bounded big-to-little reader over one frame's payload. Every get_*
+// checks remaining() first; a short read latches ok_ = false and
+// returns 0, so a truncated payload can never index out of bounds.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool ok() const { return ok_; }
+
+  std::uint8_t get_u8() {
+    if (!take(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t get_u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t get_u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t get_u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+  bool get_bytes(std::size_t n, std::string& out) {
+    if (!take(n)) return false;
+    out.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Reserves the 4-byte length prefix, writes the header, and returns the
+// prefix position so finish_frame can backpatch the length.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type) {
+  const std::size_t prefix = out.size();
+  put_u32(out, 0);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  return prefix;
+}
+
+void finish_frame(std::vector<std::uint8_t>& out, std::size_t prefix) {
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(out.size() - prefix - 4);
+  out[prefix + 0] = static_cast<std::uint8_t>(length);
+  out[prefix + 1] = static_cast<std::uint8_t>(length >> 8);
+  out[prefix + 2] = static_cast<std::uint8_t>(length >> 16);
+  out[prefix + 3] = static_cast<std::uint8_t>(length >> 24);
+}
+
+bool decode_submit(Reader& r, SubmitFrame& f, std::string& why) {
+  f.request_id = r.get_u64();
+  f.trace_id = r.get_u64();
+  f.span_id = r.get_u64();
+  f.priority = r.get_u8();
+  f.deadline_us = r.get_u64();
+  const std::size_t tenant_len = r.get_u16();
+  if (tenant_len > kMaxTenantBytes) {
+    why = "tenant name over " + std::to_string(kMaxTenantBytes) + " bytes";
+    return false;
+  }
+  if (!r.get_bytes(tenant_len, f.tenant)) {
+    why = "truncated submit payload";
+    return false;
+  }
+  const std::size_t count = r.get_u32();
+  if (count > kMaxValues) {
+    why = "value count over " + std::to_string(kMaxValues);
+    return false;
+  }
+  if (r.remaining() < count * 2) {
+    why = "truncated submit payload";
+    return false;
+  }
+  f.values.resize(count);
+  for (std::size_t i = 0; i < count; ++i) f.values[i] = r.get_u16();
+  if (!r.ok()) {
+    why = "truncated submit payload";
+    return false;
+  }
+  if (f.priority > 2) {
+    why = "priority byte out of range";
+    return false;
+  }
+  return true;
+}
+
+bool decode_response(Reader& r, ResponseFrame& f, std::string& why) {
+  f.request_id = r.get_u64();
+  const std::uint8_t status = r.get_u8();
+  if (status > static_cast<std::uint8_t>(WireStatus::kBadFrame)) {
+    why = "status byte out of range";
+    return false;
+  }
+  f.status = static_cast<WireStatus>(status);
+  f.health = r.get_u8();
+  f.label = static_cast<std::int32_t>(r.get_u32());
+  const std::size_t count = r.get_u32();
+  if (count > kMaxScores) {
+    why = "score count over " + std::to_string(kMaxScores);
+    return false;
+  }
+  if (r.remaining() < count * 8) {
+    why = "truncated response payload";
+    return false;
+  }
+  f.scores.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    f.scores[i] = static_cast<std::int64_t>(r.get_u64());
+  }
+  const std::size_t message_len = r.get_u16();
+  if (message_len > kMaxMessageBytes) {
+    why = "message over " + std::to_string(kMaxMessageBytes) + " bytes";
+    return false;
+  }
+  if (!r.get_bytes(message_len, f.message) || !r.ok()) {
+    why = "truncated response payload";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kOverloaded: return "overloaded";
+    case WireStatus::kShed: return "shed";
+    case WireStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case WireStatus::kShutdown: return "shutdown";
+    case WireStatus::kUnknownTenant: return "unknown_tenant";
+    case WireStatus::kError: return "error";
+    case WireStatus::kBadFrame: return "bad_frame";
+    case WireStatus::kTransport: return "transport";
+  }
+  return "?";
+}
+
+WireStatus to_wire(runtime::SubmitStatus status) {
+  switch (status) {
+    case runtime::SubmitStatus::kOk: return WireStatus::kOk;
+    case runtime::SubmitStatus::kOverloaded: return WireStatus::kOverloaded;
+    case runtime::SubmitStatus::kShed: return WireStatus::kShed;
+    case runtime::SubmitStatus::kDeadlineExceeded:
+      return WireStatus::kDeadlineExceeded;
+    case runtime::SubmitStatus::kShutdown: return WireStatus::kShutdown;
+    case runtime::SubmitStatus::kUnknownTenant:
+      return WireStatus::kUnknownTenant;
+  }
+  return WireStatus::kError;
+}
+
+void encode(const SubmitFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t prefix = begin_frame(out, FrameType::kSubmit);
+  put_u64(out, frame.request_id);
+  put_u64(out, frame.trace_id);
+  put_u64(out, frame.span_id);
+  put_u8(out, frame.priority);
+  put_u64(out, frame.deadline_us);
+  const std::size_t tenant_len =
+      std::min(frame.tenant.size(), kMaxTenantBytes);
+  put_u16(out, static_cast<std::uint16_t>(tenant_len));
+  out.insert(out.end(), frame.tenant.begin(),
+             frame.tenant.begin() + static_cast<std::ptrdiff_t>(tenant_len));
+  const std::size_t count = std::min(frame.values.size(), kMaxValues);
+  put_u32(out, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) put_u16(out, frame.values[i]);
+  finish_frame(out, prefix);
+}
+
+void encode(const ResponseFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t prefix = begin_frame(out, FrameType::kResponse);
+  put_u64(out, frame.request_id);
+  put_u8(out, static_cast<std::uint8_t>(frame.status));
+  put_u8(out, frame.health);
+  put_u32(out, static_cast<std::uint32_t>(frame.label));
+  const std::size_t count = std::min(frame.scores.size(), kMaxScores);
+  put_u32(out, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    put_u64(out, static_cast<std::uint64_t>(frame.scores[i]));
+  }
+  const std::size_t message_len =
+      std::min(frame.message.size(), kMaxMessageBytes);
+  put_u16(out, static_cast<std::uint16_t>(message_len));
+  out.insert(out.end(), frame.message.begin(),
+             frame.message.begin() +
+                 static_cast<std::ptrdiff_t>(message_len));
+  finish_frame(out, prefix);
+}
+
+void encode(const PingFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t prefix = begin_frame(out, FrameType::kPing);
+  put_u64(out, frame.nonce);
+  finish_frame(out, prefix);
+}
+
+void encode(const PongFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t prefix = begin_frame(out, FrameType::kPong);
+  put_u64(out, frame.nonce);
+  put_u8(out, frame.health);
+  put_u32(out, frame.queue_depth);
+  finish_frame(out, prefix);
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (failed_) return;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow the buffer without bound.
+  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+void FrameDecoder::fail(const std::string& why) {
+  failed_ = true;
+  error_ = why;
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  if (failed_) return Result::kError;
+  const std::size_t available = buffer_.size() - offset_;
+  if (available < 4) return Result::kNeedMore;
+  const std::uint8_t* p = buffer_.data() + offset_;
+  const std::uint32_t length = static_cast<std::uint32_t>(
+      p[0] | (p[1] << 8) | (p[2] << 16) |
+      (static_cast<std::uint32_t>(p[3]) << 24));
+  if (length < 2) {
+    fail("frame length " + std::to_string(length) +
+         " below the 2-byte header");
+    return Result::kError;
+  }
+  if (length > kMaxFrameBytes) {
+    fail("frame length " + std::to_string(length) + " over the " +
+         std::to_string(kMaxFrameBytes) + "-byte cap");
+    return Result::kError;
+  }
+  if (available < 4 + static_cast<std::size_t>(length)) {
+    return Result::kNeedMore;
+  }
+  const std::uint8_t version = p[4];
+  const std::uint8_t type = p[5];
+  if (version != kProtocolVersion) {
+    fail("unsupported protocol version " + std::to_string(version) +
+         " (speaking " + std::to_string(kProtocolVersion) + ")");
+    return Result::kError;
+  }
+  Reader reader(p + 6, length - 2);
+  std::string why;
+  bool ok = false;
+  out = Frame{};
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kSubmit:
+      out.type = FrameType::kSubmit;
+      ok = decode_submit(reader, out.submit, why);
+      break;
+    case FrameType::kResponse:
+      out.type = FrameType::kResponse;
+      ok = decode_response(reader, out.response, why);
+      break;
+    case FrameType::kPing:
+      out.type = FrameType::kPing;
+      out.ping.nonce = reader.get_u64();
+      ok = reader.ok();
+      if (!ok) why = "truncated ping payload";
+      break;
+    case FrameType::kPong:
+      out.type = FrameType::kPong;
+      out.pong.nonce = reader.get_u64();
+      out.pong.health = reader.get_u8();
+      out.pong.queue_depth = reader.get_u32();
+      ok = reader.ok();
+      if (!ok) why = "truncated pong payload";
+      break;
+    default:
+      fail("unknown frame type " + std::to_string(type));
+      return Result::kError;
+  }
+  if (!ok) {
+    fail(why.empty() ? "malformed frame payload" : why);
+    return Result::kError;
+  }
+  if (reader.remaining() != 0) {
+    fail(std::to_string(reader.remaining()) +
+         " trailing bytes after the payload");
+    return Result::kError;
+  }
+  offset_ += 4 + static_cast<std::size_t>(length);
+  return Result::kFrame;
+}
+
+}  // namespace univsa::net

@@ -1,0 +1,152 @@
+// Wire protocol for the network serving tier (docs/NETWORK.md).
+//
+// Every frame is a little-endian length-prefixed record:
+//
+//   u32 length   bytes after this prefix (version + type + payload)
+//   u8  version  kProtocolVersion; a peer speaking another version is
+//                rejected at decode time (no in-band negotiation — the
+//                version byte exists so a future v2 can add one)
+//   u8  type     FrameType discriminator
+//   ...payload   fixed-width LE fields, counted strings/arrays
+//
+// The codec is deliberately paranoid: it is the trust boundary of the
+// whole serving tier. Every counted field has an explicit cap, a frame
+// must parse to exactly its declared length (no trailing bytes), and a
+// malformed stream flips the decoder into a sticky error state instead
+// of resynchronising — the transport closes the connection. Adversarial
+// inputs (truncated at any byte, oversized lengths, unknown versions or
+// types, garbage counts) must reject without undefined behaviour;
+// tests/net/protocol_test.cpp drives exactly those.
+//
+// Requests carry the caller's TraceContext ids so one sampled trace
+// spans client -> router -> shard (runtime::SubmitOptions::trace).
+// Responses piggyback the shard's HealthState byte; the ShardRouter
+// uses it to steer traffic away from degraded/draining shards without
+// a separate control channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "univsa/runtime/server.h"
+
+namespace univsa::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard cap on `length` (bytes after the prefix). A garbage length
+/// cannot make the decoder buffer unbounded input.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+/// Field caps, enforced on decode (and on encode, defensively).
+inline constexpr std::size_t kMaxTenantBytes = 256;
+inline constexpr std::size_t kMaxValues = 1u << 16;
+inline constexpr std::size_t kMaxScores = 4096;
+inline constexpr std::size_t kMaxMessageBytes = 1024;
+
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,    ///< client -> server inference request
+  kResponse = 2,  ///< server -> client result or refusal
+  kPing = 3,      ///< client -> server health probe
+  kPong = 4,      ///< server -> client health + queue depth
+};
+
+/// Response status byte. Values <= kBadFrame appear on the wire;
+/// kTransport never does — NetClient synthesizes it for connect/send/
+/// recv/timeout failures so callers can tell a dead endpoint (failover
+/// candidate) from a live refusal.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,        ///< queue full (maps to ServerOverloaded)
+  kShed = 2,              ///< admission control refused (RequestShed)
+  kDeadlineExceeded = 3,  ///< deadline passed while queued
+  kShutdown = 4,          ///< server draining; no new work
+  kUnknownTenant = 5,     ///< tenant never published on this shard
+  kError = 6,             ///< backend failure; message has detail
+  kBadFrame = 7,          ///< peer sent a malformed frame (then closed)
+  kTransport = 254,       ///< client-side only: endpoint unreachable
+};
+
+const char* to_string(WireStatus status);
+
+WireStatus to_wire(runtime::SubmitStatus status);
+
+/// Inference request. `trace_id`/`span_id` propagate an existing
+/// sampled trace across the wire (0 = let the shard sample).
+struct SubmitFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint8_t priority = 1;  ///< runtime::Priority (0/1/2)
+  std::uint64_t deadline_us = 0;
+  std::string tenant;  ///< empty = shard's default tenant
+  std::vector<std::uint16_t> values;
+};
+
+/// Result or refusal for one SubmitFrame, correlated by request_id.
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::uint8_t health = 0;  ///< shard runtime::HealthState (0/1/2)
+  std::int32_t label = 0;
+  std::vector<std::int64_t> scores;
+  std::string message;  ///< refusal/error detail; empty on kOk
+};
+
+struct PingFrame {
+  std::uint64_t nonce = 0;
+};
+
+struct PongFrame {
+  std::uint64_t nonce = 0;
+  std::uint8_t health = 0;
+  std::uint32_t queue_depth = 0;
+};
+
+/// Appends one complete frame (prefix + header + payload) to `out`.
+void encode(const SubmitFrame& frame, std::vector<std::uint8_t>& out);
+void encode(const ResponseFrame& frame, std::vector<std::uint8_t>& out);
+void encode(const PingFrame& frame, std::vector<std::uint8_t>& out);
+void encode(const PongFrame& frame, std::vector<std::uint8_t>& out);
+
+/// One decoded frame; `type` selects which member is meaningful.
+struct Frame {
+  FrameType type = FrameType::kSubmit;
+  SubmitFrame submit;
+  ResponseFrame response;
+  PingFrame ping;
+  PongFrame pong;
+};
+
+/// Incremental decoder for one byte stream (one connection). Feed
+/// arbitrary chunks; next() yields complete frames in order. Any
+/// malformed input (bad version/type/length/count, payload not parsing
+/// to exactly its declared length) puts the decoder into a sticky
+/// error state — the caller must close the connection.
+class FrameDecoder {
+ public:
+  enum class Result {
+    kFrame,     ///< `out` holds the next decoded frame
+    kNeedMore,  ///< the buffered bytes end mid-frame; feed more
+    kError,     ///< malformed stream (sticky); see error()
+  };
+
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  Result next(Frame& out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buffer_.size() - offset_; }
+
+ private:
+  void fail(const std::string& why);
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  ///< consumed prefix of buffer_
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace univsa::net

@@ -1,0 +1,338 @@
+#include "univsa/net/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "univsa/telemetry/flight_recorder.h"
+#include "univsa/telemetry/metrics.h"
+
+namespace univsa::net {
+
+namespace {
+
+struct GlobalRouterMetrics {
+  telemetry::Counter& requests =
+      telemetry::counter("router.requests_total");
+  telemetry::Counter& completed =
+      telemetry::counter("router.completed_total");
+  telemetry::Counter& failovers =
+      telemetry::counter("router.failovers_total");
+  telemetry::Counter& hedges = telemetry::counter("router.hedges_total");
+  telemetry::Counter& refused =
+      telemetry::counter("router.refused_total");
+  telemetry::Counter& exhausted =
+      telemetry::counter("router.exhausted_total");
+};
+
+GlobalRouterMetrics& router_metrics() {
+  static GlobalRouterMetrics g;
+  return g;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_key(const std::string& key) {
+  // FNV-1a over the bytes, then a splitmix64 finalizer for avalanche —
+  // platform-independent, so shard placement reproduces everywhere.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return splitmix64(h);
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::uint8_t kHealthDraining = 2;
+
+// Definitive (non-failover) outcomes map onto the same exception
+// hierarchy NetClient::predict throws.
+[[noreturn]] void throw_refusal(const std::string& endpoint,
+                                const NetClient::Result& result) {
+  const std::string detail = result.message.empty()
+                                 ? to_string(result.status)
+                                 : result.message;
+  switch (result.status) {
+    case WireStatus::kShed:
+      throw runtime::RequestShed(detail);
+    case WireStatus::kDeadlineExceeded:
+      throw runtime::DeadlineExceeded(detail);
+    case WireStatus::kUnknownTenant:
+      throw runtime::UnknownTenant(detail);
+    case WireStatus::kBadFrame:
+      throw NetError("protocol violation talking to " + endpoint + ": " +
+                     detail);
+    default:
+      throw std::runtime_error("backend error from " + endpoint + ": " +
+                               detail);
+  }
+}
+
+}  // namespace
+
+struct ShardRouter::EndpointState {
+  Endpoint endpoint;
+  std::size_t shard = 0;
+  std::size_t replica = 0;
+  std::string name;  ///< "host:port" for flight events
+  std::unique_ptr<NetClient> client;
+  std::atomic<std::uint8_t> health{0};
+  std::atomic<std::uint64_t> cooldown_until_ns{0};
+  std::atomic<std::uint64_t> failures{0};
+  // Per-shard labeled mirrors, resolved once.
+  telemetry::Counter* g_requests = nullptr;
+  telemetry::Counter* g_failovers = nullptr;
+};
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)) {
+  if (options_.shards.empty()) {
+    throw std::invalid_argument("ShardRouter needs at least one shard");
+  }
+  if (options_.virtual_nodes == 0) options_.virtual_nodes = 1;
+  states_.reserve(options_.shards.size());
+  for (std::size_t s = 0; s < options_.shards.size(); ++s) {
+    const auto& replicas = options_.shards[s];
+    if (replicas.empty()) {
+      throw std::invalid_argument("shard " + std::to_string(s) +
+                                  " has no replicas");
+    }
+    const std::string shard_label = std::to_string(s);
+    std::vector<std::unique_ptr<EndpointState>> shard_states;
+    shard_states.reserve(replicas.size());
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      auto state = std::make_unique<EndpointState>();
+      state->endpoint = replicas[r];
+      state->shard = s;
+      state->replica = r;
+      state->name = replicas[r].host + ":" +
+                    std::to_string(replicas[r].port);
+      NetClientOptions client = options_.client;
+      client.host = replicas[r].host;
+      client.port = replicas[r].port;
+      state->client = std::make_unique<NetClient>(std::move(client));
+      state->g_requests = &telemetry::counter(telemetry::labeled(
+          "router.shard_requests", "shard", shard_label));
+      state->g_failovers = &telemetry::counter(telemetry::labeled(
+          "router.shard_failovers", "shard", shard_label));
+      shard_states.push_back(std::move(state));
+    }
+    states_.push_back(std::move(shard_states));
+    for (std::size_t v = 0; v < options_.virtual_nodes; ++v) {
+      ring_.emplace_back(
+          splitmix64((static_cast<std::uint64_t>(s) << 32) | v),
+          static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  router_metrics();  // register the family before the first request
+}
+
+ShardRouter::~ShardRouter() = default;
+
+std::size_t ShardRouter::shard_for(const std::string& tenant) const {
+  const std::uint64_t point =
+      hash_key(tenant.empty() ? "default" : tenant);
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, std::uint32_t{0xffffffff}));
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+void ShardRouter::mark_failed(EndpointState& state) const {
+  state.failures.fetch_add(1, std::memory_order_relaxed);
+  state.cooldown_until_ns.store(
+      steady_now_ns() + options_.failure_backoff_ms * 1'000'000ull,
+      std::memory_order_relaxed);
+}
+
+bool ShardRouter::available(const EndpointState& state,
+                            std::uint64_t now_ns) const {
+  if (state.cooldown_until_ns.load(std::memory_order_relaxed) > now_ns) {
+    return false;
+  }
+  return state.health.load(std::memory_order_relaxed) < kHealthDraining;
+}
+
+vsa::Prediction ShardRouter::predict(
+    const std::vector<std::uint16_t>& values,
+    const runtime::SubmitOptions& options) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) router_metrics().requests.add();
+
+  // Candidate order: the home shard's replicas (rotated so concurrent
+  // callers spread), then ring-successor shards as failover targets.
+  const std::size_t home = shard_for(options.tenant);
+  const std::uint64_t rotation =
+      rr_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<EndpointState*> candidates;
+  for (std::size_t hop = 0; hop < states_.size(); ++hop) {
+    const auto& shard = states_[(home + hop) % states_.size()];
+    for (std::size_t r = 0; r < shard.size(); ++r) {
+      candidates.push_back(
+          shard[(rotation + r) % shard.size()].get());
+    }
+  }
+  // Health gate: serving endpoints first, degraded after, draining or
+  // cooling-down ones last-resort (stable partition keeps ring order
+  // within each class).
+  const std::uint64_t now_ns = steady_now_ns();
+  std::stable_partition(candidates.begin(), candidates.end(),
+                        [&](EndpointState* e) {
+                          return available(*e, now_ns) &&
+                                 e->health.load(
+                                     std::memory_order_relaxed) == 0;
+                        });
+  std::stable_partition(candidates.begin(), candidates.end(),
+                        [&](EndpointState* e) {
+                          return available(*e, now_ns);
+                        });
+  const std::size_t attempts_cap =
+      options_.max_attempts != 0
+          ? std::min(options_.max_attempts, candidates.size())
+          : candidates.size();
+
+  const bool hedge = options.priority == runtime::Priority::kHigh &&
+                     options_.hedge_timeout_ms != 0 &&
+                     attempts_cap > 1;
+  NetClient::Result last;
+  vsa::Prediction prediction;
+  for (std::size_t attempt = 0; attempt < attempts_cap; ++attempt) {
+    EndpointState& state = *candidates[attempt];
+    const std::uint64_t timeout_ms =
+        (hedge && attempt == 0) ? options_.hedge_timeout_ms : 0;
+    state.g_requests->add();
+    last = state.client->predict_once(values, options, &prediction,
+                                      timeout_ms);
+    if (last.status != WireStatus::kTransport) {
+      state.health.store(last.health, std::memory_order_relaxed);
+      if (last.health >= kHealthDraining) {
+        // The shard answered but is draining; keep this answer, steer
+        // the next requests elsewhere for a backoff window.
+        state.cooldown_until_ns.store(
+            steady_now_ns() +
+                options_.failure_backoff_ms * 1'000'000ull,
+            std::memory_order_relaxed);
+      }
+    }
+    switch (last.status) {
+      case WireStatus::kOk:
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::enabled()) router_metrics().completed.add();
+        return prediction;
+      case WireStatus::kTransport:
+      case WireStatus::kShutdown:
+      case WireStatus::kOverloaded: {
+        // Dead, draining, or full — another replica may serve.
+        // Overload hops don't poison the endpoint (no cooldown); a
+        // hedge-timeout hop is counted as a hedge, a genuine failure
+        // as a failover with a flight event.
+        const bool hedged =
+            hedge && attempt == 0 && last.timed_out;
+        if (last.status != WireStatus::kOverloaded && !hedged) {
+          mark_failed(state);
+        }
+        if (attempt + 1 >= attempts_cap) break;  // nothing left to try
+        if (hedged) {
+          hedges_.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry::enabled()) router_metrics().hedges.add();
+        } else {
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+          state.g_failovers->add();
+          if (telemetry::enabled()) {
+            router_metrics().failovers.add();
+            telemetry::flightrec_record(
+                telemetry::FlightEventType::kFailover,
+                state.name.c_str(), state.shard, state.replica);
+          }
+        }
+        continue;
+      }
+      default:
+        // Semantic refusal or backend error: the shard meant it —
+        // surface through the NetClient exception mapping below.
+        refused_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::enabled()) router_metrics().refused.add();
+        throw_refusal(state.name, last);
+    }
+    break;
+  }
+
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) router_metrics().exhausted.add();
+  if (last.status == WireStatus::kOverloaded) {
+    throw runtime::ServerOverloaded(
+        "every replica overloaded for tenant \"" + options.tenant +
+        "\" (home shard " + std::to_string(home) + ")");
+  }
+  throw NetError("no endpoint reachable for tenant \"" + options.tenant +
+                 "\" (home shard " + std::to_string(home) + ", " +
+                 std::to_string(attempts_cap) + " attempts, last: " +
+                 (last.message.empty() ? to_string(last.status)
+                                       : last.message) +
+                 ")");
+}
+
+PongFrame ShardRouter::probe(std::size_t shard, std::size_t replica) {
+  EndpointState& state = *states_.at(shard).at(replica);
+  try {
+    const PongFrame pong = state.client->ping();
+    state.health.store(pong.health, std::memory_order_relaxed);
+    if (pong.health < kHealthDraining) {
+      state.cooldown_until_ns.store(0, std::memory_order_relaxed);
+    }
+    return pong;
+  } catch (const NetError&) {
+    mark_failed(state);
+    throw;
+  }
+}
+
+std::vector<std::vector<ShardRouter::EndpointStatus>>
+ShardRouter::endpoints() const {
+  const std::uint64_t now_ns = steady_now_ns();
+  std::vector<std::vector<EndpointStatus>> out;
+  out.reserve(states_.size());
+  for (const auto& shard : states_) {
+    std::vector<EndpointStatus> row;
+    row.reserve(shard.size());
+    for (const auto& state : shard) {
+      EndpointStatus status;
+      status.endpoint = state->endpoint;
+      status.health = state->health.load(std::memory_order_relaxed);
+      status.cooling =
+          state->cooldown_until_ns.load(std::memory_order_relaxed) >
+          now_ns;
+      status.failures = state->failures.load(std::memory_order_relaxed);
+      row.push_back(status);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+RouterStats ShardRouter::stats() const {
+  RouterStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failovers = failovers_.load(std::memory_order_relaxed);
+  stats.hedges = hedges_.load(std::memory_order_relaxed);
+  stats.refused = refused_.load(std::memory_order_relaxed);
+  stats.exhausted = exhausted_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace univsa::net

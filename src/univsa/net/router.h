@@ -1,0 +1,135 @@
+// Consistent-hash sharding tier over N NetServer endpoints.
+//
+// Placement: tenants hash onto a ring of virtual nodes (virtual_nodes
+// points per shard, splitmix64-derived, platform-independent), so a
+// tenant's home shard is a pure function of (tenant, shard count) and
+// adding a shard moves only ~1/N of the keyspace. Every shard publishes
+// every tenant (models are KB-scale — see docs/ARCHITECTURE.md), so
+// failover may walk the ring to the next shard without losing
+// correctness; the hash only concentrates a tenant's cache/adaptation
+// locality on its home shard.
+//
+// Failover is health-gated: every response piggybacks the shard's
+// HealthState, pings refresh it out-of-band, and candidate ordering
+// prefers serving > degraded and skips draining or cooling-down
+// endpoints (a transport failure starts a failure_backoff_ms cooldown).
+// A request tries its home shard's replicas first (rotating for load
+// spread), then successive ring shards; each hop counts
+// router.failovers_total, a per-shard labeled counter, and a
+// `failover` flight-recorder event.
+//
+// Hedged retries: a kHigh request's first attempt runs under the
+// shorter hedge_timeout_ms; if that attempt times out, the request
+// immediately hops to the next replica with the full budget (counted
+// in router.hedges_total). Sequential hedging bounds tail latency
+// without duplicating work on the happy path.
+//
+// Thread-safe: predict() may be called from any number of threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "univsa/net/net_client.h"
+#include "univsa/net/protocol.h"
+#include "univsa/runtime/server.h"
+#include "univsa/vsa/model.h"
+
+namespace univsa::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct ShardRouterOptions {
+  /// shards[s] is the replica set of shard s; every shard needs at
+  /// least one replica.
+  std::vector<std::vector<Endpoint>> shards;
+  /// Ring points per shard; more = smoother key distribution.
+  std::size_t virtual_nodes = 64;
+  /// Cooldown after a transport failure (or a draining health byte)
+  /// before an endpoint is eligible again.
+  std::uint64_t failure_backoff_ms = 200;
+  /// First-attempt budget for kHigh requests; 0 disables hedging.
+  std::uint64_t hedge_timeout_ms = 250;
+  /// Cap on endpoints tried per request; 0 = every endpoint once.
+  std::size_t max_attempts = 0;
+  /// Template for the per-endpoint clients (host/port overwritten).
+  /// client.max_retries stays per-endpoint; the router's failover is
+  /// the cross-endpoint retry.
+  NetClientOptions client;
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failovers = 0;  ///< endpoint hops after a failure
+  std::uint64_t hedges = 0;     ///< kHigh first attempts that timed out
+  std::uint64_t refused = 0;    ///< semantic refusals surfaced to callers
+  std::uint64_t exhausted = 0;  ///< requests that ran out of endpoints
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterOptions options);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes by options.tenant (empty routes "default"): home shard's
+  /// replicas first, then ring-successor shards. Throws the same
+  /// exception hierarchy as NetClient::predict once an answer (or
+  /// definitive refusal) arrives, or NetError when every candidate is
+  /// exhausted.
+  vsa::Prediction predict(const std::vector<std::uint16_t>& values,
+                          const runtime::SubmitOptions& options = {});
+
+  /// The ring placement for a tenant key (pure; no IO).
+  std::size_t shard_for(const std::string& tenant) const;
+
+  std::size_t shard_count() const { return states_.size(); }
+  std::size_t replica_count(std::size_t shard) const {
+    return states_[shard].size();
+  }
+
+  /// Pings one endpoint, refreshing its cached health. Throws NetError
+  /// when it doesn't answer (and starts its cooldown).
+  PongFrame probe(std::size_t shard, std::size_t replica);
+
+  /// Cached view of one endpoint (no IO).
+  struct EndpointStatus {
+    Endpoint endpoint;
+    std::uint8_t health = 0;  ///< last seen HealthState
+    bool cooling = false;     ///< inside its failure backoff window
+    std::uint64_t failures = 0;
+  };
+  std::vector<std::vector<EndpointStatus>> endpoints() const;
+
+  RouterStats stats() const;
+
+ private:
+  struct EndpointState;
+
+  void mark_failed(EndpointState& state) const;
+  bool available(const EndpointState& state, std::uint64_t now_ns) const;
+
+  ShardRouterOptions options_;
+  /// Immutable after construction; per-endpoint fields are atomic.
+  std::vector<std::vector<std::unique_ptr<EndpointState>>> states_;
+  /// Sorted (point, shard) ring.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  std::atomic<std::uint64_t> rr_{0};  ///< replica rotation seed
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+};
+
+}  // namespace univsa::net

@@ -395,8 +395,9 @@ std::future<vsa::Prediction> Server::submit(
     }
   }
   if (evicted.has_value()) {
-    evicted->promise.set_exception(std::make_exception_ptr(
-        RequestShed("low-priority request evicted for a higher class")));
+    fulfill_error(*evicted,
+                  std::make_exception_ptr(RequestShed(
+                      "low-priority request evicted for a higher class")));
   }
   if (status == SubmitStatus::kOk && trace.sampled()) {
     // Admission span: entry to enqueued, including any backoff waits.
@@ -430,12 +431,32 @@ SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
                                 std::future<vsa::Prediction>* out) {
   Request request;
   request.values = std::move(values);
+  std::future<vsa::Prediction> future = request.promise.get_future();
+  const SubmitStatus status = try_submit_impl(std::move(request), options);
+  if (status == SubmitStatus::kOk && out != nullptr) {
+    *out = std::move(future);
+  }
+  return status;
+}
+
+SubmitStatus Server::try_submit_async(std::vector<std::uint16_t> values,
+                                      const SubmitOptions& options,
+                                      Completion done) {
+  UNIVSA_REQUIRE(done != nullptr,
+                 "try_submit_async requires a completion callback");
+  Request request;
+  request.values = std::move(values);
+  request.on_complete = std::move(done);
+  return try_submit_impl(std::move(request), options);
+}
+
+SubmitStatus Server::try_submit_impl(Request&& request,
+                                     const SubmitOptions& options) {
   request.priority = options.priority;
   if (options.deadline_us != 0) {
     request.deadline_ns =
         telemetry::now_ns() + options.deadline_us * 1000ull;
   }
-  std::future<vsa::Prediction> future = request.promise.get_future();
 
   const std::string* tenant_name = nullptr;
   const ModelRegistry::Tenant* entry = resolve_tenant(options, &tenant_name);
@@ -476,18 +497,32 @@ SubmitStatus Server::try_submit(std::vector<std::uint16_t> values,
     }
   }
   if (evicted.has_value()) {
-    evicted->promise.set_exception(std::make_exception_ptr(
-        RequestShed("low-priority request evicted for a higher class")));
+    fulfill_error(*evicted,
+                  std::make_exception_ptr(RequestShed(
+                      "low-priority request evicted for a higher class")));
   }
   if (status == SubmitStatus::kOk && trace.sampled()) {
     push_span("server.submit", trace.trace_id,
               telemetry::next_trace_span_id(), root_span, entry_ns,
               telemetry::now_ns(), 0);
   }
-  if (status == SubmitStatus::kOk && out != nullptr) {
-    *out = std::move(future);
-  }
   return status;
+}
+
+void Server::fulfill_value(Request& request, vsa::Prediction&& value) {
+  if (request.on_complete) {
+    request.on_complete(std::move(value), nullptr);
+  } else {
+    request.promise.set_value(std::move(value));
+  }
+}
+
+void Server::fulfill_error(Request& request, std::exception_ptr error) {
+  if (request.on_complete) {
+    request.on_complete(vsa::Prediction{}, std::move(error));
+  } else {
+    request.promise.set_exception(std::move(error));
+  }
 }
 
 void Server::shutdown() {
@@ -666,8 +701,9 @@ void Server::worker_loop(std::size_t worker) {
         }
       }
       for (Request& request : expired) {
-        request.promise.set_exception(std::make_exception_ptr(
-            DeadlineExceeded("deadline passed while queued")));
+        fulfill_error(request,
+                      std::make_exception_ptr(DeadlineExceeded(
+                          "deadline passed while queued")));
       }
       expired.clear();  // release the promises now, not next iteration
     }
@@ -751,11 +787,11 @@ void Server::worker_loop(std::size_t worker) {
 
     if (error != nullptr) {
       for (auto& request : batch) {
-        request.promise.set_exception(error);
+        fulfill_error(request, error);
       }
     } else {
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        batch[i].promise.set_value(std::move(predictions[i]));
+        fulfill_value(batch[i], std::move(predictions[i]));
       }
     }
 

@@ -50,6 +50,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -297,6 +298,29 @@ class Server {
                           const SubmitOptions& options,
                           std::future<vsa::Prediction>* out);
 
+  /// Completion callback for the event-driven front-end path (the
+  /// network tier's epoll loop): exactly one of the two arguments is
+  /// meaningful — a Prediction on success, or the exception the future
+  /// path would have delivered (DeadlineExceeded, RequestShed,
+  /// InjectedFault, ...). Runs on a worker thread for completions and
+  /// deadline rejections, or on the *evicting* submitter's thread when
+  /// this request is the kLow victim of a capacity eviction. Callbacks
+  /// must be cheap and must not throw; stats() already accounts for
+  /// the request by the time one runs (the same stats-before-
+  /// fulfillment invariant the future path keeps).
+  using Completion =
+      std::function<void(vsa::Prediction&&, std::exception_ptr)>;
+
+  /// Non-blocking submit that fulfills through `done` instead of a
+  /// future — no thread parks on the result, so an IO loop can keep
+  /// thousands of requests in flight. Returns the same statuses as
+  /// try_submit; `done` is invoked later only on kOk (refusals are
+  /// reported synchronously through the return value and never call
+  /// it).
+  SubmitStatus try_submit_async(std::vector<std::uint16_t> values,
+                                const SubmitOptions& options,
+                                Completion done);
+
   /// Stops accepting new requests, serves everything already queued, and
   /// joins the workers. Idempotent; safe to call from any thread.
   void shutdown();
@@ -337,6 +361,9 @@ class Server {
   struct Request {
     std::vector<std::uint16_t> values;
     std::promise<vsa::Prediction> promise;
+    /// Set on the async path; fulfill_value/fulfill_error route to it
+    /// instead of the promise.
+    Completion on_complete;
     std::uint64_t submit_ns = 0;    ///< telemetry::now_ns() at enqueue
     std::uint64_t deadline_ns = 0;  ///< absolute; 0 = none
     Priority priority = Priority::kNormal;
@@ -351,6 +378,17 @@ class Server {
   };
 
   void worker_loop(std::size_t worker);
+  /// Deliver a result/failure through whichever channel the request
+  /// carries (callback or promise). Every fulfillment site goes
+  /// through these so the async path cannot drift from the future
+  /// path. Never called with mutex_ held.
+  static void fulfill_value(Request& request, vsa::Prediction&& value);
+  static void fulfill_error(Request& request, std::exception_ptr error);
+  /// Shared non-blocking admission body behind try_submit and
+  /// try_submit_async: tenant/snapshot resolution, trace sampling,
+  /// admission, eviction fallout, and the submit span.
+  SubmitStatus try_submit_impl(Request&& request,
+                               const SubmitOptions& options);
   /// Admission decision with mutex_ held. On kOk the request has been
   /// enqueued; when a full queue forces an eviction, `evicted` receives
   /// the kLow request whose promise the caller must fail *after*

@@ -174,6 +174,7 @@ const char* to_string(FlightEventType type) noexcept {
     case FlightEventType::kDriftLatched: return "drift_latched";
     case FlightEventType::kSloBreach: return "slo_breach";
     case FlightEventType::kDump: return "dump";
+    case FlightEventType::kFailover: return "failover";
   }
   return "unknown";
 }

@@ -38,6 +38,7 @@ enum class FlightEventType : std::uint8_t {
   kDriftLatched,        ///< adaptation driver latched input drift
   kSloBreach,           ///< multi-window burn-rate rule fired
   kDump,                ///< a dump was taken (marks the file itself)
+  kFailover,            ///< router steered traffic off a shard endpoint
 };
 
 /// Stable lowercase name for JSON output (e.g. "health_transition").

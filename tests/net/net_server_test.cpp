@@ -1,0 +1,242 @@
+// Loopback NetServer/NetClient semantics:
+//   - every prediction served over the wire is bit-identical (label AND
+//     scores) to a direct ReferenceBackend call,
+//   - concurrent clients each get their own correlated answers,
+//   - refusals cross the wire typed: an unknown tenant throws
+//     runtime::UnknownTenant client-side, a drained server maps to
+//     RequestRefused(kShutdown),
+//   - a peer speaking garbage gets one kBadFrame response and a closed
+//     connection; the server survives and keeps serving others,
+//   - pings report the runtime's live HealthState.
+#include "univsa/net/net_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "univsa/net/net_client.h"
+#include "univsa/runtime/registry.h"
+#include "univsa/runtime/server.h"
+
+namespace univsa::net {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+std::vector<std::vector<std::uint16_t>> random_samples(
+    const vsa::ModelConfig& c, std::size_t n, Rng& rng) {
+  std::vector<std::vector<std::uint16_t>> samples(n);
+  for (auto& s : samples) {
+    s.resize(c.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+    }
+  }
+  return samples;
+}
+
+struct Fixture {
+  vsa::ModelConfig config = small_config();
+  vsa::Model model;
+  std::shared_ptr<runtime::Server> server;
+  std::unique_ptr<NetServer> net;
+
+  explicit Fixture(std::uint64_t seed = 7,
+                   runtime::ServerOptions options = {}) {
+    Rng rng(seed);
+    model = vsa::Model::random(config, rng);
+    options.workers = 2;
+    options.max_batch = 8;
+    options.max_delay_us = 100;
+    server = std::make_shared<runtime::Server>(model, options);
+    net = std::make_unique<NetServer>(server);
+  }
+
+  NetClientOptions client_options() const {
+    NetClientOptions o;
+    o.host = net->host();
+    o.port = net->port();
+    return o;
+  }
+};
+
+TEST(NetServer, RoundTripsAreBitIdenticalToReference) {
+  Fixture fx;
+  Rng rng(11);
+  const auto samples = random_samples(fx.config, 40, rng);
+  std::vector<vsa::Prediction> expected;
+  runtime::make_backend("reference", fx.model)
+      ->predict_batch(samples, expected);
+
+  NetClient client(fx.client_options());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const vsa::Prediction got = client.predict(samples[i]);
+    EXPECT_EQ(got.label, expected[i].label) << "sample " << i;
+    EXPECT_EQ(got.scores, expected[i].scores) << "sample " << i;
+  }
+  const NetServerStats stats = fx.net->stats();
+  EXPECT_EQ(stats.frames_in, samples.size());
+  EXPECT_EQ(stats.frames_out, samples.size());
+  EXPECT_EQ(stats.decode_errors, 0u);
+}
+
+TEST(NetServer, ConcurrentClientsGetTheirOwnAnswers) {
+  Fixture fx;
+  Rng rng(12);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 20;
+  const auto samples = random_samples(fx.config, kThreads * kPerThread, rng);
+  std::vector<vsa::Prediction> expected;
+  runtime::make_backend("reference", fx.model)
+      ->predict_batch(samples, expected);
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      NetClient client(fx.client_options());
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t index = t * kPerThread + i;
+        const vsa::Prediction got = client.predict(samples[index]);
+        if (got.label != expected[index].label ||
+            got.scores != expected[index].scores) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(NetServer, UnknownTenantThrowsTypedAcrossTheWire) {
+  Fixture fx;
+  NetClient client(fx.client_options());
+  runtime::SubmitOptions options;
+  options.tenant = "zoo/never-published";
+  std::vector<std::uint16_t> sample(fx.config.features(), 0);
+  EXPECT_THROW(client.predict(sample, options), runtime::UnknownTenant);
+  EXPECT_GE(fx.net->stats().refused, 1u);
+}
+
+TEST(NetServer, DrainedRuntimeRefusesWithShutdownStatus) {
+  Fixture fx;
+  std::vector<std::uint16_t> sample(fx.config.features(), 1);
+  NetClient client(fx.client_options());
+  ASSERT_NO_THROW(client.predict(sample));
+  fx.server->shutdown();  // runtime drains; NetServer still up
+  try {
+    client.predict(sample);
+    FAIL() << "expected a shutdown refusal";
+  } catch (const runtime::RequestRefused& e) {
+    EXPECT_EQ(e.status(), runtime::SubmitStatus::kShutdown);
+  }
+}
+
+TEST(NetServer, PingReportsHealthAndSurvivesDrain) {
+  Fixture fx;
+  NetClient client(fx.client_options());
+  PongFrame pong = client.ping();
+  EXPECT_EQ(pong.health,
+            static_cast<std::uint8_t>(runtime::HealthState::kServing));
+  fx.server->shutdown();
+  pong = client.ping();
+  EXPECT_EQ(pong.health,
+            static_cast<std::uint8_t>(runtime::HealthState::kDraining));
+}
+
+TEST(NetServer, GarbageStreamGetsBadFrameThenClose) {
+  Fixture fx;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fx.net->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // A plausible length prefix followed by a bogus version byte.
+  std::vector<std::uint8_t> garbage;
+  encode(PingFrame{1}, garbage);
+  garbage[4] = 0x42;
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+
+  // Expect one kBadFrame response, then EOF.
+  FrameDecoder decoder;
+  Frame frame;
+  bool got_bad_frame = false;
+  std::uint8_t buf[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    if (decoder.next(frame) == FrameDecoder::Result::kFrame &&
+        frame.type == FrameType::kResponse &&
+        frame.response.status == WireStatus::kBadFrame) {
+      got_bad_frame = true;
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(got_bad_frame);
+  EXPECT_GE(fx.net->stats().decode_errors, 1u);
+
+  // The server is still healthy for well-behaved clients.
+  NetClient client(fx.client_options());
+  std::vector<std::uint16_t> sample(fx.config.features(), 2);
+  EXPECT_NO_THROW(client.predict(sample));
+}
+
+TEST(NetServer, ShutdownRefusesNewConnectionsButIsIdempotent) {
+  Fixture fx;
+  const std::uint16_t port = fx.net->port();
+  fx.net->shutdown();
+  fx.net->shutdown();  // idempotent
+  EXPECT_FALSE(fx.net->running());
+
+  NetClientOptions o;
+  o.port = port;
+  o.connect_timeout_ms = 200;
+  o.request_timeout_ms = 200;
+  NetClient client(o);
+  std::vector<std::uint16_t> sample(fx.config.features(), 3);
+  const NetClient::Result result =
+      client.predict_once(sample, {}, nullptr);
+  EXPECT_EQ(result.status, WireStatus::kTransport);
+}
+
+TEST(NetServer, ClientRetriesTransportFailuresThenThrowsNetError) {
+  NetClientOptions o;
+  o.port = 1;  // nothing listens on port 1 for this uid
+  o.connect_timeout_ms = 100;
+  o.request_timeout_ms = 100;
+  o.max_retries = 2;
+  o.retry_backoff_us = 50;
+  NetClient client(o);
+  EXPECT_THROW(client.predict({1, 2, 3}), NetError);
+  EXPECT_EQ(client.stats().retries, 2u);
+  EXPECT_GE(client.stats().transport_errors, 1u);
+}
+
+}  // namespace
+}  // namespace univsa::net

@@ -1,0 +1,310 @@
+// Wire-protocol codec invariants (src/univsa/net/protocol.h):
+//   - every frame type round-trips bit-exactly through encode/decode,
+//     whole or fed one byte at a time,
+//   - truncating an encoded stream at ANY byte boundary yields
+//     kNeedMore, never a frame and never UB,
+//   - adversarial input — oversized lengths, wrong versions, unknown
+//     types, garbage counts, trailing payload bytes, random noise —
+//     flips the decoder into its sticky error state without crashing.
+#include "univsa/net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace univsa::net {
+namespace {
+
+SubmitFrame sample_submit() {
+  SubmitFrame f;
+  f.request_id = 0x0123456789abcdefULL;
+  f.trace_id = 0xdeadbeefcafef00dULL;
+  f.span_id = 42;
+  f.priority = 2;
+  f.deadline_us = 1500;
+  f.tenant = "zoo/kws";
+  f.values = {0, 1, 65535, 17, 9000};
+  return f;
+}
+
+ResponseFrame sample_response() {
+  ResponseFrame f;
+  f.request_id = 7;
+  f.status = WireStatus::kOk;
+  f.health = 1;
+  f.label = -3;
+  f.scores = {-1'000'000'000'000LL, 0, 42, 9'999'999'999LL};
+  f.message = "";
+  return f;
+}
+
+// Feeds the whole buffer at once and expects exactly one frame.
+Frame decode_one(const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kFrame)
+      << decoder.error();
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kNeedMore);
+  return frame;
+}
+
+TEST(Protocol, SubmitRoundTrip) {
+  const SubmitFrame in = sample_submit();
+  std::vector<std::uint8_t> bytes;
+  encode(in, bytes);
+  const Frame out = decode_one(bytes);
+  ASSERT_EQ(out.type, FrameType::kSubmit);
+  EXPECT_EQ(out.submit.request_id, in.request_id);
+  EXPECT_EQ(out.submit.trace_id, in.trace_id);
+  EXPECT_EQ(out.submit.span_id, in.span_id);
+  EXPECT_EQ(out.submit.priority, in.priority);
+  EXPECT_EQ(out.submit.deadline_us, in.deadline_us);
+  EXPECT_EQ(out.submit.tenant, in.tenant);
+  EXPECT_EQ(out.submit.values, in.values);
+}
+
+TEST(Protocol, ResponseRoundTripIncludingRefusals) {
+  for (const WireStatus status :
+       {WireStatus::kOk, WireStatus::kOverloaded, WireStatus::kShed,
+        WireStatus::kDeadlineExceeded, WireStatus::kShutdown,
+        WireStatus::kUnknownTenant, WireStatus::kError,
+        WireStatus::kBadFrame}) {
+    ResponseFrame in = sample_response();
+    in.status = status;
+    in.message = status == WireStatus::kOk ? "" : to_string(status);
+    std::vector<std::uint8_t> bytes;
+    encode(in, bytes);
+    const Frame out = decode_one(bytes);
+    ASSERT_EQ(out.type, FrameType::kResponse);
+    EXPECT_EQ(out.response.request_id, in.request_id);
+    EXPECT_EQ(out.response.status, in.status);
+    EXPECT_EQ(out.response.health, in.health);
+    EXPECT_EQ(out.response.label, in.label);
+    EXPECT_EQ(out.response.scores, in.scores);
+    EXPECT_EQ(out.response.message, in.message);
+  }
+}
+
+TEST(Protocol, PingPongRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  encode(PingFrame{0xfeedULL}, bytes);
+  Frame out = decode_one(bytes);
+  ASSERT_EQ(out.type, FrameType::kPing);
+  EXPECT_EQ(out.ping.nonce, 0xfeedULL);
+
+  bytes.clear();
+  encode(PongFrame{0xfeedULL, 2, 19}, bytes);
+  out = decode_one(bytes);
+  ASSERT_EQ(out.type, FrameType::kPong);
+  EXPECT_EQ(out.pong.nonce, 0xfeedULL);
+  EXPECT_EQ(out.pong.health, 2);
+  EXPECT_EQ(out.pong.queue_depth, 19u);
+}
+
+TEST(Protocol, ByteAtATimeFeedAndBackToBackFrames) {
+  std::vector<std::uint8_t> bytes;
+  encode(sample_submit(), bytes);
+  encode(PingFrame{1}, bytes);
+  encode(sample_response(), bytes);
+
+  FrameDecoder decoder;
+  std::vector<FrameType> seen;
+  Frame frame;
+  for (const std::uint8_t b : bytes) {
+    decoder.feed(&b, 1);
+    while (decoder.next(frame) == FrameDecoder::Result::kFrame) {
+      seen.push_back(frame.type);
+    }
+    ASSERT_FALSE(decoder.failed()) << decoder.error();
+  }
+  const std::vector<FrameType> expected = {
+      FrameType::kSubmit, FrameType::kPing, FrameType::kResponse};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Protocol, TruncationAtEveryBoundaryNeedsMoreNeverErrors) {
+  std::vector<std::uint8_t> bytes;
+  encode(sample_submit(), bytes);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), cut);
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kNeedMore)
+        << "cut at " << cut;
+    // The rest of the bytes complete the frame — truncation is a
+    // recoverable wait state, not a protocol violation.
+    decoder.feed(bytes.data() + cut, bytes.size() - cut);
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kFrame)
+        << "cut at " << cut << ": " << decoder.error();
+  }
+}
+
+TEST(Protocol, RejectsWrongVersion) {
+  std::vector<std::uint8_t> bytes;
+  encode(PingFrame{1}, bytes);
+  bytes[4] = kProtocolVersion + 1;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kError);
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_NE(decoder.error().find("version"), std::string::npos);
+}
+
+TEST(Protocol, RejectsUnknownFrameType) {
+  std::vector<std::uint8_t> bytes;
+  encode(PingFrame{1}, bytes);
+  bytes[5] = 0x7f;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kError);
+}
+
+TEST(Protocol, RejectsGarbageLengths) {
+  // length = 0 (below the 2-byte header) and length > kMaxFrameBytes
+  // must both fail fast — before any payload arrives.
+  for (const std::uint32_t length : {0u, 1u, kMaxFrameBytes + 1, 0xffffffffu}) {
+    std::vector<std::uint8_t> bytes = {
+        static_cast<std::uint8_t>(length),
+        static_cast<std::uint8_t>(length >> 8),
+        static_cast<std::uint8_t>(length >> 16),
+        static_cast<std::uint8_t>(length >> 24)};
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kError)
+        << "length " << length;
+  }
+}
+
+TEST(Protocol, RejectsOversizedCounts) {
+  // A submit frame whose value count claims more than the cap: the
+  // count check fires before any multiply, so a 32-bit count of
+  // 0xffffffff cannot overflow into a small allocation.
+  std::vector<std::uint8_t> bytes;
+  SubmitFrame f = sample_submit();
+  f.values.clear();
+  encode(f, bytes);
+  // Patch the value-count field (last 4 bytes of the payload).
+  for (int i = 0; i < 4; ++i) bytes[bytes.size() - 4 + i] = 0xff;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kError);
+  EXPECT_NE(decoder.error().find("count"), std::string::npos);
+}
+
+TEST(Protocol, RejectsPayloadShorterOrLongerThanDeclared) {
+  // Declared length covers the payload exactly; a frame whose payload
+  // parses short (truncated tenant) or leaves trailing bytes is
+  // malformed even when the length prefix itself is plausible.
+  std::vector<std::uint8_t> ok;
+  encode(PingFrame{9}, ok);
+
+  std::vector<std::uint8_t> trailing = ok;
+  trailing.push_back(0xaa);  // extra payload byte...
+  trailing[0] += 1;          // ...covered by the declared length
+  FrameDecoder decoder;
+  decoder.feed(trailing.data(), trailing.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kError);
+  EXPECT_NE(decoder.error().find("trailing"), std::string::npos);
+
+  std::vector<std::uint8_t> shorter = ok;
+  shorter.pop_back();  // payload byte gone...
+  shorter[0] -= 1;     // ...and the length agrees: truncated ping
+  FrameDecoder decoder2;
+  decoder2.feed(shorter.data(), shorter.size());
+  EXPECT_EQ(decoder2.next(frame), FrameDecoder::Result::kError);
+}
+
+TEST(Protocol, RejectsOutOfRangePriorityAndStatus) {
+  std::vector<std::uint8_t> bytes;
+  SubmitFrame submit = sample_submit();
+  encode(submit, bytes);
+  bytes[6 + 24] = 3;  // priority byte (after 3 u64 ids)
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kError);
+
+  bytes.clear();
+  encode(sample_response(), bytes);
+  bytes[6 + 8] = 99;  // status byte (after the request id)
+  FrameDecoder decoder2;
+  decoder2.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(decoder2.next(frame), FrameDecoder::Result::kError);
+}
+
+TEST(Protocol, ErrorStateIsSticky) {
+  std::vector<std::uint8_t> bad;
+  encode(PingFrame{1}, bad);
+  bad[4] = 0;  // bad version
+  std::vector<std::uint8_t> good;
+  encode(PingFrame{2}, good);
+
+  FrameDecoder decoder;
+  decoder.feed(bad.data(), bad.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kError);
+  // Valid frames after the poison pill never resynchronise.
+  decoder.feed(good.data(), good.size());
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kError);
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(Protocol, EncodeCapsOversizedFields) {
+  // Defensive encode: fields beyond the cap are clamped so a buggy
+  // caller cannot emit a frame its peer must reject.
+  SubmitFrame f;
+  f.tenant.assign(kMaxTenantBytes + 100, 't');
+  std::vector<std::uint8_t> bytes;
+  encode(f, bytes);
+  const Frame out = decode_one(bytes);
+  EXPECT_EQ(out.submit.tenant.size(), kMaxTenantBytes);
+
+  ResponseFrame r;
+  r.message.assign(kMaxMessageBytes + 7, 'm');
+  bytes.clear();
+  encode(r, bytes);
+  const Frame out2 = decode_one(bytes);
+  EXPECT_EQ(out2.response.message.size(), kMaxMessageBytes);
+}
+
+TEST(Protocol, RandomNoiseNeverCrashes) {
+  // Deterministic fuzz: random byte soup either waits for more input
+  // or errors out; it must never produce UB (ASan/UBSan CI runs this).
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> chunk(1 + rng() % 512);
+    for (auto& b : chunk) b = static_cast<std::uint8_t>(byte(rng));
+    decoder.feed(chunk.data(), chunk.size());
+    Frame frame;
+    for (int i = 0; i < 64; ++i) {
+      const auto result = decoder.next(frame);
+      if (result != FrameDecoder::Result::kFrame) break;
+    }
+  }
+}
+
+TEST(Protocol, WireStatusMapsEverySubmitStatus) {
+  using runtime::SubmitStatus;
+  EXPECT_EQ(to_wire(SubmitStatus::kOk), WireStatus::kOk);
+  EXPECT_EQ(to_wire(SubmitStatus::kOverloaded), WireStatus::kOverloaded);
+  EXPECT_EQ(to_wire(SubmitStatus::kShed), WireStatus::kShed);
+  EXPECT_EQ(to_wire(SubmitStatus::kDeadlineExceeded),
+            WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(to_wire(SubmitStatus::kShutdown), WireStatus::kShutdown);
+  EXPECT_EQ(to_wire(SubmitStatus::kUnknownTenant),
+            WireStatus::kUnknownTenant);
+}
+
+}  // namespace
+}  // namespace univsa::net

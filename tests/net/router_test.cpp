@@ -1,0 +1,340 @@
+// ShardRouter semantics over live loopback shards:
+//   - consistent-hash placement is pure, deterministic, and covers
+//     every shard,
+//   - routed predictions stay bit-identical to a direct reference call
+//     no matter which shard answers,
+//   - killing a shard (or draining its runtime) steers traffic to the
+//     survivors with failovers counted, including under concurrent
+//     callers racing the kill (the TSan target for this module),
+//   - kHigh requests hedge off a stuck replica after hedge_timeout_ms.
+#include "univsa/net/router.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "univsa/net/net_server.h"
+#include "univsa/runtime/registry.h"
+#include "univsa/runtime/server.h"
+
+namespace univsa::net {
+namespace {
+
+vsa::ModelConfig small_config() {
+  vsa::ModelConfig c;
+  c.W = 4;
+  c.L = 6;
+  c.C = 3;
+  c.M = 16;
+  c.D_H = 8;
+  c.D_L = 2;
+  c.D_K = 3;
+  c.O = 5;
+  c.Theta = 2;
+  return c;
+}
+
+std::vector<std::vector<std::uint16_t>> random_samples(
+    const vsa::ModelConfig& c, std::size_t n, Rng& rng) {
+  std::vector<std::vector<std::uint16_t>> samples(n);
+  for (auto& s : samples) {
+    s.resize(c.features());
+    for (auto& v : s) {
+      v = static_cast<std::uint16_t>(rng.uniform_index(c.M));
+    }
+  }
+  return samples;
+}
+
+/// shards x replicas loopback cluster, every replica serving the SAME
+/// model so an answer is bit-identical wherever it lands.
+struct Cluster {
+  vsa::ModelConfig config = small_config();
+  vsa::Model model;
+  std::vector<std::vector<std::shared_ptr<runtime::Server>>> runtimes;
+  std::vector<std::vector<std::unique_ptr<NetServer>>> nets;
+
+  Cluster(std::size_t shards, std::size_t replicas, std::uint64_t seed = 5) {
+    Rng rng(seed);
+    model = vsa::Model::random(config, rng);
+    runtime::ServerOptions options;
+    options.workers = 2;
+    options.max_batch = 8;
+    options.max_delay_us = 100;
+    for (std::size_t s = 0; s < shards; ++s) {
+      runtimes.emplace_back();
+      nets.emplace_back();
+      for (std::size_t r = 0; r < replicas; ++r) {
+        // Every shard publishes every tenant (the router's failover
+        // precondition), all serving the same model.
+        auto registry = std::make_shared<runtime::ModelRegistry>();
+        registry->publish("default", model);
+        for (const std::string& tenant : tenants()) {
+          registry->publish(tenant, model);
+        }
+        auto rt = std::make_shared<runtime::Server>(registry, options);
+        nets.back().push_back(std::make_unique<NetServer>(rt));
+        runtimes.back().push_back(std::move(rt));
+      }
+    }
+  }
+
+  static const std::vector<std::string>& tenants() {
+    static const std::vector<std::string> names = [] {
+      std::vector<std::string> v;
+      for (int i = 0; i < 32; ++i) v.push_back("tenant-" + std::to_string(i));
+      return v;
+    }();
+    return names;
+  }
+
+  ShardRouterOptions router_options() const {
+    ShardRouterOptions o;
+    for (const auto& shard : nets) {
+      std::vector<Endpoint> replicas;
+      for (const auto& net : shard) {
+        replicas.push_back({net->host(), net->port()});
+      }
+      o.shards.push_back(std::move(replicas));
+    }
+    o.failure_backoff_ms = 100;
+    o.client.connect_timeout_ms = 500;
+    o.client.request_timeout_ms = 2000;
+    return o;
+  }
+
+  /// A published tenant whose consistent-hash home is `shard`.
+  static std::string tenant_on(const ShardRouter& router,
+                               std::size_t shard) {
+    for (const std::string& tenant : tenants()) {
+      if (router.shard_for(tenant) == shard) return tenant;
+    }
+    ADD_FAILURE() << "no published tenant hashed onto shard " << shard;
+    return "default";
+  }
+};
+
+/// A listening socket that never accepts: connects succeed through the
+/// backlog, requests vanish — the deterministic "stuck replica".
+struct BlackHole {
+  int fd = -1;
+  std::uint16_t port = 0;
+
+  BlackHole() {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd, 16), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port = ntohs(addr.sin_port);
+  }
+  ~BlackHole() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+TEST(ShardRouter, PlacementIsDeterministicAndCoversEveryShard) {
+  Cluster cluster(3, 1);
+  ShardRouter router(cluster.router_options());
+  ShardRouter twin(cluster.router_options());
+
+  std::set<std::size_t> hit;
+  for (int i = 0; i < 200; ++i) {
+    const std::string tenant = "tenant-" + std::to_string(i);
+    const std::size_t home = router.shard_for(tenant);
+    ASSERT_LT(home, router.shard_count());
+    EXPECT_EQ(home, twin.shard_for(tenant)) << tenant;
+    EXPECT_EQ(home, router.shard_for(tenant)) << tenant;  // pure
+    hit.insert(home);
+  }
+  EXPECT_EQ(hit.size(), 3u) << "200 keys left a shard empty";
+  // Empty tenant routes like "default" instead of owning a hash bucket.
+  EXPECT_EQ(router.shard_for(""), router.shard_for("default"));
+}
+
+TEST(ShardRouter, RoutedAnswersAreBitIdenticalToReference) {
+  Cluster cluster(2, 1);
+  ShardRouter router(cluster.router_options());
+  Rng rng(21);
+  const auto samples = random_samples(cluster.config, 30, rng);
+  std::vector<vsa::Prediction> expected;
+  runtime::make_backend("reference", cluster.model)
+      ->predict_batch(samples, expected);
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    runtime::SubmitOptions options;
+    options.tenant = "tenant-" + std::to_string(i % 7);
+    const vsa::Prediction got = router.predict(samples[i], options);
+    EXPECT_EQ(got.label, expected[i].label) << "sample " << i;
+    EXPECT_EQ(got.scores, expected[i].scores) << "sample " << i;
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.requests, samples.size());
+  EXPECT_EQ(stats.completed, samples.size());
+  EXPECT_EQ(stats.failovers, 0u);
+}
+
+TEST(ShardRouter, FailsOverWhenTheHomeShardDies) {
+  Cluster cluster(2, 1);
+  ShardRouterOptions options = cluster.router_options();
+  options.client.request_timeout_ms = 500;
+  ShardRouter router(options);
+  const std::string tenant = Cluster::tenant_on(router, 0);
+  Rng rng(22);
+  const auto samples = random_samples(cluster.config, 4, rng);
+  std::vector<vsa::Prediction> expected;
+  runtime::make_backend("reference", cluster.model)
+      ->predict_batch(samples, expected);
+
+  cluster.nets[0][0]->shutdown();  // the tenant's whole home shard
+
+  runtime::SubmitOptions submit;
+  submit.tenant = tenant;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const vsa::Prediction got = router.predict(samples[i], submit);
+    EXPECT_EQ(got.label, expected[i].label);
+    EXPECT_EQ(got.scores, expected[i].scores);
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.completed, samples.size());
+  EXPECT_GE(stats.failovers, 1u);
+  // After the first transport failure the endpoint cools down, so
+  // later requests skip it without paying the connect attempt.
+  const auto endpoints = router.endpoints();
+  EXPECT_GE(endpoints[0][0].failures, 1u);
+}
+
+TEST(ShardRouter, DrainingRuntimeSteersTrafficAway) {
+  Cluster cluster(2, 1);
+  ShardRouter router(cluster.router_options());
+  const std::string tenant = Cluster::tenant_on(router, 0);
+  // Runtime drains but its NetServer stays up: responses come back
+  // kShutdown with a draining health byte.
+  cluster.runtimes[0][0]->shutdown();
+
+  runtime::SubmitOptions submit;
+  submit.tenant = tenant;
+  std::vector<std::uint16_t> sample(cluster.config.features(), 1);
+  EXPECT_NO_THROW(router.predict(sample, submit));
+  EXPECT_GE(router.stats().failovers, 1u);
+
+  const auto endpoints = router.endpoints();
+  EXPECT_EQ(endpoints[0][0].health, 2) << "draining health byte cached";
+  EXPECT_TRUE(endpoints[0][0].cooling);
+
+  // probe() refreshes health without routing a request through it.
+  const PongFrame pong = router.probe(1, 0);
+  EXPECT_EQ(pong.health, 0);
+  EXPECT_EQ(router.endpoints()[1][0].health, 0);
+}
+
+TEST(ShardRouter, HighPriorityHedgesOffAStuckReplica) {
+  Cluster cluster(1, 1);
+  BlackHole stuck;
+  ShardRouterOptions options = cluster.router_options();
+  // Shard 0 = {stuck, live}: replica rotation guarantees the stuck one
+  // leads for about half the requests.
+  options.shards[0].insert(options.shards[0].begin(),
+                           {"127.0.0.1", stuck.port});
+  options.hedge_timeout_ms = 100;
+  ShardRouter router(options);
+
+  Rng rng(23);
+  const auto samples = random_samples(cluster.config, 6, rng);
+  std::vector<vsa::Prediction> expected;
+  runtime::make_backend("reference", cluster.model)
+      ->predict_batch(samples, expected);
+
+  runtime::SubmitOptions submit;
+  submit.priority = runtime::Priority::kHigh;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const vsa::Prediction got = router.predict(samples[i], submit);
+    EXPECT_EQ(got.label, expected[i].label);
+    EXPECT_EQ(got.scores, expected[i].scores);
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.completed, samples.size());
+  EXPECT_GE(stats.hedges + stats.failovers, 1u)
+      << "no request ever led with the stuck replica";
+}
+
+TEST(ShardRouter, ConcurrentCallersSurviveAReplicaKillMidRun) {
+  // The TSan target: predict() from several threads while a replica of
+  // each shard dies mid-run. Every request must still complete with a
+  // bit-identical answer via the surviving replicas.
+  Cluster cluster(2, 2);
+  ShardRouterOptions options = cluster.router_options();
+  options.client.request_timeout_ms = 1000;
+  ShardRouter router(options);
+
+  Rng rng(24);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 15;
+  const auto samples =
+      random_samples(cluster.config, kThreads * kPerThread, rng);
+  std::vector<vsa::Prediction> expected;
+  runtime::make_backend("reference", cluster.model)
+      ->predict_batch(samples, expected);
+
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> errors{0};
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    callers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t index = t * kPerThread + i;
+        runtime::SubmitOptions submit;
+        submit.tenant = "tenant-" + std::to_string(index % 5);
+        try {
+          const vsa::Prediction got =
+              router.predict(samples[index], submit);
+          if (got.label != expected[index].label ||
+              got.scores != expected[index].scores) {
+            mismatches.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          errors.fetch_add(1);
+        }
+        done.fetch_add(1);
+      }
+    });
+  }
+  // Kill one replica per shard once the run is moving; each shard keeps
+  // one survivor, so no request may fail.
+  while (done.load() < kThreads * kPerThread / 4) {
+    std::this_thread::yield();
+  }
+  cluster.nets[0][0]->shutdown();
+  cluster.nets[1][1]->shutdown();
+  for (auto& c : callers) c.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(router.stats().completed, kThreads * kPerThread);
+}
+
+TEST(ShardRouter, RejectsEmptyTopologies) {
+  EXPECT_THROW(ShardRouter(ShardRouterOptions{}), std::invalid_argument);
+  ShardRouterOptions options;
+  options.shards = {{}};
+  EXPECT_THROW(ShardRouter(std::move(options)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace univsa::net

@@ -9,14 +9,24 @@ Two passes:
    External (http/https/mailto) links are not fetched.
 
 2. Metric check — every backticked `dotted.metric.name` documented in
-   docs/METRICS.md must appear in at least one of the telemetry
-   snapshot JSONs passed via --snapshot (union of their counters /
-   gauges / histograms keys). Documented-but-missing names FAIL the
-   build; live-but-undocumented names only warn, so experiments can add
-   probes without gating on docs. Rows containing `<` (e.g.
-   `bench.<name>_ns`, `runtime.server.tenant_shed<tenant>`) are match
-   patterns: they are never required to be live, but live names they
-   match (such as labeled per-tenant instances) count as documented.
+   a docs/METRICS.md or docs/NETWORK.md table must appear in at least
+   one of the telemetry snapshot JSONs passed via --snapshot (union of
+   their counters / gauges / histograms keys). Documented-but-missing
+   names FAIL the build; live-but-undocumented names only warn, so
+   experiments can add probes without gating on docs. Rows containing
+   `<` (e.g. `bench.<name>_ns`, `router.shard_requests<shard>`) are
+   match patterns: they are never required to be live, but live names
+   they match (such as labeled per-shard instances) count as
+   documented.
+
+3. CLI command check (with --cli-usage) — the file holds the live
+   `univsa_cli` usage line (capture stderr of running it with no
+   arguments). Every command documented as a `## \`cmd\` — ...`
+   heading in docs/CLI.md or docs/NETWORK.md must exist in the live
+   command list; a doc section (and its flag table) for a command
+   that no longer exists is a HARD ERROR, not a warning — stale
+   operator docs are worse than missing ones. Live commands without a
+   CLI.md section only warn.
 
 Exit status: 0 clean (warnings allowed), 1 on any error.
 """
@@ -82,32 +92,85 @@ def check_links(doc: Path, repo_root: Path, errors: list[str]) -> None:
 
 
 def documented_metrics(
-        metrics_md: Path) -> tuple[set[str], list[re.Pattern[str]]]:
-    """Metric names are the backticked first cell of METRICS.md table
-    rows; prose mentions and file names don't count. Rows containing
-    `<placeholder>` (e.g. `bench.<name>_ns`, a per-tenant label family
-    like `runtime.server.tenant_shed<tenant>`) become match patterns:
-    the placeholder matches any run of characters, so labeled live
-    names such as `runtime.server.tenant_shed{tenant=zoo/kws}` count
-    as documented."""
+        docs: list[Path]) -> tuple[set[str], list[re.Pattern[str]]]:
+    """Metric names are the backticked first cell of metric-doc table
+    rows (METRICS.md, plus NETWORK.md's net.*/router.* tables); prose
+    mentions and file names don't count. Rows containing
+    `<placeholder>` (e.g. `bench.<name>_ns`, a label family like
+    `router.shard_requests<shard>`) become match patterns: the
+    placeholder matches any run of characters, so labeled live names
+    such as `router.shard_requests{shard=0}` count as documented."""
     names: set[str] = set()
     patterns: list[re.Pattern[str]] = []
-    text = CODE_FENCE_RE.sub("", metrics_md.read_text(encoding="utf-8"))
-    for line in text.splitlines():
-        if not line.startswith("|"):
-            continue
-        first_cell = line.split("|")[1]
-        match = METRIC_RE.search(first_cell)
-        if not match:
-            continue
-        name = match.group(1)
-        if "<" in name:  # pattern row, e.g. bench.<name>_ns
-            parts = re.split(r"<[^>]*>", name)
-            patterns.append(
-                re.compile(".*".join(re.escape(p) for p in parts)))
-            continue
-        names.add(name)
+    for doc in docs:
+        text = CODE_FENCE_RE.sub("", doc.read_text(encoding="utf-8"))
+        for line in text.splitlines():
+            if not line.startswith("|"):
+                continue
+            first_cell = line.split("|")[1]
+            match = METRIC_RE.search(first_cell)
+            if not match:
+                continue
+            name = match.group(1)
+            if "<" in name:  # pattern row, e.g. bench.<name>_ns
+                parts = re.split(r"<[^>]*>", name)
+                patterns.append(
+                    re.compile(".*".join(re.escape(p) for p in parts)))
+                continue
+            names.add(name)
     return names, patterns
+
+
+USAGE_RE = re.compile(r"usage:\s+\S*univsa_cli\s+<([^>]+)>")
+COMMAND_HEADING_RE = re.compile(r"^#{2,3}\s+(.*`[a-z][a-z0-9_-]*`.*)$",
+                                re.MULTILINE)
+
+
+def live_commands(usage_file: Path, errors: list[str]) -> set[str]:
+    """The `<a|b|c>` command list from the captured usage line."""
+    text = usage_file.read_text(encoding="utf-8")
+    match = USAGE_RE.search(text)
+    if not match:
+        errors.append(
+            f"{usage_file}: no 'usage: univsa_cli <...>' line found")
+        return set()
+    return {c.strip() for c in match.group(1).split("|") if c.strip()}
+
+
+def documented_commands(doc: Path) -> dict[str, str]:
+    """Commands documented as `## \\`cmd\\` — ...` headings (a heading
+    may name several, e.g. `export-c` / `export-rtl`), mapped to the
+    heading text for error reporting."""
+    commands: dict[str, str] = {}
+    text = CODE_FENCE_RE.sub("", doc.read_text(encoding="utf-8"))
+    for match in COMMAND_HEADING_RE.finditer(text):
+        heading = match.group(1)
+        for name in re.findall(r"`([a-z][a-z0-9_-]*)`", heading):
+            commands.setdefault(name, heading.strip())
+    return commands
+
+
+def check_cli_commands(repo: Path, usage_file: Path, errors: list[str],
+                       warnings: list[str]) -> None:
+    live = live_commands(usage_file, errors)
+    if not live:
+        return
+    documented: dict[str, str] = {}
+    for doc_name in ("CLI.md", "NETWORK.md"):
+        doc = repo / "docs" / doc_name
+        if not doc.exists():
+            continue
+        for name, heading in documented_commands(doc).items():
+            documented.setdefault(name, f"{doc_name}: {heading}")
+    for name in sorted(documented):
+        if name not in live:
+            errors.append(
+                f"documented command `{name}` does not exist in the live "
+                f"CLI ({documented[name]})")
+    for name in sorted(live - documented.keys()):
+        warnings.append(f"live command `{name}` has no docs section")
+    print(f"cli check: {len(live)} live commands, "
+          f"{len(documented)} documented")
 
 
 def live_metrics(snapshots: list[Path], errors: list[str]) -> set[str]:
@@ -135,6 +198,10 @@ def main() -> int:
         "--snapshot", type=Path, action="append", default=[],
         help="telemetry snapshot JSON; repeatable. When none are given "
              "the metric check is skipped (link check still runs).")
+    parser.add_argument(
+        "--cli-usage", type=Path, default=None,
+        help="file holding the live `univsa_cli` usage line; enables "
+             "the documented-command cross-check.")
     args = parser.parse_args()
     repo = args.repo.resolve()
 
@@ -148,9 +215,19 @@ def main() -> int:
         check_links(doc, repo, errors)
     print(f"link check: {len(docs)} files scanned")
 
+    if args.cli_usage is not None:
+        if args.cli_usage.exists():
+            check_cli_commands(repo, args.cli_usage, errors, warnings)
+        else:
+            errors.append(f"--cli-usage file not found: {args.cli_usage}")
+
     metrics_md = repo / "docs" / "METRICS.md"
     if args.snapshot and metrics_md.exists():
-        documented, patterns = documented_metrics(metrics_md)
+        metric_docs = [metrics_md]
+        network_md = repo / "docs" / "NETWORK.md"
+        if network_md.exists():
+            metric_docs.append(network_md)
+        documented, patterns = documented_metrics(metric_docs)
         live = live_metrics(args.snapshot, errors)
         missing = sorted(documented - live)
         undocumented = sorted(

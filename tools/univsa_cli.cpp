@@ -34,6 +34,15 @@
 // runs the canned overload fault plan against a server and exits 0
 // only if availability, shedding, and bit-parity all held up.
 //
+// Network serving (docs/NETWORK.md): `serve` exposes one runtime over
+// the length-prefixed binary wire protocol, `route` inspects a sharded
+// deployment (consistent-hash placement plus per-endpoint health
+// probes, optionally driving traffic through a ShardRouter), and
+// `netcheck` is the network chaos drill — an in-process shards x
+// replicas cluster behind a router, replicas killed mid-run on a
+// FaultPlan-derived schedule, exit 0 only when every completed answer
+// stayed bit-identical to the reference backend and failover engaged.
+//
 // Telemetry: `eval`, `train`, `parity`, and `stats` accept
 // `--metrics-json PATH` to dump the full telemetry snapshot (counters,
 // gauges, latency histograms, recent spans, build provenance) as JSON
@@ -68,6 +77,9 @@
 #include "univsa/hw/c_emitter.h"
 #include "univsa/hw/io_model.h"
 #include "univsa/hw/verilog_gen.h"
+#include "univsa/net/net_client.h"
+#include "univsa/net/net_server.h"
+#include "univsa/net/router.h"
 #include "univsa/report/metrics.h"
 #include "univsa/runtime/adaptation.h"
 #include "univsa/runtime/model_registry.h"
@@ -1440,13 +1452,407 @@ int cmd_selftest() {
   return 0;
 }
 
+// ---- network serving tier (docs/NETWORK.md) --------------------------
+
+/// The model a network drill serves: `--model PATH` loads a trained
+/// .uvsa file; otherwise a seeded random model on the named benchmark's
+/// geometry (drills assert bit-parity, not accuracy, so a random model
+/// is as good a witness as a trained one).
+vsa::Model drill_model(const Flags& flags, std::uint64_t seed_mix) {
+  const std::string path = flags.get("model", "");
+  if (!path.empty()) return vsa::ModelIo::load_file(path);
+  Rng rng(static_cast<std::uint64_t>(flags.get_size("seed", 42)) +
+          seed_mix);
+  return vsa::Model::random(
+      data::find_benchmark(flags.get("benchmark", "HAR")).config, rng);
+}
+
+/// "host:port,host:port;host:port" — `;` separates shards, `,`
+/// separates a shard's replicas.
+std::vector<std::vector<net::Endpoint>> parse_endpoints(
+    const std::string& spec) {
+  std::vector<std::vector<net::Endpoint>> shards;
+  std::size_t shard_begin = 0;
+  while (shard_begin <= spec.size()) {
+    std::size_t shard_end = spec.find(';', shard_begin);
+    if (shard_end == std::string::npos) shard_end = spec.size();
+    std::vector<net::Endpoint> replicas;
+    std::size_t rep_begin = shard_begin;
+    while (rep_begin < shard_end) {
+      std::size_t rep_end = spec.find(',', rep_begin);
+      if (rep_end == std::string::npos || rep_end > shard_end) {
+        rep_end = shard_end;
+      }
+      const std::string one = spec.substr(rep_begin, rep_end - rep_begin);
+      const std::size_t colon = one.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= one.size()) {
+        std::fprintf(stderr, "bad endpoint \"%s\" (want host:port)\n",
+                     one.c_str());
+        std::exit(2);
+      }
+      net::Endpoint endpoint;
+      endpoint.host = one.substr(0, colon);
+      endpoint.port =
+          static_cast<std::uint16_t>(std::stoul(one.substr(colon + 1)));
+      replicas.push_back(std::move(endpoint));
+      rep_begin = rep_end + 1;
+    }
+    if (!replicas.empty()) shards.push_back(std::move(replicas));
+    shard_begin = shard_end + 1;
+  }
+  if (shards.empty()) {
+    std::fprintf(stderr, "no endpoints in \"%s\"\n", spec.c_str());
+    std::exit(2);
+  }
+  return shards;
+}
+
+/// One shard over the wire: binds the epoll front-end on --host/--port
+/// (0 = ephemeral), prints `LISTENING <host> <port>` once ready, and
+/// serves until --duration-s elapses (0 = forever). --port-file writes
+/// the resolved port for scripts racing an ephemeral bind.
+int cmd_serve(const Flags& flags) {
+  arm_flight_recorder(flags);
+  runtime::ServerOptions options;
+  options.backend = flags.get("backend", runtime::default_backend());
+  options.workers = flags.get_size("workers", 2);
+  options.max_batch = flags.get_size("max-batch", 32);
+  options.max_delay_us = flags.get_size("max-delay-us", 100);
+  options.queue_capacity = flags.get_size("queue-capacity", 1024);
+  options.default_tenant = flags.get("tenant", "default");
+
+  auto registry = std::make_shared<runtime::ModelRegistry>();
+  registry->publish(options.default_tenant, drill_model(flags, 0));
+  auto server = std::make_shared<runtime::Server>(registry, options);
+
+  net::NetServerOptions net_options;
+  net_options.host = flags.get("host", "127.0.0.1");
+  net_options.port =
+      static_cast<std::uint16_t>(flags.get_size("port", 0));
+  net::NetServer front(server, net_options);
+
+  const std::string port_file = flags.get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream(port_file) << front.port() << "\n";
+  }
+  std::printf("LISTENING %s %u\n", front.host().c_str(),
+              unsigned{front.port()});
+  std::fflush(stdout);
+
+  const std::size_t duration_s = flags.get_size("duration-s", 0);
+  const auto started = std::chrono::steady_clock::now();
+  while (front.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (duration_s != 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(duration_s)) {
+      break;
+    }
+  }
+  front.shutdown();
+  server->shutdown();
+  const net::NetServerStats stats = front.stats();
+  std::printf("served: %llu connections, %llu frames in, %llu frames "
+              "out, %llu refused, %llu decode errors\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.frames_in),
+              static_cast<unsigned long long>(stats.frames_out),
+              static_cast<unsigned long long>(stats.refused),
+              static_cast<unsigned long long>(stats.decode_errors));
+  maybe_write_metrics(flags);
+  return 0;
+}
+
+/// Sharded-deployment inspector: builds a ShardRouter over --endpoints,
+/// prints each tenant's consistent-hash placement and every endpoint's
+/// probed health, and optionally drives --requests through the router
+/// (the served model must match this invocation's --model/--benchmark/
+/// --seed geometry). Exits non-zero when any endpoint is unreachable.
+int cmd_route(const Flags& flags) {
+  net::ShardRouterOptions options;
+  options.shards = parse_endpoints(flags.require("endpoints"));
+  options.virtual_nodes = flags.get_size("virtual-nodes", 64);
+  options.hedge_timeout_ms = flags.get_size("hedge-timeout-ms", 250);
+  net::ShardRouter router(std::move(options));
+
+  std::printf("ring: %zu shards, %zu virtual nodes per shard\n",
+              router.shard_count(), flags.get_size("virtual-nodes", 64));
+  std::string tenant_list = flags.get("tenants", "default");
+  std::vector<std::string> tenants;
+  std::size_t begin = 0;
+  while (begin <= tenant_list.size()) {
+    std::size_t end = tenant_list.find(',', begin);
+    if (end == std::string::npos) end = tenant_list.size();
+    if (end > begin) tenants.push_back(tenant_list.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  for (const std::string& tenant : tenants) {
+    std::printf("tenant %-24s -> shard %zu\n", tenant.c_str(),
+                router.shard_for(tenant));
+  }
+
+  bool all_reachable = true;
+  for (std::size_t s = 0; s < router.shard_count(); ++s) {
+    for (std::size_t r = 0; r < router.replica_count(s); ++r) {
+      const auto status = router.endpoints()[s][r];
+      try {
+        const net::PongFrame pong = router.probe(s, r);
+        std::printf("shard %zu replica %zu %s:%u  health %s  queue %u\n",
+                    s, r, status.endpoint.host.c_str(),
+                    unsigned{status.endpoint.port},
+                    runtime::to_string(
+                        static_cast<runtime::HealthState>(pong.health)),
+                    pong.queue_depth);
+      } catch (const net::NetError& e) {
+        all_reachable = false;
+        std::printf("shard %zu replica %zu %s:%u  UNREACHABLE (%s)\n",
+                    s, r, status.endpoint.host.c_str(),
+                    unsigned{status.endpoint.port}, e.what());
+      }
+    }
+  }
+
+  const std::size_t n_requests = flags.get_size("requests", 0);
+  if (n_requests != 0) {
+    const vsa::Model model = drill_model(flags, 0);
+    Rng rng(static_cast<std::uint64_t>(flags.get_size("seed", 42)) ^
+            0x70c4);
+    std::size_t completed = 0, failed = 0;
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      std::vector<std::uint16_t> sample(model.config().features());
+      for (auto& v : sample) {
+        v = static_cast<std::uint16_t>(
+            rng.uniform_index(model.config().M));
+      }
+      runtime::SubmitOptions submit;
+      submit.tenant = tenants[i % tenants.size()];
+      try {
+        (void)router.predict(sample, submit);
+        ++completed;
+      } catch (const std::exception&) {
+        ++failed;
+      }
+    }
+    const net::RouterStats stats = router.stats();
+    std::printf("drove %zu requests: %zu completed, %zu failed, "
+                "%llu failovers, %llu hedges\n",
+                n_requests, completed, failed,
+                static_cast<unsigned long long>(stats.failovers),
+                static_cast<unsigned long long>(stats.hedges));
+  }
+  maybe_write_metrics(flags);
+  return all_reachable ? 0 : 1;
+}
+
+/// Network chaos drill (the serving tier's faultcheck): an in-process
+/// --shards x --replicas loopback cluster, every replica publishing the
+/// same two tenants ("alpha"/"beta", distinct model geometries), with
+/// --threads loadgen callers streaming mixed-priority traffic through a
+/// ShardRouter while a FaultPlan-derived schedule kills every replica
+/// but the first of each shard mid-run. Exits 0 only when every
+/// completed answer was bit-identical to the reference backend, nothing
+/// was lost (completed == submitted), and failover actually engaged.
+int cmd_netcheck(const Flags& flags) {
+  arm_flight_recorder(flags);
+  const std::size_t n_shards = flags.get_size("shards", 2);
+  const std::size_t n_replicas = flags.get_size("replicas", 2);
+  const std::size_t n_requests = flags.get_size("requests", 200);
+  const std::size_t n_threads = flags.get_size("threads", 4);
+  // Per-request think time: keeps the run window wide enough that
+  // every scheduled kill lands while traffic is still flowing.
+  const std::size_t pace_us = flags.get_size("pace-us", 500);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_size("seed", 42));
+
+  // Two tenants with distinct geometries, published on every shard so
+  // failover never strands a key.
+  Rng model_rng(seed);
+  const vsa::Model alpha = vsa::Model::random(
+      data::find_benchmark("HAR").config, model_rng);
+  const vsa::Model beta = vsa::Model::random(
+      data::find_benchmark("CHB-B").config, model_rng);
+
+  const std::size_t n_samples = 32;
+  Rng sample_rng(seed ^ 0x5eed);
+  std::map<std::string, std::vector<std::vector<std::uint16_t>>> samples;
+  std::map<std::string, std::vector<vsa::Prediction>> expected;
+  for (const auto& [tenant, model] :
+       {std::pair<const char*, const vsa::Model&>{"alpha", alpha},
+        {"beta", beta}}) {
+    auto& pool = samples[tenant];
+    pool.resize(n_samples);
+    for (auto& s : pool) {
+      s.resize(model.config().features());
+      for (auto& v : s) {
+        v = static_cast<std::uint16_t>(
+            sample_rng.uniform_index(model.config().M));
+      }
+    }
+    runtime::make_backend("reference", model)
+        ->predict_batch(pool, expected[tenant]);
+  }
+
+  runtime::ServerOptions server_options;
+  server_options.backend =
+      flags.get("backend", runtime::default_backend());
+  server_options.workers = 2;
+  server_options.max_batch = 16;
+  server_options.max_delay_us = 100;
+  std::vector<std::vector<std::shared_ptr<runtime::Server>>> runtimes;
+  std::vector<std::vector<std::unique_ptr<net::NetServer>>> fronts;
+  net::ShardRouterOptions router_options;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    runtimes.emplace_back();
+    fronts.emplace_back();
+    std::vector<net::Endpoint> endpoints;
+    for (std::size_t r = 0; r < n_replicas; ++r) {
+      auto registry = std::make_shared<runtime::ModelRegistry>();
+      registry->publish("alpha", alpha);
+      registry->publish("beta", beta);
+      auto rt = std::make_shared<runtime::Server>(registry,
+                                                  server_options);
+      auto front = std::make_unique<net::NetServer>(rt);
+      endpoints.push_back({front->host(), front->port()});
+      runtimes.back().push_back(std::move(rt));
+      fronts.back().push_back(std::move(front));
+    }
+    router_options.shards.push_back(std::move(endpoints));
+  }
+  router_options.failure_backoff_ms = 100;
+  router_options.client.request_timeout_ms = 2000;
+  net::ShardRouter router(std::move(router_options));
+
+  // The kill schedule reuses the FaultPlan's replayable (seed, lane,
+  // sequence) randomness: doomed replica i (every replica but each
+  // shard's first) draws its kill order and stagger from lane i's
+  // first scheduled fault. Deterministic in --seed, independent of
+  // thread interleaving.
+  auto plan = std::make_shared<runtime::FaultPlan>(
+      runtime::canned_overload_spec(seed));
+  struct Kill {
+    std::size_t shard, replica;
+    std::uint64_t stagger_ms;
+  };
+  std::vector<Kill> kills;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    for (std::size_t r = 1; r < n_replicas; ++r) {
+      const std::size_t lane =
+          (s * n_replicas + r) % runtime::FaultPlan::kMaxLanes;
+      std::uint64_t first = 0;
+      for (std::uint64_t n = 0; n < 256; ++n) {
+        if (plan->at(lane, n).any()) {
+          first = n;
+          break;
+        }
+      }
+      kills.push_back({s, r, first % 16});
+    }
+  }
+  std::sort(kills.begin(), kills.end(),
+            [](const Kill& a, const Kill& b) {
+              return a.stagger_ms < b.stagger_ms;
+            });
+
+  std::atomic<std::size_t> done{0}, completed{0}, mismatches{0};
+  std::atomic<std::size_t> refused{0}, unreachable{0};
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    callers.emplace_back([&, t] {
+      for (std::size_t i = t; i < n_requests; i += n_threads) {
+        const std::string tenant = (i % 2 == 0) ? "alpha" : "beta";
+        const std::size_t sample = i % n_samples;
+        runtime::SubmitOptions submit;
+        submit.tenant = tenant;
+        submit.priority = (i % 4 == 0) ? runtime::Priority::kHigh
+                                       : runtime::Priority::kNormal;
+        try {
+          const vsa::Prediction got =
+              router.predict(samples[tenant][sample], submit);
+          if (got.label == expected[tenant][sample].label &&
+              got.scores == expected[tenant][sample].scores) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const runtime::RequestRefused&) {
+          refused.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          unreachable.fetch_add(1, std::memory_order_relaxed);
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+        if (pace_us != 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(pace_us));
+        }
+      }
+    });
+  }
+
+  // Chaos: kill k fires once the loadgen passes its progress gate (a
+  // growing fraction of the run, capped below the end so every kill
+  // lands while traffic is still flowing) plus the plan-drawn stagger.
+  // Each shard keeps its first replica, so zero lost requests is an
+  // invariant, not luck.
+  for (std::size_t k = 0; k < kills.size(); ++k) {
+    const std::size_t gate = n_requests * (k + 1) / (kills.size() + 2);
+    while (done.load(std::memory_order_relaxed) < gate) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(kills[k].stagger_ms));
+    fronts[kills[k].shard][kills[k].replica]->shutdown();
+    std::printf("killed shard %zu replica %zu (progress %zu/%zu)\n",
+                kills[k].shard, kills[k].replica,
+                done.load(std::memory_order_relaxed), n_requests);
+  }
+  for (auto& caller : callers) caller.join();
+  for (auto& shard : fronts) {
+    for (auto& front : shard) front->shutdown();
+  }
+  for (auto& shard : runtimes) {
+    for (auto& rt : shard) rt->shutdown();
+  }
+
+  const net::RouterStats stats = router.stats();
+  std::printf(
+      "netcheck: %zu requests, %zu bit-exact, %zu mismatched, %zu "
+      "refused, %zu unreachable\n",
+      n_requests, completed.load(), mismatches.load(), refused.load(),
+      unreachable.load());
+  std::printf(
+      "router: %llu failovers, %llu hedges, %llu exhausted; killed %zu "
+      "of %zu replicas\n",
+      static_cast<unsigned long long>(stats.failovers),
+      static_cast<unsigned long long>(stats.hedges),
+      static_cast<unsigned long long>(stats.exhausted), kills.size(),
+      n_shards * n_replicas);
+  write_faultcheck_observability(flags);
+
+  const bool parity_held = mismatches.load() == 0;
+  const bool nothing_lost =
+      completed.load() == n_requests && refused.load() == 0 &&
+      unreachable.load() == 0;
+  const bool failover_engaged = !kills.empty() ? stats.failovers > 0 : true;
+  if (parity_held && nothing_lost && failover_engaged) {
+    std::printf("netcheck OK: parity held across %llu failovers\n",
+                static_cast<unsigned long long>(stats.failovers));
+    return 0;
+  }
+  std::printf("netcheck FAILED:%s%s%s\n",
+              parity_held ? "" : " bit-parity violated",
+              nothing_lost ? "" : " requests lost",
+              failover_engaged ? "" : " failover never engaged");
+  return 1;
+}
+
 void usage() {
   std::fputs(
       "usage: univsa_cli <datagen|train|eval|parity|info|adapt|"
-      "export-c|export-rtl|stats|search|zoo|backends|faultcheck|top|"
-      "selftest> [--flag value ...]\n"
+      "export-c|export-rtl|stats|search|zoo|backends|faultcheck|serve|"
+      "route|netcheck|top|selftest> [--flag value ...]\n"
       "flag reference: docs/CLI.md; serving/robustness guide: "
-      "docs/SERVING.md; multi-tenant zoo guide: docs/ZOO.md\n",
+      "docs/SERVING.md; multi-tenant zoo guide: docs/ZOO.md; network "
+      "serving guide: docs/NETWORK.md\n",
       stderr);
 }
 
@@ -1474,6 +1880,9 @@ int main(int argc, char** argv) {
     if (cmd == "zoo") return cmd_zoo(flags);
     if (cmd == "backends") return cmd_backends();
     if (cmd == "faultcheck") return cmd_faultcheck(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "route") return cmd_route(flags);
+    if (cmd == "netcheck") return cmd_netcheck(flags);
     if (cmd == "top") return cmd_top(flags);
     if (cmd == "selftest") return cmd_selftest();
     usage();
